@@ -1,0 +1,248 @@
+//! F-bounded dynamic adversaries (paper §3.1).
+//!
+//! The paper's adversary model: at the end of every round, after the
+//! random 3-majority step, the adversary may arbitrarily recolor up to `F`
+//! nodes, knowing the entire state.  In mean-field (count) representation
+//! a recoloring is a mass transfer between color slots, which is what
+//! these [`RoundHook`] implementations perform.
+//!
+//! Corollary 4's guarantee: for `F = o(s(c)/λ)` the 3-majority dynamics
+//! still reaches — and then holds — `O(s(c)/λ)`-plurality consensus in
+//! `O(λ log n)` rounds w.h.p.  The strategies here give the claim teeth:
+//! [`BoostStrongestRival`] plays the gradient-ascent counter-strategy
+//! (drain the plurality into its closest competitor), which is the
+//! natural worst case for an additive-bias argument.
+
+use plurality_engine::RoundHook;
+use plurality_sampling::hypergeometric::sample_multivariate_hypergeometric;
+use plurality_sampling::multinomial::sample_multinomial;
+use rand::RngCore;
+
+/// Move up to `budget` nodes per round from the target plurality color to
+/// its currently strongest rival.
+#[derive(Debug, Clone, Copy)]
+pub struct BoostStrongestRival {
+    /// Corruptions per round (`F`).
+    pub budget: u64,
+    /// The color whose consensus the adversary fights (the initial
+    /// plurality in the Corollary 4 experiments).
+    pub plurality: usize,
+}
+
+impl RoundHook for BoostStrongestRival {
+    fn after_step(&mut self, _round: u64, states: &mut [u64], _rng: &mut dyn RngCore) {
+        let rival = strongest_rival(states, self.plurality);
+        let take = self.budget.min(states[self.plurality]);
+        states[self.plurality] -= take;
+        states[rival] += take;
+    }
+}
+
+/// Move up to `budget` nodes per round from the plurality to the
+/// *currently weakest* (but indexable) rival — keeps many colors alive,
+/// probing the `Σ_{i≠1} c_i` collapse phase (Lemma 4) instead of the bias
+/// race.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterToWeakest {
+    /// Corruptions per round (`F`).
+    pub budget: u64,
+    /// The attacked plurality color.
+    pub plurality: usize,
+}
+
+impl RoundHook for ScatterToWeakest {
+    fn after_step(&mut self, _round: u64, states: &mut [u64], _rng: &mut dyn RngCore) {
+        // Weakest rival by count, ties toward the smallest index.
+        let mut weakest = usize::MAX;
+        let mut weakest_count = u64::MAX;
+        for (j, &c) in states.iter().enumerate() {
+            if j != self.plurality && c < weakest_count {
+                weakest = j;
+                weakest_count = c;
+            }
+        }
+        if weakest == usize::MAX {
+            return; // single-color system: nothing to corrupt toward
+        }
+        let take = self.budget.min(states[self.plurality]);
+        states[self.plurality] -= take;
+        states[weakest] += take;
+    }
+}
+
+/// Recolor `budget` *uniformly random distinct nodes* to uniformly random
+/// colors — an unbiased noise adversary (the baseline the targeted
+/// strategies are compared against).
+///
+/// Victims across color groups follow the exact multivariate
+/// hypergeometric law (drawing without replacement, as "up to F nodes"
+/// in the paper's model means distinct nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCorruption {
+    /// Corruptions per round (`F`).
+    pub budget: u64,
+}
+
+impl RoundHook for RandomCorruption {
+    fn after_step(&mut self, _round: u64, states: &mut [u64], rng: &mut dyn RngCore) {
+        let k = states.len();
+        let n: u64 = states.iter().sum();
+        if n == 0 || k < 2 {
+            return;
+        }
+        let budget = self.budget.min(n);
+        let mut victims = vec![0u64; k];
+        sample_multivariate_hypergeometric(states, budget, &mut victims, rng);
+        let mut uniform = vec![0u64; k];
+        for (j, &v) in victims.iter().enumerate() {
+            states[j] -= v;
+        }
+        // Re-color all victims uniformly at random (self-color allowed:
+        // the adversary may waste corruptions, which is conservative).
+        sample_multinomial(budget, &vec![1.0 / k as f64; k], &mut uniform, rng);
+        for (slot, &u) in states.iter_mut().zip(&uniform) {
+            *slot += u;
+        }
+    }
+}
+
+/// Keep a chosen minority color alive by pumping `budget` nodes into it
+/// from the plurality every round — stress for Lemma 5's endgame (the
+/// last step must wipe out whatever the adversary can sustain).
+#[derive(Debug, Clone, Copy)]
+pub struct SustainColor {
+    /// Corruptions per round (`F`).
+    pub budget: u64,
+    /// Color to keep alive.
+    pub color: usize,
+    /// The plurality color to steal from.
+    pub plurality: usize,
+}
+
+impl RoundHook for SustainColor {
+    fn after_step(&mut self, _round: u64, states: &mut [u64], _rng: &mut dyn RngCore) {
+        if self.color == self.plurality {
+            return;
+        }
+        let take = self.budget.min(states[self.plurality]);
+        states[self.plurality] -= take;
+        states[self.color] += take;
+    }
+}
+
+/// Strongest rival of `plurality` (largest other color; ties toward the
+/// smallest index).  Falls back to `plurality` itself in a 1-color system.
+#[must_use]
+pub fn strongest_rival(states: &[u64], plurality: usize) -> usize {
+    let mut rival = plurality;
+    let mut best = 0u64;
+    let mut found = false;
+    for (j, &c) in states.iter().enumerate() {
+        if j != plurality && (!found || c > best) {
+            rival = j;
+            best = c;
+            found = true;
+        }
+    }
+    rival
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_sampling::stream_rng;
+
+    #[test]
+    fn strongest_rival_picks_max_other() {
+        assert_eq!(strongest_rival(&[50, 10, 30], 0), 2);
+        assert_eq!(strongest_rival(&[50, 60, 30], 1), 0);
+        assert_eq!(strongest_rival(&[50], 0), 0);
+        // Zero-count rivals are still rivals.
+        assert_eq!(strongest_rival(&[9, 0, 0], 0), 1);
+    }
+
+    #[test]
+    fn boost_strongest_preserves_total() {
+        let mut h = BoostStrongestRival {
+            budget: 7,
+            plurality: 0,
+        };
+        let mut s = [100u64, 20, 40];
+        let mut rng = stream_rng(1, 0);
+        h.after_step(1, &mut s, &mut rng);
+        assert_eq!(s, [93, 20, 47]);
+        assert_eq!(s.iter().sum::<u64>(), 160);
+    }
+
+    #[test]
+    fn boost_strongest_caps_at_available() {
+        let mut h = BoostStrongestRival {
+            budget: 1_000,
+            plurality: 0,
+        };
+        let mut s = [5u64, 2, 3];
+        let mut rng = stream_rng(2, 0);
+        h.after_step(1, &mut s, &mut rng);
+        assert_eq!(s, [0, 2, 8]);
+    }
+
+    #[test]
+    fn scatter_targets_weakest() {
+        let mut h = ScatterToWeakest {
+            budget: 4,
+            plurality: 0,
+        };
+        let mut s = [50u64, 30, 2, 10];
+        let mut rng = stream_rng(3, 0);
+        h.after_step(1, &mut s, &mut rng);
+        assert_eq!(s, [46, 30, 6, 10]);
+    }
+
+    #[test]
+    fn random_corruption_preserves_total() {
+        let mut h = RandomCorruption { budget: 50 };
+        let mut s = [500u64, 300, 200];
+        let mut rng = stream_rng(4, 0);
+        for round in 0..100 {
+            h.after_step(round, &mut s, &mut rng);
+            assert_eq!(s.iter().sum::<u64>(), 1000, "round {round}");
+        }
+    }
+
+    #[test]
+    fn random_corruption_pushes_toward_uniform() {
+        // Pure noise on a monochromatic state spreads mass.
+        let mut h = RandomCorruption { budget: 100 };
+        let mut s = [1_000u64, 0, 0, 0];
+        let mut rng = stream_rng(5, 0);
+        h.after_step(1, &mut s, &mut rng);
+        assert_eq!(s.iter().sum::<u64>(), 1000);
+        assert!(s[0] < 1_000, "some mass must move");
+    }
+
+    #[test]
+    fn sustain_color_keeps_target_alive() {
+        let mut h = SustainColor {
+            budget: 3,
+            color: 2,
+            plurality: 0,
+        };
+        let mut s = [90u64, 5, 0];
+        let mut rng = stream_rng(6, 0);
+        h.after_step(1, &mut s, &mut rng);
+        assert_eq!(s, [87, 5, 3]);
+    }
+
+    #[test]
+    fn sustain_self_is_noop() {
+        let mut h = SustainColor {
+            budget: 3,
+            color: 0,
+            plurality: 0,
+        };
+        let mut s = [90u64, 10];
+        let mut rng = stream_rng(7, 0);
+        h.after_step(1, &mut s, &mut rng);
+        assert_eq!(s, [90, 10]);
+    }
+}

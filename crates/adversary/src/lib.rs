@@ -1,0 +1,19 @@
+//! F-bounded dynamic Byzantine adversaries and M-plurality-consensus
+//! measurement — the self-stabilization side of the paper (§3.1,
+//! Corollary 4).
+//!
+//! An *F-bounded dynamic adversary* sees the entire state at the end of
+//! every round and may recolor up to `F` nodes before the next round.
+//! Corollary 4: with initial bias `s` and `F = o(s/λ)`, the 3-majority
+//! dynamics reaches `O(s/λ)`-plurality consensus in `O(λ log n)` rounds
+//! w.h.p. and then *stays* there.  [`measure_reach_and_hold`] measures
+//! both phases against the strategies in [`bounded`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod mplurality;
+
+pub use bounded::{BoostStrongestRival, RandomCorruption, ScatterToWeakest, SustainColor};
+pub use mplurality::{measure_reach_and_hold, HoldReport};

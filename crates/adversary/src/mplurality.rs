@@ -1,0 +1,267 @@
+//! M-plurality consensus measurement under an adversary (Corollary 4).
+//!
+//! Full consensus is impossible against a dynamic adversary, so the paper
+//! asks for an *almost-stable phase*: all but `M` nodes agree on the
+//! plurality color, and the system stays in such configurations for
+//! poly(n) rounds.  [`measure_reach_and_hold`] runs both phases and
+//! reports them separately.
+
+use plurality_core::{Configuration, Dynamics};
+use plurality_engine::run::unique_initial_plurality;
+use plurality_engine::{RoundHook, RunOptions};
+use rand::RngCore;
+
+/// Outcome of a reach-and-hold trial.
+#[derive(Debug, Clone, Copy)]
+pub struct HoldReport {
+    /// Did the system reach M-plurality consensus within the round cap?
+    pub reached: bool,
+    /// Rounds to reach it (the round cap if not reached).
+    pub reach_rounds: u64,
+    /// Rounds (out of `hold_rounds`) for which the property then held.
+    pub held_rounds: u64,
+    /// Rounds in the hold phase that violated the property.
+    pub violations: u64,
+    /// Worst observed non-plurality mass during the hold phase.
+    pub worst_defection: u64,
+}
+
+impl HoldReport {
+    /// The Corollary 4 success event: reached, and never violated.
+    #[must_use]
+    pub fn full_success(&self) -> bool {
+        self.reached && self.violations == 0
+    }
+}
+
+/// Run `dynamics` from `initial` under `adversary` (paper §3.1 round
+/// structure: random step, then adversarial step), first until all but
+/// `m` nodes hold the initial plurality color (capped at
+/// `opts.max_rounds`), then for `hold_rounds` more rounds, counting
+/// violations of the M-plurality property.
+pub fn measure_reach_and_hold(
+    dynamics: &dyn Dynamics,
+    initial: &Configuration,
+    adversary: &mut dyn RoundHook,
+    m: u64,
+    hold_rounds: u64,
+    opts: &RunOptions,
+    rng: &mut dyn RngCore,
+) -> HoldReport {
+    let plurality = unique_initial_plurality(initial);
+    let lifted = dynamics.lift(initial);
+    let mut cur: Vec<u64> = lifted.counts().to_vec();
+    let mut next = vec![0u64; cur.len()];
+    let n: u64 = cur.iter().sum();
+
+    // Phase 1: reach M-plurality consensus.
+    let mut rounds = 0u64;
+    loop {
+        let defection = n - cur[plurality];
+        if defection <= m {
+            break;
+        }
+        if rounds >= opts.max_rounds {
+            return HoldReport {
+                reached: false,
+                reach_rounds: rounds,
+                held_rounds: 0,
+                violations: 0,
+                worst_defection: defection,
+            };
+        }
+        dynamics.step_mean_field(&cur, &mut next, rng);
+        std::mem::swap(&mut cur, &mut next);
+        rounds += 1;
+        adversary.after_step(rounds, &mut cur, rng);
+        debug_assert_eq!(cur.iter().sum::<u64>(), n, "adversary changed the population");
+    }
+    let reach_rounds = rounds;
+
+    // Phase 2: hold.
+    let mut violations = 0u64;
+    let mut worst = 0u64;
+    for _ in 0..hold_rounds {
+        dynamics.step_mean_field(&cur, &mut next, rng);
+        std::mem::swap(&mut cur, &mut next);
+        rounds += 1;
+        adversary.after_step(rounds, &mut cur, rng);
+        let defection = n - cur[plurality];
+        worst = worst.max(defection);
+        if defection > m {
+            violations += 1;
+        }
+    }
+
+    HoldReport {
+        reached: true,
+        reach_rounds,
+        held_rounds: hold_rounds - violations,
+        violations,
+        worst_defection: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::BoostStrongestRival;
+    use plurality_core::{builders, ThreeMajority};
+    use plurality_engine::NoHook;
+    use plurality_sampling::stream_rng;
+
+    #[test]
+    fn no_adversary_reaches_and_holds() {
+        let cfg = builders::biased(100_000, 5, 30_000);
+        let d = ThreeMajority::new();
+        let mut hook = NoHook;
+        let mut rng = stream_rng(1, 0);
+        let report = measure_reach_and_hold(
+            &d,
+            &cfg,
+            &mut hook,
+            100,
+            200,
+            &RunOptions::with_max_rounds(10_000),
+            &mut rng,
+        );
+        assert!(report.reached);
+        assert!(report.full_success(), "violations: {}", report.violations);
+    }
+
+    #[test]
+    fn weak_adversary_cannot_stop_consensus() {
+        // F well below s/λ: Corollary 4 says reach-and-hold succeeds.
+        let n = 100_000;
+        let s = 30_000;
+        let cfg = builders::biased(n, 5, s);
+        let d = ThreeMajority::new();
+        let f = 200; // ≪ s/λ
+        let mut hook = BoostStrongestRival {
+            budget: f,
+            plurality: 0,
+        };
+        let mut rng = stream_rng(2, 0);
+        let report = measure_reach_and_hold(
+            &d,
+            &cfg,
+            &mut hook,
+            5_000,
+            300,
+            &RunOptions::with_max_rounds(10_000),
+            &mut rng,
+        );
+        assert!(report.reached, "reach failed at {} rounds", report.reach_rounds);
+        assert_eq!(report.violations, 0, "worst defection {}", report.worst_defection);
+    }
+
+    #[test]
+    fn overwhelming_adversary_blocks_reach() {
+        // F ≥ s: the adversary erases the per-round gain.
+        let n = 50_000;
+        let s = 2_000;
+        let cfg = builders::biased(n, 4, s);
+        let d = ThreeMajority::new();
+        let mut hook = BoostStrongestRival {
+            budget: 25_000,
+            plurality: 0,
+        };
+        let mut rng = stream_rng(3, 0);
+        let report = measure_reach_and_hold(
+            &d,
+            &cfg,
+            &mut hook,
+            100,
+            50,
+            &RunOptions::with_max_rounds(300),
+            &mut rng,
+        );
+        assert!(!report.reached, "reach should fail under F ≈ n/2");
+    }
+
+    #[test]
+    fn already_reached_reports_zero_rounds() {
+        let cfg = builders::biased(1_000, 2, 990);
+        let d = ThreeMajority::new();
+        let mut hook = NoHook;
+        let mut rng = stream_rng(5, 0);
+        let report = measure_reach_and_hold(
+            &d,
+            &cfg,
+            &mut hook,
+            10,
+            10,
+            &RunOptions::with_max_rounds(100),
+            &mut rng,
+        );
+        assert!(report.reached);
+        assert_eq!(report.reach_rounds, 0);
+    }
+
+    #[test]
+    fn f_exceeding_m_blocks_reach() {
+        // The paper: M-plurality consensus is impossible when F > M.
+        // With M = 0 even a 1-node adversary keeps defection ≥ 1 forever.
+        let cfg = builders::biased(10_000, 3, 4_000);
+        let d = ThreeMajority::new();
+        let mut hook = BoostStrongestRival {
+            budget: 1,
+            plurality: 0,
+        };
+        let mut rng = stream_rng(4, 0);
+        let report = measure_reach_and_hold(
+            &d,
+            &cfg,
+            &mut hook,
+            0,
+            100,
+            &RunOptions::with_max_rounds(2_000),
+            &mut rng,
+        );
+        assert!(!report.reached);
+        assert!(report.worst_defection >= 1);
+    }
+
+    #[test]
+    fn hold_phase_counts_violations() {
+        // An adversary that sleeps through the reach phase and then blasts
+        // past M: the hold phase must record the violations.
+        struct SleeperBurst {
+            wake_round: u64,
+            budget: u64,
+            plurality: usize,
+        }
+        impl RoundHook for SleeperBurst {
+            fn after_step(&mut self, round: u64, states: &mut [u64], _rng: &mut dyn RngCore) {
+                if round < self.wake_round {
+                    return;
+                }
+                let rival = crate::bounded::strongest_rival(states, self.plurality);
+                let take = self.budget.min(states[self.plurality]);
+                states[self.plurality] -= take;
+                states[rival] += take;
+            }
+        }
+        let cfg = builders::biased(10_000, 3, 4_000);
+        let d = ThreeMajority::new();
+        let mut hook = SleeperBurst {
+            wake_round: 1_000, // far beyond the reach phase
+            budget: 500,       // ≫ M below
+            plurality: 0,
+        };
+        let mut rng = stream_rng(4, 1);
+        let report = measure_reach_and_hold(
+            &d,
+            &cfg,
+            &mut hook,
+            50,
+            2_000,
+            &RunOptions::with_max_rounds(900),
+            &mut rng,
+        );
+        assert!(report.reached, "quiet reach phase must succeed");
+        assert!(report.violations > 0, "burst must violate M-plurality");
+        assert!(report.worst_defection > 50);
+        assert!(!report.full_success());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the adversary strategies: whatever the state
+//! and budget, a hook must preserve the population, never overdraw a
+//! color, and respect its budget.
+
+use proptest::prelude::*;
+use plurality_adversary::{BoostStrongestRival, RandomCorruption, ScatterToWeakest, SustainColor};
+use plurality_engine::RoundHook;
+use plurality_sampling::stream_rng;
+
+fn states_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..10_000, 2..8)
+        .prop_filter("positive population", |s| s.iter().sum::<u64>() > 0)
+}
+
+proptest! {
+    #[test]
+    fn boost_preserves_population_and_budget(
+        states in states_strategy(),
+        budget in 0u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = states.iter().sum();
+        let mut s = states.clone();
+        let mut hook = BoostStrongestRival { budget, plurality: 0 };
+        let mut rng = stream_rng(seed, 0);
+        hook.after_step(1, &mut s, &mut rng);
+        prop_assert_eq!(s.iter().sum::<u64>(), total);
+        // Only the plurality slot can shrink, by at most the budget.
+        prop_assert!(states[0] - s[0] <= budget.min(states[0]));
+        for j in 1..states.len() {
+            prop_assert!(s[j] >= states[j], "non-target color shrank");
+        }
+    }
+
+    #[test]
+    fn scatter_preserves_population(
+        states in states_strategy(),
+        budget in 0u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = states.iter().sum();
+        let mut s = states.clone();
+        let mut hook = ScatterToWeakest { budget, plurality: 0 };
+        let mut rng = stream_rng(seed, 1);
+        hook.after_step(1, &mut s, &mut rng);
+        prop_assert_eq!(s.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn random_corruption_preserves_population_any_budget(
+        states in states_strategy(),
+        budget in 0u64..50_000,
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = states.iter().sum();
+        let mut s = states.clone();
+        let mut hook = RandomCorruption { budget };
+        let mut rng = stream_rng(seed, 2);
+        for round in 1..=3 {
+            hook.after_step(round, &mut s, &mut rng);
+            prop_assert_eq!(s.iter().sum::<u64>(), total, "round {}", round);
+        }
+    }
+
+    #[test]
+    fn sustain_moves_at_most_budget(
+        states in states_strategy(),
+        budget in 0u64..20_000,
+        color in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let color = color % states.len();
+        let total: u64 = states.iter().sum();
+        let mut s = states.clone();
+        let mut hook = SustainColor { budget, color, plurality: 0 };
+        let mut rng = stream_rng(seed, 3);
+        hook.after_step(1, &mut s, &mut rng);
+        prop_assert_eq!(s.iter().sum::<u64>(), total);
+        if color != 0 {
+            prop_assert!(s[color] >= states[color]);
+            prop_assert!(s[color] - states[color] <= budget);
+        } else {
+            prop_assert_eq!(&s, &states);
+        }
+    }
+}

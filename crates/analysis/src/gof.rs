@@ -1,0 +1,223 @@
+//! Chi-square goodness-of-fit with automatic bin pooling — the gate the
+//! sampler-validation tests and the engine cross-validation (mean-field vs
+//! agent) run through.
+
+use crate::specfun::chi2_sf;
+
+/// Result of a chi-square GOF test.
+#[derive(Debug, Clone, Copy)]
+pub struct GofResult {
+    /// The χ² statistic over the pooled bins.
+    pub statistic: f64,
+    /// Degrees of freedom after pooling (bins − 1).
+    pub df: f64,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+impl GofResult {
+    /// Reject at significance `alpha`?
+    #[must_use]
+    pub fn reject(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Chi-square test of observed counts against expected counts.
+///
+/// Bins are pooled greedily left-to-right until each pool's expected count
+/// reaches `min_expected` (5 is the classical rule); a trailing underfull
+/// pool is merged into its predecessor.
+///
+/// # Panics
+/// Panics on length mismatch, fewer than two pooled bins, or a
+/// non-positive expected total.
+#[must_use]
+pub fn chi_square(observed: &[f64], expected: &[f64], min_expected: f64) -> GofResult {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    let total_exp: f64 = expected.iter().sum();
+    assert!(total_exp > 0.0, "expected counts must have positive total");
+
+    let mut pooled: Vec<(f64, f64)> = Vec::new();
+    let mut acc_obs = 0.0;
+    let mut acc_exp = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e >= 0.0, "negative expected count");
+        acc_obs += o;
+        acc_exp += e;
+        if acc_exp >= min_expected {
+            pooled.push((acc_obs, acc_exp));
+            acc_obs = 0.0;
+            acc_exp = 0.0;
+        }
+    }
+    if acc_exp > 0.0 || acc_obs > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_obs;
+            last.1 += acc_exp;
+        } else {
+            pooled.push((acc_obs, acc_exp));
+        }
+    }
+    assert!(
+        pooled.len() >= 2,
+        "need at least two pooled bins (got {}); lower min_expected or add data",
+        pooled.len()
+    );
+
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(o, e)| (o - e) * (o - e) / e)
+        .sum();
+    let df = (pooled.len() - 1) as f64;
+    GofResult {
+        statistic,
+        df,
+        p_value: chi2_sf(statistic, df),
+    }
+}
+
+/// Convenience: test integer sample counts against a discrete pmf over
+/// `0..pmf.len()`.
+#[must_use]
+pub fn chi_square_pmf(sample_counts: &[u64], pmf: &[f64], trials: u64) -> GofResult {
+    let observed: Vec<f64> = sample_counts.iter().map(|&c| c as f64).collect();
+    let expected: Vec<f64> = pmf.iter().map(|&p| p * trials as f64).collect();
+    chi_square(&observed, &expected, 5.0)
+}
+
+/// Two-sample chi-square homogeneity test: do two count vectors come from
+/// the same distribution?  (Engine cross-validation.)
+///
+/// # Panics
+/// Panics on length mismatch or empty samples.
+#[must_use]
+pub fn chi_square_two_sample(a: &[u64], b: &[u64]) -> GofResult {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0, "empty sample");
+    let n = (na + nb) as f64;
+
+    // Pool categories until both expected columns are ≥ 5.
+    let mut stat = 0.0;
+    let mut bins = 0usize;
+    let mut acc_a = 0.0;
+    let mut acc_b = 0.0;
+    let flush_threshold_met = |ea: f64, eb: f64| ea >= 5.0 && eb >= 5.0;
+    for (&ca, &cb) in a.iter().zip(b) {
+        acc_a += ca as f64;
+        acc_b += cb as f64;
+        let row = acc_a + acc_b;
+        let ea = row * na as f64 / n;
+        let eb = row * nb as f64 / n;
+        if flush_threshold_met(ea, eb) {
+            stat += (acc_a - ea) * (acc_a - ea) / ea + (acc_b - eb) * (acc_b - eb) / eb;
+            bins += 1;
+            acc_a = 0.0;
+            acc_b = 0.0;
+        }
+    }
+    if acc_a + acc_b > 0.0 && bins > 0 {
+        // Merge the leftover into the statistic as one more bin if it has
+        // any expected mass.
+        let row = acc_a + acc_b;
+        let ea = row * na as f64 / n;
+        let eb = row * nb as f64 / n;
+        if ea > 0.0 && eb > 0.0 {
+            stat += (acc_a - ea) * (acc_a - ea) / ea + (acc_b - eb) * (acc_b - eb) / eb;
+            bins += 1;
+        }
+    }
+    assert!(bins >= 2, "need at least two pooled bins");
+    let df = (bins - 1) as f64;
+    GofResult {
+        statistic: stat,
+        df,
+        p_value: chi2_sf(stat, df),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specfun::binom_pmf;
+    use plurality_sampling::binomial::sample_binomial;
+    use plurality_sampling::stream_rng;
+
+    #[test]
+    fn perfect_fit_small_statistic() {
+        let expected = [100.0, 200.0, 300.0];
+        let r = chi_square(&expected, &expected, 5.0);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+        assert!(!r.reject(0.05));
+    }
+
+    #[test]
+    fn gross_misfit_rejected() {
+        let observed = [300.0, 200.0, 100.0];
+        let expected = [100.0, 200.0, 300.0];
+        let r = chi_square(&observed, &expected, 5.0);
+        assert!(r.reject(0.001), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn pooling_absorbs_thin_tail() {
+        // Tail bins with expected < 5 must pool, not blow up the statistic.
+        let observed = [96.0, 50.0, 3.0, 1.0, 0.0];
+        let expected = [95.0, 50.0, 4.0, 0.9, 0.1];
+        let r = chi_square(&observed, &expected, 5.0);
+        assert!(r.df <= 2.0, "df = {}", r.df);
+        assert!(!r.reject(0.01));
+    }
+
+    #[test]
+    fn binomial_sampler_passes_gof() {
+        // End-to-end: our sampler against the exact pmf through the
+        // production GOF path.
+        let n = 60u64;
+        let p = 0.3;
+        let trials = 40_000u64;
+        let mut rng = stream_rng(11, 0);
+        let mut counts = vec![0u64; (n + 1) as usize];
+        for _ in 0..trials {
+            counts[sample_binomial(n, p, &mut rng) as usize] += 1;
+        }
+        let pmf: Vec<f64> = (0..=n).map(|k| binom_pmf(n, p, k)).collect();
+        let r = chi_square_pmf(&counts, &pmf, trials);
+        assert!(!r.reject(0.001), "chi2 = {}, p = {}", r.statistic, r.p_value);
+    }
+
+    #[test]
+    fn two_sample_same_distribution_accepted() {
+        let mut rng = stream_rng(12, 0);
+        let mut a = vec![0u64; 41];
+        let mut b = vec![0u64; 41];
+        for _ in 0..20_000 {
+            a[sample_binomial(40, 0.4, &mut rng) as usize] += 1;
+            b[sample_binomial(40, 0.4, &mut rng) as usize] += 1;
+        }
+        let r = chi_square_two_sample(&a, &b);
+        assert!(!r.reject(0.001), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn two_sample_different_distributions_rejected() {
+        let mut rng = stream_rng(13, 0);
+        let mut a = vec![0u64; 41];
+        let mut b = vec![0u64; 41];
+        for _ in 0..20_000 {
+            a[sample_binomial(40, 0.4, &mut rng) as usize] += 1;
+            b[sample_binomial(40, 0.45, &mut rng) as usize] += 1;
+        }
+        let r = chi_square_two_sample(&a, &b);
+        assert!(r.reject(0.001), "p = {}", r.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = chi_square(&[1.0], &[1.0, 2.0], 5.0);
+    }
+}

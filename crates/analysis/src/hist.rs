@@ -1,0 +1,153 @@
+//! Fixed-bin histograms for convergence-time distributions.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "need hi > lo");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // Guard the hi-boundary rounding case.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record many values.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Bin counts (excludes under/overflow).
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Values below range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Values at or above range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len());
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Render a compact ASCII bar chart (for CLI output).
+    #[must_use]
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{lo:>10.1}, {hi:>10.1}) {c:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(0.0);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(9.9);
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[0, 0]);
+    }
+
+    #[test]
+    fn edges() {
+        let h = Histogram::new(10.0, 20.0, 4);
+        assert_eq!(h.bin_edges(0), (10.0, 12.5));
+        assert_eq!(h.bin_edges(3), (17.5, 20.0));
+    }
+
+    #[test]
+    fn record_all_and_ascii() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record_all(&[0.5, 1.5, 1.6, 3.2]);
+        let s = h.ascii(10);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "hi > lo")]
+    fn bad_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

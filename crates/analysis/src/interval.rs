@@ -1,0 +1,164 @@
+//! Confidence intervals: Wilson score for success probabilities (the
+//! "does the plurality win w.h.p.?" estimates) and bootstrap percentile
+//! intervals for convergence-time statistics.
+
+use crate::specfun::normal_quantile;
+use plurality_sampling::stream_rng;
+use rand::Rng;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Does the interval contain `x`?
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Wilson score interval for a binomial proportion: `successes` out of
+/// `trials` at confidence `1 − alpha`.
+///
+/// Unlike the normal approximation it behaves correctly at p̂ near 0 or 1
+/// — exactly where w.h.p. experiments live.
+///
+/// # Panics
+/// Panics if `trials == 0`, `successes > trials`, or `alpha` outside
+/// `(0, 1)`.
+#[must_use]
+pub fn wilson(successes: usize, trials: usize, alpha: f64) -> Interval {
+    assert!(trials > 0, "wilson needs at least one trial");
+    assert!(successes <= trials, "more successes than trials");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = normal_quantile(1.0 - alpha / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Interval {
+        lo: (centre - half).max(0.0),
+        hi: (centre + half).min(1.0),
+    }
+}
+
+/// Normal-theory interval for a mean: `mean ± z·se`.
+#[must_use]
+pub fn mean_interval(mean: f64, std_err: f64, alpha: f64) -> Interval {
+    let z = normal_quantile(1.0 - alpha / 2.0);
+    Interval {
+        lo: mean - z * std_err,
+        hi: mean + z * std_err,
+    }
+}
+
+/// Bootstrap percentile interval for an arbitrary statistic.
+///
+/// Resamples `values` with replacement `resamples` times (deterministic
+/// given `seed`), applies `stat`, and returns the `alpha/2` and
+/// `1 − alpha/2` empirical quantiles.
+///
+/// # Panics
+/// Panics if `values` is empty or `resamples == 0`.
+#[must_use]
+pub fn bootstrap<F>(values: &[f64], stat: F, resamples: usize, alpha: f64, seed: u64) -> Interval
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!values.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    let mut rng = stream_rng(seed, 0xB007);
+    let n = values.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0f64; n];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = values[rng.gen_range(0..n)];
+        }
+        stats.push(stat(&scratch));
+    }
+    Interval {
+        lo: crate::stats::quantile(&stats, alpha / 2.0),
+        hi: crate::stats::quantile(&stats, 1.0 - alpha / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_centre_and_coverage_shape() {
+        let iv = wilson(50, 100, 0.05);
+        assert!(iv.contains(0.5));
+        assert!(iv.lo > 0.39 && iv.hi < 0.61, "{iv:?}");
+    }
+
+    #[test]
+    fn wilson_extreme_counts_stay_in_unit_interval() {
+        let all = wilson(100, 100, 0.05);
+        assert!(all.hi <= 1.0);
+        assert!(all.lo > 0.95, "{all:?}");
+        let none = wilson(0, 100, 0.05);
+        assert!(none.lo >= 0.0);
+        assert!(none.hi < 0.05, "{none:?}");
+    }
+
+    #[test]
+    fn wilson_narrows_with_trials() {
+        let small = wilson(5, 10, 0.05);
+        let large = wilson(500, 1000, 0.05);
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn mean_interval_symmetric() {
+        let iv = mean_interval(10.0, 1.0, 0.05);
+        assert!((iv.lo - (10.0 - 1.96)).abs() < 0.01);
+        assert!((iv.hi - (10.0 + 1.96)).abs() < 0.01);
+    }
+
+    #[test]
+    fn bootstrap_mean_contains_truth() {
+        // Sample from a known mean; bootstrap CI should cover it.
+        let values: Vec<f64> = (0..200).map(|i| (i % 21) as f64).collect(); // mean 10
+        let iv = bootstrap(
+            &values,
+            |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+            2_000,
+            0.05,
+            42,
+        );
+        assert!(iv.contains(10.0), "{iv:?}");
+        assert!(iv.width() < 3.0, "{iv:?}");
+    }
+
+    #[test]
+    fn bootstrap_deterministic_by_seed() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let f = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let a = bootstrap(&values, f, 500, 0.1, 7);
+        let b = bootstrap(&values, f, 500, 0.1, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_zero_trials_panics() {
+        let _ = wilson(0, 0, 0.05);
+    }
+}

@@ -1,0 +1,148 @@
+//! Two-sample Kolmogorov–Smirnov test — the second, binning-free lens
+//! (alongside chi-square homogeneity) for the engine cross-validation:
+//! do two sets of convergence times come from the same distribution?
+
+/// KS test result.
+#[derive(Debug, Clone, Copy)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F₁ − F₂|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution with the
+    /// Stephens small-sample correction).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Reject the null (same distribution) at significance `alpha`?
+    #[must_use]
+    pub fn reject(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`.
+#[must_use]
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample KS test.  Sorts copies of the inputs.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+#[must_use]
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    xb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+
+    let (na, nb) = (xa.len(), xb.len());
+    let mut ia = 0usize;
+    let mut ib = 0usize;
+    let mut d: f64 = 0.0;
+    while ia < na && ib < nb {
+        let x = xa[ia].min(xb[ib]);
+        while ia < na && xa[ia] <= x {
+            ia += 1;
+        }
+        while ib < nb && xb[ib] <= x {
+            ib += 1;
+        }
+        let fa = ia as f64 / na as f64;
+        let fb = ib as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let sqrt_ne = ne.sqrt();
+    // Stephens' correction improves the asymptotic p-value at small n.
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_sampling::binomial::sample_binomial;
+    use plurality_sampling::stream_rng;
+    use rand::Rng;
+
+    #[test]
+    fn identical_samples_d_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_samples_d_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.reject(0.05));
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Q(0.8276) ≈ 0.5 (median of the Kolmogorov distribution ~0.8276).
+        assert!((kolmogorov_sf(0.8276) - 0.5).abs() < 0.001);
+        // Q(1.3581) ≈ 0.05.
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 0.001);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn same_distribution_accepted() {
+        let mut rng = stream_rng(1, 0);
+        let a: Vec<f64> = (0..800).map(|_| sample_binomial(100, 0.4, &mut rng) as f64).collect();
+        let b: Vec<f64> = (0..900).map(|_| sample_binomial(100, 0.4, &mut rng) as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.reject(0.001), "D = {}, p = {}", r.statistic, r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = stream_rng(2, 0);
+        let a: Vec<f64> = (0..800).map(|_| sample_binomial(100, 0.40, &mut rng) as f64).collect();
+        let b: Vec<f64> = (0..800).map(|_| sample_binomial(100, 0.47, &mut rng) as f64).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.reject(0.001), "D = {}, p = {}", r.statistic, r.p_value);
+    }
+
+    #[test]
+    fn continuous_uniform_vs_itself() {
+        let mut rng = stream_rng(3, 0);
+        let a: Vec<f64> = (0..1_000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..1_000).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.reject(0.001), "p = {}", r.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+}

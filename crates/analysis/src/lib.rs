@@ -1,0 +1,35 @@
+//! Statistics toolkit for turning the paper's "with high probability"
+//! statements into measurable experiments.
+//!
+//! * [`stats`] — one-pass summaries and quantiles of trial outcomes;
+//! * [`interval`] — Wilson score intervals for success probabilities and
+//!   bootstrap percentile intervals for convergence times;
+//! * [`regression`] — OLS / power-law fits for the theorems' scaling laws;
+//! * [`specfun`] — log-gamma, incomplete gamma, erf, normal quantile,
+//!   chi-square CDF (from scratch; no external math dependency);
+//! * [`gof`] — chi-square goodness-of-fit and two-sample homogeneity
+//!   tests (sampler validation and engine cross-validation);
+//! * [`ks`] — two-sample Kolmogorov–Smirnov test (binning-free engine
+//!   cross-validation);
+//! * [`hist`] — fixed-bin histograms;
+//! * [`table`] — markdown/CSV result tables for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gof;
+pub mod hist;
+pub mod interval;
+pub mod ks;
+pub mod regression;
+pub mod specfun;
+pub mod stats;
+pub mod table;
+
+pub use gof::{chi_square, chi_square_pmf, chi_square_two_sample, GofResult};
+pub use hist::Histogram;
+pub use interval::{bootstrap, mean_interval, wilson, Interval};
+pub use ks::{ks_two_sample, KsResult};
+pub use regression::{linear_fit, power_law_fit, Fit};
+pub use stats::{median, quantile, Summary};
+pub use table::{fmt_f64, Table};

@@ -1,0 +1,119 @@
+//! Ordinary least squares on one predictor — enough to fit the scaling
+//! laws the paper's theorems predict (`rounds ∝ k·log n`, `∝ λ·log n`,
+//! `∝ k/h²`) from measured convergence times.
+
+/// An OLS fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fit {
+    /// Slope estimate.
+    pub slope: f64,
+    /// Intercept estimate.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Fit `y = a + b·x` by least squares.
+///
+/// # Panics
+/// Panics if fewer than two points or all `x` identical.
+#[must_use]
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Fit {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+        syy += (yi - my) * (yi - my);
+    }
+    assert!(sxx > 0.0, "all x values identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Fit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+/// Fit a power law `y = c·x^e` by OLS in log-log space; returns
+/// `(exponent, ln c, r²)` as a [`Fit`] with `slope = e`.
+///
+/// # Panics
+/// Panics if any value is non-positive.
+#[must_use]
+pub fn power_law_fit(x: &[f64], y: &[f64]) -> Fit {
+    let lx: Vec<f64> = x
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "power law needs positive x");
+            v.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = y
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "power law needs positive y");
+            v.ln()
+        })
+        .collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_high_r2() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 10.0 + 3.0 * v + if v as u64 % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 3.0).abs() < 0.01, "slope {}", f.slope);
+        assert!(f.r2 > 0.999);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        let x = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| 5.0 * v.powf(1.5)).collect();
+        let f = power_law_fit(&x, &y);
+        assert!((f.slope - 1.5).abs() < 1e-10, "exponent {}", f.slope);
+        assert!((f.intercept - 5.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn flat_data_zero_slope() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 4.0, 4.0];
+        let f = linear_fit(&x, &y);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0); // perfect fit of a constant
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        let _ = linear_fit(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+}

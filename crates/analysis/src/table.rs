@@ -1,0 +1,184 @@
+//! Experiment result tables, rendered as aligned markdown (for
+//! EXPERIMENTS.md and terminal output) and CSV (for downstream plotting).
+
+use std::fmt::Write as _;
+
+/// A rectangular results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+        rows: Vec::new(),
+        }
+    }
+
+    /// Table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a row from displayable values.
+    pub fn push<const N: usize>(&mut self, cells: [&dyn std::fmt::Display; N]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Render as an aligned GitHub-flavored markdown table (with title as
+    /// a heading line).
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(width) {
+                let pad = w - c.chars().count();
+                let _ = write!(line, " {}{} |", c, " ".repeat(pad));
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &width));
+        let mut sep = String::from("|");
+        for w in &width {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &width));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180 quoting for cells containing commas,
+    /// quotes, or newlines).
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let header_line: Vec<String> = self.headers.iter().map(|h| quote(h)).collect();
+        let _ = writeln!(out, "{}", header_line.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+}
+
+/// Format a float compactly for table cells (3 significant decimals,
+/// trimming trailing zeros).
+#[must_use]
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        return format!("{x:.2e}");
+    }
+    let s = format!("{x:.3}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    trimmed.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_aligned() {
+        let mut t = Table::new("demo", &["k", "rounds"]);
+        t.push_row(vec!["2".into(), "10".into()]);
+        t.push_row(vec!["16".into(), "123".into()]);
+        let md = t.markdown();
+        assert!(md.starts_with("### demo"));
+        assert!(md.contains("| k  | rounds |"));
+        assert!(md.contains("| 16 | 123    |"));
+    }
+
+    #[test]
+    fn csv_rendering_and_quoting() {
+        let mut t = Table::new("q", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn push_display_row() {
+        let mut t = Table::new("d", &["n", "p"]);
+        t.push([&1000u64, &0.25f64]);
+        assert_eq!(t.len(), 1);
+        assert!(t.markdown().contains("0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("w", &["only"]);
+        t.push_row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_cases() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(0.125), "0.125");
+        assert!(fmt_f64(1.23e9).contains('e'));
+        assert!(fmt_f64(1e-9).contains('e'));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the statistics toolkit: interval bounds,
+//! summary identities, special-function identities, and table rendering
+//! robustness for arbitrary inputs.
+
+use proptest::prelude::*;
+use plurality_analysis::specfun::{
+    chi2_cdf, erf, erfc, gamma_p, gamma_q, ln_gamma, normal_cdf, normal_quantile,
+};
+use plurality_analysis::{
+    linear_fit, median, quantile, wilson, Summary, Table,
+};
+
+proptest! {
+    /// Wilson intervals always live in [0,1], contain the point estimate,
+    /// and shrink as trials grow.
+    #[test]
+    fn wilson_contains_estimate(successes in 0usize..500, extra in 0usize..500) {
+        let trials = successes + extra + 1;
+        let iv = wilson(successes, trials, 0.05);
+        let p_hat = successes as f64 / trials as f64;
+        prop_assert!(iv.lo >= 0.0 && iv.hi <= 1.0);
+        prop_assert!(iv.contains(p_hat), "{:?} missing {}", iv, p_hat);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_data(successes in 1usize..50, scale in 2usize..20) {
+        let small = wilson(successes, successes * 2, 0.05);
+        let large = wilson(successes * scale, successes * 2 * scale, 0.05);
+        prop_assert!(large.width() <= small.width() + 1e-12);
+    }
+
+    /// Welford summary matches two-pass computation.
+    #[test]
+    fn summary_matches_two_pass(values in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s = Summary::of(&values);
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-6 * var.abs().max(1.0));
+        prop_assert_eq!(s.count(), values.len());
+        prop_assert!(s.min() <= s.mean() + 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, lo);
+        let b = quantile(&values, hi);
+        prop_assert!(a <= b + 1e-12);
+        let mn = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= mn - 1e-12 && b <= mx + 1e-12);
+        prop_assert!(median(&values) >= mn - 1e-12);
+    }
+
+    /// Γ(x+1) = x·Γ(x) in log form, across the domain.
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x = {}: {} vs {}", x, lhs, rhs);
+    }
+
+    /// P + Q = 1 everywhere.
+    #[test]
+    fn incomplete_gamma_complementary(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+
+    /// The incomplete gamma is monotone in x.
+    #[test]
+    fn gamma_p_monotone(a in 0.1f64..30.0, x in 0.0f64..50.0, dx in 0.01f64..10.0) {
+        prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
+    }
+
+    /// erf is odd and erfc complements it.
+    #[test]
+    fn erf_odd_and_complement(x in -5.0f64..5.0) {
+        prop_assert!((erf(-x) + erf(x)).abs() < 1e-12);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-10);
+    }
+
+    /// Φ and Φ⁻¹ are inverse on (0,1).
+    #[test]
+    fn normal_roundtrip(p in 0.0001f64..0.9999) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-8);
+    }
+
+    /// Chi-square CDF is a CDF: monotone, in [0,1].
+    #[test]
+    fn chi2_cdf_monotone(df in 1.0f64..100.0, x in 0.0f64..200.0, dx in 0.01f64..20.0) {
+        let a = chi2_cdf(x, df);
+        let b = chi2_cdf(x + dx, df);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b >= a - 1e-12);
+    }
+
+    /// Linear fit reproduces exact lines from arbitrary two-point data.
+    #[test]
+    fn linear_fit_exact_on_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..50),
+    ) {
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        prop_assume!(xs.len() >= 2);
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let fit = linear_fit(&xs, &ys);
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * intercept.abs().max(1.0));
+    }
+
+    /// Tables render any cell content without panicking, and CSV always
+    /// has one line per row plus the header.
+    #[test]
+    fn table_rendering_total(cells in proptest::collection::vec(".*", 1..20)) {
+        let mut t = Table::new("prop", &["c"]);
+        for cell in &cells {
+            // Strip newlines for the line-count check on markdown; CSV
+            // quoting handles them.
+            t.push_row(vec![cell.replace('\n', " ")]);
+        }
+        let md = t.markdown();
+        prop_assert!(md.lines().count() >= cells.len() + 3);
+        let csv = t.csv();
+        prop_assert_eq!(csv.lines().count(), cells.len() + 1);
+    }
+}

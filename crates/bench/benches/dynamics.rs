@@ -1,0 +1,91 @@
+//! Per-dynamics kernel cost: one exact mean-field round for every update
+//! rule in the zoo, at fixed (n, k) — including the h-plurality
+//! enumeration-vs-fallback ablation (DESIGN.md §5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use plurality_core::{
+    builders, Dynamics, HPlurality, Median3, MedianOwn, TableD3, ThreeMajority, TwoChoices,
+    UndecidedState, Voter,
+};
+use plurality_sampling::stream_rng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel-round");
+    let n = 1_000_000u64;
+    let k = 16usize;
+    let cfg = builders::biased(n, k, n / 10);
+
+    let three = ThreeMajority::new();
+    let voter = Voter;
+    let two_choices = TwoChoices;
+    let median3 = Median3;
+    let median_own = MedianOwn;
+    let table = TableD3::lemma8_132();
+    let rules: Vec<(&str, &dyn Dynamics)> = vec![
+        ("3-majority", &three),
+        ("voter", &voter),
+        ("2-choices", &two_choices),
+        ("median3", &median3),
+        ("median-own", &median_own),
+        ("tableD3-132", &table),
+    ];
+    for (name, d) in rules {
+        let mut next = vec![0u64; k];
+        g.bench_function(BenchmarkId::new(name, format!("n={n},k={k}")), |b| {
+            let mut rng = stream_rng(1, 0);
+            b.iter(|| {
+                d.step_mean_field(cfg.counts(), &mut next, &mut rng);
+                black_box(next[0])
+            });
+        });
+    }
+
+    // Undecided-state works on the lifted vector.
+    let undecided = UndecidedState::new(k);
+    let lifted = undecided.lift(&cfg);
+    let mut next = vec![0u64; k + 1];
+    g.bench_function(BenchmarkId::new("undecided", format!("n={n},k={k}")), |b| {
+        let mut rng = stream_rng(2, 0);
+        b.iter(|| {
+            undecided.step_mean_field(lifted.counts(), &mut next, &mut rng);
+            black_box(next[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_h_plurality_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("h-plurality-paths");
+    g.sample_size(10);
+
+    // Enumeration path: small k, small h.
+    let n_small = 1_000_000u64;
+    let cfg_small = builders::biased(n_small, 6, n_small / 10);
+    let d5 = HPlurality::new(5);
+    let mut next = vec![0u64; 6];
+    g.bench_function("enumeration(k=6,h=5,n=1e6)", |b| {
+        let mut rng = stream_rng(3, 0);
+        b.iter(|| {
+            d5.step_mean_field(cfg_small.counts(), &mut next, &mut rng);
+            black_box(next[0])
+        });
+    });
+
+    // Fallback per-node path: large k forces explicit simulation.
+    let n_large = 100_000u64;
+    let k_large = 128usize;
+    let cfg_large = builders::biased(n_large, k_large, n_large / 10);
+    let d9 = HPlurality::new(9);
+    let mut next_large = vec![0u64; k_large];
+    g.bench_function("per-node(k=128,h=9,n=1e5)", |b| {
+        let mut rng = stream_rng(4, 0);
+        b.iter(|| {
+            d9.step_mean_field(cfg_large.counts(), &mut next_large, &mut rng);
+            black_box(next_large[0])
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_h_plurality_paths);
+criterion_main!(benches);

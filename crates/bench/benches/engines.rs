@@ -1,0 +1,84 @@
+//! Engine benchmarks: the DESIGN.md §5 "mean-field vs agent" ablation.
+//!
+//! The headline number: one exact mean-field round is O(k) regardless of
+//! `n`, while one agent round is O(n·h) — a ~10⁴× gap at n = 10⁶ that is
+//! what makes the paper-scale experiments tractable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use plurality_core::{builders, Dynamics, ThreeMajority};
+use plurality_engine::{AgentEngine, MeanFieldEngine, Placement, RunOptions};
+use plurality_sampling::stream_rng;
+use plurality_topology::Clique;
+
+fn bench_mean_field_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mean-field-round");
+    let d = ThreeMajority::new();
+    for &n in &[1_000_000u64, 1_000_000_000] {
+        for &k in &[8usize, 64] {
+            let cfg = builders::biased(n, k, n / 10);
+            let mut next = vec![0u64; k];
+            g.bench_with_input(
+                BenchmarkId::new("3-majority", format!("n={n},k={k}")),
+                &k,
+                |b, _| {
+                    let mut rng = stream_rng(1, 0);
+                    b.iter(|| {
+                        d.step_mean_field(cfg.counts(), &mut next, &mut rng);
+                        black_box(next[0])
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_agent_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agent-round");
+    g.sample_size(10);
+    let d = ThreeMajority::new();
+    for &n in &[10_000usize, 100_000] {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+        // Benchmark a full (short) run divided by its rounds is noisy;
+        // instead run exactly one round by capping max_rounds = 1.
+        g.bench_with_input(BenchmarkId::new("clique", n), &n, |b, _| {
+            let engine = AgentEngine::new(&clique);
+            let opts = RunOptions::with_max_rounds(1);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full-convergence");
+    g.sample_size(20);
+    let d = ThreeMajority::new();
+    for &(n, k) in &[(100_000u64, 8usize), (10_000_000, 32)] {
+        let cfg = builders::biased(n, k, n / 5);
+        let engine = MeanFieldEngine::new(&d);
+        g.bench_with_input(
+            BenchmarkId::new("mean-field", format!("n={n},k={k}")),
+            &n,
+            |b, _| {
+                let mut rng = stream_rng(2, 0);
+                let opts = RunOptions::with_max_rounds(100_000);
+                b.iter(|| black_box(engine.run(&cfg, &opts, &mut rng).rounds));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mean_field_round,
+    bench_agent_round,
+    bench_full_convergence
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Parallel-scaling benchmarks: node-parallel agent rounds and the
+//! Monte-Carlo trial runner (DESIGN.md §5: thread count must change
+//! wall-clock, never trajectories — the determinism half is a unit test;
+//! the scaling half is measured here).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions};
+use plurality_topology::Clique;
+
+fn bench_agent_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agent-threads");
+    g.sample_size(10);
+    let n = 200_000usize;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(1);
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("one-round", threads), &threads, |b, &t| {
+            let engine = AgentEngine::new(&clique).with_threads(t);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_montecarlo_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("montecarlo-threads");
+    g.sample_size(10);
+    let cfg = builders::biased(1_000_000, 8, 200_000);
+    let d = ThreeMajority::new();
+    let engine = MeanFieldEngine::new(&d);
+    let opts = RunOptions::with_max_rounds(100_000);
+    for &threads in &[1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("trials=32", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mc = MonteCarlo {
+                    trials: 32,
+                    threads: t,
+                    master_seed: 7,
+                };
+                let results = mc.run(|_, rng| engine.run(&cfg, &opts, rng).rounds);
+                black_box(results.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_agent_threads, bench_montecarlo_threads);
+criterion_main!(benches);

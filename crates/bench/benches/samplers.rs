@@ -1,0 +1,95 @@
+//! Sampler micro-benchmarks: the primitives every simulated round is made
+//! of (DESIGN.md §5 ablations: BINV vs BTRD regions, alias vs exact
+//! count sampling).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use plurality_sampling::binomial::sample_binomial;
+use plurality_sampling::multinomial::sample_multinomial;
+use plurality_sampling::{stream_rng, AliasTable, CountSampler};
+use rand::RngCore;
+
+fn bench_prng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prng");
+    g.bench_function("xoshiro256++/next_u64", |b| {
+        let mut rng = stream_rng(1, 0);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.finish();
+}
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binomial");
+    // BINV region: np < 10.
+    for &(n, p) in &[(100u64, 0.05f64), (1_000, 0.005)] {
+        g.bench_with_input(
+            BenchmarkId::new("binv", format!("n={n},p={p}")),
+            &(n, p),
+            |b, &(n, p)| {
+                let mut rng = stream_rng(2, 0);
+                b.iter(|| black_box(sample_binomial(n, p, &mut rng)));
+            },
+        );
+    }
+    // BTRD region: large means, up to engine-scale populations.
+    for &(n, p) in &[(10_000u64, 0.3f64), (1_000_000, 0.5), (1_000_000_000, 0.25)] {
+        g.bench_with_input(
+            BenchmarkId::new("btrd", format!("n={n},p={p}")),
+            &(n, p),
+            |b, &(n, p)| {
+                let mut rng = stream_rng(3, 0);
+                b.iter(|| black_box(sample_binomial(n, p, &mut rng)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_multinomial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multinomial");
+    for &k in &[8usize, 64, 512] {
+        let probs: Vec<f64> = (0..k).map(|_| 1.0 / k as f64).collect();
+        let mut out = vec![0u64; k];
+        g.bench_with_input(BenchmarkId::new("uniform", k), &k, |b, _| {
+            let mut rng = stream_rng(4, 0);
+            b.iter(|| {
+                sample_multinomial(1_000_000, &probs, &mut out, &mut rng);
+                black_box(out[0])
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_categorical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("categorical");
+    for &k in &[8usize, 64, 512] {
+        let counts: Vec<u64> = (1..=k as u64).collect();
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+
+        let cs = CountSampler::new(&counts);
+        g.bench_with_input(BenchmarkId::new("count-sampler", k), &k, |b, _| {
+            let mut rng = stream_rng(5, 0);
+            b.iter(|| black_box(cs.sample(&mut rng)));
+        });
+
+        let alias = AliasTable::new(&weights);
+        g.bench_with_input(BenchmarkId::new("alias-sample", k), &k, |b, _| {
+            let mut rng = stream_rng(6, 0);
+            b.iter(|| black_box(alias.sample(&mut rng)));
+        });
+
+        g.bench_with_input(BenchmarkId::new("alias-build", k), &k, |b, _| {
+            b.iter(|| black_box(AliasTable::new(&weights).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prng,
+    bench_binomial,
+    bench_multinomial,
+    bench_categorical
+);
+criterion_main!(benches);

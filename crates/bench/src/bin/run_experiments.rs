@@ -1,0 +1,97 @@
+//! Regenerate every experiment table from DESIGN.md §4.
+//!
+//! ```text
+//! cargo run -p plurality-bench --release --bin run_experiments            # all, paper scale
+//! cargo run -p plurality-bench --release --bin run_experiments -- e05 e07  # selected
+//! cargo run -p plurality-bench --release --bin run_experiments -- --smoke  # quick pass
+//! cargo run -p plurality-bench --release --bin run_experiments -- --csv DIR # also dump CSVs
+//! ```
+//!
+//! Output is markdown on stdout (the source of EXPERIMENTS.md's measured
+//! numbers), one section per experiment, with wall-clock timings.
+
+use plurality_experiments::registry;
+use plurality_experiments::Context;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut seed: Option<u64> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--csv" => {
+                csv_dir = Some(it.next().unwrap_or_else(|| usage("--csv needs a directory")));
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                seed = Some(v.parse().unwrap_or_else(|_| usage("--seed must be a u64")));
+            }
+            "--help" | "-h" => usage(""),
+            id if id.starts_with('e') => ids.push(id.to_string()),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let mut ctx = if smoke { Context::smoke() } else { Context::paper() };
+    if let Some(s) = seed {
+        ctx.seed = s;
+    }
+    let all_ids: Vec<String> = registry::all().iter().map(|e| e.id().to_string()).collect();
+    let selected: Vec<String> = if ids.is_empty() { all_ids } else { ids };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "# Experiment run ({} scale, seed {:#x}, {} threads)\n",
+        if smoke { "smoke" } else { "paper" },
+        ctx.seed,
+        ctx.threads
+    );
+
+    let total_start = Instant::now();
+    for id in &selected {
+        let exp =
+            registry::by_id(id).unwrap_or_else(|| usage(&format!("unknown experiment {id}")));
+        let _ = writeln!(out, "## {} — {}\n", exp.id(), exp.title());
+        let _ = out.flush();
+        let start = Instant::now();
+        let tables = exp.run(&ctx);
+        let elapsed = start.elapsed();
+        for (ti, table) in tables.iter().enumerate() {
+            let _ = writeln!(out, "{}", table.markdown());
+            if let Some(dir) = &csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = format!("{dir}/{}-{ti}.csv", exp.id());
+                std::fs::write(&path, table.csv()).expect("write csv");
+            }
+        }
+        let _ = writeln!(out, "_elapsed: {:.1}s_\n", elapsed.as_secs_f64());
+        let _ = out.flush();
+    }
+    let _ = writeln!(
+        out,
+        "---\n_total elapsed: {:.1}s_",
+        total_start.elapsed().as_secs_f64()
+    );
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: run_experiments [--smoke] [--seed N] [--csv DIR] [e01 e02 ...]\n\
+         \n\
+         Regenerates the experiment tables of DESIGN.md §4 / EXPERIMENTS.md.\n\
+         With no ids, runs all twelve experiments."
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,165 @@
+//! Minimal `--key value` argument parsing.
+//!
+//! `clap` is not in the workspace's allowed dependency set (see DESIGN.md
+//! §2), so the CLI parses its own flags: every option is `--name value`
+//! (or a bare `--flag`), collected into a map with typed accessors and
+//! unknown-flag rejection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments and `--key [value]` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse errors (reported to the user with usage text).
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--opt` appeared twice.
+    Duplicate(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// Option name.
+        option: String,
+        /// The raw value.
+        value: String,
+        /// Target type name.
+        expected: &'static str,
+    },
+    /// Option not in the accepted set.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Duplicate(o) => write!(f, "option --{o} given more than once"),
+            Self::BadValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "--{option} expects {expected}, got '{value}'"),
+            Self::Unknown(o) => write!(f, "unknown option --{o}"),
+        }
+    }
+}
+
+impl Args {
+    /// Parse raw arguments.  `value_options` take one value; `flag_options`
+    /// are bare switches; anything else starting with `--` is an error.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        value_options: &[&str],
+        flag_options: &[&str],
+    ) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if flag_options.contains(&name) {
+                    args.flags.push(name.to_string());
+                } else if value_options.contains(&name) {
+                    let value = it.next().unwrap_or_default();
+                    if args
+                        .options
+                        .insert(name.to_string(), value)
+                        .is_some()
+                    {
+                        return Err(ArgError::Duplicate(name.to_string()));
+                    }
+                } else {
+                    return Err(ArgError::Unknown(name.to_string()));
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments in order.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Was a bare flag present?
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Raw string option.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Typed option with default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                option: name.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(
+            tokens.iter().map(|s| (*s).to_string()),
+            &["n", "k", "bias", "seed"],
+            &["verbose"],
+        )
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse(&["run", "--n", "1000", "--k", "8", "--verbose"]).unwrap();
+        assert_eq!(a.positional(), &["run".to_string()]);
+        assert_eq!(a.get("n"), Some("1000"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn typed_access_with_default() {
+        let a = parse(&["--n", "42"]).unwrap();
+        assert_eq!(a.get_parsed("n", 0u64).unwrap(), 42);
+        assert_eq!(a.get_parsed("k", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = parse(&["--n", "xyz"]).unwrap();
+        let err = a.get_parsed("n", 0u64).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("xyz"));
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let err = parse(&["--what", "1"]).unwrap_err();
+        assert_eq!(err, ArgError::Unknown("what".into()));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let err = parse(&["--n", "1", "--n", "2"]).unwrap_err();
+        assert_eq!(err, ArgError::Duplicate("n".into()));
+    }
+}

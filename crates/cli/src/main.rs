@@ -1,0 +1,426 @@
+//! `plurality` — command-line runner for the plurality-consensus
+//! simulators.
+//!
+//! ```text
+//! plurality run   --dynamics 3-majority --n 1000000 --k 8 --bias auto --trials 50
+//! plurality trace --dynamics undecided  --n 100000  --k 4 --bias 20000
+//! plurality zoo   --n 100000 --k 3 --bias 5000 --trials 100
+//! plurality list
+//! ```
+//!
+//! `run` measures convergence statistics over many trials, `trace` prints
+//! one full trajectory, `zoo` compares every dynamics on one start, and
+//! `list` shows the available dynamics names.
+
+mod args;
+
+use args::Args;
+use plurality_analysis::{fmt_f64, wilson, Summary, Table};
+use plurality_core::{
+    builders, Configuration, Dynamics, HPlurality, Median3, MedianOwn, TableD3, ThreeMajority,
+    TwoChoices, TwoSample, UndecidedState, Voter,
+};
+use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason, TraceLevel};
+use plurality_sampling::stream_rng;
+
+const VALUE_OPTS: &[&str] = &[
+    "dynamics", "n", "k", "bias", "trials", "max-rounds", "seed", "threads", "h", "noise",
+    "bins",
+];
+const FLAG_OPTS: &[&str] = &["help", "quiet"];
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw, VALUE_OPTS, FLAG_OPTS) {
+        Ok(p) => p,
+        Err(e) => die(&format!("{e}")),
+    };
+    if parsed.flag("help") || parsed.positional().is_empty() {
+        usage();
+        return;
+    }
+    let command = parsed.positional()[0].clone();
+    let result = match command.as_str() {
+        "run" => cmd_run(&parsed),
+        "trace" => cmd_trace(&parsed),
+        "zoo" => cmd_zoo(&parsed),
+        "hist" => cmd_hist(&parsed),
+        "exact" => cmd_exact(&parsed),
+        "list" => {
+            list_dynamics();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        die(&e);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    usage();
+    std::process::exit(2);
+}
+
+fn usage() {
+    eprintln!(
+        "plurality — simple dynamics for plurality consensus (Becchetti et al., SPAA'14)\n\
+         \n\
+         commands:\n\
+         \x20 run    measure convergence over --trials independent runs\n\
+         \x20 trace  print one traced trajectory round by round\n\
+         \x20 zoo    compare all dynamics from the same start\n\
+         \x20 hist   ASCII histogram of rounds-to-consensus over --trials runs\n\
+         \x20 exact  exact absorption analysis at small n (ground truth)\n\
+         \x20 list   list available --dynamics names\n\
+         \n\
+         options:\n\
+         \x20 --dynamics NAME   update rule (default 3-majority; see 'list')\n\
+         \x20 --n N             population size (default 1000000)\n\
+         \x20 --k K             number of colors (default 8)\n\
+         \x20 --bias S          initial additive bias, or 'auto' for the paper threshold\n\
+         \x20 --h H             sample size for h-plurality (default 5)\n\
+         \x20 --noise P         per-message noise for 'noisy' dynamics (default 0.1)\n\
+         \x20 --bins B          histogram bins for 'hist' (default 30)\n\
+         \x20 --trials T        independent trials for 'run'/'zoo' (default 50)\n\
+         \x20 --max-rounds R    round cap (default 1000000)\n\
+         \x20 --seed S          master seed (default 1)\n\
+         \x20 --threads T       worker threads (default: all cores)\n\
+         \x20 --quiet           suppress per-round output in 'trace'"
+    );
+}
+
+fn build_dynamics(name: &str, k: usize, h: usize, noise: f64) -> Result<Box<dyn Dynamics>, String> {
+    Ok(match name {
+        "noisy" => Box::new(plurality_core::NoisyThreeMajority::new(k, noise)),
+        "3-majority" => Box::new(ThreeMajority::new()),
+        "3-majority-uar" => Box::new(ThreeMajority::with_uniform_ties()),
+        "h-plurality" => Box::new(HPlurality::new(h)),
+        "voter" => Box::new(Voter),
+        "2-sample" => Box::new(TwoSample),
+        "2-choices" => Box::new(TwoChoices),
+        "median" => Box::new(MedianOwn),
+        "median3" => Box::new(Median3),
+        "undecided" => Box::new(UndecidedState::new(k)),
+        "d3-132" => Box::new(TableD3::lemma8_132()),
+        "d3-141" => Box::new(TableD3::lemma8_141()),
+        "d3-min" => Box::new(TableD3::min3()),
+        "d3-anti" => Box::new(TableD3::anti_majority()),
+        other => return Err(format!("unknown dynamics '{other}' (try 'plurality list')")),
+    })
+}
+
+fn list_dynamics() {
+    println!(
+        "3-majority      the paper's dynamics (first-sample tie rule)\n\
+         3-majority-uar  3-majority with uniform tie-breaking (same law)\n\
+         h-plurality     plurality of --h samples (Theorem 4)\n\
+         voter           copy one random node (polling / 1-majority)\n\
+         2-sample        two samples + uniform tie (equivalent to voter)\n\
+         2-choices       adopt only when two samples agree\n\
+         median          Doerr et al. median of own + 2 samples\n\
+         median3         median of 3 samples (in D3; fails plurality)\n\
+         undecided       undecided-state dynamics (one extra state)\n\
+         d3-132          Lemma 8 rule δ=(1,3,2) (fails plurality)\n\
+         d3-141          Lemma 8 rule δ=(1,4,1) (fails plurality)\n\
+         d3-min          min-of-3 rule δ=(6,0,0)\n\
+         d3-anti         anti-majority rule (no clear-majority property)\n\
+         noisy           3-majority with per-message uniform noise --noise"
+    );
+}
+
+struct Common {
+    cfg: Configuration,
+    dynamics: Box<dyn Dynamics>,
+    trials: usize,
+    opts: RunOptions,
+    seed: u64,
+    threads: usize,
+}
+
+fn common(parsed: &Args) -> Result<Common, String> {
+    let n: u64 = parsed.get_parsed("n", 1_000_000u64).map_err(|e| e.to_string())?;
+    let k: usize = parsed.get_parsed("k", 8usize).map_err(|e| e.to_string())?;
+    let h: usize = parsed.get_parsed("h", 5usize).map_err(|e| e.to_string())?;
+    let trials: usize = parsed.get_parsed("trials", 50usize).map_err(|e| e.to_string())?;
+    let max_rounds: u64 = parsed
+        .get_parsed("max-rounds", 1_000_000u64)
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = parsed.get_parsed("seed", 1u64).map_err(|e| e.to_string())?;
+    let threads: usize = parsed
+        .get_parsed(
+            "threads",
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+        .map_err(|e| e.to_string())?;
+
+    let bias = match parsed.get("bias") {
+        None | Some("auto") => {
+            let ln_n = (n as f64).ln();
+            let lambda = (2.0 * k as f64).min((n as f64 / ln_n).cbrt());
+            (1.5 * (lambda * n as f64 * ln_n).sqrt()).ceil() as u64
+        }
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--bias expects a number or 'auto', got '{v}'"))?,
+    };
+    if bias > n {
+        return Err(format!("bias {bias} exceeds population {n}"));
+    }
+
+    let noise: f64 = parsed.get_parsed("noise", 0.1f64).map_err(|e| e.to_string())?;
+    let name = parsed.get("dynamics").unwrap_or("3-majority");
+    let dynamics = build_dynamics(name, k, h, noise)?;
+    let cfg = builders::biased(n, k, bias);
+    Ok(Common {
+        cfg,
+        dynamics,
+        trials,
+        opts: RunOptions::with_max_rounds(max_rounds),
+        seed,
+        threads,
+    })
+}
+
+fn cmd_run(parsed: &Args) -> Result<(), String> {
+    let c = common(parsed)?;
+    let engine = MeanFieldEngine::new(c.dynamics.as_ref());
+    let mc = MonteCarlo {
+        trials: c.trials,
+        threads: c.threads,
+        master_seed: c.seed,
+    };
+    let start = std::time::Instant::now();
+    let results = mc.run(|_, rng| engine.run(&c.cfg, &c.opts, rng));
+    let elapsed = start.elapsed();
+
+    let mut rounds = Summary::new();
+    let mut wins = 0usize;
+    let mut converged = 0usize;
+    for r in &results {
+        if r.reason == StopReason::Stopped {
+            converged += 1;
+            rounds.push(r.rounds_f64());
+        }
+        if r.success {
+            wins += 1;
+        }
+    }
+    let iv = wilson(wins, c.trials, 0.05);
+
+    let mut t = Table::new(
+        format!(
+            "{} on clique: n = {}, k = {}, bias = {} ({} trials, {:.2}s)",
+            c.dynamics.name(),
+            c.cfg.n(),
+            c.cfg.k(),
+            c.cfg.bias(),
+            c.trials,
+            elapsed.as_secs_f64()
+        ),
+        &["metric", "value"],
+    );
+    t.push_row(vec!["converged".into(), format!("{converged}/{}", c.trials)]);
+    t.push_row(vec!["plurality wins".into(), format!("{wins}/{}", c.trials)]);
+    t.push_row(vec![
+        "win rate (95% CI)".into(),
+        format!("{} [{}, {}]", fmt_f64(wins as f64 / c.trials as f64), fmt_f64(iv.lo), fmt_f64(iv.hi)),
+    ]);
+    if rounds.count() > 0 {
+        t.push_row(vec!["mean rounds".into(), fmt_f64(rounds.mean())]);
+        t.push_row(vec!["sd rounds".into(), fmt_f64(rounds.std_dev())]);
+        t.push_row(vec![
+            "min/max rounds".into(),
+            format!("{} / {}", fmt_f64(rounds.min()), fmt_f64(rounds.max())),
+        ]);
+    } else {
+        t.push_row(vec![
+            "rounds".into(),
+            "n/a (no trial converged; note that noisy dynamics never absorb)".into(),
+        ]);
+    }
+    print!("{}", t.markdown());
+    Ok(())
+}
+
+fn cmd_trace(parsed: &Args) -> Result<(), String> {
+    let c = common(parsed)?;
+    let engine = MeanFieldEngine::new(c.dynamics.as_ref());
+    let mut opts = c.opts;
+    opts.trace = TraceLevel::Summary;
+    let mut rng = stream_rng(c.seed, 0);
+    let r = engine.run(&c.cfg, &opts, &mut rng);
+    let trace = r.trace.expect("trace requested");
+
+    if !parsed.flag("quiet") {
+        println!("round  c1          c2          bias        minority    undecided");
+        for s in &trace.rounds {
+            println!(
+                "{:>5}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                s.round, s.plurality_count, s.second_count, s.bias, s.minority_mass,
+                s.extra_state_mass
+            );
+        }
+    }
+    println!(
+        "\n{}: {:?} after {} rounds; winner = {:?}; plurality {}",
+        c.dynamics.name(),
+        r.reason,
+        r.rounds,
+        r.winner,
+        if r.success { "WON" } else { "lost" }
+    );
+    Ok(())
+}
+
+fn cmd_zoo(parsed: &Args) -> Result<(), String> {
+    let c = common(parsed)?;
+    let k = c.cfg.k();
+    let names = [
+        "3-majority",
+        "h-plurality",
+        "voter",
+        "2-choices",
+        "median",
+        "median3",
+        "undecided",
+        "d3-132",
+    ];
+    let mut t = Table::new(
+        format!(
+            "dynamics zoo: n = {}, k = {}, bias = {} ({} trials each)",
+            c.cfg.n(),
+            k,
+            c.cfg.bias(),
+            c.trials
+        ),
+        &["dynamics", "converged", "win rate", "mean rounds"],
+    );
+    for (i, name) in names.iter().enumerate() {
+        let h: usize = parsed.get_parsed("h", 5usize).map_err(|e| e.to_string())?;
+        let noise: f64 = parsed.get_parsed("noise", 0.1f64).map_err(|e| e.to_string())?;
+        let d = build_dynamics(name, k, h, noise)?;
+        let engine = MeanFieldEngine::new(d.as_ref());
+        let mc = MonteCarlo {
+            trials: c.trials,
+            threads: c.threads,
+            master_seed: c.seed ^ (i as u64) << 32,
+        };
+        let results = mc.run(|_, rng| engine.run(&c.cfg, &c.opts, rng));
+        let converged = results.iter().filter(|r| r.reason == StopReason::Stopped).count();
+        let wins = results.iter().filter(|r| r.success).count();
+        let mut rounds = Summary::new();
+        for r in results.iter().filter(|r| r.reason == StopReason::Stopped) {
+            rounds.push(r.rounds_f64());
+        }
+        t.push_row(vec![
+            d.name(),
+            format!("{converged}/{}", c.trials),
+            fmt_f64(wins as f64 / c.trials as f64),
+            fmt_f64(rounds.mean()),
+        ]);
+    }
+    print!("{}", t.markdown());
+    Ok(())
+}
+
+fn cmd_hist(parsed: &Args) -> Result<(), String> {
+    let c = common(parsed)?;
+    let bins: usize = parsed.get_parsed("bins", 30usize).map_err(|e| e.to_string())?;
+    let engine = MeanFieldEngine::new(c.dynamics.as_ref());
+    let mc = MonteCarlo {
+        trials: c.trials,
+        threads: c.threads,
+        master_seed: c.seed,
+    };
+    let results = mc.run(|_, rng| engine.run(&c.cfg, &c.opts, rng));
+    let rounds: Vec<f64> = results
+        .iter()
+        .filter(|r| r.reason == StopReason::Stopped)
+        .map(|r| r.rounds_f64())
+        .collect();
+    if rounds.is_empty() {
+        return Err("no trial converged within --max-rounds".into());
+    }
+    let s = Summary::of(&rounds);
+    let lo = s.min().floor();
+    let hi = (s.max() + 1.0).ceil();
+    let mut hist = plurality_analysis::Histogram::new(lo, hi, bins);
+    hist.record_all(&rounds);
+    println!(
+        "{} rounds-to-consensus over {} converged trials (n = {}, k = {}, bias = {}):\n",
+        c.dynamics.name(),
+        rounds.len(),
+        c.cfg.n(),
+        c.cfg.k(),
+        c.cfg.bias()
+    );
+    print!("{}", hist.ascii(50));
+    println!(
+        "\nmean {} · sd {} · median {} · min {} · max {}",
+        fmt_f64(s.mean()),
+        fmt_f64(s.std_dev()),
+        fmt_f64(plurality_analysis::median(&rounds)),
+        fmt_f64(s.min()),
+        fmt_f64(s.max())
+    );
+    Ok(())
+}
+
+fn cmd_exact(parsed: &Args) -> Result<(), String> {
+    use plurality_exact::{ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterKernel};
+    let n: u64 = parsed.get_parsed("n", 20u64).map_err(|e| e.to_string())?;
+    let k: usize = parsed.get_parsed("k", 2usize).map_err(|e| e.to_string())?;
+    let h: usize = parsed.get_parsed("h", 5usize).map_err(|e| e.to_string())?;
+    let bias: u64 = parsed
+        .get("bias")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "exact: --bias must be an integer".to_string())?;
+    if bias > n {
+        return Err(format!("bias {bias} exceeds population {n}"));
+    }
+    let cfg = builders::biased(n, k, bias);
+    let chain = ExactChain::new(n, k);
+    println!(
+        "exact absorbing-chain analysis: n = {n}, k = {k}, start {:?} ({} states)\n",
+        cfg.counts(),
+        chain.state_count()
+    );
+    let mut t = Table::new(
+        "exact absorption (ground truth)",
+        &["kernel", "P(win color 0)", "P(win others)", "E[rounds]"],
+    );
+    let name = parsed.get("dynamics").unwrap_or("all");
+    let mut kernels: Vec<(&str, Box<dyn plurality_exact::AdoptionKernel>)> = Vec::new();
+    match name {
+        "3-majority" => kernels.push(("3-majority", Box::new(ThreeMajorityKernel))),
+        "voter" => kernels.push(("voter", Box::new(VoterKernel))),
+        "h-plurality" => kernels.push(("h-plurality", Box::new(HPluralityKernel { h }))),
+        "all" => {
+            kernels.push(("voter", Box::new(VoterKernel)));
+            kernels.push(("3-majority", Box::new(ThreeMajorityKernel)));
+            kernels.push(("h-plurality", Box::new(HPluralityKernel { h })));
+        }
+        other => {
+            return Err(format!(
+                "exact supports --dynamics voter|3-majority|h-plurality|all, got '{other}'"
+            ))
+        }
+    }
+    for (label, kernel) in &kernels {
+        let a = chain.analyze(kernel.as_ref(), cfg.counts());
+        let others: f64 = a.win_probability.iter().skip(1).sum();
+        t.push_row(vec![
+            (*label).to_string(),
+            fmt_f64(a.win_probability[0]),
+            fmt_f64(others),
+            fmt_f64(a.expected_rounds),
+        ]);
+    }
+    print!("{}", t.markdown());
+    Ok(())
+}

@@ -1,0 +1,557 @@
+//! Color configurations: the state of the plurality-consensus process.
+//!
+//! A *k-color configuration* (k-cd in the paper, §2) is a tuple
+//! `c = (c_1, …, c_k)` of non-negative integers with `Σ c_j = n`.  Unlike
+//! the paper — which sorts `c_1 ≥ c_2 ≥ …` without loss of generality —
+//! the simulator keeps color *identity*: colors are indices `0..k`, and the
+//! plurality/bias accessors compute order statistics on demand.  This is
+//! what lets an experiment check that the process converged to the
+//! *initial* plurality color rather than just to *some* color.
+
+use std::fmt;
+
+/// An exact integer color configuration.
+///
+/// Invariant: at least one color slot; the cached total always equals the
+/// sum of the counts.  All mutation goes through methods that preserve it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Configuration {
+    /// Wrap a counts vector.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty or the total overflows `u64`.
+    #[must_use]
+    pub fn new(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "configuration needs at least one color");
+        let total = counts
+            .iter()
+            .try_fold(0u64, |acc, &c| acc.checked_add(c))
+            .expect("configuration total overflows u64");
+        Self { counts, total }
+    }
+
+    /// Population size `n = Σ c_j`.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of color slots `k` (slots may hold zero nodes).
+    #[inline]
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The counts slice.
+    #[inline]
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of one color.
+    ///
+    /// # Panics
+    /// Panics if `color >= k`.
+    #[inline]
+    #[must_use]
+    pub fn count(&self, color: usize) -> u64 {
+        self.counts[color]
+    }
+
+    /// Plurality color and its count; ties broken toward the smallest
+    /// index (stable, so experiments can pin "the" plurality color at 0).
+    #[must_use]
+    pub fn plurality(&self) -> (usize, u64) {
+        let mut best = 0usize;
+        let mut best_count = self.counts[0];
+        for (j, &c) in self.counts.iter().enumerate().skip(1) {
+            if c > best_count {
+                best = j;
+                best_count = c;
+            }
+        }
+        (best, best_count)
+    }
+
+    /// The runner-up count `c_(2)` (largest count over colors other than
+    /// the plurality index). Zero when `k == 1`.
+    #[must_use]
+    pub fn second_count(&self) -> u64 {
+        let (p, _) = self.plurality();
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != p)
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Additive bias `s(c) = c_(1) − c_(2)` (paper §2).
+    #[must_use]
+    pub fn bias(&self) -> u64 {
+        let (_, c1) = self.plurality();
+        c1 - self.second_count()
+    }
+
+    /// If every node holds one color, that color.
+    #[must_use]
+    pub fn monochromatic(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts.iter().position(|&c| c == self.total)
+    }
+
+    /// Counts sorted in non-increasing order (the paper's canonical view).
+    #[must_use]
+    pub fn sorted_desc(&self) -> Vec<u64> {
+        let mut v = self.counts.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// The *monochromatic distance* `md(c) = Σ_j (c_j / c_max)²` of
+    /// Becchetti et al. SODA'15 — the quantity that governs the
+    /// undecided-state dynamics' convergence time (see DESIGN.md E10).
+    #[must_use]
+    pub fn monochromatic_distance(&self) -> f64 {
+        let (_, cmax) = self.plurality();
+        if cmax == 0 {
+            return 0.0;
+        }
+        let cm = cmax as f64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                let r = c as f64 / cm;
+                r * r
+            })
+            .sum()
+    }
+
+    /// Number of colors currently supported by at least one node.
+    #[must_use]
+    pub fn support(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Color fractions `c_j / n` as `f64` (kernel input).
+    #[must_use]
+    pub fn fractions(&self) -> Vec<f64> {
+        let n = self.total as f64;
+        self.counts.iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Shannon entropy (nats) of the color distribution.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        let n = self.total as f64;
+        self.counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    }
+
+    /// Sum of squared counts `Σ c_h²` (appears in the Lemma 1 kernel);
+    /// computed in `u128` to avoid overflow for `n` up to `2^64`.
+    #[must_use]
+    pub fn sum_of_squares(&self) -> u128 {
+        self.counts
+            .iter()
+            .map(|&c| u128::from(c) * u128::from(c))
+            .sum()
+    }
+
+    /// Move `amount` nodes from one color to another (adversary use).
+    ///
+    /// # Panics
+    /// Panics if `from` holds fewer than `amount` nodes or an index is out
+    /// of range.
+    pub fn transfer(&mut self, from: usize, to: usize, amount: u64) {
+        assert!(
+            self.counts[from] >= amount,
+            "transfer of {amount} exceeds count {} of color {from}",
+            self.counts[from]
+        );
+        self.counts[from] -= amount;
+        self.counts[to] += amount;
+    }
+
+    /// Append an empty state slot (lifting into a dynamics' extended state
+    /// space, e.g. the undecided state).
+    pub fn push_empty_state(&mut self) {
+        self.counts.push(0);
+    }
+
+    /// Replace the counts in place from a slice with the same total.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the slice total differs from `n`.
+    pub fn copy_from_slice(&mut self, counts: &[u64]) {
+        debug_assert_eq!(counts.iter().sum::<u64>(), self.total);
+        self.counts.clear();
+        self.counts.extend_from_slice(counts);
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[n={} |", self.total)?;
+        // Show up to 8 leading counts, then an ellipsis.
+        for (j, &c) in self.counts.iter().take(8).enumerate() {
+            write!(f, " {j}:{c}")?;
+        }
+        if self.counts.len() > 8 {
+            write!(f, " …(k={})", self.counts.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builders for every initial condition used in the paper's analysis.
+pub mod builders {
+    use super::Configuration;
+
+    /// Perfectly balanced-as-possible configuration: `n/k` per color, the
+    /// `n mod k` remainder spread one node each over the *last* colors so
+    /// that color 0 is never accidentally advantaged.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `n < k` leaves some color empty is allowed —
+    /// only `k == 0` panics.
+    #[must_use]
+    pub fn balanced(n: u64, k: usize) -> Configuration {
+        assert!(k > 0, "k must be positive");
+        let base = n / k as u64;
+        let rem = (n % k as u64) as usize;
+        let counts = (0..k)
+            .map(|j| base + u64::from(j >= k - rem))
+            .collect();
+        Configuration::new(counts)
+    }
+
+    /// Biased configuration of the paper's upper-bound theorems and of
+    /// Lemma 10: every non-plurality color holds `x = (n−s)/k` nodes and
+    /// color 0 holds `x + s` plus the integer remainder.  The realized
+    /// bias is therefore in `[s, s+k)`; read it back with
+    /// [`Configuration::bias`].
+    ///
+    /// # Panics
+    /// Panics if `s > n` or `k == 0`.
+    #[must_use]
+    pub fn biased(n: u64, k: usize, s: u64) -> Configuration {
+        assert!(k > 0, "k must be positive");
+        assert!(s <= n, "bias cannot exceed n");
+        let x = (n - s) / k as u64;
+        let rem = (n - s) % k as u64;
+        let mut counts = vec![x; k];
+        counts[0] += s + rem;
+        Configuration::new(counts)
+    }
+
+    /// The near-balanced start of Theorem 2: all colors at `n/k`, except
+    /// the plurality (color 0) raised by `⌊(n/k)^{1−ε}⌋`, the surplus taken
+    /// from the last color.  Requires `k | n` for exactness; the remainder
+    /// is spread like [`balanced`].
+    ///
+    /// # Panics
+    /// Panics if the imbalance exceeds the last color's count.
+    #[must_use]
+    pub fn near_balanced(n: u64, k: usize, eps: f64) -> Configuration {
+        let mut cfg = balanced(n, k);
+        let per = n / k as u64;
+        let imb = ((per as f64).powf(1.0 - eps)).floor() as u64;
+        assert!(
+            cfg.count(k - 1) > imb,
+            "imbalance {imb} would exhaust color {}",
+            k - 1
+        );
+        cfg.transfer(k - 1, 0, imb);
+        cfg
+    }
+
+    /// The three-color configuration of Lemma 8 / Theorem 3:
+    /// `(n/3 + s, n/3, n/3 − s)`, rounding absorbed by the middle color.
+    ///
+    /// # Panics
+    /// Panics if `s > n/3`.
+    #[must_use]
+    pub fn three_colors(n: u64, s: u64) -> Configuration {
+        let base = n / 3;
+        assert!(s <= base, "s must be at most n/3");
+        let rem = n - 3 * base;
+        Configuration::new(vec![base + s, base + rem, base - s])
+    }
+
+    /// Geometric profile: color `j` weighted `ratio^j` (`0 < ratio ≤ 1`),
+    /// integerized by largest-remainder so the total is exactly `n`.
+    /// Sweeping `ratio` sweeps the monochromatic distance (experiment E10).
+    ///
+    /// # Panics
+    /// Panics if `ratio` is not in `(0, 1]` or `k == 0`.
+    #[must_use]
+    pub fn geometric(n: u64, k: usize, ratio: f64) -> Configuration {
+        assert!(k > 0, "k must be positive");
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+        let weights: Vec<f64> = (0..k).map(|j| ratio.powi(j as i32)).collect();
+        Configuration::new(integerize(n, &weights))
+    }
+
+    /// "Almost all nodes on few colors": `heavy` colors share `n − (k −
+    /// heavy)` nodes equally (color 0 gets a `+bias` edge), every other
+    /// color holds exactly one node.  This is the family on which the
+    /// undecided-state dynamics is exponentially faster than 3-majority
+    /// (paper's Related Work, citing SODA'15).
+    ///
+    /// # Panics
+    /// Panics if `heavy == 0`, `heavy > k`, or `n` is too small.
+    #[must_use]
+    pub fn polylog_support(n: u64, k: usize, heavy: usize, bias: u64) -> Configuration {
+        assert!(heavy > 0 && heavy <= k, "need 0 < heavy <= k");
+        let light = (k - heavy) as u64;
+        assert!(n > light + bias, "population too small");
+        let heavy_mass = n - light - bias;
+        let base = heavy_mass / heavy as u64;
+        let rem = heavy_mass % heavy as u64;
+        let mut counts = vec![1u64; k];
+        for (j, c) in counts.iter_mut().take(heavy).enumerate() {
+            *c = base + u64::from((j as u64) < rem);
+        }
+        counts[0] += bias;
+        Configuration::new(counts)
+    }
+
+    /// Two-color configuration `(n/2 + s/2, n/2 − s/2)` with bias ≈ `s`
+    /// (exact when `n` and `s` are even): the binary case where 3-majority
+    /// meets the median process of Doerr et al.
+    ///
+    /// # Panics
+    /// Panics if `s > n`.
+    #[must_use]
+    pub fn binary(n: u64, s: u64) -> Configuration {
+        assert!(s <= n, "bias cannot exceed n");
+        let minority = (n - s) / 2;
+        Configuration::new(vec![n - minority, minority])
+    }
+
+    /// Largest-remainder integerization of non-negative weights to total
+    /// exactly `n`.
+    fn integerize(n: u64, weights: &[f64]) -> Vec<u64> {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must have positive total");
+        let mut counts: Vec<u64> = Vec::with_capacity(weights.len());
+        let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+        let mut assigned: u64 = 0;
+        for (j, &w) in weights.iter().enumerate() {
+            let ideal = w / total * n as f64;
+            let fl = ideal.floor();
+            counts.push(fl as u64);
+            assigned += fl as u64;
+            fracs.push((ideal - fl, j));
+        }
+        let mut short = (n - assigned) as usize;
+        // Give the leftover units to the largest fractional parts
+        // (ties broken by color index for determinism).
+        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(_, j) in fracs.iter().take(short.min(fracs.len())) {
+            counts[j] += 1;
+        }
+        short = short.saturating_sub(fracs.len());
+        // Degenerate case (all weights zero handled above): dump remainder.
+        counts[0] += short as u64;
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::builders::*;
+    use super::*;
+
+    #[test]
+    fn new_computes_total() {
+        let c = Configuration::new(vec![3, 0, 7]);
+        assert_eq!(c.n(), 10);
+        assert_eq!(c.k(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one color")]
+    fn new_rejects_empty() {
+        let _ = Configuration::new(vec![]);
+    }
+
+    #[test]
+    fn plurality_tie_breaks_low_index() {
+        let c = Configuration::new(vec![5, 7, 7, 1]);
+        assert_eq!(c.plurality(), (1, 7));
+        assert_eq!(c.second_count(), 7);
+        assert_eq!(c.bias(), 0);
+    }
+
+    #[test]
+    fn bias_of_sorted_view() {
+        let c = Configuration::new(vec![2, 10, 5]);
+        assert_eq!(c.bias(), 5);
+        assert_eq!(c.sorted_desc(), vec![10, 5, 2]);
+    }
+
+    #[test]
+    fn monochromatic_detection() {
+        assert_eq!(Configuration::new(vec![0, 9, 0]).monochromatic(), Some(1));
+        assert_eq!(Configuration::new(vec![1, 8, 0]).monochromatic(), None);
+    }
+
+    #[test]
+    fn monochromatic_distance_examples() {
+        // Uniform over k colors: md = k (each ratio is 1).
+        let c = Configuration::new(vec![4, 4, 4]);
+        assert!((c.monochromatic_distance() - 3.0).abs() < 1e-12);
+        // One dominant color: md → 1.
+        let d = Configuration::new(vec![1_000_000, 1, 1]);
+        assert!((d.monochromatic_distance() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let u = Configuration::new(vec![5, 5, 5, 5]);
+        assert!((u.entropy() - (4.0f64).ln()).abs() < 1e-12);
+        let m = Configuration::new(vec![20, 0, 0, 0]);
+        assert_eq!(m.entropy(), 0.0);
+    }
+
+    #[test]
+    fn transfer_preserves_total() {
+        let mut c = Configuration::new(vec![6, 4]);
+        c.transfer(0, 1, 3);
+        assert_eq!(c.counts(), &[3, 7]);
+        assert_eq!(c.n(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds count")]
+    fn transfer_rejects_overdraw() {
+        let mut c = Configuration::new(vec![2, 4]);
+        c.transfer(0, 1, 3);
+    }
+
+    #[test]
+    fn sum_of_squares_exact() {
+        let c = Configuration::new(vec![3, 4]);
+        assert_eq!(c.sum_of_squares(), 25);
+        // Values that would overflow u64 squared.
+        let big = Configuration::new(vec![1 << 40, 1 << 40]);
+        assert_eq!(c.k(), 2);
+        assert_eq!(big.sum_of_squares(), 2 * (1u128 << 80));
+    }
+
+    #[test]
+    fn builder_balanced_exact_total() {
+        for (n, k) in [(10u64, 3usize), (7, 7), (100, 6), (5, 10)] {
+            let c = balanced(n, k);
+            assert_eq!(c.n(), n, "n={n} k={k}");
+            assert_eq!(c.k(), k);
+            let sorted = c.sorted_desc();
+            assert!(sorted[0] - sorted[k - 1] <= 1, "spread > 1");
+        }
+    }
+
+    #[test]
+    fn builder_balanced_remainder_goes_last() {
+        let c = balanced(11, 3);
+        assert_eq!(c.counts(), &[3, 4, 4]);
+    }
+
+    #[test]
+    fn builder_biased_bias_at_least_s() {
+        for (n, k, s) in [(1000u64, 5usize, 100u64), (999, 7, 50), (10_000, 32, 333)] {
+            let c = biased(n, k, s);
+            assert_eq!(c.n(), n);
+            assert!(c.bias() >= s, "bias {} < s {s}", c.bias());
+            assert!(c.bias() < s + k as u64);
+            assert_eq!(c.plurality().0, 0);
+        }
+    }
+
+    #[test]
+    fn builder_biased_exact_when_divisible() {
+        let c = biased(1000, 4, 200); // (1000-200)/4 = 200 exactly
+        assert_eq!(c.counts(), &[400, 200, 200, 200]);
+        assert_eq!(c.bias(), 200);
+    }
+
+    #[test]
+    fn builder_near_balanced_matches_theorem2() {
+        let n = 1_000_000u64;
+        let k = 10usize;
+        let c = near_balanced(n, k, 0.5);
+        assert_eq!(c.n(), n);
+        let per = n / k as u64; // 100_000
+        let imb = ((per as f64).powf(0.5)).floor() as u64; // 316
+        assert_eq!(c.count(0), per + imb);
+        assert_eq!(c.count(k - 1), per - imb);
+        assert!(c.plurality().1 <= per + imb);
+    }
+
+    #[test]
+    fn builder_three_colors() {
+        let c = three_colors(1_000, 30);
+        assert_eq!(c.n(), 1_000);
+        assert_eq!(c.counts(), &[363, 334, 303]);
+        assert_eq!(c.plurality().0, 0);
+    }
+
+    #[test]
+    fn builder_geometric_monotone() {
+        let c = geometric(10_000, 8, 0.5);
+        assert_eq!(c.n(), 10_000);
+        for w in c.counts().windows(2) {
+            assert!(w[0] >= w[1], "geometric counts must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn builder_geometric_uniform_ratio_one() {
+        let c = geometric(100, 4, 1.0);
+        assert_eq!(c.sorted_desc(), vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn builder_polylog_support() {
+        let c = polylog_support(1_000_000, 1000, 4, 100);
+        assert_eq!(c.n(), 1_000_000);
+        assert_eq!(c.plurality().0, 0);
+        // 996 light colors hold one node each.
+        assert_eq!(c.counts().iter().filter(|&&x| x == 1).count(), 996);
+        assert!(c.bias() >= 100);
+    }
+
+    #[test]
+    fn builder_binary() {
+        let c = binary(1000, 100);
+        assert_eq!(c.counts(), &[550, 450]);
+        assert_eq!(c.bias(), 100);
+        let odd = binary(1001, 100);
+        assert_eq!(odd.n(), 1001);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Configuration::new(vec![1, 2, 3]);
+        let s = format!("{c}");
+        assert!(s.contains("n=6"));
+    }
+}

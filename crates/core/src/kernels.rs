@@ -1,0 +1,307 @@
+//! Closed-form mean-field transition kernels shared by the dynamics.
+//!
+//! On the clique, each node's next state is i.i.d. given the current
+//! configuration `c`, so one exact round is a multinomial draw with the
+//! per-node adoption probabilities `p_j = P(node adopts j | c)`.  This
+//! module computes those probability vectors:
+//!
+//! * [`three_majority_probs`] — Lemma 1 of the paper, in closed form;
+//! * [`h_plurality_probs`] — exact enumeration over all size-`h` sample
+//!   multisets (feasible when `C(h+k−1, h)` is small; the engines fall
+//!   back to explicit per-node simulation otherwise).
+
+/// Per-node adoption probabilities of the 3-majority dynamics (Lemma 1):
+///
+/// `p_j = (c_j / n³) · (n² + c_j·n − Σ_h c_h²)`.
+///
+/// Writes into `out` (same length as `counts`); the result is normalized
+/// defensively against f64 drift so downstream multinomials stay exact.
+///
+/// # Panics
+/// Panics if lengths differ or the population is zero.
+pub fn three_majority_probs(counts: &[u64], out: &mut [f64]) {
+    assert_eq!(counts.len(), out.len(), "length mismatch");
+    let n: u64 = counts.iter().sum();
+    assert!(n > 0, "population must be positive");
+    let n_f = n as f64;
+    let sum_sq: u128 = counts.iter().map(|&c| u128::from(c) * u128::from(c)).sum();
+    let sum_sq_f = sum_sq as f64;
+    let n3 = n_f * n_f * n_f;
+    for (p, &c) in out.iter_mut().zip(counts) {
+        let c_f = c as f64;
+        *p = c_f * (n_f * n_f + c_f * n_f - sum_sq_f) / n3;
+    }
+    normalize_in_place(out);
+}
+
+/// Number of sample multisets `C(h+k−1, h)` if it fits the enumeration
+/// budget, else `None`.  Used to decide between the exact enumeration
+/// kernel and per-node simulation.
+#[must_use]
+pub fn multiset_count(k: usize, h: usize) -> Option<u64> {
+    // C(h+k-1, h) computed incrementally with overflow/budget guards.
+    let mut acc: u64 = 1;
+    for i in 1..=h as u64 {
+        let num = (k as u64 - 1).checked_add(i)?;
+        acc = acc.checked_mul(num)?;
+        acc /= i;
+        if acc > ENUMERATION_BUDGET {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Maximum number of multisets the enumeration kernel will visit.
+pub const ENUMERATION_BUDGET: u64 = 2_000_000;
+
+/// Exact per-node adoption probabilities of the `h`-plurality dynamics:
+/// plurality over `h` u.a.r. samples, ties broken u.a.r. among the
+/// most-frequent colors seen.
+///
+/// Returns `false` (leaving `out` untouched) when the enumeration would
+/// exceed [`ENUMERATION_BUDGET`]; the caller then uses the per-node path.
+///
+/// # Panics
+/// Panics if lengths differ, `h == 0`, or the population is zero.
+pub fn h_plurality_probs(counts: &[u64], h: usize, out: &mut [f64]) -> bool {
+    assert_eq!(counts.len(), out.len(), "length mismatch");
+    assert!(h > 0, "h must be positive");
+    let n: u64 = counts.iter().sum();
+    assert!(n > 0, "population must be positive");
+    if multiset_count(counts.len(), h).is_none() {
+        return false;
+    }
+
+    let n_f = n as f64;
+    let fracs: Vec<f64> = counts.iter().map(|&c| c as f64 / n_f).collect();
+    out.fill(0.0);
+
+    // DFS over compositions (m_0, …, m_{k−1}) of h.  `weight` carries the
+    // multinomial probability of the partial assignment:
+    //   weight = h!/(m_0!…m_i!) · Π p_j^{m_j} · (remaining factor TBD)
+    // maintained incrementally via C(rem_before, m_i).
+    struct Dfs<'a> {
+        fracs: &'a [f64],
+        out: &'a mut [f64],
+        multiset: Vec<usize>,
+    }
+
+    impl Dfs<'_> {
+        fn go(&mut self, color: usize, remaining: usize, weight: f64) {
+            if weight == 0.0 {
+                return;
+            }
+            let k = self.fracs.len();
+            if color == k - 1 {
+                // Last color absorbs the remainder.
+                let p = self.fracs[color];
+                let w = if remaining == 0 {
+                    weight
+                } else if p == 0.0 {
+                    0.0
+                } else {
+                    weight * p.powi(remaining as i32)
+                };
+                if w > 0.0 {
+                    self.multiset[color] = remaining;
+                    self.credit(w);
+                    self.multiset[color] = 0;
+                }
+                return;
+            }
+            let p = self.fracs[color];
+            // m = 0 branch: binomial factor C(remaining, 0) = 1.
+            self.go(color + 1, remaining, weight);
+            if p == 0.0 {
+                return;
+            }
+            let mut w = weight;
+            for m in 1..=remaining {
+                // Multiply by C(rem − m + 1 .. ) step: C(rem, m) p^m built
+                // incrementally: w_m = w_{m−1} · p · (remaining − m + 1)/m.
+                w *= p * ((remaining - m + 1) as f64) / m as f64;
+                self.multiset[color] = m;
+                self.go(color + 1, remaining - m, w);
+            }
+            self.multiset[color] = 0;
+        }
+
+        /// Distribute `w` to the plurality color(s) of the current
+        /// multiset, splitting ties uniformly.
+        fn credit(&mut self, w: f64) {
+            let max = *self.multiset.iter().max().expect("nonempty");
+            debug_assert!(max > 0);
+            let winners = self.multiset.iter().filter(|&&m| m == max).count();
+            let share = w / winners as f64;
+            for (j, &m) in self.multiset.iter().enumerate() {
+                if m == max {
+                    self.out[j] += share;
+                }
+            }
+        }
+
+    }
+
+    let k = counts.len();
+    let mut dfs = Dfs {
+        fracs: &fracs,
+        out,
+        multiset: vec![0usize; k],
+    };
+    dfs.go(0, h, 1.0);
+    normalize_in_place(out);
+    true
+}
+
+/// Clamp tiny negative rounding to zero and rescale so `Σ p = 1`.
+///
+/// # Panics
+/// Panics if the vector has no positive mass (kernel bug).
+pub fn normalize_in_place(probs: &mut [f64]) {
+    let mut total = 0.0;
+    for p in probs.iter_mut() {
+        if *p < 0.0 {
+            debug_assert!(*p > -1e-9, "kernel produced {p}, not mere rounding");
+            *p = 0.0;
+        }
+        total += *p;
+    }
+    assert!(total > 0.0, "kernel probabilities sum to zero");
+    if (total - 1.0).abs() > f64::EPSILON {
+        for p in probs.iter_mut() {
+            *p /= total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_sums_to_one() {
+        let counts = [400u64, 350, 250];
+        let mut p = [0.0; 3];
+        three_majority_probs(&counts, &mut p);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_closed_form_spot_check() {
+        // Hand-computed: c = (2, 1), n = 3.
+        // Σc² = 5. p_0 = 2(9 + 6 − 5)/27 = 20/27, p_1 = 1(9+3−5)/27 = 7/27.
+        let mut p = [0.0; 2];
+        three_majority_probs(&[2, 1], &mut p);
+        assert!((p[0] - 20.0 / 27.0).abs() < 1e-12, "p0 = {}", p[0]);
+        assert!((p[1] - 7.0 / 27.0).abs() < 1e-12, "p1 = {}", p[1]);
+    }
+
+    #[test]
+    fn lemma1_monochromatic_absorbing() {
+        let mut p = [0.0; 3];
+        three_majority_probs(&[0, 10, 0], &mut p);
+        assert_eq!(p, [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn lemma1_bias_amplification_direction() {
+        // Lemma 2: µ1 − µ2 ≥ s(1 + (c1/n)(1 − c1/n)); check the expected
+        // counts indeed widen the gap.
+        let counts = [600u64, 400];
+        let n = 1000.0;
+        let mut p = [0.0; 2];
+        three_majority_probs(&counts, &mut p);
+        let gap_next = n * (p[0] - p[1]);
+        let s = 200.0;
+        let c1 = 0.6;
+        assert!(gap_next >= s * (1.0 + c1 * (1.0 - c1)) - 1e-9,
+            "gap {gap_next}");
+    }
+
+    #[test]
+    fn h3_plurality_matches_lemma1() {
+        // h = 3 plurality with u.a.r. ties is the same law as 3-majority
+        // (paper §2: the tie rule does not matter).
+        let counts = [500u64, 300, 150, 50];
+        let mut a = [0.0; 4];
+        let mut b = [0.0; 4];
+        three_majority_probs(&counts, &mut a);
+        assert!(h_plurality_probs(&counts, 3, &mut b));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn h1_plurality_is_voter() {
+        let counts = [700u64, 200, 100];
+        let mut p = [0.0; 3];
+        assert!(h_plurality_probs(&counts, 1, &mut p));
+        assert!((p[0] - 0.7).abs() < 1e-12);
+        assert!((p[1] - 0.2).abs() < 1e-12);
+        assert!((p[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h2_plurality_is_voter_in_law() {
+        // Two samples with u.a.r. tie-break: p_j = p² + p(1−p) = p.
+        let counts = [600u64, 250, 150];
+        let mut p = [0.0; 3];
+        assert!(h_plurality_probs(&counts, 2, &mut p));
+        assert!((p[0] - 0.6).abs() < 1e-12, "p0 = {}", p[0]);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h5_sums_to_one_and_favors_plurality() {
+        let counts = [500u64, 300, 200];
+        let mut p3 = [0.0; 3];
+        let mut p5 = [0.0; 3];
+        assert!(h_plurality_probs(&counts, 3, &mut p3));
+        assert!(h_plurality_probs(&counts, 5, &mut p5));
+        assert!((p5.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Larger samples amplify the plurality more strongly.
+        assert!(p5[0] > p3[0], "p5 {:?} p3 {:?}", p5, p3);
+        assert!(p5[2] < p3[2]);
+    }
+
+    #[test]
+    fn h_plurality_zero_count_color_never_adopted() {
+        let counts = [500u64, 0, 500];
+        let mut p = [0.0; 3];
+        assert!(h_plurality_probs(&counts, 5, &mut p));
+        assert_eq!(p[1], 0.0);
+    }
+
+    #[test]
+    fn enumeration_budget_declines_large_cases() {
+        // k = 200, h = 33: astronomically many multisets.
+        assert!(multiset_count(200, 33).is_none());
+        let counts = vec![5u64; 200];
+        let mut p = vec![0.0; 200];
+        assert!(!h_plurality_probs(&counts, 33, &mut p));
+    }
+
+    #[test]
+    fn multiset_count_small_values() {
+        assert_eq!(multiset_count(3, 3), Some(10)); // C(5,3)
+        assert_eq!(multiset_count(2, 4), Some(5)); // C(5,4)
+        assert_eq!(multiset_count(1, 7), Some(1));
+    }
+
+    #[test]
+    fn normalize_fixes_drift() {
+        let mut p = [0.5000000001, 0.4999999999, -1e-15];
+        normalize_in_place(&mut p);
+        assert!(p[2] >= 0.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn normalize_rejects_zero_mass() {
+        let mut p = [0.0, 0.0];
+        normalize_in_place(&mut p);
+    }
+}

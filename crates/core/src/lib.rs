@@ -1,0 +1,74 @@
+//! Core objects of *Simple Dynamics for Plurality Consensus* (Becchetti,
+//! Clementi, Natale, Pasquale, Silvestri, Trevisan — SPAA'14 / Distributed
+//! Computing 2017): color configurations and the full zoo of anonymous
+//! synchronous dynamics the paper studies or compares against.
+//!
+//! # The problem
+//!
+//! `n` anonymous agents each support a color from `[k]`; the initial
+//! configuration has additive bias `s = c₍₁₎ − c₍₂₎` toward a plurality
+//! color.  A *dynamics* is a memoryless synchronous update rule by which
+//! every agent resamples its color from a few random peers.  The goal is
+//! **plurality consensus**: absorb in the monochromatic configuration of
+//! the initial plurality color.
+//!
+//! # What lives here
+//!
+//! * [`config::Configuration`] — exact integer configurations, with
+//!   builders for every initial condition the paper's theorems use;
+//! * [`dynamics::Dynamics`] — the common interface (per-node rule +
+//!   exact mean-field kernel on the clique);
+//! * [`majority::ThreeMajority`] — the paper's protagonist (Lemma 1
+//!   kernel);
+//! * [`majority::HPlurality`] — the `h`-sample generalization (§4.3);
+//! * [`voter`] — voter/polling, 2-sample, and 2-choices baselines;
+//! * [`median`] — the median dynamics of Doerr et al. (SPAA'11), in both
+//!   the own+2-samples and 3-samples variants;
+//! * [`undecided`] — the undecided-state dynamics (SODA'15 comparator);
+//! * [`noisy::NoisyThreeMajority`] — 3-majority under uniform
+//!   communication noise (follow-up literature; phase transition at
+//!   `p = 1/(k+1)`);
+//! * [`d3::TableD3`] — the whole class `D3(k)` of color-symmetric
+//!   3-input rules, with the paper's clear-majority / uniform property
+//!   checkers and the Lemma 8 counterexamples.
+//!
+//! # Quick start
+//!
+//! ```
+//! use plurality_core::config::builders;
+//! use plurality_core::dynamics::Dynamics;
+//! use plurality_core::majority::ThreeMajority;
+//! use plurality_sampling::stream_rng;
+//!
+//! // n = 100k nodes, k = 8 colors, bias 4000 toward color 0.
+//! let cfg = builders::biased(100_000, 8, 4_000);
+//! let dynamics = ThreeMajority::new();
+//! let mut rng = stream_rng(1, 0);
+//!
+//! // One exact synchronous round on the clique (O(k) time).
+//! let mut next = vec![0u64; cfg.k()];
+//! dynamics.step_mean_field(cfg.counts(), &mut next, &mut rng);
+//! assert_eq!(next.iter().sum::<u64>(), 100_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod d3;
+pub mod dynamics;
+pub mod kernels;
+pub mod majority;
+pub mod median;
+pub mod noisy;
+pub mod undecided;
+pub mod voter;
+
+pub use config::{builders, Configuration};
+pub use d3::{ClearRule, TableD3};
+pub use dynamics::{CliqueSampler, Dynamics, NodeScratch, StateSampler};
+pub use majority::{HPlurality, ThreeMajority, TieRule};
+pub use median::{Median3, MedianOwn};
+pub use noisy::NoisyThreeMajority;
+pub use undecided::UndecidedState;
+pub use voter::{TwoChoices, TwoSample, Voter};

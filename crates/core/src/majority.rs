@@ -1,0 +1,318 @@
+//! The paper's protagonist: the **3-majority dynamics**, and its
+//! generalization, the **h-plurality dynamics** (paper §1 and §4.3).
+//!
+//! * 3-majority: sample three nodes u.a.r. (self included, with
+//!   repetition) and adopt the majority color of the sample; on three
+//!   distinct colors, take the first (the paper notes this is equivalent
+//!   to a u.a.r. tie-break).
+//! * h-plurality: sample `h` nodes and adopt the plurality color of the
+//!   sample, ties broken u.a.r.  `h = 1` is the voter/polling rule, and
+//!   `h = 3` coincides in law with 3-majority.
+
+use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use crate::kernels::{h_plurality_probs, three_majority_probs};
+use plurality_sampling::multinomial::sample_multinomial;
+use rand::{Rng, RngCore};
+
+/// Tie-breaking rule when all three samples are distinct.
+///
+/// The paper (§2) observes these produce the same process law; we keep
+/// both to verify that claim empirically (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieRule {
+    /// Adopt the first sampled color (the paper's stated rule).
+    #[default]
+    FirstSample,
+    /// Adopt a uniformly random one of the three.
+    UniformRandom,
+}
+
+/// The 3-majority dynamics with its exact Lemma 1 mean-field kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreeMajority {
+    /// Tie handling on three distinct samples.
+    pub tie_rule: TieRule,
+}
+
+impl ThreeMajority {
+    /// 3-majority with the paper's first-sample tie rule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 3-majority breaking three-way ties uniformly at random.
+    #[must_use]
+    pub fn with_uniform_ties() -> Self {
+        Self {
+            tie_rule: TieRule::UniformRandom,
+        }
+    }
+}
+
+impl Dynamics for ThreeMajority {
+    fn name(&self) -> String {
+        "3-majority".into()
+    }
+
+    fn node_update(
+        &self,
+        _own: u32,
+        sampler: &mut dyn StateSampler,
+        _scratch: &mut NodeScratch,
+        rng: &mut dyn RngCore,
+    ) -> u32 {
+        let a = sampler.sample_state(rng);
+        let b = sampler.sample_state(rng);
+        let c = sampler.sample_state(rng);
+        // Majority if any two agree; otherwise the tie rule.
+        if a == b || a == c {
+            a
+        } else if b == c {
+            b
+        } else {
+            match self.tie_rule {
+                TieRule::FirstSample => a,
+                TieRule::UniformRandom => match rng.gen_range(0..3u8) {
+                    0 => a,
+                    1 => b,
+                    _ => c,
+                },
+            }
+        }
+    }
+
+    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
+        let n: u64 = cur.iter().sum();
+        let mut probs = vec![0.0f64; cur.len()];
+        three_majority_probs(cur, &mut probs);
+        sample_multinomial(n, &probs, next, rng);
+    }
+
+    fn has_fast_kernel(&self) -> bool {
+        true
+    }
+}
+
+/// The h-plurality dynamics: adopt the plurality among `h` u.a.r. samples,
+/// ties broken u.a.r. among the most frequent sampled colors.
+///
+/// Mean-field rounds use exact multiset enumeration when
+/// `C(h+k−1, h)` is within budget and fall back to explicit per-node
+/// simulation otherwise (both exact; see `plurality-core::kernels`).
+#[derive(Debug, Clone, Copy)]
+pub struct HPlurality {
+    /// Sample size `h ≥ 1`.
+    pub h: usize,
+}
+
+impl HPlurality {
+    /// h-plurality with the given sample size.
+    ///
+    /// # Panics
+    /// Panics if `h == 0`.
+    #[must_use]
+    pub fn new(h: usize) -> Self {
+        assert!(h > 0, "h must be positive");
+        Self { h }
+    }
+}
+
+impl Dynamics for HPlurality {
+    fn name(&self) -> String {
+        format!("{}-plurality", self.h)
+    }
+
+    fn node_update(
+        &self,
+        _own: u32,
+        sampler: &mut dyn StateSampler,
+        scratch: &mut NodeScratch,
+        rng: &mut dyn RngCore,
+    ) -> u32 {
+        // Tally h samples, tracking the running maximum.
+        let mut best_count = 0u32;
+        for _ in 0..self.h {
+            let s = sampler.sample_state(rng);
+            scratch.ensure_states(s as usize + 1);
+            scratch.tally(s);
+            let c = scratch.counts[s as usize];
+            if c > best_count {
+                best_count = c;
+            }
+        }
+        // Uniform choice among the argmax colors via reservoir sampling
+        // over the touched set (≤ h entries).
+        let mut winner = u32::MAX;
+        let mut seen = 0u32;
+        for &state in &scratch.touched {
+            if scratch.counts[state as usize] == best_count {
+                seen += 1;
+                if rng.gen_range(0..seen) == 0 {
+                    winner = state;
+                }
+            }
+        }
+        scratch.clear_counts();
+        debug_assert_ne!(winner, u32::MAX);
+        winner
+    }
+
+    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
+        let n: u64 = cur.iter().sum();
+        let mut probs = vec![0.0f64; cur.len()];
+        if h_plurality_probs(cur, self.h, &mut probs) {
+            sample_multinomial(n, &probs, next, rng);
+        } else {
+            crate::dynamics::generic_clique_step(self, cur, next, rng);
+        }
+    }
+
+    fn has_fast_kernel(&self) -> bool {
+        // Only when enumeration is feasible; report conservatively.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::CliqueSampler;
+    use plurality_sampling::{CountSampler, Xoshiro256PlusPlus};
+    use rand::SeedableRng;
+
+    fn node_update_frequencies(
+        d: &dyn Dynamics,
+        counts: &[u64],
+        trials: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let cs = CountSampler::new(counts);
+        let mut sampler = CliqueSampler::new(&cs);
+        let mut scratch = NodeScratch::with_states(counts.len());
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut freq = vec![0u64; counts.len()];
+        for _ in 0..trials {
+            let s = d.node_update(0, &mut sampler, &mut scratch, &mut rng);
+            freq[s as usize] += 1;
+        }
+        freq.iter().map(|&f| f as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn three_majority_node_rule_matches_lemma1() {
+        let counts = [500u64, 300, 200];
+        let mut expect = [0.0; 3];
+        crate::kernels::three_majority_probs(&counts, &mut expect);
+        let freq = node_update_frequencies(&ThreeMajority::new(), &counts, 200_000, 1);
+        for (j, (&f, &e)) in freq.iter().zip(&expect).enumerate() {
+            let sigma = (e * (1.0 - e) / 200_000.0).sqrt();
+            assert!((f - e).abs() < 5.0 * sigma, "color {j}: {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn tie_rules_agree_in_law() {
+        // Paper §2: first-sample vs uniform tie-breaking is immaterial.
+        let counts = [400u64, 350, 250];
+        let f_first = node_update_frequencies(&ThreeMajority::new(), &counts, 300_000, 2);
+        let f_unif =
+            node_update_frequencies(&ThreeMajority::with_uniform_ties(), &counts, 300_000, 3);
+        for (j, (&a, &b)) in f_first.iter().zip(&f_unif).enumerate() {
+            // Two independent estimates of the same probability.
+            let sigma = (2.0 * 0.5 * 0.5 / 300_000.0f64).sqrt();
+            assert!((a - b).abs() < 6.0 * sigma, "color {j}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn h3_node_rule_matches_three_majority_law() {
+        let counts = [500u64, 300, 200];
+        let f3 = node_update_frequencies(&ThreeMajority::new(), &counts, 300_000, 4);
+        let fh = node_update_frequencies(&HPlurality::new(3), &counts, 300_000, 5);
+        for (j, (&a, &b)) in f3.iter().zip(&fh).enumerate() {
+            let sigma = (2.0 * 0.5 * 0.5 / 300_000.0f64).sqrt();
+            assert!((a - b).abs() < 6.0 * sigma, "color {j}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn h_plurality_node_rule_matches_enumeration_kernel() {
+        let counts = [450u64, 350, 200];
+        let mut expect = [0.0; 3];
+        assert!(h_plurality_probs(&counts, 5, &mut expect));
+        let freq = node_update_frequencies(&HPlurality::new(5), &counts, 200_000, 6);
+        for (j, (&f, &e)) in freq.iter().zip(&expect).enumerate() {
+            let sigma = (e.max(1e-9) * (1.0 - e) / 200_000.0).sqrt();
+            assert!((f - e).abs() < 6.0 * sigma, "color {j}: {f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn mean_field_step_preserves_population() {
+        let d = ThreeMajority::new();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let cur = [600u64, 250, 150];
+        let mut next = [0u64; 3];
+        d.step_mean_field(&cur, &mut next, &mut rng);
+        assert_eq!(next.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn mean_field_absorbs_consensus() {
+        let d = ThreeMajority::new();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let cur = [0u64, 0, 12345];
+        let mut next = [0u64; 3];
+        d.step_mean_field(&cur, &mut next, &mut rng);
+        assert_eq!(next, [0, 0, 12345]);
+    }
+
+    #[test]
+    fn h_plurality_large_k_falls_back_and_preserves_population() {
+        let d = HPlurality::new(9);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let cur = vec![10u64; 300]; // enumeration infeasible
+        let mut next = vec![0u64; 300];
+        d.step_mean_field(&cur, &mut next, &mut rng);
+        assert_eq!(next.iter().sum::<u64>(), 3000);
+    }
+
+    #[test]
+    fn h_plurality_amplifies_with_h() {
+        // One mean-field round from a biased start: larger h should give
+        // the plurality a larger expected boost.
+        let cur = [6_000u64, 4_000];
+        let trials = 300;
+        let mut mean_gain = Vec::new();
+        for (h, seed) in [(3usize, 10u64), (9, 11)] {
+            let d = HPlurality::new(h);
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            let mut next = [0u64; 2];
+            let mut acc = 0i64;
+            for _ in 0..trials {
+                d.step_mean_field(&cur, &mut next, &mut rng);
+                acc += next[0] as i64 - cur[0] as i64;
+            }
+            mean_gain.push(acc as f64 / trials as f64);
+        }
+        assert!(
+            mean_gain[1] > mean_gain[0],
+            "9-plurality gain {} should exceed 3-plurality gain {}",
+            mean_gain[1],
+            mean_gain[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "h must be positive")]
+    fn h_zero_rejected() {
+        let _ = HPlurality::new(0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ThreeMajority::new().name(), "3-majority");
+        assert_eq!(HPlurality::new(7).name(), "7-plurality");
+    }
+}

@@ -1,0 +1,258 @@
+//! 3-majority under **uniform communication noise** — the extension
+//! studied in the follow-up literature (d'Amore–Clementi–Natale): each of
+//! the three sampled messages is independently replaced, with probability
+//! `p`, by a uniformly random color.
+//!
+//! The effective sample distribution becomes
+//! `q_j = (1−p)·c_j/n + p/k`, and the round is still a multinomial with
+//! Lemma 1 evaluated at `q` — samples remain i.i.d.  With `p > 0` the
+//! monochromatic states are no longer absorbing: the object of study is
+//! the *equilibrium bias*.  Linearizing the mean map around the uniform
+//! configuration gives a per-round bias growth factor of
+//! `(1−p)(1 + 1/k)`, so the dynamics keeps (breaks toward) a plurality
+//! iff `p < 1/(k+1)` — a sharp phase transition that experiment E13
+//! measures (`p* = 1/3` for k = 2, matching the published threshold).
+
+use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use plurality_sampling::multinomial::sample_multinomial;
+use rand::{Rng, RngCore};
+
+/// 3-majority where each sample is uniform noise with probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisyThreeMajority {
+    noise: f64,
+    k_colors: usize,
+}
+
+impl NoisyThreeMajority {
+    /// Construct for `k` colors with per-message noise probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]` or `k == 0`.
+    #[must_use]
+    pub fn new(k_colors: usize, noise: f64) -> Self {
+        assert!((0.0..=1.0).contains(&noise), "noise must be in [0,1]");
+        assert!(k_colors > 0, "need at least one color");
+        Self { noise, k_colors }
+    }
+
+    /// The noise probability.
+    #[must_use]
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// The critical noise of the uniform phase transition, `1/(k+1)`.
+    #[must_use]
+    pub fn critical_noise(k_colors: usize) -> f64 {
+        1.0 / (k_colors as f64 + 1.0)
+    }
+
+    /// Effective sample distribution `q_j = (1−p)c_j/n + p/k`.
+    fn effective_probs(&self, counts: &[u64], q: &mut [f64]) {
+        let n: u64 = counts.iter().sum();
+        let n_f = n as f64;
+        let uniform = self.noise / self.k_colors as f64;
+        for (slot, &c) in q.iter_mut().zip(counts) {
+            *slot = (1.0 - self.noise) * (c as f64 / n_f) + uniform;
+        }
+    }
+}
+
+impl Dynamics for NoisyThreeMajority {
+    fn name(&self) -> String {
+        format!("3-majority(noise={})", self.noise)
+    }
+
+    fn node_update(
+        &self,
+        _own: u32,
+        sampler: &mut dyn StateSampler,
+        _scratch: &mut NodeScratch,
+        rng: &mut dyn RngCore,
+    ) -> u32 {
+        let mut draw = |rng: &mut dyn RngCore| -> u32 {
+            if self.noise > 0.0 && rng.gen::<f64>() < self.noise {
+                rng.gen_range(0..self.k_colors as u32)
+            } else {
+                sampler.sample_state(rng)
+            }
+        };
+        let a = draw(rng);
+        let b = draw(rng);
+        let c = draw(rng);
+        if a == b || a == c {
+            a
+        } else if b == c {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
+        assert_eq!(
+            cur.len(),
+            self.k_colors,
+            "configuration has {} colors, dynamics built for {}",
+            cur.len(),
+            self.k_colors
+        );
+        let n: u64 = cur.iter().sum();
+        let k = cur.len();
+        let mut q = vec![0.0f64; k];
+        self.effective_probs(cur, &mut q);
+        // Lemma 1 evaluated on the effective distribution.
+        let sum_sq: f64 = q.iter().map(|&x| x * x).sum();
+        let mut probs = vec![0.0f64; k];
+        for (slot, &x) in probs.iter_mut().zip(&q) {
+            *slot = x * (1.0 + x - sum_sq);
+        }
+        crate::kernels::normalize_in_place(&mut probs);
+        sample_multinomial(n, &probs, next, rng);
+    }
+
+    fn has_fast_kernel(&self) -> bool {
+        true
+    }
+
+    fn consensus(&self, states: &[u64]) -> Option<usize> {
+        // With positive noise, monochromatic states are not absorbing;
+        // report consensus only in the noiseless case so that runs under
+        // noise are driven by round caps, as the experiments intend.
+        if self.noise > 0.0 {
+            None
+        } else {
+            let total: u64 = states.iter().sum();
+            if total == 0 {
+                return None;
+            }
+            states.iter().position(|&c| c == total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::CliqueSampler;
+    use plurality_sampling::{CountSampler, Xoshiro256PlusPlus};
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_matches_three_majority_kernel() {
+        let counts = [500u64, 300, 200];
+        let d = NoisyThreeMajority::new(3, 0.0);
+        let mut q = [0.0f64; 3];
+        d.effective_probs(&counts, &mut q);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+        // One round expectation equals Lemma 1.
+        let mut expect = [0.0f64; 3];
+        crate::kernels::three_majority_probs(&counts, &mut expect);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let trials = 3_000;
+        let mut mean = [0.0f64; 3];
+        let mut next = [0u64; 3];
+        for _ in 0..trials {
+            d.step_mean_field(&counts, &mut next, &mut rng);
+            for (m, &x) in mean.iter_mut().zip(&next) {
+                *m += x as f64;
+            }
+        }
+        for j in 0..3 {
+            let sim = mean[j] / trials as f64;
+            let exact = expect[j] * 1000.0;
+            assert!((sim - exact).abs() < 10.0, "color {j}: {sim} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn full_noise_is_uniform() {
+        let counts = [1000u64, 0];
+        let d = NoisyThreeMajority::new(2, 1.0);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut next = [0u64; 2];
+        let trials = 2_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            d.step_mean_field(&counts, &mut next, &mut rng);
+            acc += next[0] as f64;
+        }
+        let mean = acc / trials as f64;
+        // All-noise: every node flips a fair 3-sample coin → mean n/2.
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn node_rule_matches_kernel_under_noise() {
+        let counts = [600u64, 250, 150];
+        let d = NoisyThreeMajority::new(3, 0.2);
+        let cs = CountSampler::new(&counts);
+        let mut sampler = CliqueSampler::new(&cs);
+        let mut scratch = NodeScratch::with_states(3);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let trials = 200_000;
+        let mut freq = [0u64; 3];
+        for _ in 0..trials {
+            freq[d.node_update(0, &mut sampler, &mut scratch, &mut rng) as usize] += 1;
+        }
+        // Kernel expectation.
+        let mut q = [0.0f64; 3];
+        d.effective_probs(&counts, &mut q);
+        let s2: f64 = q.iter().map(|x| x * x).sum();
+        for j in 0..3 {
+            let expect = q[j] * (1.0 + q[j] - s2);
+            let sim = freq[j] as f64 / trials as f64;
+            let sigma = (expect * (1.0 - expect) / trials as f64).sqrt();
+            assert!((sim - expect).abs() < 6.0 * sigma, "color {j}: {sim} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn monochromatic_not_absorbing_under_noise() {
+        let d = NoisyThreeMajority::new(2, 0.3);
+        let counts = [1000u64, 0];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut next = [0u64; 2];
+        d.step_mean_field(&counts, &mut next, &mut rng);
+        assert!(next[1] > 0, "noise must reintroduce the dead color");
+        assert_eq!(d.consensus(&[1000, 0]), None);
+        let clean = NoisyThreeMajority::new(2, 0.0);
+        assert_eq!(clean.consensus(&[1000, 0]), Some(0));
+    }
+
+    #[test]
+    fn critical_noise_values() {
+        assert!((NoisyThreeMajority::critical_noise(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((NoisyThreeMajority::critical_noise(4) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn below_critical_keeps_bias_above_loses_it() {
+        // n = 10^6, k = 2: run 600 rounds from a 55/45 start and compare
+        // the surviving bias below vs above p* = 1/3.
+        let n = 1_000_000u64;
+        let start = [550_000u64, 450_000];
+        let run = |p: f64, seed: u64| -> f64 {
+            let d = NoisyThreeMajority::new(2, p);
+            let mut cur = start.to_vec();
+            let mut next = vec![0u64; 2];
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+            for _ in 0..600 {
+                d.step_mean_field(&cur, &mut next, &mut rng);
+                std::mem::swap(&mut cur, &mut next);
+            }
+            (cur[0] as f64 - cur[1] as f64).abs() / n as f64
+        };
+        let sub = run(0.15, 5); // well below 1/3
+        let sup = run(0.55, 6); // well above 1/3
+        assert!(sub > 0.3, "sub-critical bias collapsed: {sub}");
+        assert!(sup < 0.05, "super-critical bias survived: {sup}");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in")]
+    fn rejects_invalid_noise() {
+        let _ = NoisyThreeMajority::new(2, 1.5);
+    }
+}

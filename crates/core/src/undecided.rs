@@ -1,0 +1,320 @@
+//! The **undecided-state dynamics** (Angluin–Aspnes–Eisenstat's protocol in
+//! the parallel pull model analyzed by Becchetti et al., SODA'15): the
+//! paper's Related Work comparator that trades one extra state for
+//! configuration-dependent speed.
+//!
+//! Each round every node pulls one random node's state:
+//! * an **undecided** node adopts whatever it pulled (color or undecided);
+//! * a **colored** node that pulls a *different* color becomes undecided;
+//!   pulling its own color or an undecided node leaves it unchanged.
+//!
+//! States are `0..k` (colors) plus the extra state `k` (undecided); a
+//! color configuration is lifted by appending an empty undecided slot.
+//! Because the rule must distinguish "a different color" from "undecided",
+//! the dynamics is constructed for a fixed number of colors.
+//!
+//! The comparison facts reproduced in experiment E10: convergence time is
+//! linear in the *monochromatic distance* `md(c)`, exponentially faster
+//! than 3-majority on configurations supported on few colors — but for
+//! `k = ω(√n)` there are configurations where the plurality color
+//! disappears outright in one round with constant probability.
+
+use crate::config::Configuration;
+use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use plurality_sampling::binomial::sample_binomial;
+use plurality_sampling::multinomial::sample_multinomial;
+use rand::RngCore;
+
+/// The undecided-state dynamics over a fixed color count.
+#[derive(Debug, Clone, Copy)]
+pub struct UndecidedState {
+    k_colors: usize,
+}
+
+impl UndecidedState {
+    /// Construct for `k` colors (the undecided state gets index `k`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k_colors: usize) -> Self {
+        assert!(k_colors > 0, "need at least one color");
+        Self { k_colors }
+    }
+
+    /// The undecided state index (`k`).
+    #[must_use]
+    pub fn undecided_index(&self) -> u32 {
+        self.k_colors as u32
+    }
+}
+
+impl Dynamics for UndecidedState {
+    fn name(&self) -> String {
+        "undecided-state".into()
+    }
+
+    fn state_count(&self, k_colors: usize) -> usize {
+        k_colors + 1
+    }
+
+    fn color_count(&self, n_states: usize) -> usize {
+        n_states - 1
+    }
+
+    fn lift(&self, colors: &Configuration) -> Configuration {
+        assert_eq!(
+            colors.k(),
+            self.k_colors,
+            "configuration has {} colors but dynamics was built for {}",
+            colors.k(),
+            self.k_colors
+        );
+        let mut lifted = colors.clone();
+        lifted.push_empty_state();
+        lifted
+    }
+
+    fn node_update(
+        &self,
+        own: u32,
+        sampler: &mut dyn StateSampler,
+        _scratch: &mut NodeScratch,
+        rng: &mut dyn RngCore,
+    ) -> u32 {
+        let undecided = self.undecided_index();
+        let pulled = sampler.sample_state(rng);
+        if own == undecided {
+            pulled
+        } else if pulled == undecided || pulled == own {
+            own
+        } else {
+            undecided
+        }
+    }
+
+    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
+        // `cur` is a lifted state vector: k colors then the undecided slot.
+        let states = cur.len();
+        assert_eq!(
+            states,
+            self.k_colors + 1,
+            "state vector must hold k colors + undecided"
+        );
+        assert_eq!(states, next.len());
+        let k = self.k_colors;
+        let n: u64 = cur.iter().sum();
+        let n_f = n as f64;
+        let undecided = cur[k];
+        next.fill(0);
+
+        // Colored groups: stay with prob (c_j + u)/n, else become undecided.
+        for j in 0..k {
+            let cj = cur[j];
+            if cj == 0 {
+                continue;
+            }
+            let stay_p = (cj + undecided) as f64 / n_f;
+            let stay = sample_binomial(cj, stay_p, rng);
+            next[j] += stay;
+            next[k] += cj - stay;
+        }
+        // Undecided group: adopt a random node's state verbatim.
+        if undecided > 0 {
+            let probs: Vec<f64> = cur.iter().map(|&c| c as f64 / n_f).collect();
+            let mut out = vec![0u64; states];
+            sample_multinomial(undecided, &probs, &mut out, rng);
+            for (slot, &x) in next.iter_mut().zip(&out) {
+                *slot += x;
+            }
+        }
+        debug_assert_eq!(next.iter().sum::<u64>(), n);
+    }
+
+    fn has_fast_kernel(&self) -> bool {
+        true
+    }
+
+    fn consensus(&self, states: &[u64]) -> Option<usize> {
+        let total: u64 = states.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let k = states.len() - 1;
+        states[..k].iter().position(|&c| c == total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::builders;
+    use plurality_sampling::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lift_appends_empty_undecided() {
+        let colors = builders::biased(100, 3, 10);
+        let d = UndecidedState::new(3);
+        let lifted = d.lift(&colors);
+        assert_eq!(lifted.k(), 4);
+        assert_eq!(lifted.count(3), 0);
+        assert_eq!(lifted.n(), 100);
+        assert_eq!(d.state_count(3), 4);
+        assert_eq!(d.color_count(4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "built for")]
+    fn lift_rejects_mismatched_k() {
+        let d = UndecidedState::new(3);
+        let _ = d.lift(&builders::balanced(10, 4));
+    }
+
+    #[test]
+    fn node_rule_truth_table() {
+        let d = UndecidedState::new(3); // states 0..=3, undecided = 3
+        struct Fixed(u32);
+        impl StateSampler for Fixed {
+            fn sample_state(&mut self, _rng: &mut dyn RngCore) -> u32 {
+                self.0
+            }
+        }
+        let mut scratch = NodeScratch::with_states(4);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        // Undecided adopts anything.
+        assert_eq!(d.node_update(3, &mut Fixed(1), &mut scratch, &mut rng), 1);
+        assert_eq!(d.node_update(3, &mut Fixed(3), &mut scratch, &mut rng), 3);
+        // Colored keeps own on same color or undecided pull.
+        assert_eq!(d.node_update(0, &mut Fixed(0), &mut scratch, &mut rng), 0);
+        assert_eq!(d.node_update(0, &mut Fixed(3), &mut scratch, &mut rng), 0);
+        // Colored pulls different color → undecided.
+        assert_eq!(d.node_update(0, &mut Fixed(2), &mut scratch, &mut rng), 3);
+    }
+
+    #[test]
+    fn kernel_population_preserved_and_matches_expectation() {
+        let d = UndecidedState::new(3);
+        let cur = [500u64, 300, 0, 200]; // 2 live colors + empty + 200 undecided
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let trials = 3_000;
+        let mut mean = [0.0f64; 4];
+        let mut next = [0u64; 4];
+        for _ in 0..trials {
+            d.step_mean_field(&cur, &mut next, &mut rng);
+            assert_eq!(next.iter().sum::<u64>(), 1000);
+            for (m, &x) in mean.iter_mut().zip(&next) {
+                *m += x as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= trials as f64;
+        }
+        // E[next_j] = c_j(c_j + u)/n + u·c_j/n = c_j(c_j + 2u)/n.
+        let n = 1000.0;
+        let u = 200.0;
+        for (j, &cj) in [500.0f64, 300.0, 0.0].iter().enumerate() {
+            let expect = cj * (cj + 2.0 * u) / n;
+            assert!(
+                (mean[j] - expect).abs() < 0.02 * n,
+                "color {j}: {} vs {expect}",
+                mean[j]
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_matches_node_rule_distribution() {
+        // One round from a mixed state, compared against the generic
+        // per-node path (both exact; their laws must agree).
+        let d = UndecidedState::new(2);
+        let cur = [400u64, 350, 250];
+        let trials = 4_000;
+        let mut mean_kernel = [0.0f64; 3];
+        let mut mean_generic = [0.0f64; 3];
+        let mut next = [0u64; 3];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        for _ in 0..trials {
+            d.step_mean_field(&cur, &mut next, &mut rng);
+            for (m, &x) in mean_kernel.iter_mut().zip(&next) {
+                *m += x as f64;
+            }
+            crate::dynamics::generic_clique_step(&d, &cur, &mut next, &mut rng);
+            for (m, &x) in mean_generic.iter_mut().zip(&next) {
+                *m += x as f64;
+            }
+        }
+        for j in 0..3 {
+            let a = mean_kernel[j] / trials as f64;
+            let b = mean_generic[j] / trials as f64;
+            assert!((a - b).abs() < 10.0, "state {j}: kernel {a} vs generic {b}");
+        }
+    }
+
+    #[test]
+    fn consensus_requires_no_undecided() {
+        let d = UndecidedState::new(2);
+        assert_eq!(d.consensus(&[10, 0, 0]), Some(0));
+        assert_eq!(d.consensus(&[9, 0, 1]), None); // one undecided left
+        assert_eq!(d.consensus(&[0, 10, 0]), Some(1));
+    }
+
+    #[test]
+    fn plurality_death_for_huge_k() {
+        // SODA'15 §3 phenomenon: with k = ω(√n) there are configurations
+        // where the plurality disappears in one round with constant
+        // probability.  Extreme case: c_0 = 2, every other color 1.
+        // Each plurality node stays colored only with prob 2/n.
+        let k = 999usize;
+        let n = 1000u64;
+        let d = UndecidedState::new(k);
+        let mut counts = vec![1u64; k + 1]; // k colors + undecided slot
+        counts[0] = 2;
+        counts[k] = 0; // undecided empty
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut next = vec![0u64; k + 1];
+        let mut died = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            d.step_mean_field(&counts, &mut next, &mut rng);
+            assert_eq!(next.iter().sum::<u64>(), n);
+            if next[0] == 0 {
+                died += 1;
+            }
+        }
+        // P(both plurality nodes go undecided) = (1 − 2/n)² ≈ 0.996.
+        assert!(
+            died > trials * 9 / 10,
+            "plurality died only {died}/{trials} times"
+        );
+    }
+
+    #[test]
+    fn binary_biased_start_drifts_to_plurality() {
+        // k = 2 with a solid bias: undecided-state should converge to the
+        // plurality color (Angluin et al.).  Run the kernel to absorption.
+        let d = UndecidedState::new(2);
+        let start = d.lift(&builders::binary(10_000, 2_000));
+        let mut cur = start.counts().to_vec();
+        let mut next = vec![0u64; cur.len()];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut wins = 0;
+        for trial in 0..20 {
+            cur.copy_from_slice(start.counts());
+            let mut rounds = 0;
+            loop {
+                d.step_mean_field(&cur, &mut next, &mut rng);
+                std::mem::swap(&mut cur, &mut next);
+                rounds += 1;
+                if let Some(w) = d.consensus(&cur) {
+                    if w == 0 {
+                        wins += 1;
+                    }
+                    break;
+                }
+                assert!(rounds < 10_000, "trial {trial} did not converge");
+            }
+        }
+        assert!(wins >= 18, "plurality won only {wins}/20");
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests on the core invariants: for *any* configuration
+//! and any dynamics, one simulated round must preserve the population and
+//! every kernel must emit a genuine probability distribution; every
+//! 3-input rule must return one of its inputs (the class constraint
+//! `f(x₁,x₂,x₃) ∈ {x₁,x₂,x₃}` of Definition 1).
+
+use proptest::prelude::*;
+use plurality_core::d3::ClearRule;
+use plurality_core::kernels::{h_plurality_probs, three_majority_probs};
+use plurality_core::median::median3_of;
+use plurality_core::{
+    builders, Configuration, Dynamics, HPlurality, Median3, MedianOwn, TableD3, ThreeMajority,
+    TwoChoices, TwoSample, UndecidedState, Voter,
+};
+use plurality_sampling::Xoshiro256PlusPlus;
+use rand::SeedableRng;
+
+/// Strategy: a non-degenerate counts vector (2..=8 colors, positive total).
+fn counts_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..5_000, 2..8)
+        .prop_filter("positive population", |c| c.iter().sum::<u64>() > 0)
+}
+
+/// Strategy: an arbitrary color-symmetric D3 rule.
+fn table_strategy() -> impl Strategy<Value = TableD3> {
+    (
+        prop_oneof![
+            Just(ClearRule::Majority),
+            Just(ClearRule::Minority),
+            Just(ClearRule::FirstSample)
+        ],
+        proptest::array::uniform6(0u8..3),
+    )
+        .prop_map(|(clear, distinct)| TableD3::new(clear, distinct, "random"))
+}
+
+proptest! {
+    /// Lemma 1 kernel: a probability vector for any configuration.
+    #[test]
+    fn lemma1_kernel_is_distribution(counts in counts_strategy()) {
+        let mut probs = vec![0.0f64; counts.len()];
+        three_majority_probs(&counts, &mut probs);
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (&p, &c) in probs.iter().zip(&counts) {
+            prop_assert!((0.0..=1.0).contains(&p));
+            if c == 0 {
+                prop_assert_eq!(p, 0.0, "dead colors must stay dead");
+            }
+        }
+    }
+
+    /// h-plurality enumeration kernel: distribution + dead colors stay dead.
+    #[test]
+    fn h_plurality_kernel_is_distribution(counts in counts_strategy(), h in 1usize..6) {
+        let mut probs = vec![0.0f64; counts.len()];
+        prop_assume!(h_plurality_probs(&counts, h, &mut probs));
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (&p, &c) in probs.iter().zip(&counts) {
+            prop_assert!((0.0..=1.0).contains(&p));
+            if c == 0 {
+                prop_assert_eq!(p, 0.0);
+            }
+        }
+    }
+
+    /// Every D3 rule's kernel is a probability distribution.
+    #[test]
+    fn d3_kernel_is_distribution(counts in counts_strategy(), table in table_strategy()) {
+        let mut probs = vec![0.0f64; counts.len()];
+        table.adoption_probs(&counts, &mut probs);
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for &p in &probs {
+            prop_assert!((0.0..=1.0).contains(&p), "p = {}", p);
+        }
+    }
+
+    /// Definition 1's class constraint: any rule output is one of the
+    /// inputs, for every clear-rule/table/triple combination.
+    #[test]
+    fn d3_apply_returns_an_input(
+        table in table_strategy(),
+        a in 0u32..6, b in 0u32..6, c in 0u32..6,
+    ) {
+        let out = table.apply(a, b, c);
+        prop_assert!(out == a || out == b || out == c);
+    }
+
+    /// δ counters always total 3! = 6.
+    #[test]
+    fn d3_deltas_total_six(table in table_strategy()) {
+        prop_assert_eq!(table.deltas().iter().map(|&d| u32::from(d)).sum::<u32>(), 6);
+    }
+
+    /// median3_of is the order statistic, however the inputs arrive.
+    #[test]
+    fn median3_is_middle(a in 0u32..100, b in 0u32..100, c in 0u32..100) {
+        let mut sorted = [a, b, c];
+        sorted.sort_unstable();
+        prop_assert_eq!(median3_of(a, b, c), sorted[1]);
+    }
+
+    /// One mean-field round preserves the population for every dynamics.
+    #[test]
+    fn all_dynamics_preserve_population(counts in counts_strategy(), seed in any::<u64>()) {
+        let cfg = Configuration::new(counts);
+        let k = cfg.k();
+        let n = cfg.n();
+        let three = ThreeMajority::new();
+        let h5 = HPlurality::new(5);
+        let voter = Voter;
+        let two_sample = TwoSample;
+        let two_choices = TwoChoices;
+        let median3 = Median3;
+        let median_own = MedianOwn;
+        let undecided = UndecidedState::new(k);
+        let table = TableD3::lemma8_132();
+        let rules: Vec<&dyn Dynamics> = vec![
+            &three, &h5, &voter, &two_sample, &two_choices, &median3, &median_own, &table,
+        ];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for d in rules {
+            let mut next = vec![0u64; k];
+            d.step_mean_field(cfg.counts(), &mut next, &mut rng);
+            prop_assert_eq!(next.iter().sum::<u64>(), n, "{} lost nodes", d.name());
+        }
+        // Undecided runs on the lifted vector.
+        let lifted = undecided.lift(&cfg);
+        let mut next = vec![0u64; k + 1];
+        undecided.step_mean_field(lifted.counts(), &mut next, &mut rng);
+        prop_assert_eq!(next.iter().sum::<u64>(), n);
+    }
+
+    /// Monochromatic states are absorbing for every color dynamics.
+    #[test]
+    fn monochromatic_is_absorbing(
+        k in 2usize..6,
+        winner in 0usize..6,
+        n in 1u64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let winner = winner % k;
+        let mut counts = vec![0u64; k];
+        counts[winner] = n;
+        let three = ThreeMajority::new();
+        let voter = Voter;
+        let two_choices = TwoChoices;
+        let median_own = MedianOwn;
+        let rules: Vec<&dyn Dynamics> = vec![&three, &voter, &two_choices, &median_own];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for d in rules {
+            let mut next = vec![0u64; k];
+            d.step_mean_field(&counts, &mut next, &mut rng);
+            prop_assert_eq!(&next, &counts, "{} escaped absorption", d.name());
+        }
+    }
+
+    /// Builders produce configurations with the right population, and
+    /// `biased` puts the plurality at color 0 with bias in [s, s+k).
+    #[test]
+    fn builders_respect_population(n in 100u64..1_000_000, k in 1usize..64) {
+        let b = builders::balanced(n, k);
+        prop_assert_eq!(b.n(), n);
+        prop_assert_eq!(b.k(), k);
+        let sorted = b.sorted_desc();
+        prop_assert!(sorted[0] - sorted[k - 1] <= 1);
+    }
+
+    #[test]
+    fn builder_biased_invariants(n in 1_000u64..1_000_000, k in 2usize..64, frac in 0.0f64..0.5) {
+        let s = (n as f64 * frac) as u64;
+        let cfg = builders::biased(n, k, s);
+        prop_assert_eq!(cfg.n(), n);
+        prop_assert_eq!(cfg.plurality().0, 0);
+        prop_assert!(cfg.bias() >= s);
+        prop_assert!(cfg.bias() < s + k as u64);
+    }
+
+    #[test]
+    fn builder_geometric_invariants(n in 1_000u64..100_000, k in 1usize..32, ratio in 0.1f64..1.0) {
+        let cfg = builders::geometric(n, k, ratio);
+        prop_assert_eq!(cfg.n(), n);
+        for w in cfg.counts().windows(2) {
+            prop_assert!(w[0] >= w[1], "geometric counts must be non-increasing");
+        }
+    }
+
+    /// Configuration accessors are mutually consistent.
+    #[test]
+    fn configuration_accessors_consistent(counts in counts_strategy()) {
+        let cfg = Configuration::new(counts.clone());
+        let (p, c1) = cfg.plurality();
+        prop_assert_eq!(c1, *counts.iter().max().unwrap());
+        prop_assert_eq!(cfg.count(p), c1);
+        prop_assert!(cfg.second_count() <= c1);
+        prop_assert_eq!(cfg.bias(), c1 - cfg.second_count());
+        prop_assert_eq!(cfg.support(), counts.iter().filter(|&&c| c > 0).count());
+        let md = cfg.monochromatic_distance();
+        prop_assert!(md >= 1.0 - 1e-12);
+        prop_assert!(md <= cfg.k() as f64 + 1e-12);
+    }
+}

@@ -1,0 +1,451 @@
+//! The agent-based engine: explicit per-node simulation on arbitrary
+//! topologies.
+//!
+//! Where the mean-field engine exploits the clique's exchangeability, this
+//! engine keeps one state per node and executes every sample the dynamics
+//! draws — `O(n·h)` per round — which is what makes non-clique topologies
+//! (and cross-validation of the mean-field engine) possible.
+//!
+//! # Determinism under parallelism
+//!
+//! Rounds are parallelized over *fixed-size node chunks*; chunk `c` of
+//! round `r` always draws from the PRNG stream `1 + r·C + c` of the trial
+//! seed, regardless of how chunks are assigned to threads.  A run is
+//! therefore bit-for-bit identical for any `threads` setting — the
+//! property the determinism tests pin down.
+
+use crate::run::{
+    evaluate_stop, unique_initial_plurality, RunOptions, StopReason, TraceLevel, TrialResult,
+};
+use crate::trace::Trace;
+use plurality_core::{Configuration, Dynamics, NodeScratch, StateSampler};
+use plurality_sampling::stream_rng;
+use plurality_topology::Topology;
+use rand::{Rng, RngCore};
+
+/// How initial colors are laid onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Random assignment (uniform over placements with the given counts).
+    /// The right default: on non-clique topologies adversarial placements
+    /// change the process.
+    #[default]
+    Shuffled,
+    /// Contiguous blocks of equal color (worst-case-ish for sparse
+    /// topologies; useful for placement-sensitivity experiments).
+    Blocks,
+}
+
+/// Per-node simulator over a [`Topology`].
+pub struct AgentEngine<'t> {
+    topology: &'t dyn Topology,
+    threads: usize,
+    chunk_size: usize,
+}
+
+/// Draws the state of a random neighbor of one node.
+struct NeighborSampler<'a> {
+    topology: &'a dyn Topology,
+    states: &'a [u32],
+    node: usize,
+}
+
+impl StateSampler for NeighborSampler<'_> {
+    #[inline]
+    fn sample_state(&mut self, rng: &mut dyn RngCore) -> u32 {
+        self.states[self.topology.sample_neighbor(self.node, rng)]
+    }
+}
+
+impl<'t> AgentEngine<'t> {
+    /// Default chunk granularity (nodes per RNG stream).
+    pub const DEFAULT_CHUNK: usize = 4096;
+
+    /// Single-threaded engine on a topology.
+    #[must_use]
+    pub fn new(topology: &'t dyn Topology) -> Self {
+        Self {
+            topology,
+            threads: 1,
+            chunk_size: Self::DEFAULT_CHUNK,
+        }
+    }
+
+    /// Use up to `threads` worker threads per round.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Override the chunk granularity (testing/benchmarking only; changes
+    /// the random stream layout and therefore exact trajectories).
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Run one trial.  `seed` fully determines the trajectory.
+    ///
+    /// # Panics
+    /// Panics if the configuration population differs from the topology
+    /// size.
+    pub fn run(
+        &self,
+        dynamics: &dyn Dynamics,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+    ) -> TrialResult {
+        let n = self.topology.n();
+        assert_eq!(
+            initial.n() as usize,
+            n,
+            "configuration population must match topology size"
+        );
+        let initial_plurality = unique_initial_plurality(initial);
+        let k_colors = initial.k();
+        let lifted = dynamics.lift(initial);
+        let state_count = lifted.k();
+
+        // Lay out initial states.
+        let mut states: Vec<u32> = Vec::with_capacity(n);
+        for (state, &count) in lifted.counts().iter().enumerate() {
+            states.extend(std::iter::repeat(state as u32).take(count as usize));
+        }
+        if placement == Placement::Shuffled {
+            let mut rng = stream_rng(seed, 0);
+            for i in (1..states.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                states.swap(i, j);
+            }
+        }
+        let mut next_states = vec![0u32; n];
+        let mut counts: Vec<u64> = lifted.counts().to_vec();
+
+        let mut trace = match opts.trace {
+            TraceLevel::Off => None,
+            _ => Some(Trace::new()),
+        };
+        let full = opts.trace == TraceLevel::Full;
+        if let Some(t) = trace.as_mut() {
+            t.record(0, &counts, k_colors, full);
+        }
+
+        if let Some(winner) = evaluate_stop(opts.stop, dynamics, &counts, initial_plurality) {
+            return TrialResult {
+                rounds: 0,
+                reason: StopReason::Stopped,
+                winner: Some(winner),
+                initial_plurality,
+                success: winner == initial_plurality,
+                trace,
+            };
+        }
+
+        let num_chunks = n.div_ceil(self.chunk_size);
+        let mut rounds = 0u64;
+        loop {
+            self.step(
+                dynamics,
+                &states,
+                &mut next_states,
+                &mut counts,
+                state_count,
+                rounds,
+                num_chunks,
+                seed,
+            );
+            std::mem::swap(&mut states, &mut next_states);
+            rounds += 1;
+            if let Some(t) = trace.as_mut() {
+                t.record(rounds, &counts, k_colors, full);
+            }
+            if let Some(winner) = evaluate_stop(opts.stop, dynamics, &counts, initial_plurality) {
+                return TrialResult {
+                    rounds,
+                    reason: StopReason::Stopped,
+                    winner: Some(winner),
+                    initial_plurality,
+                    success: winner == initial_plurality,
+                    trace,
+                };
+            }
+            if rounds >= opts.max_rounds {
+                return TrialResult {
+                    rounds,
+                    reason: StopReason::MaxRounds,
+                    winner: None,
+                    initial_plurality,
+                    success: false,
+                    trace,
+                };
+            }
+        }
+    }
+
+    /// One synchronous round: read `states`, write `next`, refresh
+    /// `counts`.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        dynamics: &dyn Dynamics,
+        states: &[u32],
+        next: &mut [u32],
+        counts: &mut [u64],
+        state_count: usize,
+        round: u64,
+        num_chunks: usize,
+        seed: u64,
+    ) {
+        let chunk = self.chunk_size;
+        let stream_base = 1 + round * num_chunks as u64;
+
+        let process_span = |span_start_chunk: usize,
+                            span: &mut [u32],
+                            local_counts: &mut [u64]| {
+            let mut scratch = NodeScratch::with_states(state_count);
+            for (ci, chunk_slice) in span.chunks_mut(chunk).enumerate() {
+                let chunk_index = span_start_chunk + ci;
+                let mut rng = stream_rng(seed, stream_base + chunk_index as u64);
+                let base_node = chunk_index * chunk;
+                for (offset, out) in chunk_slice.iter_mut().enumerate() {
+                    let node = base_node + offset;
+                    let mut sampler = NeighborSampler {
+                        topology: self.topology,
+                        states,
+                        node,
+                    };
+                    let new =
+                        dynamics.node_update(states[node], &mut sampler, &mut scratch, &mut rng);
+                    *out = new;
+                    local_counts[new as usize] += 1;
+                }
+            }
+        };
+
+        counts.fill(0);
+        if self.threads <= 1 || num_chunks <= 1 {
+            process_span(0, next, counts);
+            return;
+        }
+
+        // Static contiguous partition: worker w gets a span of whole
+        // chunks; chunk→stream mapping is thread-count independent.
+        let workers = self.threads.min(num_chunks);
+        let chunks_per = num_chunks.div_ceil(workers);
+        let mut spans: Vec<(usize, &mut [u32])> = Vec::with_capacity(workers);
+        let mut rest = next;
+        let mut chunk_cursor = 0usize;
+        while !rest.is_empty() {
+            let take = (chunks_per * chunk).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            spans.push((chunk_cursor, head));
+            chunk_cursor += chunks_per;
+            rest = tail;
+        }
+
+        let all_counts = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .into_iter()
+                .map(|(start_chunk, span)| {
+                    scope.spawn(move |_| {
+                        let mut local = vec![0u64; state_count];
+                        process_span(start_chunk, span, &mut local);
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scope panicked");
+
+        for local in all_counts {
+            for (slot, x) in counts.iter_mut().zip(local) {
+                *slot += x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_core::{builders, ThreeMajority, UndecidedState, Voter};
+    use plurality_topology::{ring, torus, Clique};
+
+    #[test]
+    fn converges_on_clique_with_bias() {
+        let clique = Clique::new(2_000);
+        let engine = AgentEngine::new(&clique);
+        let cfg = builders::biased(2_000, 4, 800);
+        let d = ThreeMajority::new();
+        let mut wins = 0;
+        for trial in 0..5 {
+            let r = engine.run(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(5_000),
+                1000 + trial,
+            );
+            assert_eq!(r.reason, StopReason::Stopped);
+            if r.success {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "won only {wins}/5");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let clique = Clique::new(3_000);
+        let cfg = builders::biased(3_000, 3, 600);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(2_000).traced();
+        let r1 = AgentEngine::new(&clique).run(&d, &cfg, Placement::Shuffled, &opts, 7);
+        let r4 = AgentEngine::new(&clique)
+            .with_threads(4)
+            .run(&d, &cfg, Placement::Shuffled, &opts, 7);
+        assert_eq!(r1.rounds, r4.rounds);
+        assert_eq!(r1.winner, r4.winner);
+        let t1 = r1.trace.unwrap();
+        let t4 = r4.trace.unwrap();
+        for (a, b) in t1.rounds.iter().zip(&t4.rounds) {
+            assert_eq!(a, b, "trajectories must be identical");
+        }
+    }
+
+    #[test]
+    fn deterministic_same_seed_same_result() {
+        let clique = Clique::new(1_000);
+        let cfg = builders::biased(1_000, 3, 300);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(2_000);
+        let a = AgentEngine::new(&clique).run(&d, &cfg, Placement::Shuffled, &opts, 9);
+        let b = AgentEngine::new(&clique).run(&d, &cfg, Placement::Shuffled, &opts, 9);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.winner, b.winner);
+    }
+
+    #[test]
+    fn works_on_torus() {
+        let g = torus(20, 20);
+        let engine = AgentEngine::new(&g);
+        let cfg = builders::biased(400, 2, 200);
+        let d = ThreeMajority::new();
+        let r = engine.run(
+            &d,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(20_000),
+            11,
+        );
+        assert_eq!(r.reason, StopReason::Stopped, "torus run did not settle");
+        assert!(r.success, "heavily biased start should win on the torus");
+    }
+
+    #[test]
+    fn voter_on_odd_ring_eventually_absorbs() {
+        // Odd ring on purpose: on an *even* cycle the synchronous voter
+        // can reach the perfectly alternating configuration, where both
+        // neighbors of every node hold the opposite color and the whole
+        // ring flips deterministically forever (a genuine oscillation
+        // trap of the synchronous model; observed at ring(60), seed 13).
+        // No alternating trap exists when n is odd.
+        let g = ring(61);
+        let engine = AgentEngine::new(&g);
+        let cfg = builders::biased(61, 2, 21);
+        let r = engine.run(
+            &Voter,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(200_000),
+            13,
+        );
+        assert_eq!(r.reason, StopReason::Stopped, "voter on odd ring must absorb");
+    }
+
+    #[test]
+    fn undecided_state_on_clique_agents() {
+        let clique = Clique::new(2_000);
+        let engine = AgentEngine::new(&clique);
+        let cfg = builders::biased(2_000, 3, 700);
+        let d = UndecidedState::new(3);
+        let r = engine.run(
+            &d,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(50_000),
+            17,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(r.success);
+    }
+
+    #[test]
+    fn blocks_placement_supported() {
+        let clique = Clique::new(500);
+        let engine = AgentEngine::new(&clique);
+        let cfg = builders::biased(500, 2, 200);
+        let d = ThreeMajority::new();
+        let r = engine.run(
+            &d,
+            &cfg,
+            Placement::Blocks,
+            &RunOptions::with_max_rounds(5_000),
+            19,
+        );
+        // On the clique placement is irrelevant; it must still converge.
+        assert_eq!(r.reason, StopReason::Stopped);
+    }
+
+    #[test]
+    #[should_panic(expected = "match topology size")]
+    fn size_mismatch_rejected() {
+        let clique = Clique::new(10);
+        let engine = AgentEngine::new(&clique);
+        let cfg = builders::biased(11, 2, 3);
+        let _ = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::default(),
+            1,
+        );
+    }
+
+    #[test]
+    fn trace_counts_match_population() {
+        let clique = Clique::new(800);
+        let engine = AgentEngine::new(&clique);
+        let cfg = builders::biased(800, 3, 300);
+        let d = ThreeMajority::new();
+        let r = engine.run(
+            &d,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(3_000).traced(),
+            23,
+        );
+        let trace = r.trace.unwrap();
+        for stats in &trace.rounds {
+            assert_eq!(
+                stats.plurality_count + stats.minority_mass + stats.extra_state_mass,
+                800,
+                "round {}",
+                stats.round
+            );
+        }
+    }
+}

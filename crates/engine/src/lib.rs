@@ -1,0 +1,44 @@
+//! Simulation engines for the plurality-consensus dynamics.
+//!
+//! Two engines, one exact law:
+//!
+//! * [`MeanFieldEngine`] — `O(k)`-per-round **exact** simulation on the
+//!   clique, by sampling the (group-wise) multinomial transition each
+//!   dynamics exposes.  This is the workhorse for the paper's theorems,
+//!   reaching populations of `10^9+`.
+//! * [`AgentEngine`] — explicit per-node simulation (`O(n·h)` per round)
+//!   on any [`plurality_topology::Topology`], deterministically
+//!   parallelized over node chunks.  Cross-validates the mean-field
+//!   engine and powers the non-clique extension experiments.
+//!
+//! Plus [`MonteCarlo`], a scheduling-independent parallel runner for
+//! independent trials, and the shared run options / trial results /
+//! trajectory tracing in [`run`] and [`trace`].
+//!
+//! ```
+//! use plurality_core::{builders, ThreeMajority};
+//! use plurality_engine::{MeanFieldEngine, RunOptions};
+//! use plurality_sampling::stream_rng;
+//!
+//! let cfg = builders::biased(1_000_000, 10, 50_000);
+//! let dynamics = ThreeMajority::new();
+//! let engine = MeanFieldEngine::new(&dynamics);
+//! let mut rng = stream_rng(7, 0);
+//! let result = engine.run(&cfg, &RunOptions::default(), &mut rng);
+//! assert!(result.success, "strong bias should carry the plurality");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod mean_field;
+pub mod montecarlo;
+pub mod run;
+pub mod trace;
+
+pub use agent::{AgentEngine, Placement};
+pub use mean_field::MeanFieldEngine;
+pub use montecarlo::MonteCarlo;
+pub use run::{NoHook, RoundHook, RunOptions, StopReason, StopRule, TraceLevel, TrialResult};
+pub use trace::{RoundStats, Trace};

@@ -1,0 +1,273 @@
+//! The exact mean-field engine: `O(k)` rounds on the clique.
+//!
+//! On the clique, every node's next state is independent given the current
+//! configuration (the rules sample u.a.r. with repetition), so the next
+//! configuration is distributed as a (group-wise) multinomial whose
+//! parameters each dynamics computes exactly (`Dynamics::step_mean_field`).
+//! Sampling that multinomial *is* simulating the round — this engine is a
+//! distribution-preserving simulation of the process, not an
+//! approximation, and it reaches populations of `10^9+` that an explicit
+//! per-node simulation cannot.
+
+use crate::run::{
+    evaluate_stop, unique_initial_plurality, RoundHook, RunOptions, StopReason, TraceLevel,
+    TrialResult,
+};
+use crate::trace::Trace;
+use plurality_core::{Configuration, Dynamics};
+use rand::RngCore;
+
+/// Exact clique simulator driven by mean-field kernels.
+pub struct MeanFieldEngine<'d> {
+    dynamics: &'d dyn Dynamics,
+}
+
+impl<'d> MeanFieldEngine<'d> {
+    /// Engine for one dynamics.
+    #[must_use]
+    pub fn new(dynamics: &'d dyn Dynamics) -> Self {
+        Self { dynamics }
+    }
+
+    /// The wrapped dynamics.
+    #[must_use]
+    pub fn dynamics(&self) -> &'d dyn Dynamics {
+        self.dynamics
+    }
+
+    /// Run one trial from a color configuration.
+    pub fn run(
+        &self,
+        initial: &Configuration,
+        opts: &RunOptions,
+        rng: &mut dyn RngCore,
+    ) -> TrialResult {
+        self.run_hooked(initial, opts, None, rng)
+    }
+
+    /// Run one trial with an optional per-round hook (adversary).
+    pub fn run_hooked(
+        &self,
+        initial: &Configuration,
+        opts: &RunOptions,
+        mut hook: Option<&mut dyn RoundHook>,
+        rng: &mut dyn RngCore,
+    ) -> TrialResult {
+        let initial_plurality = unique_initial_plurality(initial);
+        let k_colors = initial.k();
+        let lifted = self.dynamics.lift(initial);
+        let mut cur: Vec<u64> = lifted.counts().to_vec();
+        let mut next: Vec<u64> = vec![0; cur.len()];
+        let n = lifted.n();
+
+        let mut trace = match opts.trace {
+            TraceLevel::Off => None,
+            _ => Some(Trace::new()),
+        };
+        let full = opts.trace == TraceLevel::Full;
+        if let Some(t) = trace.as_mut() {
+            t.record(0, &cur, k_colors, full);
+        }
+
+        // The initial configuration may already satisfy the stop rule.
+        if let Some(winner) = evaluate_stop(opts.stop, self.dynamics, &cur, initial_plurality) {
+            return TrialResult {
+                rounds: 0,
+                reason: StopReason::Stopped,
+                winner: Some(winner),
+                initial_plurality,
+                success: winner == initial_plurality,
+                trace,
+            };
+        }
+
+        let mut rounds = 0u64;
+        loop {
+            self.dynamics.step_mean_field(&cur, &mut next, rng);
+            std::mem::swap(&mut cur, &mut next);
+            rounds += 1;
+            if let Some(h) = hook.as_deref_mut() {
+                h.after_step(rounds, &mut cur, rng);
+                debug_assert_eq!(cur.iter().sum::<u64>(), n, "hook changed the population");
+            }
+            if let Some(t) = trace.as_mut() {
+                t.record(rounds, &cur, k_colors, full);
+            }
+            if let Some(winner) = evaluate_stop(opts.stop, self.dynamics, &cur, initial_plurality)
+            {
+                return TrialResult {
+                    rounds,
+                    reason: StopReason::Stopped,
+                    winner: Some(winner),
+                    initial_plurality,
+                    success: winner == initial_plurality,
+                    trace,
+                };
+            }
+            if rounds >= opts.max_rounds {
+                return TrialResult {
+                    rounds,
+                    reason: StopReason::MaxRounds,
+                    winner: None,
+                    initial_plurality,
+                    success: false,
+                    trace,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::StopRule;
+    use plurality_core::{builders, HPlurality, Median3, ThreeMajority, UndecidedState, Voter};
+    use plurality_sampling::stream_rng;
+
+    #[test]
+    fn three_majority_converges_to_plurality_with_strong_bias() {
+        // n = 100k, k = 5, bias well above the theorem threshold:
+        // every trial should hit the initial plurality.
+        let cfg = builders::biased(100_000, 5, 30_000);
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let opts = RunOptions::with_max_rounds(10_000);
+        for trial in 0..10 {
+            let mut rng = stream_rng(42, trial);
+            let r = engine.run(&cfg, &opts, &mut rng);
+            assert_eq!(r.reason, StopReason::Stopped, "trial {trial}");
+            assert!(r.success, "trial {trial} lost the plurality");
+            assert!(r.rounds < 200, "trial {trial} took {} rounds", r.rounds);
+        }
+    }
+
+    #[test]
+    fn already_monochromatic_stops_at_zero() {
+        let cfg = Configuration::new(vec![1000, 0, 0]);
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let mut rng = stream_rng(1, 0);
+        let r = engine.run(&cfg, &RunOptions::default(), &mut rng);
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.winner, Some(0));
+        assert!(r.success);
+    }
+
+    #[test]
+    fn max_rounds_reported() {
+        // Voter on a big balanced-ish config won't converge in 3 rounds.
+        let cfg = builders::biased(1_000_000, 2, 10);
+        let d = Voter;
+        let engine = MeanFieldEngine::new(&d);
+        let mut rng = stream_rng(2, 0);
+        let r = engine.run(&cfg, &RunOptions::with_max_rounds(3), &mut rng);
+        assert_eq!(r.reason, StopReason::MaxRounds);
+        assert_eq!(r.winner, None);
+        assert!(!r.success);
+        assert_eq!(r.rounds, 3);
+    }
+
+    #[test]
+    fn trace_records_every_round() {
+        let cfg = builders::biased(10_000, 3, 3_000);
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let mut rng = stream_rng(3, 0);
+        let r = engine.run(&cfg, &RunOptions::default().traced(), &mut rng);
+        let trace = r.trace.expect("trace requested");
+        assert_eq!(trace.rounds.len() as u64, r.rounds + 1);
+        assert_eq!(trace.rounds[0].plurality_count, cfg.plurality().1);
+        // Trace ends monochromatic.
+        let last = trace.rounds.last().unwrap();
+        assert_eq!(last.minority_mass, 0);
+    }
+
+    #[test]
+    fn mplurality_stops_early() {
+        let cfg = builders::biased(100_000, 4, 30_000);
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let mut rng_full = stream_rng(4, 0);
+        let mut rng_m = stream_rng(4, 0);
+        let full = engine.run(&cfg, &RunOptions::default(), &mut rng_full);
+        let opts_m = RunOptions {
+            stop: StopRule::MPlurality(1000),
+            ..RunOptions::default()
+        };
+        let m = engine.run(&cfg, &opts_m, &mut rng_m);
+        assert!(m.rounds <= full.rounds);
+        assert!(m.success);
+    }
+
+    #[test]
+    fn undecided_dynamics_through_engine() {
+        let d = UndecidedState::new(3);
+        let cfg = builders::biased(50_000, 3, 15_000);
+        let engine = MeanFieldEngine::new(&d);
+        let mut rng = stream_rng(5, 0);
+        let r = engine.run(&cfg, &RunOptions::with_max_rounds(100_000), &mut rng);
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(r.success, "undecided-state lost a heavily biased start");
+    }
+
+    #[test]
+    fn median3_converges_to_median_not_plurality() {
+        // (n/3 + s, n/3, n/3 − s): median color = 1, plurality = 0.
+        let cfg = builders::three_colors(30_000, 900);
+        let d = Median3;
+        let engine = MeanFieldEngine::new(&d);
+        let mut to_median = 0;
+        for trial in 0..10 {
+            let mut rng = stream_rng(6, trial);
+            let r = engine.run(&cfg, &RunOptions::with_max_rounds(100_000), &mut rng);
+            assert_eq!(r.reason, StopReason::Stopped);
+            if r.winner == Some(1) {
+                to_median += 1;
+            }
+            assert!(!r.success || r.winner != Some(1));
+        }
+        assert!(to_median >= 8, "median won only {to_median}/10");
+    }
+
+    #[test]
+    fn h_plurality_with_fallback_path_converges() {
+        // k large enough that enumeration is refused → per-node path.
+        let cfg = builders::biased(20_000, 40, 8_000);
+        let d = HPlurality::new(7);
+        let engine = MeanFieldEngine::new(&d);
+        let mut rng = stream_rng(7, 0);
+        let r = engine.run(&cfg, &RunOptions::with_max_rounds(10_000), &mut rng);
+        assert!(r.success);
+    }
+
+    #[test]
+    fn hook_is_invoked_every_round() {
+        struct Counter(u64);
+        impl RoundHook for Counter {
+            fn after_step(&mut self, _round: u64, _states: &mut [u64], _rng: &mut dyn RngCore) {
+                self.0 += 1;
+            }
+        }
+        let cfg = builders::biased(10_000, 3, 4_000);
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let mut hook = Counter(0);
+        let mut rng = stream_rng(8, 0);
+        let r = engine.run_hooked(&cfg, &RunOptions::default(), Some(&mut hook), &mut rng);
+        assert_eq!(hook.0, r.rounds);
+    }
+
+    #[test]
+    fn deterministic_given_stream() {
+        let cfg = builders::biased(50_000, 6, 10_000);
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let mut a = stream_rng(9, 1);
+        let mut b = stream_rng(9, 1);
+        let ra = engine.run(&cfg, &RunOptions::default(), &mut a);
+        let rb = engine.run(&cfg, &RunOptions::default(), &mut b);
+        assert_eq!(ra.rounds, rb.rounds);
+        assert_eq!(ra.winner, rb.winner);
+    }
+}

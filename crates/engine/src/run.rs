@@ -1,0 +1,213 @@
+//! Run options, stopping rules, round hooks, and trial results shared by
+//! both engines.
+
+use plurality_core::Configuration;
+use rand::RngCore;
+
+/// When a run stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopRule {
+    /// Stop at full consensus (a monochromatic color configuration).
+    Consensus,
+    /// Stop once all but at most `M` nodes support the *initial plurality*
+    /// color — the paper's M-plurality consensus (§3.1), the right notion
+    /// under a dynamic adversary where full consensus is impossible.
+    MPlurality(u64),
+}
+
+/// How much per-round state to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Record nothing (fastest).
+    #[default]
+    Off,
+    /// Record summary statistics per round (bias, plurality mass, …).
+    Summary,
+    /// Summary plus the full state counts each round (small `k` only).
+    Full,
+}
+
+/// Options controlling a single trial.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Hard cap on rounds; exceeding it marks the trial unconverged.
+    pub max_rounds: u64,
+    /// Stopping rule.
+    pub stop: StopRule,
+    /// Trace recording level.
+    pub trace: TraceLevel,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 1_000_000,
+            stop: StopRule::Consensus,
+            trace: TraceLevel::Off,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Default options with a different round cap.
+    #[must_use]
+    pub fn with_max_rounds(max_rounds: u64) -> Self {
+        Self {
+            max_rounds,
+            ..Self::default()
+        }
+    }
+
+    /// Enable summary tracing.
+    #[must_use]
+    pub fn traced(mut self) -> Self {
+        self.trace = TraceLevel::Summary;
+        self
+    }
+}
+
+/// Why a trial ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The stop rule was satisfied.
+    Stopped,
+    /// The round cap was hit first.
+    MaxRounds,
+}
+
+/// Outcome of one simulated trial.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Rounds executed before stopping.
+    pub rounds: u64,
+    /// Why the run ended.
+    pub reason: StopReason,
+    /// The consensus color if the run ended in (M-)plurality agreement.
+    pub winner: Option<usize>,
+    /// The plurality color of the initial configuration.
+    pub initial_plurality: usize,
+    /// `winner == Some(initial_plurality)` — the paper's success event.
+    pub success: bool,
+    /// Recorded trajectory, if requested.
+    pub trace: Option<crate::trace::Trace>,
+}
+
+impl TrialResult {
+    /// Convenience: rounds as f64 (for statistics).
+    #[must_use]
+    pub fn rounds_f64(&self) -> f64 {
+        self.rounds as f64
+    }
+}
+
+/// A per-round intervention with mutable access to the state counts —
+/// the mechanism behind the F-bounded dynamic adversary of §3.1.
+///
+/// Called after every synchronous step (the paper's two-phase round:
+/// random step, then adversarial step).
+pub trait RoundHook {
+    /// Mutate the state counts in place; must preserve the total.
+    fn after_step(&mut self, round: u64, states: &mut [u64], rng: &mut dyn RngCore);
+}
+
+/// A no-op hook (useful default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl RoundHook for NoHook {
+    fn after_step(&mut self, _round: u64, _states: &mut [u64], _rng: &mut dyn RngCore) {}
+}
+
+/// Shared stop-rule evaluation over a state slice.
+///
+/// Returns the winning color when the rule is satisfied.
+#[must_use]
+pub fn evaluate_stop(
+    rule: StopRule,
+    dynamics: &dyn plurality_core::Dynamics,
+    states: &[u64],
+    initial_plurality: usize,
+) -> Option<usize> {
+    match rule {
+        StopRule::Consensus => dynamics.consensus(states),
+        StopRule::MPlurality(m) => {
+            let total: u64 = states.iter().sum();
+            let plur = states[initial_plurality];
+            if total - plur <= m {
+                Some(initial_plurality)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Compute the initial plurality of a color configuration, asserting it
+/// is unique so that "success" is well-defined.
+///
+/// # Panics
+/// Panics if the initial plurality is tied.
+#[must_use]
+pub fn unique_initial_plurality(cfg: &Configuration) -> usize {
+    let (p, c1) = cfg.plurality();
+    assert!(
+        cfg.bias() > 0 || cfg.k() == 1,
+        "initial plurality is tied (c1 = {c1}); success is ill-defined"
+    );
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_core::{builders, ThreeMajority};
+
+    #[test]
+    fn defaults() {
+        let o = RunOptions::default();
+        assert_eq!(o.stop, StopRule::Consensus);
+        assert_eq!(o.trace, TraceLevel::Off);
+        let t = RunOptions::with_max_rounds(10).traced();
+        assert_eq!(t.max_rounds, 10);
+        assert_eq!(t.trace, TraceLevel::Summary);
+    }
+
+    #[test]
+    fn evaluate_consensus_rule() {
+        let d = ThreeMajority::new();
+        assert_eq!(evaluate_stop(StopRule::Consensus, &d, &[0, 7, 0], 1), Some(1));
+        assert_eq!(evaluate_stop(StopRule::Consensus, &d, &[1, 6, 0], 1), None);
+    }
+
+    #[test]
+    fn evaluate_mplurality_rule() {
+        let d = ThreeMajority::new();
+        // All but 2 nodes on color 0, M = 2: satisfied.
+        assert_eq!(
+            evaluate_stop(StopRule::MPlurality(2), &d, &[8, 1, 1], 0),
+            Some(0)
+        );
+        assert_eq!(
+            evaluate_stop(StopRule::MPlurality(1), &d, &[8, 1, 1], 0),
+            None
+        );
+        // The rule watches the *initial* plurality, not the current one.
+        assert_eq!(
+            evaluate_stop(StopRule::MPlurality(2), &d, &[1, 9, 0], 0),
+            None
+        );
+    }
+
+    #[test]
+    fn unique_plurality_ok() {
+        let cfg = builders::biased(100, 4, 10);
+        assert_eq!(unique_initial_plurality(&cfg), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tied")]
+    fn tied_plurality_panics() {
+        let cfg = plurality_core::Configuration::new(vec![5, 5]);
+        let _ = unique_initial_plurality(&cfg);
+    }
+}

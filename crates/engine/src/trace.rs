@@ -1,0 +1,188 @@
+//! Trajectory recording: the per-round statistics the phase-portrait
+//! experiments (Lemmas 3–5, experiment E11) are built on.
+
+/// Summary statistics of one round's state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Round index (0 = the initial configuration).
+    pub round: u64,
+    /// Count of the currently largest color.
+    pub plurality_count: u64,
+    /// Count of the runner-up color.
+    pub second_count: u64,
+    /// Additive bias `c_(1) − c_(2)`.
+    pub bias: u64,
+    /// Total mass on non-plurality colors (`Σ_{i≠1} c_i` of Lemma 4).
+    pub minority_mass: u64,
+    /// Nodes in non-color states (undecided dynamics; 0 otherwise).
+    pub extra_state_mass: u64,
+    /// Number of colors still alive.
+    pub support: usize,
+}
+
+impl RoundStats {
+    /// Compute stats from a state slice, given how many leading entries
+    /// are colors.
+    #[must_use]
+    pub fn from_states(round: u64, states: &[u64], k_colors: usize) -> Self {
+        let colors = &states[..k_colors];
+        let mut c1 = 0u64;
+        let mut c2 = 0u64;
+        let mut colored_mass = 0u64;
+        let mut support = 0usize;
+        for &c in colors {
+            colored_mass += c;
+            if c > 0 {
+                support += 1;
+            }
+            if c > c1 {
+                c2 = c1;
+                c1 = c;
+            } else if c > c2 {
+                c2 = c;
+            }
+        }
+        let extra: u64 = states[k_colors..].iter().sum();
+        Self {
+            round,
+            plurality_count: c1,
+            second_count: c2,
+            bias: c1 - c2,
+            minority_mass: colored_mass - c1,
+            extra_state_mass: extra,
+            support,
+        }
+    }
+}
+
+/// A recorded trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Per-round summaries, starting with round 0 (the initial state).
+    pub rounds: Vec<RoundStats>,
+    /// Full state counts per round (only with `TraceLevel::Full`).
+    pub full_states: Vec<Vec<u64>>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a round (summary always; full counts if `full`).
+    pub fn record(&mut self, round: u64, states: &[u64], k_colors: usize, full: bool) {
+        self.rounds.push(RoundStats::from_states(round, states, k_colors));
+        if full {
+            self.full_states.push(states.to_vec());
+        }
+    }
+
+    /// Per-round multiplicative bias growth factors
+    /// `s(t+1)/s(t)` (Lemma 3's `1 + c1/4n` lower bound target).
+    /// Rounds with zero bias are skipped.
+    #[must_use]
+    pub fn bias_growth_factors(&self) -> Vec<f64> {
+        self.rounds
+            .windows(2)
+            .filter(|w| w[0].bias > 0)
+            .map(|w| w[1].bias as f64 / w[0].bias as f64)
+            .collect()
+    }
+
+    /// Per-round minority-mass decay factors (Lemma 4's 8/9 target).
+    /// Rounds with zero minority mass are skipped.
+    #[must_use]
+    pub fn minority_decay_factors(&self) -> Vec<f64> {
+        self.rounds
+            .windows(2)
+            .filter(|w| w[0].minority_mass > 0)
+            .map(|w| w[1].minority_mass as f64 / w[0].minority_mass as f64)
+            .collect()
+    }
+
+    /// First round at which the plurality count reached `threshold`.
+    #[must_use]
+    pub fn first_round_reaching(&self, threshold: u64) -> Option<u64> {
+        self.rounds
+            .iter()
+            .find(|r| r.plurality_count >= threshold)
+            .map(|r| r.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_states_basic() {
+        let s = RoundStats::from_states(3, &[10, 40, 30, 0], 4);
+        assert_eq!(s.round, 3);
+        assert_eq!(s.plurality_count, 40);
+        assert_eq!(s.second_count, 30);
+        assert_eq!(s.bias, 10);
+        assert_eq!(s.minority_mass, 40);
+        assert_eq!(s.extra_state_mass, 0);
+        assert_eq!(s.support, 3);
+    }
+
+    #[test]
+    fn stats_with_extra_state() {
+        // 2 colors + an undecided slot of 5.
+        let s = RoundStats::from_states(0, &[7, 3, 5], 2);
+        assert_eq!(s.plurality_count, 7);
+        assert_eq!(s.minority_mass, 3);
+        assert_eq!(s.extra_state_mass, 5);
+    }
+
+    #[test]
+    fn stats_tied_colors() {
+        let s = RoundStats::from_states(0, &[5, 5, 0], 3);
+        assert_eq!(s.bias, 0);
+        assert_eq!(s.plurality_count, 5);
+        assert_eq!(s.second_count, 5);
+    }
+
+    #[test]
+    fn trace_growth_factors() {
+        let mut t = Trace::new();
+        t.record(0, &[60, 40], 2, false);
+        t.record(1, &[70, 30], 2, false);
+        t.record(2, &[90, 10], 2, false);
+        let g = t.bias_growth_factors();
+        assert_eq!(g.len(), 2);
+        assert!((g[0] - 2.0).abs() < 1e-12); // 40 → 20... bias 20 → 40
+        assert!((g[1] - 2.0).abs() < 1e-12); // bias 40 → 80
+    }
+
+    #[test]
+    fn trace_minority_decay() {
+        let mut t = Trace::new();
+        t.record(0, &[60, 40], 2, false);
+        t.record(1, &[80, 20], 2, false);
+        t.record(2, &[100, 0], 2, false);
+        let d = t.minority_decay_factors();
+        assert_eq!(d.len(), 2);
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_threshold_crossing() {
+        let mut t = Trace::new();
+        t.record(0, &[50, 50], 2, false);
+        t.record(1, &[65, 35], 2, false);
+        t.record(2, &[90, 10], 2, false);
+        assert_eq!(t.first_round_reaching(60), Some(1));
+        assert_eq!(t.first_round_reaching(95), None);
+    }
+
+    #[test]
+    fn full_trace_stores_counts() {
+        let mut t = Trace::new();
+        t.record(0, &[3, 7], 2, true);
+        assert_eq!(t.full_states, vec![vec![3, 7]]);
+    }
+}

@@ -1,0 +1,395 @@
+//! The consensus process as an explicit absorbing Markov chain.
+//!
+//! For small populations the chain over color configurations is tiny —
+//! the state space is the set of compositions of `n` into `k` parts,
+//! `C(n+k−1, k−1)` states — so absorption probabilities and expected
+//! absorption times can be computed **exactly** (up to f64 linear
+//! algebra) and used as ground truth against the stochastic engines.
+//!
+//! The transition law follows from the same fact the mean-field engine
+//! uses: given configuration `c`, each node's next color is i.i.d. with
+//! the dynamics' adoption probabilities `p(c)`, so
+//! `P(c → c') = n! · Π_j p_j^{c'_j} / c'_j!` — a multinomial pmf.
+//!
+//! This module supports any dynamics whose mean-field step is a *single*
+//! multinomial over the adoption probabilities (3-majority, h-plurality
+//! via enumeration, voter, median-of-3-samples, all `TableD3` rules);
+//! group-wise dynamics (2-choices, undecided-state) would need the
+//! product law and are not needed for validation.
+
+use std::collections::HashMap;
+
+/// Adoption-probability oracle: fills `out[j] = P(a node adopts j | c)`.
+pub trait AdoptionKernel {
+    /// Compute the per-node adoption distribution for configuration `c`.
+    fn adoption_probs(&self, counts: &[u64], out: &mut [f64]);
+    /// Kernel name (diagnostics).
+    fn name(&self) -> String;
+}
+
+/// Lemma 1 kernel (3-majority).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreeMajorityKernel;
+
+impl AdoptionKernel for ThreeMajorityKernel {
+    fn adoption_probs(&self, counts: &[u64], out: &mut [f64]) {
+        plurality_core::kernels::three_majority_probs(counts, out);
+    }
+
+    fn name(&self) -> String {
+        "3-majority".into()
+    }
+}
+
+/// Voter kernel (`p_j = c_j/n`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VoterKernel;
+
+impl AdoptionKernel for VoterKernel {
+    fn adoption_probs(&self, counts: &[u64], out: &mut [f64]) {
+        let n: u64 = counts.iter().sum();
+        for (p, &c) in out.iter_mut().zip(counts) {
+            *p = c as f64 / n as f64;
+        }
+    }
+
+    fn name(&self) -> String {
+        "voter".into()
+    }
+}
+
+/// h-plurality kernel via exact enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct HPluralityKernel {
+    /// Sample size.
+    pub h: usize,
+}
+
+impl AdoptionKernel for HPluralityKernel {
+    fn adoption_probs(&self, counts: &[u64], out: &mut [f64]) {
+        let ok = plurality_core::kernels::h_plurality_probs(counts, self.h, out);
+        assert!(ok, "enumeration budget exceeded; use smaller k/h");
+    }
+
+    fn name(&self) -> String {
+        format!("{}-plurality", self.h)
+    }
+}
+
+/// Any color-symmetric 3-input rule.
+impl AdoptionKernel for plurality_core::TableD3 {
+    fn adoption_probs(&self, counts: &[u64], out: &mut [f64]) {
+        plurality_core::TableD3::adoption_probs(self, counts, out);
+    }
+
+    fn name(&self) -> String {
+        plurality_core::Dynamics::name(self)
+    }
+}
+
+/// Exact analysis results for one starting configuration.
+#[derive(Debug, Clone)]
+pub struct Absorption {
+    /// Probability of absorbing in each monochromatic color.
+    pub win_probability: Vec<f64>,
+    /// Expected number of rounds to absorption.
+    pub expected_rounds: f64,
+}
+
+/// Exact absorbing-chain solver over the composition state space.
+pub struct ExactChain {
+    n: u64,
+    k: usize,
+    /// All states, in a fixed enumeration order.
+    states: Vec<Vec<u64>>,
+    index: HashMap<Vec<u64>, usize>,
+    /// Log-factorials `ln i!` for `i ≤ n`.
+    ln_fact: Vec<f64>,
+}
+
+impl ExactChain {
+    /// Budget on the state count (`C(n+k−1, k−1)`), beyond which exact
+    /// analysis is refused.
+    pub const MAX_STATES: usize = 200_000;
+
+    /// Enumerate the state space for `(n, k)`.
+    ///
+    /// # Panics
+    /// Panics if the state space exceeds [`Self::MAX_STATES`].
+    #[must_use]
+    pub fn new(n: u64, k: usize) -> Self {
+        assert!(k >= 1, "need at least one color");
+        let mut states = Vec::new();
+        let mut current = vec![0u64; k];
+        enumerate_compositions(n, 0, &mut current, &mut states);
+        assert!(
+            states.len() <= Self::MAX_STATES,
+            "state space has {} states (max {})",
+            states.len(),
+            Self::MAX_STATES
+        );
+        let index: HashMap<Vec<u64>, usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+        let mut ln_fact = vec![0.0f64; n as usize + 1];
+        for i in 1..=n as usize {
+            ln_fact[i] = ln_fact[i - 1] + (i as f64).ln();
+        }
+        Self {
+            n,
+            k,
+            states,
+            index,
+            ln_fact,
+        }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Multinomial pmf `P(target | n, probs)` in log space.
+    fn multinomial_pmf(&self, probs: &[f64], target: &[u64]) -> f64 {
+        let mut ln_p = self.ln_fact[self.n as usize];
+        for (&t, &p) in target.iter().zip(probs) {
+            if t == 0 {
+                continue;
+            }
+            if p <= 0.0 {
+                return 0.0;
+            }
+            ln_p += t as f64 * p.ln() - self.ln_fact[t as usize];
+        }
+        ln_p.exp()
+    }
+
+    /// Solve absorption exactly from one starting configuration.
+    ///
+    /// Builds the full transition kernel row by row and solves the
+    /// absorption equations by damped fixed-point iteration (the chain is
+    /// absorbing, so the iteration contracts; tolerance 1e-12).
+    ///
+    /// # Panics
+    /// Panics if `start` is not a valid configuration of `(n, k)`.
+    #[must_use]
+    pub fn analyze(&self, kernel: &dyn AdoptionKernel, start: &[u64]) -> Absorption {
+        assert_eq!(start.len(), self.k);
+        assert_eq!(start.iter().sum::<u64>(), self.n);
+        let s = self.states.len();
+
+        // Transition rows (dense in the reachable support; many entries
+        // are numerically zero and dropped at 1e-15).
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(s);
+        let mut probs = vec![0.0f64; self.k];
+        for state in &self.states {
+            if is_monochromatic(state) {
+                rows.push(Vec::new()); // absorbing
+                continue;
+            }
+            kernel.adoption_probs(state, &mut probs);
+            let mut row = Vec::new();
+            for (j, target) in self.states.iter().enumerate() {
+                let p = self.multinomial_pmf(&probs, target);
+                if p > 1e-15 {
+                    row.push((j as u32, p));
+                }
+            }
+            // Normalize away the dropped mass.
+            let total: f64 = row.iter().map(|&(_, p)| p).sum();
+            for entry in &mut row {
+                entry.1 /= total;
+            }
+            rows.push(row);
+        }
+
+        // Absorbing states and their colors.
+        let mut absorb_color: Vec<Option<usize>> = Vec::with_capacity(s);
+        for state in &self.states {
+            absorb_color.push(mono_color(state));
+        }
+
+        // win[i][color] via value iteration: w = P·w with boundary at the
+        // absorbing states; expected rounds t = 1 + P·t likewise.
+        let mut win = vec![vec![0.0f64; self.k]; s];
+        let mut rounds = vec![0.0f64; s];
+        for (i, color) in absorb_color.iter().enumerate() {
+            if let Some(c) = color {
+                win[i][*c] = 1.0;
+            }
+        }
+        // Gauss-Seidel sweeps.
+        for _sweep in 0..100_000 {
+            let mut delta: f64 = 0.0;
+            for i in 0..s {
+                if absorb_color[i].is_some() {
+                    continue;
+                }
+                let mut new_win = vec![0.0f64; self.k];
+                let mut new_rounds = 1.0;
+                // Self-loop handling: i → i with prob p_ii needs the
+                // standard (1 − p_ii) renormalization.
+                let mut self_p = 0.0;
+                for &(j, p) in &rows[i] {
+                    let j = j as usize;
+                    if j == i {
+                        self_p = p;
+                        continue;
+                    }
+                    for (acc, &w) in new_win.iter_mut().zip(&win[j]) {
+                        *acc += p * w;
+                    }
+                    new_rounds += p * rounds[j];
+                }
+                let scale = 1.0 / (1.0 - self_p);
+                for w in &mut new_win {
+                    *w *= scale;
+                }
+                new_rounds *= scale;
+                for (c, &w) in new_win.iter().enumerate() {
+                    delta = delta.max((w - win[i][c]).abs());
+                }
+                delta = delta.max((new_rounds - rounds[i]).abs() / new_rounds.max(1.0));
+                win[i] = new_win;
+                rounds[i] = new_rounds;
+            }
+            if delta < 1e-12 {
+                break;
+            }
+        }
+
+        let i0 = self.index[&start.to_vec()];
+        Absorption {
+            win_probability: win[i0].clone(),
+            expected_rounds: rounds[i0],
+        }
+    }
+}
+
+fn enumerate_compositions(
+    remaining: u64,
+    pos: usize,
+    current: &mut Vec<u64>,
+    out: &mut Vec<Vec<u64>>,
+) {
+    let k = current.len();
+    if pos == k - 1 {
+        current[pos] = remaining;
+        out.push(current.clone());
+        return;
+    }
+    for v in 0..=remaining {
+        current[pos] = v;
+        enumerate_compositions(remaining - v, pos + 1, current, out);
+    }
+}
+
+fn is_monochromatic(state: &[u64]) -> bool {
+    mono_color(state).is_some()
+}
+
+fn mono_color(state: &[u64]) -> Option<usize> {
+    let total: u64 = state.iter().sum();
+    state.iter().position(|&c| c == total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_count() {
+        // C(n+k−1, k−1): n = 4, k = 3 → C(6,2) = 15.
+        let chain = ExactChain::new(4, 3);
+        assert_eq!(chain.state_count(), 15);
+        let chain2 = ExactChain::new(10, 2);
+        assert_eq!(chain2.state_count(), 11);
+    }
+
+    #[test]
+    fn voter_absorption_is_martingale() {
+        // For the voter model, P(absorb in color j) = c_j/n exactly.
+        let chain = ExactChain::new(12, 2);
+        let a = chain.analyze(&VoterKernel, &[8, 4]);
+        assert!((a.win_probability[0] - 8.0 / 12.0).abs() < 1e-9,
+            "P = {}", a.win_probability[0]);
+        assert!((a.win_probability[1] - 4.0 / 12.0).abs() < 1e-9);
+        assert!(a.expected_rounds > 0.0);
+    }
+
+    #[test]
+    fn voter_martingale_three_colors() {
+        let chain = ExactChain::new(9, 3);
+        let a = chain.analyze(&VoterKernel, &[4, 3, 2]);
+        for (j, expect) in [4.0 / 9.0, 3.0 / 9.0, 2.0 / 9.0].iter().enumerate() {
+            assert!(
+                (a.win_probability[j] - expect).abs() < 1e-8,
+                "color {j}: {} vs {expect}",
+                a.win_probability[j]
+            );
+        }
+    }
+
+    #[test]
+    fn three_majority_beats_voter_from_bias() {
+        // 3-majority amplifies bias: its exact win probability from a
+        // biased binary start exceeds the voter's martingale value.
+        let chain = ExactChain::new(20, 2);
+        let maj = chain.analyze(&ThreeMajorityKernel, &[13, 7]);
+        let vot = chain.analyze(&VoterKernel, &[13, 7]);
+        assert!(
+            maj.win_probability[0] > vot.win_probability[0] + 0.05,
+            "majority {} vs voter {}",
+            maj.win_probability[0],
+            vot.win_probability[0]
+        );
+        // And is faster in expectation.
+        assert!(maj.expected_rounds < vot.expected_rounds);
+    }
+
+    #[test]
+    fn win_probabilities_sum_to_one() {
+        let chain = ExactChain::new(10, 3);
+        for start in [[4u64, 3, 3], [8, 1, 1], [5, 5, 0]] {
+            let a = chain.analyze(&ThreeMajorityKernel, &start);
+            let total: f64 = a.win_probability.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "start {start:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn absorbing_start_is_trivial() {
+        let chain = ExactChain::new(15, 2);
+        let a = chain.analyze(&ThreeMajorityKernel, &[15, 0]);
+        assert_eq!(a.win_probability[0], 1.0);
+        assert_eq!(a.expected_rounds, 0.0);
+    }
+
+    #[test]
+    fn symmetry_of_balanced_start() {
+        // Perfectly balanced binary start: each color wins w.p. 1/2.
+        let chain = ExactChain::new(10, 2);
+        let a = chain.analyze(&ThreeMajorityKernel, &[5, 5]);
+        assert!((a.win_probability[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h_plurality_kernel_supported() {
+        let chain = ExactChain::new(8, 2);
+        let h5 = HPluralityKernel { h: 5 };
+        let a = chain.analyze(&h5, &[5, 3]);
+        let a3 = chain.analyze(&ThreeMajorityKernel, &[5, 3]);
+        // Larger samples amplify harder.
+        assert!(a.win_probability[0] > a3.win_probability[0]);
+    }
+
+    #[test]
+    fn dead_color_stays_dead() {
+        let chain = ExactChain::new(10, 3);
+        let a = chain.analyze(&ThreeMajorityKernel, &[6, 4, 0]);
+        assert!(a.win_probability[2].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! Exact absorbing-Markov-chain analysis of consensus dynamics at small
+//! `n` — the ground truth the stochastic engines are validated against.
+//!
+//! On the clique, one synchronous round from configuration `c` is a
+//! multinomial draw with the dynamics' adoption probabilities, so for
+//! small populations the whole process is an explicit absorbing Markov
+//! chain over the `C(n+k−1, k−1)` compositions of `n` into `k` colors.
+//! [`ExactChain`] enumerates that chain and solves the absorption
+//! equations directly, yielding exact plurality-win probabilities and
+//! expected absorption times — numbers the Monte-Carlo engines must (and
+//! do — see `tests/exact_vs_simulation.rs`) reproduce within sampling
+//! error.
+//!
+//! ```
+//! use plurality_exact::{ExactChain, ThreeMajorityKernel, VoterKernel};
+//!
+//! let chain = ExactChain::new(12, 2);
+//! // The voter model's absorption law is the martingale c_j/n — exactly.
+//! let voter = chain.analyze(&VoterKernel, &[9, 3]);
+//! assert!((voter.win_probability[0] - 0.75).abs() < 1e-9);
+//! // 3-majority amplifies the same bias well past the martingale value.
+//! let majority = chain.analyze(&ThreeMajorityKernel, &[9, 3]);
+//! assert!(majority.win_probability[0] > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+
+pub use chain::{Absorption, AdoptionKernel, ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterKernel};

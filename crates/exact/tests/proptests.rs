@@ -1,0 +1,77 @@
+//! Property-based tests on the exact chain: absorption laws that must
+//! hold for arbitrary small configurations.
+
+use proptest::prelude::*;
+use plurality_exact::{ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterKernel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Win probabilities form a distribution for any start.
+    #[test]
+    fn win_probabilities_are_distribution(
+        c0 in 0u64..12, c1 in 0u64..12, c2 in 0u64..12,
+    ) {
+        prop_assume!(c0 + c1 + c2 > 0);
+        let n = c0 + c1 + c2;
+        let chain = ExactChain::new(n, 3);
+        let a = chain.analyze(&ThreeMajorityKernel, &[c0, c1, c2]);
+        let total: f64 = a.win_probability.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "total = {}", total);
+        for &p in &a.win_probability {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+        prop_assert!(a.expected_rounds >= 0.0);
+    }
+
+    /// The voter absorption law is exactly the martingale c_j/n.
+    #[test]
+    fn voter_is_exactly_martingale(c0 in 1u64..15, c1 in 1u64..15) {
+        let n = c0 + c1;
+        let chain = ExactChain::new(n, 2);
+        let a = chain.analyze(&VoterKernel, &[c0, c1]);
+        prop_assert!((a.win_probability[0] - c0 as f64 / n as f64).abs() < 1e-8);
+    }
+
+    /// Color symmetry: permuting the start permutes the win vector.
+    #[test]
+    fn color_symmetry(c0 in 0u64..10, c1 in 0u64..10) {
+        prop_assume!(c0 + c1 > 0);
+        let n = c0 + c1;
+        let chain = ExactChain::new(n, 2);
+        let a = chain.analyze(&ThreeMajorityKernel, &[c0, c1]);
+        let b = chain.analyze(&ThreeMajorityKernel, &[c1, c0]);
+        prop_assert!((a.win_probability[0] - b.win_probability[1]).abs() < 1e-9);
+        prop_assert!((a.expected_rounds - b.expected_rounds).abs() < 1e-7);
+    }
+
+    /// Monotonicity in the start: more initial support never hurts.
+    #[test]
+    fn win_probability_monotone_in_support(c0 in 1u64..12, c1 in 1u64..12) {
+        prop_assume!(c0 + 1 + c1 <= 24);
+        let n = c0 + c1 + 1;
+        let chain = ExactChain::new(n, 2);
+        let better = chain.analyze(&ThreeMajorityKernel, &[c0 + 1, c1]);
+        let worse = chain.analyze(&ThreeMajorityKernel, &[c0, c1 + 1]);
+        prop_assert!(
+            better.win_probability[0] >= worse.win_probability[0] - 1e-9,
+            "{} < {}",
+            better.win_probability[0],
+            worse.win_probability[0]
+        );
+    }
+
+    /// Amplification hierarchy holds exactly for every biased start:
+    /// voter ≤ 3-majority ≤ 5-plurality win probability.
+    #[test]
+    fn amplification_hierarchy(c1 in 1u64..10, extra in 1u64..8) {
+        let c0 = c1 + extra;
+        let n = c0 + c1;
+        let chain = ExactChain::new(n, 2);
+        let v = chain.analyze(&VoterKernel, &[c0, c1]).win_probability[0];
+        let m = chain.analyze(&ThreeMajorityKernel, &[c0, c1]).win_probability[0];
+        let h = chain.analyze(&HPluralityKernel { h: 5 }, &[c0, c1]).win_probability[0];
+        prop_assert!(v <= m + 1e-9, "voter {} > majority {}", v, m);
+        prop_assert!(m <= h + 1e-9, "majority {} > 5-plurality {}", m, h);
+    }
+}

@@ -1,0 +1,92 @@
+//! **E1 — Corollary 1**: with bias `s ≥ c·√(min{2k,(n/ln n)^{1/3}}·n·ln n)`,
+//! the 3-majority dynamics converges to the initial plurality in
+//! `O(min{2k, (n/ln n)^{1/3}}·log n)` rounds w.h.p.
+//!
+//! We sweep `k` at fixed `n`, give each start the threshold bias, and
+//! report mean convergence rounds, the win rate (should be ≈ 1
+//! throughout), and the normalized ratio `rounds / (λ·ln n)` — Corollary 1
+//! predicts that ratio is bounded by a constant across the whole sweep,
+//! including past the `2k > (n/ln n)^{1/3}` crossover where the curve
+//! flattens.
+
+use crate::{lambda_of, paper_bias, run_mean_field_trials, Context, Experiment};
+use plurality_analysis::{fmt_f64, Table};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::RunOptions;
+
+/// See module docs.
+pub struct E01Cor1KScaling;
+
+impl Experiment for E01Cor1KScaling {
+    fn id(&self) -> &'static str {
+        "e01"
+    }
+
+    fn title(&self) -> &'static str {
+        "Corollary 1: convergence time O(min{2k,(n/ln n)^(1/3)}·log n) under threshold bias"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: u64 = ctx.pick(100_000, 10_000_000);
+        let ks: &[usize] = ctx.pick(&[2usize, 8, 32][..], &[2, 4, 8, 16, 32, 64, 128, 256][..]);
+        let trials = ctx.pick(20, 100);
+        let bias_c = 1.0; // measured sufficient constant (paper proves 72√2)
+
+        let d = ThreeMajority::new();
+        let ln_n = (n as f64).ln();
+        let mut table = Table::new(
+            format!("E1 · 3-majority rounds vs k (n = {n}, s = 1.0·sqrt(λ n ln n), {trials} trials)"),
+            &[
+                "k",
+                "lambda",
+                "bias s",
+                "win rate",
+                "win 95% CI",
+                "mean rounds",
+                "sd",
+                "rounds/(λ·ln n)",
+            ],
+        );
+
+        for (i, &k) in ks.iter().enumerate() {
+            let lambda = lambda_of(n, k);
+            let s = paper_bias(n, k, bias_c);
+            let cfg = builders::biased(n, k, s);
+            let stats = run_mean_field_trials(
+                &d,
+                &cfg,
+                &RunOptions::with_max_rounds(200_000),
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE01 + i as u64),
+            );
+            let iv = stats.win_interval();
+            table.push_row(vec![
+                k.to_string(),
+                fmt_f64(lambda),
+                s.to_string(),
+                fmt_f64(stats.win_rate()),
+                format!("[{}, {}]", fmt_f64(iv.lo), fmt_f64(iv.hi)),
+                fmt_f64(stats.rounds.mean()),
+                fmt_f64(stats.rounds.std_dev()),
+                fmt_f64(stats.rounds.mean() / (lambda * ln_n)),
+            ]);
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_wins() {
+        let tables = E01Cor1KScaling.run(&Context::smoke());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 3);
+        // Every smoke row should report a win rate of 1 (strong bias).
+        let md = tables[0].markdown();
+        assert!(md.contains("| 2 "), "missing k = 2 row:\n{md}");
+    }
+}

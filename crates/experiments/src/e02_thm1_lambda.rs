@@ -1,0 +1,117 @@
+//! **E2 — Theorem 1 (λ-form)**: if `c₁ ≥ n/λ` and
+//! `s ≥ 72√(2λ·n·ln n)`, 3-majority converges in `O(λ·log n)` rounds
+//! w.h.p. — **independently of `k`**.
+//!
+//! We fix `c₁ = n/λ` (the rest spread evenly over `k − 1` colors, which
+//! makes the bias enormous automatically) and sweep `λ` and `k`.  The
+//! prediction: rounds grow with `λ` but are flat in `k`, even for `k` in
+//! the hundreds.
+
+use crate::{run_mean_field_trials, Context, Experiment};
+use plurality_analysis::{fmt_f64, Table};
+use plurality_core::{Configuration, ThreeMajority};
+use plurality_engine::RunOptions;
+
+/// Configuration with `c₁ ≥ n/λ`, the rest spread evenly, and the bias
+/// kept at or above the Theorem 1 threshold `s ≥ c·√(2λ·n·ln n)` — when
+/// `k ≈ λ` an even split would tie the plurality (e.g. λ = k = 16 gives
+/// `c₁ = n/16 =` every other color), so `c₁` is raised until the bias
+/// requirement holds.
+fn lambda_config(n: u64, lambda: u64, k: usize) -> Configuration {
+    let s_min = (1.5 * (2.0 * lambda as f64 * n as f64 * (n as f64).ln()).sqrt()).ceil() as u64;
+    let mut c1 = n / lambda;
+    let others = (k - 1) as u64;
+    // Ensure c1 ≥ (n − c1)/(k−1) + s_min: solve for the minimal c1.
+    let c1_needed = (n + others * s_min).div_ceil(k as u64);
+    c1 = c1.max(c1_needed);
+    let rest = n - c1;
+    let base = rest / others;
+    let rem = (rest % others) as usize;
+    let mut counts = Vec::with_capacity(k);
+    counts.push(c1);
+    for j in 0..k - 1 {
+        counts.push(base + u64::from(j < rem));
+    }
+    Configuration::new(counts)
+}
+
+/// See module docs.
+pub struct E02Thm1Lambda;
+
+impl Experiment for E02Thm1Lambda {
+    fn id(&self) -> &'static str {
+        "e02"
+    }
+
+    fn title(&self) -> &'static str {
+        "Theorem 1: rounds scale with λ (c1 = n/λ) and are flat in k"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: u64 = ctx.pick(100_000, 1_000_000);
+        let lambdas: &[u64] = ctx.pick(&[2u64, 4][..], &[2, 4, 8, 16][..]);
+        let ks: &[usize] = ctx.pick(&[16usize, 64][..], &[16, 64, 256, 1024][..]);
+        let trials = ctx.pick(10, 50);
+        let d = ThreeMajority::new();
+        let ln_n = (n as f64).ln();
+
+        let mut table = Table::new(
+            format!("E2 · rounds vs λ and k (c1 = n/λ, n = {n}, {trials} trials)"),
+            &["lambda", "k", "bias s(c)", "win rate", "mean rounds", "rounds/(λ·ln n)"],
+        );
+        for (i, &lambda) in lambdas.iter().enumerate() {
+            for (j, &k) in ks.iter().enumerate() {
+                let cfg = lambda_config(n, lambda, k);
+                let stats = run_mean_field_trials(
+                    &d,
+                    &cfg,
+                    &RunOptions::with_max_rounds(200_000),
+                    trials,
+                    ctx.threads,
+                    ctx.seed ^ (0xE02 + (i * 16 + j) as u64),
+                );
+                table.push_row(vec![
+                    lambda.to_string(),
+                    k.to_string(),
+                    cfg.bias().to_string(),
+                    fmt_f64(stats.win_rate()),
+                    fmt_f64(stats.rounds.mean()),
+                    fmt_f64(stats.rounds.mean() / (lambda as f64 * ln_n)),
+                ]);
+            }
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_config_shape() {
+        let cfg = lambda_config(1_000_000, 4, 10);
+        assert_eq!(cfg.n(), 1_000_000);
+        assert_eq!(cfg.count(0), 250_000);
+        assert_eq!(cfg.plurality().0, 0);
+        assert!(cfg.bias() > 0);
+    }
+
+    #[test]
+    fn lambda_config_never_ties_at_k_equal_lambda() {
+        // The λ = k corner that crashed the paper run: an even n/λ split
+        // would tie; the builder must inject the Theorem 1 bias.
+        let cfg = lambda_config(1_000_000, 16, 16);
+        assert_eq!(cfg.plurality().0, 0);
+        let s_min =
+            (1.5 * (2.0 * 16.0 * 1e6 * (1e6f64).ln()).sqrt()).ceil() as u64;
+        assert!(cfg.bias() >= s_min, "bias {} < threshold {s_min}", cfg.bias());
+        assert!(cfg.count(0) >= 1_000_000 / 16);
+    }
+
+    #[test]
+    fn smoke_rows() {
+        let tables = E02Thm1Lambda.run(&Context::smoke());
+        assert_eq!(tables[0].len(), 4); // 2 λ × 2 k
+    }
+}

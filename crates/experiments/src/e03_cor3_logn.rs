@@ -1,0 +1,111 @@
+//! **E3 — Corollary 3**: with `c₁ ≥ n/β` for constant `β` and bias
+//! `s ≥ 72√(2β·n·ln n)`, convergence takes `O(log n)` rounds w.h.p.
+//!
+//! We fix `β = 3` and `k = 8` and sweep `n` over four decades, then fit
+//! `rounds = a + b·ln n`.  The prediction: a clean linear fit (r² ≈ 1)
+//! with a modest slope — i.e. genuinely logarithmic convergence.
+
+use crate::{run_mean_field_trials, Context, Experiment};
+use plurality_analysis::{fmt_f64, linear_fit, Table};
+use plurality_core::{Configuration, ThreeMajority};
+use plurality_engine::RunOptions;
+
+/// `c₁ = n/β`, remainder spread evenly over `k − 1` colors.
+fn beta_config(n: u64, beta: u64, k: usize) -> Configuration {
+    let c1 = n / beta;
+    let others = k - 1;
+    let rest = n - c1;
+    let base = rest / others as u64;
+    let rem = (rest % others as u64) as usize;
+    let mut counts = Vec::with_capacity(k);
+    counts.push(c1);
+    for j in 0..others {
+        counts.push(base + u64::from(j < rem));
+    }
+    Configuration::new(counts)
+}
+
+/// See module docs.
+pub struct E03Cor3LogN;
+
+impl Experiment for E03Cor3LogN {
+    fn id(&self) -> &'static str {
+        "e03"
+    }
+
+    fn title(&self) -> &'static str {
+        "Corollary 3: O(log n) convergence at constant β (c1 = n/3, k = 8)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let ns: &[u64] = ctx.pick(
+            &[10_000u64, 100_000][..],
+            &[10_000, 100_000, 1_000_000, 10_000_000, 100_000_000][..],
+        );
+        let trials = ctx.pick(10, 50);
+        let beta = 3u64;
+        let k = 8usize;
+        let d = ThreeMajority::new();
+
+        let mut table = Table::new(
+            format!("E3 · rounds vs n (c1 = n/{beta}, k = {k}, {trials} trials)"),
+            &["n", "ln n", "win rate", "mean rounds", "sd", "rounds/ln n"],
+        );
+        let mut lnns = Vec::new();
+        let mut means = Vec::new();
+        for (i, &n) in ns.iter().enumerate() {
+            let cfg = beta_config(n, beta, k);
+            let stats = run_mean_field_trials(
+                &d,
+                &cfg,
+                &RunOptions::with_max_rounds(100_000),
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE03 + i as u64),
+            );
+            let ln_n = (n as f64).ln();
+            lnns.push(ln_n);
+            means.push(stats.rounds.mean());
+            table.push_row(vec![
+                n.to_string(),
+                fmt_f64(ln_n),
+                fmt_f64(stats.win_rate()),
+                fmt_f64(stats.rounds.mean()),
+                fmt_f64(stats.rounds.std_dev()),
+                fmt_f64(stats.rounds.mean() / ln_n),
+            ]);
+        }
+
+        let fit = linear_fit(&lnns, &means);
+        let mut fit_table = Table::new(
+            "E3 · fit rounds = a + b·ln n",
+            &["slope b", "intercept a", "r²"],
+        );
+        fit_table.push_row(vec![
+            fmt_f64(fit.slope),
+            fmt_f64(fit.intercept),
+            fmt_f64(fit.r2),
+        ]);
+        vec![table, fit_table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_config_shape() {
+        let cfg = beta_config(900, 3, 4);
+        assert_eq!(cfg.n(), 900);
+        assert_eq!(cfg.count(0), 300);
+        assert_eq!(cfg.plurality().0, 0);
+    }
+
+    #[test]
+    fn smoke_produces_fit() {
+        let tables = E03Cor3LogN.run(&Context::smoke());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[1].len(), 1);
+    }
+}

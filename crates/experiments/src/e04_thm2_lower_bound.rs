@@ -1,0 +1,111 @@
+//! **E4 — Theorem 2 (lower bound)**: starting from a near-balanced
+//! configuration (`max_j c_j ≤ n/k + (n/k)^{1−ε}`, `k ≤ (n/ln n)^{1/4}`),
+//! 3-majority needs `Ω(k·log n)` rounds w.h.p. — and `Ω(k·log n)` rounds
+//! already to push the leading color from `n/k + o(n/k)` to `2n/k` (the
+//! paper's closing remark in §4.1).
+//!
+//! We sweep `k`, record the total consensus time and the `2n/k`-crossing
+//! round (from traced runs), and report both normalized by `k·ln n` —
+//! the prediction is that both ratios stay bounded away from 0.
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, linear_fit, Summary, Table};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+
+/// See module docs.
+pub struct E04Thm2LowerBound;
+
+impl Experiment for E04Thm2LowerBound {
+    fn id(&self) -> &'static str {
+        "e04"
+    }
+
+    fn title(&self) -> &'static str {
+        "Theorem 2: Ω(k·log n) rounds from near-balanced starts (ε = 0.5)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: u64 = ctx.pick(100_000, 1_000_000);
+        let ks: &[usize] = ctx.pick(&[2usize, 4, 8][..], &[2, 4, 8, 16, 32][..]);
+        let trials = ctx.pick(8, 30);
+        let eps = 0.5;
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let ln_n = (n as f64).ln();
+
+        let mut table = Table::new(
+            format!("E4 · rounds from near-balanced start (n = {n}, ε = {eps}, {trials} trials)"),
+            &[
+                "k",
+                "initial imbalance",
+                "mean rounds to consensus",
+                "rounds/(k·ln n)",
+                "mean rounds to 2n/k",
+                "to-2n/k/(k·ln n)",
+            ],
+        );
+        let mut ks_f = Vec::new();
+        let mut means = Vec::new();
+        for (i, &k) in ks.iter().enumerate() {
+            let cfg = builders::near_balanced(n, k, eps);
+            let imbalance = cfg.plurality().1 - n / k as u64;
+            let mc = MonteCarlo {
+                trials,
+                threads: ctx.threads,
+                master_seed: ctx.seed ^ (0xE04 + i as u64),
+            };
+            let opts = RunOptions::with_max_rounds(2_000_000).traced();
+            let results = mc.run(|_, rng| engine.run(&cfg, &opts, rng));
+            let mut total = Summary::new();
+            let mut crossing = Summary::new();
+            for r in &results {
+                if r.reason == StopReason::Stopped {
+                    total.push(r.rounds_f64());
+                }
+                if let Some(t) = &r.trace {
+                    if let Some(round) = t.first_round_reaching(2 * n / k as u64) {
+                        crossing.push(round as f64);
+                    }
+                }
+            }
+            ks_f.push(k as f64);
+            means.push(total.mean());
+            table.push_row(vec![
+                k.to_string(),
+                imbalance.to_string(),
+                fmt_f64(total.mean()),
+                fmt_f64(total.mean() / (k as f64 * ln_n)),
+                fmt_f64(crossing.mean()),
+                fmt_f64(crossing.mean() / (k as f64 * ln_n)),
+            ]);
+        }
+
+        // The linear-in-k prediction: rounds/ln n vs k should fit a line
+        // through the data with positive slope and high r².
+        let normalized: Vec<f64> = means.iter().map(|m| m / ln_n).collect();
+        let fit = linear_fit(&ks_f, &normalized);
+        let mut fit_table = Table::new(
+            "E4 · fit (rounds/ln n) = a + b·k",
+            &["slope b", "intercept a", "r²"],
+        );
+        fit_table.push_row(vec![
+            fmt_f64(fit.slope),
+            fmt_f64(fit.intercept),
+            fmt_f64(fit.r2),
+        ]);
+        vec![table, fit_table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_rows_and_fit() {
+        let tables = E04Thm2LowerBound.run(&Context::smoke());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 3);
+    }
+}

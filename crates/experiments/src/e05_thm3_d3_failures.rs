@@ -1,0 +1,212 @@
+//! **E5 — Theorem 3**: within the 3-input dynamics class, only rules with
+//! *both* the clear-majority property and the uniform property (i.e.
+//! 3-majority up to equivalence) solve plurality consensus from sublinear
+//! bias.
+//!
+//! We run the Lemma 8 start `(n/3 + s, n/3, n/3 − s)` under the whole rule
+//! zoo — and, crucially, also the **mirrored** start with the plurality at
+//! the highest color index.  A rule counts as a plurality solver only if
+//! it wins from *every* biased configuration; rank-asymmetric rules can
+//! fluke one orientation (the min-rule δ = (6,0,0) wins when the
+//! plurality happens to be the smallest color index and collapses on the
+//! mirror).  Rules covered: 3-majority (control), the median table
+//! (clear majority, δ = (0,6,0) — converges to the *median* color), the
+//! Lemma 8 counterexamples δ = (1,3,2) and δ = (1,4,1), the min-rule, and
+//! an anti-majority rule (violates clear majority; never stabilizes).
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Table};
+use plurality_core::{builders, Configuration, Dynamics, TableD3, ThreeMajority};
+use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+
+/// See module docs.
+pub struct E05Thm3D3Failures;
+
+/// Mirror a configuration: color `j` becomes color `k−1−j`.
+fn mirrored(cfg: &Configuration) -> Configuration {
+    let mut counts = cfg.counts().to_vec();
+    counts.reverse();
+    Configuration::new(counts)
+}
+
+impl Experiment for E05Thm3D3Failures {
+    fn id(&self) -> &'static str {
+        "e05"
+    }
+
+    fn title(&self) -> &'static str {
+        "Theorem 3: non-clear-majority / non-uniform 3-input rules fail plurality consensus"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: u64 = ctx.pick(30_000, 100_000);
+        let s = (2.0 * (n as f64 * (n as f64).ln()).sqrt()) as u64;
+        let trials = ctx.pick(40, 200);
+        let ascending = builders::three_colors(n, s); // plurality = color 0
+        let descending = mirrored(&ascending); // plurality = color 2
+
+        let three_majority = ThreeMajority::new();
+        let t_median = TableD3::median3();
+        let t_132 = TableD3::lemma8_132();
+        let t_141 = TableD3::lemma8_141();
+        let t_min = TableD3::min3();
+        let t_anti = TableD3::anti_majority();
+        let rules: Vec<(&dyn Dynamics, Option<&TableD3>)> = vec![
+            (&three_majority, None),
+            (&t_median, Some(&t_median)),
+            (&t_132, Some(&t_132)),
+            (&t_141, Some(&t_141)),
+            (&t_min, Some(&t_min)),
+            (&t_anti, Some(&t_anti)),
+        ];
+
+        let mut table = Table::new(
+            format!(
+                "E5 · plurality-win rate by rule (n = {n}, start = (n/3±s) both orientations, s = {s}, {trials} trials each)"
+            ),
+            &[
+                "rule",
+                "clear-majority",
+                "uniform (δ)",
+                "win rate (plur. lowest)",
+                "win rate (plur. highest)",
+                "solver (both ≈ 1)",
+            ],
+        );
+
+        for (i, (dynamics, meta)) in rules.iter().enumerate() {
+            let engine = MeanFieldEngine::new(*dynamics);
+            let opts = RunOptions::with_max_rounds(500_000);
+            let mut rates = [0.0f64; 2];
+            for (orient, cfg) in [&ascending, &descending].iter().enumerate() {
+                let mc = MonteCarlo {
+                    trials,
+                    threads: ctx.threads,
+                    master_seed: ctx.seed ^ (0xE05 + (i * 2 + orient) as u64),
+                };
+                let results = mc.run(|_, rng| engine.run(cfg, &opts, rng));
+                debug_assert!(results
+                    .iter()
+                    .all(|r| r.reason != StopReason::Stopped || r.winner.is_some()));
+                let wins = results.iter().filter(|r| r.success).count();
+                rates[orient] = wins as f64 / trials as f64;
+            }
+            let (cm, uni) = match meta {
+                Some(t) => (
+                    t.has_clear_majority_property().to_string(),
+                    format!("{} {:?}", t.is_uniform(), t.deltas()),
+                ),
+                None => ("true".into(), "true [2, 2, 2]".into()),
+            };
+            table.push_row(vec![
+                dynamics.name(),
+                cm,
+                uni,
+                fmt_f64(rates[0]),
+                fmt_f64(rates[1]),
+                (rates[0] > 0.9 && rates[1] > 0.9).to_string(),
+            ]);
+        }
+
+        let mut tables = vec![table];
+        if ctx.scale == crate::Scale::Paper {
+            tables.push(self.exhaustive_delta_scan(ctx));
+        }
+        tables
+    }
+}
+
+impl E05Thm3D3Failures {
+    /// The complete classification: every clear-majority rule is a δ
+    /// distribution — all `C(8,2) = 28` of them — and Theorem 3 says
+    /// exactly one (the uniform δ = (2,2,2)) solves plurality consensus.
+    ///
+    /// Methodological note: the scan must place the plurality at *all
+    /// three* rank positions.  The palindromic rule δ = (3,0,3) passes
+    /// both extreme-plurality orientations (it favors extremes and is
+    /// symmetric under color reversal) and is only defeated by the
+    /// middle-plurality start — a concrete reminder that Definition 5
+    /// quantifies over every configuration.
+    fn exhaustive_delta_scan(&self, ctx: &Context) -> Table {
+        let n: u64 = 30_000;
+        let s = (2.0 * (n as f64 * (n as f64).ln()).sqrt()) as u64;
+        let trials = 50;
+        let base = n / 3;
+        let rem = n - 3 * base;
+        // Plurality at the lowest / middle / highest color index.
+        let starts = [
+            Configuration::new(vec![base + s, base + rem, base - s]),
+            Configuration::new(vec![base - s, base + s + rem, base]),
+            Configuration::new(vec![base - s, base + rem, base + s]),
+        ];
+        let opts = RunOptions::with_max_rounds(300_000);
+
+        let mut table = Table::new(
+            format!(
+                "E5b · exhaustive δ-simplex scan: all 28 clear-majority 3-input rules (n = {n}, s = {s}, {trials} trials per orientation)"
+            ),
+            &[
+                "δ = (low, mid, high)",
+                "win (plur. lowest)",
+                "win (plur. middle)",
+                "win (plur. highest)",
+                "solver",
+            ],
+        );
+        let mut scanned = 0usize;
+        for low in 0..=6u8 {
+            for mid in 0..=(6 - low) {
+                let high = 6 - low - mid;
+                let rule = TableD3::from_deltas([low, mid, high], "scan");
+                let engine = MeanFieldEngine::new(&rule);
+                let mut rates = [0.0f64; 3];
+                for (orient, cfg) in starts.iter().enumerate() {
+                    let mc = MonteCarlo {
+                        trials,
+                        threads: ctx.threads,
+                        master_seed: ctx.seed
+                            ^ (0xE5B + (usize::from(low) * 96 + usize::from(mid) * 12 + orient)
+                                as u64),
+                    };
+                    let results = mc.run(|_, rng| engine.run(cfg, &opts, rng));
+                    let wins = results.iter().filter(|r| r.success).count();
+                    rates[orient] = wins as f64 / trials as f64;
+                }
+                let solver = rates.iter().all(|&r| r > 0.9);
+                table.push_row(vec![
+                    format!("({low}, {mid}, {high})"),
+                    fmt_f64(rates[0]),
+                    fmt_f64(rates[1]),
+                    fmt_f64(rates[2]),
+                    if solver { "**yes**".into() } else { "no".to_string() },
+                ]);
+                scanned += 1;
+            }
+        }
+        debug_assert_eq!(scanned, 28);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_swaps_plurality_index() {
+        let cfg = builders::three_colors(999, 30);
+        assert_eq!(cfg.plurality().0, 0);
+        let m = mirrored(&cfg);
+        assert_eq!(m.plurality().0, 2);
+        assert_eq!(m.n(), cfg.n());
+        assert_eq!(m.bias(), cfg.bias());
+    }
+
+    #[test]
+    fn smoke_control_wins_others_lose() {
+        let tables = E05Thm3D3Failures.run(&Context::smoke());
+        let md = tables[0].markdown();
+        assert!(md.contains("3-majority"));
+        assert_eq!(tables[0].len(), 6);
+    }
+}

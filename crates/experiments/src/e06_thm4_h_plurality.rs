@@ -1,0 +1,86 @@
+//! **E6 — Theorem 4**: the h-plurality dynamics needs `Ω(k/h²)` rounds
+//! from near-balanced starts, so sample sizes `h = polylog(n)` buy at most
+//! a polylogarithmic speedup over 3-majority.
+//!
+//! We fix `k` and sweep `h`, measuring rounds to consensus from a
+//! near-balanced start.  Reported: mean rounds, the speedup relative to
+//! `h = 3`, and the `h²`-normalized speedup — Theorem 4 predicts the
+//! speedup grows no faster than `h²` (ratio column bounded).
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Table};
+use plurality_core::{builders, HPlurality};
+use plurality_engine::RunOptions;
+
+/// See module docs.
+pub struct E06Thm4HPlurality;
+
+impl Experiment for E06Thm4HPlurality {
+    fn id(&self) -> &'static str {
+        "e06"
+    }
+
+    fn title(&self) -> &'static str {
+        "Theorem 4: h-plurality speedup is at most ~h² (Ω(k/h²) lower bound)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: u64 = ctx.pick(20_000, 100_000);
+        let k = ctx.pick(16usize, 64);
+        let hs: &[usize] = ctx.pick(&[3usize, 5, 9][..], &[3, 5, 9, 17, 33][..]);
+        let trials = ctx.pick(8, 40);
+        let cfg = builders::near_balanced(n, k, 0.5);
+        let ln_n = (n as f64).ln();
+
+        let mut table = Table::new(
+            format!("E6 · h-plurality rounds vs h (k = {k}, n = {n}, near-balanced, {trials} trials)"),
+            &[
+                "h",
+                "mean rounds",
+                "sd",
+                "rounds·h²/(k·ln n)",
+                "speedup vs h=3",
+                "speedup/(h²/9)",
+            ],
+        );
+
+        let mut base_rounds = None;
+        for (i, &h) in hs.iter().enumerate() {
+            let d = HPlurality::new(h);
+            let stats = crate::run_mean_field_trials(
+                &d,
+                &cfg,
+                &RunOptions::with_max_rounds(500_000),
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE06 + i as u64),
+            );
+            let mean = stats.rounds.mean();
+            if base_rounds.is_none() {
+                base_rounds = Some(mean);
+            }
+            let base = base_rounds.expect("set on first iteration");
+            let speedup = base / mean;
+            table.push_row(vec![
+                h.to_string(),
+                fmt_f64(mean),
+                fmt_f64(stats.rounds.std_dev()),
+                fmt_f64(mean * (h * h) as f64 / (k as f64 * ln_n)),
+                fmt_f64(speedup),
+                fmt_f64(speedup / ((h * h) as f64 / 9.0)),
+            ]);
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_larger_h_faster() {
+        let tables = E06Thm4HPlurality.run(&Context::smoke());
+        assert_eq!(tables[0].len(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! **E7 — Lemma 10 (bias tightness)**: for `s ≤ √(kn)/6` there are
+//! configurations from which the bias *decreases* in one round with
+//! probability at least `1/(16e) ≈ 0.023`.
+//!
+//! Part (a) measures `P(bias decreases in one round)` from the Lemma 10
+//! configuration (`c₁ = x + s`, `c_j = x`) across `k`, checking the
+//! constant-probability floor.  Part (b) sweeps the bias *constant*
+//! `c` in `s = c·√(λ n ln n)` at fixed `k` and reports the end-to-end
+//! plurality-win rate — locating the practical threshold the paper's
+//! `72√2` constant upper-bounds.
+
+use crate::{paper_bias, run_mean_field_trials, Context, Experiment};
+use plurality_analysis::{fmt_f64, wilson, Table};
+use plurality_core::{builders, Dynamics, ThreeMajority};
+use plurality_engine::{MonteCarlo, RunOptions};
+
+/// See module docs.
+pub struct E07Lemma10Bias;
+
+impl Experiment for E07Lemma10Bias {
+    fn id(&self) -> &'static str {
+        "e07"
+    }
+
+    fn title(&self) -> &'static str {
+        "Lemma 10: at s = √(kn)/6 the bias drops in one round with constant probability"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: u64 = ctx.pick(100_000, 1_000_000);
+        let ks: &[usize] = ctx.pick(&[4usize, 16][..], &[4, 16, 64, 256][..]);
+        let trials = ctx.pick(400, 2_000);
+        let d = ThreeMajority::new();
+
+        // Part (a): single-round bias decrease probability.
+        let mut table_a = Table::new(
+            format!("E7a · P(bias decreases in one round) at s = √(kn)/6 (n = {n}, {trials} trials)"),
+            &[
+                "k",
+                "s",
+                "P(bias drops)",
+                "95% CI",
+                "Lemma 10 floor 1/(16e)",
+            ],
+        );
+        let floor = 1.0 / (16.0 * std::f64::consts::E);
+        for (i, &k) in ks.iter().enumerate() {
+            let s = (((k as u64 * n) as f64).sqrt() / 6.0) as u64;
+            let cfg = builders::biased(n, k, s);
+            let s_actual = cfg.bias();
+            let mc = MonteCarlo {
+                trials,
+                threads: ctx.threads,
+                master_seed: ctx.seed ^ (0xE07 + i as u64),
+            };
+            let drops = mc.count_successes(|_, rng| {
+                let mut next = vec![0u64; k];
+                d.step_mean_field(cfg.counts(), &mut next, rng);
+                let next_cfg = plurality_core::Configuration::new(next);
+                next_cfg.bias() < s_actual
+            });
+            let iv = wilson(drops, trials, 0.05);
+            table_a.push_row(vec![
+                k.to_string(),
+                s_actual.to_string(),
+                fmt_f64(drops as f64 / trials as f64),
+                format!("[{}, {}]", fmt_f64(iv.lo), fmt_f64(iv.hi)),
+                fmt_f64(floor),
+            ]);
+        }
+
+        // Part (b): practical bias-constant threshold at fixed k.
+        let k = 8usize;
+        let cs: &[f64] = ctx.pick(&[0.25f64, 1.0][..], &[0.125, 0.25, 0.5, 1.0, 2.0][..]);
+        let win_trials = ctx.pick(30, 200);
+        let mut table_b = Table::new(
+            format!("E7b · win rate vs bias constant c in s = c·√(λ n ln n) (n = {n}, k = {k}, {win_trials} trials)"),
+            &["c", "s", "win rate", "95% CI", "mean rounds"],
+        );
+        for (i, &c) in cs.iter().enumerate() {
+            let s = paper_bias(n, k, c);
+            let cfg = builders::biased(n, k, s);
+            let stats = run_mean_field_trials(
+                &d,
+                &cfg,
+                &RunOptions::with_max_rounds(200_000),
+                win_trials,
+                ctx.threads,
+                ctx.seed ^ (0xE70 + i as u64),
+            );
+            let iv = stats.win_interval();
+            table_b.push_row(vec![
+                fmt_f64(c),
+                s.to_string(),
+                fmt_f64(stats.win_rate()),
+                format!("[{}, {}]", fmt_f64(iv.lo), fmt_f64(iv.hi)),
+                fmt_f64(stats.rounds.mean()),
+            ]);
+        }
+
+        vec![table_a, table_b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tables() {
+        let tables = E07Lemma10Bias.run(&Context::smoke());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! **E8 — Corollary 4 (self-stabilization)**: against an F-bounded dynamic
+//! adversary with `F = o(s/λ)`, 3-majority reaches `O(s/λ)`-plurality
+//! consensus in `O(λ log n)` rounds w.h.p. and then holds it.
+//!
+//! We fix the paper-threshold start, set `M = 4·s/λ`, and sweep the
+//! adversary budget `F` as a multiple of `s/λ` across three strategies
+//! (strongest-rival boosting, scatter-to-weakest, random noise).  The
+//! prediction: reach-and-hold succeeds for `F ≪ s/λ` and breaks down as
+//! `F` approaches/exceeds the budget the theorem permits.
+
+use crate::{lambda_of, paper_bias, Context, Experiment};
+use plurality_adversary::{measure_reach_and_hold, BoostStrongestRival, RandomCorruption, ScatterToWeakest};
+use plurality_analysis::{fmt_f64, Summary, Table};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{MonteCarlo, RoundHook, RunOptions};
+
+/// See module docs.
+pub struct E08Cor4Adversary;
+
+impl Experiment for E08Cor4Adversary {
+    fn id(&self) -> &'static str {
+        "e08"
+    }
+
+    fn title(&self) -> &'static str {
+        "Corollary 4: M-plurality consensus reached and held iff F = o(s/λ)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: u64 = ctx.pick(100_000, 1_000_000);
+        let k = 8usize;
+        let s = paper_bias(n, k, 1.5);
+        let lambda = lambda_of(n, k);
+        let budget_unit = (s as f64 / lambda) as u64; // s/λ
+        let m = 4 * budget_unit;
+        let fractions: &[f64] = ctx.pick(&[0.0f64, 0.5, 2.0][..], &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0][..]);
+        let trials = ctx.pick(8, 30);
+        let hold_rounds = ctx.pick(200u64, 1_000);
+        let cfg = builders::biased(n, k, s);
+        let d = ThreeMajority::new();
+
+        let strategies: &[&str] = &["boost-strongest", "scatter-weakest", "random-noise"];
+        let mut table = Table::new(
+            format!(
+                "E8 · reach & hold vs adversary budget (n = {n}, k = {k}, s = {s}, M = 4·s/λ = {m}, hold = {hold_rounds} rounds, {trials} trials)"
+            ),
+            &[
+                "strategy",
+                "F/(s/λ)",
+                "F",
+                "reach rate",
+                "mean reach rounds",
+                "hold-violation rate",
+                "worst defection / M",
+            ],
+        );
+
+        for (si, &strategy) in strategies.iter().enumerate() {
+            for (fi, &frac) in fractions.iter().enumerate() {
+                let f_budget = (frac * budget_unit as f64) as u64;
+                let mc = MonteCarlo {
+                    trials,
+                    threads: ctx.threads,
+                    master_seed: ctx.seed ^ (0xE08 + (si * 100 + fi) as u64),
+                };
+                let opts = RunOptions::with_max_rounds(20_000);
+                let reports = mc.run(|_, rng| {
+                    let mut hook: Box<dyn RoundHook> = match strategy {
+                        "boost-strongest" => Box::new(BoostStrongestRival {
+                            budget: f_budget,
+                            plurality: 0,
+                        }),
+                        "scatter-weakest" => Box::new(ScatterToWeakest {
+                            budget: f_budget,
+                            plurality: 0,
+                        }),
+                        _ => Box::new(RandomCorruption { budget: f_budget }),
+                    };
+                    measure_reach_and_hold(&d, &cfg, hook.as_mut(), m, hold_rounds, &opts, rng)
+                });
+                let reached = reports.iter().filter(|r| r.reached).count();
+                let mut reach_rounds = Summary::new();
+                let mut violation_trials = 0usize;
+                let mut worst_ratio: f64 = 0.0;
+                for r in &reports {
+                    if r.reached {
+                        reach_rounds.push(r.reach_rounds as f64);
+                        if r.violations > 0 {
+                            violation_trials += 1;
+                        }
+                        worst_ratio = worst_ratio.max(r.worst_defection as f64 / m as f64);
+                    }
+                }
+                table.push_row(vec![
+                    strategy.to_string(),
+                    fmt_f64(frac),
+                    f_budget.to_string(),
+                    fmt_f64(reached as f64 / trials as f64),
+                    fmt_f64(reach_rounds.mean()),
+                    fmt_f64(violation_trials as f64 / reached.max(1) as f64),
+                    fmt_f64(worst_ratio),
+                ]);
+            }
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid() {
+        let tables = E08Cor4Adversary.run(&Context::smoke());
+        assert_eq!(tables[0].len(), 9); // 3 strategies × 3 fractions
+    }
+}

@@ -1,0 +1,95 @@
+//! **E9 — the exponential median/plurality gap**: the paper contrasts its
+//! `Ω(k log n)` plurality lower bound (Theorem 2) with the `O(log n)`
+//! median process of Doerr et al. — for `k = n^a` the two tasks are
+//! exponentially separated in their round complexity as functions of
+//! `log n`.
+//!
+//! We sweep `n` with `k = ⌈n^{1/4}⌉` from near-balanced starts and time
+//! (a) the median dynamics until *any* consensus (its task) and (b) the
+//! 3-majority dynamics until consensus.  Reported ratios make the
+//! separation visible: median rounds stay ∝ log n while 3-majority rounds
+//! grow ∝ k·log n.
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Table};
+use plurality_core::{builders, MedianOwn, ThreeMajority};
+use plurality_engine::RunOptions;
+
+/// See module docs.
+pub struct E09MedianGap;
+
+impl Experiment for E09MedianGap {
+    fn id(&self) -> &'static str {
+        "e09"
+    }
+
+    fn title(&self) -> &'static str {
+        "Median vs plurality: O(log n) median consensus vs Ω(k log n) plurality consensus at k = n^(1/4)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let ns: &[u64] = ctx.pick(&[10_000u64, 40_000][..], &[10_000, 100_000, 1_000_000][..]);
+        let trials = ctx.pick(8, 30);
+        let median = MedianOwn;
+        let majority = ThreeMajority::new();
+
+        let mut table = Table::new(
+            format!("E9 · median task vs plurality task from near-balanced starts (k = ceil(n^1/4), {trials} trials)"),
+            &[
+                "n",
+                "k",
+                "median rounds",
+                "median/ln n",
+                "3-majority rounds",
+                "3-majority/(k·ln n)",
+                "ratio majority/median",
+            ],
+        );
+
+        for (i, &n) in ns.iter().enumerate() {
+            let k = (n as f64).powf(0.25).ceil() as usize;
+            let cfg = builders::near_balanced(n, k, 0.5);
+            let ln_n = (n as f64).ln();
+            let opts = RunOptions::with_max_rounds(2_000_000);
+
+            let med_stats = crate::run_mean_field_trials(
+                &median,
+                &cfg,
+                &opts,
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE09 + i as u64),
+            );
+            let maj_stats = crate::run_mean_field_trials(
+                &majority,
+                &cfg,
+                &opts,
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE90 + i as u64),
+            );
+
+            table.push_row(vec![
+                n.to_string(),
+                k.to_string(),
+                fmt_f64(med_stats.rounds.mean()),
+                fmt_f64(med_stats.rounds.mean() / ln_n),
+                fmt_f64(maj_stats.rounds.mean()),
+                fmt_f64(maj_stats.rounds.mean() / (k as f64 * ln_n)),
+                fmt_f64(maj_stats.rounds.mean() / med_stats.rounds.mean()),
+            ]);
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_gap_direction() {
+        let tables = E09MedianGap.run(&Context::smoke());
+        assert_eq!(tables[0].len(), 2);
+    }
+}

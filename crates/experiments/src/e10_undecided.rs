@@ -1,0 +1,214 @@
+//! **E10 — the undecided-state comparator** (paper Related Work, citing
+//! Becchetti et al. SODA'15): three measurable claims.
+//!
+//! (a) The undecided-state dynamics converges in time linear in the
+//!     *monochromatic distance* `md(c) = Σ(c_j/c_max)²` — we sweep
+//!     geometric configurations and fit rounds vs `md(c)·log n`.
+//! (b) On configurations supported on few heavy colors plus many
+//!     singletons, the undecided-state dynamics beats 3-majority whose
+//!     time is governed by `min{2k, (n/ln n)^{1/3}}` — we report both.
+//! (c) For `k = ω(√n)` the undecided-state dynamics can *lose the
+//!     plurality in one round* with constant probability: with
+//!     `c₁ = 2n/k`, the plurality survives only if some of its nodes keep
+//!     their color, which fails with probability ≈ `e^{−4n/k²}` — we
+//!     sweep `k/√n` and compare the measured death rate to that analytic
+//!     curve (3-majority's death rate is ≈ 0 throughout).
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, linear_fit, Table};
+use plurality_core::{builders, Configuration, Dynamics, ThreeMajority, UndecidedState};
+use plurality_engine::{MonteCarlo, RunOptions};
+
+/// See module docs.
+pub struct E10Undecided;
+
+impl Experiment for E10Undecided {
+    fn id(&self) -> &'static str {
+        "e10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Undecided-state dynamics: md(c)-linear time, few-color speedup, k = ω(√n) plurality death"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let mut tables = Vec::new();
+        tables.push(self.part_a_md_scaling(ctx));
+        tables.push(self.part_b_few_colors(ctx));
+        tables.push(self.part_c_plurality_death(ctx));
+        tables
+    }
+}
+
+impl E10Undecided {
+    fn part_a_md_scaling(&self, ctx: &Context) -> Table {
+        let n: u64 = ctx.pick(100_000, 1_000_000);
+        let k = ctx.pick(16usize, 32);
+        let ratios: &[f64] = ctx.pick(&[0.5f64, 0.9][..], &[0.5, 0.7, 0.85, 0.95, 1.0][..]);
+        let trials = ctx.pick(8, 30);
+        let d = UndecidedState::new(k);
+        let ln_n = (n as f64).ln();
+
+        let mut table = Table::new(
+            format!("E10a · undecided-state rounds vs monochromatic distance (n = {n}, k = {k}, geometric configs, {trials} trials)"),
+            &["ratio", "md(c)", "bias", "mean rounds", "rounds/(md·ln n)"],
+        );
+        let mut mds = Vec::new();
+        let mut means = Vec::new();
+        for (i, &ratio) in ratios.iter().enumerate() {
+            // ratio == 1.0 would tie the plurality; nudge it.
+            let cfg = if ratio >= 1.0 {
+                let mut c = builders::balanced(n, k);
+                let shift = (n / k as u64) / 50; // 2% tilt
+                c.transfer(k - 1, 0, shift);
+                c
+            } else {
+                builders::geometric(n, k, ratio)
+            };
+            let md = cfg.monochromatic_distance();
+            let stats = crate::run_mean_field_trials(
+                &d,
+                &cfg,
+                &RunOptions::with_max_rounds(1_000_000),
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE10 + i as u64),
+            );
+            mds.push(md);
+            means.push(stats.rounds.mean());
+            table.push_row(vec![
+                fmt_f64(ratio),
+                fmt_f64(md),
+                cfg.bias().to_string(),
+                fmt_f64(stats.rounds.mean()),
+                fmt_f64(stats.rounds.mean() / (md * ln_n)),
+            ]);
+        }
+        if mds.len() >= 2 {
+            let fit = linear_fit(&mds, &means);
+            table.push_row(vec![
+                "fit".into(),
+                "slope".into(),
+                fmt_f64(fit.slope),
+                "r²".into(),
+                fmt_f64(fit.r2),
+            ]);
+        }
+        table
+    }
+
+    fn part_b_few_colors(&self, ctx: &Context) -> Table {
+        let n: u64 = ctx.pick(100_000, 1_000_000);
+        let k = ctx.pick(200usize, 1_000);
+        let heavy = 4usize;
+        let trials = ctx.pick(8, 30);
+        let bias = n / 20;
+        let cfg = builders::polylog_support(n, k, heavy, bias);
+        let undecided = UndecidedState::new(k);
+        let majority = ThreeMajority::new();
+
+        let mut table = Table::new(
+            format!("E10b · few heavy colors + {k} total colors (n = {n}, heavy = {heavy}, md = {:.2}, {trials} trials)",
+                cfg.monochromatic_distance()),
+            &["dynamics", "win rate", "mean rounds", "sd"],
+        );
+        for (i, d) in [&undecided as &dyn Dynamics, &majority].iter().enumerate() {
+            let stats = crate::run_mean_field_trials(
+                *d,
+                &cfg,
+                &RunOptions::with_max_rounds(1_000_000),
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE1B + i as u64),
+            );
+            table.push_row(vec![
+                d.name(),
+                fmt_f64(stats.win_rate()),
+                fmt_f64(stats.rounds.mean()),
+                fmt_f64(stats.rounds.std_dev()),
+            ]);
+        }
+        table
+    }
+
+    fn part_c_plurality_death(&self, ctx: &Context) -> Table {
+        let n: u64 = ctx.pick(40_000, 1_000_000);
+        let sqrt_n = (n as f64).sqrt();
+        let multipliers: &[f64] = ctx.pick(&[1.0f64, 2.0][..], &[0.5, 1.0, 2.0, 4.0][..]);
+        let trials = ctx.pick(200, 1_000);
+
+        let mut table = Table::new(
+            format!("E10c · one-round plurality death at c1 = 2n/k (n = {n}, {trials} trials)"),
+            &[
+                "k/√n",
+                "k",
+                "P(death) undecided",
+                "analytic e^(−4n/k²)",
+                "P(death) 3-majority",
+            ],
+        );
+        for (i, &mult) in multipliers.iter().enumerate() {
+            let k = ((mult * sqrt_n) as usize).max(4);
+            let c1 = 2 * n / k as u64;
+            // c1 nodes on color 0, the rest spread over k−1 colors.
+            let rest = n - c1;
+            let base = rest / (k as u64 - 1);
+            let rem = (rest % (k as u64 - 1)) as usize;
+            let mut counts = Vec::with_capacity(k);
+            counts.push(c1);
+            for j in 0..k - 1 {
+                counts.push(base + u64::from(j < rem));
+            }
+            let cfg = Configuration::new(counts);
+            let analytic = (-4.0 * n as f64 / (k as f64 * k as f64)).exp();
+
+            let undecided = UndecidedState::new(k);
+            let lifted = undecided.lift(&cfg);
+            let mc_u = MonteCarlo {
+                trials,
+                threads: ctx.threads,
+                master_seed: ctx.seed ^ (0xE1C + i as u64),
+            };
+            let deaths_u = mc_u.count_successes(|_, rng| {
+                let mut next = vec![0u64; k + 1];
+                undecided.step_mean_field(lifted.counts(), &mut next, rng);
+                next[0] == 0
+            });
+
+            let majority = ThreeMajority::new();
+            let mc_m = MonteCarlo {
+                trials,
+                threads: ctx.threads,
+                master_seed: ctx.seed ^ (0xE1D + i as u64),
+            };
+            let deaths_m = mc_m.count_successes(|_, rng| {
+                let mut next = vec![0u64; k];
+                majority.step_mean_field(cfg.counts(), &mut next, rng);
+                next[0] == 0
+            });
+
+            table.push_row(vec![
+                fmt_f64(mult),
+                k.to_string(),
+                fmt_f64(deaths_u as f64 / trials as f64),
+                fmt_f64(analytic),
+                fmt_f64(deaths_m as f64 / trials as f64),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_three_tables() {
+        let tables = E10Undecided.run(&Context::smoke());
+        assert_eq!(tables.len(), 3);
+        assert!(!tables[0].is_empty());
+        assert_eq!(tables[1].len(), 2);
+        assert_eq!(tables[2].len(), 2);
+    }
+}

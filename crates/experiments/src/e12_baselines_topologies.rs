@@ -1,0 +1,160 @@
+//! **E12 — baselines and topologies**.
+//!
+//! (a) The paper's §1 remark: the voter/polling rule — and the 2-sample
+//!     rule, which is equivalent in law — converges to a **minority**
+//!     color with constant probability even at `k = 2` with linear bias
+//!     (`P(minority wins) = c₂/n` by the martingale property), while
+//!     3-majority and 2-choices win w.h.p. from the same start.
+//! (b) Extension: 3-majority beyond the clique.  On sparse random graphs
+//!     (Erdős–Rényi, random regular) the behavior mirrors the clique;
+//!     on the torus convergence is much slower — measured with the
+//!     agent-based engine.
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, wilson, Summary, Table};
+use plurality_core::{builders, Dynamics, ThreeMajority, TwoChoices, TwoSample, Voter};
+use plurality_engine::{AgentEngine, MonteCarlo, Placement, RunOptions, StopReason};
+use plurality_topology::{barabasi_albert, erdos_renyi, random_regular, torus, watts_strogatz, Clique, Topology};
+
+/// See module docs.
+pub struct E12BaselinesTopologies;
+
+impl Experiment for E12BaselinesTopologies {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Voter/2-sample minority failure at k = 2; 3-majority beyond the clique"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        vec![self.part_a_voter_failure(ctx), self.part_b_topologies(ctx)]
+    }
+}
+
+impl E12BaselinesTopologies {
+    fn part_a_voter_failure(&self, ctx: &Context) -> Table {
+        let n: u64 = ctx.pick(2_000, 10_000);
+        let s = n / 2; // linear bias: c = (3n/4, n/4)
+        let cfg = builders::binary(n, s);
+        let minority_fraction = cfg.count(1) as f64 / n as f64;
+        let trials = ctx.pick(60, 400);
+
+        let voter = Voter;
+        let two_sample = TwoSample;
+        let two_choices = TwoChoices;
+        let majority = ThreeMajority::new();
+        let dynamics: &[&dyn Dynamics] = &[&voter, &two_sample, &two_choices, &majority];
+
+        let mut table = Table::new(
+            format!(
+                "E12a · minority-win probability at k = 2, s = n/2 (n = {n}, minority = {minority_fraction}, {trials} trials)"
+            ),
+            &["dynamics", "minority wins", "rate", "95% CI", "martingale prediction"],
+        );
+        for (i, d) in dynamics.iter().enumerate() {
+            let stats = crate::run_mean_field_trials(
+                *d,
+                &cfg,
+                &RunOptions::with_max_rounds(2_000_000),
+                trials,
+                ctx.threads,
+                ctx.seed ^ (0xE12 + i as u64),
+            );
+            let minority_wins = stats.converged - stats.plurality_wins;
+            let iv = wilson(minority_wins, trials, 0.05);
+            let prediction = match i {
+                0 | 1 => fmt_f64(minority_fraction), // voter martingale
+                _ => "≈0".to_string(),
+            };
+            table.push_row(vec![
+                d.name(),
+                minority_wins.to_string(),
+                fmt_f64(minority_wins as f64 / trials as f64),
+                format!("[{}, {}]", fmt_f64(iv.lo), fmt_f64(iv.hi)),
+                prediction,
+            ]);
+        }
+        table
+    }
+
+    fn part_b_topologies(&self, ctx: &Context) -> Table {
+        let n: usize = ctx.pick(1_024, 10_000);
+        let k = 4usize;
+        let bias = (n as u64) / 5;
+        let cfg = builders::biased(n as u64, k, bias);
+        let trials = ctx.pick(4, 10);
+        let d = ThreeMajority::new();
+        let side = (n as f64).sqrt() as usize;
+
+        let clique = Clique::new(n);
+        let er = erdos_renyi(n, 16.0 / n as f64, ctx.seed ^ 0xE12B);
+        let regular = random_regular(n, 8, ctx.seed ^ 0xE12C);
+        let grid = torus(side, side);
+        let ba = barabasi_albert(n, 4, ctx.seed ^ 0xE12E);
+        let ws = watts_strogatz(n, 4, 0.1, ctx.seed ^ 0xE12F);
+        let topologies: &[&dyn Topology] = &[&clique, &er, &regular, &grid, &ba, &ws];
+
+        let mut table = Table::new(
+            format!("E12b · 3-majority across topologies (n = {n}, k = {k}, bias = n/5, agent engine, {trials} trials)"),
+            &["topology", "min degree ~", "converged", "win rate", "mean rounds"],
+        );
+        for (i, topo) in topologies.iter().enumerate() {
+            // The torus has n = side² which may differ from `n`.
+            let tn = topo.n();
+            let tcfg = if tn == n {
+                cfg.clone()
+            } else {
+                builders::biased(tn as u64, k, (tn as u64) / 5)
+            };
+            let mc = MonteCarlo {
+                trials,
+                threads: ctx.threads,
+                master_seed: ctx.seed ^ (0xE12D + i as u64),
+            };
+            let opts = RunOptions::with_max_rounds(ctx.pick(50_000, 200_000));
+            let results = mc.run(|t, _rng| {
+                let engine = AgentEngine::new(*topo);
+                engine.run(&d, &tcfg, Placement::Shuffled, &opts, ctx.seed ^ (t as u64))
+            });
+            let mut rounds = Summary::new();
+            let mut converged = 0;
+            let mut wins = 0;
+            for r in &results {
+                if r.reason == StopReason::Stopped {
+                    converged += 1;
+                    rounds.push(r.rounds_f64());
+                }
+                if r.success {
+                    wins += 1;
+                }
+            }
+            let deg = (0..topo.n().min(64))
+                .map(|v| topo.degree(v))
+                .min()
+                .unwrap_or(0);
+            table.push_row(vec![
+                topo.name(),
+                deg.to_string(),
+                format!("{converged}/{trials}"),
+                fmt_f64(wins as f64 / trials as f64),
+                fmt_f64(rounds.mean()),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_two_tables() {
+        let tables = E12BaselinesTopologies.run(&Context::smoke());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 4);
+        assert_eq!(tables[1].len(), 6);
+    }
+}

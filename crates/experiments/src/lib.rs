@@ -1,0 +1,234 @@
+//! Reproduction experiments: one module per theorem / corollary / lemma of
+//! *Simple Dynamics for Plurality Consensus*.
+//!
+//! The paper is a theory paper — its "evaluation" is a set of proved
+//! bounds, not measured tables.  Each module here turns one claim into a
+//! measurable experiment (see DESIGN.md §4 for the index) and produces
+//! [`plurality_analysis::Table`]s that `cargo run -p plurality-bench --bin
+//! run_experiments` renders into EXPERIMENTS.md.
+//!
+//! Every experiment runs at two scales: [`Scale::Smoke`] (seconds; used by
+//! the test suite) and [`Scale::Paper`] (the full parameter grids recorded
+//! in EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e01_cor1_k_scaling;
+pub mod e02_thm1_lambda;
+pub mod e03_cor3_logn;
+pub mod e04_thm2_lower_bound;
+pub mod e05_thm3_d3_failures;
+pub mod e06_thm4_h_plurality;
+pub mod e07_lemma10_bias;
+pub mod e08_cor4_adversary;
+pub mod e09_median_gap;
+pub mod e10_undecided;
+pub mod e11_phase_portrait;
+pub mod e12_baselines_topologies;
+pub mod e13_noise_transition;
+pub mod registry;
+
+use plurality_analysis::Table;
+use plurality_analysis::{wilson, Summary};
+use plurality_core::{Configuration, Dynamics};
+use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small grids and trial counts — finishes in seconds, used in tests.
+    Smoke,
+    /// The full grids recorded in EXPERIMENTS.md.
+    Paper,
+}
+
+/// Shared run context.
+#[derive(Debug, Clone, Copy)]
+pub struct Context {
+    /// Scale selector.
+    pub scale: Scale,
+    /// Worker threads for Monte-Carlo fan-out.
+    pub threads: usize,
+    /// Master seed (every experiment derives its own streams).
+    pub seed: u64,
+}
+
+impl Context {
+    /// Smoke-scale context (tests).
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            scale: Scale::Smoke,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Paper-scale context (the bench harness).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            scale: Scale::Paper,
+            ..Self::smoke()
+        }
+    }
+
+    /// Pick a value by scale.
+    #[must_use]
+    pub fn pick<T: Copy>(&self, smoke: T, paper: T) -> T {
+        match self.scale {
+            Scale::Smoke => smoke,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// A runnable experiment.
+pub trait Experiment: Send + Sync {
+    /// Stable identifier (`e01`, `e02`, …).
+    fn id(&self) -> &'static str;
+    /// The claim being reproduced.
+    fn title(&self) -> &'static str;
+    /// Run and return result tables.
+    fn run(&self, ctx: &Context) -> Vec<Table>;
+}
+
+/// Aggregate convergence statistics from repeated engine runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Summary of rounds over *converged* trials.
+    pub rounds: Summary,
+    /// Trials that stopped (vs hitting the round cap).
+    pub converged: usize,
+    /// Trials won by the initial plurality.
+    pub plurality_wins: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+impl RunStats {
+    /// Fraction of trials won by the initial plurality.
+    #[must_use]
+    pub fn win_rate(&self) -> f64 {
+        self.plurality_wins as f64 / self.trials as f64
+    }
+
+    /// Wilson 95% interval on the win rate.
+    #[must_use]
+    pub fn win_interval(&self) -> plurality_analysis::Interval {
+        wilson(self.plurality_wins, self.trials, 0.05)
+    }
+}
+
+/// Run `trials` independent mean-field trials of `dynamics` from `cfg`.
+#[must_use]
+pub fn run_mean_field_trials(
+    dynamics: &dyn Dynamics,
+    cfg: &Configuration,
+    opts: &RunOptions,
+    trials: usize,
+    threads: usize,
+    seed: u64,
+) -> RunStats {
+    let engine = MeanFieldEngine::new(dynamics);
+    let mc = MonteCarlo {
+        trials,
+        threads,
+        master_seed: seed,
+    };
+    let results = mc.run(|_, rng| engine.run(cfg, opts, rng));
+    let mut rounds = Summary::new();
+    let mut converged = 0;
+    let mut wins = 0;
+    for r in &results {
+        if r.reason == StopReason::Stopped {
+            converged += 1;
+            rounds.push(r.rounds_f64());
+        }
+        if r.success {
+            wins += 1;
+        }
+    }
+    RunStats {
+        rounds,
+        converged,
+        plurality_wins: wins,
+        trials,
+    }
+}
+
+/// The paper's bias threshold `c·√(min{2k, (n/ln n)^{1/3}}·n·ln n)`
+/// (Corollary 1) with a tunable constant — the proof constant `72√2` is
+/// slack; experiments report which constant actually suffices.
+#[must_use]
+pub fn paper_bias(n: u64, k: usize, c: f64) -> u64 {
+    let n_f = n as f64;
+    let ln_n = n_f.ln();
+    let lambda = (2.0 * k as f64).min((n_f / ln_n).cbrt());
+    (c * (lambda * n_f * ln_n).sqrt()).ceil() as u64
+}
+
+/// `λ = min{2k, (n/ln n)^{1/3}}` from Corollary 1.
+#[must_use]
+pub fn lambda_of(n: u64, k: usize) -> f64 {
+    let n_f = n as f64;
+    (2.0 * k as f64).min((n_f / n_f.ln()).cbrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_core::{builders, ThreeMajority};
+
+    #[test]
+    fn paper_bias_monotone_in_k_until_cap() {
+        let n = 1_000_000u64;
+        let b2 = paper_bias(n, 2, 1.0);
+        let b8 = paper_bias(n, 8, 1.0);
+        let b64 = paper_bias(n, 64, 1.0);
+        let b512 = paper_bias(n, 512, 1.0);
+        assert!(b2 < b8);
+        assert!(b8 < b64);
+        // λ caps at (n/ln n)^{1/3} ≈ 41.5 < 2·64, so k = 64 and k = 512
+        // demand the same bias.
+        assert_eq!(b64, b512);
+    }
+
+    #[test]
+    fn lambda_cap() {
+        let n = 1_000_000u64;
+        assert_eq!(lambda_of(n, 2), 4.0);
+        let cap = (1e6 / (1e6f64).ln()).cbrt();
+        assert!((lambda_of(n, 512) - cap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_aggregation() {
+        let cfg = builders::biased(50_000, 4, 20_000);
+        let d = ThreeMajority::new();
+        let stats = run_mean_field_trials(
+            &d,
+            &cfg,
+            &RunOptions::with_max_rounds(10_000),
+            10,
+            2,
+            99,
+        );
+        assert_eq!(stats.trials, 10);
+        assert_eq!(stats.converged, 10);
+        assert_eq!(stats.plurality_wins, 10);
+        assert!(stats.win_rate() > 0.99);
+        assert!(stats.rounds.mean() > 0.0);
+    }
+
+    #[test]
+    fn context_pick() {
+        let smoke = Context::smoke();
+        assert_eq!(smoke.pick(1, 100), 1);
+        let paper = Context::paper();
+        assert_eq!(paper.pick(1, 100), 100);
+    }
+}

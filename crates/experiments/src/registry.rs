@@ -1,0 +1,72 @@
+//! Registry mapping experiment ids to runnable definitions.
+
+use crate::{Context, Experiment};
+use plurality_analysis::Table;
+
+/// All experiments in DESIGN.md §4 order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(crate::e01_cor1_k_scaling::E01Cor1KScaling),
+        Box::new(crate::e02_thm1_lambda::E02Thm1Lambda),
+        Box::new(crate::e03_cor3_logn::E03Cor3LogN),
+        Box::new(crate::e04_thm2_lower_bound::E04Thm2LowerBound),
+        Box::new(crate::e05_thm3_d3_failures::E05Thm3D3Failures),
+        Box::new(crate::e06_thm4_h_plurality::E06Thm4HPlurality),
+        Box::new(crate::e07_lemma10_bias::E07Lemma10Bias),
+        Box::new(crate::e08_cor4_adversary::E08Cor4Adversary),
+        Box::new(crate::e09_median_gap::E09MedianGap),
+        Box::new(crate::e10_undecided::E10Undecided),
+        Box::new(crate::e11_phase_portrait::E11PhasePortrait),
+        Box::new(crate::e12_baselines_topologies::E12BaselinesTopologies),
+        Box::new(crate::e13_noise_transition::E13NoiseTransition),
+    ]
+}
+
+/// Find one experiment by id (e.g. `"e07"`).
+#[must_use]
+pub fn by_id(id: &str) -> Option<Box<dyn Experiment>> {
+    all().into_iter().find(|e| e.id() == id)
+}
+
+/// Run a set of experiments and return `(id, title, tables)` triples.
+#[must_use]
+pub fn run_selected(ids: &[&str], ctx: &Context) -> Vec<(String, String, Vec<Table>)> {
+    let mut out = Vec::new();
+    for id in ids {
+        let exp = by_id(id).unwrap_or_else(|| panic!("unknown experiment id {id}"));
+        let tables = exp.run(ctx);
+        out.push((exp.id().to_string(), exp.title().to_string(), tables));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11",
+                "e12", "e13"
+            ]
+        );
+    }
+
+    #[test]
+    fn by_id_lookup() {
+        assert!(by_id("e05").is_some());
+        assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn titles_are_nonempty() {
+        for e in all() {
+            assert!(!e.title().is_empty(), "{} has no title", e.id());
+        }
+    }
+}

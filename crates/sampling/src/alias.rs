@@ -1,0 +1,216 @@
+//! Walker–Vose alias method: O(1) sampling from a fixed categorical
+//! distribution after O(k) preprocessing.
+//!
+//! Used by the agent-based engine when a round's color distribution is
+//! sampled `n·h` times (every node draws `h` neighbor colors): building the
+//! table once per round amortizes to O(1) per draw, versus O(log k) for
+//! CDF binary search.  The table stores `f64` probabilities, so draws are
+//! exact up to f64 rounding of the input weights; when bit-exactness
+//! against integer counts matters, use [`crate::categorical::CountSampler`]
+//! instead (the engines default to the exact sampler; the alias table is
+//! benchmarked as the fast alternative — see DESIGN.md §5).
+
+use rand::Rng;
+
+/// Precomputed alias table over `k` categories.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance threshold for each slot, scaled to [0,1].
+    prob: Vec<f64>,
+    /// Alias category for each slot.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build the table from non-negative weights.
+    ///
+    /// Zero-weight categories are never returned by [`Self::sample`].
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, holds a negative/NaN value, sums to
+    /// zero, or has more than `u32::MAX` entries.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table limited to u32 categories"
+        );
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0, "alias weights must be non-negative, got {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "alias weights must have positive total");
+
+        let k = weights.len();
+        let scale = k as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..k as u32).collect();
+
+        // Vose's stable two-stack partition.
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Slot `s` keeps probability prob[s]; excess goes to alias l.
+            alias[s as usize] = l;
+            let leftover = prob[l as usize] - (1.0 - prob[s as usize]);
+            prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual entries are 1 up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one category index in O(1).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let k = self.prob.len();
+        // One uniform for the slot, one for accept/alias.
+        let slot = rng.gen_range(0..k);
+        let u: f64 = rng.gen::<f64>();
+        if u < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[3.0]);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0, 0.0]);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for _ in 0..20_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 0 || s == 2, "sampled zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let total: f64 = weights.iter().sum();
+        let t = AliasTable::new(&weights);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let trials = 200_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+            let p = w / total;
+            let expect = trials as f64 * p;
+            let sigma = (trials as f64 * p * (1.0 - p)).sqrt();
+            assert!(
+                ((c as f64) - expect).abs() < 5.0 * sigma,
+                "category {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_weights_uniform_output() {
+        let k = 64;
+        let weights = vec![1.0; k];
+        let t = AliasTable::new(&weights);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let trials = 128_000;
+        let mut counts = vec![0u64; k];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let expect = trials as f64 / k as f64;
+        let sigma = (expect * (1.0 - 1.0 / k as f64)).sqrt();
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                ((c as f64) - expect).abs() < 6.0 * sigma,
+                "category {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn highly_skewed_weights() {
+        // One dominant category plus a sliver.
+        let t = AliasTable::new(&[1e-9, 1.0]);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let trials = 100_000;
+        let hits0 = (0..trials).filter(|_| t.sample(&mut rng) == 0).count();
+        // Expected ≈ 1e-4 of trials = 0.1 hits; allow a small count.
+        assert!(hits0 < 10, "sliver sampled {hits0} times");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    fn indices_always_in_range() {
+        let weights: Vec<f64> = (1..=17).map(|i| i as f64).collect();
+        let t = AliasTable::new(&weights);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!(t.sample(&mut rng) < 17);
+        }
+    }
+}

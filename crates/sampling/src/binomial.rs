@@ -1,0 +1,426 @@
+//! Exact binomial sampling for arbitrary `n` (up to ~2^53) and `p ∈ [0,1]`.
+//!
+//! Two regimes, dispatched by [`sample_binomial`]:
+//!
+//! * **BINV** (Kachitvichyanukul & Schmeiser): sequential CDF inversion,
+//!   expected `O(np)` time — used when `n·min(p,1-p) < 10`;
+//! * **BTRD** (Hörmann 1993, *The generation of binomial random variates*):
+//!   transformed rejection with squeeze — `O(1)` expected time regardless
+//!   of `n`, used for larger means.
+//!
+//! Both produce samples from the *exact* binomial law (up to f64 arithmetic
+//! in the acceptance tests, the standard for non-arbitrary-precision
+//! samplers).  The mean-field simulation engine depends on this exactness:
+//! each simulated round is a group-wise multinomial built from conditional
+//! binomials, so any bias here would distort the process law the paper
+//! analyzes.
+
+use rand::Rng;
+
+/// Mean threshold between BINV inversion and BTRD rejection.
+///
+/// Hörmann recommends switching near `np = 10`; below it inversion is both
+/// faster and simpler.
+const BINV_THRESHOLD: f64 = 10.0;
+
+/// BINV gives up and restarts after this many CDF steps.  With `np ≤ 10`
+/// the probability of legitimately exceeding 110 is below `10^-60`, so the
+/// restart bias is far beneath f64 resolution.
+const BINV_MAX_X: u64 = 110;
+
+/// Draw one sample from `Binomial(n, p)`.
+///
+/// # Arguments
+/// * `n` — number of trials (population size in the engine's kernels).
+/// * `p` — success probability; values outside `[0,1]` are clamped, and
+///   NaN is treated as 0 (callers construct `p` from ratios of counts, so
+///   tiny negative rounding like `-1e-18` must not panic).
+///
+/// # Example
+/// ```
+/// use plurality_sampling::{binomial::sample_binomial, Xoshiro256PlusPlus};
+/// use rand::SeedableRng;
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+/// let x = sample_binomial(100, 0.25, &mut rng);
+/// assert!(x <= 100);
+/// ```
+pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    if n == 0 || !(p > 0.0) {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Exploit symmetry so the samplers only see p ≤ 1/2.
+    if p > 0.5 {
+        return n - sample_binomial_half(n, 1.0 - p, rng);
+    }
+    sample_binomial_half(n, p, rng)
+}
+
+/// Sampler body for `0 < p ≤ 1/2`.
+fn sample_binomial_half<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    debug_assert!(p > 0.0 && p <= 0.5);
+    if (n as f64) * p < BINV_THRESHOLD {
+        binv(n, p, rng)
+    } else {
+        btrd(n, p, rng)
+    }
+}
+
+/// BINV: sequential search of the CDF starting at 0.
+///
+/// Uses the recurrence `pmf(x+1)/pmf(x) = s·(n-x)/(x+1)` with
+/// `s = p/(1-p)`, written in the classical `a/x - s` form.
+fn binv<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = ((n + 1) as f64) * s;
+    // q^n: with np < 10 and p ≤ 1/2, n·ln q ≥ -2np > -20, no underflow.
+    let r0 = (n as f64 * q.ln()).exp();
+    loop {
+        let mut r = r0;
+        let mut u: f64 = rng.gen::<f64>();
+        let mut x: u64 = 0;
+        loop {
+            if u < r {
+                return x;
+            }
+            u -= r;
+            x += 1;
+            if x > BINV_MAX_X || x > n {
+                break; // numeric tail exhausted: restart
+            }
+            r *= a / (x as f64) - s;
+        }
+    }
+}
+
+/// Stirling series correction `fc(k) = ln k! − ln √(2π) − (k+1/2)ln k + k`.
+///
+/// Table for `k < 10` (values from Hörmann's paper, standard in every BTRD
+/// implementation), series for larger `k`.
+#[inline]
+fn stirling_correction(k: u64) -> f64 {
+    const FC: [f64; 10] = [
+        0.081_061_466_795_327_26,
+        0.041_340_695_955_409_29,
+        0.027_677_925_684_998_34,
+        0.020_790_672_103_765_09,
+        0.016_644_691_189_821_19,
+        0.013_876_128_823_070_75,
+        0.011_896_709_945_891_77,
+        0.010_411_265_261_972_09,
+        0.009_255_462_182_712_733,
+        0.008_330_563_433_362_871,
+    ];
+    if k < 10 {
+        FC[k as usize]
+    } else {
+        let kp1 = (k + 1) as f64;
+        let kp1sq = kp1 * kp1;
+        (1.0 / 12.0 - (1.0 / 360.0 - 1.0 / (1260.0 * kp1sq)) / kp1sq) / kp1
+    }
+}
+
+/// BTRD: transformed rejection with decomposition (Hörmann 1993, Alg. BTRD).
+///
+/// Requires `p ≤ 1/2` and `np ≥ 10`.
+#[allow(clippy::many_single_char_names)] // names follow the paper
+fn btrd<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let n_f = n as f64;
+    let q = 1.0 - p;
+    let npq = n_f * p * q;
+    let spq = npq.sqrt();
+
+    let m = ((n_f + 1.0) * p).floor(); // mode
+    let r = p / q;
+    let nr = (n_f + 1.0) * r;
+
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = n_f * p + 0.5;
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let v_r = 0.92 - 4.2 / b;
+    let u_rv_r = 0.86 * v_r;
+
+    loop {
+        let mut v: f64 = rng.gen::<f64>();
+        if v <= u_rv_r {
+            // Hot path: ~86% of draws accept immediately.
+            let u = v / v_r - 0.43;
+            let k = ((2.0 * a / (0.5 - u.abs()) + b) * u + c).floor();
+            return k as u64;
+        }
+
+        let u = if v >= v_r {
+            rng.gen::<f64>() - 0.5
+        } else {
+            let u0 = v / v_r - 0.93;
+            v = rng.gen::<f64>() * v_r;
+            0.5f64.copysign(u0) - u0
+        };
+
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + c).floor();
+        if kf < 0.0 || kf > n_f {
+            continue;
+        }
+        let k = kf; // integer-valued f64; exact for k ≤ 2^53
+        v = v * alpha / (a / (us * us) + b);
+        let km = (k - m).abs();
+
+        if km <= 15.0 {
+            // Recursive pmf evaluation around the mode.
+            let mut f = 1.0;
+            if m < k {
+                let mut i = m;
+                while i < k {
+                    i += 1.0;
+                    f *= nr / i - r;
+                }
+            } else if m > k {
+                let mut i = k;
+                while i < m {
+                    i += 1.0;
+                    v *= nr / i - r;
+                }
+            }
+            if v <= f {
+                return k as u64;
+            }
+            continue;
+        }
+
+        // Squeeze-acceptance, then the full (log-domain) acceptance test.
+        v = v.ln();
+        let rho = (km / npq) * (((km / 3.0 + 0.625) * km + 1.0 / 6.0) / npq + 0.5);
+        let t = -km * km / (2.0 * npq);
+        if v < t - rho {
+            return k as u64;
+        }
+        if v > t + rho {
+            continue;
+        }
+
+        let nm = n_f - m + 1.0;
+        let h = (m + 0.5) * ((m + 1.0) / (r * nm)).ln()
+            + stirling_correction(m as u64)
+            + stirling_correction((n_f - m) as u64);
+        let nk = n_f - k + 1.0;
+        let accept = h
+            + (n_f + 1.0) * (nm / nk).ln()
+            + (k + 0.5) * (nk * r / (k + 1.0)).ln()
+            - stirling_correction(k as u64)
+            - stirling_correction((n_f - k) as u64);
+        if v <= accept {
+            return k as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    /// ln C(n, k) by direct log-factorial accumulation (test sizes only).
+    fn ln_choose(n: u64, k: u64) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..=k {
+            acc += ((n - k + i) as f64).ln() - (i as f64).ln();
+        }
+        acc
+    }
+
+    fn binom_pmf(n: u64, p: f64, k: u64) -> f64 {
+        (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+    }
+
+    /// Upper χ² critical value at α=0.001 via the Wilson–Hilferty cube
+    /// approximation (accurate to ~1% for df ≥ 3, ample for a test gate).
+    fn chi2_crit_999(df: f64) -> f64 {
+        let z = 3.0902; // Φ^{-1}(0.999)
+        let a = 2.0 / (9.0 * df);
+        df * (1.0 - a + z * a.sqrt()).powi(3)
+    }
+
+    /// Chi-square goodness-of-fit of `samples` against Binomial(n, p),
+    /// pooling tail bins with expected count < 5.
+    fn chi2_gof(n: u64, p: f64, samples: &[u64]) -> (f64, f64) {
+        let total = samples.len() as f64;
+        let mut counts = vec![0u64; (n + 1) as usize];
+        let mut df: f64 = 0.0;
+        for &s in samples {
+            counts[s as usize] += 1;
+        }
+        // Pool into bins of expected ≥ 5, scanning from 0 upward.
+        let mut stat = 0.0;
+        let mut pool_obs = 0.0;
+        let mut pool_exp = 0.0;
+        for k in 0..=n {
+            pool_obs += counts[k as usize] as f64;
+            pool_exp += total * binom_pmf(n, p, k);
+            if pool_exp >= 5.0 {
+                stat += (pool_obs - pool_exp).powi(2) / pool_exp;
+                df += 1.0;
+                pool_obs = 0.0;
+                pool_exp = 0.0;
+            }
+        }
+        if pool_exp > 0.0 {
+            // Final pool absorbs the remaining tail mass.
+            pool_exp += total * (1.0 - {
+                let mut cdf = 0.0;
+                for k in 0..=n {
+                    cdf += binom_pmf(n, p, k);
+                }
+                cdf
+            })
+            .max(0.0);
+            if pool_exp >= 1.0 {
+                stat += (pool_obs - pool_exp).powi(2) / pool_exp;
+                df += 1.0;
+            }
+        }
+        (stat, (df - 1.0).max(1.0))
+    }
+
+    fn draw(n: u64, p: f64, trials: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..trials).map(|_| sample_binomial(n, p, &mut rng)).collect()
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        assert_eq!(sample_binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 1.0, &mut rng), 100);
+        assert_eq!(sample_binomial(100, -0.5, &mut rng), 0);
+        assert_eq!(sample_binomial(100, 1.5, &mut rng), 100);
+        assert_eq!(sample_binomial(100, f64::NAN, &mut rng), 0);
+    }
+
+    #[test]
+    fn tiny_negative_rounding_is_zero() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        assert_eq!(sample_binomial(1_000_000, -1e-18, &mut rng), 0);
+    }
+
+    #[test]
+    fn always_within_bounds() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for &(n, p) in &[(1u64, 0.5), (10, 0.9), (1000, 0.001), (1000, 0.999), (12345, 0.37)] {
+            for _ in 0..2000 {
+                assert!(sample_binomial(n, p, &mut rng) <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn fair_coin_single_trial() {
+        let samples = draw(1, 0.5, 40_000, 4);
+        let ones: u64 = samples.iter().sum();
+        let dev = (ones as f64 - 20_000.0).abs();
+        assert!(dev < 5.0 * 100.0, "ones = {ones}"); // σ = √(40000/4) = 100
+    }
+
+    #[test]
+    fn gof_binv_small() {
+        // np = 3: pure BINV region.
+        let samples = draw(10, 0.3, 30_000, 5);
+        let (stat, df) = chi2_gof(10, 0.3, &samples);
+        assert!(stat < chi2_crit_999(df), "chi2 = {stat}, df = {df}");
+    }
+
+    #[test]
+    fn gof_binv_wide() {
+        // np = 7 over a wider support.
+        let samples = draw(100, 0.07, 30_000, 6);
+        let (stat, df) = chi2_gof(100, 0.07, &samples);
+        assert!(stat < chi2_crit_999(df), "chi2 = {stat}, df = {df}");
+    }
+
+    #[test]
+    fn gof_btrd_moderate() {
+        // np = 40: BTRD region.
+        let samples = draw(400, 0.1, 30_000, 7);
+        let (stat, df) = chi2_gof(400, 0.1, &samples);
+        assert!(stat < chi2_crit_999(df), "chi2 = {stat}, df = {df}");
+    }
+
+    #[test]
+    fn gof_btrd_symmetric() {
+        let samples = draw(200, 0.5, 30_000, 8);
+        let (stat, df) = chi2_gof(200, 0.5, &samples);
+        assert!(stat < chi2_crit_999(df), "chi2 = {stat}, df = {df}");
+    }
+
+    #[test]
+    fn gof_high_p_symmetry_path() {
+        // p > 1/2 exercises the reflection branch.
+        let samples = draw(150, 0.8, 30_000, 9);
+        let (stat, df) = chi2_gof(150, 0.8, &samples);
+        assert!(stat < chi2_crit_999(df), "chi2 = {stat}, df = {df}");
+    }
+
+    #[test]
+    fn moments_large_n() {
+        // n = 10^6: only moment checks are tractable.
+        let n = 1_000_000u64;
+        let p = 0.3;
+        let trials = 20_000;
+        let samples = draw(n, p, trials, 10);
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / trials as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (trials - 1) as f64;
+        let true_mean = n as f64 * p;
+        let true_var = n as f64 * p * (1.0 - p);
+        let mean_sigma = (true_var / trials as f64).sqrt();
+        assert!(
+            (mean - true_mean).abs() < 5.0 * mean_sigma,
+            "mean {mean} vs {true_mean}"
+        );
+        // Sample variance of a binomial: allow ±10% at 20k trials.
+        assert!(
+            (var / true_var - 1.0).abs() < 0.1,
+            "var {var} vs {true_var}"
+        );
+    }
+
+    #[test]
+    fn moments_huge_n_tiny_p() {
+        // np = 50 with n = 10^10 (exercises BTRD at large n).
+        let n = 10_000_000_000u64;
+        let p = 5e-9;
+        let trials = 20_000;
+        let samples = draw(n, p, trials, 11);
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / trials as f64;
+        assert!((mean - 50.0).abs() < 5.0 * (50.0f64 / trials as f64).sqrt() * 1.5,
+            "mean = {mean}");
+    }
+
+    #[test]
+    fn stirling_correction_continuity() {
+        // Table and series must agree where they meet.
+        let table9 = stirling_correction(9);
+        let series10 = stirling_correction(10);
+        assert!(table9 > series10, "fc must decrease");
+        assert!((table9 - series10) < 0.001);
+        // Series value sanity: fc(k) ≈ 1/(12(k+1)).
+        let fc100 = stirling_correction(100);
+        assert!((fc100 - 1.0 / (12.0 * 101.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = draw(1000, 0.25, 100, 12);
+        let b = draw(1000, 0.25, 100, 12);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,278 @@
+//! Exact (multivariate) hypergeometric sampling: drawing without
+//! replacement.
+//!
+//! The F-bounded adversary corrupts `F` *distinct* nodes per round; in
+//! count representation the victims across color groups follow a
+//! multivariate hypergeometric law, built here from sequential univariate
+//! draws.  The univariate sampler inverts the pmf outward from the mode
+//! (expected `O(sd)` steps), with the pmf evaluated once in log space via
+//! a Stirling-series `ln Γ`.
+
+use rand::Rng;
+
+/// `ln Γ(x)` by the Stirling series (x ≥ 1 after shift; ~1e-10 accurate).
+/// Private: the analysis crate owns the public special-function API; this
+/// copy keeps `plurality-sampling` dependency-free.
+fn ln_gamma(mut x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    // Shift up so the series is accurate, then undo with ln-products.
+    let mut shift = 0.0;
+    while x < 8.0 {
+        shift -= x.ln();
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    let series = inv / 12.0 - inv * inv2 / 360.0 + inv * inv2 * inv2 / 1260.0;
+    shift + 0.5 * ((2.0 * std::f64::consts::PI).ln() - x.ln()) + x * (x.ln() - 1.0) + series
+}
+
+/// `ln C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Hypergeometric pmf `P(X = x)` for drawing `n` from `total` containing
+/// `successes` marked items.
+fn pmf(total: u64, successes: u64, n: u64, x: u64) -> f64 {
+    (ln_choose(successes, x) + ln_choose(total - successes, n - x) - ln_choose(total, n)).exp()
+}
+
+/// Draw `X ~ Hypergeometric(total, successes, draws)`: the number of
+/// marked items among `draws` drawn without replacement from a population
+/// of `total` items of which `successes` are marked.
+///
+/// Exact inversion expanding outward from the mode; expected time
+/// `O(sd(X))`.
+///
+/// # Panics
+/// Panics if `successes > total` or `draws > total`.
+pub fn sample_hypergeometric<R: Rng + ?Sized>(
+    total: u64,
+    successes: u64,
+    draws: u64,
+    rng: &mut R,
+) -> u64 {
+    assert!(successes <= total, "successes exceed population");
+    assert!(draws <= total, "draws exceed population");
+    if draws == 0 || successes == 0 {
+        return 0;
+    }
+    if successes == total {
+        return draws;
+    }
+    // Support bounds.
+    let lo = draws.saturating_sub(total - successes);
+    let hi = draws.min(successes);
+    if lo == hi {
+        return lo;
+    }
+
+    // Mode of the distribution.
+    let mode = (((draws + 1) as f64) * ((successes + 1) as f64) / ((total + 2) as f64)).floor()
+        as u64;
+    let mode = mode.clamp(lo, hi);
+    let p_mode = pmf(total, successes, draws, mode);
+
+    // Two-sided expansion from the mode, maintaining the pmf by ratio
+    // recurrences: p(x+1)/p(x) = (K−x)(n−x) / ((x+1)(N−K−n+x+1)).
+    let mut u: f64 = rng.gen::<f64>();
+    u -= p_mode;
+    if u <= 0.0 {
+        return mode;
+    }
+    let k_f = successes as f64;
+    let n_f = draws as f64;
+    let rest = (total - successes) as f64;
+    let ratio_up = |x: f64| ((k_f - x) * (n_f - x)) / ((x + 1.0) * (rest - n_f + x + 1.0));
+
+    let mut up_x = mode;
+    let mut up_p = p_mode;
+    let mut down_x = mode;
+    let mut down_p = p_mode;
+    loop {
+        let can_up = up_x < hi;
+        let can_down = down_x > lo;
+        if !can_up && !can_down {
+            // Numerical dust: return the closer support bound.
+            return if up_p >= down_p { hi } else { lo };
+        }
+        if can_up {
+            up_p *= ratio_up(up_x as f64);
+            up_x += 1;
+            u -= up_p;
+            if u <= 0.0 {
+                return up_x;
+            }
+        }
+        if can_down {
+            // p(x−1) = p(x) / ratio_up(x−1).
+            down_p /= ratio_up((down_x - 1) as f64);
+            down_x -= 1;
+            u -= down_p;
+            if u <= 0.0 {
+                return down_x;
+            }
+        }
+    }
+}
+
+/// Multivariate hypergeometric: distribute `draws` without-replacement
+/// picks across categories with the given counts.  Output sums to
+/// exactly `draws`.
+///
+/// # Panics
+/// Panics if `draws` exceeds the total count or on length mismatch.
+pub fn sample_multivariate_hypergeometric<R: Rng + ?Sized>(
+    counts: &[u64],
+    draws: u64,
+    out: &mut [u64],
+    rng: &mut R,
+) {
+    assert_eq!(counts.len(), out.len(), "length mismatch");
+    let mut remaining_total: u64 = counts.iter().sum();
+    assert!(draws <= remaining_total, "cannot draw more than the population");
+    let mut remaining_draws = draws;
+    for (slot, &c) in out.iter_mut().zip(counts) {
+        if remaining_draws == 0 {
+            *slot = 0;
+            continue;
+        }
+        let x = sample_hypergeometric(remaining_total, c, remaining_draws, rng);
+        *slot = x;
+        remaining_draws -= x;
+        remaining_total -= c;
+    }
+    debug_assert_eq!(out.iter().sum::<u64>(), draws);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (x, f) in [(1.0f64, 1.0f64), (5.0, 24.0), (11.0, 3_628_800.0)] {
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-9, "ln_gamma({x})");
+        }
+    }
+
+    #[test]
+    fn support_bounds_respected() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let x = sample_hypergeometric(20, 15, 10, &mut rng);
+            // lo = 10 − 5 = 5, hi = 10.
+            assert!((5..=10).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        assert_eq!(sample_hypergeometric(10, 0, 5, &mut rng), 0);
+        assert_eq!(sample_hypergeometric(10, 10, 5, &mut rng), 5);
+        assert_eq!(sample_hypergeometric(10, 5, 0, &mut rng), 0);
+        assert_eq!(sample_hypergeometric(10, 5, 10, &mut rng), 5);
+    }
+
+    #[test]
+    fn matches_exact_pmf_small() {
+        // Chi-square-ish check against the exact pmf for a small case.
+        let (total, succ, draws) = (30u64, 12u64, 10u64);
+        let trials = 60_000;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut freq = vec![0u64; (draws + 1) as usize];
+        for _ in 0..trials {
+            freq[sample_hypergeometric(total, succ, draws, &mut rng) as usize] += 1;
+        }
+        for x in 0..=draws {
+            let p = pmf(total, succ, draws, x);
+            let expect = p * trials as f64;
+            if expect < 10.0 {
+                continue;
+            }
+            let sigma = (expect * (1.0 - p)).sqrt();
+            assert!(
+                ((freq[x as usize] as f64) - expect).abs() < 6.0 * sigma,
+                "x = {x}: {} vs {expect}",
+                freq[x as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn mean_matches_large_population() {
+        // N = 10^6, K = 300k, n = 5000: mean = nK/N = 1500.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let trials = 3_000;
+        let mut acc = 0u64;
+        for _ in 0..trials {
+            acc += sample_hypergeometric(1_000_000, 300_000, 5_000, &mut rng);
+        }
+        let mean = acc as f64 / trials as f64;
+        let var = 5_000.0 * 0.3 * 0.7 * (995_000.0 / 999_999.0);
+        let sigma_mean = (var / trials as f64).sqrt();
+        assert!((mean - 1_500.0).abs() < 5.0 * sigma_mean, "mean {mean}");
+    }
+
+    #[test]
+    fn multivariate_sums_and_caps() {
+        let counts = [500u64, 300, 0, 200];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut out = [0u64; 4];
+        for _ in 0..2_000 {
+            sample_multivariate_hypergeometric(&counts, 100, &mut out, &mut rng);
+            assert_eq!(out.iter().sum::<u64>(), 100);
+            assert_eq!(out[2], 0, "empty category drew a victim");
+            for (o, c) in out.iter().zip(&counts) {
+                assert!(o <= c, "drew more than the category holds");
+            }
+        }
+    }
+
+    #[test]
+    fn multivariate_full_draw_takes_everything() {
+        let counts = [7u64, 3, 5];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut out = [0u64; 3];
+        sample_multivariate_hypergeometric(&counts, 15, &mut out, &mut rng);
+        assert_eq!(out, counts);
+    }
+
+    #[test]
+    fn multivariate_marginal_means() {
+        let counts = [600u64, 300, 100];
+        let draws = 50u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let trials = 10_000;
+        let mut sums = [0f64; 3];
+        let mut out = [0u64; 3];
+        for _ in 0..trials {
+            sample_multivariate_hypergeometric(&counts, draws, &mut out, &mut rng);
+            for (s, &x) in sums.iter_mut().zip(&out) {
+                *s += x as f64;
+            }
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            let mean = sums[j] / trials as f64;
+            let expect = draws as f64 * c as f64 / 1_000.0;
+            assert!((mean - expect).abs() < 0.05 * expect.max(1.0), "cat {j}: {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "draws exceed")]
+    fn rejects_overdraw() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let _ = sample_hypergeometric(5, 3, 6, &mut rng);
+    }
+}

@@ -1,0 +1,241 @@
+//! Exact multinomial sampling via the conditional-binomial decomposition.
+//!
+//! If `X ~ Multinomial(n; p_1, …, p_k)` then `X_1 ~ Binomial(n, p_1)` and,
+//! conditionally, `X_j ~ Binomial(n − Σ_{i<j} X_i, p_j / (1 − Σ_{i<j} p_i))`.
+//! Sampling the components in order therefore yields an exact multinomial
+//! draw using `k − 1` binomial draws, `O(k)` total expected time — the
+//! primitive that makes the mean-field engine's rounds `O(k)` instead of
+//! `O(n)`.
+
+use crate::binomial::sample_binomial;
+use rand::Rng;
+
+/// Draw `X ~ Multinomial(n, probs)` into `out`.
+///
+/// `probs` must be non-negative and sum to (approximately) 1; small
+/// floating-point deficits or excesses are absorbed safely: conditional
+/// probabilities are clamped to `[0, 1]` and the final component takes the
+/// exact integer remainder, so **`out` always sums to exactly `n`**.
+///
+/// # Panics
+/// Panics if `probs.len() != out.len()` or `probs` is empty.
+///
+/// # Example
+/// ```
+/// use plurality_sampling::{multinomial::sample_multinomial, Xoshiro256PlusPlus};
+/// use rand::SeedableRng;
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let mut out = [0u64; 3];
+/// sample_multinomial(1000, &[0.5, 0.3, 0.2], &mut out, &mut rng);
+/// assert_eq!(out.iter().sum::<u64>(), 1000);
+/// ```
+pub fn sample_multinomial<R: Rng + ?Sized>(
+    n: u64,
+    probs: &[f64],
+    out: &mut [u64],
+    rng: &mut R,
+) {
+    assert_eq!(
+        probs.len(),
+        out.len(),
+        "probs and out must have equal length"
+    );
+    assert!(!probs.is_empty(), "multinomial needs at least one category");
+
+    let k = probs.len();
+    let mut remaining_n = n;
+    let mut remaining_p = 1.0f64;
+
+    for j in 0..k - 1 {
+        if remaining_n == 0 {
+            out[j] = 0;
+            continue;
+        }
+        let pj = probs[j].max(0.0);
+        // Conditional probability of category j among what is left.
+        let cond = if remaining_p > 0.0 {
+            (pj / remaining_p).clamp(0.0, 1.0)
+        } else {
+            // Mass exhausted by rounding: spread nothing further.
+            0.0
+        };
+        let x = sample_binomial(remaining_n, cond, rng);
+        out[j] = x;
+        remaining_n -= x;
+        remaining_p -= pj;
+    }
+    out[k - 1] = remaining_n;
+}
+
+/// Draw `X ~ Multinomial(n, w / Σw)` from non-negative weights.
+///
+/// Convenience wrapper normalizing on the fly (no temporary allocation
+/// beyond the caller's `out`).
+///
+/// # Panics
+/// Panics if all weights are zero/negative, or on length mismatch.
+pub fn sample_multinomial_weighted<R: Rng + ?Sized>(
+    n: u64,
+    weights: &[f64],
+    out: &mut [u64],
+    rng: &mut R,
+) {
+    assert_eq!(weights.len(), out.len());
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    assert!(
+        total > 0.0,
+        "multinomial weights must have positive total mass"
+    );
+    let k = weights.len();
+    let mut remaining_n = n;
+    let mut remaining_w = total;
+    for j in 0..k - 1 {
+        if remaining_n == 0 {
+            out[j] = 0;
+            continue;
+        }
+        let wj = weights[j].max(0.0);
+        let cond = if remaining_w > 0.0 {
+            (wj / remaining_w).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let x = sample_binomial(remaining_n, cond, rng);
+        out[j] = x;
+        remaining_n -= x;
+        remaining_w -= wj;
+    }
+    out[k - 1] = remaining_n;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_n() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let mut out = [0u64; 4];
+        for n in [0u64, 1, 17, 1000, 1_000_000] {
+            sample_multinomial(n, &probs, &mut out, &mut rng);
+            assert_eq!(out.iter().sum::<u64>(), n);
+        }
+    }
+
+    #[test]
+    fn single_category_takes_all() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut out = [0u64; 1];
+        sample_multinomial(123, &[1.0], &mut out, &mut rng);
+        assert_eq!(out[0], 123);
+    }
+
+    #[test]
+    fn zero_probability_category_gets_nothing() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut out = [0u64; 3];
+        for _ in 0..200 {
+            sample_multinomial(1000, &[0.5, 0.0, 0.5], &mut out, &mut rng);
+            assert_eq!(out[1], 0);
+            assert_eq!(out[0] + out[2], 1000);
+        }
+    }
+
+    #[test]
+    fn degenerate_all_mass_first() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut out = [0u64; 3];
+        sample_multinomial(500, &[1.0, 0.0, 0.0], &mut out, &mut rng);
+        assert_eq!(out, [500, 0, 0]);
+    }
+
+    #[test]
+    fn marginal_means_match() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let probs = [0.05, 0.15, 0.35, 0.45];
+        let n = 10_000u64;
+        let trials = 4000;
+        let mut sums = [0f64; 4];
+        let mut out = [0u64; 4];
+        for _ in 0..trials {
+            sample_multinomial(n, &probs, &mut out, &mut rng);
+            for (s, &x) in sums.iter_mut().zip(&out) {
+                *s += x as f64;
+            }
+        }
+        for (j, (&pj, &s)) in probs.iter().zip(&sums).enumerate() {
+            let mean = s / trials as f64;
+            let expect = n as f64 * pj;
+            let sigma = (n as f64 * pj * (1.0 - pj) / trials as f64).sqrt();
+            assert!(
+                (mean - expect).abs() < 5.0 * sigma,
+                "category {j}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn marginal_covariance_sign() {
+        // Multinomial components are negatively correlated:
+        // Cov(X_i, X_j) = −n p_i p_j.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let probs = [0.5, 0.5];
+        let n = 1000u64;
+        let trials = 5000;
+        let mut out = [0u64; 2];
+        let mut sum0 = 0.0;
+        let mut sum1 = 0.0;
+        let mut sum01 = 0.0;
+        for _ in 0..trials {
+            sample_multinomial(n, &probs, &mut out, &mut rng);
+            sum0 += out[0] as f64;
+            sum1 += out[1] as f64;
+            sum01 += out[0] as f64 * out[1] as f64;
+        }
+        let t = trials as f64;
+        let cov = sum01 / t - (sum0 / t) * (sum1 / t);
+        let expect = -(n as f64) * 0.25; // −250
+        assert!(
+            (cov - expect).abs() < 50.0,
+            "cov = {cov}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn weighted_matches_normalized() {
+        let mut rng_a = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut rng_b = Xoshiro256PlusPlus::seed_from_u64(7);
+        let weights = [2.0, 6.0, 12.0];
+        let probs = [0.1, 0.3, 0.6];
+        let mut a = [0u64; 3];
+        let mut b = [0u64; 3];
+        for _ in 0..100 {
+            sample_multinomial_weighted(997, &weights, &mut a, &mut rng_a);
+            sample_multinomial(997, &probs, &mut b, &mut rng_b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total mass")]
+    fn weighted_rejects_zero_mass() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let mut out = [0u64; 2];
+        sample_multinomial_weighted(10, &[0.0, 0.0], &mut out, &mut rng);
+    }
+
+    #[test]
+    fn probs_not_quite_normalized_still_exact_total() {
+        // Simulate accumulated rounding: probs summing to 1 ± 1e-12.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let probs = [0.3333333333333333, 0.3333333333333333, 0.3333333333333335];
+        let mut out = [0u64; 3];
+        for _ in 0..100 {
+            sample_multinomial(1_000_003, &probs, &mut out, &mut rng);
+            assert_eq!(out.iter().sum::<u64>(), 1_000_003);
+        }
+    }
+}

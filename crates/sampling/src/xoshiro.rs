@@ -1,0 +1,247 @@
+//! xoshiro256++ 1.0 (Blackman & Vigna, 2019): the workhorse PRNG of the
+//! simulation suite.
+//!
+//! 256 bits of state, period `2^256 − 1`, ~0.8 ns per 64-bit output on
+//! commodity hardware, and no known statistical failures (passes BigCrush
+//! and PractRand).  Implemented here (rather than pulled from `rand`'s
+//! small-rng feature) so that the byte-for-byte output of every experiment
+//! is pinned by this repository and cannot drift with a dependency bump.
+
+use crate::splitmix::SplitMix64;
+use rand::{RngCore, SeedableRng};
+
+/// xoshiro256++ generator state.  Never all-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Construct from raw state words.
+    ///
+    /// # Panics
+    /// Panics if all four words are zero (the one forbidden state).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must be non-zero");
+        Self { s }
+    }
+
+    /// The raw state words (test/diagnostic use).
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+
+        result
+    }
+
+    /// The `jump()` function: advances the state by `2^128` steps.
+    ///
+    /// Provides up to `2^128` non-overlapping subsequences; an alternative
+    /// to seed-derived streams when provable stream disjointness is wanted.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_2618_E03F_C9AA,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut acc = [0u64; 4];
+        for word in JUMP {
+            for b in 0..64 {
+                if (word >> b) & 1 == 1 {
+                    for (a, s) in acc.iter_mut().zip(self.s.iter()) {
+                        *a ^= s;
+                    }
+                }
+                self.step();
+            }
+        }
+        self.s = acc;
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.step() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.step().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.step().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s.iter().all(|&w| w == 0) {
+            // The all-zero state is forbidden; substitute an expanded seed.
+            let mut sm = SplitMix64::new(0);
+            sm.fill_u64(&mut s);
+        }
+        Self { s }
+    }
+
+    /// Seed via SplitMix64 expansion, as recommended by the xoshiro authors.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64::new(state);
+        let mut s = [0u64; 4];
+        sm.fill_u64(&mut s);
+        Self { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Official test vector from `xoshiro256plusplus.c` (Blackman & Vigna):
+    /// with state `[1, 2, 3, 4]` the first outputs are fixed.
+    #[test]
+    fn matches_reference_vector() {
+        let mut g = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for e in expected {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256PlusPlus::from_state([0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn from_seed_all_zero_bytes_is_usable() {
+        let mut g = Xoshiro256PlusPlus::from_seed([0u8; 32]);
+        // Must not be stuck at zero.
+        assert!((0..8).any(|_| g.next_u64() != 0));
+    }
+
+    #[test]
+    fn seed_from_u64_deterministic_and_distinct() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut c = Xoshiro256PlusPlus::seed_from_u64(2);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn jump_diverges_from_original() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut b = a.clone();
+        b.jump();
+        let overlaps = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(overlaps, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut g = Xoshiro256PlusPlus::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_and_variance() {
+        let mut g = Xoshiro256PlusPlus::seed_from_u64(123);
+        let n = 200_000usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = g.next_f64();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        // U(0,1): mean 1/2 (σ_mean ≈ 6.5e-4), variance 1/12.
+        assert!((mean - 0.5).abs() < 5.0 * 6.5e-4, "mean = {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 2e-3, "var = {var}");
+    }
+
+    #[test]
+    fn low_bit_balance() {
+        // The ++ scrambler fixes the weak low bits of xoshiro256+; check
+        // the least significant bit is balanced.
+        let mut g = Xoshiro256PlusPlus::seed_from_u64(77);
+        let n = 100_000;
+        let ones: u64 = (0..n).map(|_| g.next_u64() & 1).sum();
+        let dev = (ones as f64 - n as f64 / 2.0).abs();
+        assert!(dev < 5.0 * (n as f64 / 4.0).sqrt(), "ones = {ones}");
+    }
+
+    #[test]
+    fn fill_bytes_word_consistency() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut b = a.clone();
+        let mut buf = [0u8; 32];
+        a.fill_bytes(&mut buf);
+        for chunk in buf.chunks_exact(8) {
+            assert_eq!(chunk, b.next_u64().to_le_bytes());
+        }
+    }
+}

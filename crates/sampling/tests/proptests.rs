@@ -1,0 +1,153 @@
+//! Property-based tests for the sampling substrate: invariants that must
+//! hold for *every* parameter combination, not just the unit-test grid.
+
+use proptest::prelude::*;
+use plurality_sampling::binomial::sample_binomial;
+use plurality_sampling::categorical::sample_from_counts;
+use plurality_sampling::multinomial::{sample_multinomial, sample_multinomial_weighted};
+use plurality_sampling::{derive_stream, AliasTable, CountSampler, SplitMix64, Xoshiro256PlusPlus};
+use rand::{RngCore, SeedableRng};
+
+proptest! {
+    /// Binomial samples never exceed n, for any (n, p, seed).
+    #[test]
+    fn binomial_within_bounds(n in 0u64..1_000_000, p in -0.5f64..1.5, seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let x = sample_binomial(n, p, &mut rng);
+        prop_assert!(x <= n);
+    }
+
+    /// Degenerate probabilities give degenerate samples.
+    #[test]
+    fn binomial_degenerate(n in 0u64..100_000, seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        prop_assert_eq!(sample_binomial(n, 0.0, &mut rng), 0);
+        prop_assert_eq!(sample_binomial(n, 1.0, &mut rng), n);
+    }
+
+    /// Binomial sampling is deterministic given the RNG state.
+    #[test]
+    fn binomial_deterministic(n in 1u64..100_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(seed);
+        prop_assert_eq!(sample_binomial(n, p, &mut a), sample_binomial(n, p, &mut b));
+    }
+
+    /// Multinomial output always sums to exactly n, whatever the weights.
+    #[test]
+    fn multinomial_sums_to_n(
+        n in 0u64..1_000_000,
+        weights in proptest::collection::vec(0.0f64..100.0, 1..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut out = vec![0u64; weights.len()];
+        sample_multinomial_weighted(n, &weights, &mut out, &mut rng);
+        prop_assert_eq!(out.iter().sum::<u64>(), n);
+    }
+
+    /// Zero-weight categories receive nothing.
+    #[test]
+    fn multinomial_zero_weight_gets_zero(
+        n in 1u64..100_000,
+        live in 1.0f64..100.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let weights = [live, 0.0, live];
+        let mut out = [0u64; 3];
+        sample_multinomial_weighted(n, &weights, &mut out, &mut rng);
+        prop_assert_eq!(out[1], 0);
+    }
+
+    /// Normalized probs path agrees with the invariant too.
+    #[test]
+    fn multinomial_probs_path(
+        n in 0u64..100_000,
+        raw in proptest::collection::vec(0.01f64..1.0, 2..10),
+        seed in any::<u64>(),
+    ) {
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut out = vec![0u64; probs.len()];
+        sample_multinomial(n, &probs, &mut out, &mut rng);
+        prop_assert_eq!(out.iter().sum::<u64>(), n);
+    }
+
+    /// Alias table always returns a valid index, and never one with zero
+    /// weight.
+    #[test]
+    fn alias_valid_indices(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..50),
+        seed in any::<u64>(),
+        draws in 1usize..200,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..draws {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight index {}", i);
+        }
+    }
+
+    /// CountSampler::locate maps every u to the category owning it.
+    #[test]
+    fn count_sampler_locate_exact(
+        counts in proptest::collection::vec(0u64..100, 1..30),
+    ) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let s = CountSampler::new(&counts);
+        // Walk all mass boundaries (bounded total keeps this cheap).
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                prop_assert_eq!(s.locate(cum), i);
+                prop_assert_eq!(s.locate(cum + c - 1), i);
+            }
+            cum += c;
+        }
+    }
+
+    /// One-shot counts sampling also returns only live categories.
+    #[test]
+    fn sample_from_counts_live_only(
+        counts in proptest::collection::vec(0u64..50, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let total: u64 = counts.iter().sum();
+        prop_assume!(total > 0);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..50 {
+            let i = sample_from_counts(&counts, total, &mut rng);
+            prop_assert!(counts[i] > 0);
+        }
+    }
+
+    /// Stream derivation: distinct stream indices give distinct seeds
+    /// (collision would need a 64-bit birthday accident).
+    #[test]
+    fn stream_derivation_injective_locally(master in any::<u64>(), i in 0u64..1000, j in 0u64..1000) {
+        prop_assume!(i != j);
+        prop_assert_ne!(derive_stream(master, i), derive_stream(master, j));
+    }
+
+    /// SplitMix64 and xoshiro fill_bytes agree with word-wise generation
+    /// for arbitrary buffer sizes.
+    #[test]
+    fn fill_bytes_prefix_consistency(seed in any::<u64>(), len in 0usize..64) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let mut buf = vec![0u8; len];
+        a.fill_bytes(&mut buf);
+        // Reconstruct from words.
+        let mut expect = Vec::with_capacity(len + 8);
+        while expect.len() < len {
+            expect.extend_from_slice(&b.next_u64().to_le_bytes());
+        }
+        prop_assert_eq!(&buf[..], &expect[..len]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Compressed sparse-row graph storage and the [`Topology`] trait.
+//!
+//! The paper's model is the clique, where neighbor sampling needs no
+//! storage at all.  The agent-based engine also runs the dynamics on
+//! explicit graphs (extension experiment E12), which are stored here in
+//! CSR form: one offsets array and one flat edge array — cache-friendly
+//! and allocation-free during simulation.
+
+use rand::{Rng, RngCore};
+
+/// A communication topology: who can a node sample in one round?
+///
+/// `sample_neighbor` must return a u.a.r. element of the node's sampling
+/// set.  For the clique (the paper's model) the sampling set is *all* `n`
+/// nodes including the sampler itself, with repetition across draws; for
+/// explicit graphs it is the adjacency list.
+pub trait Topology: Send + Sync {
+    /// Topology name for labels.
+    fn name(&self) -> String;
+
+    /// Number of nodes.
+    fn n(&self) -> usize;
+
+    /// Draw a uniformly random member of `node`'s sampling set.
+    fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize;
+
+    /// Size of the node's sampling set.
+    fn degree(&self, node: usize) -> usize;
+}
+
+/// An undirected graph in CSR form.
+///
+/// Invariants: adjacency is symmetric, no self-loops, no parallel edges
+/// (enforced by [`CsrGraph::from_edges`]).
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    edges: Vec<u32>,
+    name: String,
+}
+
+impl CsrGraph {
+    /// Build from an undirected edge list (`u < v` pairs or any order;
+    /// duplicates and self-loops are rejected).
+    ///
+    /// # Panics
+    /// Panics on a self-loop, a duplicate edge, or an endpoint ≥ `n`.
+    #[must_use]
+    pub fn from_edges(n: usize, edge_list: &[(u32, u32)], name: impl Into<String>) -> Self {
+        let mut canon: Vec<(u32, u32)> = edge_list
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u != v, "self-loop at node {u}");
+                assert!((u as usize) < n && (v as usize) < n, "endpoint out of range");
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        canon.sort_unstable();
+        for w in canon.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate edge {:?}", w[0]);
+        }
+
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &canon {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![0u32; acc];
+        for &(u, v) in &canon {
+            edges[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            edges[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        Self {
+            offsets,
+            edges,
+            name: name.into(),
+        }
+    }
+
+    /// The adjacency list of a node.
+    #[must_use]
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        &self.edges[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// BFS connectivity check.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0usize);
+        let mut visited = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    visited += 1;
+                    queue.push_back(w as usize);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Minimum degree over all nodes.
+    #[must_use]
+    pub fn min_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+}
+
+impl Topology for CsrGraph {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        let nbrs = self.neighbors(node);
+        assert!(
+            !nbrs.is_empty(),
+            "node {node} is isolated; cannot sample a neighbor"
+        );
+        nbrs[rng.gen_range(0..nbrs.len())] as usize
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        self.offsets[node + 1] - self.offsets[node]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_sampling::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    fn path3() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2)], "path3")
+    }
+
+    #[test]
+    fn csr_layout() {
+        let g = path3();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        let mut mid = g.neighbors(1).to_vec();
+        mid.sort_unstable();
+        assert_eq!(mid, vec![0, 2]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = CsrGraph::from_edges(2, &[(1, 1)], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate() {
+        let _ = CsrGraph::from_edges(3, &[(0, 1), (1, 0)], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5)], "bad");
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path3().is_connected());
+        let disconnected = CsrGraph::from_edges(4, &[(0, 1), (2, 3)], "two-islands");
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn neighbor_sampling_uniform() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], "star4");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let trials = 30_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..trials {
+            counts[g.sample_neighbor(0, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0, "no self-sampling on a graph");
+        for c in &counts[1..] {
+            let expect = trials as f64 / 3.0;
+            assert!(
+                ((*c as f64) - expect).abs() < 5.0 * (expect * (2.0 / 3.0)).sqrt(),
+                "counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn isolated_node_panics() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)], "lonely-2");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let _ = g.sample_neighbor(2, &mut rng);
+    }
+}

@@ -1,0 +1,21 @@
+//! Communication topologies for the plurality-consensus simulators.
+//!
+//! The paper's entire analysis is on the **clique** with self-inclusive
+//! uniform sampling ([`Clique::new`]); that model is what the theorems and
+//! the experiment suite use.  The explicit graph families (Erdős–Rényi,
+//! random regular, ring, torus, star, complete bipartite,
+//! Barabási–Albert, Watts–Strogatz) back the
+//! extension experiments (DESIGN.md E12) that probe how 3-majority behaves
+//! off the clique, and exist to exercise the agent-based engine on
+//! realistic sparse topologies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod models;
+pub mod social;
+
+pub use graph::{CsrGraph, Topology};
+pub use models::{complete_bipartite, erdos_renyi, random_regular, ring, star, torus, Clique};
+pub use social::{barabasi_albert, watts_strogatz};

@@ -1,0 +1,469 @@
+//! Standard topology generators: the paper's clique plus the explicit
+//! graph families used by the extension experiments.
+
+use crate::graph::{CsrGraph, Topology};
+use plurality_sampling::stream_rng;
+use rand::{Rng, RngCore};
+
+/// The paper's communication model: every node may sample every node,
+/// *including itself*, with repetition.
+#[derive(Debug, Clone, Copy)]
+pub struct Clique {
+    n: usize,
+    include_self: bool,
+}
+
+impl Clique {
+    /// The paper's clique (`self` included in the sampling set).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "clique needs at least one node");
+        Self {
+            n,
+            include_self: true,
+        }
+    }
+
+    /// A clique where nodes sample among the *other* `n − 1` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn without_self(n: usize) -> Self {
+        assert!(n >= 2, "self-less clique needs at least two nodes");
+        Self {
+            n,
+            include_self: false,
+        }
+    }
+}
+
+impl Topology for Clique {
+    fn name(&self) -> String {
+        if self.include_self {
+            format!("clique(n={})", self.n)
+        } else {
+            format!("clique-noself(n={})", self.n)
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        if self.include_self {
+            rng.gen_range(0..self.n)
+        } else {
+            // Uniform over [0, n) \ {node}: draw from n−1 and skip.
+            let r = rng.gen_range(0..self.n - 1);
+            if r >= node {
+                r + 1
+            } else {
+                r
+            }
+        }
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        let _ = node;
+        if self.include_self {
+            self.n
+        } else {
+            self.n - 1
+        }
+    }
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair independently an edge with
+/// probability `p`.  Deterministic given `(n, p, seed)`.
+///
+/// Uses geometric edge-skipping (Batagelj–Brandes), so generation is
+/// `O(n + m)` rather than `O(n²)`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut rng = stream_rng(seed, 0xE2);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    if p > 0.0 {
+        let log1mp = (1.0 - p).ln();
+        if log1mp == 0.0 {
+            // p == 0 handled above; p == 1 gives log 0 → complete graph.
+        }
+        if p >= 1.0 {
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    edges.push((u, v));
+                }
+            }
+        } else {
+            // Walk the strictly-upper-triangular pair sequence with
+            // geometric jumps of parameter p.
+            let total_pairs = n as u64 * (n as u64 - 1) / 2;
+            let mut idx: u64 = 0;
+            loop {
+                let u: f64 = rng.gen::<f64>();
+                let skip = ((1.0 - u).ln() / log1mp).floor() as u64;
+                idx = match idx.checked_add(skip) {
+                    Some(i) => i,
+                    None => break,
+                };
+                if idx >= total_pairs {
+                    break;
+                }
+                edges.push(pair_from_index(n as u64, idx));
+                idx += 1;
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges, format!("er(n={n},p={p})"))
+}
+
+/// Map a linear index over the strictly-upper-triangular pairs of `[n]`
+/// (row-major) back to the pair `(u, v)`, `u < v`.
+fn pair_from_index(n: u64, idx: u64) -> (u32, u32) {
+    // Row u starts at offset u·n − u(u+3)/2 ... solve by scanning rows
+    // arithmetically: remaining pairs after row u is (n−1−u) per row.
+    let mut u = 0u64;
+    let mut rem = idx;
+    loop {
+        let row = n - 1 - u;
+        if rem < row {
+            return (u as u32, (u + 1 + rem) as u32);
+        }
+        rem -= row;
+        u += 1;
+    }
+}
+
+/// Random `d`-regular simple graph via the configuration model with
+/// **edge-swap repair**: pair stubs uniformly, then resolve self-loops and
+/// parallel edges by swapping against random good edges (whole-graph
+/// rejection has acceptance probability ≈ `e^{−(d²−1)/4}`, hopeless beyond
+/// `d ≈ 3`).  The repaired distribution is approximately — not exactly —
+/// uniform over simple d-regular graphs, which is sufficient for the
+/// extension experiments this backs.  Deterministic given `(n, d, seed)`.
+///
+/// # Panics
+/// Panics if `n·d` is odd, `d ≥ n`, or repair fails repeatedly
+/// (only possible for extreme `d` close to `n`).
+#[must_use]
+pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
+    assert!(d < n, "degree must be below n");
+    assert!((n * d) % 2 == 0, "n·d must be even");
+    let mut rng = stream_rng(seed, 0xD0);
+    'attempt: for _attempt in 0..50 {
+        // Stub list: node v appears d times, then Fisher–Yates shuffle.
+        let mut stubs: Vec<u32> = (0..n as u32)
+            .flat_map(|v| std::iter::repeat(v).take(d))
+            .collect();
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
+        let mut seen: std::collections::HashSet<(u32, u32)> =
+            std::collections::HashSet::with_capacity(n * d / 2);
+        let mut bad: Vec<(u32, u32)> = Vec::new();
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            let key = (u.min(v), u.max(v));
+            if u == v || !seen.insert(key) {
+                bad.push((u, v));
+            } else {
+                edges.push(key);
+            }
+        }
+        // Repair: for a bad pair (u, v), pick a random good edge (x, y)
+        // and rewire to (u, x), (v, y) — degrees are preserved.
+        let mut repair_budget = 200 * bad.len() + 1000;
+        while let Some(&(u, v)) = bad.last() {
+            if repair_budget == 0 {
+                continue 'attempt;
+            }
+            repair_budget -= 1;
+            if edges.is_empty() {
+                continue 'attempt;
+            }
+            let idx = rng.gen_range(0..edges.len());
+            let (x, y) = edges[idx];
+            // Randomize orientation of the picked edge.
+            let (x, y) = if rng.gen::<bool>() { (x, y) } else { (y, x) };
+            let e1 = (u.min(x), u.max(x));
+            let e2 = (v.min(y), v.max(y));
+            if u == x || v == y || e1 == e2 || seen.contains(&e1) || seen.contains(&e2) {
+                continue;
+            }
+            // Commit the swap.
+            bad.pop();
+            let old = edges.swap_remove(idx);
+            seen.remove(&old);
+            seen.insert(e1);
+            seen.insert(e2);
+            edges.push(e1);
+            edges.push(e2);
+        }
+        return CsrGraph::from_edges(n, &edges, format!("regular(n={n},d={d})"));
+    }
+    panic!("failed to build a simple {d}-regular graph on {n} nodes");
+}
+
+/// Cycle on `n` nodes.
+///
+/// # Panics
+/// Panics if `n < 3`.
+#[must_use]
+pub fn ring(n: usize) -> CsrGraph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .map(|v| (v, (v + 1) % n as u32))
+        .collect();
+    CsrGraph::from_edges(n, &edges, format!("ring(n={n})"))
+}
+
+/// `w × h` torus (wrap-around grid, degree 4).
+///
+/// # Panics
+/// Panics if `w < 3` or `h < 3` (smaller sizes create parallel edges).
+#[must_use]
+pub fn torus(w: usize, h: usize) -> CsrGraph {
+    assert!(w >= 3 && h >= 3, "torus needs both sides ≥ 3");
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    let mut edges = Vec::with_capacity(2 * w * h);
+    for y in 0..h {
+        for x in 0..w {
+            edges.push((id(x, y), id((x + 1) % w, y)));
+            edges.push((id(x, y), id(x, (y + 1) % h)));
+        }
+    }
+    CsrGraph::from_edges(w * h, &edges, format!("torus({w}x{h})"))
+}
+
+/// Star: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// # Panics
+/// Panics if `n < 2`.
+#[must_use]
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 2, "star needs at least 2 nodes");
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+    CsrGraph::from_edges(n, &edges, format!("star(n={n})"))
+}
+
+/// Complete bipartite graph `K_{a,b}` (left side `0..a`, right `a..a+b`).
+///
+/// # Panics
+/// Panics if either side is empty.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    assert!(a > 0 && b > 0, "both sides must be non-empty");
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            edges.push((u, a as u32 + v));
+        }
+    }
+    CsrGraph::from_edges(a + b, &edges, format!("bipartite({a},{b})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_sampling::Xoshiro256PlusPlus;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clique_includes_self() {
+        let c = Clique::new(10);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut saw_self = false;
+        for _ in 0..1000 {
+            if c.sample_neighbor(3, &mut rng) == 3 {
+                saw_self = true;
+                break;
+            }
+        }
+        assert!(saw_self, "paper's model must allow self-samples");
+        assert_eq!(c.degree(0), 10);
+    }
+
+    #[test]
+    fn clique_without_self_never_self() {
+        let c = Clique::without_self(10);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut counts = [0u64; 10];
+        for _ in 0..45_000 {
+            counts[c.sample_neighbor(3, &mut rng)] += 1;
+        }
+        assert_eq!(counts[3], 0);
+        for (v, &cnt) in counts.iter().enumerate() {
+            if v == 3 {
+                continue;
+            }
+            let expect = 5_000.0;
+            assert!(
+                ((cnt as f64) - expect).abs() < 5.0 * expect.sqrt(),
+                "node {v}: {cnt}"
+            );
+        }
+    }
+
+    #[test]
+    fn clique_uniformity() {
+        let c = Clique::new(5);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut counts = [0u64; 5];
+        for _ in 0..50_000 {
+            counts[c.sample_neighbor(0, &mut rng)] += 1;
+        }
+        for &cnt in &counts {
+            assert!(
+                ((cnt as f64) - 10_000.0).abs() < 5.0 * 100.0,
+                "counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn er_edge_count_and_symmetry() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 7);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let sigma = (expect * (1.0 - p)).sqrt();
+        assert!(
+            ((g.edge_count() as f64) - expect).abs() < 6.0 * sigma,
+            "edges = {}",
+            g.edge_count()
+        );
+        // Symmetry: u in adj(v) iff v in adj(u).
+        for v in 0..n {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w as usize).contains(&(v as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn er_deterministic_by_seed() {
+        let a = erdos_renyi(100, 0.1, 42);
+        let b = erdos_renyi(100, 0.1, 42);
+        let c = erdos_renyi(100, 0.1, 43);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_ne!(
+            (0..100).map(|v| a.degree(v)).collect::<Vec<_>>(),
+            (0..100).map(|v| c.degree(v)).collect::<Vec<_>>(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn er_extremes() {
+        assert_eq!(erdos_renyi(50, 0.0, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi(20, 1.0, 1).edge_count(), 190);
+    }
+
+    #[test]
+    fn pair_from_index_roundtrip() {
+        let n = 7u64;
+        let mut idx = 0u64;
+        for u in 0..7u32 {
+            for v in (u + 1)..7u32 {
+                assert_eq!(pair_from_index(n, idx), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn regular_degrees() {
+        let g = random_regular(100, 4, 5);
+        for v in 0..100 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        assert!(g.is_connected(), "4-regular on 100 nodes should connect");
+    }
+
+    #[test]
+    fn regular_dense_degree_with_repair() {
+        // d = 8 forces the edge-swap repair path (whole-graph rejection
+        // would essentially never succeed here).
+        let g = random_regular(1_024, 8, 6);
+        assert_eq!(g.edge_count(), 1_024 * 8 / 2);
+        for v in 0..1_024 {
+            assert_eq!(g.degree(v), 8, "node {v}");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn regular_deterministic_by_seed() {
+        let a = random_regular(64, 6, 9);
+        let b = random_regular(64, 6, 9);
+        for v in 0..64 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(6);
+        assert_eq!(g.edge_count(), 6);
+        let mut nbrs = g.neighbors(0).to_vec();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![1, 5]);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = torus(4, 3);
+        assert_eq!(g.n(), 12);
+        for v in 0..12 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        assert!(g.is_connected());
+        // Wrap-around: node (0,0) adjacent to (3,0) and (0,2).
+        let nbrs = g.neighbors(0);
+        assert!(nbrs.contains(&3));
+        assert!(nbrs.contains(&8));
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(9);
+        assert_eq!(g.degree(0), 8);
+        for v in 1..9 {
+            assert_eq!(g.degree(v), 1);
+            assert_eq!(g.neighbors(v), &[0]);
+        }
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.edge_count(), 12);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 4);
+            for &v in g.neighbors(u) {
+                assert!(v >= 3, "left node adjacent to left node");
+            }
+        }
+        for v in 3..7 {
+            assert_eq!(g.degree(v), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn regular_odd_rejected() {
+        let _ = random_regular(5, 3, 1);
+    }
+}

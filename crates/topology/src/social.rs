@@ -1,0 +1,197 @@
+//! Social-network topology generators: preferential attachment
+//! (Barabási–Albert) and small-world (Watts–Strogatz) graphs.
+//!
+//! The paper motivates plurality consensus partly from social networks
+//! (§1, citing Mossel et al.); these families let the agent-based engine
+//! probe the dynamics on heavy-tailed and high-clustering topologies the
+//! clique analysis says nothing about.
+
+use crate::graph::CsrGraph;
+use plurality_sampling::stream_rng;
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `m + 1` nodes; each arriving node attaches `m` edges to existing nodes
+/// with probability proportional to their degree (sampled via the
+/// standard repeated-endpoint trick: picking a uniform endpoint of a
+/// uniform existing edge is degree-proportional).  Deterministic given
+/// `(n, m, seed)`.
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m + 1`.
+#[must_use]
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment degree must be positive");
+    assert!(n >= m + 1, "need at least m+1 nodes");
+    let mut rng = stream_rng(seed, 0xBA);
+    // Flat endpoint list: each edge contributes both endpoints, so a
+    // uniform pick from it is degree-proportional.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+    // Seed clique on m+1 nodes.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        targets.clear();
+        // Sample m distinct degree-proportional targets.
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((t, v as u32));
+            endpoints.push(t);
+            endpoints.push(v as u32);
+        }
+    }
+    CsrGraph::from_edges(n, &edges, format!("barabasi-albert(n={n},m={m})"))
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where every node
+/// connects to its `k_half` nearest neighbors on each side, then each
+/// lattice edge is rewired with probability `beta` to a uniform random
+/// non-duplicate endpoint.  Deterministic given `(n, k_half, beta, seed)`.
+///
+/// # Panics
+/// Panics if `k_half == 0`, `2·k_half ≥ n`, or `beta` outside `[0, 1]`.
+#[must_use]
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k_half >= 1, "need at least one lattice neighbor per side");
+    assert!(2 * k_half < n, "lattice degree must be below n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut rng = stream_rng(seed, 0x35);
+
+    use std::collections::HashSet;
+    let mut edge_set: HashSet<(u32, u32)> = HashSet::with_capacity(n * k_half);
+    let canon = |u: u32, v: u32| (u.min(v), u.max(v));
+    for u in 0..n {
+        for d in 1..=k_half {
+            let v = (u + d) % n;
+            edge_set.insert(canon(u as u32, v as u32));
+        }
+    }
+    // Rewire: iterate over the original lattice edges in a fixed order.
+    let mut lattice: Vec<(u32, u32)> = Vec::with_capacity(n * k_half);
+    for u in 0..n {
+        for d in 1..=k_half {
+            lattice.push((u as u32, ((u + d) % n) as u32));
+        }
+    }
+    for &(u, v) in &lattice {
+        if rng.gen::<f64>() >= beta {
+            continue;
+        }
+        // Try a few times to find a valid new endpoint; keep the original
+        // edge if the neighborhood is saturated.
+        for _ in 0..32 {
+            let w = rng.gen_range(0..n as u32);
+            if w == u || w == v {
+                continue;
+            }
+            let new_key = canon(u, w);
+            if edge_set.contains(&new_key) {
+                continue;
+            }
+            edge_set.remove(&canon(u, v));
+            edge_set.insert(new_key);
+            break;
+        }
+    }
+    let edges: Vec<(u32, u32)> = {
+        let mut v: Vec<_> = edge_set.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    CsrGraph::from_edges(n, &edges, format!("watts-strogatz(n={n},k={},β={beta})", 2 * k_half))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+
+    #[test]
+    fn ba_edge_count_and_connectivity() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, 1);
+        // Seed clique C(m+1, 2) + (n − m − 1)·m edges.
+        let expect = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(g.edge_count(), expect);
+        assert!(g.is_connected());
+        // Every non-seed node has degree ≥ m.
+        for v in 0..n {
+            assert!(g.degree(v) >= m, "node {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        // Preferential attachment should produce hubs: the max degree
+        // must far exceed the attachment parameter.
+        let g = barabasi_albert(2_000, 2, 2);
+        let max_deg = (0..2_000).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 20, "max degree {max_deg} suspiciously small");
+    }
+
+    #[test]
+    fn ba_deterministic() {
+        let a = barabasi_albert(200, 2, 7);
+        let b = barabasi_albert(200, 2, 7);
+        for v in 0..200 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn ws_zero_beta_is_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1);
+        assert_eq!(g.edge_count(), 40);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        let nbrs = g.neighbors(0);
+        assert!(nbrs.contains(&1) && nbrs.contains(&2));
+        assert!(nbrs.contains(&18) && nbrs.contains(&19));
+    }
+
+    #[test]
+    fn ws_rewiring_changes_structure_but_keeps_connectivity() {
+        let lattice = watts_strogatz(400, 3, 0.0, 3);
+        let small_world = watts_strogatz(400, 3, 0.3, 3);
+        assert!(small_world.is_connected());
+        // Some edges must differ from the pure lattice.
+        let mut differs = false;
+        for v in 0..400 {
+            if lattice.neighbors(v) != small_world.neighbors(v) {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "β = 0.3 should rewire something");
+        // Edge count is preserved by rewiring (each rewire moves an edge).
+        assert_eq!(small_world.edge_count(), lattice.edge_count());
+    }
+
+    #[test]
+    fn ws_full_rewire_still_valid() {
+        let g = watts_strogatz(200, 2, 1.0, 5);
+        assert_eq!(g.edge_count(), 400);
+        // Simplicity is guaranteed by construction (CsrGraph asserts it).
+        assert!(g.n() == 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "below n")]
+    fn ws_rejects_dense_lattice() {
+        let _ = watts_strogatz(6, 3, 0.1, 1);
+    }
+}

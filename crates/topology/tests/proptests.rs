@@ -1,0 +1,134 @@
+//! Property-based tests on topology invariants: simple undirected graphs
+//! with valid neighbor sampling, across all generator families and
+//! arbitrary parameters.
+
+use proptest::prelude::*;
+use plurality_topology::{
+    barabasi_albert, complete_bipartite, erdos_renyi, random_regular, ring, star, torus,
+    watts_strogatz, Clique, CsrGraph, Topology,
+};
+use plurality_sampling::stream_rng;
+
+/// Every sampled neighbor is an actual adjacency-list member.
+fn check_sampling(g: &CsrGraph, seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = stream_rng(seed, 1);
+    for v in 0..g.n().min(32) {
+        if g.degree(v) == 0 {
+            continue;
+        }
+        for _ in 0..8 {
+            let w = g.sample_neighbor(v, &mut rng);
+            prop_assert!(
+                g.neighbors(v).contains(&(w as u32)),
+                "node {v} sampled non-neighbor {w}"
+            );
+            prop_assert_ne!(v, w, "graph sampling returned self");
+        }
+    }
+    Ok(())
+}
+
+/// Adjacency symmetry + no self loops.
+fn check_simple_undirected(g: &CsrGraph) -> Result<(), TestCaseError> {
+    for v in 0..g.n() {
+        for &w in g.neighbors(v) {
+            prop_assert_ne!(v as u32, w, "self loop at {}", v);
+            prop_assert!(
+                g.neighbors(w as usize).contains(&(v as u32)),
+                "asymmetric edge {}–{}",
+                v,
+                w
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn erdos_renyi_invariants(n in 2usize..200, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let g = erdos_renyi(n, p, seed);
+        prop_assert_eq!(g.n(), n);
+        check_simple_undirected(&g)?;
+        check_sampling(&g, seed)?;
+    }
+
+    #[test]
+    fn random_regular_invariants(half_n in 8usize..60, d in 2usize..6, seed in any::<u64>()) {
+        let n = half_n * 2; // even n·d guaranteed
+        let g = random_regular(n, d, seed);
+        for v in 0..n {
+            prop_assert_eq!(g.degree(v), d);
+        }
+        check_simple_undirected(&g)?;
+        check_sampling(&g, seed)?;
+    }
+
+    #[test]
+    fn barabasi_albert_invariants(n in 10usize..300, m in 1usize..5, seed in any::<u64>()) {
+        let g = barabasi_albert(n, m, seed);
+        prop_assert_eq!(g.n(), n);
+        prop_assert!(g.is_connected());
+        check_simple_undirected(&g)?;
+        check_sampling(&g, seed)?;
+        // Edge count formula.
+        prop_assert_eq!(g.edge_count(), (m + 1) * m / 2 + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn watts_strogatz_invariants(
+        n in 12usize..300,
+        k_half in 1usize..4,
+        beta in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(2 * k_half < n);
+        let g = watts_strogatz(n, k_half, beta, seed);
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.edge_count(), n * k_half);
+        check_simple_undirected(&g)?;
+        check_sampling(&g, seed)?;
+    }
+
+    #[test]
+    fn torus_invariants(w in 3usize..12, h in 3usize..12) {
+        let g = torus(w, h);
+        prop_assert_eq!(g.n(), w * h);
+        for v in 0..g.n() {
+            prop_assert_eq!(g.degree(v), 4);
+        }
+        prop_assert!(g.is_connected());
+        check_simple_undirected(&g)?;
+    }
+
+    #[test]
+    fn ring_star_bipartite_invariants(n in 3usize..100, b in 1usize..30) {
+        let r = ring(n);
+        prop_assert_eq!(r.edge_count(), n);
+        prop_assert!(r.is_connected());
+        let s = star(n.max(2));
+        prop_assert!(s.is_connected());
+        let kb = complete_bipartite(n.min(20), b);
+        prop_assert_eq!(kb.edge_count(), n.min(20) * b);
+        check_simple_undirected(&kb)?;
+    }
+
+    #[test]
+    fn clique_samples_in_range(n in 1usize..1_000, seed in any::<u64>()) {
+        let c = Clique::new(n);
+        let mut rng = stream_rng(seed, 2);
+        for _ in 0..32 {
+            prop_assert!(c.sample_neighbor(0, &mut rng) < n);
+        }
+        if n >= 2 {
+            let noself = Clique::without_self(n);
+            for v in 0..n.min(8) {
+                for _ in 0..8 {
+                    prop_assert_ne!(noself.sample_neighbor(v, &mut rng), v);
+                }
+            }
+        }
+    }
+}

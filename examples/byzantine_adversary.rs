@@ -1,0 +1,68 @@
+//! Self-stabilization under Byzantine corruption (Corollary 4): an
+//! F-bounded dynamic adversary recolors up to `F` nodes after every
+//! round, trying to stop the plurality.  Below the theorem's budget
+//! (`F = o(s/λ)`) the 3-majority dynamics shrugs it off — reach and
+//! *hold* M-plurality consensus; above it, the adversary wins.
+//!
+//! ```text
+//! cargo run --release --example byzantine_adversary
+//! ```
+
+use plurality::adversary::{measure_reach_and_hold, BoostStrongestRival};
+use plurality::analysis::{fmt_f64, Table};
+use plurality::core::{builders, ThreeMajority};
+use plurality::engine::RunOptions;
+use plurality::sampling::stream_rng;
+
+fn main() {
+    let n: u64 = 1_000_000;
+    let k = 8usize;
+    let ln_n = (n as f64).ln();
+    let lambda = (2.0 * k as f64).min((n as f64 / ln_n).cbrt());
+    let s = (1.5 * (lambda * n as f64 * ln_n).sqrt()) as u64;
+    let budget_unit = (s as f64 / lambda) as u64; // the s/λ yardstick
+    let m = 4 * budget_unit; // target: all but M nodes on the plurality
+
+    let cfg = builders::biased(n, k, s);
+    let d = ThreeMajority::new();
+    println!(
+        "n = {n}, k = {k}, s = {s}, λ = {lambda:.1}; s/λ = {budget_unit}, M = {m}\n\
+         adversary: move F nodes/round from the plurality to its strongest rival\n"
+    );
+
+    let mut table = Table::new(
+        "reach & hold vs adversary budget F",
+        &["F", "F/(s/λ)", "reached", "reach rounds", "hold violations", "worst defection"],
+    );
+    for (i, frac) in [0.0, 0.1, 0.5, 1.0, 2.0, 4.0].iter().enumerate() {
+        let f_budget = (frac * budget_unit as f64) as u64;
+        let mut adversary = BoostStrongestRival {
+            budget: f_budget,
+            plurality: 0,
+        };
+        let mut rng = stream_rng(0xBAD, i as u64);
+        let report = measure_reach_and_hold(
+            &d,
+            &cfg,
+            &mut adversary,
+            m,
+            2_000, // hold phase length
+            &RunOptions::with_max_rounds(20_000),
+            &mut rng,
+        );
+        table.push_row(vec![
+            f_budget.to_string(),
+            fmt_f64(*frac),
+            if report.reached { "yes".into() } else { "NO".into() },
+            report.reach_rounds.to_string(),
+            report.violations.to_string(),
+            report.worst_defection.to_string(),
+        ]);
+    }
+    print!("{}", table.markdown());
+    println!(
+        "\nReading: with F well under s/λ the system reaches M-plurality\n\
+         consensus quickly and holds it through all 2000 adversarial rounds;\n\
+         as F grows past the Corollary 4 budget the reach phase stalls."
+    );
+}

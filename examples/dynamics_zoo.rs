@@ -1,0 +1,82 @@
+//! The dynamics zoo: every update rule in the paper (and its related
+//! work) racing from the same starting configuration — the fastest way to
+//! see Theorem 3 in action: only clear-majority + uniform rules reach the
+//! *plurality*; everything else consents to the wrong color or dawdles.
+//!
+//! ```text
+//! cargo run --release --example dynamics_zoo
+//! ```
+
+use plurality::analysis::{fmt_f64, Summary, Table};
+use plurality::core::{
+    builders, Dynamics, HPlurality, Median3, MedianOwn, TableD3, ThreeMajority, TwoChoices,
+    UndecidedState, Voter,
+};
+use plurality::engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+
+fn main() {
+    // The Theorem 3 / Lemma 8 configuration: (n/3 + s, n/3, n/3 − s).
+    // Color 0 is the plurality; color 1 is the median value.
+    let n: u64 = 100_000;
+    let s = (2.0 * ((n as f64) * (n as f64).ln()).sqrt()) as u64;
+    let cfg = builders::three_colors(n, s);
+    let trials = 100;
+    println!(
+        "start: {:?}, bias = {}, {trials} trials per dynamics\n",
+        cfg.counts(),
+        cfg.bias()
+    );
+
+    let three = ThreeMajority::new();
+    let h5 = HPlurality::new(5);
+    let voter = Voter;
+    let two_choices = TwoChoices;
+    let median_own = MedianOwn;
+    let median3 = Median3;
+    let undecided = UndecidedState::new(3);
+    let d3_132 = TableD3::lemma8_132();
+    let d3_141 = TableD3::lemma8_141();
+    let d3_anti = TableD3::anti_majority();
+
+    let zoo: Vec<(&dyn Dynamics, &str)> = vec![
+        (&three, "the paper's dynamics — must win"),
+        (&h5, "bigger samples: faster, still correct"),
+        (&voter, "martingale: wins only with prob c1/n"),
+        (&two_choices, "lazy rule, needs agreement to move"),
+        (&median_own, "solves MEDIAN: converges to color 1"),
+        (&median3, "in D3 but non-uniform: fails plurality"),
+        (&undecided, "extra state: fast on few colors"),
+        (&d3_132, "Lemma 8 δ=(1,3,2): plurality loses"),
+        (&d3_141, "Lemma 8 δ=(1,4,1): plurality loses"),
+        (&d3_anti, "no clear-majority property: chaos"),
+    ];
+
+    let mut table = Table::new(
+        "dynamics zoo on (n/3+s, n/3, n/3−s)",
+        &["dynamics", "plurality wins", "median-color wins", "mean rounds", "note"],
+    );
+    for (i, (dynamics, note)) in zoo.iter().enumerate() {
+        let engine = MeanFieldEngine::new(*dynamics);
+        let mc = MonteCarlo {
+            trials,
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            master_seed: 0x5A00 ^ ((i as u64) << 8),
+        };
+        let opts = RunOptions::with_max_rounds(500_000);
+        let results = mc.run(|_, rng| engine.run(&cfg, &opts, rng));
+        let plurality_wins = results.iter().filter(|r| r.success).count();
+        let median_wins = results.iter().filter(|r| r.winner == Some(1)).count();
+        let mut rounds = Summary::new();
+        for r in results.iter().filter(|r| r.reason == StopReason::Stopped) {
+            rounds.push(r.rounds_f64());
+        }
+        table.push_row(vec![
+            dynamics.name(),
+            format!("{plurality_wins}/{trials}"),
+            format!("{median_wins}/{trials}"),
+            fmt_f64(rounds.mean()),
+            (*note).to_string(),
+        ]);
+    }
+    print!("{}", table.markdown());
+}

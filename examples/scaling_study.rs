@@ -1,0 +1,96 @@
+//! Scaling study: the shape of Corollary 1, live.
+//!
+//! Sweeps `k` at fixed `n` (watch rounds grow ∝ min{2k, (n/ln n)^{1/3}}
+//! then flatten at the crossover) and sweeps `n` at fixed small `β`
+//! (watch rounds grow ∝ log n).  This is a lighter, interactive version
+//! of experiments E1/E3; the full grids live in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use plurality::analysis::{fmt_f64, linear_fit, Summary, Table};
+use plurality::core::{builders, ThreeMajority};
+use plurality::engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+
+fn mean_rounds(cfg: &plurality::core::Configuration, trials: usize, seed: u64) -> Summary {
+    let d = ThreeMajority::new();
+    let engine = MeanFieldEngine::new(&d);
+    let mc = MonteCarlo {
+        trials,
+        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        master_seed: seed,
+    };
+    let opts = RunOptions::with_max_rounds(1_000_000);
+    let results = mc.run(|_, rng| engine.run(cfg, &opts, rng));
+    let mut s = Summary::new();
+    for r in results.iter().filter(|r| r.reason == StopReason::Stopped) {
+        s.push(r.rounds_f64());
+    }
+    s
+}
+
+fn main() {
+    let trials = 30;
+
+    // Part 1: k-sweep at fixed n with the threshold bias.
+    let n: u64 = 1_000_000;
+    let ln_n = (n as f64).ln();
+    let cap = (n as f64 / ln_n).cbrt();
+    println!("k-sweep at n = {n} (λ caps at (n/ln n)^(1/3) = {cap:.1})\n");
+    let mut t1 = Table::new(
+        "rounds vs k under threshold bias",
+        &["k", "λ", "bias", "mean rounds", "rounds/(λ·ln n)"],
+    );
+    for (i, &k) in [2usize, 4, 8, 16, 32, 64, 128].iter().enumerate() {
+        let lambda = (2.0 * k as f64).min(cap);
+        let s = ((lambda * n as f64 * ln_n).sqrt()) as u64;
+        let cfg = builders::biased(n, k, s);
+        let rounds = mean_rounds(&cfg, trials, 0x5CA1E ^ (i as u64));
+        t1.push_row(vec![
+            k.to_string(),
+            fmt_f64(lambda),
+            s.to_string(),
+            fmt_f64(rounds.mean()),
+            fmt_f64(rounds.mean() / (lambda * ln_n)),
+        ]);
+    }
+    print!("{}", t1.markdown());
+    println!("note how the last column stays ~constant across the crossover.\n");
+
+    // Part 2: n-sweep at constant β = 3 (Corollary 3): O(log n).
+    let mut t2 = Table::new(
+        "rounds vs n at c1 = n/3, k = 8",
+        &["n", "mean rounds", "rounds/ln n"],
+    );
+    let mut lnns = Vec::new();
+    let mut means = Vec::new();
+    for (i, &n) in [10_000u64, 100_000, 1_000_000, 10_000_000].iter().enumerate() {
+        let k = 8usize;
+        let c1 = n / 3;
+        let rest = n - c1;
+        let mut counts = vec![c1];
+        let base = rest / (k as u64 - 1);
+        let rem = (rest % (k as u64 - 1)) as usize;
+        for j in 0..k - 1 {
+            counts.push(base + u64::from(j < rem));
+        }
+        let cfg = plurality::core::Configuration::new(counts);
+        let rounds = mean_rounds(&cfg, trials, 0xB16 ^ (i as u64));
+        lnns.push((n as f64).ln());
+        means.push(rounds.mean());
+        t2.push_row(vec![
+            n.to_string(),
+            fmt_f64(rounds.mean()),
+            fmt_f64(rounds.mean() / (n as f64).ln()),
+        ]);
+    }
+    print!("{}", t2.markdown());
+    let fit = linear_fit(&lnns, &means);
+    println!(
+        "fit rounds = {} + {}·ln n  (r² = {}) — logarithmic, as Corollary 3 promises.",
+        fmt_f64(fit.intercept),
+        fmt_f64(fit.slope),
+        fmt_f64(fit.r2)
+    );
+}

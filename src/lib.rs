@@ -1,0 +1,56 @@
+//! **plurality** — a complete, exact simulation suite for
+//! *Simple Dynamics for Plurality Consensus* (Becchetti, Clementi, Natale,
+//! Pasquale, Silvestri, Trevisan; SPAA'14 / Distributed Computing 2017).
+//!
+//! `n` anonymous agents on a clique each hold one of `k` colors; every
+//! round each agent samples three random agents and adopts the majority
+//! color of the sample (the **3-majority dynamics**).  The paper proves
+//! when and how fast this reaches *plurality consensus* — this workspace
+//! makes every one of those theorems measurable, at populations up to
+//! `10^9`, with exact (not approximate) process law.
+//!
+//! # Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `plurality-core` | configurations, 3-majority, h-plurality, voter, median, undecided-state, generic 3-input rules |
+//! | [`engine`] | `plurality-engine` | exact mean-field engine, agent engine, Monte-Carlo runner |
+//! | [`topology`] | `plurality-topology` | clique + explicit graph families |
+//! | [`adversary`] | `plurality-adversary` | F-bounded dynamic adversaries (Corollary 4) |
+//! | [`sampling`] | `plurality-sampling` | PRNGs, exact binomial/multinomial/alias samplers |
+//! | [`analysis`] | `plurality-analysis` | statistics, intervals, GOF tests, tables |
+//! | [`experiments`] | `plurality-experiments` | the theorem-reproduction experiments |
+//! | [`exact`] | `plurality-exact` | exact absorbing-chain ground truth at small n |
+//!
+//! # Quick start
+//!
+//! ```
+//! use plurality::core::{builders, ThreeMajority};
+//! use plurality::engine::{MeanFieldEngine, RunOptions};
+//! use plurality::sampling::stream_rng;
+//!
+//! // One million agents, eight colors, bias above the paper's threshold.
+//! let cfg = builders::biased(1_000_000, 8, 40_000);
+//! let dynamics = ThreeMajority::new();
+//! let engine = MeanFieldEngine::new(&dynamics);
+//! let mut rng = stream_rng(42, 0);
+//!
+//! let result = engine.run(&cfg, &RunOptions::default(), &mut rng);
+//! assert!(result.success); // the initial plurality color wins
+//! println!("consensus in {} rounds", result.rounds);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use plurality_adversary as adversary;
+pub use plurality_analysis as analysis;
+pub use plurality_core as core;
+pub use plurality_engine as engine;
+pub use plurality_exact as exact;
+pub use plurality_experiments as experiments;
+pub use plurality_sampling as sampling;
+pub use plurality_topology as topology;

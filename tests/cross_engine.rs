@@ -1,0 +1,164 @@
+//! Cross-engine validation: the mean-field engine and the agent engine
+//! simulate the *same stochastic process* on the clique.  This is the
+//! load-bearing claim behind every paper-scale experiment (DESIGN.md §2,
+//! decision 1), so we test it two ways: one-round transition
+//! distributions (chi-square homogeneity) and end-to-end convergence
+//! statistics.
+
+use plurality::analysis::chi_square_two_sample;
+use plurality::core::{builders, Dynamics, ThreeMajority, Voter};
+use plurality::engine::{
+    AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions, StopReason,
+};
+use plurality::sampling::stream_rng;
+use plurality::topology::Clique;
+
+/// Histogram of the plurality count after one round, per engine.
+fn one_round_histograms(
+    dynamics: &dyn Dynamics,
+    n: u64,
+    k: usize,
+    bias: u64,
+    trials: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let cfg = builders::biased(n, k, bias);
+    let buckets = 64usize;
+    let bucket_of = |c1: u64| ((c1 as usize * buckets) / (n as usize + 1)).min(buckets - 1);
+
+    let mut mean_field = vec![0u64; buckets];
+    let mut rng = stream_rng(0xC405, 0);
+    let mut next = vec![0u64; k];
+    for _ in 0..trials {
+        dynamics.step_mean_field(cfg.counts(), &mut next, &mut rng);
+        let c1 = *next.iter().max().expect("nonempty");
+        mean_field[bucket_of(c1)] += 1;
+    }
+
+    let clique = Clique::new(n as usize);
+    let engine = AgentEngine::new(&clique);
+    let opts = RunOptions::with_max_rounds(1).traced();
+    let mut agent = vec![0u64; buckets];
+    for t in 0..trials {
+        let r = engine.run(dynamics, &cfg, Placement::Blocks, &opts, 0xA6E57 + t as u64);
+        let trace = r.trace.expect("traced");
+        let c1 = trace.rounds.last().expect("one round").plurality_count;
+        agent[bucket_of(c1)] += 1;
+    }
+    (mean_field, agent)
+}
+
+#[test]
+fn one_round_distributions_match_three_majority() {
+    let (mf, ag) = one_round_histograms(&ThreeMajority::new(), 2_000, 4, 400, 1_500);
+    let gof = chi_square_two_sample(&mf, &ag);
+    assert!(
+        !gof.reject(0.001),
+        "engines disagree: chi2 = {:.2}, df = {}, p = {:.5}",
+        gof.statistic,
+        gof.df,
+        gof.p_value
+    );
+}
+
+#[test]
+fn one_round_distributions_match_voter() {
+    let (mf, ag) = one_round_histograms(&Voter, 2_000, 3, 500, 1_500);
+    let gof = chi_square_two_sample(&mf, &ag);
+    assert!(
+        !gof.reject(0.001),
+        "engines disagree: chi2 = {:.2}, p = {:.5}",
+        gof.statistic,
+        gof.p_value
+    );
+}
+
+#[test]
+fn convergence_statistics_agree() {
+    // Rounds-to-consensus should have matching means across engines
+    // (same process, independent randomness).
+    let n = 3_000u64;
+    let cfg = builders::biased(n, 4, 900);
+    let d = ThreeMajority::new();
+    let trials = 60;
+
+    let engine_mf = MeanFieldEngine::new(&d);
+    let mc = MonteCarlo {
+        trials,
+        threads: 4,
+        master_seed: 0xC406,
+    };
+    let opts = RunOptions::with_max_rounds(50_000);
+    let mf_results = mc.run(|_, rng| engine_mf.run(&cfg, &opts, rng));
+
+    let clique = Clique::new(n as usize);
+    let engine_ag = AgentEngine::new(&clique);
+    let ag_results: Vec<_> = (0..trials)
+        .map(|t| engine_ag.run(&d, &cfg, Placement::Shuffled, &opts, 0xC407 + t as u64))
+        .collect();
+
+    let mean = |rs: &[plurality::engine::TrialResult]| {
+        let conv: Vec<f64> = rs
+            .iter()
+            .filter(|r| r.reason == StopReason::Stopped)
+            .map(|r| r.rounds_f64())
+            .collect();
+        assert!(!conv.is_empty());
+        (conv.iter().sum::<f64>() / conv.len() as f64, conv.len())
+    };
+    let (m_mf, c_mf) = mean(&mf_results);
+    let (m_ag, c_ag) = mean(&ag_results);
+    assert_eq!(c_mf, trials, "mean-field trials must converge");
+    assert_eq!(c_ag, trials, "agent trials must converge");
+    // Means within 20% of each other (generous; distributions are equal).
+    assert!(
+        (m_mf - m_ag).abs() / m_mf.max(m_ag) < 0.2,
+        "mean rounds differ: mean-field {m_mf:.1} vs agent {m_ag:.1}"
+    );
+    // Distribution-level check: KS on the rounds-to-consensus samples.
+    let rounds_of = |rs: &[plurality::engine::TrialResult]| -> Vec<f64> {
+        rs.iter().map(|r| r.rounds_f64()).collect()
+    };
+    let ks = plurality::analysis::ks_two_sample(&rounds_of(&mf_results), &rounds_of(&ag_results));
+    assert!(
+        !ks.reject(0.001),
+        "KS rejects engine equality: D = {:.3}, p = {:.5}",
+        ks.statistic,
+        ks.p_value
+    );
+    // Win rates both essentially 1 under this bias.
+    let wins_mf = mf_results.iter().filter(|r| r.success).count();
+    let wins_ag = ag_results.iter().filter(|r| r.success).count();
+    assert!(wins_mf >= trials - 2, "mean-field wins: {wins_mf}");
+    assert!(wins_ag >= trials - 2, "agent wins: {wins_ag}");
+}
+
+#[test]
+fn generic_fallback_matches_closed_form_kernel() {
+    // The generic per-node clique step and the Lemma 1 closed-form kernel
+    // are two implementations of the same transition; compare the
+    // distribution of the plurality count after one round.
+    let cfg = builders::biased(2_000, 3, 400);
+    let d = ThreeMajority::new();
+    let trials = 1_500;
+    let buckets = 64usize;
+    let n = cfg.n();
+    let bucket_of = |c1: u64| ((c1 as usize * buckets) / (n as usize + 1)).min(buckets - 1);
+
+    let mut closed = vec![0u64; buckets];
+    let mut generic = vec![0u64; buckets];
+    let mut rng = stream_rng(0xC408, 0);
+    let mut next = vec![0u64; 3];
+    for _ in 0..trials {
+        d.step_mean_field(cfg.counts(), &mut next, &mut rng);
+        closed[bucket_of(*next.iter().max().unwrap())] += 1;
+        plurality::core::dynamics::generic_clique_step(&d, cfg.counts(), &mut next, &mut rng);
+        generic[bucket_of(*next.iter().max().unwrap())] += 1;
+    }
+    let gof = chi_square_two_sample(&closed, &generic);
+    assert!(
+        !gof.reject(0.001),
+        "closed-form vs generic: chi2 = {:.2}, p = {:.5}",
+        gof.statistic,
+        gof.p_value
+    );
+}

@@ -1,0 +1,98 @@
+//! Full-stack determinism: every run in this workspace is a pure function
+//! of `(master seed, parameters)` — across engines, thread counts, and
+//! the Monte-Carlo runner.  These guarantees are what make EXPERIMENTS.md
+//! reproducible down to the exact numbers.
+
+use plurality::core::{builders, ThreeMajority, UndecidedState};
+use plurality::engine::{
+    AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions,
+};
+use plurality::sampling::stream_rng;
+use plurality::topology::{erdos_renyi, Clique};
+
+#[test]
+fn mean_field_run_is_reproducible() {
+    let cfg = builders::biased(500_000, 8, 50_000);
+    let d = ThreeMajority::new();
+    let engine = MeanFieldEngine::new(&d);
+    let opts = RunOptions::default().traced();
+    let a = engine.run(&cfg, &opts, &mut stream_rng(1, 7));
+    let b = engine.run(&cfg, &opts, &mut stream_rng(1, 7));
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.winner, b.winner);
+    let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+    assert_eq!(ta.rounds.len(), tb.rounds.len());
+    for (x, y) in ta.rounds.iter().zip(&tb.rounds) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn agent_run_invariant_to_thread_count() {
+    let clique = Clique::new(4_000);
+    let cfg = builders::biased(4_000, 4, 1_000);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(10_000).traced();
+    let results: Vec<_> = [1usize, 2, 3, 8]
+        .iter()
+        .map(|&t| {
+            AgentEngine::new(&clique)
+                .with_threads(t)
+                .run(&d, &cfg, Placement::Shuffled, &opts, 99)
+        })
+        .collect();
+    for pair in results.windows(2) {
+        assert_eq!(pair[0].rounds, pair[1].rounds);
+        assert_eq!(pair[0].winner, pair[1].winner);
+        let (ta, tb) = (
+            pair[0].trace.as_ref().unwrap(),
+            pair[1].trace.as_ref().unwrap(),
+        );
+        for (x, y) in ta.rounds.iter().zip(&tb.rounds) {
+            assert_eq!(x, y, "trajectory diverged between thread counts");
+        }
+    }
+}
+
+#[test]
+fn montecarlo_results_independent_of_scheduling() {
+    let cfg = builders::biased(100_000, 4, 20_000);
+    let d = UndecidedState::new(4);
+    let engine = MeanFieldEngine::new(&d);
+    let opts = RunOptions::with_max_rounds(100_000);
+    let run_with = |threads: usize| {
+        MonteCarlo {
+            trials: 24,
+            threads,
+            master_seed: 0xD17,
+        }
+        .run(|_, rng| engine.run(&cfg, &opts, rng).rounds)
+    };
+    assert_eq!(run_with(1), run_with(8));
+}
+
+#[test]
+fn graph_generation_is_seeded() {
+    let a = erdos_renyi(500, 0.02, 7);
+    let b = erdos_renyi(500, 0.02, 7);
+    assert_eq!(a.edge_count(), b.edge_count());
+    for v in 0..500 {
+        assert_eq!(a.neighbors(v), b.neighbors(v));
+    }
+}
+
+#[test]
+fn different_seeds_decorrelate_outcomes() {
+    // Two seeds should (almost surely) give different trajectories on a
+    // stochastic run of hundreds of rounds.
+    let cfg = builders::near_balanced(100_000, 8, 0.5);
+    let d = ThreeMajority::new();
+    let engine = MeanFieldEngine::new(&d);
+    let opts = RunOptions::with_max_rounds(1_000_000);
+    let a = engine.run(&cfg, &opts, &mut stream_rng(1, 0));
+    let b = engine.run(&cfg, &opts, &mut stream_rng(2, 0));
+    assert!(
+        a.rounds != b.rounds || a.winner != b.winner,
+        "identical outcomes across seeds is vanishingly unlikely"
+    );
+}

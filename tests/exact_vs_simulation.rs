@@ -1,0 +1,153 @@
+//! Ground-truth validation: the stochastic engines against the exact
+//! absorbing-chain solver at small `n`.  A systematic error anywhere in
+//! the kernel → multinomial → engine pipeline shows up here as a
+//! win-probability or absorption-time mismatch beyond sampling error.
+
+use plurality::core::{builders, ThreeMajority, Voter};
+use plurality::engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+use plurality::exact::{ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterKernel};
+
+const TRIALS: usize = 20_000;
+
+/// Simulate the win probability and mean rounds of a dynamics.
+fn simulate(
+    d: &dyn plurality::core::Dynamics,
+    counts: &[u64],
+    seed: u64,
+) -> (f64, f64) {
+    let cfg = plurality::core::Configuration::new(counts.to_vec());
+    let engine = MeanFieldEngine::new(d);
+    let mc = MonteCarlo {
+        trials: TRIALS,
+        threads: 8,
+        master_seed: seed,
+    };
+    let opts = RunOptions::with_max_rounds(1_000_000);
+    let results = mc.run(|_, rng| engine.run(&cfg, &opts, rng));
+    let wins = results.iter().filter(|r| r.winner == Some(0)).count();
+    let rounds: f64 = results
+        .iter()
+        .filter(|r| r.reason == StopReason::Stopped)
+        .map(|r| r.rounds_f64())
+        .sum::<f64>()
+        / TRIALS as f64;
+    (wins as f64 / TRIALS as f64, rounds)
+}
+
+/// 5σ binomial tolerance around probability `p` over `TRIALS`.
+fn tol(p: f64) -> f64 {
+    5.0 * (p.max(0.02) * (1.0 - p.min(0.98)) / TRIALS as f64).sqrt()
+}
+
+#[test]
+fn three_majority_binary_win_probability_matches_exact() {
+    let start = [13u64, 7];
+    let chain = ExactChain::new(20, 2);
+    let exact = chain.analyze(&ThreeMajorityKernel, &start);
+    let (sim_win, sim_rounds) = simulate(&ThreeMajority::new(), &start, 0xEAC1);
+    assert!(
+        (sim_win - exact.win_probability[0]).abs() < tol(exact.win_probability[0]),
+        "win: simulated {sim_win:.4} vs exact {:.4}",
+        exact.win_probability[0]
+    );
+    // Expected rounds within 3%.
+    assert!(
+        (sim_rounds - exact.expected_rounds).abs() / exact.expected_rounds < 0.03,
+        "rounds: simulated {sim_rounds:.3} vs exact {:.3}",
+        exact.expected_rounds
+    );
+}
+
+#[test]
+fn three_majority_three_colors_matches_exact() {
+    let start = [6u64, 5, 4];
+    let chain = ExactChain::new(15, 3);
+    let exact = chain.analyze(&ThreeMajorityKernel, &start);
+    let (sim_win, _) = simulate(&ThreeMajority::new(), &start, 0xEAC2);
+    assert!(
+        (sim_win - exact.win_probability[0]).abs() < tol(exact.win_probability[0]),
+        "win: simulated {sim_win:.4} vs exact {:.4}",
+        exact.win_probability[0]
+    );
+}
+
+#[test]
+fn voter_martingale_matches_exact_and_simulation() {
+    let start = [9u64, 3];
+    let chain = ExactChain::new(12, 2);
+    let exact = chain.analyze(&VoterKernel, &start);
+    // The exact law is the martingale value 9/12 — algebraic fact.
+    assert!((exact.win_probability[0] - 0.75).abs() < 1e-9);
+    let (sim_win, sim_rounds) = simulate(&Voter, &start, 0xEAC3);
+    assert!(
+        (sim_win - 0.75).abs() < tol(0.75),
+        "voter win: simulated {sim_win:.4} vs martingale 0.75"
+    );
+    assert!(
+        (sim_rounds - exact.expected_rounds).abs() / exact.expected_rounds < 0.05,
+        "voter rounds: simulated {sim_rounds:.3} vs exact {:.3}",
+        exact.expected_rounds
+    );
+}
+
+#[test]
+fn h_plurality_matches_exact() {
+    let start = [11u64, 7];
+    let chain = ExactChain::new(18, 2);
+    let exact = chain.analyze(&HPluralityKernel { h: 5 }, &start);
+    let (sim_win, sim_rounds) = simulate(&plurality::core::HPlurality::new(5), &start, 0xEAC4);
+    assert!(
+        (sim_win - exact.win_probability[0]).abs() < tol(exact.win_probability[0]),
+        "win: simulated {sim_win:.4} vs exact {:.4}",
+        exact.win_probability[0]
+    );
+    assert!(
+        (sim_rounds - exact.expected_rounds).abs() / exact.expected_rounds < 0.05,
+        "rounds: simulated {sim_rounds:.3} vs exact {:.3}",
+        exact.expected_rounds
+    );
+}
+
+#[test]
+fn amplification_ordering_exact() {
+    // Exact chain confirms the h-amplification hierarchy the theorems
+    // rely on: voter < 3-majority < 5-plurality in win probability from
+    // the same biased start.
+    let start = [12u64, 8];
+    let chain = ExactChain::new(20, 2);
+    let voter = chain.analyze(&VoterKernel, &start).win_probability[0];
+    let maj = chain.analyze(&ThreeMajorityKernel, &start).win_probability[0];
+    let h5 = chain.analyze(&HPluralityKernel { h: 5 }, &start).win_probability[0];
+    assert!(voter < maj && maj < h5, "{voter:.4} < {maj:.4} < {h5:.4} violated");
+    assert!((voter - 0.6).abs() < 1e-9, "martingale check");
+}
+
+#[test]
+fn agent_engine_matches_exact_small() {
+    // The per-node engine against ground truth, too (closing the loop
+    // with tests/cross_engine.rs).
+    use plurality::engine::{AgentEngine, Placement};
+    use plurality::topology::Clique;
+    let start = builders::binary(16, 6); // (11, 5)
+    let chain = ExactChain::new(16, 2);
+    let exact = chain.analyze(&ThreeMajorityKernel, start.counts());
+    let clique = Clique::new(16);
+    let engine = AgentEngine::new(&clique);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(100_000);
+    let trials = 8_000u64;
+    let mut wins = 0;
+    for t in 0..trials {
+        let r = engine.run(&d, &start, Placement::Shuffled, &opts, 0xEAC5 + t);
+        if r.winner == Some(0) {
+            wins += 1;
+        }
+    }
+    let sim = wins as f64 / trials as f64;
+    let tolerance = 5.0 * (exact.win_probability[0] * (1.0 - exact.win_probability[0]) / trials as f64).sqrt();
+    assert!(
+        (sim - exact.win_probability[0]).abs() < tolerance,
+        "agent win {sim:.4} vs exact {:.4}",
+        exact.win_probability[0]
+    );
+}

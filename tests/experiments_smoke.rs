@@ -1,0 +1,41 @@
+//! The experiment registry runs end-to-end at smoke scale, producing
+//! non-empty, well-formed tables for every id — the guard that keeps the
+//! EXPERIMENTS.md pipeline runnable.
+
+use plurality::experiments::{registry, Context};
+
+#[test]
+fn registry_covers_design_md_index() {
+    let ids: Vec<&str> = registry::all().iter().map(|e| e.id()).collect();
+    assert_eq!(ids.len(), 13, "DESIGN.md §4 experiments + the E13 extension");
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(*id, format!("e{:02}", i + 1));
+    }
+}
+
+#[test]
+fn selected_experiments_produce_tables() {
+    // A representative cross-section (the cheap ones; each module's own
+    // smoke test covers the rest): a win-rate table, a one-round
+    // probability table, and an adversary grid.
+    let ctx = Context::smoke();
+    let out = registry::run_selected(&["e05", "e07"], &ctx);
+    assert_eq!(out.len(), 2);
+    for (id, title, tables) in &out {
+        assert!(!title.is_empty(), "{id} missing title");
+        assert!(!tables.is_empty(), "{id} produced no tables");
+        for t in tables {
+            assert!(!t.is_empty(), "{id} produced an empty table");
+            // Markdown and CSV render without panicking and non-trivially.
+            assert!(t.markdown().lines().count() >= 4);
+            assert!(t.csv().lines().count() >= 2);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "unknown experiment")]
+fn unknown_id_panics() {
+    let ctx = Context::smoke();
+    let _ = registry::run_selected(&["e99"], &ctx);
+}

@@ -1,0 +1,316 @@
+//! Theorem-level integration tests: small-scale, fast versions of the
+//! paper's claims, run end-to-end through the public API.  The full-size
+//! measurements live in EXPERIMENTS.md; these tests pin the *direction*
+//! of every claim so a regression anywhere in the stack trips CI.
+
+use plurality::core::{builders, Dynamics, HPlurality, Median3, TableD3, ThreeMajority, Voter};
+use plurality::engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+
+fn win_rate(d: &dyn Dynamics, cfg: &plurality::core::Configuration, trials: usize, seed: u64) -> f64 {
+    let engine = MeanFieldEngine::new(d);
+    let mc = MonteCarlo {
+        trials,
+        threads: 4,
+        master_seed: seed,
+    };
+    let opts = RunOptions::with_max_rounds(1_000_000);
+    let results = mc.run(|_, rng| engine.run(cfg, &opts, rng));
+    results.iter().filter(|r| r.success).count() as f64 / trials as f64
+}
+
+fn mean_rounds(d: &dyn Dynamics, cfg: &plurality::core::Configuration, trials: usize, seed: u64) -> f64 {
+    let engine = MeanFieldEngine::new(d);
+    let mc = MonteCarlo {
+        trials,
+        threads: 4,
+        master_seed: seed,
+    };
+    let opts = RunOptions::with_max_rounds(1_000_000);
+    let results = mc.run(|_, rng| engine.run(cfg, &opts, rng));
+    let conv: Vec<f64> = results
+        .iter()
+        .filter(|r| r.reason == StopReason::Stopped)
+        .map(|r| r.rounds_f64())
+        .collect();
+    assert_eq!(conv.len(), trials, "all trials must converge");
+    conv.iter().sum::<f64>() / conv.len() as f64
+}
+
+/// Corollary 1 direction: at the threshold bias, 3-majority wins w.h.p.
+#[test]
+fn corollary1_threshold_bias_wins() {
+    let n = 200_000u64;
+    let k = 16usize;
+    let ln_n = (n as f64).ln();
+    let lambda = (2.0 * k as f64).min((n as f64 / ln_n).cbrt());
+    let s = ((lambda * n as f64 * ln_n).sqrt()) as u64;
+    let cfg = builders::biased(n, k, s);
+    let rate = win_rate(&ThreeMajority::new(), &cfg, 40, 0x7101);
+    assert!(rate > 0.95, "win rate {rate} at threshold bias");
+}
+
+/// Theorem 1 direction: at fixed λ, rounds are flat in k.
+#[test]
+fn theorem1_rounds_flat_in_k() {
+    let n = 200_000u64;
+    let lambda = 4u64;
+    let c1 = n / lambda;
+    let make = |k: usize| {
+        let rest = n - c1;
+        let mut counts = vec![c1];
+        let base = rest / (k as u64 - 1);
+        let rem = (rest % (k as u64 - 1)) as usize;
+        for j in 0..k - 1 {
+            counts.push(base + u64::from(j < rem));
+        }
+        plurality::core::Configuration::new(counts)
+    };
+    let d = ThreeMajority::new();
+    let r_small_k = mean_rounds(&d, &make(8), 20, 0x7102);
+    let r_large_k = mean_rounds(&d, &make(512), 20, 0x7103);
+    // Same λ ⇒ comparable rounds despite a 64× change in k.
+    assert!(
+        (r_small_k - r_large_k).abs() / r_small_k.max(r_large_k) < 0.35,
+        "k=8: {r_small_k:.1} rounds vs k=512: {r_large_k:.1}"
+    );
+}
+
+/// Theorem 2 direction: from near-balanced starts, rounds grow with k.
+#[test]
+fn theorem2_rounds_grow_with_k() {
+    let n = 200_000u64;
+    let d = ThreeMajority::new();
+    let r_k2 = mean_rounds(&d, &builders::near_balanced(n, 2, 0.5), 15, 0x7104);
+    let r_k8 = mean_rounds(&d, &builders::near_balanced(n, 8, 0.5), 15, 0x7105);
+    let r_k16 = mean_rounds(&d, &builders::near_balanced(n, 16, 0.5), 15, 0x7106);
+    assert!(r_k8 > 1.8 * r_k2, "k=2 {r_k2:.1}, k=8 {r_k8:.1}");
+    assert!(r_k16 > 1.5 * r_k8, "k=8 {r_k8:.1}, k=16 {r_k16:.1}");
+}
+
+/// Theorem 3 direction: non-uniform / non-clear-majority rules fail the
+/// plurality task that 3-majority solves from the very same start.
+#[test]
+fn theorem3_only_majority_rules_win() {
+    let n = 30_000u64;
+    let s = (2.0 * ((n as f64) * (n as f64).ln()).sqrt()) as u64;
+    let cfg = builders::three_colors(n, s);
+    let trials = 60;
+
+    let control = win_rate(&ThreeMajority::new(), &cfg, trials, 0x7107);
+    assert!(control > 0.9, "3-majority control: {control}");
+
+    let median3 = win_rate(&Median3, &cfg, trials, 0x7108);
+    assert!(median3 < 0.1, "median3 should fail plurality: {median3}");
+
+    let d132 = win_rate(&TableD3::lemma8_132(), &cfg, trials, 0x7109);
+    assert!(d132 < 0.1, "δ=(1,3,2) should fail plurality: {d132}");
+
+    let d141 = win_rate(&TableD3::lemma8_141(), &cfg, trials, 0x710A);
+    assert!(d141 < 0.1, "δ=(1,4,1) should fail plurality: {d141}");
+}
+
+/// Theorem 4 direction: larger samples speed convergence, but by roughly
+/// h², not more.
+#[test]
+fn theorem4_h_speedup_bounded() {
+    let n = 50_000u64;
+    let k = 16usize;
+    let cfg = builders::near_balanced(n, k, 0.5);
+    let r3 = mean_rounds(&HPlurality::new(3), &cfg, 10, 0x710B);
+    let r9 = mean_rounds(&HPlurality::new(9), &cfg, 10, 0x710C);
+    assert!(r9 < r3, "h=9 ({r9:.1}) should beat h=3 ({r3:.1})");
+    // Speedup at most ~h²/9 = 9, with slack for noise and log factors.
+    assert!(
+        r3 / r9 < 20.0,
+        "speedup {:.1} wildly exceeds the h² ceiling",
+        r3 / r9
+    );
+}
+
+/// The §1 remark: the voter rule wins only with the martingale
+/// probability c1/n even under linear bias.
+#[test]
+fn voter_martingale_failure_probability() {
+    let n = 3_000u64;
+    let cfg = builders::binary(n, n / 2); // c = (3n/4, n/4)
+    let trials = 200;
+    let rate = win_rate(&Voter, &cfg, trials, 0x710D);
+    // Expect ≈ 0.75; allow ±5σ of a Bernoulli(0.75) over 200 trials.
+    let sigma = (0.75f64 * 0.25 / trials as f64).sqrt();
+    assert!(
+        (rate - 0.75).abs() < 5.0 * sigma + 0.02,
+        "voter win rate {rate}, martingale predicts 0.75"
+    );
+    // And 3-majority from the same start is near-certain.
+    let maj = win_rate(&ThreeMajority::new(), &cfg, 50, 0x710E);
+    assert!(maj > 0.97, "3-majority control: {maj}");
+}
+
+/// Lemma 10 direction: at s = √(kn)/6 the one-round bias drop happens
+/// with at least constant probability.
+#[test]
+fn lemma10_bias_drop_probability() {
+    let n = 100_000u64;
+    let k = 16usize;
+    let s = (((k as u64 * n) as f64).sqrt() / 6.0) as u64;
+    let cfg = builders::biased(n, k, s);
+    let s_actual = cfg.bias();
+    let d = ThreeMajority::new();
+    let trials = 1_000;
+    let mc = MonteCarlo {
+        trials,
+        threads: 4,
+        master_seed: 0x710F,
+    };
+    let drops = mc.count_successes(|_, rng| {
+        let mut next = vec![0u64; k];
+        d.step_mean_field(cfg.counts(), &mut next, rng);
+        plurality::core::Configuration::new(next).bias() < s_actual
+    });
+    let rate = drops as f64 / trials as f64;
+    let floor = 1.0 / (16.0 * std::f64::consts::E);
+    assert!(
+        rate > floor,
+        "bias-drop rate {rate:.4} below the Lemma 10 floor {floor:.4}"
+    );
+}
+
+/// Lemma 6 direction (the lower bound's workhorse): if a color holds
+/// `n/k + a` nodes with `a ≤ b ≤ n/k`, then after one round it holds at
+/// most `n/k + (1 + 3/k)·b` w.h.p.  We run many one-round trials at the
+/// top of the allowed window and require zero violations.
+#[test]
+fn lemma6_per_round_imbalance_cap() {
+    use plurality::engine::MonteCarlo;
+    let n = 1_000_000u64;
+    let k = 8usize;
+    // b in [k√(n ln n), n/k]: pick b = 60_000 (window ≈ [29.8k, 125k]).
+    let b = 60_000u64;
+    let base = n / k as u64;
+    // Color 0 at n/k + b, the imbalance taken evenly from the others.
+    let mut counts = vec![base; k];
+    counts[0] += b;
+    let mut left = b;
+    let per = b / (k as u64 - 1);
+    for c in counts.iter_mut().skip(1) {
+        let take = per.min(left);
+        *c -= take;
+        left -= take;
+    }
+    counts[k - 1] -= left;
+    let cfg = plurality::core::Configuration::new(counts);
+    assert_eq!(cfg.n(), n);
+
+    let d = ThreeMajority::new();
+    let cap = base + ((1.0 + 3.0 / k as f64) * b as f64) as u64;
+    let trials = 2_000;
+    let mc = MonteCarlo {
+        trials,
+        threads: 4,
+        master_seed: 0x7114,
+    };
+    let violations = mc.count_successes(|_, rng| {
+        let mut next = vec![0u64; k];
+        d.step_mean_field(cfg.counts(), &mut next, rng);
+        next[0] > cap
+    });
+    assert_eq!(
+        violations, 0,
+        "Lemma 6 cap n/k + (1+3/k)b = {cap} violated {violations}/{trials} times"
+    );
+}
+
+/// Extension (E13): the noisy-majority uniform-instability threshold.
+/// For k = 2 the transition is continuous at p* = 1/3: bias survives
+/// well below it and dies well above it.
+#[test]
+fn noisy_majority_binary_threshold() {
+    use plurality::core::NoisyThreeMajority;
+    use plurality::sampling::stream_rng;
+    let n = 200_000u64;
+    let run = |p: f64, seed: u64| -> f64 {
+        let d = NoisyThreeMajority::new(2, p);
+        let cfg = builders::binary(n, n / 10);
+        let mut cur = cfg.counts().to_vec();
+        let mut next = vec![0u64; 2];
+        let mut rng = stream_rng(seed, 0);
+        for _ in 0..500 {
+            d.step_mean_field(&cur, &mut next, &mut rng);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        (cur[0] as f64 - cur[1] as f64).abs() / n as f64
+    };
+    let below = run(0.2, 0x7111); // 0.6·p*
+    let above = run(0.5, 0x7112); // 1.5·p*
+    assert!(below > 0.5, "sub-critical equilibrium bias {below}");
+    assert!(above < 0.05, "super-critical equilibrium bias {above}");
+}
+
+/// Theorem 3, quantified over the δ-simplex: a sample of non-uniform
+/// clear-majority rules all fail at least one orientation that the
+/// uniform rule wins.
+#[test]
+fn theorem3_delta_scan_sample() {
+    let n = 20_000u64;
+    let s = (2.0 * ((n as f64) * (n as f64).ln()).sqrt()) as u64;
+    let asc = builders::three_colors(n, s);
+    let desc = {
+        let mut c = asc.counts().to_vec();
+        c.reverse();
+        plurality::core::Configuration::new(c)
+    };
+    let trials = 30;
+    let both = |rule: &TableD3, seed: u64| -> (f64, f64) {
+        (
+            win_rate(rule, &asc, trials, seed),
+            win_rate(rule, &desc, trials, seed ^ 0xFF),
+        )
+    };
+    // The unique solver.
+    let (a, b) = both(&TableD3::from_deltas([2, 2, 2], "uniform"), 0x7113);
+    assert!(a > 0.9 && b > 0.9, "uniform rule: {a}/{b}");
+    // A sample of non-uniform δ distributions must each fail somewhere.
+    for (i, deltas) in [[3u8, 2, 1], [0, 3, 3], [4, 1, 1], [2, 0, 4]].iter().enumerate() {
+        let rule = TableD3::from_deltas(*deltas, "scan");
+        let (a, b) = both(&rule, 0x7200 + i as u64);
+        assert!(
+            a < 0.9 || b < 0.9,
+            "non-uniform δ {deltas:?} won both orientations ({a}/{b})"
+        );
+    }
+}
+
+/// Lemma 3 direction: in the growth phase the bias increases by at least
+/// `1 + c1/4n` per round on average.
+#[test]
+fn lemma3_growth_factor_respected() {
+    let n = 200_000u64;
+    let k = 8usize;
+    let s = (1.5 * ((8.0f64 * n as f64 * (n as f64).ln()) as f64).sqrt()) as u64;
+    let cfg = builders::biased(n, k, s);
+    let d = ThreeMajority::new();
+    let engine = MeanFieldEngine::new(&d);
+    let mut rng = plurality::sampling::stream_rng(0x7110, 0);
+    let opts = RunOptions::with_max_rounds(100_000).traced();
+    let r = engine.run(&cfg, &opts, &mut rng);
+    let trace = r.trace.expect("traced");
+
+    let mut checked = 0;
+    for w in trace.rounds.windows(2) {
+        let (prev, next) = (&w[0], &w[1]);
+        let c1_frac = prev.plurality_count as f64 / n as f64;
+        if c1_frac > 2.0 / 3.0 || prev.bias == 0 {
+            continue;
+        }
+        let growth = next.bias as f64 / prev.bias as f64;
+        // w.h.p. bound, tested with slack for the finite-n fluctuation.
+        assert!(
+            growth > 1.0 + c1_frac / 4.0 - 0.15,
+            "round {}: growth {growth:.4} far below 1 + c1/4n = {:.4}",
+            prev.round,
+            1.0 + c1_frac / 4.0
+        );
+        checked += 1;
+    }
+    assert!(checked > 3, "too few growth-phase rounds observed");
+}
