@@ -74,7 +74,11 @@ pub fn measure_reach_and_hold(
         std::mem::swap(&mut cur, &mut next);
         rounds += 1;
         adversary.after_step(rounds, &mut cur, rng);
-        debug_assert_eq!(cur.iter().sum::<u64>(), n, "adversary changed the population");
+        debug_assert_eq!(
+            cur.iter().sum::<u64>(),
+            n,
+            "adversary changed the population"
+        );
     }
     let reach_rounds = rounds;
 
@@ -151,8 +155,16 @@ mod tests {
             &RunOptions::with_max_rounds(10_000),
             &mut rng,
         );
-        assert!(report.reached, "reach failed at {} rounds", report.reach_rounds);
-        assert_eq!(report.violations, 0, "worst defection {}", report.worst_defection);
+        assert!(
+            report.reached,
+            "reach failed at {} rounds",
+            report.reach_rounds
+        );
+        assert_eq!(
+            report.violations, 0,
+            "worst defection {}",
+            report.worst_defection
+        );
     }
 
     #[test]

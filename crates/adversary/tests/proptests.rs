@@ -2,10 +2,10 @@
 //! and budget, a hook must preserve the population, never overdraw a
 //! color, and respect its budget.
 
-use proptest::prelude::*;
 use plurality_adversary::{BoostStrongestRival, RandomCorruption, ScatterToWeakest, SustainColor};
 use plurality_engine::RoundHook;
 use plurality_sampling::stream_rng;
+use proptest::prelude::*;
 
 fn states_strategy() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(0u64..10_000, 2..8)

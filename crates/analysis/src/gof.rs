@@ -65,10 +65,7 @@ pub fn chi_square(observed: &[f64], expected: &[f64], min_expected: f64) -> GofR
         pooled.len()
     );
 
-    let statistic: f64 = pooled
-        .iter()
-        .map(|&(o, e)| (o - e) * (o - e) / e)
-        .sum();
+    let statistic: f64 = pooled.iter().map(|&(o, e)| (o - e) * (o - e) / e).sum();
     let df = (pooled.len() - 1) as f64;
     GofResult {
         statistic,
@@ -186,7 +183,12 @@ mod tests {
         }
         let pmf: Vec<f64> = (0..=n).map(|k| binom_pmf(n, p, k)).collect();
         let r = chi_square_pmf(&counts, &pmf, trials);
-        assert!(!r.reject(0.001), "chi2 = {}, p = {}", r.statistic, r.p_value);
+        assert!(
+            !r.reject(0.001),
+            "chi2 = {}, p = {}",
+            r.statistic,
+            r.p_value
+        );
     }
 
     #[test]

@@ -116,8 +116,12 @@ mod tests {
     #[test]
     fn same_distribution_accepted() {
         let mut rng = stream_rng(1, 0);
-        let a: Vec<f64> = (0..800).map(|_| sample_binomial(100, 0.4, &mut rng) as f64).collect();
-        let b: Vec<f64> = (0..900).map(|_| sample_binomial(100, 0.4, &mut rng) as f64).collect();
+        let a: Vec<f64> = (0..800)
+            .map(|_| sample_binomial(100, 0.4, &mut rng) as f64)
+            .collect();
+        let b: Vec<f64> = (0..900)
+            .map(|_| sample_binomial(100, 0.4, &mut rng) as f64)
+            .collect();
         let r = ks_two_sample(&a, &b);
         assert!(!r.reject(0.001), "D = {}, p = {}", r.statistic, r.p_value);
     }
@@ -125,8 +129,12 @@ mod tests {
     #[test]
     fn shifted_distribution_rejected() {
         let mut rng = stream_rng(2, 0);
-        let a: Vec<f64> = (0..800).map(|_| sample_binomial(100, 0.40, &mut rng) as f64).collect();
-        let b: Vec<f64> = (0..800).map(|_| sample_binomial(100, 0.47, &mut rng) as f64).collect();
+        let a: Vec<f64> = (0..800)
+            .map(|_| sample_binomial(100, 0.40, &mut rng) as f64)
+            .collect();
+        let b: Vec<f64> = (0..800)
+            .map(|_| sample_binomial(100, 0.47, &mut rng) as f64)
+            .collect();
         let r = ks_two_sample(&a, &b);
         assert!(r.reject(0.001), "D = {}, p = {}", r.statistic, r.p_value);
     }

@@ -35,7 +35,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Fit {
     assert!(sxx > 0.0, "all x values identical");
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Fit {
         slope,
         intercept,
@@ -86,7 +90,14 @@ mod tests {
         let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|&v| 10.0 + 3.0 * v + if v as u64 % 2 == 0 { 0.5 } else { -0.5 })
+            .map(|&v| {
+                10.0 + 3.0 * v
+                    + if (v as u64).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
             .collect();
         let f = linear_fit(&x, &y);
         assert!((f.slope - 3.0).abs() < 0.01, "slope {}", f.slope);

@@ -18,7 +18,7 @@ impl Table {
         Self {
             title: title.into(),
             headers: headers.iter().map(|s| (*s).to_string()).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 

@@ -2,13 +2,11 @@
 //! summary identities, special-function identities, and table rendering
 //! robustness for arbitrary inputs.
 
-use proptest::prelude::*;
 use plurality_analysis::specfun::{
     chi2_cdf, erf, erfc, gamma_p, gamma_q, ln_gamma, normal_cdf, normal_quantile,
 };
-use plurality_analysis::{
-    linear_fit, median, quantile, wilson, Summary, Table,
-};
+use plurality_analysis::{linear_fit, median, quantile, wilson, Summary, Table};
+use proptest::prelude::*;
 
 proptest! {
     /// Wilson intervals always live in [0,1], contain the point estimate,

@@ -1,0 +1,115 @@
+//! Gossip-engine benchmarks: event-queue throughput and full async
+//! convergence, across schedulers and network conditions.
+//!
+//! The headline numbers: cost of one *tick* (n activations — the async
+//! analogue of one synchronous agent round) for each scheduler, and how
+//! much the delay machinery (commit events, versioning) costs on top.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{Placement, RunOptions};
+use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality_topology::Clique;
+
+fn bench_gossip_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip-tick");
+    g.sample_size(10);
+    let d = ThreeMajority::new();
+    for &n in &[10_000usize, 100_000] {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+        for scheduler in [Scheduler::Sequential, Scheduler::Poisson] {
+            g.bench_with_input(
+                BenchmarkId::new(scheduler.name(), format!("n={n}")),
+                &n,
+                |b, _| {
+                    let engine = GossipEngine::new(&clique).with_scheduler(scheduler);
+                    let opts = RunOptions::with_max_rounds(1);
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_network_conditions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip-network-tick");
+    g.sample_size(10);
+    let d = ThreeMajority::new();
+    let n = 50_000usize;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+    for &(delay, loss) in &[(0.0f64, 0.0f64), (0.0, 0.1), (0.5, 0.0), (0.5, 0.1)] {
+        g.bench_with_input(
+            BenchmarkId::new("sequential", format!("delay={delay},loss={loss}")),
+            &n,
+            |b, _| {
+                let engine =
+                    GossipEngine::new(&clique).with_network(NetworkConfig::new(delay, loss));
+                let opts = RunOptions::with_max_rounds(1);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_async_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip-convergence");
+    g.sample_size(10);
+    let d = ThreeMajority::new();
+    let n = 10_000usize;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 4, n as u64 / 5);
+    for (label, scheduler, network) in [
+        (
+            "sequential-ideal",
+            Scheduler::Sequential,
+            NetworkConfig::default(),
+        ),
+        (
+            "poisson-ideal",
+            Scheduler::Poisson,
+            NetworkConfig::default(),
+        ),
+        (
+            "poisson-delay0.5-loss0.02",
+            Scheduler::Poisson,
+            NetworkConfig::new(0.5, 0.02),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            let engine = GossipEngine::new(&clique)
+                .with_scheduler(scheduler)
+                .with_network(network);
+            let opts = RunOptions::with_max_rounds(100_000);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    engine
+                        .run(&d, &cfg, Placement::Shuffled, &opts, seed)
+                        .rounds,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gossip_tick,
+    bench_network_conditions,
+    bench_full_async_convergence
+);
+criterion_main!(benches);

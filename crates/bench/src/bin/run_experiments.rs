@@ -27,7 +27,10 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--csv" => {
-                csv_dir = Some(it.next().unwrap_or_else(|| usage("--csv needs a directory")));
+                csv_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--csv needs a directory")),
+                );
             }
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
@@ -39,7 +42,11 @@ fn main() {
         }
     }
 
-    let mut ctx = if smoke { Context::smoke() } else { Context::paper() };
+    let mut ctx = if smoke {
+        Context::smoke()
+    } else {
+        Context::paper()
+    };
     if let Some(s) = seed {
         ctx.seed = s;
     }
@@ -58,8 +65,7 @@ fn main() {
 
     let total_start = Instant::now();
     for id in &selected {
-        let exp =
-            registry::by_id(id).unwrap_or_else(|| usage(&format!("unknown experiment {id}")));
+        let exp = registry::by_id(id).unwrap_or_else(|| usage(&format!("unknown experiment {id}")));
         let _ = writeln!(out, "## {} — {}\n", exp.id(), exp.title());
         let _ = out.flush();
         let start = Instant::now();

@@ -63,11 +63,7 @@ impl Args {
                     args.flags.push(name.to_string());
                 } else if value_options.contains(&name) {
                     let value = it.next().unwrap_or_default();
-                    if args
-                        .options
-                        .insert(name.to_string(), value)
-                        .is_some()
-                    {
+                    if args.options.insert(name.to_string(), value).is_some() {
                         return Err(ArgError::Duplicate(name.to_string()));
                     }
                 } else {
@@ -99,11 +95,7 @@ impl Args {
     }
 
     /// Typed option with default.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.options.get(name) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ArgError::BadValue {

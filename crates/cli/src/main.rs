@@ -24,8 +24,20 @@ use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason, Trac
 use plurality_sampling::stream_rng;
 
 const VALUE_OPTS: &[&str] = &[
-    "dynamics", "n", "k", "bias", "trials", "max-rounds", "seed", "threads", "h", "noise",
+    "dynamics",
+    "n",
+    "k",
+    "bias",
+    "trials",
+    "max-rounds",
+    "seed",
+    "threads",
+    "h",
+    "noise",
     "bins",
+    "loss",
+    "delay",
+    "scheduler",
 ];
 const FLAG_OPTS: &[&str] = &["help", "quiet"];
 
@@ -46,6 +58,7 @@ fn main() {
         "zoo" => cmd_zoo(&parsed),
         "hist" => cmd_hist(&parsed),
         "exact" => cmd_exact(&parsed),
+        "gossip" => cmd_gossip(&parsed),
         "list" => {
             list_dynamics();
             Ok(())
@@ -73,6 +86,7 @@ fn usage() {
          \x20 zoo    compare all dynamics from the same start\n\
          \x20 hist   ASCII histogram of rounds-to-consensus over --trials runs\n\
          \x20 exact  exact absorption analysis at small n (ground truth)\n\
+         \x20 gossip asynchronous gossip simulation with message --delay / --loss\n\
          \x20 list   list available --dynamics names\n\
          \n\
          options:\n\
@@ -83,6 +97,9 @@ fn usage() {
          \x20 --h H             sample size for h-plurality (default 5)\n\
          \x20 --noise P         per-message noise for 'noisy' dynamics (default 0.1)\n\
          \x20 --bins B          histogram bins for 'hist' (default 30)\n\
+         \x20 --loss Q          gossip: per-message loss probability (default 0)\n\
+         \x20 --delay P         gossip: per-message delay probability (default 0)\n\
+         \x20 --scheduler S     gossip: 'sequential' (default) or 'poisson'\n\
          \x20 --trials T        independent trials for 'run'/'zoo' (default 50)\n\
          \x20 --max-rounds R    round cap (default 1000000)\n\
          \x20 --seed S          master seed (default 1)\n\
@@ -140,10 +157,14 @@ struct Common {
 }
 
 fn common(parsed: &Args) -> Result<Common, String> {
-    let n: u64 = parsed.get_parsed("n", 1_000_000u64).map_err(|e| e.to_string())?;
+    let n: u64 = parsed
+        .get_parsed("n", 1_000_000u64)
+        .map_err(|e| e.to_string())?;
     let k: usize = parsed.get_parsed("k", 8usize).map_err(|e| e.to_string())?;
     let h: usize = parsed.get_parsed("h", 5usize).map_err(|e| e.to_string())?;
-    let trials: usize = parsed.get_parsed("trials", 50usize).map_err(|e| e.to_string())?;
+    let trials: usize = parsed
+        .get_parsed("trials", 50usize)
+        .map_err(|e| e.to_string())?;
     let max_rounds: u64 = parsed
         .get_parsed("max-rounds", 1_000_000u64)
         .map_err(|e| e.to_string())?;
@@ -171,7 +192,9 @@ fn common(parsed: &Args) -> Result<Common, String> {
         return Err(format!("bias {bias} exceeds population {n}"));
     }
 
-    let noise: f64 = parsed.get_parsed("noise", 0.1f64).map_err(|e| e.to_string())?;
+    let noise: f64 = parsed
+        .get_parsed("noise", 0.1f64)
+        .map_err(|e| e.to_string())?;
     let name = parsed.get("dynamics").unwrap_or("3-majority");
     let dynamics = build_dynamics(name, k, h, noise)?;
     let cfg = builders::biased(n, k, bias);
@@ -223,11 +246,22 @@ fn cmd_run(parsed: &Args) -> Result<(), String> {
         ),
         &["metric", "value"],
     );
-    t.push_row(vec!["converged".into(), format!("{converged}/{}", c.trials)]);
-    t.push_row(vec!["plurality wins".into(), format!("{wins}/{}", c.trials)]);
+    t.push_row(vec![
+        "converged".into(),
+        format!("{converged}/{}", c.trials),
+    ]);
+    t.push_row(vec![
+        "plurality wins".into(),
+        format!("{wins}/{}", c.trials),
+    ]);
     t.push_row(vec![
         "win rate (95% CI)".into(),
-        format!("{} [{}, {}]", fmt_f64(wins as f64 / c.trials as f64), fmt_f64(iv.lo), fmt_f64(iv.hi)),
+        format!(
+            "{} [{}, {}]",
+            fmt_f64(wins as f64 / c.trials as f64),
+            fmt_f64(iv.lo),
+            fmt_f64(iv.hi)
+        ),
     ]);
     if rounds.count() > 0 {
         t.push_row(vec!["mean rounds".into(), fmt_f64(rounds.mean())]);
@@ -260,7 +294,11 @@ fn cmd_trace(parsed: &Args) -> Result<(), String> {
         for s in &trace.rounds {
             println!(
                 "{:>5}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
-                s.round, s.plurality_count, s.second_count, s.bias, s.minority_mass,
+                s.round,
+                s.plurality_count,
+                s.second_count,
+                s.bias,
+                s.minority_mass,
                 s.extra_state_mass
             );
         }
@@ -301,7 +339,9 @@ fn cmd_zoo(parsed: &Args) -> Result<(), String> {
     );
     for (i, name) in names.iter().enumerate() {
         let h: usize = parsed.get_parsed("h", 5usize).map_err(|e| e.to_string())?;
-        let noise: f64 = parsed.get_parsed("noise", 0.1f64).map_err(|e| e.to_string())?;
+        let noise: f64 = parsed
+            .get_parsed("noise", 0.1f64)
+            .map_err(|e| e.to_string())?;
         let d = build_dynamics(name, k, h, noise)?;
         let engine = MeanFieldEngine::new(d.as_ref());
         let mc = MonteCarlo {
@@ -310,7 +350,10 @@ fn cmd_zoo(parsed: &Args) -> Result<(), String> {
             master_seed: c.seed ^ (i as u64) << 32,
         };
         let results = mc.run(|_, rng| engine.run(&c.cfg, &c.opts, rng));
-        let converged = results.iter().filter(|r| r.reason == StopReason::Stopped).count();
+        let converged = results
+            .iter()
+            .filter(|r| r.reason == StopReason::Stopped)
+            .count();
         let wins = results.iter().filter(|r| r.success).count();
         let mut rounds = Summary::new();
         for r in results.iter().filter(|r| r.reason == StopReason::Stopped) {
@@ -329,7 +372,9 @@ fn cmd_zoo(parsed: &Args) -> Result<(), String> {
 
 fn cmd_hist(parsed: &Args) -> Result<(), String> {
     let c = common(parsed)?;
-    let bins: usize = parsed.get_parsed("bins", 30usize).map_err(|e| e.to_string())?;
+    let bins: usize = parsed
+        .get_parsed("bins", 30usize)
+        .map_err(|e| e.to_string())?;
     let engine = MeanFieldEngine::new(c.dynamics.as_ref());
     let mc = MonteCarlo {
         trials: c.trials,
@@ -367,6 +412,122 @@ fn cmd_hist(parsed: &Args) -> Result<(), String> {
         fmt_f64(s.min()),
         fmt_f64(s.max())
     );
+    Ok(())
+}
+
+fn cmd_gossip(parsed: &Args) -> Result<(), String> {
+    use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+    use plurality_topology::Clique;
+
+    let c = common(parsed)?;
+    let delay: f64 = parsed
+        .get_parsed("delay", 0.0f64)
+        .map_err(|e| e.to_string())?;
+    let loss: f64 = parsed
+        .get_parsed("loss", 0.0f64)
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&delay) {
+        return Err(format!("--delay {delay} out of [0, 1]"));
+    }
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(format!("--loss {loss} out of [0, 1]"));
+    }
+    let scheduler = Scheduler::from_name(parsed.get("scheduler").unwrap_or("sequential"))?;
+    // Per-trial event simulation is heavier than a mean-field round;
+    // default to fewer trials than 'run' unless --trials is explicit.
+    let trials = match parsed.get("trials") {
+        Some(_) => c.trials,
+        None => c.trials.min(20),
+    };
+
+    let n = c.cfg.n() as usize;
+    let clique = Clique::new(n);
+    let engine = GossipEngine::new(&clique)
+        .with_scheduler(scheduler)
+        .with_network(NetworkConfig::new(delay, loss));
+    let mc = MonteCarlo {
+        trials,
+        threads: c.threads,
+        master_seed: c.seed,
+    };
+    let start = std::time::Instant::now();
+    let results = mc.run(|i, _| {
+        engine.run_detailed(
+            c.dynamics.as_ref(),
+            &c.cfg,
+            plurality_engine::Placement::Shuffled,
+            &c.opts,
+            plurality_sampling::derive_stream(c.seed, i as u64),
+        )
+    });
+    let elapsed = start.elapsed();
+
+    let mut t = Table::new(
+        format!(
+            "{} async gossip on clique: n = {}, k = {}, bias = {}, scheduler = {}, delay = {delay}, \
+             loss = {loss} ({trials} trials, {:.2}s)",
+            c.dynamics.name(),
+            c.cfg.n(),
+            c.cfg.k(),
+            c.cfg.bias(),
+            scheduler.name(),
+            elapsed.as_secs_f64()
+        ),
+        &[
+            "trial", "ticks", "winner", "plurality", "activations", "messages", "lost",
+            "delayed", "superseded",
+        ],
+    );
+    let mut ticks = Summary::new();
+    let mut wins = 0usize;
+    let mut converged = 0usize;
+    for (i, (r, s)) in results.iter().enumerate() {
+        if r.reason == StopReason::Stopped {
+            converged += 1;
+            ticks.push(r.rounds as f64);
+        }
+        if r.success {
+            wins += 1;
+        }
+        t.push_row(vec![
+            i.to_string(),
+            if r.reason == StopReason::Stopped {
+                r.rounds.to_string()
+            } else {
+                format!(">{} (cap)", r.rounds)
+            },
+            r.winner.map_or("-".into(), |w| w.to_string()),
+            if r.success { "WON" } else { "lost" }.to_string(),
+            s.activations.to_string(),
+            s.messages.to_string(),
+            s.lost_messages.to_string(),
+            s.delayed_messages.to_string(),
+            s.superseded_commits.to_string(),
+        ]);
+    }
+    print!("{}", t.markdown());
+
+    let iv = wilson(wins, trials, 0.05);
+    let mut summary = Table::new("summary".to_string(), &["metric", "value"]);
+    summary.push_row(vec!["converged".into(), format!("{converged}/{trials}")]);
+    summary.push_row(vec![
+        "win rate (95% CI)".into(),
+        format!(
+            "{} [{}, {}]",
+            fmt_f64(wins as f64 / trials as f64),
+            fmt_f64(iv.lo),
+            fmt_f64(iv.hi)
+        ),
+    ]);
+    if ticks.count() > 0 {
+        summary.push_row(vec!["mean ticks".into(), fmt_f64(ticks.mean())]);
+        summary.push_row(vec!["sd ticks".into(), fmt_f64(ticks.std_dev())]);
+        summary.push_row(vec![
+            "min/max ticks".into(),
+            format!("{} / {}", fmt_f64(ticks.min()), fmt_f64(ticks.max())),
+        ]);
+    }
+    print!("{}", summary.markdown());
     Ok(())
 }
 

@@ -237,9 +237,7 @@ pub mod builders {
         assert!(k > 0, "k must be positive");
         let base = n / k as u64;
         let rem = (n % k as u64) as usize;
-        let counts = (0..k)
-            .map(|j| base + u64::from(j >= k - rem))
-            .collect();
+        let counts = (0..k).map(|j| base + u64::from(j >= k - rem)).collect();
         Configuration::new(counts)
     }
 

@@ -267,9 +267,7 @@ impl TableD3 {
             let clear = match self.clear {
                 ClearRule::Majority => c * c * c + 3.0 * c * c * (n_f - c),
                 ClearRule::Minority => c * c * c + 3.0 * c * (s2 - c * c),
-                ClearRule::FirstSample => {
-                    c * c * c + 2.0 * c * c * (n_f - c) + c * (s2 - c * c)
-                }
+                ClearRule::FirstSample => c * c * c + 2.0 * c * c * (n_f - c) + c * (s2 - c * c),
             };
 
             // Distinct part: j as lowest / middle / highest rank.
@@ -387,7 +385,14 @@ mod tests {
     fn apply_first_sample_on_distinct() {
         let d = TableD3::three_majority_first();
         // On distinct triples, first sample must win.
-        for &(a, b, c) in &[(1u32, 2, 3), (3, 1, 2), (2, 3, 1), (1, 3, 2), (3, 2, 1), (2, 1, 3)] {
+        for &(a, b, c) in &[
+            (1u32, 2, 3),
+            (3, 1, 2),
+            (2, 3, 1),
+            (1, 3, 2),
+            (3, 2, 1),
+            (2, 1, 3),
+        ] {
             assert_eq!(d.apply(a, b, c), a, "({a},{b},{c})");
         }
     }
@@ -509,7 +514,14 @@ mod tests {
 
     #[test]
     fn from_deltas_reproduces_counts() {
-        for deltas in [[2u8, 2, 2], [1, 3, 2], [0, 6, 0], [6, 0, 0], [1, 4, 1], [3, 0, 3]] {
+        for deltas in [
+            [2u8, 2, 2],
+            [1, 3, 2],
+            [0, 6, 0],
+            [6, 0, 0],
+            [1, 4, 1],
+            [3, 0, 3],
+        ] {
             let rule = TableD3::from_deltas(deltas, "generated");
             assert_eq!(rule.deltas(), deltas);
             assert!(rule.has_clear_majority_property());

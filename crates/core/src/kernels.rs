@@ -140,7 +140,6 @@ pub fn h_plurality_probs(counts: &[u64], h: usize, out: &mut [f64]) -> bool {
                 }
             }
         }
-
     }
 
     let k = counts.len();
@@ -215,8 +214,10 @@ mod tests {
         let gap_next = n * (p[0] - p[1]);
         let s = 200.0;
         let c1 = 0.6;
-        assert!(gap_next >= s * (1.0 + c1 * (1.0 - c1)) - 1e-9,
-            "gap {gap_next}");
+        assert!(
+            gap_next >= s * (1.0 + c1 * (1.0 - c1)) - 1e-9,
+            "gap {gap_next}"
+        );
     }
 
     #[test]

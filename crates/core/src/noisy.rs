@@ -204,7 +204,10 @@ mod tests {
             let expect = q[j] * (1.0 + q[j] - s2);
             let sim = freq[j] as f64 / trials as f64;
             let sigma = (expect * (1.0 - expect) / trials as f64).sqrt();
-            assert!((sim - expect).abs() < 6.0 * sigma, "color {j}: {sim} vs {expect}");
+            assert!(
+                (sim - expect).abs() < 6.0 * sigma,
+                "color {j}: {sim} vs {expect}"
+            );
         }
     }
 

@@ -251,7 +251,8 @@ mod tests {
                 .filter(|&i| i != j)
                 .map(|i| cur[i] as f64 * sq[j])
                 .sum();
-            let losses: f64 = cur[j] as f64 * (0..3).filter(|&i| i != j).map(|i| sq[i]).sum::<f64>();
+            let losses: f64 =
+                cur[j] as f64 * (0..3).filter(|&i| i != j).map(|i| sq[i]).sum::<f64>();
             let expect = cur[j] as f64 + gains - losses;
             assert!(
                 (mean[j] - expect).abs() < 0.02 * n,

@@ -4,7 +4,6 @@
 //! 3-input rule must return one of its inputs (the class constraint
 //! `f(x₁,x₂,x₃) ∈ {x₁,x₂,x₃}` of Definition 1).
 
-use proptest::prelude::*;
 use plurality_core::d3::ClearRule;
 use plurality_core::kernels::{h_plurality_probs, three_majority_probs};
 use plurality_core::median::median3_of;
@@ -13,6 +12,7 @@ use plurality_core::{
     TwoChoices, TwoSample, UndecidedState, Voter,
 };
 use plurality_sampling::Xoshiro256PlusPlus;
+use proptest::prelude::*;
 use rand::SeedableRng;
 
 /// Strategy: a non-degenerate counts vector (2..=8 colors, positive total).

@@ -36,6 +36,29 @@ pub enum Placement {
     Blocks,
 }
 
+/// Lay a (lifted) state configuration onto nodes: contiguous blocks per
+/// state, Fisher–Yates-shuffled on PRNG stream 0 of the trial seed when
+/// `placement` is [`Placement::Shuffled`].
+///
+/// This is the one layout convention shared by every per-node engine
+/// (the agent engine here and the asynchronous gossip engine), so that
+/// their trials start from identically distributed placements.
+#[must_use]
+pub fn layout_initial_states(lifted: &Configuration, placement: Placement, seed: u64) -> Vec<u32> {
+    let mut states: Vec<u32> = Vec::with_capacity(lifted.n() as usize);
+    for (state, &count) in lifted.counts().iter().enumerate() {
+        states.extend(std::iter::repeat_n(state as u32, count as usize));
+    }
+    if placement == Placement::Shuffled {
+        let mut rng = stream_rng(seed, 0);
+        for i in (1..states.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            states.swap(i, j);
+        }
+    }
+    states
+}
+
 /// Per-node simulator over a [`Topology`].
 pub struct AgentEngine<'t> {
     topology: &'t dyn Topology,
@@ -115,18 +138,7 @@ impl<'t> AgentEngine<'t> {
         let lifted = dynamics.lift(initial);
         let state_count = lifted.k();
 
-        // Lay out initial states.
-        let mut states: Vec<u32> = Vec::with_capacity(n);
-        for (state, &count) in lifted.counts().iter().enumerate() {
-            states.extend(std::iter::repeat(state as u32).take(count as usize));
-        }
-        if placement == Placement::Shuffled {
-            let mut rng = stream_rng(seed, 0);
-            for i in (1..states.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                states.swap(i, j);
-            }
-        }
+        let mut states = layout_initial_states(&lifted, placement, seed);
         let mut next_states = vec![0u32; n];
         let mut counts: Vec<u64> = lifted.counts().to_vec();
 
@@ -208,9 +220,7 @@ impl<'t> AgentEngine<'t> {
         let chunk = self.chunk_size;
         let stream_base = 1 + round * num_chunks as u64;
 
-        let process_span = |span_start_chunk: usize,
-                            span: &mut [u32],
-                            local_counts: &mut [u64]| {
+        let process_span = |span_start_chunk: usize, span: &mut [u32], local_counts: &mut [u64]| {
             let mut scratch = NodeScratch::with_states(state_count);
             for (ci, chunk_slice) in span.chunks_mut(chunk).enumerate() {
                 let chunk_index = span_start_chunk + ci;
@@ -252,11 +262,12 @@ impl<'t> AgentEngine<'t> {
             rest = tail;
         }
 
-        let all_counts = crossbeam::thread::scope(|scope| {
+        let process_span = &process_span;
+        let all_counts = std::thread::scope(|scope| {
             let handles: Vec<_> = spans
                 .into_iter()
                 .map(|(start_chunk, span)| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = vec![0u64; state_count];
                         process_span(start_chunk, span, &mut local);
                         local
@@ -267,8 +278,7 @@ impl<'t> AgentEngine<'t> {
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("scope panicked");
+        });
 
         for local in all_counts {
             for (slot, x) in counts.iter_mut().zip(local) {
@@ -314,9 +324,10 @@ mod tests {
         let d = ThreeMajority::new();
         let opts = RunOptions::with_max_rounds(2_000).traced();
         let r1 = AgentEngine::new(&clique).run(&d, &cfg, Placement::Shuffled, &opts, 7);
-        let r4 = AgentEngine::new(&clique)
-            .with_threads(4)
-            .run(&d, &cfg, Placement::Shuffled, &opts, 7);
+        let r4 =
+            AgentEngine::new(&clique)
+                .with_threads(4)
+                .run(&d, &cfg, Placement::Shuffled, &opts, 7);
         assert_eq!(r1.rounds, r4.rounds);
         assert_eq!(r1.winner, r4.winner);
         let t1 = r1.trace.unwrap();
@@ -373,7 +384,11 @@ mod tests {
             &RunOptions::with_max_rounds(200_000),
             13,
         );
-        assert_eq!(r.reason, StopReason::Stopped, "voter on odd ring must absorb");
+        assert_eq!(
+            r.reason,
+            StopReason::Stopped,
+            "voter on odd ring must absorb"
+        );
     }
 
     #[test]

@@ -37,8 +37,11 @@ pub mod montecarlo;
 pub mod run;
 pub mod trace;
 
-pub use agent::{AgentEngine, Placement};
+pub use agent::{layout_initial_states, AgentEngine, Placement};
 pub use mean_field::MeanFieldEngine;
 pub use montecarlo::MonteCarlo;
-pub use run::{NoHook, RoundHook, RunOptions, StopReason, StopRule, TraceLevel, TrialResult};
+pub use run::{
+    evaluate_stop, unique_initial_plurality, NoHook, RoundHook, RunOptions, StopReason, StopRule,
+    TraceLevel, TrialResult,
+};
 pub use trace::{RoundStats, Trace};

@@ -93,8 +93,7 @@ impl<'d> MeanFieldEngine<'d> {
             if let Some(t) = trace.as_mut() {
                 t.record(rounds, &cur, k_colors, full);
             }
-            if let Some(winner) = evaluate_stop(opts.stop, self.dynamics, &cur, initial_plurality)
-            {
+            if let Some(winner) = evaluate_stop(opts.stop, self.dynamics, &cur, initial_plurality) {
                 return TrialResult {
                     rounds,
                     reason: StopReason::Stopped,

@@ -2,14 +2,14 @@
 //!
 //! Experiments estimate "w.h.p." statements by running hundreds to
 //! thousands of independent trials.  Trials are embarrassingly parallel;
-//! this runner fans them out over worker threads (crossbeam scoped
-//! threads, work-stealing via an atomic cursor) while keeping the result
+//! this runner fans them out over worker threads (std scoped threads,
+//! work-stealing via an atomic cursor) while keeping the result
 //! order and every trial's PRNG stream independent of scheduling: trial
 //! `i` always runs with `stream_rng(master_seed, i)`.
 
-use parking_lot::Mutex;
 use plurality_sampling::{stream_rng, Xoshiro256PlusPlus};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Parallel independent-trials runner.
 #[derive(Debug, Clone, Copy)]
@@ -79,23 +79,23 @@ impl MonteCarlo {
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(self.trials);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= self.trials {
                         break;
                     }
                     let mut rng = stream_rng(self.master_seed, i as u64);
                     let result = job(i, &mut rng);
-                    slots.lock()[i] = Some(result);
+                    slots.lock().expect("worker panicked")[i] = Some(result);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
 
         slots
             .into_inner()
+            .expect("worker panicked")
             .into_iter()
             .map(|s| s.expect("every trial slot filled"))
             .collect()

@@ -28,10 +28,21 @@ pub enum TraceLevel {
 }
 
 /// Options controlling a single trial.
+///
+/// The same options drive synchronous and asynchronous engines.  For the
+/// synchronous engines a "round" is one parallel update of all nodes; for
+/// the asynchronous gossip engine a round is one *tick* of parallel time
+/// (`n` node activations), so `max_rounds` caps comparable amounts of
+/// work in both models.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
-    /// Hard cap on rounds; exceeding it marks the trial unconverged.
+    /// Hard cap on rounds (synchronous) / parallel-time ticks
+    /// (asynchronous); exceeding it marks the trial unconverged.
     pub max_rounds: u64,
+    /// Optional hard cap on raw scheduler events for asynchronous,
+    /// event-driven engines (`None` = derived from `max_rounds`).
+    /// Synchronous engines ignore it.
+    pub max_events: Option<u64>,
     /// Stopping rule.
     pub stop: StopRule,
     /// Trace recording level.
@@ -42,6 +53,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         Self {
             max_rounds: 1_000_000,
+            max_events: None,
             stop: StopRule::Consensus,
             trace: TraceLevel::Off,
         }
@@ -62,6 +74,13 @@ impl RunOptions {
     #[must_use]
     pub fn traced(mut self) -> Self {
         self.trace = TraceLevel::Summary;
+        self
+    }
+
+    /// Cap raw scheduler events (asynchronous engines only).
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
         self
     }
 }
@@ -175,7 +194,10 @@ mod tests {
     #[test]
     fn evaluate_consensus_rule() {
         let d = ThreeMajority::new();
-        assert_eq!(evaluate_stop(StopRule::Consensus, &d, &[0, 7, 0], 1), Some(1));
+        assert_eq!(
+            evaluate_stop(StopRule::Consensus, &d, &[0, 7, 0], 1),
+            Some(1)
+        );
         assert_eq!(evaluate_stop(StopRule::Consensus, &d, &[1, 6, 0], 1), None);
     }
 

@@ -73,7 +73,8 @@ impl Trace {
 
     /// Record a round (summary always; full counts if `full`).
     pub fn record(&mut self, round: u64, states: &[u64], k_colors: usize, full: bool) {
-        self.rounds.push(RoundStats::from_states(round, states, k_colors));
+        self.rounds
+            .push(RoundStats::from_states(round, states, k_colors));
         if full {
             self.full_states.push(states.to_vec());
         }

@@ -2,13 +2,13 @@
 //! well-formed trials, monotone traces, and scheduling-independent
 //! Monte-Carlo output.
 
-use proptest::prelude::*;
 use plurality_core::{builders, ThreeMajority, Voter};
 use plurality_engine::{
     AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions, StopReason,
 };
 use plurality_sampling::stream_rng;
 use plurality_topology::Clique;
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -314,8 +314,11 @@ mod tests {
         // For the voter model, P(absorb in color j) = c_j/n exactly.
         let chain = ExactChain::new(12, 2);
         let a = chain.analyze(&VoterKernel, &[8, 4]);
-        assert!((a.win_probability[0] - 8.0 / 12.0).abs() < 1e-9,
-            "P = {}", a.win_probability[0]);
+        assert!(
+            (a.win_probability[0] - 8.0 / 12.0).abs() < 1e-9,
+            "P = {}",
+            a.win_probability[0]
+        );
         assert!((a.win_probability[1] - 4.0 / 12.0).abs() < 1e-9);
         assert!(a.expected_rounds > 0.0);
     }

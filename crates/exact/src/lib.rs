@@ -28,4 +28,6 @@
 
 pub mod chain;
 
-pub use chain::{Absorption, AdoptionKernel, ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterKernel};
+pub use chain::{
+    Absorption, AdoptionKernel, ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterKernel,
+};

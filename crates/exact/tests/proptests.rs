@@ -1,8 +1,8 @@
 //! Property-based tests on the exact chain: absorption laws that must
 //! hold for arbitrary small configurations.
 
-use proptest::prelude::*;
 use plurality_exact::{ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterKernel};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

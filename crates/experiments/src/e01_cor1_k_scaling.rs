@@ -35,7 +35,9 @@ impl Experiment for E01Cor1KScaling {
         let d = ThreeMajority::new();
         let ln_n = (n as f64).ln();
         let mut table = Table::new(
-            format!("E1 · 3-majority rounds vs k (n = {n}, s = 1.0·sqrt(λ n ln n), {trials} trials)"),
+            format!(
+                "E1 · 3-majority rounds vs k (n = {n}, s = 1.0·sqrt(λ n ln n), {trials} trials)"
+            ),
             &[
                 "k",
                 "lambda",

@@ -57,7 +57,14 @@ impl Experiment for E02Thm1Lambda {
 
         let mut table = Table::new(
             format!("E2 · rounds vs λ and k (c1 = n/λ, n = {n}, {trials} trials)"),
-            &["lambda", "k", "bias s(c)", "win rate", "mean rounds", "rounds/(λ·ln n)"],
+            &[
+                "lambda",
+                "k",
+                "bias s(c)",
+                "win rate",
+                "mean rounds",
+                "rounds/(λ·ln n)",
+            ],
         );
         for (i, &lambda) in lambdas.iter().enumerate() {
             for (j, &k) in ks.iter().enumerate() {
@@ -103,9 +110,12 @@ mod tests {
         // would tie; the builder must inject the Theorem 1 bias.
         let cfg = lambda_config(1_000_000, 16, 16);
         assert_eq!(cfg.plurality().0, 0);
-        let s_min =
-            (1.5 * (2.0 * 16.0 * 1e6 * (1e6f64).ln()).sqrt()).ceil() as u64;
-        assert!(cfg.bias() >= s_min, "bias {} < threshold {s_min}", cfg.bias());
+        let s_min = (1.5 * (2.0 * 16.0 * 1e6 * (1e6f64).ln()).sqrt()).ceil() as u64;
+        assert!(
+            cfg.bias() >= s_min,
+            "bias {} < threshold {s_min}",
+            cfg.bias()
+        );
         assert!(cfg.count(0) >= 1_000_000 / 16);
     }
 

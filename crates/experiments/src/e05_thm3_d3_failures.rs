@@ -165,8 +165,8 @@ impl E05Thm3D3Failures {
                         trials,
                         threads: ctx.threads,
                         master_seed: ctx.seed
-                            ^ (0xE5B + (usize::from(low) * 96 + usize::from(mid) * 12 + orient)
-                                as u64),
+                            ^ (0xE5B
+                                + (usize::from(low) * 96 + usize::from(mid) * 12 + orient) as u64),
                     };
                     let results = mc.run(|_, rng| engine.run(cfg, &opts, rng));
                     let wins = results.iter().filter(|r| r.success).count();
@@ -178,7 +178,11 @@ impl E05Thm3D3Failures {
                     fmt_f64(rates[0]),
                     fmt_f64(rates[1]),
                     fmt_f64(rates[2]),
-                    if solver { "**yes**".into() } else { "no".to_string() },
+                    if solver {
+                        "**yes**".into()
+                    } else {
+                        "no".to_string()
+                    },
                 ]);
                 scanned += 1;
             }

@@ -33,7 +33,9 @@ impl Experiment for E06Thm4HPlurality {
         let ln_n = (n as f64).ln();
 
         let mut table = Table::new(
-            format!("E6 · h-plurality rounds vs h (k = {k}, n = {n}, near-balanced, {trials} trials)"),
+            format!(
+                "E6 · h-plurality rounds vs h (k = {k}, n = {n}, near-balanced, {trials} trials)"
+            ),
             &[
                 "h",
                 "mean rounds",

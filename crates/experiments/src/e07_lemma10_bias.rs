@@ -34,7 +34,9 @@ impl Experiment for E07Lemma10Bias {
 
         // Part (a): single-round bias decrease probability.
         let mut table_a = Table::new(
-            format!("E7a · P(bias decreases in one round) at s = √(kn)/6 (n = {n}, {trials} trials)"),
+            format!(
+                "E7a · P(bias decreases in one round) at s = √(kn)/6 (n = {n}, {trials} trials)"
+            ),
             &[
                 "k",
                 "s",

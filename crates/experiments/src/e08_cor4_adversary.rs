@@ -9,7 +9,9 @@
 //! `F` approaches/exceeds the budget the theorem permits.
 
 use crate::{lambda_of, paper_bias, Context, Experiment};
-use plurality_adversary::{measure_reach_and_hold, BoostStrongestRival, RandomCorruption, ScatterToWeakest};
+use plurality_adversary::{
+    measure_reach_and_hold, BoostStrongestRival, RandomCorruption, ScatterToWeakest,
+};
 use plurality_analysis::{fmt_f64, Summary, Table};
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{MonteCarlo, RoundHook, RunOptions};
@@ -33,7 +35,10 @@ impl Experiment for E08Cor4Adversary {
         let lambda = lambda_of(n, k);
         let budget_unit = (s as f64 / lambda) as u64; // s/λ
         let m = 4 * budget_unit;
-        let fractions: &[f64] = ctx.pick(&[0.0f64, 0.5, 2.0][..], &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0][..]);
+        let fractions: &[f64] = ctx.pick(
+            &[0.0f64, 0.5, 2.0][..],
+            &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0][..],
+        );
         let trials = ctx.pick(8, 30);
         let hold_rounds = ctx.pick(200u64, 1_000);
         let cfg = builders::biased(n, k, s);

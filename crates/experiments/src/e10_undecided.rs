@@ -32,10 +32,11 @@ impl Experiment for E10Undecided {
     }
 
     fn run(&self, ctx: &Context) -> Vec<Table> {
-        let mut tables = Vec::new();
-        tables.push(self.part_a_md_scaling(ctx));
-        tables.push(self.part_b_few_colors(ctx));
-        tables.push(self.part_c_plurality_death(ctx));
+        let tables = vec![
+            self.part_a_md_scaling(ctx),
+            self.part_b_few_colors(ctx),
+            self.part_c_plurality_death(ctx),
+        ];
         tables
     }
 }

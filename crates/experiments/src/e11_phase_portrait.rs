@@ -121,13 +121,22 @@ impl Experiment for E11PhasePortrait {
         t4.push_row(vec![
             decay.count().to_string(),
             fmt_f64(decay.mean()),
-            fmt_f64(if decay.count() == 0 { f64::NAN } else { decay_max }),
+            fmt_f64(if decay.count() == 0 {
+                f64::NAN
+            } else {
+                decay_max
+            }),
             fmt_f64(8.0 / 9.0),
         ]);
 
         let mut t5 = Table::new(
             "E11 · Lemma 5 endgame: one-round wipeout once c1 ≥ n − ln²n",
-            &["attempts", "one-round wipeouts", "rate", "Lemma 5 floor 1 − 3ln⁴n/n"],
+            &[
+                "attempts",
+                "one-round wipeouts",
+                "rate",
+                "Lemma 5 floor 1 − 3ln⁴n/n",
+            ],
         );
         let floor = (1.0 - 3.0 * log2n * log2n / n_f).max(0.0);
         t5.push_row(vec![

@@ -14,7 +14,9 @@ use crate::{Context, Experiment};
 use plurality_analysis::{fmt_f64, wilson, Summary, Table};
 use plurality_core::{builders, Dynamics, ThreeMajority, TwoChoices, TwoSample, Voter};
 use plurality_engine::{AgentEngine, MonteCarlo, Placement, RunOptions, StopReason};
-use plurality_topology::{barabasi_albert, erdos_renyi, random_regular, torus, watts_strogatz, Clique, Topology};
+use plurality_topology::{
+    barabasi_albert, erdos_renyi, random_regular, torus, watts_strogatz, Clique, Topology,
+};
 
 /// See module docs.
 pub struct E12BaselinesTopologies;

@@ -56,7 +56,10 @@ impl Experiment for E13NoiseTransition {
         for (ki, &k) in ks.iter().enumerate() {
             let p_star = NoisyThreeMajority::critical_noise(k);
             // Sweep p as multiples of the predicted threshold.
-            let multipliers: &[f64] = ctx.pick(&[0.5f64, 1.5][..], &[0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0][..]);
+            let multipliers: &[f64] = ctx.pick(
+                &[0.5f64, 1.5][..],
+                &[0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0][..],
+            );
             for (pi, &mult) in multipliers.iter().enumerate() {
                 let p = (mult * p_star).min(1.0);
                 let d = NoisyThreeMajority::new(k, p);

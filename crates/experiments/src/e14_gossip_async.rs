@@ -1,0 +1,177 @@
+//! **E14 — extension: asynchronous gossip with unreliable communication**
+//! (direction of Becchetti et al. 2014, *Plurality Consensus in the
+//! Gossip Model*, and Bankhamer et al. 2021).
+//!
+//! The paper's theorems live in the synchronous clique model.  This
+//! experiment measures what asynchrony and network conditions change:
+//! 3-majority runs through the event-driven [`plurality_gossip`] engine
+//! across a `(scheduler, delay, loss)` grid, and its parallel-time
+//! convergence (1 tick = `n` activations) is compared against the
+//! synchronous agent engine on the same start.
+//!
+//! Expected picture (and what the measured table shows):
+//!
+//! * **ideal async ≈ sync × constant** — sequential activation preserves
+//!   plurality consensus but pays a constant-factor time dilation (the
+//!   absorption tail needs every straggler node to activate: a
+//!   coupon-collector effect synchronous rounds don't have);
+//! * **message loss slows, does not derail** — a lost PULL falls back to
+//!   the node's own color, so loss `q` roughly rescales the effective
+//!   sample rate; plurality still wins at moderate `q`;
+//! * **delay adds staleness** — late responses commit old reads and can
+//!   be superseded; convergence degrades gracefully with the delayed
+//!   fraction.
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Summary, Table};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{AgentEngine, MonteCarlo, Placement, RunOptions, StopReason};
+use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality_sampling::derive_stream;
+use plurality_topology::Clique;
+
+/// See module docs.
+pub struct E14GossipAsync;
+
+impl Experiment for E14GossipAsync {
+    fn id(&self) -> &'static str {
+        "e14"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: asynchronous gossip vs synchronous rounds under delay/loss"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: usize = ctx.pick(2_000, 50_000);
+        let k: usize = ctx.pick(3, 8);
+        let bias = (n / 5) as u64;
+        let trials = ctx.pick(4, 40);
+        let max_rounds: u64 = 50_000;
+
+        let cfg = builders::biased(n as u64, k, bias);
+        let d = ThreeMajority::new();
+        let clique = Clique::new(n);
+        let opts = RunOptions::with_max_rounds(max_rounds);
+
+        // Synchronous baseline.
+        let mc = MonteCarlo {
+            trials,
+            threads: ctx.threads,
+            master_seed: ctx.seed ^ 0xE14,
+        };
+        let sync_rounds: Vec<f64> = mc
+            .run(|i, _| {
+                let engine = AgentEngine::new(&clique);
+                let r = engine.run(
+                    &d,
+                    &cfg,
+                    Placement::Shuffled,
+                    &opts,
+                    derive_stream(ctx.seed ^ 0xE140, i as u64),
+                );
+                (r.reason == StopReason::Stopped).then_some(r.rounds as f64)
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let sync = Summary::of(&sync_rounds);
+
+        let mut table = Table::new(
+            format!(
+                "E14 · async gossip vs sync rounds: n = {n}, k = {k}, bias = {bias}, {trials} trials \
+                 (sync baseline: mean {} rounds, sd {})",
+                fmt_f64(sync.mean()),
+                fmt_f64(sync.std_dev())
+            ),
+            &[
+                "scheduler",
+                "delay",
+                "loss",
+                "converged",
+                "win rate",
+                "mean ticks",
+                "sd",
+                "slowdown vs sync",
+                "lost msg frac",
+                "superseded commits",
+            ],
+        );
+
+        let schedulers: &[Scheduler] = ctx.pick(
+            &[Scheduler::Sequential][..],
+            &[Scheduler::Sequential, Scheduler::Poisson][..],
+        );
+        let delays: &[f64] = ctx.pick(&[0.0, 0.5][..], &[0.0, 0.25, 0.5, 0.75][..]);
+        let losses: &[f64] = ctx.pick(&[0.0, 0.1][..], &[0.0, 0.02, 0.1, 0.3][..]);
+
+        for (si, &scheduler) in schedulers.iter().enumerate() {
+            for (di, &delay) in delays.iter().enumerate() {
+                for (li, &loss) in losses.iter().enumerate() {
+                    let cell = (si * 100 + di * 10 + li) as u64;
+                    let engine = GossipEngine::new(&clique)
+                        .with_scheduler(scheduler)
+                        .with_network(NetworkConfig::new(delay, loss));
+                    let results = mc.run(|i, _| {
+                        let (r, s) = engine.run_detailed(
+                            &d,
+                            &cfg,
+                            Placement::Shuffled,
+                            &opts,
+                            derive_stream(ctx.seed ^ (0xE141 + cell), i as u64),
+                        );
+                        (r, s)
+                    });
+                    let mut ticks = Summary::new();
+                    let mut wins = 0usize;
+                    let mut converged = 0usize;
+                    let mut lost: u64 = 0;
+                    let mut messages: u64 = 0;
+                    let mut superseded: u64 = 0;
+                    for (r, s) in &results {
+                        if r.reason == StopReason::Stopped {
+                            converged += 1;
+                            ticks.push(r.rounds as f64);
+                        }
+                        if r.success {
+                            wins += 1;
+                        }
+                        lost += s.lost_messages;
+                        messages += s.messages;
+                        superseded += s.superseded_commits;
+                    }
+                    table.push_row(vec![
+                        scheduler.name().to_string(),
+                        fmt_f64(delay),
+                        fmt_f64(loss),
+                        format!("{converged}/{trials}"),
+                        fmt_f64(wins as f64 / trials as f64),
+                        fmt_f64(ticks.mean()),
+                        fmt_f64(ticks.std_dev()),
+                        fmt_f64(ticks.mean() / sync.mean()),
+                        fmt_f64(lost as f64 / messages.max(1) as f64),
+                        superseded.to_string(),
+                    ]);
+                }
+            }
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_runs_and_slows_down() {
+        let tables = E14GossipAsync.run(&Context::smoke());
+        assert_eq!(tables.len(), 1);
+        // Smoke grid: 1 scheduler × 2 delays × 2 losses.
+        assert_eq!(tables[0].len(), 4);
+        let md = tables[0].markdown();
+        assert!(md.contains("sequential"));
+        // Every cell of a heavily biased start should convert all trials.
+        assert!(!md.contains("0/4"), "some cell never converged:\n{md}");
+    }
+}

@@ -27,6 +27,7 @@ pub mod e10_undecided;
 pub mod e11_phase_portrait;
 pub mod e12_baselines_topologies;
 pub mod e13_noise_transition;
+pub mod e14_gossip_async;
 pub mod registry;
 
 use plurality_analysis::Table;
@@ -209,14 +210,8 @@ mod tests {
     fn run_stats_aggregation() {
         let cfg = builders::biased(50_000, 4, 20_000);
         let d = ThreeMajority::new();
-        let stats = run_mean_field_trials(
-            &d,
-            &cfg,
-            &RunOptions::with_max_rounds(10_000),
-            10,
-            2,
-            99,
-        );
+        let stats =
+            run_mean_field_trials(&d, &cfg, &RunOptions::with_max_rounds(10_000), 10, 2, 99);
         assert_eq!(stats.trials, 10);
         assert_eq!(stats.converged, 10);
         assert_eq!(stats.plurality_wins, 10);

@@ -1,0 +1,724 @@
+//! The asynchronous gossip engine.
+//!
+//! One trial is a deterministic function of `(seed, scheduler, network,
+//! topology, dynamics, placement)`.  PRNG stream layout (per trial seed,
+//! all streams derived with `plurality_sampling::stream_rng`):
+//!
+//! | stream | used for |
+//! |---|---|
+//! | 0 | initial placement shuffle (same convention as `AgentEngine`) |
+//! | 1 | the scheduler (node choices / exponential waiting times) |
+//! | 2 | rule-internal randomness passed to `Dynamics::node_update` |
+//! | 3 | master for per-message streams (see [`crate::network`]) |
+
+use crate::network::{MessageFate, MessageStreams, NetworkConfig};
+use crate::scheduler::{exp1, EventKind, EventQueue, Scheduler};
+use plurality_core::{Configuration, Dynamics, NodeScratch, StateSampler};
+use plurality_engine::{
+    evaluate_stop, layout_initial_states, unique_initial_plurality, Placement, RunOptions,
+    StopReason, Trace, TraceLevel, TrialResult,
+};
+use plurality_sampling::{derive_stream, stream_rng};
+use plurality_topology::Topology;
+use rand::{Rng, RngCore};
+
+// Stream 0 is the placement shuffle, consumed inside
+// `plurality_engine::layout_initial_states`.
+const STREAM_SCHEDULER: u64 = 1;
+const STREAM_UPDATE: u64 = 2;
+const STREAM_MESSAGES: u64 = 3;
+
+/// Event-driven asynchronous simulator over a [`Topology`].
+///
+/// Implements the same run contract as the synchronous engines
+/// ([`RunOptions`] in, [`TrialResult`] out), so it drops into
+/// `MonteCarlo`, the experiments, and the CLI unchanged.
+pub struct GossipEngine<'t> {
+    topology: &'t dyn Topology,
+    scheduler: Scheduler,
+    network: NetworkConfig,
+}
+
+/// Side statistics of one gossip trial (beyond the shared
+/// [`TrialResult`] contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GossipStats {
+    /// Node activations executed.
+    pub activations: u64,
+    /// PULL sample requests issued.
+    pub messages: u64,
+    /// Messages dropped by the network.
+    pub lost_messages: u64,
+    /// Messages that arrived late.
+    pub delayed_messages: u64,
+    /// Pending recolors invalidated by a newer activation of the same
+    /// node before their delayed responses arrived.
+    pub superseded_commits: u64,
+    /// Simulated clock at stop time, in ticks.
+    pub final_time: f64,
+}
+
+/// Draws one node's PULL samples, routing every request through the
+/// network-condition model.  The engine's `update_rng` (passed to
+/// `node_update` for rule-internal randomness such as tie-breaks) is
+/// deliberately *not* used here: message randomness lives in per-message
+/// streams.
+struct GossipSampler<'a> {
+    topology: &'a dyn Topology,
+    states: &'a [u32],
+    node: usize,
+    own: u32,
+    network: NetworkConfig,
+    streams: &'a mut MessageStreams,
+    max_extra_ticks: f64,
+    lost: u64,
+    delayed: u64,
+}
+
+impl StateSampler for GossipSampler<'_> {
+    fn sample_state(&mut self, _rng: &mut dyn RngCore) -> u32 {
+        let topology = self.topology;
+        let node = self.node;
+        let fate = self
+            .streams
+            .next_fate(&self.network, |mrng| topology.sample_neighbor(node, mrng));
+        match fate {
+            MessageFate::Lost => {
+                self.lost += 1;
+                self.own
+            }
+            MessageFate::Delivered { peer } => self.states[peer],
+            MessageFate::Delayed { peer, extra_ticks } => {
+                self.delayed += 1;
+                if extra_ticks > self.max_extra_ticks {
+                    self.max_extra_ticks = extra_ticks;
+                }
+                self.states[peer]
+            }
+        }
+    }
+}
+
+impl<'t> GossipEngine<'t> {
+    /// Engine on a topology with the sequential scheduler and an ideal
+    /// network.
+    #[must_use]
+    pub fn new(topology: &'t dyn Topology) -> Self {
+        Self {
+            topology,
+            scheduler: Scheduler::Sequential,
+            network: NetworkConfig::default(),
+        }
+    }
+
+    /// Choose the activation scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Apply network conditions.
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// The configured scheduler.
+    #[must_use]
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// The configured network conditions.
+    #[must_use]
+    pub fn network(&self) -> NetworkConfig {
+        self.network
+    }
+
+    /// Run one trial; see [`Self::run_detailed`].
+    pub fn run(
+        &self,
+        dynamics: &dyn Dynamics,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+    ) -> TrialResult {
+        self.run_detailed(dynamics, initial, placement, opts, seed)
+            .0
+    }
+
+    /// Run one trial, also returning gossip-specific statistics.
+    ///
+    /// `opts.max_rounds` caps parallel time in ticks (1 tick = `n`
+    /// activations); `opts.max_events` additionally caps raw scheduler
+    /// events.  Exhausting either reports [`StopReason::MaxRounds`].
+    ///
+    /// # Panics
+    /// Panics if the configuration population differs from the topology
+    /// size, or the initial plurality is tied.
+    pub fn run_detailed(
+        &self,
+        dynamics: &dyn Dynamics,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+    ) -> (TrialResult, GossipStats) {
+        let n = self.topology.n();
+        assert_eq!(
+            initial.n() as usize,
+            n,
+            "configuration population must match topology size"
+        );
+        let initial_plurality = unique_initial_plurality(initial);
+        let k_colors = initial.k();
+        let lifted = dynamics.lift(initial);
+        let state_count = lifted.k();
+
+        let mut states = layout_initial_states(&lifted, placement, seed);
+        let mut counts: Vec<u64> = lifted.counts().to_vec();
+
+        let mut trace = match opts.trace {
+            TraceLevel::Off => None,
+            _ => Some(Trace::new()),
+        };
+        let full = opts.trace == TraceLevel::Full;
+        if let Some(t) = trace.as_mut() {
+            t.record(0, &counts, k_colors, full);
+        }
+
+        let mut stats = GossipStats::default();
+
+        if let Some(winner) = evaluate_stop(opts.stop, dynamics, &counts, initial_plurality) {
+            let result = TrialResult {
+                rounds: 0,
+                reason: StopReason::Stopped,
+                winner: Some(winner),
+                initial_plurality,
+                success: winner == initial_plurality,
+                trace,
+            };
+            return (result, stats);
+        }
+
+        let mut sched_rng = stream_rng(seed, STREAM_SCHEDULER);
+        let mut update_rng = stream_rng(seed, STREAM_UPDATE);
+        let mut streams = MessageStreams::new(derive_stream(seed, STREAM_MESSAGES));
+        let mut scratch = NodeScratch::with_states(state_count);
+        let mut queue = EventQueue::new();
+        let mut versions = vec![0u64; n];
+
+        let nf = n as f64;
+        match self.scheduler {
+            Scheduler::Sequential => {
+                let node = sched_rng.gen_range(0..n) as u32;
+                queue.push(1.0 / nf, node, EventKind::Activate);
+            }
+            Scheduler::Poisson => {
+                for v in 0..n {
+                    queue.push(exp1(&mut sched_rng), v as u32, EventKind::Activate);
+                }
+            }
+        }
+
+        let max_events = opts.max_events.unwrap_or(u64::MAX);
+        let mut events: u64 = 0;
+        let mut ticks: u64 = 0;
+
+        while let Some(ev) = queue.pop() {
+            events += 1;
+            stats.final_time = ev.time;
+            let v = ev.node as usize;
+            match ev.kind {
+                EventKind::Commit { state, version } => {
+                    if versions[v] == version {
+                        if apply(&mut states, &mut counts, v, state) {
+                            if let Some(winner) =
+                                evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
+                            {
+                                stats.messages = streams.issued();
+                                return finish(
+                                    winner,
+                                    initial_plurality,
+                                    stats.activations,
+                                    n,
+                                    trace,
+                                    &counts,
+                                    k_colors,
+                                    full,
+                                    stats,
+                                );
+                            }
+                        }
+                    } else {
+                        stats.superseded_commits += 1;
+                    }
+                }
+                EventKind::Activate => {
+                    stats.activations += 1;
+                    versions[v] += 1;
+                    let own = states[v];
+                    let mut sampler = GossipSampler {
+                        topology: self.topology,
+                        states: &states,
+                        node: v,
+                        own,
+                        network: self.network,
+                        streams: &mut streams,
+                        max_extra_ticks: 0.0,
+                        lost: 0,
+                        delayed: 0,
+                    };
+                    let new =
+                        dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
+                    let max_extra = sampler.max_extra_ticks;
+                    stats.lost_messages += sampler.lost;
+                    stats.delayed_messages += sampler.delayed;
+
+                    if max_extra == 0.0 {
+                        if apply(&mut states, &mut counts, v, new) {
+                            if let Some(winner) =
+                                evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
+                            {
+                                stats.messages = streams.issued();
+                                return finish(
+                                    winner,
+                                    initial_plurality,
+                                    stats.activations,
+                                    n,
+                                    trace,
+                                    &counts,
+                                    k_colors,
+                                    full,
+                                    stats,
+                                );
+                            }
+                        }
+                    } else {
+                        queue.push(
+                            ev.time + max_extra,
+                            ev.node,
+                            EventKind::Commit {
+                                state: new,
+                                version: versions[v],
+                            },
+                        );
+                    }
+
+                    // Schedule the next activation.
+                    match self.scheduler {
+                        Scheduler::Sequential => {
+                            let node = sched_rng.gen_range(0..n) as u32;
+                            let time = (stats.activations + 1) as f64 / nf;
+                            queue.push(time, node, EventKind::Activate);
+                        }
+                        Scheduler::Poisson => {
+                            queue.push(
+                                ev.time + exp1(&mut sched_rng),
+                                ev.node,
+                                EventKind::Activate,
+                            );
+                        }
+                    }
+
+                    // Tick boundary: n activations = one unit of parallel
+                    // time.
+                    if stats.activations % n as u64 == 0 {
+                        ticks += 1;
+                        if let Some(t) = trace.as_mut() {
+                            t.record(ticks, &counts, k_colors, full);
+                        }
+                        if ticks >= opts.max_rounds {
+                            break;
+                        }
+                    }
+                }
+            }
+            if events >= max_events {
+                break;
+            }
+        }
+
+        stats.messages = streams.issued();
+        let result = TrialResult {
+            rounds: completed_ticks(stats.activations, n),
+            reason: StopReason::MaxRounds,
+            winner: None,
+            initial_plurality,
+            success: false,
+            trace,
+        };
+        (result, stats)
+    }
+}
+
+/// Parallel time consumed by `activations` activations, in whole ticks
+/// (a partial tick counts as one).
+fn completed_ticks(activations: u64, n: usize) -> u64 {
+    activations.div_ceil(n as u64)
+}
+
+/// Recolor node `v`; returns whether the configuration changed.
+#[inline]
+fn apply(states: &mut [u32], counts: &mut [u64], v: usize, new: u32) -> bool {
+    let old = states[v];
+    if old == new {
+        return false;
+    }
+    counts[old as usize] -= 1;
+    counts[new as usize] += 1;
+    states[v] = new;
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    winner: usize,
+    initial_plurality: usize,
+    activations: u64,
+    n: usize,
+    mut trace: Option<Trace>,
+    counts: &[u64],
+    k_colors: usize,
+    full: bool,
+    stats: GossipStats,
+) -> (TrialResult, GossipStats) {
+    let ticks = completed_ticks(activations, n);
+    if let Some(t) = trace.as_mut() {
+        // The trace must end with the stopping configuration at index
+        // `ticks` (the same contract as the synchronous engines).  If a
+        // record for this tick already exists it is stale — it was taken
+        // at the tick boundary, before a delayed commit changed the
+        // counts — so replace it.
+        if t.rounds.last().map(|s| s.round) == Some(ticks) {
+            t.rounds.pop();
+            if full {
+                t.full_states.pop();
+            }
+        }
+        t.record(ticks, counts, k_colors, full);
+    }
+    let result = TrialResult {
+        rounds: ticks,
+        reason: StopReason::Stopped,
+        winner: Some(winner),
+        initial_plurality,
+        success: winner == initial_plurality,
+        trace,
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_core::{builders, ThreeMajority, UndecidedState, Voter};
+    use plurality_engine::StopRule;
+    use plurality_topology::{ring, Clique};
+
+    fn clique_engine(n: usize) -> (Clique, Configuration) {
+        (
+            Clique::new(n),
+            builders::biased(n as u64, 4, (n / 3) as u64),
+        )
+    }
+
+    #[test]
+    fn converges_on_clique_with_bias() {
+        let (clique, cfg) = clique_engine(2_000);
+        let engine = GossipEngine::new(&clique);
+        let d = ThreeMajority::new();
+        let mut wins = 0;
+        for trial in 0..5 {
+            let r = engine.run(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(5_000),
+                1000 + trial,
+            );
+            assert_eq!(r.reason, StopReason::Stopped);
+            if r.success {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "won only {wins}/5");
+    }
+
+    #[test]
+    fn poisson_scheduler_converges() {
+        let (clique, cfg) = clique_engine(1_500);
+        let engine = GossipEngine::new(&clique).with_scheduler(Scheduler::Poisson);
+        let r = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(5_000),
+            42,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(r.success);
+    }
+
+    #[test]
+    fn deterministic_same_seed_same_trajectory() {
+        let (clique, cfg) = clique_engine(800);
+        let engine = GossipEngine::new(&clique)
+            .with_scheduler(Scheduler::Poisson)
+            .with_network(NetworkConfig::new(0.3, 0.05));
+        let opts = RunOptions::with_max_rounds(5_000).traced();
+        let d = ThreeMajority::new();
+        let (a, sa) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 9);
+        let (b, sb) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 9);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(sa.activations, sb.activations);
+        assert_eq!(sa.messages, sb.messages);
+        assert_eq!(sa.lost_messages, sb.lost_messages);
+        let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+        assert_eq!(ta.rounds.len(), tb.rounds.len());
+        for (x, y) in ta.rounds.iter().zip(&tb.rounds) {
+            assert_eq!(x, y, "trajectories must be identical");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (clique, cfg) = clique_engine(800);
+        let engine = GossipEngine::new(&clique);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(5_000);
+        let (_, sa) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 1);
+        let (_, sb) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 2);
+        assert_ne!(
+            (sa.activations, sa.messages),
+            (sb.activations, sb.messages),
+            "distinct seeds should yield distinct trajectories"
+        );
+    }
+
+    #[test]
+    fn ideal_network_issues_no_loss_or_delay() {
+        let (clique, cfg) = clique_engine(500);
+        let engine = GossipEngine::new(&clique);
+        let (r, stats) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(5_000),
+            3,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert_eq!(stats.lost_messages, 0);
+        assert_eq!(stats.delayed_messages, 0);
+        assert_eq!(stats.superseded_commits, 0);
+        assert_eq!(
+            stats.messages,
+            3 * stats.activations,
+            "3-majority pulls 3 samples"
+        );
+    }
+
+    #[test]
+    fn lossy_network_still_converges_and_counts() {
+        let (clique, cfg) = clique_engine(1_000);
+        let engine = GossipEngine::new(&clique).with_network(NetworkConfig::new(0.0, 0.2));
+        let (r, stats) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(10_000),
+            5,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(stats.lost_messages > 0);
+        let rate = stats.lost_messages as f64 / stats.messages as f64;
+        assert!((rate - 0.2).abs() < 0.05, "loss rate {rate}");
+    }
+
+    #[test]
+    fn delayed_network_produces_delays() {
+        let (clique, cfg) = clique_engine(1_000);
+        let engine = GossipEngine::new(&clique).with_network(NetworkConfig::new(0.5, 0.0));
+        let (r, stats) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(10_000),
+            6,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(stats.delayed_messages > 0);
+        assert!(r.success);
+    }
+
+    #[test]
+    fn max_rounds_reported() {
+        // Balanced two-color voter on a big clique will not absorb fast.
+        let clique = Clique::new(10_000);
+        let cfg = builders::biased(10_000, 2, 2);
+        let engine = GossipEngine::new(&clique);
+        let r = engine.run(
+            &Voter,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(3),
+            7,
+        );
+        assert_eq!(r.reason, StopReason::MaxRounds);
+        assert_eq!(r.rounds, 3);
+        assert_eq!(r.winner, None);
+    }
+
+    #[test]
+    fn max_events_caps_work() {
+        let (clique, cfg) = clique_engine(1_000);
+        let engine = GossipEngine::new(&clique);
+        let opts = RunOptions::with_max_rounds(10_000).with_max_events(500);
+        let (r, stats) =
+            engine.run_detailed(&ThreeMajority::new(), &cfg, Placement::Shuffled, &opts, 8);
+        assert_eq!(r.reason, StopReason::MaxRounds);
+        assert!(stats.activations <= 500);
+    }
+
+    #[test]
+    fn already_monochromatic_stops_at_zero() {
+        let clique = Clique::new(100);
+        let cfg = Configuration::new(vec![100, 0]);
+        let engine = GossipEngine::new(&clique);
+        let r = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::default(),
+            1,
+        );
+        assert_eq!(r.rounds, 0);
+        assert_eq!(r.winner, Some(0));
+    }
+
+    #[test]
+    fn mplurality_stop_rule_respected() {
+        let (clique, cfg) = clique_engine(2_000);
+        let engine = GossipEngine::new(&clique);
+        let opts = RunOptions {
+            stop: StopRule::MPlurality(50),
+            ..RunOptions::with_max_rounds(10_000)
+        };
+        let full = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(10_000),
+            11,
+        );
+        let early = engine.run(&ThreeMajority::new(), &cfg, Placement::Shuffled, &opts, 11);
+        assert!(early.rounds <= full.rounds);
+        assert!(early.success);
+    }
+
+    #[test]
+    fn undecided_dynamics_supported() {
+        let clique = Clique::new(1_500);
+        let cfg = builders::biased(1_500, 3, 500);
+        let engine = GossipEngine::new(&clique);
+        let r = engine.run(
+            &UndecidedState::new(3),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(20_000),
+            13,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(r.success);
+    }
+
+    #[test]
+    fn runs_on_sparse_topology() {
+        let g = ring(301);
+        let cfg = builders::biased(301, 2, 101);
+        let engine = GossipEngine::new(&g);
+        let r = engine.run(
+            &Voter,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(200_000),
+            17,
+        );
+        assert_eq!(r.reason, StopReason::Stopped, "voter on a ring must absorb");
+    }
+
+    #[test]
+    fn trace_ends_with_the_stopping_configuration() {
+        // Regression: the final trace entry must reflect the absorbed
+        // state and carry index == rounds, including when absorption
+        // lands exactly on a tick boundary or a stale boundary record
+        // was taken before a delayed commit finished the run.
+        for seed in 0..20 {
+            for network in [NetworkConfig::default(), NetworkConfig::new(0.6, 0.05)] {
+                let clique = Clique::new(200);
+                let cfg = builders::biased(200, 3, 80);
+                let engine = GossipEngine::new(&clique).with_network(network);
+                let r = engine.run(
+                    &ThreeMajority::new(),
+                    &cfg,
+                    Placement::Shuffled,
+                    &RunOptions::with_max_rounds(10_000).traced(),
+                    seed,
+                );
+                assert_eq!(r.reason, StopReason::Stopped, "seed {seed}");
+                let trace = r.trace.unwrap();
+                let last = trace.rounds.last().unwrap();
+                assert_eq!(last.round, r.rounds, "seed {seed}: trace index mismatch");
+                assert_eq!(
+                    last.minority_mass, 0,
+                    "seed {seed}: final trace entry is not the absorbed state"
+                );
+                // Tick indices strictly increase (no duplicate entries).
+                for w in trace.rounds.windows(2) {
+                    assert!(w[0].round < w[1].round, "seed {seed}: duplicate tick");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_counts_match_population() {
+        let (clique, cfg) = clique_engine(900);
+        let engine = GossipEngine::new(&clique).with_network(NetworkConfig::new(0.4, 0.1));
+        let r = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(10_000).traced(),
+            19,
+        );
+        let trace = r.trace.unwrap();
+        assert!(!trace.rounds.is_empty());
+        for s in &trace.rounds {
+            assert_eq!(
+                s.plurality_count + s.minority_mass + s.extra_state_mass,
+                900,
+                "tick {}",
+                s.round
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "match topology size")]
+    fn size_mismatch_rejected() {
+        let clique = Clique::new(10);
+        let cfg = builders::biased(11, 2, 3);
+        let _ = GossipEngine::new(&clique).run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::default(),
+            1,
+        );
+    }
+}

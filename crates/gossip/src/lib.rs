@@ -1,0 +1,91 @@
+//! Event-driven **asynchronous** gossip simulation of the plurality
+//! consensus dynamics.
+//!
+//! The paper analyses its dynamics in the synchronous clique model: in
+//! every round, every node simultaneously samples peers and updates.  Its
+//! follow-up literature (*Plurality Consensus in the Gossip Model*,
+//! Becchetti et al. 2014; *Fast Consensus via the Unconstrained Undecided
+//! State Dynamics*, Bankhamer et al. 2021) asks what survives under
+//! **asynchrony** and **unreliable communication**.  This crate answers
+//! that question experimentally for every [`plurality_core::Dynamics`],
+//! through the same run/trace/result contract as the synchronous engines,
+//! so Monte-Carlo runners, analysis, experiments, and the CLI compose
+//! with it unchanged.
+//!
+//! # Model
+//!
+//! Nodes activate one at a time.  An activating node performs one
+//! application of its dynamics' update rule by issuing PULL-gossip sample
+//! requests (one message per sample the rule draws) and recoloring from
+//! the responses.  Two [`Scheduler`]s decide *when* nodes activate:
+//!
+//! * [`Scheduler::Sequential`] — a discrete-time sequential process: at
+//!   each step one uniformly random node activates.  Step `i` happens at
+//!   time `i/n`, so one unit of time ("tick") is `n` activations — the
+//!   asynchronous analogue of one synchronous round.
+//! * [`Scheduler::Poisson`] — each node carries an independent unit-rate
+//!   Poisson clock (i.i.d. `Exp(1)` waiting times) simulated with a
+//!   binary-heap event queue.  Since the minimum of `n` unit-rate
+//!   exponentials lands on a uniformly random node, the *embedded jump
+//!   chain* of this scheduler is exactly the sequential process; only the
+//!   real-time stamps differ.  The cross-validation tests pin this down.
+//!
+//! Network conditions apply per message ([`NetworkConfig`]):
+//!
+//! * **loss** — with probability `loss_fraction` a sample request is
+//!   dropped; the requester falls back to its *own* current color for
+//!   that sample slot (a node can always count itself).
+//! * **delay** — with probability `delay_fraction` a response is slow:
+//!   its payload is still the peer's state at request time, but it
+//!   arrives after an `Exp(1)`-distributed extra time (in ticks).  The
+//!   requesting node's recolor only *commits* once its slowest response
+//!   arrives; if the node activates again first, the stale pending
+//!   commit is superseded (last activation wins).  In between, other
+//!   nodes keep observing the requester's old color — exactly the stale
+//!   reads delayed messages cause in a real gossip network.
+//!
+//! Every message draws its loss/delay/peer randomness from its own
+//! deterministic RNG stream (`stream_rng(message_master, message_index)`),
+//! so a trial is a pure function of `(seed, scheduler, network)` and the
+//! network-condition grid of an experiment cannot perturb the scheduler's
+//! randomness.
+//!
+//! With `delay_fraction = 0` and `loss_fraction = 0`, the engine is the
+//! standard asynchronous (sequential-activation) version of the dynamics;
+//! on the clique its convergence statistics match the synchronous
+//! engines' within statistical tolerance (see `tests/gossip_vs_sync.rs`
+//! at the workspace root).
+//!
+//! # Quick start
+//!
+//! ```
+//! use plurality_core::{builders, ThreeMajority};
+//! use plurality_engine::{Placement, RunOptions};
+//! use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+//! use plurality_topology::Clique;
+//!
+//! let clique = Clique::new(2_000);
+//! let cfg = builders::biased(2_000, 4, 800);
+//! let engine = GossipEngine::new(&clique)
+//!     .with_scheduler(Scheduler::Poisson)
+//!     .with_network(NetworkConfig::new(0.25, 0.02));
+//! let r = engine.run(
+//!     &ThreeMajority::new(),
+//!     &cfg,
+//!     Placement::Shuffled,
+//!     &RunOptions::with_max_rounds(20_000),
+//!     7,
+//! );
+//! assert!(r.success, "biased start should carry the plurality");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod network;
+pub mod scheduler;
+
+pub use engine::{GossipEngine, GossipStats};
+pub use network::NetworkConfig;
+pub use scheduler::Scheduler;

@@ -1,0 +1,208 @@
+//! Network-condition model: per-message loss and delay with
+//! deterministic per-message RNG streams.
+
+use plurality_sampling::{stream_rng, Xoshiro256PlusPlus};
+use rand::Rng;
+
+/// Unreliable-network parameters applied to every PULL sample request.
+///
+/// Both fields are probabilities in `[0, 1]`.  `NetworkConfig::default()`
+/// is the ideal network (no loss, no delay), under which the gossip
+/// engine reduces to the pure asynchronous dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Probability that a response is delayed by an `Exp(1)` extra time
+    /// (in ticks) rather than arriving instantly.
+    pub delay_fraction: f64,
+    /// Probability that a sample request is dropped entirely (the
+    /// requester falls back to its own current state).
+    pub loss_fraction: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            delay_fraction: 0.0,
+            loss_fraction: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if either fraction is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn new(delay_fraction: f64, loss_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&delay_fraction),
+            "delay_fraction = {delay_fraction} out of [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&loss_fraction),
+            "loss_fraction = {loss_fraction} out of [0, 1]"
+        );
+        Self {
+            delay_fraction,
+            loss_fraction,
+        }
+    }
+
+    /// Is this the ideal (lossless, instantaneous) network?
+    #[must_use]
+    pub fn is_ideal(&self) -> bool {
+        self.delay_fraction == 0.0 && self.loss_fraction == 0.0
+    }
+}
+
+/// The fate of one sample-request message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MessageFate {
+    /// The request was dropped; no response will arrive.
+    Lost,
+    /// The response arrives instantly.
+    Delivered {
+        /// Index of the peer that answered.
+        peer: usize,
+    },
+    /// The response arrives `extra_ticks` later than the request.
+    Delayed {
+        /// Index of the peer that answered.
+        peer: usize,
+        /// Additional in-flight time, in ticks (`Exp(1)`-distributed).
+        extra_ticks: f64,
+    },
+}
+
+/// Deterministic per-message randomness.
+///
+/// Message `m` of a trial draws everything about itself — loss, peer
+/// choice, delay flag, and delay duration, in that fixed order — from
+/// `stream_rng(message_master, m)`.  Two trials with the same seed agree
+/// on every message's fate regardless of what else consumed randomness.
+#[derive(Debug)]
+pub struct MessageStreams {
+    master: u64,
+    next_index: u64,
+}
+
+impl MessageStreams {
+    /// Streams rooted at `message_master` (derive it from the trial seed).
+    #[must_use]
+    pub fn new(message_master: u64) -> Self {
+        Self {
+            master: message_master,
+            next_index: 0,
+        }
+    }
+
+    /// Number of messages issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Decide the fate of the next message: a PULL sample request from
+    /// `node`, whose peer is drawn via the topology sampler `sample_peer`.
+    pub fn next_fate(
+        &mut self,
+        network: &NetworkConfig,
+        sample_peer: impl FnOnce(&mut Xoshiro256PlusPlus) -> usize,
+    ) -> MessageFate {
+        let mut rng = stream_rng(self.master, self.next_index);
+        self.next_index += 1;
+
+        if network.loss_fraction > 0.0 && rng.gen::<f64>() < network.loss_fraction {
+            return MessageFate::Lost;
+        }
+        let peer = sample_peer(&mut rng);
+        if network.delay_fraction > 0.0 && rng.gen::<f64>() < network.delay_fraction {
+            let extra_ticks = crate::scheduler::exp1(&mut rng);
+            return MessageFate::Delayed { peer, extra_ticks };
+        }
+        MessageFate::Delivered { peer }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fate_of(streams: &mut MessageStreams, net: &NetworkConfig) -> MessageFate {
+        streams.next_fate(net, |rng| rng.gen_range(0..10usize))
+    }
+
+    #[test]
+    fn ideal_network_always_delivers() {
+        let net = NetworkConfig::default();
+        let mut ms = MessageStreams::new(1);
+        for _ in 0..1000 {
+            assert!(matches!(
+                fate_of(&mut ms, &net),
+                MessageFate::Delivered { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let net = NetworkConfig::new(0.0, 1.0);
+        let mut ms = MessageStreams::new(2);
+        for _ in 0..100 {
+            assert_eq!(fate_of(&mut ms, &net), MessageFate::Lost);
+        }
+    }
+
+    #[test]
+    fn loss_rate_matches_parameter() {
+        let net = NetworkConfig::new(0.0, 0.3);
+        let mut ms = MessageStreams::new(3);
+        let trials = 50_000;
+        let lost = (0..trials)
+            .filter(|_| fate_of(&mut ms, &net) == MessageFate::Lost)
+            .count();
+        let expect = trials as f64 * 0.3;
+        let sigma = (trials as f64 * 0.3 * 0.7).sqrt();
+        assert!(
+            ((lost as f64) - expect).abs() < 5.0 * sigma,
+            "lost = {lost}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn delay_durations_look_exponential() {
+        let net = NetworkConfig::new(1.0, 0.0);
+        let mut ms = MessageStreams::new(4);
+        let trials = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            match fate_of(&mut ms, &net) {
+                MessageFate::Delayed { extra_ticks, .. } => {
+                    assert!(extra_ticks >= 0.0);
+                    sum += extra_ticks;
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+        let mean = sum / trials as f64;
+        // Exp(1): mean 1, σ_mean = 1/√trials ≈ 0.0045.
+        assert!((mean - 1.0).abs() < 0.03, "mean = {mean}");
+    }
+
+    #[test]
+    fn messages_are_deterministic_per_index() {
+        let net = NetworkConfig::new(0.5, 0.2);
+        let mut a = MessageStreams::new(9);
+        let mut b = MessageStreams::new(9);
+        for _ in 0..200 {
+            assert_eq!(fate_of(&mut a, &net), fate_of(&mut b, &net));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn invalid_fraction_rejected() {
+        let _ = NetworkConfig::new(1.5, 0.0);
+    }
+}

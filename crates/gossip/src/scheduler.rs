@@ -1,0 +1,188 @@
+//! Activation schedulers and the deterministic binary-heap event queue.
+
+use plurality_sampling::Xoshiro256PlusPlus;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// When do nodes activate?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Discrete sequential activation: at step `i` (time `i/n`) one
+    /// uniformly random node activates.
+    #[default]
+    Sequential,
+    /// Independent unit-rate Poisson clock per node (`Exp(1)` waiting
+    /// times), simulated via the event queue.  Its embedded jump chain is
+    /// the sequential process; real-time stamps differ.
+    Poisson,
+}
+
+impl Scheduler {
+    /// Parse a CLI name.
+    ///
+    /// # Errors
+    /// Returns the unknown name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "sequential" | "seq" => Ok(Self::Sequential),
+            "poisson" => Ok(Self::Poisson),
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected 'sequential' or 'poisson')"
+            )),
+        }
+    }
+
+    /// Scheduler name for labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Sequential => "sequential",
+            Self::Poisson => "poisson",
+        }
+    }
+}
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A node activates and applies its update rule.
+    Activate,
+    /// A previously computed recolor of `node` lands (delayed responses
+    /// arrived).  Applied only if the node has not activated again since
+    /// `version` was stamped.
+    Commit {
+        /// The new state to apply.
+        state: u32,
+        /// The node's activation counter at computation time.
+        version: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Absolute firing time in ticks.
+    pub time: f64,
+    /// Insertion sequence number — the deterministic tie-breaker, so the
+    /// processing order is a pure function of the seed.
+    pub seq: u64,
+    /// The node concerned.
+    pub node: u32,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic min-heap of events ordered by `(time, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` for `node` at absolute `time`.
+    pub fn push(&mut self, time: f64, node: u32, kind: EventKind) {
+        debug_assert!(time.is_finite(), "non-finite event time");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            node,
+            kind,
+        });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Draw an `Exp(1)` waiting time.
+#[inline]
+pub(crate) fn exp1(rng: &mut Xoshiro256PlusPlus) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_sampling::stream_rng;
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(2.0, 0, EventKind::Activate);
+        q.push(0.5, 1, EventKind::Activate);
+        q.push(1.0, 2, EventKind::Activate);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.node).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 10, EventKind::Activate);
+        q.push(1.0, 20, EventKind::Activate);
+        q.push(1.0, 30, EventKind::Activate);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.node).collect();
+        assert_eq!(order, vec![10, 20, 30], "FIFO among equal times");
+    }
+
+    #[test]
+    fn exp1_mean_is_one() {
+        let mut rng = stream_rng(5, 0);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exp1(&mut rng)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn scheduler_names_roundtrip() {
+        for s in [Scheduler::Sequential, Scheduler::Poisson] {
+            assert_eq!(Scheduler::from_name(s.name()).unwrap(), s);
+        }
+        assert!(Scheduler::from_name("bogus").is_err());
+        assert_eq!(Scheduler::from_name("seq").unwrap(), Scheduler::Sequential);
+    }
+}

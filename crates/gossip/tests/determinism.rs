@@ -1,0 +1,59 @@
+//! Determinism-under-fixed-seed guarantees of the gossip engine.
+//!
+//! A trial is a pure function of `(seed, scheduler, network, topology,
+//! dynamics, placement)`; in particular it must not depend on thread
+//! scheduling when fanned out through `MonteCarlo`.
+
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{MonteCarlo, Placement, RunOptions};
+use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality_sampling::derive_stream;
+use plurality_topology::Clique;
+
+fn run_fleet(threads: usize) -> Vec<(u64, Option<usize>, u64, u64)> {
+    let n = 600;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 3, 150);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(20_000);
+    let mc = MonteCarlo::new(16).with_threads(threads).with_seed(42);
+    mc.run(|i, _| {
+        let engine = GossipEngine::new(&clique)
+            .with_scheduler(Scheduler::Poisson)
+            .with_network(NetworkConfig::new(0.4, 0.05));
+        let (r, s) = engine.run_detailed(
+            &d,
+            &cfg,
+            Placement::Shuffled,
+            &opts,
+            derive_stream(42, i as u64),
+        );
+        (r.rounds, r.winner, s.activations, s.messages)
+    })
+}
+
+#[test]
+fn montecarlo_results_independent_of_thread_count() {
+    let serial = run_fleet(1);
+    let parallel = run_fleet(8);
+    assert_eq!(serial, parallel, "thread count changed trial outcomes");
+}
+
+#[test]
+fn repeated_runs_bitwise_identical() {
+    let a = run_fleet(4);
+    let b = run_fleet(4);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trials_have_distinct_streams() {
+    let outcomes = run_fleet(2);
+    let mut activation_counts: Vec<u64> = outcomes.iter().map(|o| o.2).collect();
+    activation_counts.sort_unstable();
+    activation_counts.dedup();
+    assert!(
+        activation_counts.len() > 1,
+        "all trials produced identical activation counts — streams not independent"
+    );
+}

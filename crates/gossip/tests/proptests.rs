@@ -1,0 +1,155 @@
+//! Property-based tests: gossip-engine invariants that must hold for
+//! arbitrary populations, network conditions, schedulers, and seeds.
+
+use plurality_core::{builders, ThreeMajority, Voter};
+use plurality_engine::{Placement, RunOptions, StopReason};
+use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality_topology::Clique;
+use proptest::prelude::*;
+
+fn scheduler_strategy() -> impl Strategy<Value = Scheduler> {
+    prop_oneof![Just(Scheduler::Sequential), Just(Scheduler::Poisson)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The traced population is conserved at every tick, for any
+    /// parameters (network conditions must never create or destroy
+    /// nodes — the invariant the commit/versioning logic could break).
+    #[test]
+    fn population_conserved_under_any_network(
+        n in 50usize..400,
+        k in 2usize..5,
+        delay in 0.0f64..1.0,
+        loss in 0.0f64..1.0,
+        scheduler in scheduler_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let bias = (n / 4) as u64;
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, k, bias);
+        let engine = GossipEngine::new(&clique)
+            .with_scheduler(scheduler)
+            .with_network(NetworkConfig::new(delay, loss));
+        let r = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(60).traced(),
+            seed,
+        );
+        let trace = r.trace.expect("trace requested");
+        prop_assert!(!trace.rounds.is_empty());
+        for s in &trace.rounds {
+            prop_assert_eq!(
+                s.plurality_count + s.minority_mass + s.extra_state_mass,
+                n as u64,
+                "population leaked at tick {}", s.round
+            );
+        }
+    }
+
+    /// Same seed ⇒ identical outcome and identical traffic accounting.
+    #[test]
+    fn fixed_seed_is_deterministic(
+        n in 50usize..300,
+        delay in 0.0f64..0.8,
+        loss in 0.0f64..0.8,
+        scheduler in scheduler_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 3, (n / 3) as u64);
+        let engine = GossipEngine::new(&clique)
+            .with_scheduler(scheduler)
+            .with_network(NetworkConfig::new(delay, loss));
+        let opts = RunOptions::with_max_rounds(5_000);
+        let d = ThreeMajority::new();
+        let (ra, sa) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
+        let (rb, sb) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
+        prop_assert_eq!(ra.rounds, rb.rounds);
+        prop_assert_eq!(ra.winner, rb.winner);
+        prop_assert_eq!(sa.activations, sb.activations);
+        prop_assert_eq!(sa.messages, sb.messages);
+        prop_assert_eq!(sa.lost_messages, sb.lost_messages);
+        prop_assert_eq!(sa.delayed_messages, sb.delayed_messages);
+        prop_assert_eq!(sa.superseded_commits, sb.superseded_commits);
+    }
+
+    /// Reported rounds never exceed the cap, and a Stopped trial always
+    /// names a winner.
+    #[test]
+    fn result_contract_respected(
+        n in 20usize..200,
+        max_rounds in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 2, 2.min(n as u64));
+        let engine = GossipEngine::new(&clique);
+        let r = engine.run(
+            &Voter,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(max_rounds),
+            seed,
+        );
+        prop_assert!(r.rounds <= max_rounds);
+        match r.reason {
+            StopReason::Stopped => prop_assert!(r.winner.is_some()),
+            StopReason::MaxRounds => prop_assert!(r.winner.is_none()),
+        }
+    }
+
+    /// An ideal network issues exactly h messages per activation for the
+    /// 3-majority rule (h = 3) and loses/delays nothing.
+    #[test]
+    fn ideal_network_traffic_exact(
+        n in 50usize..300,
+        scheduler in scheduler_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 3, (n / 3) as u64);
+        let engine = GossipEngine::new(&clique).with_scheduler(scheduler);
+        let (r, s) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(5_000),
+            seed,
+        );
+        prop_assert_eq!(r.reason, StopReason::Stopped);
+        prop_assert_eq!(s.messages, 3 * s.activations);
+        prop_assert_eq!(s.lost_messages, 0);
+        prop_assert_eq!(s.delayed_messages, 0);
+        prop_assert_eq!(s.superseded_commits, 0);
+    }
+
+    /// Total loss freezes 3-majority (every sample falls back to the
+    /// node's own color, so no node ever recolors).
+    #[test]
+    fn total_loss_freezes_three_majority(
+        n in 20usize..200,
+        seed in any::<u64>(),
+    ) {
+        let clique = Clique::new(n);
+        let bias = 1 + (n as u64 / 4);
+        let cfg = builders::biased(n as u64, 2, bias);
+        prop_assume!(cfg.counts()[1] > 0); // genuinely non-monochromatic
+        let engine = GossipEngine::new(&clique).with_network(NetworkConfig::new(0.0, 1.0));
+        let r = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(5).traced(),
+            seed,
+        );
+        prop_assert_eq!(r.reason, StopReason::MaxRounds);
+        let trace = r.trace.expect("trace requested");
+        for s in &trace.rounds {
+            prop_assert_eq!(s.plurality_count, cfg.counts()[0], "state drifted under total loss");
+        }
+    }
+}

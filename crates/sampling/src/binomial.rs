@@ -45,7 +45,7 @@ const BINV_MAX_X: u64 = 110;
 /// assert!(x <= 100);
 /// ```
 pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
-    if n == 0 || !(p > 0.0) {
+    if n == 0 || p.is_nan() || p <= 0.0 {
         return 0;
     }
     if p >= 1.0 {
@@ -112,7 +112,7 @@ fn stirling_correction(k: u64) -> f64 {
         0.011_896_709_945_891_77,
         0.010_411_265_261_972_09,
         0.009_255_462_182_712_733,
-        0.008_330_563_433_362_871,
+        0.008_330_563_433_362_87,
     ];
     if k < 10 {
         FC[k as usize]
@@ -208,9 +208,7 @@ fn btrd<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
             + stirling_correction(m as u64)
             + stirling_correction((n_f - m) as u64);
         let nk = n_f - k + 1.0;
-        let accept = h
-            + (n_f + 1.0) * (nm / nk).ln()
-            + (k + 0.5) * (nk * r / (k + 1.0)).ln()
+        let accept = h + (n_f + 1.0) * (nm / nk).ln() + (k + 0.5) * (nk * r / (k + 1.0)).ln()
             - stirling_correction(k as u64)
             - stirling_correction((n_f - k) as u64);
         if v <= accept {
@@ -271,14 +269,15 @@ mod tests {
         }
         if pool_exp > 0.0 {
             // Final pool absorbs the remaining tail mass.
-            pool_exp += total * (1.0 - {
-                let mut cdf = 0.0;
-                for k in 0..=n {
-                    cdf += binom_pmf(n, p, k);
-                }
-                cdf
-            })
-            .max(0.0);
+            pool_exp += total
+                * (1.0 - {
+                    let mut cdf = 0.0;
+                    for k in 0..=n {
+                        cdf += binom_pmf(n, p, k);
+                    }
+                    cdf
+                })
+                .max(0.0);
             if pool_exp >= 1.0 {
                 stat += (pool_obs - pool_exp).powi(2) / pool_exp;
                 df += 1.0;
@@ -289,7 +288,9 @@ mod tests {
 
     fn draw(n: u64, p: f64, trials: usize, seed: u64) -> Vec<u64> {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
-        (0..trials).map(|_| sample_binomial(n, p, &mut rng)).collect()
+        (0..trials)
+            .map(|_| sample_binomial(n, p, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -312,7 +313,13 @@ mod tests {
     #[test]
     fn always_within_bounds() {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
-        for &(n, p) in &[(1u64, 0.5), (10, 0.9), (1000, 0.001), (1000, 0.999), (12345, 0.37)] {
+        for &(n, p) in &[
+            (1u64, 0.5),
+            (10, 0.9),
+            (1000, 0.001),
+            (1000, 0.999),
+            (12345, 0.37),
+        ] {
             for _ in 0..2000 {
                 assert!(sample_binomial(n, p, &mut rng) <= n);
             }
@@ -401,8 +408,10 @@ mod tests {
         let trials = 20_000;
         let samples = draw(n, p, trials, 11);
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / trials as f64;
-        assert!((mean - 50.0).abs() < 5.0 * (50.0f64 / trials as f64).sqrt() * 1.5,
-            "mean = {mean}");
+        assert!(
+            (mean - 50.0).abs() < 5.0 * (50.0f64 / trials as f64).sqrt() * 1.5,
+            "mean = {mean}"
+        );
     }
 
     #[test]

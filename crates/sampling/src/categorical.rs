@@ -29,7 +29,10 @@ impl CountSampler {
     /// overflows `u64`.
     #[must_use]
     pub fn new(counts: &[u64]) -> Self {
-        assert!(!counts.is_empty(), "CountSampler needs at least one category");
+        assert!(
+            !counts.is_empty(),
+            "CountSampler needs at least one category"
+        );
         let mut cum = Vec::with_capacity(counts.len());
         let mut acc: u64 = 0;
         for &c in counts {

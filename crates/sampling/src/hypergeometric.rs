@@ -75,8 +75,8 @@ pub fn sample_hypergeometric<R: Rng + ?Sized>(
     }
 
     // Mode of the distribution.
-    let mode = (((draws + 1) as f64) * ((successes + 1) as f64) / ((total + 2) as f64)).floor()
-        as u64;
+    let mode =
+        (((draws + 1) as f64) * ((successes + 1) as f64) / ((total + 2) as f64)).floor() as u64;
     let mode = mode.clamp(lo, hi);
     let p_mode = pmf(total, successes, draws, mode);
 
@@ -137,7 +137,10 @@ pub fn sample_multivariate_hypergeometric<R: Rng + ?Sized>(
 ) {
     assert_eq!(counts.len(), out.len(), "length mismatch");
     let mut remaining_total: u64 = counts.iter().sum();
-    assert!(draws <= remaining_total, "cannot draw more than the population");
+    assert!(
+        draws <= remaining_total,
+        "cannot draw more than the population"
+    );
     let mut remaining_draws = draws;
     for (slot, &c) in out.iter_mut().zip(counts) {
         if remaining_draws == 0 {
@@ -265,7 +268,10 @@ mod tests {
         for (j, &c) in counts.iter().enumerate() {
             let mean = sums[j] / trials as f64;
             let expect = draws as f64 * c as f64 / 1_000.0;
-            assert!((mean - expect).abs() < 0.05 * expect.max(1.0), "cat {j}: {mean} vs {expect}");
+            assert!(
+                (mean - expect).abs() < 0.05 * expect.max(1.0),
+                "cat {j}: {mean} vs {expect}"
+            );
         }
     }
 

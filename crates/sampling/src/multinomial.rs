@@ -29,12 +29,7 @@ use rand::Rng;
 /// sample_multinomial(1000, &[0.5, 0.3, 0.2], &mut out, &mut rng);
 /// assert_eq!(out.iter().sum::<u64>(), 1000);
 /// ```
-pub fn sample_multinomial<R: Rng + ?Sized>(
-    n: u64,
-    probs: &[f64],
-    out: &mut [u64],
-    rng: &mut R,
-) {
+pub fn sample_multinomial<R: Rng + ?Sized>(n: u64, probs: &[f64], out: &mut [u64], rng: &mut R) {
     assert_eq!(
         probs.len(),
         out.len(),

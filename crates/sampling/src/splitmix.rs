@@ -41,8 +41,10 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
-    /// Next 64-bit output.
+    /// Next 64-bit output.  (Named after the reference implementation;
+    /// this is not an `Iterator`.)
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
         mix64(self.state)

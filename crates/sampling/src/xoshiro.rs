@@ -23,7 +23,10 @@ impl Xoshiro256PlusPlus {
     /// Panics if all four words are zero (the one forbidden state).
     #[must_use]
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must be non-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be non-zero"
+        );
         Self { s }
     }
 
@@ -36,10 +39,7 @@ impl Xoshiro256PlusPlus {
     #[inline]
     fn step(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
 
         let t = s[1] << 17;
         s[2] ^= s[0];

@@ -1,11 +1,11 @@
 //! Property-based tests for the sampling substrate: invariants that must
 //! hold for *every* parameter combination, not just the unit-test grid.
 
-use proptest::prelude::*;
 use plurality_sampling::binomial::sample_binomial;
 use plurality_sampling::categorical::sample_from_counts;
 use plurality_sampling::multinomial::{sample_multinomial, sample_multinomial_weighted};
 use plurality_sampling::{derive_stream, AliasTable, CountSampler, SplitMix64, Xoshiro256PlusPlus};
+use proptest::prelude::*;
 use rand::{RngCore, SeedableRng};
 
 proptest! {

@@ -51,7 +51,10 @@ impl CsrGraph {
             .iter()
             .map(|&(u, v)| {
                 assert!(u != v, "self-loop at node {u}");
-                assert!((u as usize) < n && (v as usize) < n, "endpoint out of range");
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "endpoint out of range"
+                );
                 (u.min(v), u.max(v))
             })
             .collect();

@@ -156,12 +156,12 @@ fn pair_from_index(n: u64, idx: u64) -> (u32, u32) {
 #[must_use]
 pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
     assert!(d < n, "degree must be below n");
-    assert!((n * d) % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     let mut rng = stream_rng(seed, 0xD0);
     'attempt: for _attempt in 0..50 {
         // Stub list: node v appears d times, then Fisher–Yates shuffle.
         let mut stubs: Vec<u32> = (0..n as u32)
-            .flat_map(|v| std::iter::repeat(v).take(d))
+            .flat_map(|v| std::iter::repeat_n(v, d))
             .collect();
         for i in (1..stubs.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -221,9 +221,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> CsrGraph {
 #[must_use]
 pub fn ring(n: usize) -> CsrGraph {
     assert!(n >= 3, "ring needs at least 3 nodes");
-    let edges: Vec<(u32, u32)> = (0..n as u32)
-        .map(|v| (v, (v + 1) % n as u32))
-        .collect();
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
     CsrGraph::from_edges(n, &edges, format!("ring(n={n})"))
 }
 

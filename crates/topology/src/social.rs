@@ -22,7 +22,7 @@ use rand::Rng;
 #[must_use]
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
     assert!(m >= 1, "attachment degree must be positive");
-    assert!(n >= m + 1, "need at least m+1 nodes");
+    assert!(n > m, "need at least m+1 nodes");
     let mut rng = stream_rng(seed, 0xBA);
     // Flat endpoint list: each edge contributes both endpoints, so a
     // uniform pick from it is degree-proportional.
@@ -110,7 +110,11 @@ pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> CsrGraph
         v.sort_unstable();
         v
     };
-    CsrGraph::from_edges(n, &edges, format!("watts-strogatz(n={n},k={},β={beta})", 2 * k_half))
+    CsrGraph::from_edges(
+        n,
+        &edges,
+        format!("watts-strogatz(n={n},k={},β={beta})", 2 * k_half),
+    )
 }
 
 #[cfg(test)]

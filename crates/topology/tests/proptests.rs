@@ -2,12 +2,12 @@
 //! with valid neighbor sampling, across all generator families and
 //! arbitrary parameters.
 
-use proptest::prelude::*;
+use plurality_sampling::stream_rng;
 use plurality_topology::{
     barabasi_albert, complete_bipartite, erdos_renyi, random_regular, ring, star, torus,
     watts_strogatz, Clique, CsrGraph, Topology,
 };
-use plurality_sampling::stream_rng;
+use proptest::prelude::*;
 
 /// Every sampled neighbor is an actual adjacency-list member.
 fn check_sampling(g: &CsrGraph, seed: u64) -> Result<(), TestCaseError> {

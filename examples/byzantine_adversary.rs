@@ -32,7 +32,14 @@ fn main() {
 
     let mut table = Table::new(
         "reach & hold vs adversary budget F",
-        &["F", "F/(s/λ)", "reached", "reach rounds", "hold violations", "worst defection"],
+        &[
+            "F",
+            "F/(s/λ)",
+            "reached",
+            "reach rounds",
+            "hold violations",
+            "worst defection",
+        ],
     );
     for (i, frac) in [0.0, 0.1, 0.5, 1.0, 2.0, 4.0].iter().enumerate() {
         let f_budget = (frac * budget_unit as f64) as u64;
@@ -53,7 +60,11 @@ fn main() {
         table.push_row(vec![
             f_budget.to_string(),
             fmt_f64(*frac),
-            if report.reached { "yes".into() } else { "NO".into() },
+            if report.reached {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             report.reach_rounds.to_string(),
             report.violations.to_string(),
             report.worst_defection.to_string(),

@@ -53,13 +53,21 @@ fn main() {
 
     let mut table = Table::new(
         "dynamics zoo on (n/3+s, n/3, n/3−s)",
-        &["dynamics", "plurality wins", "median-color wins", "mean rounds", "note"],
+        &[
+            "dynamics",
+            "plurality wins",
+            "median-color wins",
+            "mean rounds",
+            "note",
+        ],
     );
     for (i, (dynamics, note)) in zoo.iter().enumerate() {
         let engine = MeanFieldEngine::new(*dynamics);
         let mc = MonteCarlo {
             trials,
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
             master_seed: 0x5A00 ^ ((i as u64) << 8),
         };
         let opts = RunOptions::with_max_rounds(500_000);

@@ -1,0 +1,133 @@
+//! Gossip model: the same 3-majority dynamics, freed from synchronous
+//! rounds and pushed through an unreliable network.
+//!
+//! ```text
+//! cargo run --release --example gossip_model
+//! ```
+//!
+//! Runs one configuration through (a) the synchronous agent engine,
+//! (b) ideal asynchronous gossip under both schedulers, and (c) a small
+//! delay/loss grid, printing parallel-time convergence and message
+//! accounting for each.
+
+use plurality::core::{builders, ThreeMajority};
+use plurality::engine::{AgentEngine, MonteCarlo, Placement, RunOptions, StopReason};
+use plurality::gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality::sampling::derive_stream;
+use plurality::topology::Clique;
+
+const N: usize = 5_000;
+const K: usize = 4;
+const BIAS: u64 = 1_000;
+const TRIALS: usize = 10;
+const SEED: u64 = 2024;
+
+fn summarize(label: &str, rounds: &[f64], wins: usize, extra: &str) {
+    let mean = rounds.iter().sum::<f64>() / rounds.len() as f64;
+    let var = rounds.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / rounds.len() as f64;
+    println!(
+        "{label:<42} {mean:>7.1} ± {:<5.1}  wins {wins}/{TRIALS}  {extra}",
+        var.sqrt()
+    );
+}
+
+fn main() {
+    let clique = Clique::new(N);
+    let cfg = builders::biased(N as u64, K, BIAS);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(100_000);
+    let mc = MonteCarlo::new(TRIALS).with_seed(SEED);
+
+    println!("3-majority on the clique: n = {N}, k = {K}, bias = {BIAS} ({TRIALS} trials each)\n");
+    println!("{:<42} {:>7}   {:<5}", "model", "ticks", "sd");
+
+    // (a) Synchronous rounds — the paper's model.
+    let sync: Vec<_> = mc.run(|i, _| {
+        AgentEngine::new(&clique).run(
+            &d,
+            &cfg,
+            Placement::Shuffled,
+            &opts,
+            derive_stream(SEED, i as u64),
+        )
+    });
+    let sync_rounds: Vec<f64> = sync.iter().map(|r| r.rounds as f64).collect();
+    let sync_mean = sync_rounds.iter().sum::<f64>() / TRIALS as f64;
+    summarize(
+        "synchronous rounds (AgentEngine)",
+        &sync_rounds,
+        sync.iter().filter(|r| r.success).count(),
+        "",
+    );
+
+    // (b) Ideal asynchronous gossip, both schedulers.
+    for scheduler in [Scheduler::Sequential, Scheduler::Poisson] {
+        let results: Vec<_> = mc.run(|i, _| {
+            GossipEngine::new(&clique).with_scheduler(scheduler).run(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &opts,
+                derive_stream(SEED ^ scheduler.name().len() as u64, i as u64),
+            )
+        });
+        let rounds: Vec<f64> = results.iter().map(|r| r.rounds as f64).collect();
+        let mean = rounds.iter().sum::<f64>() / TRIALS as f64;
+        summarize(
+            &format!("async gossip, {} scheduler", scheduler.name()),
+            &rounds,
+            results.iter().filter(|r| r.success).count(),
+            &format!("dilation ×{:.2}", mean / sync_mean),
+        );
+    }
+
+    // (c) Unreliable networks: a delay/loss grid.
+    println!();
+    for (delay, loss) in [
+        (0.25, 0.0),
+        (0.75, 0.0),
+        (0.0, 0.1),
+        (0.5, 0.1),
+        (0.75, 0.3),
+    ] {
+        let engine = GossipEngine::new(&clique)
+            .with_scheduler(Scheduler::Poisson)
+            .with_network(NetworkConfig::new(delay, loss));
+        let results: Vec<_> = mc.run(|i, _| {
+            engine.run_detailed(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &opts,
+                derive_stream(SEED ^ (delay.to_bits() ^ loss.to_bits()), i as u64),
+            )
+        });
+        let converged: Vec<f64> = results
+            .iter()
+            .filter(|(r, _)| r.reason == StopReason::Stopped)
+            .map(|(r, _)| r.rounds as f64)
+            .collect();
+        let wins = results.iter().filter(|(r, _)| r.success).count();
+        let messages: u64 = results.iter().map(|(_, s)| s.messages).sum();
+        let lost: u64 = results.iter().map(|(_, s)| s.lost_messages).sum();
+        let superseded: u64 = results.iter().map(|(_, s)| s.superseded_commits).sum();
+        summarize(
+            &format!("async gossip, delay {delay:.2}, loss {loss:.2}"),
+            &converged,
+            wins,
+            &format!(
+                "lost {:.1}%, superseded {:.1}%",
+                100.0 * lost as f64 / messages as f64,
+                100.0 * superseded as f64
+                    / results.iter().map(|(_, s)| s.activations).sum::<u64>() as f64,
+            ),
+        );
+    }
+
+    println!(
+        "\nTakeaway: asynchrony costs a constant-factor dilation (stragglers must\n\
+         activate), loss rescales the effective sample rate, and delay adds stale\n\
+         commits — but with bias above the paper's threshold the plurality color\n\
+         keeps winning in every regime."
+    );
+}

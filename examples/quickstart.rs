@@ -30,8 +30,10 @@ fn main() {
     // O(k) time by sampling the multinomial transition of Lemma 1.
     let dynamics = ThreeMajority::new();
     let engine = MeanFieldEngine::new(&dynamics);
-    let mut opts = RunOptions::default();
-    opts.trace = TraceLevel::Summary;
+    let opts = RunOptions {
+        trace: TraceLevel::Summary,
+        ..RunOptions::default()
+    };
     let mut rng = stream_rng(2024, 0);
 
     let result = engine.run(&cfg, &opts, &mut rng);

@@ -18,7 +18,9 @@ fn mean_rounds(cfg: &plurality::core::Configuration, trials: usize, seed: u64) -
     let engine = MeanFieldEngine::new(&d);
     let mc = MonteCarlo {
         trials,
-        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
         master_seed: seed,
     };
     let opts = RunOptions::with_max_rounds(1_000_000);
@@ -65,7 +67,10 @@ fn main() {
     );
     let mut lnns = Vec::new();
     let mut means = Vec::new();
-    for (i, &n) in [10_000u64, 100_000, 1_000_000, 10_000_000].iter().enumerate() {
+    for (i, &n) in [10_000u64, 100_000, 1_000_000, 10_000_000]
+        .iter()
+        .enumerate()
+    {
         let k = 8usize;
         let c1 = n / 3;
         let rest = n - c1;

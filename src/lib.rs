@@ -15,6 +15,7 @@
 //! |---|---|---|
 //! | [`core`] | `plurality-core` | configurations, 3-majority, h-plurality, voter, median, undecided-state, generic 3-input rules |
 //! | [`engine`] | `plurality-engine` | exact mean-field engine, agent engine, Monte-Carlo runner |
+//! | [`gossip`] | `plurality-gossip` | event-driven asynchronous gossip engine (schedulers, message delay/loss) |
 //! | [`topology`] | `plurality-topology` | clique + explicit graph families |
 //! | [`adversary`] | `plurality-adversary` | F-bounded dynamic adversaries (Corollary 4) |
 //! | [`sampling`] | `plurality-sampling` | PRNGs, exact binomial/multinomial/alias samplers |
@@ -52,5 +53,6 @@ pub use plurality_core as core;
 pub use plurality_engine as engine;
 pub use plurality_exact as exact;
 pub use plurality_experiments as experiments;
+pub use plurality_gossip as gossip;
 pub use plurality_sampling as sampling;
 pub use plurality_topology as topology;

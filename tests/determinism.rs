@@ -4,9 +4,7 @@
 //! reproducible down to the exact numbers.
 
 use plurality::core::{builders, ThreeMajority, UndecidedState};
-use plurality::engine::{
-    AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions,
-};
+use plurality::engine::{AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions};
 use plurality::sampling::stream_rng;
 use plurality::topology::{erdos_renyi, Clique};
 

@@ -10,11 +10,7 @@ use plurality::exact::{ExactChain, HPluralityKernel, ThreeMajorityKernel, VoterK
 const TRIALS: usize = 20_000;
 
 /// Simulate the win probability and mean rounds of a dynamics.
-fn simulate(
-    d: &dyn plurality::core::Dynamics,
-    counts: &[u64],
-    seed: u64,
-) -> (f64, f64) {
+fn simulate(d: &dyn plurality::core::Dynamics, counts: &[u64], seed: u64) -> (f64, f64) {
     let cfg = plurality::core::Configuration::new(counts.to_vec());
     let engine = MeanFieldEngine::new(d);
     let mc = MonteCarlo {
@@ -117,8 +113,13 @@ fn amplification_ordering_exact() {
     let chain = ExactChain::new(20, 2);
     let voter = chain.analyze(&VoterKernel, &start).win_probability[0];
     let maj = chain.analyze(&ThreeMajorityKernel, &start).win_probability[0];
-    let h5 = chain.analyze(&HPluralityKernel { h: 5 }, &start).win_probability[0];
-    assert!(voter < maj && maj < h5, "{voter:.4} < {maj:.4} < {h5:.4} violated");
+    let h5 = chain
+        .analyze(&HPluralityKernel { h: 5 }, &start)
+        .win_probability[0];
+    assert!(
+        voter < maj && maj < h5,
+        "{voter:.4} < {maj:.4} < {h5:.4} violated"
+    );
     assert!((voter - 0.6).abs() < 1e-9, "martingale check");
 }
 
@@ -144,7 +145,8 @@ fn agent_engine_matches_exact_small() {
         }
     }
     let sim = wins as f64 / trials as f64;
-    let tolerance = 5.0 * (exact.win_probability[0] * (1.0 - exact.win_probability[0]) / trials as f64).sqrt();
+    let tolerance =
+        5.0 * (exact.win_probability[0] * (1.0 - exact.win_probability[0]) / trials as f64).sqrt();
     assert!(
         (sim - exact.win_probability[0]).abs() < tolerance,
         "agent win {sim:.4} vs exact {:.4}",

@@ -7,7 +7,11 @@ use plurality::experiments::{registry, Context};
 #[test]
 fn registry_covers_design_md_index() {
     let ids: Vec<&str> = registry::all().iter().map(|e| e.id()).collect();
-    assert_eq!(ids.len(), 13, "DESIGN.md §4 experiments + the E13 extension");
+    assert_eq!(
+        ids.len(),
+        14,
+        "DESIGN.md §4 experiments + the E13/E14 extensions"
+    );
     for (i, id) in ids.iter().enumerate() {
         assert_eq!(*id, format!("e{:02}", i + 1));
     }

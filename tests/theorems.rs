@@ -6,7 +6,12 @@
 use plurality::core::{builders, Dynamics, HPlurality, Median3, TableD3, ThreeMajority, Voter};
 use plurality::engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
 
-fn win_rate(d: &dyn Dynamics, cfg: &plurality::core::Configuration, trials: usize, seed: u64) -> f64 {
+fn win_rate(
+    d: &dyn Dynamics,
+    cfg: &plurality::core::Configuration,
+    trials: usize,
+    seed: u64,
+) -> f64 {
     let engine = MeanFieldEngine::new(d);
     let mc = MonteCarlo {
         trials,
@@ -18,7 +23,12 @@ fn win_rate(d: &dyn Dynamics, cfg: &plurality::core::Configuration, trials: usiz
     results.iter().filter(|r| r.success).count() as f64 / trials as f64
 }
 
-fn mean_rounds(d: &dyn Dynamics, cfg: &plurality::core::Configuration, trials: usize, seed: u64) -> f64 {
+fn mean_rounds(
+    d: &dyn Dynamics,
+    cfg: &plurality::core::Configuration,
+    trials: usize,
+    seed: u64,
+) -> f64 {
     let engine = MeanFieldEngine::new(d);
     let mc = MonteCarlo {
         trials,
@@ -270,7 +280,10 @@ fn theorem3_delta_scan_sample() {
     let (a, b) = both(&TableD3::from_deltas([2, 2, 2], "uniform"), 0x7113);
     assert!(a > 0.9 && b > 0.9, "uniform rule: {a}/{b}");
     // A sample of non-uniform δ distributions must each fail somewhere.
-    for (i, deltas) in [[3u8, 2, 1], [0, 3, 3], [4, 1, 1], [2, 0, 4]].iter().enumerate() {
+    for (i, deltas) in [[3u8, 2, 1], [0, 3, 3], [4, 1, 1], [2, 0, 4]]
+        .iter()
+        .enumerate()
+    {
         let rule = TableD3::from_deltas(*deltas, "scan");
         let (a, b) = both(&rule, 0x7200 + i as u64);
         assert!(
@@ -286,7 +299,7 @@ fn theorem3_delta_scan_sample() {
 fn lemma3_growth_factor_respected() {
     let n = 200_000u64;
     let k = 8usize;
-    let s = (1.5 * ((8.0f64 * n as f64 * (n as f64).ln()) as f64).sqrt()) as u64;
+    let s = (1.5 * (8.0f64 * n as f64 * (n as f64).ln()).sqrt()) as u64;
     let cfg = builders::biased(n, k, s);
     let d = ThreeMajority::new();
     let engine = MeanFieldEngine::new(&d);

@@ -1,0 +1,49 @@
+//! Fixed-size array strategies (`uniform1` … `uniform8`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Reject, TestRng};
+
+/// Strategy for `[S::Value; N]` drawing every element from `S`.
+pub struct ArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(self.element.new_value(rng)?);
+        }
+        Ok(out
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly N elements pushed")))
+    }
+}
+
+/// Array strategy of any compile-time size.
+#[must_use]
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> ArrayStrategy<S, N> {
+    ArrayStrategy { element }
+}
+
+macro_rules! uniform_fns {
+    ($($fname:ident => $n:literal),+ $(,)?) => {$(
+        /// Strategy for an array of this fixed size.
+        #[must_use]
+        pub fn $fname<S: Strategy>(element: S) -> ArrayStrategy<S, $n> {
+            ArrayStrategy { element }
+        }
+    )+};
+}
+
+uniform_fns! {
+    uniform1 => 1,
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform5 => 5,
+    uniform6 => 6,
+    uniform7 => 7,
+    uniform8 => 8,
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds without access to crates.io, so the property-test
+//! API subset its test suites use is reimplemented here: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map` / `prop_filter`, range and
+//! collection strategies, [`prop_oneof!`], [`arbitrary::any`], and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` random cases drawn
+//! from a deterministic per-test RNG (seeded from the test name, so runs
+//! are reproducible).  Failing cases panic with the generated inputs via
+//! the assertion message; there is **no shrinking** — a deliberate
+//! simplification over real proptest.  Rejections (`prop_assume!`,
+//! `prop_filter`) retry the case, with a global retry cap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Supports an optional leading `#![proptest_config(..)]` attribute, any
+/// number of `#[test]` functions whose arguments are `pattern in strategy`
+/// pairs, and `prop_assert*` / `prop_assume!` in the bodies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal item muncher for [`proptest!`].  Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __pt_rng =
+                $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut __pt_done: u32 = 0;
+            let mut __pt_attempts: u64 = 0;
+            'cases: while __pt_done < config.cases {
+                __pt_attempts += 1;
+                assert!(
+                    __pt_attempts <= u64::from(config.cases) * 256,
+                    "proptest '{}': too many rejected cases ({} accepted of {} wanted)",
+                    stringify!($name), __pt_done, config.cases
+                );
+                $(
+                    let $pat = match $crate::strategy::Strategy::new_value(&($strat), &mut __pt_rng) {
+                        ::core::result::Result::Ok(v) => v,
+                        ::core::result::Result::Err(_) => continue 'cases,
+                    };
+                )+
+                let __pt_result: ::core::result::Result<(), $crate::test_runner::Reject> =
+                    (|| -> ::core::result::Result<(), $crate::test_runner::Reject> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if __pt_result.is_err() {
+                    continue 'cases;
+                }
+                __pt_done += 1;
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Like `assert_eq!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Like `assert_ne!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Discard the current case unless `cond` holds (retries with new inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject("assumption failed"));
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

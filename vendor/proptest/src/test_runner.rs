@@ -1,0 +1,86 @@
+//! Test-runner plumbing: configuration, the case RNG, and rejections.
+
+/// Per-test configuration (subset of real proptest's).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 because this stand-in
+    /// is used across heavyweight simulation tests.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A rejected case (from `prop_assume!` or `prop_filter`); the runner
+/// retries with fresh inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct Reject(pub &'static str);
+
+/// Error type of a test-case body.  In real proptest this distinguishes
+/// failures from rejections; here failures panic directly (no shrinking),
+/// so the only constructible case is a rejection — helper functions can
+/// declare `Result<(), TestCaseError>` and be called with `?`.
+pub type TestCaseError = Reject;
+
+/// Deterministic case RNG (SplitMix64), seeded from the test's full path
+/// so every test has a reproducible, distinct stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a hash of the bytes).
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)` (Lemire rejection; `span > 0`).
+    pub fn next_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(span);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(span);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
