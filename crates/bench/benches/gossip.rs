@@ -1,14 +1,20 @@
-//! Gossip-engine benchmarks: event-queue throughput and full async
-//! convergence, across schedulers and network conditions.
+//! Gossip-engine benchmarks: activation/event throughput and full async
+//! convergence, across exchange modes, schedulers, rate mixes, and
+//! network conditions.
 //!
 //! The headline numbers: cost of one *tick* (n activations — the async
-//! analogue of one synchronous agent round) for each scheduler, and how
-//! much the delay machinery (commit events, versioning) costs on top.
+//! analogue of one synchronous agent round) for each scheduler and each
+//! exchange mode, and how much the delay machinery (commit events,
+//! lazy-deletion queue) costs on top.  `BENCH_gossip_baseline.json`
+//! holds the PR 1 numbers (one-heap-entry-per-node Poisson scheduler);
+//! `BENCH_gossip_scheduler.json` the post-rewrite numbers — the
+//! sequential-vs-Poisson gap is the acceptance metric for the
+//! superposition scheduler.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{Placement, RunOptions};
-use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
 use plurality_topology::Clique;
 
 fn bench_gossip_tick(c: &mut Criterion) {
@@ -33,6 +39,66 @@ fn bench_gossip_tick(c: &mut Criterion) {
                 },
             );
         }
+    }
+    g.finish();
+}
+
+fn bench_exchange_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip-mode-tick");
+    g.sample_size(10);
+    let d = ThreeMajority::new();
+    let n = 50_000usize;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+    for mode in [
+        ExchangeMode::Pull,
+        ExchangeMode::Push,
+        ExchangeMode::PushPull,
+    ] {
+        for scheduler in [Scheduler::Sequential, Scheduler::Poisson] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.name(), scheduler.name()),
+                &n,
+                |b, _| {
+                    let engine = GossipEngine::new(&clique)
+                        .with_mode(mode)
+                        .with_scheduler(scheduler);
+                    let opts = RunOptions::with_max_rounds(1);
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_heterogeneous_rates(c: &mut Criterion) {
+    // Cost of the rate-proportional node draw (binary search over the
+    // cumulative rate table) vs the uniform fast path.
+    let mut g = c.benchmark_group("gossip-rated-tick");
+    g.sample_size(10);
+    let d = ThreeMajority::new();
+    let n = 50_000usize;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+    let rates: Vec<f64> = (0..n).map(|v| if v % 4 == 0 { 4.0 } else { 1.0 }).collect();
+    for (label, rated) in [("unit", false), ("mixed-4x", true)] {
+        g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            let mut engine = GossipEngine::new(&clique).with_scheduler(Scheduler::Poisson);
+            if rated {
+                engine = engine.with_node_rates(rates.clone());
+            }
+            let opts = RunOptions::with_max_rounds(1);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds)
+            });
+        });
     }
     g.finish();
 }
@@ -70,25 +136,35 @@ fn bench_full_async_convergence(c: &mut Criterion) {
     let n = 10_000usize;
     let clique = Clique::new(n);
     let cfg = builders::biased(n as u64, 4, n as u64 / 5);
-    for (label, scheduler, network) in [
+    for (label, mode, scheduler, network) in [
         (
             "sequential-ideal",
+            ExchangeMode::Pull,
             Scheduler::Sequential,
             NetworkConfig::default(),
         ),
         (
             "poisson-ideal",
+            ExchangeMode::Pull,
             Scheduler::Poisson,
             NetworkConfig::default(),
         ),
         (
             "poisson-delay0.5-loss0.02",
+            ExchangeMode::Pull,
             Scheduler::Poisson,
             NetworkConfig::new(0.5, 0.02),
+        ),
+        (
+            "pushpull-sequential-ideal",
+            ExchangeMode::PushPull,
+            Scheduler::Sequential,
+            NetworkConfig::default(),
         ),
     ] {
         g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
             let engine = GossipEngine::new(&clique)
+                .with_mode(mode)
                 .with_scheduler(scheduler)
                 .with_network(network);
             let opts = RunOptions::with_max_rounds(100_000);
@@ -109,6 +185,8 @@ fn bench_full_async_convergence(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gossip_tick,
+    bench_exchange_modes,
+    bench_heterogeneous_rates,
     bench_network_conditions,
     bench_full_async_convergence
 );

@@ -38,6 +38,9 @@ const VALUE_OPTS: &[&str] = &[
     "loss",
     "delay",
     "scheduler",
+    "mode",
+    "fast-frac",
+    "fast-rate",
 ];
 const FLAG_OPTS: &[&str] = &["help", "quiet"];
 
@@ -97,9 +100,12 @@ fn usage() {
          \x20 --h H             sample size for h-plurality (default 5)\n\
          \x20 --noise P         per-message noise for 'noisy' dynamics (default 0.1)\n\
          \x20 --bins B          histogram bins for 'hist' (default 30)\n\
-         \x20 --loss Q          gossip: per-message loss probability (default 0)\n\
-         \x20 --delay P         gossip: per-message delay probability (default 0)\n\
+         \x20 --loss Q          gossip: per-message (per-leg) loss probability (default 0)\n\
+         \x20 --delay P         gossip: per-message (per-leg) delay probability (default 0)\n\
          \x20 --scheduler S     gossip: 'sequential' (default) or 'poisson'\n\
+         \x20 --mode M          gossip: 'pull' (default), 'push', or 'push-pull'\n\
+         \x20 --fast-frac F     gossip: fraction of nodes activating at --fast-rate (default 0)\n\
+         \x20 --fast-rate R     gossip: activation rate of the fast nodes (default 1)\n\
          \x20 --trials T        independent trials for 'run'/'zoo' (default 50)\n\
          \x20 --max-rounds R    round cap (default 1000000)\n\
          \x20 --seed S          master seed (default 1)\n\
@@ -416,7 +422,7 @@ fn cmd_hist(parsed: &Args) -> Result<(), String> {
 }
 
 fn cmd_gossip(parsed: &Args) -> Result<(), String> {
-    use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+    use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
     use plurality_topology::Clique;
 
     let c = common(parsed)?;
@@ -433,6 +439,19 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
         return Err(format!("--loss {loss} out of [0, 1]"));
     }
     let scheduler = Scheduler::from_name(parsed.get("scheduler").unwrap_or("sequential"))?;
+    let mode = ExchangeMode::from_name(parsed.get("mode").unwrap_or("pull"))?;
+    let fast_frac: f64 = parsed
+        .get_parsed("fast-frac", 0.0f64)
+        .map_err(|e| e.to_string())?;
+    let fast_rate: f64 = parsed
+        .get_parsed("fast-rate", 1.0f64)
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&fast_frac) {
+        return Err(format!("--fast-frac {fast_frac} out of [0, 1]"));
+    }
+    if !(fast_rate.is_finite() && fast_rate > 0.0) {
+        return Err(format!("--fast-rate {fast_rate} must be finite and > 0"));
+    }
     // Per-trial event simulation is heavier than a mean-field round;
     // default to fewer trials than 'run' unless --trials is explicit.
     let trials = match parsed.get("trials") {
@@ -442,9 +461,17 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
 
     let n = c.cfg.n() as usize;
     let clique = Clique::new(n);
-    let engine = GossipEngine::new(&clique)
+    let mut engine = GossipEngine::new(&clique)
+        .with_mode(mode)
         .with_scheduler(scheduler)
         .with_network(NetworkConfig::new(delay, loss));
+    let fast_nodes = (fast_frac * n as f64).round() as usize;
+    if fast_nodes > 0 && fast_rate != 1.0 {
+        let rates: Vec<f64> = (0..n)
+            .map(|v| if v < fast_nodes { fast_rate } else { 1.0 })
+            .collect();
+        engine = engine.with_node_rates(rates);
+    }
     let mc = MonteCarlo {
         trials,
         threads: c.threads,
@@ -464,18 +491,33 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
 
     let mut t = Table::new(
         format!(
-            "{} async gossip on clique: n = {}, k = {}, bias = {}, scheduler = {}, delay = {delay}, \
-             loss = {loss} ({trials} trials, {:.2}s)",
+            "{} async gossip on clique: n = {}, k = {}, bias = {}, mode = {}, scheduler = {}, \
+             delay = {delay}, loss = {loss}{} ({trials} trials, {:.2}s)",
             c.dynamics.name(),
             c.cfg.n(),
             c.cfg.k(),
             c.cfg.bias(),
+            mode.name(),
             scheduler.name(),
+            if fast_nodes > 0 && fast_rate != 1.0 {
+                format!(", {fast_nodes} nodes at rate {fast_rate}")
+            } else {
+                String::new()
+            },
             elapsed.as_secs_f64()
         ),
         &[
-            "trial", "ticks", "winner", "plurality", "activations", "messages", "lost",
-            "delayed", "superseded",
+            "trial",
+            "ticks",
+            "winner",
+            "plurality",
+            "activations",
+            "messages",
+            "lost",
+            "delayed",
+            "superseded",
+            "inbox",
+            "starved",
         ],
     );
     let mut ticks = Summary::new();
@@ -503,6 +545,8 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
             s.lost_messages.to_string(),
             s.delayed_messages.to_string(),
             s.superseded_commits.to_string(),
+            s.inbox_served.to_string(),
+            s.starved_updates.to_string(),
         ]);
     }
     print!("{}", t.markdown());

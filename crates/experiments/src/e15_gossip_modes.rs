@@ -1,0 +1,191 @@
+//! **E15 — extension: PUSH / PULL / PUSH-PULL exchange modes under
+//! unreliable communication** (direction of Becchetti et al. 2014,
+//! *Plurality Consensus in the Gossip Model*).
+//!
+//! E14 established how asynchrony and network conditions stretch the
+//! paper's PULL dynamics.  This experiment varies the *exchange
+//! direction* on the same grid: 3-majority runs through the gossip
+//! engine for every [`ExchangeMode`] × (delay, loss) cell, plus one
+//! heterogeneous-rate row per mode (a quarter of the nodes activating
+//! 4× faster — the fast minority skews the sampled color mix it pushes).
+//!
+//! Expected picture (and what the measured table shows):
+//!
+//! * **PULL is the traffic-heavy baseline** — h fresh calls per update
+//!   (h = 3 here), fastest convergence in ticks;
+//! * **PUSH-PULL halves fresh traffic at a small staleness tax** — one
+//!   call serves both directions, so messages/activation drop toward
+//!   h/2 while inbox staleness slows the drift by a small constant
+//!   (≈1.2× PULL in the ideal cell);
+//! * **PUSH pays the multi-sample price** — one send per activation
+//!   means one completed update per ~h receipts: convergence dilates
+//!   ≈h× but the plurality outcome survives;
+//! * **loss and delay degrade every mode gracefully** — loss rescales
+//!   the effective sample/receipt rate, delay adds staleness and
+//!   superseded commits; no mode derails at moderate parameters.
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Summary, Table};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{MonteCarlo, Placement, RunOptions, StopReason};
+use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig};
+use plurality_sampling::derive_stream;
+use plurality_topology::Clique;
+
+/// See module docs.
+pub struct E15GossipModes;
+
+const MODES: [ExchangeMode; 3] = [
+    ExchangeMode::Pull,
+    ExchangeMode::Push,
+    ExchangeMode::PushPull,
+];
+
+impl Experiment for E15GossipModes {
+    fn id(&self) -> &'static str {
+        "e15"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: PUSH / PULL / PUSH-PULL gossip under delay, loss, and heterogeneous rates"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: usize = ctx.pick(1_500, 20_000);
+        let k: usize = ctx.pick(3, 6);
+        let bias = (n / 5) as u64;
+        let trials = ctx.pick(4, 24);
+        let max_rounds: u64 = 100_000;
+
+        let cfg = builders::biased(n as u64, k, bias);
+        let d = ThreeMajority::new();
+        let clique = Clique::new(n);
+        let opts = RunOptions::with_max_rounds(max_rounds);
+        let mc = MonteCarlo {
+            trials,
+            threads: ctx.threads,
+            master_seed: ctx.seed ^ 0xE15,
+        };
+
+        let delays: &[f64] = ctx.pick(&[0.0, 0.5][..], &[0.0, 0.25, 0.5][..]);
+        let losses: &[f64] = ctx.pick(&[0.0, 0.1][..], &[0.0, 0.05, 0.2][..]);
+        // One quarter of the nodes activating 4× faster.
+        let fast_rates: Vec<f64> = (0..n).map(|v| if v % 4 == 0 { 4.0 } else { 1.0 }).collect();
+
+        // Ideal-network PULL is the slowdown baseline for every cell.
+        let mut pull_ideal = Summary::new();
+
+        let mut table = Table::new(
+            format!(
+                "E15 · exchange modes × network conditions: n = {n}, k = {k}, bias = {bias}, \
+                 {trials} trials (3-majority; slowdown is vs the ideal PULL cell)"
+            ),
+            &[
+                "mode",
+                "delay",
+                "loss",
+                "rates",
+                "converged",
+                "win rate",
+                "mean ticks",
+                "sd",
+                "slowdown",
+                "msg/act",
+                "inbox frac",
+                "starved frac",
+            ],
+        );
+
+        let mut cell_seed = 0u64;
+        for &mode in &MODES {
+            // (delay, loss, heterogeneous) grid rows for this mode: the
+            // full network grid at unit rates, plus one rated ideal row.
+            let mut rows: Vec<(f64, f64, bool)> = Vec::new();
+            for &delay in delays {
+                for &loss in losses {
+                    rows.push((delay, loss, false));
+                }
+            }
+            rows.push((0.0, 0.0, true));
+
+            for (delay, loss, rated) in rows {
+                cell_seed += 1;
+                let seed = ctx.seed ^ (0xE150 + cell_seed);
+                let results = mc.run(|i, _| {
+                    let mut engine = GossipEngine::new(&clique)
+                        .with_mode(mode)
+                        .with_network(NetworkConfig::new(delay, loss));
+                    if rated {
+                        engine = engine.with_node_rates(fast_rates.clone());
+                    }
+                    engine.run_detailed(
+                        &d,
+                        &cfg,
+                        Placement::Shuffled,
+                        &opts,
+                        derive_stream(seed, i as u64),
+                    )
+                });
+
+                let mut ticks = Summary::new();
+                let mut wins = 0usize;
+                let mut converged = 0usize;
+                let mut activations: u64 = 0;
+                let mut messages: u64 = 0;
+                let mut inbox_served: u64 = 0;
+                let mut starved: u64 = 0;
+                for (r, s) in &results {
+                    if r.reason == StopReason::Stopped {
+                        converged += 1;
+                        ticks.push(r.rounds as f64);
+                    }
+                    if r.success {
+                        wins += 1;
+                    }
+                    activations += s.activations;
+                    messages += s.messages;
+                    inbox_served += s.inbox_served;
+                    starved += s.starved_updates;
+                }
+                if mode == ExchangeMode::Pull && delay == 0.0 && loss == 0.0 && !rated {
+                    pull_ideal = ticks;
+                }
+                let samples_seen = (messages + inbox_served).max(1);
+                table.push_row(vec![
+                    mode.name().to_string(),
+                    fmt_f64(delay),
+                    fmt_f64(loss),
+                    if rated { "3:1 mix" } else { "unit" }.to_string(),
+                    format!("{converged}/{trials}"),
+                    fmt_f64(wins as f64 / trials as f64),
+                    fmt_f64(ticks.mean()),
+                    fmt_f64(ticks.std_dev()),
+                    fmt_f64(ticks.mean() / pull_ideal.mean()),
+                    fmt_f64(messages as f64 / activations.max(1) as f64),
+                    fmt_f64(inbox_served as f64 / samples_seen as f64),
+                    fmt_f64(starved as f64 / activations.max(1) as f64),
+                ]);
+            }
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_covers_all_modes_and_converges() {
+        let tables = E15GossipModes.run(&Context::smoke());
+        assert_eq!(tables.len(), 1);
+        // Smoke grid: 3 modes × (2 delays × 2 losses + 1 rated row).
+        assert_eq!(tables[0].len(), 15);
+        let md = tables[0].markdown();
+        for mode in ["pull", "push", "push-pull"] {
+            assert!(md.contains(mode), "mode {mode} missing:\n{md}");
+        }
+        // Every cell of a heavily biased start should convert all trials.
+        assert!(!md.contains("0/4"), "some cell never converged:\n{md}");
+    }
+}

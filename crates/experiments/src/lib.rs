@@ -28,6 +28,7 @@ pub mod e11_phase_portrait;
 pub mod e12_baselines_topologies;
 pub mod e13_noise_transition;
 pub mod e14_gossip_async;
+pub mod e15_gossip_modes;
 pub mod registry;
 
 use plurality_analysis::Table;

@@ -21,6 +21,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::e12_baselines_topologies::E12BaselinesTopologies),
         Box::new(crate::e13_noise_transition::E13NoiseTransition),
         Box::new(crate::e14_gossip_async::E14GossipAsync),
+        Box::new(crate::e15_gossip_modes::E15GossipModes),
     ]
 }
 
@@ -53,7 +54,7 @@ mod tests {
             ids,
             vec![
                 "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11", "e12",
-                "e13", "e14"
+                "e13", "e14", "e15"
             ]
         );
     }

@@ -1,18 +1,49 @@
 //! The asynchronous gossip engine.
 //!
-//! One trial is a deterministic function of `(seed, scheduler, network,
-//! topology, dynamics, placement)`.  PRNG stream layout (per trial seed,
-//! all streams derived with `plurality_sampling::stream_rng`):
+//! One trial is a deterministic function of `(seed, mode, scheduler,
+//! rates, network, topology, dynamics, placement)`.  PRNG stream layout
+//! (per trial seed, all streams derived with
+//! `plurality_sampling::stream_rng`):
 //!
 //! | stream | used for |
 //! |---|---|
 //! | 0 | initial placement shuffle (same convention as `AgentEngine`) |
-//! | 1 | the scheduler (node choices / exponential waiting times) |
+//! | 1 | the activation clock (node choices / exponential waiting times) |
 //! | 2 | rule-internal randomness passed to `Dynamics::node_update` |
 //! | 3 | master for per-message streams (see [`crate::network`]) |
+//!
+//! # Event processing order
+//!
+//! Activations are drawn directly from the [`ActivationClock`]; delayed
+//! recolor commits and in-flight pushed colors wait in the lazy-deletion
+//! [`EventQueue`].  The engine merges the two sources by firing time,
+//! with a documented deterministic rule at exact timestamp ties: **queued
+//! network events fire before the activation sharing their timestamp**,
+//! and queued events among themselves fire FIFO by insertion sequence
+//! number.  (This reproduces PR 1's behavior, where the pending
+//! activation always carried a later sequence number than any queued
+//! commit — pinned bit-for-bit by the golden PULL traces in
+//! `tests/gossip_modes.rs`.)
+//!
+//! # One activation, by exchange mode
+//!
+//! * **Pull** — the node draws its rule's samples as PULL requests
+//!   (loss ⇒ own-color fallback; delay ⇒ the recolor commits when the
+//!   slowest response lands, superseded if the node activates again).
+//! * **Push** — the node sends its current color to one random peer
+//!   (per-message loss/delay apply), then applies its rule against its
+//!   own inbox of previously received colors; if the inbox cannot supply
+//!   every sample the rule draws, the update is *starved* and skipped
+//!   (the inbox is left untouched).
+//! * **PushPull** — the node serves its rule's samples from its inbox
+//!   first and issues one bidirectional exchange per remaining sample:
+//!   the pull leg answers the sample, the push leg carries the node's
+//!   (pre-update) color into the contacted peer's inbox, with loss and
+//!   delay striking each leg independently.
 
-use crate::network::{MessageFate, MessageStreams, NetworkConfig};
-use crate::scheduler::{exp1, EventKind, EventQueue, Scheduler};
+use crate::modes::{ExchangeMode, Inbox};
+use crate::network::{ExchangeFate, LegFate, MessageFate, MessageStreams, NetworkConfig};
+use crate::scheduler::{ActivationClock, EventKind, EventQueue, Scheduler};
 use plurality_core::{Configuration, Dynamics, NodeScratch, StateSampler};
 use plurality_engine::{
     evaluate_stop, layout_initial_states, unique_initial_plurality, Placement, RunOptions,
@@ -20,7 +51,7 @@ use plurality_engine::{
 };
 use plurality_sampling::{derive_stream, stream_rng};
 use plurality_topology::Topology;
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
 // Stream 0 is the placement shuffle, consumed inside
 // `plurality_engine::layout_initial_states`.
@@ -35,25 +66,41 @@ const STREAM_MESSAGES: u64 = 3;
 /// `MonteCarlo`, the experiments, and the CLI unchanged.
 pub struct GossipEngine<'t> {
     topology: &'t dyn Topology,
+    mode: ExchangeMode,
     scheduler: Scheduler,
     network: NetworkConfig,
+    rates: Option<Vec<f64>>,
 }
 
 /// Side statistics of one gossip trial (beyond the shared
 /// [`TrialResult`] contract).
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// `messages` counts initiated calls (= per-message RNG streams): PULL
+/// sample requests, PUSH sends, or PUSH-PULL exchanges.  For PUSH-PULL,
+/// `lost_messages` / `delayed_messages` count *legs* (an exchange can
+/// contribute up to two of each).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GossipStats {
     /// Node activations executed.
     pub activations: u64,
-    /// PULL sample requests issued.
+    /// Calls initiated (PULL requests / PUSH sends / PUSH-PULL exchanges).
     pub messages: u64,
-    /// Messages dropped by the network.
+    /// Messages (or exchange legs) dropped by the network.
     pub lost_messages: u64,
-    /// Messages that arrived late.
+    /// Messages (or exchange legs) that arrived late.
     pub delayed_messages: u64,
     /// Pending recolors invalidated by a newer activation of the same
     /// node before their delayed responses arrived.
     pub superseded_commits: u64,
+    /// Pushed colors that landed in an inbox (instantly or late).
+    pub pushes_delivered: u64,
+    /// Update-rule samples answered from the node's inbox.
+    pub inbox_served: u64,
+    /// PUSH-mode activations whose update was skipped because the inbox
+    /// could not supply every sample the rule draws.
+    pub starved_updates: u64,
+    /// Buffered colors evicted because an inbox hit [`crate::INBOX_CAP`].
+    pub inbox_dropped: u64,
     /// Simulated clock at stop time, in ticks.
     pub final_time: f64,
 }
@@ -99,16 +146,109 @@ impl StateSampler for GossipSampler<'_> {
     }
 }
 
+/// Serves a PUSH-mode update from the node's own inbox only.  Runs in
+/// *probe* style: if the inbox runs dry the sampler answers with the
+/// node's own color and flags starvation, and the engine discards the
+/// whole update without consuming the inbox.
+struct InboxSampler<'a> {
+    inbox: &'a Inbox,
+    cursor: usize,
+    own: u32,
+    starved: bool,
+}
+
+impl StateSampler for InboxSampler<'_> {
+    fn sample_state(&mut self, _rng: &mut dyn RngCore) -> u32 {
+        match self.inbox.peek(self.cursor) {
+            Some(color) => {
+                self.cursor += 1;
+                color
+            }
+            None => {
+                self.starved = true;
+                self.own
+            }
+        }
+    }
+}
+
+/// Serves a PUSH-PULL update: inbox first, then bidirectional exchanges.
+/// Instant push-leg deliveries and delayed legs are buffered (the
+/// engine applies them after the update returns — same timestamp, no
+/// aliasing of the inbox table mid-update).
+struct PushPullSampler<'a> {
+    topology: &'a dyn Topology,
+    states: &'a [u32],
+    node: usize,
+    own: u32,
+    network: NetworkConfig,
+    streams: &'a mut MessageStreams,
+    inbox: &'a Inbox,
+    cursor: usize,
+    instant_pushes: &'a mut Vec<(usize, u32)>,
+    delayed_pushes: &'a mut Vec<(usize, u32, f64)>,
+    max_extra_ticks: f64,
+    lost: u64,
+    delayed: u64,
+    inbox_served: u64,
+}
+
+impl StateSampler for PushPullSampler<'_> {
+    fn sample_state(&mut self, _rng: &mut dyn RngCore) -> u32 {
+        if let Some(color) = self.inbox.peek(self.cursor) {
+            self.cursor += 1;
+            self.inbox_served += 1;
+            return color;
+        }
+        let topology = self.topology;
+        let node = self.node;
+        let ExchangeFate { peer, pull, push } = self
+            .streams
+            .next_exchange(&self.network, |mrng| topology.sample_neighbor(node, mrng));
+        match push {
+            LegFate::Lost => self.lost += 1,
+            LegFate::Instant => self.instant_pushes.push((peer, self.own)),
+            LegFate::Delayed { extra_ticks } => {
+                self.delayed += 1;
+                self.delayed_pushes.push((peer, self.own, extra_ticks));
+            }
+        }
+        match pull {
+            LegFate::Lost => {
+                self.lost += 1;
+                self.own
+            }
+            LegFate::Instant => self.states[peer],
+            LegFate::Delayed { extra_ticks } => {
+                self.delayed += 1;
+                if extra_ticks > self.max_extra_ticks {
+                    self.max_extra_ticks = extra_ticks;
+                }
+                self.states[peer]
+            }
+        }
+    }
+}
+
 impl<'t> GossipEngine<'t> {
-    /// Engine on a topology with the sequential scheduler and an ideal
-    /// network.
+    /// Engine on a topology with PULL exchanges, the sequential scheduler
+    /// and an ideal network.
     #[must_use]
     pub fn new(topology: &'t dyn Topology) -> Self {
         Self {
             topology,
+            mode: ExchangeMode::Pull,
             scheduler: Scheduler::Sequential,
             network: NetworkConfig::default(),
+            rates: None,
         }
+    }
+
+    /// Choose the exchange mode (who learns whose color per activation).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExchangeMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Choose the activation scheduler.
@@ -125,6 +265,35 @@ impl<'t> GossipEngine<'t> {
         self
     }
 
+    /// Give every node its own activation rate (default: unit rates).
+    /// Under the Poisson scheduler rates scale each node's clock; under
+    /// the sequential scheduler they weight the per-step node choice
+    /// (the Poisson jump chain), leaving step times at `i/n`.
+    ///
+    /// # Panics
+    /// Panics unless `rates` holds one strictly positive finite entry
+    /// per topology node.
+    #[must_use]
+    pub fn with_node_rates(mut self, rates: Vec<f64>) -> Self {
+        assert_eq!(
+            rates.len(),
+            self.topology.n(),
+            "need one activation rate per node"
+        );
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r > 0.0),
+            "activation rates must be finite and > 0"
+        );
+        self.rates = Some(rates);
+        self
+    }
+
+    /// The configured exchange mode.
+    #[must_use]
+    pub fn mode(&self) -> ExchangeMode {
+        self.mode
+    }
+
     /// The configured scheduler.
     #[must_use]
     pub fn scheduler(&self) -> Scheduler {
@@ -135,6 +304,12 @@ impl<'t> GossipEngine<'t> {
     #[must_use]
     pub fn network(&self) -> NetworkConfig {
         self.network
+    }
+
+    /// The configured per-node activation rates, if heterogeneous.
+    #[must_use]
+    pub fn node_rates(&self) -> Option<&[f64]> {
+        self.rates.as_deref()
     }
 
     /// Run one trial; see [`Self::run_detailed`].
@@ -153,12 +328,16 @@ impl<'t> GossipEngine<'t> {
     /// Run one trial, also returning gossip-specific statistics.
     ///
     /// `opts.max_rounds` caps parallel time in ticks (1 tick = `n`
-    /// activations); `opts.max_events` additionally caps raw scheduler
-    /// events.  Exhausting either reports [`StopReason::MaxRounds`].
+    /// activations); `opts.max_events` additionally caps processed events
+    /// (activations plus fired network events).  Exhausting either
+    /// reports [`StopReason::MaxRounds`].
     ///
     /// # Panics
     /// Panics if the configuration population differs from the topology
-    /// size, or the initial plurality is tied.
+    /// size, the initial plurality is tied, or (PUSH mode) the dynamics
+    /// draws more than [`crate::INBOX_CAP`] samples per update — such a
+    /// rule can never complete a push-served update and would otherwise
+    /// livelock until `max_rounds`.
     pub fn run_detailed(
         &self,
         dynamics: &dyn Dynamics,
@@ -208,34 +387,31 @@ impl<'t> GossipEngine<'t> {
         let mut update_rng = stream_rng(seed, STREAM_UPDATE);
         let mut streams = MessageStreams::new(derive_stream(seed, STREAM_MESSAGES));
         let mut scratch = NodeScratch::with_states(state_count);
-        let mut queue = EventQueue::new();
-        let mut versions = vec![0u64; n];
-
-        let nf = n as f64;
-        match self.scheduler {
-            Scheduler::Sequential => {
-                let node = sched_rng.gen_range(0..n) as u32;
-                queue.push(1.0 / nf, node, EventKind::Activate);
-            }
-            Scheduler::Poisson => {
-                for v in 0..n {
-                    queue.push(exp1(&mut sched_rng), v as u32, EventKind::Activate);
-                }
-            }
-        }
+        let mut queue = EventQueue::new(n);
+        let mut clock = ActivationClock::new(self.scheduler, n, self.rates.as_deref());
+        let mut inboxes: Vec<Inbox> = match self.mode {
+            ExchangeMode::Pull => Vec::new(),
+            ExchangeMode::Push | ExchangeMode::PushPull => vec![Inbox::default(); n],
+        };
+        let mut instant_pushes: Vec<(usize, u32)> = Vec::new();
+        let mut delayed_pushes: Vec<(usize, u32, f64)> = Vec::new();
 
         let max_events = opts.max_events.unwrap_or(u64::MAX);
         let mut events: u64 = 0;
         let mut ticks: u64 = 0;
+        let mut next_act = clock.next(&mut sched_rng);
 
-        while let Some(ev) = queue.pop() {
-            events += 1;
-            stats.final_time = ev.time;
-            let v = ev.node as usize;
-            match ev.kind {
-                EventKind::Commit { state, version } => {
-                    if versions[v] == version {
-                        if apply(&mut states, &mut counts, v, state) {
+        loop {
+            // Queued network events fire before an activation sharing
+            // their timestamp (see the module docs on tie-breaking).
+            let fire_queue = matches!(queue.peek_time(), Some(t) if t <= next_act.0);
+            if fire_queue {
+                let ev = queue.pop().expect("peeked event vanished");
+                events += 1;
+                stats.final_time = ev.time;
+                match ev.kind {
+                    EventKind::Commit { state } => {
+                        if apply(&mut states, &mut counts, ev.node as usize, state) {
                             if let Some(winner) =
                                 evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
                             {
@@ -253,31 +429,139 @@ impl<'t> GossipEngine<'t> {
                                 );
                             }
                         }
-                    } else {
-                        stats.superseded_commits += 1;
+                    }
+                    EventKind::PushArrival { color } => {
+                        stats.pushes_delivered += 1;
+                        if inboxes[ev.node as usize].receive(color) {
+                            stats.inbox_dropped += 1;
+                        }
                     }
                 }
-                EventKind::Activate => {
-                    stats.activations += 1;
-                    versions[v] += 1;
-                    let own = states[v];
-                    let mut sampler = GossipSampler {
-                        topology: self.topology,
-                        states: &states,
-                        node: v,
-                        own,
-                        network: self.network,
-                        streams: &mut streams,
-                        max_extra_ticks: 0.0,
-                        lost: 0,
-                        delayed: 0,
-                    };
-                    let new =
-                        dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
-                    let max_extra = sampler.max_extra_ticks;
-                    stats.lost_messages += sampler.lost;
-                    stats.delayed_messages += sampler.delayed;
+            } else {
+                let (now, node) = next_act;
+                let v = node as usize;
+                events += 1;
+                stats.final_time = now;
+                stats.activations += 1;
+                if queue.cancel(node) {
+                    stats.superseded_commits += 1;
+                }
+                let own = states[v];
 
+                // Run the mode-specific exchange + update; `outcome` is
+                // the new state (None = starved push update) plus the
+                // slowest pull-leg delay gating the recolor commit.
+                let (outcome, max_extra) = match self.mode {
+                    ExchangeMode::Pull => {
+                        let mut sampler = GossipSampler {
+                            topology: self.topology,
+                            states: &states,
+                            node: v,
+                            own,
+                            network: self.network,
+                            streams: &mut streams,
+                            max_extra_ticks: 0.0,
+                            lost: 0,
+                            delayed: 0,
+                        };
+                        let new =
+                            dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
+                        stats.lost_messages += sampler.lost;
+                        stats.delayed_messages += sampler.delayed;
+                        (Some(new), sampler.max_extra_ticks)
+                    }
+                    ExchangeMode::Push => {
+                        // The activation's one call: push own color out.
+                        let fate = self.next_push_fate(v, &mut streams);
+                        match fate {
+                            MessageFate::Lost => stats.lost_messages += 1,
+                            MessageFate::Delivered { peer } => {
+                                stats.pushes_delivered += 1;
+                                if inboxes[peer].receive(own) {
+                                    stats.inbox_dropped += 1;
+                                }
+                            }
+                            MessageFate::Delayed { peer, extra_ticks } => {
+                                stats.delayed_messages += 1;
+                                queue.push(
+                                    now + extra_ticks,
+                                    peer as u32,
+                                    EventKind::PushArrival { color: own },
+                                );
+                            }
+                        }
+                        // Then try to update from the inbox.
+                        let mut sampler = InboxSampler {
+                            inbox: &inboxes[v],
+                            cursor: 0,
+                            own,
+                            starved: false,
+                        };
+                        let new =
+                            dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
+                        let (starved, consumed) = (sampler.starved, sampler.cursor);
+                        if starved {
+                            // A starved update with a *full* inbox can
+                            // never be satisfied: the rule draws more
+                            // samples than the inbox can ever hold, and
+                            // the trial would silently livelock until
+                            // max_rounds.  Fail loudly instead.
+                            assert!(
+                                inboxes[v].len() < crate::modes::INBOX_CAP,
+                                "dynamics '{}' draws more than INBOX_CAP = {} samples per \
+                                 update; PUSH mode cannot serve it (use PULL or PUSH-PULL)",
+                                dynamics.name(),
+                                crate::modes::INBOX_CAP
+                            );
+                            stats.starved_updates += 1;
+                            (None, 0.0)
+                        } else {
+                            stats.inbox_served += consumed as u64;
+                            inboxes[v].consume(consumed);
+                            (Some(new), 0.0)
+                        }
+                    }
+                    ExchangeMode::PushPull => {
+                        instant_pushes.clear();
+                        delayed_pushes.clear();
+                        let mut sampler = PushPullSampler {
+                            topology: self.topology,
+                            states: &states,
+                            node: v,
+                            own,
+                            network: self.network,
+                            streams: &mut streams,
+                            inbox: &inboxes[v],
+                            cursor: 0,
+                            instant_pushes: &mut instant_pushes,
+                            delayed_pushes: &mut delayed_pushes,
+                            max_extra_ticks: 0.0,
+                            lost: 0,
+                            delayed: 0,
+                            inbox_served: 0,
+                        };
+                        let new =
+                            dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
+                        let max_extra = sampler.max_extra_ticks;
+                        let consumed = sampler.cursor;
+                        stats.lost_messages += sampler.lost;
+                        stats.delayed_messages += sampler.delayed;
+                        stats.inbox_served += sampler.inbox_served;
+                        inboxes[v].consume(consumed);
+                        for &(peer, color) in instant_pushes.iter() {
+                            stats.pushes_delivered += 1;
+                            if inboxes[peer].receive(color) {
+                                stats.inbox_dropped += 1;
+                            }
+                        }
+                        for &(peer, color, extra) in delayed_pushes.iter() {
+                            queue.push(now + extra, peer as u32, EventKind::PushArrival { color });
+                        }
+                        (Some(new), max_extra)
+                    }
+                };
+
+                if let Some(new) = outcome {
                     if max_extra == 0.0 {
                         if apply(&mut states, &mut counts, v, new) {
                             if let Some(winner) =
@@ -298,42 +582,21 @@ impl<'t> GossipEngine<'t> {
                             }
                         }
                     } else {
-                        queue.push(
-                            ev.time + max_extra,
-                            ev.node,
-                            EventKind::Commit {
-                                state: new,
-                                version: versions[v],
-                            },
-                        );
+                        queue.push(now + max_extra, node, EventKind::Commit { state: new });
                     }
+                }
 
-                    // Schedule the next activation.
-                    match self.scheduler {
-                        Scheduler::Sequential => {
-                            let node = sched_rng.gen_range(0..n) as u32;
-                            let time = (stats.activations + 1) as f64 / nf;
-                            queue.push(time, node, EventKind::Activate);
-                        }
-                        Scheduler::Poisson => {
-                            queue.push(
-                                ev.time + exp1(&mut sched_rng),
-                                ev.node,
-                                EventKind::Activate,
-                            );
-                        }
+                next_act = clock.next(&mut sched_rng);
+
+                // Tick boundary: n activations = one unit of parallel
+                // time.
+                if stats.activations % n as u64 == 0 {
+                    ticks += 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.record(ticks, &counts, k_colors, full);
                     }
-
-                    // Tick boundary: n activations = one unit of parallel
-                    // time.
-                    if stats.activations % n as u64 == 0 {
-                        ticks += 1;
-                        if let Some(t) = trace.as_mut() {
-                            t.record(ticks, &counts, k_colors, full);
-                        }
-                        if ticks >= opts.max_rounds {
-                            break;
-                        }
+                    if ticks >= opts.max_rounds {
+                        break;
                     }
                 }
             }
@@ -352,6 +615,13 @@ impl<'t> GossipEngine<'t> {
             trace,
         };
         (result, stats)
+    }
+
+    /// Draw the fate of a PUSH-mode send from node `v` (loss, peer,
+    /// delay — the same per-message stream layout as a PULL request).
+    fn next_push_fate(&self, v: usize, streams: &mut MessageStreams) -> MessageFate {
+        let topology = self.topology;
+        streams.next_fate(&self.network, |mrng| topology.sample_neighbor(v, mrng))
     }
 }
 
@@ -426,6 +696,12 @@ mod tests {
         )
     }
 
+    const ALL_MODES: [ExchangeMode; 3] = [
+        ExchangeMode::Pull,
+        ExchangeMode::Push,
+        ExchangeMode::PushPull,
+    ];
+
     #[test]
     fn converges_on_clique_with_bias() {
         let (clique, cfg) = clique_engine(2_000);
@@ -446,6 +722,29 @@ mod tests {
             }
         }
         assert!(wins >= 4, "won only {wins}/5");
+    }
+
+    #[test]
+    fn every_mode_converges_on_clique_with_bias() {
+        let (clique, cfg) = clique_engine(1_500);
+        let d = ThreeMajority::new();
+        for mode in ALL_MODES {
+            let engine = GossipEngine::new(&clique).with_mode(mode);
+            let r = engine.run(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(20_000),
+                2024,
+            );
+            assert_eq!(
+                r.reason,
+                StopReason::Stopped,
+                "{} did not stop",
+                mode.name()
+            );
+            assert!(r.success, "{} lost the plurality", mode.name());
+        }
     }
 
     #[test]
@@ -475,9 +774,7 @@ mod tests {
         let (b, sb) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 9);
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.winner, b.winner);
-        assert_eq!(sa.activations, sb.activations);
-        assert_eq!(sa.messages, sb.messages);
-        assert_eq!(sa.lost_messages, sb.lost_messages);
+        assert_eq!(sa, sb);
         let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
         assert_eq!(ta.rounds.len(), tb.rounds.len());
         for (x, y) in ta.rounds.iter().zip(&tb.rounds) {
@@ -523,6 +820,75 @@ mod tests {
     }
 
     #[test]
+    fn push_mode_sends_one_message_per_activation() {
+        let (clique, cfg) = clique_engine(600);
+        let engine = GossipEngine::new(&clique).with_mode(ExchangeMode::Push);
+        let (r, stats) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(50_000),
+            21,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert_eq!(stats.messages, stats.activations, "one push per activation");
+        assert!(stats.starved_updates > 0, "early updates must starve");
+        // Every completed 3-majority update consumed 3 inbox colors.
+        assert_eq!(stats.inbox_served % 3, 0);
+        assert!(stats.inbox_served > 0);
+    }
+
+    #[test]
+    fn push_pull_mode_saves_fresh_calls() {
+        let (clique, cfg) = clique_engine(900);
+        let engine = GossipEngine::new(&clique).with_mode(ExchangeMode::PushPull);
+        let (r, stats) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(20_000),
+            22,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(r.success);
+        // Each activation draws 3 samples; inbox-served samples need no
+        // fresh exchange, so traffic sits strictly between 0 and 3/act.
+        assert_eq!(stats.messages + stats.inbox_served, 3 * stats.activations);
+        assert!(stats.inbox_served > 0, "push legs never got consumed");
+        assert!(stats.pushes_delivered > 0);
+    }
+
+    #[test]
+    fn heterogeneous_rates_accepted_by_both_schedulers() {
+        let (clique, cfg) = clique_engine(400);
+        let mut rates = vec![1.0; 400];
+        for r in rates.iter_mut().take(200) {
+            *r = 5.0;
+        }
+        for scheduler in [Scheduler::Sequential, Scheduler::Poisson] {
+            let engine = GossipEngine::new(&clique)
+                .with_scheduler(scheduler)
+                .with_node_rates(rates.clone());
+            let r = engine.run(
+                &ThreeMajority::new(),
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(20_000),
+                33,
+            );
+            assert_eq!(r.reason, StopReason::Stopped, "{}", scheduler.name());
+            assert!(r.success, "{}", scheduler.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation rate per node")]
+    fn rate_vector_length_checked_against_topology() {
+        let clique = Clique::new(10);
+        let _ = GossipEngine::new(&clique).with_node_rates(vec![1.0; 9]);
+    }
+
+    #[test]
     fn lossy_network_still_converges_and_counts() {
         let (clique, cfg) = clique_engine(1_000);
         let engine = GossipEngine::new(&clique).with_network(NetworkConfig::new(0.0, 0.2));
@@ -553,6 +919,26 @@ mod tests {
         assert_eq!(r.reason, StopReason::Stopped);
         assert!(stats.delayed_messages > 0);
         assert!(r.success);
+    }
+
+    #[test]
+    fn delayed_push_legs_arrive_late_but_arrive() {
+        let (clique, cfg) = clique_engine(700);
+        for mode in [ExchangeMode::Push, ExchangeMode::PushPull] {
+            let engine = GossipEngine::new(&clique)
+                .with_mode(mode)
+                .with_network(NetworkConfig::new(0.6, 0.0));
+            let (r, stats) = engine.run_detailed(
+                &ThreeMajority::new(),
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(50_000),
+                27,
+            );
+            assert_eq!(r.reason, StopReason::Stopped, "{}", mode.name());
+            assert!(stats.delayed_messages > 0, "{}", mode.name());
+            assert!(stats.pushes_delivered > 0, "{}", mode.name());
+        }
     }
 
     #[test]
@@ -637,6 +1023,26 @@ mod tests {
     }
 
     #[test]
+    fn voter_push_matches_classic_push_voter() {
+        // 1-sample voter under push: every delivered color is adopted at
+        // the receiver's next activation — the classic push voter model
+        // absorbs on a biased clique.  Inbox staleness low-pass filters
+        // the voter's fluctuations, so absorption is much slower than
+        // classic pull voter — keep n small.
+        let clique = Clique::new(100);
+        let cfg = builders::biased(100, 2, 25);
+        let engine = GossipEngine::new(&clique).with_mode(ExchangeMode::Push);
+        let r = engine.run(
+            &Voter,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(200_000),
+            15,
+        );
+        assert_eq!(r.reason, StopReason::Stopped, "push voter must absorb");
+    }
+
+    #[test]
     fn runs_on_sparse_topology() {
         let g = ring(301);
         let cfg = builders::biased(301, 2, 101);
@@ -687,25 +1093,47 @@ mod tests {
 
     #[test]
     fn trace_counts_match_population() {
-        let (clique, cfg) = clique_engine(900);
-        let engine = GossipEngine::new(&clique).with_network(NetworkConfig::new(0.4, 0.1));
-        let r = engine.run(
-            &ThreeMajority::new(),
+        for mode in ALL_MODES {
+            let (clique, cfg) = clique_engine(900);
+            let engine = GossipEngine::new(&clique)
+                .with_mode(mode)
+                .with_network(NetworkConfig::new(0.4, 0.1));
+            let r = engine.run(
+                &ThreeMajority::new(),
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(10_000).traced(),
+                19,
+            );
+            let trace = r.trace.unwrap();
+            assert!(!trace.rounds.is_empty());
+            for s in &trace.rounds {
+                assert_eq!(
+                    s.plurality_count + s.minority_mass + s.extra_state_mass,
+                    900,
+                    "{} tick {}",
+                    mode.name(),
+                    s.round
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than INBOX_CAP")]
+    fn push_mode_rejects_rules_drawing_more_samples_than_the_inbox_holds() {
+        // h-plurality with h > INBOX_CAP can never complete a push-served
+        // update; the engine must fail loudly instead of livelocking.
+        let clique = Clique::new(200);
+        let cfg = builders::biased(200, 3, 50);
+        let engine = GossipEngine::new(&clique).with_mode(ExchangeMode::Push);
+        let _ = engine.run(
+            &plurality_core::HPlurality::new(crate::modes::INBOX_CAP + 1),
             &cfg,
             Placement::Shuffled,
-            &RunOptions::with_max_rounds(10_000).traced(),
-            19,
+            &RunOptions::with_max_rounds(1_000),
+            5,
         );
-        let trace = r.trace.unwrap();
-        assert!(!trace.rounds.is_empty());
-        for s in &trace.rounds {
-            assert_eq!(
-                s.plurality_count + s.minority_mass + s.extra_state_mass,
-                900,
-                "tick {}",
-                s.round
-            );
-        }
     }
 
     #[test]

@@ -6,67 +6,90 @@
 //! follow-up literature (*Plurality Consensus in the Gossip Model*,
 //! Becchetti et al. 2014; *Fast Consensus via the Unconstrained Undecided
 //! State Dynamics*, Bankhamer et al. 2021) asks what survives under
-//! **asynchrony** and **unreliable communication**.  This crate answers
-//! that question experimentally for every [`plurality_core::Dynamics`],
-//! through the same run/trace/result contract as the synchronous engines,
-//! so Monte-Carlo runners, analysis, experiments, and the CLI compose
-//! with it unchanged.
+//! **asynchrony**, **unreliable communication**, and the **PUSH/PULL
+//! trade-off**.  This crate answers those questions experimentally for
+//! every [`plurality_core::Dynamics`], through the same
+//! run/trace/result contract as the synchronous engines, so Monte-Carlo
+//! runners, analysis, experiments, and the CLI compose with it
+//! unchanged.
 //!
 //! # Model
 //!
-//! Nodes activate one at a time.  An activating node performs one
-//! application of its dynamics' update rule by issuing PULL-gossip sample
-//! requests (one message per sample the rule draws) and recoloring from
-//! the responses.  Two [`Scheduler`]s decide *when* nodes activate:
+//! Nodes activate one at a time.  What an activation *does* is chosen by
+//! the [`ExchangeMode`]:
+//!
+//! * [`ExchangeMode::Pull`] — the node issues PULL sample requests (one
+//!   message per sample its rule draws) and recolors from the responses.
+//!   This is the paper's model and the default.
+//! * [`ExchangeMode::Push`] — the node sends its own color to one random
+//!   peer; received colors queue in per-node inboxes, and a node's rule
+//!   runs (at its own activation) only once its inbox can answer every
+//!   sample — see [`crate::modes`] for the starvation semantics.
+//! * [`ExchangeMode::PushPull`] — every sample request is a
+//!   bidirectional call: the peer's color comes back (pull leg) while
+//!   the caller's color lands in the peer's inbox (push leg); later
+//!   activations consume the inbox before placing fresh calls.  Network
+//!   loss/delay strike each leg independently.
+//!
+//! *When* nodes activate is the [`Scheduler`]'s job:
 //!
 //! * [`Scheduler::Sequential`] — a discrete-time sequential process: at
-//!   each step one uniformly random node activates.  Step `i` happens at
+//!   each step one random node activates (uniformly, or
+//!   rate-proportionally under heterogeneous rates).  Step `i` happens at
 //!   time `i/n`, so one unit of time ("tick") is `n` activations — the
 //!   asynchronous analogue of one synchronous round.
-//! * [`Scheduler::Poisson`] — each node carries an independent unit-rate
-//!   Poisson clock (i.i.d. `Exp(1)` waiting times) simulated with a
-//!   binary-heap event queue.  Since the minimum of `n` unit-rate
-//!   exponentials lands on a uniformly random node, the *embedded jump
-//!   chain* of this scheduler is exactly the sequential process; only the
-//!   real-time stamps differ.  The cross-validation tests pin this down.
+//! * [`Scheduler::Poisson`] — each node carries an independent Poisson
+//!   clock (rate 1, or its own rate from
+//!   [`GossipEngine::with_node_rates`]).  The superposition theorem makes
+//!   this exact *without* per-node heap entries: the union of the clocks
+//!   is one Poisson process of the total rate whose events land on nodes
+//!   rate-proportionally, so each activation costs `O(1)` (uniform
+//!   rates) instead of `O(log n)` heap traffic — see [`crate::scheduler`]
+//!   for the event-queue design and `BENCH_gossip_scheduler.json` for
+//!   the measured gap to the sequential scheduler.  The embedded jump
+//!   chain is exactly the sequential process; only real-time stamps
+//!   differ.  The cross-validation tests pin this down.
 //!
-//! Network conditions apply per message ([`NetworkConfig`]):
+//! Network conditions apply per message — and, for PUSH-PULL, per *leg*
+//! ([`NetworkConfig`]):
 //!
-//! * **loss** — with probability `loss_fraction` a sample request is
-//!   dropped; the requester falls back to its *own* current color for
-//!   that sample slot (a node can always count itself).
-//! * **delay** — with probability `delay_fraction` a response is slow:
-//!   its payload is still the peer's state at request time, but it
-//!   arrives after an `Exp(1)`-distributed extra time (in ticks).  The
-//!   requesting node's recolor only *commits* once its slowest response
-//!   arrives; if the node activates again first, the stale pending
-//!   commit is superseded (last activation wins).  In between, other
-//!   nodes keep observing the requester's old color — exactly the stale
-//!   reads delayed messages cause in a real gossip network.
+//! * **loss** — with probability `loss_fraction` a payload is dropped.
+//!   A lost PULL sample falls back to the requester's *own* current
+//!   color (a node can always count itself); a lost push leg simply
+//!   never reaches the peer's inbox.
+//! * **delay** — with probability `delay_fraction` a payload is slow: it
+//!   still carries the state read at send time, but lands after an
+//!   `Exp(1)`-distributed extra time (in ticks).  A delayed PULL response
+//!   gates the requester's recolor (the commit is superseded if the node
+//!   activates again first — last activation wins); a delayed push leg
+//!   parks in the event queue and joins the peer's inbox late.
 //!
 //! Every message draws its loss/delay/peer randomness from its own
 //! deterministic RNG stream (`stream_rng(message_master, message_index)`),
-//! so a trial is a pure function of `(seed, scheduler, network)` and the
-//! network-condition grid of an experiment cannot perturb the scheduler's
-//! randomness.
+//! so a trial is a pure function of `(seed, mode, scheduler, rates,
+//! network)` and the condition grid of an experiment cannot perturb the
+//! scheduler's randomness.
 //!
-//! With `delay_fraction = 0` and `loss_fraction = 0`, the engine is the
-//! standard asynchronous (sequential-activation) version of the dynamics;
-//! on the clique its convergence statistics match the synchronous
-//! engines' within statistical tolerance (see `tests/gossip_vs_sync.rs`
-//! at the workspace root).
+//! With the default PULL mode, `delay_fraction = 0` and `loss_fraction =
+//! 0`, the engine is the standard asynchronous (sequential-activation)
+//! version of the dynamics; on the clique its convergence statistics
+//! match the synchronous engines' within statistical tolerance, and the
+//! PUSH-PULL variant matches PULL's convergence law (see
+//! `tests/gossip_vs_sync.rs` and `tests/gossip_modes.rs` at the
+//! workspace root).
 //!
 //! # Quick start
 //!
 //! ```
 //! use plurality_core::{builders, ThreeMajority};
 //! use plurality_engine::{Placement, RunOptions};
-//! use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+//! use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
 //! use plurality_topology::Clique;
 //!
 //! let clique = Clique::new(2_000);
 //! let cfg = builders::biased(2_000, 4, 800);
 //! let engine = GossipEngine::new(&clique)
+//!     .with_mode(ExchangeMode::PushPull)
 //!     .with_scheduler(Scheduler::Poisson)
 //!     .with_network(NetworkConfig::new(0.25, 0.02));
 //! let r = engine.run(
@@ -83,9 +106,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod modes;
 pub mod network;
 pub mod scheduler;
 
 pub use engine::{GossipEngine, GossipStats};
-pub use network::NetworkConfig;
-pub use scheduler::Scheduler;
+pub use modes::{ExchangeMode, Inbox, INBOX_CAP};
+pub use network::{ExchangeFate, LegFate, NetworkConfig};
+pub use scheduler::{ActivationClock, EventKind, EventQueue, Scheduler};

@@ -1,0 +1,170 @@
+//! Gossip exchange modes: who learns whose color when a node activates.
+//!
+//! The paper's dynamics are stated in the uniform-PULL model (every node
+//! *reads* random peers).  Its companion work — *Plurality Consensus in
+//! the Gossip Model* (Becchetti et al. 2014) — studies the symmetric
+//! PUSH and PUSH-PULL variants, which this module expresses:
+//!
+//! * [`ExchangeMode::Pull`] — the activating node issues one PULL sample
+//!   request per sample its rule draws and recolors from the responses
+//!   (PR 1 semantics, bit-for-bit).
+//! * [`ExchangeMode::Push`] — the activating node *sends* its current
+//!   color to one random peer per activation (the gossip model's "one
+//!   call per activation").  Received colors accumulate in the peer's
+//!   [`Inbox`]; a node applies its update rule at its own activation
+//!   **only when the inbox holds enough samples** — otherwise the update
+//!   is starved and skipped.  For the 3-majority rule this means one
+//!   update per ~3 receipts, the honest cost of push-only gossip for
+//!   multi-sample rules.  Rules drawing more than [`INBOX_CAP`] samples
+//!   per update can never be served and are rejected with a panic (the
+//!   engine detects a starved update against a full inbox).
+//! * [`ExchangeMode::PushPull`] — every sample request is a
+//!   bidirectional call: the contacted peer's color travels back (the
+//!   pull leg, recoloring the caller) *and* the caller's color travels
+//!   forward into the peer's inbox (the push leg).  Later activations
+//!   serve their samples from the inbox first and only place fresh calls
+//!   for the remainder, so in steady state one call funds two reads.
+//!   Network loss and delay apply independently per leg.
+
+use std::collections::VecDeque;
+
+/// Maximum buffered pushed colors per node; when full the **oldest**
+/// entry is evicted (freshest information wins).  The cap is
+/// deliberately small: receipt and consumption rates are both ≈ 1 per
+/// tick, so an uncapped inbox depth performs an unbiased random walk and
+/// drifts `√t` deep — and every buffered entry adds one activation of
+/// staleness to future samples, which visibly freezes
+/// fluctuation-driven dynamics (the push voter).  A small cap keeps
+/// sample staleness bounded by a few ticks, which is also what a real
+/// push receiver does: keep the freshest handful of messages.
+pub const INBOX_CAP: usize = 8;
+
+/// Which directions colors travel in one gossip exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeMode {
+    /// The activating node reads random peers (the paper's model).
+    #[default]
+    Pull,
+    /// The activating node writes its color to a random peer.
+    Push,
+    /// Both: each call carries one color per direction.
+    PushPull,
+}
+
+impl ExchangeMode {
+    /// Parse a CLI name.
+    ///
+    /// # Errors
+    /// Returns the unknown name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "pull" => Ok(Self::Pull),
+            "push" => Ok(Self::Push),
+            "push-pull" | "pushpull" => Ok(Self::PushPull),
+            other => Err(format!(
+                "unknown exchange mode '{other}' (expected 'pull', 'push', or 'push-pull')"
+            )),
+        }
+    }
+
+    /// Mode name for labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Pull => "pull",
+            Self::Push => "push",
+            Self::PushPull => "push-pull",
+        }
+    }
+}
+
+/// Bounded FIFO of pushed colors awaiting consumption by a node's update
+/// rule (see [`INBOX_CAP`]).
+#[derive(Debug, Default, Clone)]
+pub struct Inbox {
+    colors: VecDeque<u32>,
+}
+
+impl Inbox {
+    /// Buffer a received color; returns `true` when the oldest entry had
+    /// to be evicted to make room.
+    pub fn receive(&mut self, color: u32) -> bool {
+        let dropped = self.colors.len() == INBOX_CAP;
+        if dropped {
+            self.colors.pop_front();
+        }
+        self.colors.push_back(color);
+        dropped
+    }
+
+    /// Buffered color at `idx` (0 = oldest) without consuming it.
+    #[must_use]
+    pub fn peek(&self, idx: usize) -> Option<u32> {
+        self.colors.get(idx).copied()
+    }
+
+    /// Consume the `count` oldest entries (after a successful update).
+    pub fn consume(&mut self, count: usize) {
+        debug_assert!(count <= self.colors.len());
+        self.colors.drain(..count.min(self.colors.len()));
+    }
+
+    /// Buffered entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// No entries buffered?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_roundtrip() {
+        for m in [
+            ExchangeMode::Pull,
+            ExchangeMode::Push,
+            ExchangeMode::PushPull,
+        ] {
+            assert_eq!(ExchangeMode::from_name(m.name()).unwrap(), m);
+        }
+        assert_eq!(
+            ExchangeMode::from_name("pushpull").unwrap(),
+            ExchangeMode::PushPull
+        );
+        assert!(ExchangeMode::from_name("gossip").is_err());
+    }
+
+    #[test]
+    fn inbox_is_fifo() {
+        let mut inbox = Inbox::default();
+        for c in [3u32, 1, 4] {
+            assert!(!inbox.receive(c));
+        }
+        assert_eq!(inbox.peek(0), Some(3));
+        assert_eq!(inbox.peek(2), Some(4));
+        assert_eq!(inbox.peek(3), None);
+        inbox.consume(2);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox.peek(0), Some(4));
+    }
+
+    #[test]
+    fn inbox_evicts_oldest_at_cap() {
+        let mut inbox = Inbox::default();
+        for c in 0..INBOX_CAP as u32 {
+            assert!(!inbox.receive(c));
+        }
+        assert!(inbox.receive(999), "cap reached: eviction expected");
+        assert_eq!(inbox.len(), INBOX_CAP);
+        assert_eq!(inbox.peek(0), Some(1), "oldest entry evicted");
+        assert_eq!(inbox.peek(INBOX_CAP - 1), Some(999));
+    }
+}

@@ -75,6 +75,34 @@ pub enum MessageFate {
     },
 }
 
+/// The fate of one *leg* of a bidirectional PUSH-PULL exchange (the peer
+/// is shared by both legs; loss and delay strike each leg independently).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LegFate {
+    /// This leg's payload is dropped.
+    Lost,
+    /// This leg's payload arrives instantly.
+    Instant,
+    /// This leg's payload arrives `extra_ticks` later.
+    Delayed {
+        /// Additional in-flight time, in ticks (`Exp(1)`-distributed).
+        extra_ticks: f64,
+    },
+}
+
+/// The fate of one bidirectional PUSH-PULL exchange: the caller pulls the
+/// peer's color (the `pull` leg) while its own color travels to the peer
+/// (the `push` leg).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeFate {
+    /// Index of the contacted peer.
+    pub peer: usize,
+    /// Peer → caller leg (the caller's sample).
+    pub pull: LegFate,
+    /// Caller → peer leg (lands in the peer's inbox).
+    pub push: LegFate,
+}
+
 /// Deterministic per-message randomness.
 ///
 /// Message `m` of a trial draws everything about itself — loss, peer
@@ -123,6 +151,37 @@ impl MessageStreams {
         }
         MessageFate::Delivered { peer }
     }
+
+    /// Decide the fate of the next message when it is a bidirectional
+    /// PUSH-PULL exchange: one peer draw, then loss/delay independently
+    /// per leg (pull leg first, then push leg — a fixed order within the
+    /// message's own stream, so exchanges stay deterministic per index).
+    pub fn next_exchange(
+        &mut self,
+        network: &NetworkConfig,
+        sample_peer: impl FnOnce(&mut Xoshiro256PlusPlus) -> usize,
+    ) -> ExchangeFate {
+        let mut rng = stream_rng(self.master, self.next_index);
+        self.next_index += 1;
+
+        let peer = sample_peer(&mut rng);
+        let pull = leg_fate(network, &mut rng);
+        let push = leg_fate(network, &mut rng);
+        ExchangeFate { peer, pull, push }
+    }
+}
+
+/// Draw one leg's fate: loss check, then delay check (plus duration).
+fn leg_fate(network: &NetworkConfig, rng: &mut Xoshiro256PlusPlus) -> LegFate {
+    if network.loss_fraction > 0.0 && rng.gen::<f64>() < network.loss_fraction {
+        return LegFate::Lost;
+    }
+    if network.delay_fraction > 0.0 && rng.gen::<f64>() < network.delay_fraction {
+        return LegFate::Delayed {
+            extra_ticks: crate::scheduler::exp1(rng),
+        };
+    }
+    LegFate::Instant
 }
 
 #[cfg(test)]
@@ -204,5 +263,63 @@ mod tests {
     #[should_panic(expected = "out of [0, 1]")]
     fn invalid_fraction_rejected() {
         let _ = NetworkConfig::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn ideal_exchange_delivers_both_legs() {
+        let net = NetworkConfig::default();
+        let mut ms = MessageStreams::new(5);
+        for _ in 0..500 {
+            let x = ms.next_exchange(&net, |rng| rng.gen_range(0..10usize));
+            assert!(x.peer < 10);
+            assert_eq!(x.pull, LegFate::Instant);
+            assert_eq!(x.push, LegFate::Instant);
+        }
+    }
+
+    #[test]
+    fn exchange_legs_fail_independently() {
+        // With loss 0.5 the four (pull, push) loss patterns must each
+        // show up at ≈ 1/4 — the legs may not share one coin.
+        let net = NetworkConfig::new(0.0, 0.5);
+        let mut ms = MessageStreams::new(6);
+        let trials = 40_000;
+        let mut both = 0usize;
+        let mut pull_only = 0usize;
+        let mut push_only = 0usize;
+        let mut neither = 0usize;
+        for _ in 0..trials {
+            let x = ms.next_exchange(&net, |rng| rng.gen_range(0..10usize));
+            match (x.pull == LegFate::Lost, x.push == LegFate::Lost) {
+                (true, true) => both += 1,
+                (true, false) => pull_only += 1,
+                (false, true) => push_only += 1,
+                (false, false) => neither += 1,
+            }
+        }
+        for (label, count) in [
+            ("both", both),
+            ("pull-only", pull_only),
+            ("push-only", push_only),
+            ("neither", neither),
+        ] {
+            let frac = count as f64 / trials as f64;
+            assert!(
+                (frac - 0.25).abs() < 0.02,
+                "loss pattern {label} at {frac}, expected ≈ 0.25"
+            );
+        }
+    }
+
+    #[test]
+    fn exchanges_are_deterministic_per_index() {
+        let net = NetworkConfig::new(0.4, 0.3);
+        let mut a = MessageStreams::new(12);
+        let mut b = MessageStreams::new(12);
+        for _ in 0..200 {
+            let xa = a.next_exchange(&net, |rng| rng.gen_range(0..7usize));
+            let xb = b.next_exchange(&net, |rng| rng.gen_range(0..7usize));
+            assert_eq!(xa, xb);
+        }
     }
 }

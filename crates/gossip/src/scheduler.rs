@@ -1,4 +1,41 @@
-//! Activation schedulers and the deterministic binary-heap event queue.
+//! Activation scheduling and the lazy-deletion indexed event queue.
+//!
+//! # Scheduler design
+//!
+//! PR 1 simulated the Poisson scheduler by keeping **one heap entry per
+//! node** (each node's next clock tick), which made every activation a
+//! `pop` + `push` on a heap of size `n` — measured at 3–7× the cost of
+//! the sequential scheduler (`BENCH_gossip_baseline.json`).  The current
+//! design removes activations from the heap entirely:
+//!
+//! * **Activations** are drawn directly by an [`ActivationClock`].  For
+//!   the Poisson scheduler this uses the superposition theorem: the union
+//!   of `n` independent Poisson clocks with rates `r_v` is one Poisson
+//!   process of rate `R = Σ r_v` whose events land on node `v` with
+//!   probability `r_v / R`.  Each activation therefore costs one `Exp(R)`
+//!   waiting-time draw plus one node draw — `O(1)` for uniform rates, one
+//!   binary search over the cumulative rate table for heterogeneous
+//!   rates — instead of `O(log n)` heap traffic on a size-`n` heap.  The
+//!   law is *exactly* the same; only the PRNG consumption pattern (and
+//!   hence individual Poisson trajectories) differs from PR 1.
+//! * **Network events** (delayed recolor commits, in-flight pushed
+//!   colors) go through the [`EventQueue`], a binary heap with **lazy
+//!   deletion**: each node carries a generation counter, cancelable
+//!   entries are stamped with the generation current at push time, and
+//!   [`EventQueue::cancel`] simply bumps the counter — stale entries are
+//!   skipped (and discarded) when they surface on [`EventQueue::pop`].
+//!   The queue only ever holds in-flight network events, so it stays far
+//!   smaller than `n` in every regime.
+//!
+//! # Tie-breaking (deterministic FIFO)
+//!
+//! `BinaryHeap` alone leaves the order of equal-priority entries
+//! implementation-defined.  The queue therefore orders events by the
+//! pair `(time, seq)` where `seq` is the insertion sequence number:
+//! **events with equal timestamps fire in insertion (FIFO) order**.
+//! This is part of the queue's contract, pinned by unit and property
+//! tests (`tests/event_queue.rs`), so the processing order of a trial is
+//! a pure function of the seed on every platform.
 
 use plurality_sampling::Xoshiro256PlusPlus;
 use rand::Rng;
@@ -9,12 +46,14 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scheduler {
     /// Discrete sequential activation: at step `i` (time `i/n`) one
-    /// uniformly random node activates.
+    /// random node activates (uniformly, or rate-proportionally when
+    /// heterogeneous rates are configured).
     #[default]
     Sequential,
-    /// Independent unit-rate Poisson clock per node (`Exp(1)` waiting
-    /// times), simulated via the event queue.  Its embedded jump chain is
-    /// the sequential process; real-time stamps differ.
+    /// Independent Poisson clock per node (`Exp(rate)` waiting times),
+    /// simulated through the exact superposition construction (see the
+    /// module docs).  Its embedded jump chain is the sequential process;
+    /// only the real-time stamps differ.
     Poisson,
 }
 
@@ -43,19 +82,114 @@ impl Scheduler {
     }
 }
 
-/// What happens when an event fires.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Draws the activation sequence `(time, node)` directly, without heap
+/// traffic (see the module docs for the superposition argument).
+#[derive(Debug)]
+pub struct ActivationClock {
+    scheduler: Scheduler,
+    n: usize,
+    nf: f64,
+    /// Activations drawn so far (drives sequential timestamps).
+    count: u64,
+    /// Current simulated time (Poisson only).
+    now: f64,
+    /// Cumulative rate table (heterogeneous rates only).
+    cum_rates: Vec<f64>,
+    /// Total activation rate `R = Σ r_v` (`n` for uniform unit rates).
+    total_rate: f64,
+}
+
+impl ActivationClock {
+    /// Clock over `n` nodes.  `rates`, when given, must hold one strictly
+    /// positive finite rate per node; `None` means unit rates for all.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, a rates slice has the wrong length, or any
+    /// rate is non-finite or `<= 0`.
+    #[must_use]
+    pub fn new(scheduler: Scheduler, n: usize, rates: Option<&[f64]>) -> Self {
+        assert!(n > 0, "activation clock over an empty population");
+        let (cum_rates, total_rate) = match rates {
+            None => (Vec::new(), n as f64),
+            Some(rs) => {
+                assert_eq!(rs.len(), n, "need one activation rate per node");
+                let mut cum = Vec::with_capacity(n);
+                let mut acc = 0.0f64;
+                for (v, &r) in rs.iter().enumerate() {
+                    assert!(
+                        r.is_finite() && r > 0.0,
+                        "node {v} has invalid activation rate {r}"
+                    );
+                    acc += r;
+                    cum.push(acc);
+                }
+                (cum, acc)
+            }
+        };
+        Self {
+            scheduler,
+            n,
+            nf: n as f64,
+            count: 0,
+            now: 0.0,
+            cum_rates,
+            total_rate,
+        }
+    }
+
+    /// Number of activations drawn so far.
+    #[must_use]
+    pub fn activations(&self) -> u64 {
+        self.count
+    }
+
+    /// Draw the next activation as `(absolute time in ticks, node)`.
+    ///
+    /// Sequential: activation `i` (1-based) fires at time `i/n`; the node
+    /// is drawn uniformly (or rate-proportionally).  Poisson: the waiting
+    /// time is `Exp(R)` and the node is drawn with probability `r_v / R`
+    /// (uniformly for unit rates).
+    pub fn next(&mut self, rng: &mut Xoshiro256PlusPlus) -> (f64, u32) {
+        self.count += 1;
+        let time = match self.scheduler {
+            Scheduler::Sequential => self.count as f64 / self.nf,
+            Scheduler::Poisson => {
+                self.now += exp1(rng) / self.total_rate;
+                self.now
+            }
+        };
+        let node = if self.cum_rates.is_empty() {
+            rng.gen_range(0..self.n) as u32
+        } else {
+            self.sample_rated(rng)
+        };
+        (time, node)
+    }
+
+    /// Rate-proportional node draw via binary search on the cumulative
+    /// rate table.
+    fn sample_rated(&self, rng: &mut Xoshiro256PlusPlus) -> u32 {
+        let u: f64 = rng.gen::<f64>() * self.total_rate;
+        let idx = self.cum_rates.partition_point(|&c| c <= u);
+        idx.min(self.n - 1) as u32
+    }
+}
+
+/// What happens when a queued network event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
-    /// A node activates and applies its update rule.
-    Activate,
-    /// A previously computed recolor of `node` lands (delayed responses
-    /// arrived).  Applied only if the node has not activated again since
-    /// `version` was stamped.
+    /// A previously computed recolor of the node lands (its slowest
+    /// delayed PULL response arrived).  Cancelable: a newer activation of
+    /// the same node supersedes it via [`EventQueue::cancel`].
     Commit {
         /// The new state to apply.
         state: u32,
-        /// The node's activation counter at computation time.
-        version: u64,
+    },
+    /// A pushed color arrives at the node's inbox after a network delay.
+    /// Not cancelable — pushed colors always land.
+    PushArrival {
+        /// The pushed state.
+        color: u32,
     },
 }
 
@@ -64,20 +198,27 @@ pub enum EventKind {
 pub struct Event {
     /// Absolute firing time in ticks.
     pub time: f64,
-    /// Insertion sequence number — the deterministic tie-breaker, so the
-    /// processing order is a pure function of the seed.
+    /// Insertion sequence number — the deterministic FIFO tie-breaker at
+    /// equal timestamps, so the processing order is a pure function of
+    /// the seed (see the module docs).
     pub seq: u64,
     /// The node concerned.
     pub node: u32,
     /// Payload.
     pub kind: EventKind,
+    /// Generation stamp for cancelable entries (`u64::MAX` = immortal).
+    generation: u64,
 }
+
+/// Generation stamp of entries that [`EventQueue::cancel`] never deletes.
+const IMMORTAL: u64 = u64::MAX;
 
 impl Eq for Event {}
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first,
+        // FIFO (smallest seq first) among equal times.
         other
             .time
             .total_cmp(&self.time)
@@ -91,48 +232,134 @@ impl PartialOrd for Event {
     }
 }
 
-/// Deterministic min-heap of events ordered by `(time, seq)`.
-#[derive(Debug, Default)]
+/// Deterministic min-heap of network events ordered by `(time, seq)` with
+/// per-node lazy deletion (see the module docs).
+#[derive(Debug)]
 pub struct EventQueue {
     heap: BinaryHeap<Event>,
     next_seq: u64,
+    /// Per-node generation counter; cancelable entries stamped with an
+    /// older generation are stale and skipped on pop.
+    generation: Vec<u64>,
+    /// Live (non-stale) cancelable entries per node.
+    live_cancelable: Vec<u32>,
+    /// Live entries in total (heap size minus not-yet-discarded stale).
+    live: usize,
+    /// Stale entries discarded so far (lazy deletions that completed).
+    skipped_stale: u64,
 }
 
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue over `n` nodes.
     #[must_use]
-    pub fn new() -> Self {
-        Self::default()
+    pub fn new(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            generation: vec![0; n],
+            live_cancelable: vec![0; n],
+            live: 0,
+            skipped_stale: 0,
+        }
     }
 
-    /// Schedule `kind` for `node` at absolute `time`.
+    /// Schedule `kind` for `node` at absolute `time`.  [`EventKind::Commit`]
+    /// entries are stamped with the node's current generation and die when
+    /// [`Self::cancel`] is called for the node; [`EventKind::PushArrival`]
+    /// entries always fire.
+    ///
+    /// # Panics
+    /// Panics (debug) on a non-finite time; panics on an out-of-range node.
     pub fn push(&mut self, time: f64, node: u32, kind: EventKind) {
         debug_assert!(time.is_finite(), "non-finite event time");
+        assert!(
+            (node as usize) < self.generation.len(),
+            "event for node {node} out of range (queue over {} nodes)",
+            self.generation.len()
+        );
+        let generation = match kind {
+            EventKind::Commit { .. } => {
+                self.live_cancelable[node as usize] += 1;
+                self.generation[node as usize]
+            }
+            EventKind::PushArrival { .. } => IMMORTAL,
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live += 1;
         self.heap.push(Event {
             time,
             seq,
             node,
             kind,
+            generation,
         });
     }
 
-    /// Remove and return the earliest event.
-    pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+    /// Invalidate every pending cancelable entry of `node` (lazily: the
+    /// entries are skipped and discarded when they surface).  Returns
+    /// whether at least one live entry was canceled.
+    pub fn cancel(&mut self, node: u32) -> bool {
+        let v = node as usize;
+        self.generation[v] = self.generation[v].wrapping_add(1);
+        let canceled = std::mem::take(&mut self.live_cancelable[v]);
+        self.live -= canceled as usize;
+        canceled > 0
     }
 
-    /// Number of pending events.
+    /// Is this entry dead (canceled before firing)?
+    fn is_stale(&self, ev: &Event) -> bool {
+        ev.generation != IMMORTAL && ev.generation != self.generation[ev.node as usize]
+    }
+
+    /// Remove and return the earliest live event, discarding stale
+    /// entries on the way.
+    pub fn pop(&mut self) -> Option<Event> {
+        while let Some(ev) = self.heap.pop() {
+            if self.is_stale(&ev) {
+                self.skipped_stale += 1;
+                continue;
+            }
+            if let EventKind::Commit { .. } = ev.kind {
+                self.live_cancelable[ev.node as usize] -= 1;
+            }
+            self.live -= 1;
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Firing time of the earliest live event, discarding stale entries
+    /// on the way (`None` when no live event is pending).
+    pub fn peek_time(&mut self) -> Option<f64> {
+        while let Some(ev) = self.heap.peek() {
+            if self.is_stale(ev) {
+                self.heap.pop();
+                self.skipped_stale += 1;
+                continue;
+            }
+            return Some(ev.time);
+        }
+        None
+    }
+
+    /// Live entries pending (stale entries awaiting lazy discard are
+    /// not counted).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
-    /// Is the queue empty?
+    /// No live entries pending?
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
+    }
+
+    /// Stale entries lazily discarded so far.
+    #[must_use]
+    pub fn skipped_stale(&self) -> u64 {
+        self.skipped_stale
     }
 }
 
@@ -148,24 +375,169 @@ mod tests {
     use super::*;
     use plurality_sampling::stream_rng;
 
+    fn activate_like(state: u32) -> EventKind {
+        // Commit doubles as the "plain cancelable payload" in queue-only
+        // tests.
+        EventKind::Commit { state }
+    }
+
     #[test]
     fn queue_orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(2.0, 0, EventKind::Activate);
-        q.push(0.5, 1, EventKind::Activate);
-        q.push(1.0, 2, EventKind::Activate);
+        let mut q = EventQueue::new(8);
+        q.push(2.0, 0, activate_like(0));
+        q.push(0.5, 1, activate_like(0));
+        q.push(1.0, 2, activate_like(0));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.node).collect();
         assert_eq!(order, vec![1, 2, 0]);
     }
 
     #[test]
-    fn ties_broken_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.push(1.0, 10, EventKind::Activate);
-        q.push(1.0, 20, EventKind::Activate);
-        q.push(1.0, 30, EventKind::Activate);
+    fn ties_broken_fifo_by_sequence_number() {
+        // The documented contract: equal timestamps fire in insertion
+        // order, deterministically, on every platform.
+        let mut q = EventQueue::new(64);
+        q.push(1.0, 10, activate_like(0));
+        q.push(1.0, 20, EventKind::PushArrival { color: 1 });
+        q.push(1.0, 30, activate_like(0));
+        q.push(0.5, 40, activate_like(0));
+        q.push(1.0, 50, activate_like(0));
         let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.node).collect();
-        assert_eq!(order, vec![10, 20, 30], "FIFO among equal times");
+        assert_eq!(order, vec![40, 10, 20, 30, 50], "FIFO among equal times");
+    }
+
+    #[test]
+    fn canceled_commits_never_fire() {
+        let mut q = EventQueue::new(4);
+        q.push(1.0, 0, EventKind::Commit { state: 7 });
+        q.push(2.0, 1, EventKind::Commit { state: 8 });
+        assert!(q.cancel(0), "a live commit was pending");
+        assert!(!q.cancel(0), "second cancel finds nothing live");
+        let popped: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped.len(), 1);
+        assert_eq!(popped[0].node, 1);
+        assert_eq!(q.skipped_stale(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected_for_commits() {
+        let mut q = EventQueue::new(4);
+        q.push(1.0, 99, EventKind::Commit { state: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected_for_arrivals() {
+        let mut q = EventQueue::new(4);
+        q.push(1.0, 99, EventKind::PushArrival { color: 0 });
+    }
+
+    #[test]
+    fn push_arrivals_survive_cancel() {
+        let mut q = EventQueue::new(4);
+        q.push(1.0, 0, EventKind::PushArrival { color: 3 });
+        assert!(!q.cancel(0), "arrivals are not cancelable");
+        let ev = q.pop().expect("arrival still pending");
+        assert_eq!(ev.kind, EventKind::PushArrival { color: 3 });
+    }
+
+    #[test]
+    fn commit_pushed_after_cancel_is_live() {
+        let mut q = EventQueue::new(2);
+        q.push(1.0, 0, EventKind::Commit { state: 1 });
+        q.cancel(0);
+        q.push(2.0, 0, EventKind::Commit { state: 2 });
+        let popped: Vec<Event> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped.len(), 1);
+        assert_eq!(popped[0].kind, EventKind::Commit { state: 2 });
+    }
+
+    #[test]
+    fn peek_time_matches_pop_and_discards_stale() {
+        let mut q = EventQueue::new(2);
+        q.push(1.0, 0, EventKind::Commit { state: 1 });
+        q.push(3.0, 1, EventKind::PushArrival { color: 0 });
+        q.cancel(0);
+        assert_eq!(q.peek_time(), Some(3.0));
+        assert_eq!(q.pop().unwrap().time, 3.0);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sequential_clock_times_and_uniform_nodes() {
+        let n = 10usize;
+        let mut clock = ActivationClock::new(Scheduler::Sequential, n, None);
+        let mut rng = stream_rng(1, 1);
+        for i in 1..=50u64 {
+            let (t, node) = clock.next(&mut rng);
+            assert!((t - i as f64 / n as f64).abs() < 1e-12);
+            assert!((node as usize) < n);
+        }
+        assert_eq!(clock.activations(), 50);
+    }
+
+    #[test]
+    fn poisson_clock_mean_rate_is_n() {
+        // n unit-rate clocks superpose to rate n: the time of the
+        // (m·n)-th activation concentrates around m ticks.
+        let n = 1_000usize;
+        let mut clock = ActivationClock::new(Scheduler::Poisson, n, None);
+        let mut rng = stream_rng(7, 0);
+        let mut last = 0.0;
+        for _ in 0..(20 * n) {
+            last = clock.next(&mut rng).0;
+        }
+        assert!((last - 20.0).abs() < 0.5, "t(20n) = {last}");
+    }
+
+    #[test]
+    fn heterogeneous_rates_bias_the_jump_chain() {
+        // Half the nodes run 4× faster: they should take ≈ 4/5 of the
+        // activations.
+        let n = 200usize;
+        let mut rates = vec![1.0; n];
+        for r in rates.iter_mut().take(n / 2) {
+            *r = 4.0;
+        }
+        let mut clock = ActivationClock::new(Scheduler::Poisson, n, Some(&rates));
+        let mut rng = stream_rng(11, 0);
+        let draws = 100_000;
+        let fast = (0..draws)
+            .filter(|_| (clock.next(&mut rng).1 as usize) < n / 2)
+            .count();
+        let frac = fast as f64 / draws as f64;
+        assert!((frac - 0.8).abs() < 0.01, "fast fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_rates_scale_time_only() {
+        // All-equal rates c: same jump chain as all-ones, times ÷ c.
+        let n = 50usize;
+        let ones = vec![1.0; n];
+        let fours = vec![4.0; n];
+        let mut a = ActivationClock::new(Scheduler::Poisson, n, Some(&ones));
+        let mut b = ActivationClock::new(Scheduler::Poisson, n, Some(&fours));
+        let mut rng_a = stream_rng(3, 3);
+        let mut rng_b = stream_rng(3, 3);
+        for _ in 0..1_000 {
+            let (ta, va) = a.next(&mut rng_a);
+            let (tb, vb) = b.next(&mut rng_b);
+            assert_eq!(va, vb, "jump chains must coincide");
+            assert!((ta - 4.0 * tb).abs() < 1e-9 * ta.max(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid activation rate")]
+    fn zero_rate_rejected() {
+        let _ = ActivationClock::new(Scheduler::Poisson, 3, Some(&[1.0, 0.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation rate per node")]
+    fn rate_length_mismatch_rejected() {
+        let _ = ActivationClock::new(Scheduler::Poisson, 3, Some(&[1.0, 2.0]));
     }
 
     #[test]

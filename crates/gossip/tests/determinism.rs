@@ -1,26 +1,46 @@
 //! Determinism-under-fixed-seed guarantees of the gossip engine.
 //!
-//! A trial is a pure function of `(seed, scheduler, network, topology,
-//! dynamics, placement)`; in particular it must not depend on thread
-//! scheduling when fanned out through `MonteCarlo`.
+//! A trial is a pure function of `(seed, mode, scheduler, rates, network,
+//! topology, dynamics, placement)`; in particular it must not depend on
+//! thread scheduling when fanned out through `MonteCarlo`.  Every
+//! `ExchangeMode` × `Scheduler` combination is pinned, under delay/loss
+//! and (for a second pass) heterogeneous activation rates.
 
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{MonteCarlo, Placement, RunOptions};
-use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality_gossip::{ExchangeMode, GossipEngine, GossipStats, NetworkConfig, Scheduler};
 use plurality_sampling::derive_stream;
 use plurality_topology::Clique;
 
-fn run_fleet(threads: usize) -> Vec<(u64, Option<usize>, u64, u64)> {
+const MODES: [ExchangeMode; 3] = [
+    ExchangeMode::Pull,
+    ExchangeMode::Push,
+    ExchangeMode::PushPull,
+];
+const SCHEDULERS: [Scheduler; 2] = [Scheduler::Sequential, Scheduler::Poisson];
+
+fn run_fleet(
+    mode: ExchangeMode,
+    scheduler: Scheduler,
+    rated: bool,
+    threads: usize,
+) -> Vec<(u64, Option<usize>, GossipStats)> {
     let n = 600;
     let clique = Clique::new(n);
     let cfg = builders::biased(n as u64, 3, 150);
     let d = ThreeMajority::new();
     let opts = RunOptions::with_max_rounds(20_000);
-    let mc = MonteCarlo::new(16).with_threads(threads).with_seed(42);
+    let mc = MonteCarlo::new(8).with_threads(threads).with_seed(42);
+    let rates: Option<Vec<f64>> =
+        rated.then(|| (0..n).map(|v| if v % 3 == 0 { 2.5 } else { 1.0 }).collect());
     mc.run(|i, _| {
-        let engine = GossipEngine::new(&clique)
-            .with_scheduler(Scheduler::Poisson)
+        let mut engine = GossipEngine::new(&clique)
+            .with_mode(mode)
+            .with_scheduler(scheduler)
             .with_network(NetworkConfig::new(0.4, 0.05));
+        if let Some(r) = &rates {
+            engine = engine.with_node_rates(r.clone());
+        }
         let (r, s) = engine.run_detailed(
             &d,
             &cfg,
@@ -28,28 +48,77 @@ fn run_fleet(threads: usize) -> Vec<(u64, Option<usize>, u64, u64)> {
             &opts,
             derive_stream(42, i as u64),
         );
-        (r.rounds, r.winner, s.activations, s.messages)
+        (r.rounds, r.winner, s)
     })
 }
 
 #[test]
-fn montecarlo_results_independent_of_thread_count() {
-    let serial = run_fleet(1);
-    let parallel = run_fleet(8);
-    assert_eq!(serial, parallel, "thread count changed trial outcomes");
+fn montecarlo_results_independent_of_thread_count_for_every_combination() {
+    for mode in MODES {
+        for scheduler in SCHEDULERS {
+            let serial = run_fleet(mode, scheduler, false, 1);
+            let parallel = run_fleet(mode, scheduler, false, 8);
+            assert_eq!(
+                serial,
+                parallel,
+                "thread count changed outcomes for {} / {}",
+                mode.name(),
+                scheduler.name()
+            );
+        }
+    }
 }
 
 #[test]
-fn repeated_runs_bitwise_identical() {
-    let a = run_fleet(4);
-    let b = run_fleet(4);
-    assert_eq!(a, b);
+fn repeated_runs_bitwise_identical_for_every_combination() {
+    for mode in MODES {
+        for scheduler in SCHEDULERS {
+            let a = run_fleet(mode, scheduler, false, 4);
+            let b = run_fleet(mode, scheduler, false, 4);
+            assert_eq!(
+                a,
+                b,
+                "repeat run diverged for {} / {}",
+                mode.name(),
+                scheduler.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_rates_are_deterministic_too() {
+    for mode in MODES {
+        for scheduler in SCHEDULERS {
+            let serial = run_fleet(mode, scheduler, true, 1);
+            let parallel = run_fleet(mode, scheduler, true, 8);
+            assert_eq!(
+                serial,
+                parallel,
+                "rated fleet diverged for {} / {}",
+                mode.name(),
+                scheduler.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn modes_produce_genuinely_different_processes() {
+    // Same seeds, different modes ⇒ different trajectories (guards
+    // against a mode knob that silently falls back to PULL).
+    let pull = run_fleet(ExchangeMode::Pull, Scheduler::Sequential, false, 2);
+    let push = run_fleet(ExchangeMode::Push, Scheduler::Sequential, false, 2);
+    let push_pull = run_fleet(ExchangeMode::PushPull, Scheduler::Sequential, false, 2);
+    assert_ne!(pull, push);
+    assert_ne!(pull, push_pull);
+    assert_ne!(push, push_pull);
 }
 
 #[test]
 fn trials_have_distinct_streams() {
-    let outcomes = run_fleet(2);
-    let mut activation_counts: Vec<u64> = outcomes.iter().map(|o| o.2).collect();
+    let outcomes = run_fleet(ExchangeMode::PushPull, Scheduler::Poisson, false, 2);
+    let mut activation_counts: Vec<u64> = outcomes.iter().map(|o| o.2.activations).collect();
     activation_counts.sort_unstable();
     activation_counts.dedup();
     assert!(

@@ -3,12 +3,20 @@
 
 use plurality_core::{builders, ThreeMajority, Voter};
 use plurality_engine::{Placement, RunOptions, StopReason};
-use plurality_gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
 use plurality_topology::Clique;
 use proptest::prelude::*;
 
 fn scheduler_strategy() -> impl Strategy<Value = Scheduler> {
     prop_oneof![Just(Scheduler::Sequential), Just(Scheduler::Poisson)]
+}
+
+fn mode_strategy() -> impl Strategy<Value = ExchangeMode> {
+    prop_oneof![
+        Just(ExchangeMode::Pull),
+        Just(ExchangeMode::Push),
+        Just(ExchangeMode::PushPull),
+    ]
 }
 
 proptest! {
@@ -23,6 +31,7 @@ proptest! {
         k in 2usize..5,
         delay in 0.0f64..1.0,
         loss in 0.0f64..1.0,
+        mode in mode_strategy(),
         scheduler in scheduler_strategy(),
         seed in any::<u64>(),
     ) {
@@ -30,6 +39,7 @@ proptest! {
         let clique = Clique::new(n);
         let cfg = builders::biased(n as u64, k, bias);
         let engine = GossipEngine::new(&clique)
+            .with_mode(mode)
             .with_scheduler(scheduler)
             .with_network(NetworkConfig::new(delay, loss));
         let r = engine.run(
@@ -50,18 +60,21 @@ proptest! {
         }
     }
 
-    /// Same seed ⇒ identical outcome and identical traffic accounting.
+    /// Same seed ⇒ identical outcome and identical traffic accounting,
+    /// for every exchange mode and scheduler.
     #[test]
     fn fixed_seed_is_deterministic(
         n in 50usize..300,
         delay in 0.0f64..0.8,
         loss in 0.0f64..0.8,
+        mode in mode_strategy(),
         scheduler in scheduler_strategy(),
         seed in any::<u64>(),
     ) {
         let clique = Clique::new(n);
         let cfg = builders::biased(n as u64, 3, (n / 3) as u64);
         let engine = GossipEngine::new(&clique)
+            .with_mode(mode)
             .with_scheduler(scheduler)
             .with_network(NetworkConfig::new(delay, loss));
         let opts = RunOptions::with_max_rounds(5_000);
@@ -70,11 +83,85 @@ proptest! {
         let (rb, sb) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
         prop_assert_eq!(ra.rounds, rb.rounds);
         prop_assert_eq!(ra.winner, rb.winner);
-        prop_assert_eq!(sa.activations, sb.activations);
-        prop_assert_eq!(sa.messages, sb.messages);
-        prop_assert_eq!(sa.lost_messages, sb.lost_messages);
-        prop_assert_eq!(sa.delayed_messages, sb.delayed_messages);
-        prop_assert_eq!(sa.superseded_commits, sb.superseded_commits);
+        prop_assert_eq!(sa, sb, "gossip statistics diverged under a fixed seed");
+    }
+
+    /// Message accounting closes for every mode: PULL issues one request
+    /// per sample, PUSH one send per activation, PUSH-PULL one exchange
+    /// per sample not served from the inbox.  (3-majority draws exactly
+    /// 3 samples per completed update.)
+    #[test]
+    fn message_accounting_closes(
+        n in 50usize..250,
+        mode in mode_strategy(),
+        scheduler in scheduler_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 3, (n / 3) as u64);
+        let engine = GossipEngine::new(&clique)
+            .with_mode(mode)
+            .with_scheduler(scheduler);
+        let opts = RunOptions::with_max_rounds(50_000);
+        let (r, s) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &opts,
+            seed,
+        );
+        prop_assert_eq!(r.reason, StopReason::Stopped);
+        match mode {
+            ExchangeMode::Pull => {
+                prop_assert_eq!(s.messages, 3 * s.activations);
+                prop_assert_eq!(s.inbox_served, 0);
+                prop_assert_eq!(s.starved_updates, 0);
+            }
+            ExchangeMode::Push => {
+                prop_assert_eq!(s.messages, s.activations);
+                // Completed updates consume exactly 3 buffered colors.
+                prop_assert_eq!(s.inbox_served % 3, 0);
+                prop_assert_eq!(
+                    s.inbox_served / 3 + s.starved_updates,
+                    s.activations
+                );
+            }
+            ExchangeMode::PushPull => {
+                prop_assert_eq!(s.messages + s.inbox_served, 3 * s.activations);
+                prop_assert_eq!(s.starved_updates, 0);
+            }
+        }
+        // On an ideal network nothing is lost, delayed, or parked.
+        prop_assert_eq!(s.lost_messages, 0);
+        prop_assert_eq!(s.delayed_messages, 0);
+        prop_assert_eq!(s.superseded_commits, 0);
+    }
+
+    /// Pushed colors are conserved on an ideal network: every send is
+    /// delivered, and deliveries split into served + still-buffered +
+    /// evicted.
+    #[test]
+    fn push_color_conservation(
+        n in 50usize..250,
+        seed in any::<u64>(),
+    ) {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 3, (n / 3) as u64);
+        let engine = GossipEngine::new(&clique).with_mode(ExchangeMode::Push);
+        let (r, s) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(50_000),
+            seed,
+        );
+        prop_assert_eq!(r.reason, StopReason::Stopped);
+        prop_assert_eq!(s.pushes_delivered, s.messages, "ideal network delivers all");
+        let buffered = s.pushes_delivered - s.inbox_served - s.inbox_dropped;
+        prop_assert!(
+            buffered <= plurality_gossip::INBOX_CAP as u64 * n as u64,
+            "more colors in flight than the inboxes can hold"
+        );
     }
 
     /// Reported rounds never exceed the cap, and a Stopped trial always
