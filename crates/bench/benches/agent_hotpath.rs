@@ -1,0 +1,76 @@
+//! Agent-engine hot-path benchmarks: one synchronous round at large `n`
+//! across dynamics and topologies.
+//!
+//! The per-node engine pays `Θ(n·h)` neighbor samples per round, so one
+//! round at `n = 10^6`–`4·10^6` is the honest unit of the "million-node"
+//! regimes reported by the gossip-model and h-majority follow-up papers.
+//! `BENCH_agent_hotpath.json` records these cells before and after the
+//! devirtualization of the per-node loop (monomorphized topology,
+//! dynamics, and RNG); regenerate with:
+//!
+//! ```text
+//! BENCH_JSON=out.json cargo bench --profile release-lto \
+//!     -p plurality-bench --bench agent_hotpath
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use plurality_core::{builders, Dynamics, HPlurality, ThreeMajority, UndecidedState};
+use plurality_engine::{AgentEngine, Placement, RunOptions};
+use plurality_topology::{erdos_renyi, random_regular, Clique, Topology};
+
+const K_COLORS: usize = 8;
+/// Target degree for the sparse topologies (matches the `h = 7` sample
+/// budget with headroom, and keeps graph construction tractable at 10^6).
+const DEGREE: usize = 16;
+
+fn dynamics_zoo() -> Vec<(&'static str, Box<dyn Dynamics>)> {
+    vec![
+        ("3-majority", Box::new(ThreeMajority::new())),
+        ("7-plurality", Box::new(HPlurality::new(7))),
+        ("undecided", Box::new(UndecidedState::new(K_COLORS))),
+    ]
+}
+
+fn bench_one_round(g: &mut criterion::BenchmarkGroup<'_>, topo: &dyn Topology, label: &str) {
+    let n = topo.n();
+    let cfg = builders::biased(n as u64, K_COLORS, n as u64 / 10);
+    let opts = RunOptions::with_max_rounds(1);
+    for (name, d) in dynamics_zoo() {
+        g.bench_with_input(
+            BenchmarkId::new(format!("{name}/{label}"), format!("n={n}")),
+            &n,
+            |b, _| {
+                let engine = AgentEngine::new(topo);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(
+                        engine
+                            .run(d.as_ref(), &cfg, Placement::Blocks, &opts, seed)
+                            .rounds,
+                    )
+                });
+            },
+        );
+    }
+}
+
+fn bench_agent_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agent-hotpath-round");
+    g.sample_size(10);
+
+    for &n in &[100_000usize, 1_000_000, 4_000_000] {
+        let clique = Clique::new(n);
+        bench_one_round(&mut g, &clique, "clique");
+    }
+    for &n in &[100_000usize, 1_000_000] {
+        let regular = random_regular(n, DEGREE, 0xBE);
+        bench_one_round(&mut g, &regular, "regular");
+        let er = erdos_renyi(n, DEGREE as f64 / n as f64, 0xBE);
+        bench_one_round(&mut g, &er, "er");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_agent_hotpath);
+criterion_main!(benches);

@@ -52,5 +52,39 @@ fn bench_montecarlo_threads(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_agent_threads, bench_montecarlo_threads);
+fn bench_montecarlo_short_trials(c: &mut Criterion) {
+    // Many near-instant trials: the regime where per-trial result
+    // hand-off cost (formerly one global `Mutex<Vec<_>>`) dominates.
+    let mut g = c.benchmark_group("montecarlo-short-trials");
+    g.sample_size(10);
+    let cfg = builders::biased(2_000, 4, 600);
+    let d = ThreeMajority::new();
+    let engine = MeanFieldEngine::new(&d);
+    let opts = RunOptions::with_max_rounds(200);
+    for &threads in &[1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("trials=4096", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let mc = MonteCarlo {
+                        trials: 4096,
+                        threads: t,
+                        master_seed: 11,
+                    };
+                    let wins = mc.count_successes(|_, rng| engine.run(&cfg, &opts, rng).success);
+                    black_box(wins)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_agent_threads,
+    bench_montecarlo_threads,
+    bench_montecarlo_short_trials
+);
 criterion_main!(benches);

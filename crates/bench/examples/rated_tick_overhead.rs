@@ -1,0 +1,47 @@
+//! Controlled measurement of the rated-gossip activation overhead:
+//! unit-rate vs mixed-4x ticks interleaved run-for-run (best of 25), so
+//! slow machine-level drift cancels out of the ratio — the number the
+//! `BENCH_agent_hotpath.json` acceptance line quotes alongside the raw
+//! criterion-shim medians.
+//!
+//! ```text
+//! cargo run --profile release-lto -p plurality-bench --example rated_tick_overhead
+//! ```
+
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{Placement, RunOptions};
+use plurality_gossip::{GossipEngine, Scheduler};
+use plurality_topology::Clique;
+use std::time::Instant;
+
+fn main() {
+    let n = 50_000usize;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+    let d = ThreeMajority::new();
+    let rates: Vec<f64> = (0..n).map(|v| if v % 4 == 0 { 4.0 } else { 1.0 }).collect();
+    let unit = GossipEngine::new(&clique).with_scheduler(Scheduler::Poisson);
+    let mixed = GossipEngine::new(&clique)
+        .with_scheduler(Scheduler::Poisson)
+        .with_node_rates(rates);
+    let opts = RunOptions::with_max_rounds(1);
+    let mut best = [f64::MAX; 2];
+    let mut seed = 0u64;
+    for _ in 0..25 {
+        seed += 1;
+        for (slot, engine) in [(0, &unit), (1, &mixed)] {
+            let t = Instant::now();
+            std::hint::black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if ms < best[slot] {
+                best[slot] = ms;
+            }
+        }
+    }
+    println!("unit  best: {:.3} ms/tick", best[0]);
+    println!(
+        "mixed best: {:.3} ms/tick ({:.3}x)",
+        best[1],
+        best[1] / best[0]
+    );
+}

@@ -1,0 +1,160 @@
+//! Regenerate the golden-trace fingerprint tables used by
+//! `tests/agent_golden.rs` (and, historically, `tests/gossip_modes.rs`).
+//!
+//! Prints one Rust tuple per pinned configuration.  The fingerprints pin
+//! the engines' PRNG stream layout bit-for-bit: any refactor that claims
+//! to preserve trajectories (such as the devirtualized engine cores) must
+//! reproduce these values exactly.  Run with:
+//!
+//! ```text
+//! cargo run --release -p plurality-bench --bin golden_fingerprints
+//! ```
+
+use plurality_core::{Dynamics, HPlurality, ThreeMajority, UndecidedState};
+use plurality_engine::{AgentEngine, Placement, RunOptions, Trace};
+use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
+use plurality_topology::{erdos_renyi, random_regular, Clique, Topology};
+
+/// FNV-1a fold of a trace's `(round, plurality, second, minority, extra)`
+/// tuples — the same fingerprint `tests/gossip_modes.rs` uses.
+fn trace_fingerprint(trace: &Trace) -> u64 {
+    let fnv = |acc: u64, x: u64| (acc ^ x).wrapping_mul(0x0100_0000_01b3);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in &trace.rounds {
+        h = fnv(h, s.round);
+        h = fnv(h, s.plurality_count);
+        h = fnv(h, s.second_count);
+        h = fnv(h, s.minority_mass);
+        h = fnv(h, s.extra_state_mass);
+    }
+    h
+}
+
+fn agent_row(label: &str, topo: &dyn Topology, d: &dyn Dynamics, threads: usize, seed: u64) {
+    let n = topo.n() as u64;
+    let cfg = plurality_core::builders::biased(n, 4, n / 5);
+    let engine = AgentEngine::new(topo)
+        .with_threads(threads)
+        .with_chunk_size(512);
+    let opts = RunOptions::with_max_rounds(50_000).traced();
+    let r = engine.run(d, &cfg, Placement::Shuffled, &opts, seed);
+    println!(
+        "    // {label}\n    ({seed}, {}, {:?}, {:#018x}),",
+        r.rounds,
+        r.winner,
+        trace_fingerprint(&r.trace.unwrap()),
+    );
+}
+
+fn gossip_row(
+    label: &str,
+    mode: ExchangeMode,
+    scheduler: Scheduler,
+    network: NetworkConfig,
+    seed: u64,
+) {
+    let clique = Clique::new(800);
+    let cfg = plurality_core::builders::biased(800, 3, 160);
+    let engine = GossipEngine::new(&clique)
+        .with_mode(mode)
+        .with_scheduler(scheduler)
+        .with_network(network);
+    let opts = RunOptions::with_max_rounds(100_000).traced();
+    let (r, s) = engine.run_detailed(
+        &ThreeMajority::new(),
+        &cfg,
+        Placement::Shuffled,
+        &opts,
+        seed,
+    );
+    println!(
+        "    // {label}\n    ({seed}, {}, {:?}, {}, {}, {:#018x}),",
+        r.rounds,
+        r.winner,
+        s.activations,
+        s.messages,
+        trace_fingerprint(&r.trace.unwrap()),
+    );
+}
+
+fn main() {
+    println!("// AgentEngine goldens: (seed, rounds, winner, fingerprint)");
+    let c3000 = Clique::new(3_000);
+    agent_row(
+        "clique(3000) 3-majority 1 thread",
+        &c3000,
+        &ThreeMajority::new(),
+        1,
+        11,
+    );
+    agent_row(
+        "clique(3000) 3-majority 3 threads",
+        &c3000,
+        &ThreeMajority::new(),
+        3,
+        12,
+    );
+    let c2000 = Clique::new(2_000);
+    agent_row(
+        "clique(2000) 7-plurality",
+        &c2000,
+        &HPlurality::new(7),
+        1,
+        21,
+    );
+    agent_row(
+        "clique(2000) undecided",
+        &c2000,
+        &UndecidedState::new(4),
+        2,
+        31,
+    );
+    let er = erdos_renyi(1_500, 0.01, 7);
+    assert!(er.min_degree() > 0, "ER graph has an isolated node");
+    agent_row(
+        "er(1500,0.01) 3-majority",
+        &er,
+        &ThreeMajority::new(),
+        1,
+        41,
+    );
+    let reg = random_regular(1_200, 8, 3);
+    agent_row(
+        "regular(1200,8) 5-plurality",
+        &reg,
+        &HPlurality::new(5),
+        2,
+        51,
+    );
+
+    println!();
+    println!("// Gossip goldens: (seed, rounds, winner, activations, messages, fingerprint)");
+    gossip_row(
+        "poisson pull ideal",
+        ExchangeMode::Pull,
+        Scheduler::Poisson,
+        NetworkConfig::default(),
+        71,
+    );
+    gossip_row(
+        "poisson pull delay/loss",
+        ExchangeMode::Pull,
+        Scheduler::Poisson,
+        NetworkConfig::new(0.4, 0.05),
+        72,
+    );
+    gossip_row(
+        "sequential push ideal",
+        ExchangeMode::Push,
+        Scheduler::Sequential,
+        NetworkConfig::default(),
+        81,
+    );
+    gossip_row(
+        "poisson push-pull delay/loss",
+        ExchangeMode::PushPull,
+        Scheduler::Poisson,
+        NetworkConfig::new(0.4, 0.05),
+        91,
+    );
+}

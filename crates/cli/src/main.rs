@@ -42,7 +42,7 @@ const VALUE_OPTS: &[&str] = &[
     "fast-frac",
     "fast-rate",
 ];
-const FLAG_OPTS: &[&str] = &["help", "quiet"];
+const FLAG_OPTS: &[&str] = &["help", "quiet", "rate-time"];
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -106,6 +106,7 @@ fn usage() {
          \x20 --mode M          gossip: 'pull' (default), 'push', or 'push-pull'\n\
          \x20 --fast-frac F     gossip: fraction of nodes activating at --fast-rate (default 0)\n\
          \x20 --fast-rate R     gossip: activation rate of the fast nodes (default 1)\n\
+         \x20 --rate-time       gossip: stamp sequential activations at i/Σr (rate-weighted)\n\
          \x20 --trials T        independent trials for 'run'/'zoo' (default 50)\n\
          \x20 --max-rounds R    round cap (default 1000000)\n\
          \x20 --seed S          master seed (default 1)\n\
@@ -471,6 +472,9 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
             .map(|v| if v < fast_nodes { fast_rate } else { 1.0 })
             .collect();
         engine = engine.with_node_rates(rates);
+    }
+    if parsed.flag("rate-time") {
+        engine = engine.with_rate_weighted_time(true);
     }
     let mc = MonteCarlo {
         trials,

@@ -20,7 +20,10 @@
 //! counterexamples (`δ = (1,3,2)` and `δ = (1,4,1)` from Lemma 8, the
 //! median rule `δ = (0,6,0)` from Lemma 7's discussion).
 
-use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use crate::dynamics::sealed::SealedDynamics;
+use crate::dynamics::{
+    DynSampler, Dynamics, DynamicsCore, NodeScratch, SampleSource, StateSampler,
+};
 use plurality_sampling::multinomial::sample_multinomial;
 use rand::RngCore;
 
@@ -292,15 +295,12 @@ impl Dynamics for TableD3 {
 
     fn node_update(
         &self,
-        _own: u32,
+        own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let a = sampler.sample_state(rng);
-        let b = sampler.sample_state(rng);
-        let c = sampler.sample_state(rng);
-        self.apply(a, b, c)
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -312,6 +312,24 @@ impl Dynamics for TableD3 {
 
     fn has_fast_kernel(&self) -> bool {
         true
+    }
+}
+
+impl SealedDynamics for TableD3 {}
+
+impl DynamicsCore for TableD3 {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        _own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let a = source.draw(rng);
+        let b = source.draw(rng);
+        let c = source.draw(rng);
+        self.apply(a, b, c)
     }
 }
 

@@ -20,6 +20,7 @@
 use crate::config::Configuration;
 use plurality_sampling::CountSampler;
 use rand::RngCore;
+use std::any::Any;
 
 /// Oracle handing a node the state of a uniformly random sampled peer
 /// (w.r.t. the configuration at the *start* of the round — synchronous
@@ -27,6 +28,46 @@ use rand::RngCore;
 pub trait StateSampler {
     /// Draw one sampled state.
     fn sample_state(&mut self, rng: &mut dyn RngCore) -> u32;
+}
+
+/// The monomorphizable counterpart of [`StateSampler`]: `draw` is generic
+/// over the RNG, so when both the source and the RNG are concrete types
+/// the whole sampling chain inlines into the engine's round loop with no
+/// virtual dispatch (see [`DynamicsCore`]).
+///
+/// Contract: for any implementation that also exists behind a
+/// [`StateSampler`], `draw` must consume the RNG identically to
+/// `sample_state` — the devirtualized engines are pinned bit-for-bit
+/// against the dyn path by golden-trace tests.
+pub trait SampleSource {
+    /// Draw one sampled state.
+    fn draw<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u32;
+}
+
+/// Bridge an object-safe [`StateSampler`] into the generic
+/// [`SampleSource`] world (the dyn fallback path pays one virtual call
+/// per sample, exactly as before the devirtualization).
+pub struct DynSampler<'a>(pub &'a mut dyn StateSampler);
+
+impl SampleSource for DynSampler<'_> {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        // `&mut &mut R` is Sized, so it coerces to `&mut dyn RngCore`.
+        let mut rng = &mut *rng;
+        self.0.sample_state(&mut rng)
+    }
+}
+
+/// Bridge a generic [`SampleSource`] back into an object-safe
+/// [`StateSampler`] (used by [`DynDynamics`] to feed an engine core's
+/// monomorphic source through `Dynamics::node_update`).
+pub struct SourceSampler<'a, S: SampleSource + ?Sized>(pub &'a mut S);
+
+impl<S: SampleSource + ?Sized> StateSampler for SourceSampler<'_, S> {
+    #[inline]
+    fn sample_state(&mut self, rng: &mut dyn RngCore) -> u32 {
+        self.0.draw(rng)
+    }
 }
 
 /// [`StateSampler`] over a clique: peers are drawn u.a.r. from all `n`
@@ -47,6 +88,13 @@ impl<'a> CliqueSampler<'a> {
 impl StateSampler for CliqueSampler<'_> {
     #[inline]
     fn sample_state(&mut self, rng: &mut dyn RngCore) -> u32 {
+        self.sampler.sample(rng) as u32
+    }
+}
+
+impl SampleSource for CliqueSampler<'_> {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u32 {
         self.sampler.sample(rng) as u32
     }
 }
@@ -166,6 +214,15 @@ pub trait Dynamics: Send + Sync {
         false
     }
 
+    /// Like [`Self::has_fast_kernel`], with the state count in hand.
+    /// Rules whose kernel feasibility depends on `k` — h-plurality's
+    /// enumeration budget — override this; everything else inherits the
+    /// size-independent answer.
+    fn has_fast_kernel_for(&self, k_states: usize) -> bool {
+        let _ = k_states;
+        self.has_fast_kernel()
+    }
+
     /// Consensus test over a *state* configuration: `Some(color)` when
     /// every node supports that color (extra states must be empty).
     fn consensus(&self, states: &[u64]) -> Option<usize> {
@@ -176,11 +233,134 @@ pub trait Dynamics: Send + Sync {
         let k = self.color_count(states.len());
         states[..k].iter().position(|&c| c == total)
     }
+
+    /// Concrete-type hook for the devirtualized engine cores: dynamics
+    /// that participate in downcast dispatch (see
+    /// [`downcast_dynamics`]) return `Some(self)`.  The default `None`
+    /// routes the rule through the generic dyn fallback, which is always
+    /// correct — just not monomorphized.
+    fn as_any(&self) -> Option<&dyn Any> {
+        None
+    }
+}
+
+/// Recover a concrete dynamics type from a `&dyn Dynamics` (via
+/// [`Dynamics::as_any`]); the engines use this to select a fully
+/// monomorphized inner loop.
+#[must_use]
+pub fn downcast_dynamics<D: Dynamics + 'static>(dynamics: &dyn Dynamics) -> Option<&D> {
+    dynamics.as_any().and_then(<dyn Any>::downcast_ref)
+}
+
+pub(crate) mod sealed {
+    /// Seals [`super::DynamicsCore`]: every update rule lives in this
+    /// crate, so the engines' downcast dispatch tables stay exhaustive
+    /// and the bit-for-bit contract between `node_update` and
+    /// `node_update_core` is enforceable here.
+    pub trait SealedDynamics {}
+}
+
+/// The sealed monomorphic extension of [`Dynamics`]: the per-node rule
+/// generic over the sample source and the RNG.
+///
+/// Engines instantiate [`DynamicsCore::node_update_core`] with concrete
+/// source/RNG types (`NeighborSource<Clique>` + `Xoshiro256PlusPlus`,
+/// say), collapsing the three layers of dynamic dispatch on the
+/// `Θ(n·h)`-per-round hot path into straight-line inlined code.
+///
+/// Contract: `Dynamics::node_update` must be a thin wrapper over this
+/// method (same draw sequence, same results) — every implementation in
+/// this crate delegates, and golden-trace tests pin the equivalence.
+pub trait DynamicsCore: Dynamics + sealed::SealedDynamics {
+    /// Monomorphic form of [`Dynamics::node_update`].
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        own: u32,
+        source: &mut S,
+        scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32;
+}
+
+/// Fallback adapter: any `&dyn Dynamics` viewed as a [`DynamicsCore`].
+/// Rules outside the engines' dispatch tables run through this — one
+/// virtual `node_update` per node plus a virtual call per sample,
+/// exactly the pre-devirtualization cost.
+pub struct DynDynamics<'a>(pub &'a dyn Dynamics);
+
+impl Dynamics for DynDynamics<'_> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn state_count(&self, k_colors: usize) -> usize {
+        self.0.state_count(k_colors)
+    }
+
+    fn color_count(&self, n_states: usize) -> usize {
+        self.0.color_count(n_states)
+    }
+
+    fn lift(&self, colors: &Configuration) -> Configuration {
+        self.0.lift(colors)
+    }
+
+    fn node_update(
+        &self,
+        own: u32,
+        sampler: &mut dyn StateSampler,
+        scratch: &mut NodeScratch,
+        rng: &mut dyn RngCore,
+    ) -> u32 {
+        self.0.node_update(own, sampler, scratch, rng)
+    }
+
+    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
+        self.0.step_mean_field(cur, next, rng);
+    }
+
+    fn has_fast_kernel(&self) -> bool {
+        self.0.has_fast_kernel()
+    }
+
+    fn has_fast_kernel_for(&self, k_states: usize) -> bool {
+        self.0.has_fast_kernel_for(k_states)
+    }
+
+    fn consensus(&self, states: &[u64]) -> Option<usize> {
+        self.0.consensus(states)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        self.0.as_any()
+    }
+}
+
+impl sealed::SealedDynamics for DynDynamics<'_> {}
+
+impl DynamicsCore for DynDynamics<'_> {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        own: u32,
+        source: &mut S,
+        scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let mut rng = &mut *rng;
+        self.0
+            .node_update(own, &mut SourceSampler(source), scratch, &mut rng)
+    }
 }
 
 /// Exact generic clique step: run every node's update against the previous
 /// round's counts.  Grouping nodes by their current state avoids storing
 /// per-node arrays.
+///
+/// This is the object-safe entry point; rules implemented in this crate
+/// reach the same loop monomorphized via [`clique_step_core`] (identical
+/// draw sequence — both run the node rule against a [`CliqueSampler`]
+/// over the same counts).
 pub fn generic_clique_step<D: Dynamics + ?Sized>(
     dynamics: &D,
     cur: &[u64],
@@ -199,6 +379,34 @@ pub fn generic_clique_step<D: Dynamics + ?Sized>(
     for (state, &population) in cur.iter().enumerate() {
         for _ in 0..population {
             let new = dynamics.node_update(state as u32, &mut sampler, &mut scratch, rng);
+            next[new as usize] += 1;
+        }
+    }
+    debug_assert_eq!(next.iter().sum::<u64>(), total);
+}
+
+/// Monomorphized form of [`generic_clique_step`]: the `O(n·h)` mean-field
+/// fallback (h-plurality beyond the enumeration budget, say) with the
+/// node rule and categorical sampler fully inlined.  Consumes the RNG
+/// identically to the object-safe version.
+pub fn clique_step_core<D: DynamicsCore + ?Sized, R: RngCore + ?Sized>(
+    dynamics: &D,
+    cur: &[u64],
+    next: &mut [u64],
+    rng: &mut R,
+) {
+    assert_eq!(cur.len(), next.len(), "state slice length mismatch");
+    next.fill(0);
+    let total: u64 = cur.iter().sum();
+    if total == 0 {
+        return;
+    }
+    let count_sampler = CountSampler::new(cur);
+    let mut scratch = NodeScratch::with_states(cur.len());
+    let mut sampler = CliqueSampler::new(&count_sampler);
+    for (state, &population) in cur.iter().enumerate() {
+        for _ in 0..population {
+            let new = dynamics.node_update_core(state as u32, &mut sampler, &mut scratch, rng);
             next[new as usize] += 1;
         }
     }

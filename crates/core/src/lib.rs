@@ -66,7 +66,10 @@ pub mod voter;
 
 pub use config::{builders, Configuration};
 pub use d3::{ClearRule, TableD3};
-pub use dynamics::{CliqueSampler, Dynamics, NodeScratch, StateSampler};
+pub use dynamics::{
+    downcast_dynamics, CliqueSampler, DynDynamics, DynSampler, Dynamics, DynamicsCore, NodeScratch,
+    SampleSource, SourceSampler, StateSampler,
+};
 pub use majority::{HPlurality, ThreeMajority, TieRule};
 pub use median::{Median3, MedianOwn};
 pub use noisy::NoisyThreeMajority;

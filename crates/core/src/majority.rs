@@ -9,10 +9,14 @@
 //!   sample, ties broken u.a.r.  `h = 1` is the voter/polling rule, and
 //!   `h = 3` coincides in law with 3-majority.
 
-use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
-use crate::kernels::{h_plurality_probs, three_majority_probs};
+use crate::dynamics::sealed::SealedDynamics;
+use crate::dynamics::{
+    clique_step_core, DynSampler, Dynamics, DynamicsCore, NodeScratch, SampleSource, StateSampler,
+};
+use crate::kernels::{h_plurality_probs, multiset_count, three_majority_probs};
 use plurality_sampling::multinomial::sample_multinomial;
 use rand::{Rng, RngCore};
+use std::any::Any;
 
 /// Tie-breaking rule when all three samples are distinct.
 ///
@@ -57,14 +61,44 @@ impl Dynamics for ThreeMajority {
 
     fn node_update(
         &self,
-        _own: u32,
+        own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let a = sampler.sample_state(rng);
-        let b = sampler.sample_state(rng);
-        let c = sampler.sample_state(rng);
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
+    }
+
+    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
+        let n: u64 = cur.iter().sum();
+        let mut probs = vec![0.0f64; cur.len()];
+        three_majority_probs(cur, &mut probs);
+        sample_multinomial(n, &probs, next, rng);
+    }
+
+    fn has_fast_kernel(&self) -> bool {
+        true
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl SealedDynamics for ThreeMajority {}
+
+impl DynamicsCore for ThreeMajority {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        _own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let a = source.draw(rng);
+        let b = source.draw(rng);
+        let c = source.draw(rng);
         // Majority if any two agree; otherwise the tie rule.
         if a == b || a == c {
             a
@@ -81,25 +115,26 @@ impl Dynamics for ThreeMajority {
             }
         }
     }
-
-    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
-        let n: u64 = cur.iter().sum();
-        let mut probs = vec![0.0f64; cur.len()];
-        three_majority_probs(cur, &mut probs);
-        sample_multinomial(n, &probs, next, rng);
-    }
-
-    fn has_fast_kernel(&self) -> bool {
-        true
-    }
 }
 
 /// The h-plurality dynamics: adopt the plurality among `h` u.a.r. samples,
 /// ties broken u.a.r. among the most frequent sampled colors.
 ///
-/// Mean-field rounds use exact multiset enumeration when
-/// `C(h+k−1, h)` is within budget and fall back to explicit per-node
-/// simulation otherwise (both exact; see `plurality-core::kernels`).
+/// # Mean-field path and the enumeration-refusal threshold
+///
+/// A mean-field round is exact either way, but takes one of two paths:
+///
+/// * **Enumeration kernel** — visits all `C(h+k−1, h)` sample multisets
+///   and draws one multinomial.  Used iff
+///   [`HPlurality::enumeration_feasible`] holds, i.e. the multiset count
+///   is at most [`crate::kernels::ENUMERATION_BUDGET`] (2·10⁶).
+/// * **Per-node fallback** — simulates all `n` node updates
+///   (`O(n·h)`, monomorphized via
+///   [`crate::dynamics::clique_step_core`]) when the budget is exceeded.
+///
+/// The threshold is a pure function of `(k, h)` — never of `n` or the
+/// counts — so which path a configuration takes is deterministic and
+/// documented rather than an accident of the kernel internals.
 #[derive(Debug, Clone, Copy)]
 pub struct HPlurality {
     /// Sample size `h ≥ 1`.
@@ -116,6 +151,15 @@ impl HPlurality {
         assert!(h > 0, "h must be positive");
         Self { h }
     }
+
+    /// Whether the exact enumeration kernel is used for a `k_colors`
+    /// state space: `C(h+k−1, h) ≤` [`crate::kernels::ENUMERATION_BUDGET`].
+    /// When `false`, [`Dynamics::step_mean_field`] takes the `O(n·h)`
+    /// per-node fallback (still exact).
+    #[must_use]
+    pub fn enumeration_feasible(&self, k_colors: usize) -> bool {
+        multiset_count(k_colors, self.h).is_some()
+    }
 }
 
 impl Dynamics for HPlurality {
@@ -125,15 +169,56 @@ impl Dynamics for HPlurality {
 
     fn node_update(
         &self,
-        _own: u32,
+        own: u32,
         sampler: &mut dyn StateSampler,
         scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
+    }
+
+    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
+        if self.enumeration_feasible(cur.len()) {
+            let n: u64 = cur.iter().sum();
+            let mut probs = vec![0.0f64; cur.len()];
+            let enumerated = h_plurality_probs(cur, self.h, &mut probs);
+            debug_assert!(enumerated, "feasibility check and kernel disagree");
+            sample_multinomial(n, &probs, next, rng);
+        } else {
+            clique_step_core(self, cur, next, rng);
+        }
+    }
+
+    fn has_fast_kernel(&self) -> bool {
+        // `k` is unknown here; report conservatively.  Callers that know
+        // the state count should ask `has_fast_kernel_for`.
+        false
+    }
+
+    fn has_fast_kernel_for(&self, k_states: usize) -> bool {
+        self.enumeration_feasible(k_states)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl SealedDynamics for HPlurality {}
+
+impl DynamicsCore for HPlurality {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        _own: u32,
+        source: &mut S,
+        scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
         // Tally h samples, tracking the running maximum.
         let mut best_count = 0u32;
         for _ in 0..self.h {
-            let s = sampler.sample_state(rng);
+            let s = source.draw(rng);
             scratch.ensure_states(s as usize + 1);
             scratch.tally(s);
             let c = scratch.counts[s as usize];
@@ -156,21 +241,6 @@ impl Dynamics for HPlurality {
         scratch.clear_counts();
         debug_assert_ne!(winner, u32::MAX);
         winner
-    }
-
-    fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
-        let n: u64 = cur.iter().sum();
-        let mut probs = vec![0.0f64; cur.len()];
-        if h_plurality_probs(cur, self.h, &mut probs) {
-            sample_multinomial(n, &probs, next, rng);
-        } else {
-            crate::dynamics::generic_clique_step(self, cur, next, rng);
-        }
-    }
-
-    fn has_fast_kernel(&self) -> bool {
-        // Only when enumeration is feasible; report conservatively.
-        false
     }
 }
 
@@ -301,6 +371,71 @@ mod tests {
             "9-plurality gain {} should exceed 3-plurality gain {}",
             mean_gain[1],
             mean_gain[0]
+        );
+    }
+
+    #[test]
+    fn enumeration_threshold_is_explicit_and_sharp() {
+        // h = 7: C(k+6, 7) crosses ENUMERATION_BUDGET = 2·10⁶ between
+        // k = 23 (C(29,7) = 1 560 780) and k = 24 (C(30,7) = 2 035 800).
+        let d = HPlurality::new(7);
+        assert_eq!(crate::kernels::multiset_count(23, 7), Some(1_560_780));
+        assert_eq!(crate::kernels::multiset_count(24, 7), None);
+        assert!(d.enumeration_feasible(23));
+        assert!(!d.enumeration_feasible(24));
+        // The advertised kernel speed agrees with the path taken.
+        assert!(d.has_fast_kernel_for(23));
+        assert!(!d.has_fast_kernel_for(24));
+        // And the blanket `has_fast_kernel` stays conservative.
+        assert!(!d.has_fast_kernel());
+    }
+
+    #[test]
+    fn enumeration_threshold_depends_only_on_k_and_h() {
+        // Feasibility must not depend on n or the counts: both a tiny and
+        // a huge population at the same (k, h) take the same path.
+        let d = HPlurality::new(9);
+        for k in [2usize, 8, 300] {
+            let feasible = d.enumeration_feasible(k);
+            assert_eq!(
+                feasible,
+                crate::kernels::multiset_count(k, 9).is_some(),
+                "k = {k}"
+            );
+            assert_eq!(d.has_fast_kernel_for(k), feasible, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn fallback_path_matches_enumeration_law_at_the_boundary() {
+        // k just below vs just above the refusal threshold for h = 3:
+        // both paths are exact, so one mean-field round from the same
+        // counts must produce statistically identical expectations.
+        let d = HPlurality::new(3);
+        let k_feasible = 200; // C(202, 3) ≈ 1.37e6 ≤ budget
+        assert!(d.enumeration_feasible(k_feasible));
+        let k_fallback = 300; // C(302, 3) ≈ 4.6e6 > budget
+        assert!(!d.enumeration_feasible(k_fallback));
+        // Exercise the fallback: population preserved, plurality favored.
+        let mut counts = vec![20u64; k_fallback];
+        counts[0] = 2_000;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+        let mut next = vec![0u64; k_fallback];
+        let trials = 60;
+        let mut plurality_mean = 0.0;
+        for _ in 0..trials {
+            d.step_mean_field(&counts, &mut next, &mut rng);
+            assert_eq!(
+                next.iter().sum::<u64>(),
+                counts.iter().sum::<u64>(),
+                "population must be preserved on the fallback path"
+            );
+            plurality_mean += next[0] as f64;
+        }
+        plurality_mean /= trials as f64;
+        assert!(
+            plurality_mean > 2_000.0,
+            "3-plurality must amplify the plurality, got {plurality_mean}"
         );
     }
 

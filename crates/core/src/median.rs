@@ -13,7 +13,10 @@
 //!   (`δ = (0,6,0)`), so by Theorem 3 it cannot solve plurality consensus
 //!   — the paper's "exponential time-gap" example.
 
-use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use crate::dynamics::sealed::SealedDynamics;
+use crate::dynamics::{
+    DynSampler, Dynamics, DynamicsCore, NodeScratch, SampleSource, StateSampler,
+};
 use plurality_sampling::multinomial::sample_multinomial;
 use rand::RngCore;
 
@@ -37,12 +40,10 @@ impl Dynamics for MedianOwn {
         &self,
         own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let x = sampler.sample_state(rng);
-        let y = sampler.sample_state(rng);
-        median3_of(own, x, y)
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -97,6 +98,23 @@ impl Dynamics for MedianOwn {
     }
 }
 
+impl SealedDynamics for MedianOwn {}
+
+impl DynamicsCore for MedianOwn {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let x = source.draw(rng);
+        let y = source.draw(rng);
+        median3_of(own, x, y)
+    }
+}
+
 /// The in-class variant: `new = median(X₁, X₂, X₃)` over three samples.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Median3;
@@ -108,15 +126,12 @@ impl Dynamics for Median3 {
 
     fn node_update(
         &self,
-        _own: u32,
+        own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let a = sampler.sample_state(rng);
-        let b = sampler.sample_state(rng);
-        let c = sampler.sample_state(rng);
-        median3_of(a, b, c)
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -143,6 +158,24 @@ impl Dynamics for Median3 {
 
     fn has_fast_kernel(&self) -> bool {
         true
+    }
+}
+
+impl SealedDynamics for Median3 {}
+
+impl DynamicsCore for Median3 {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        _own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let a = source.draw(rng);
+        let b = source.draw(rng);
+        let c = source.draw(rng);
+        median3_of(a, b, c)
     }
 }
 

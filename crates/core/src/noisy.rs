@@ -13,7 +13,10 @@
 //! iff `p < 1/(k+1)` — a sharp phase transition that experiment E13
 //! measures (`p* = 1/3` for k = 2, matching the published threshold).
 
-use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use crate::dynamics::sealed::SealedDynamics;
+use crate::dynamics::{
+    DynSampler, Dynamics, DynamicsCore, NodeScratch, SampleSource, StateSampler,
+};
 use plurality_sampling::multinomial::sample_multinomial;
 use rand::{Rng, RngCore};
 
@@ -66,28 +69,12 @@ impl Dynamics for NoisyThreeMajority {
 
     fn node_update(
         &self,
-        _own: u32,
+        own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let mut draw = |rng: &mut dyn RngCore| -> u32 {
-            if self.noise > 0.0 && rng.gen::<f64>() < self.noise {
-                rng.gen_range(0..self.k_colors as u32)
-            } else {
-                sampler.sample_state(rng)
-            }
-        };
-        let a = draw(rng);
-        let b = draw(rng);
-        let c = draw(rng);
-        if a == b || a == c {
-            a
-        } else if b == c {
-            b
-        } else {
-            a
-        }
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -128,6 +115,37 @@ impl Dynamics for NoisyThreeMajority {
                 return None;
             }
             states.iter().position(|&c| c == total)
+        }
+    }
+}
+
+impl SealedDynamics for NoisyThreeMajority {}
+
+impl DynamicsCore for NoisyThreeMajority {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        _own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let mut draw = |rng: &mut R| -> u32 {
+            if self.noise > 0.0 && rng.gen::<f64>() < self.noise {
+                rng.gen_range(0..self.k_colors as u32)
+            } else {
+                source.draw(rng)
+            }
+        };
+        let a = draw(rng);
+        let b = draw(rng);
+        let c = draw(rng);
+        if a == b || a == c {
+            a
+        } else if b == c {
+            b
+        } else {
+            a
         }
     }
 }

@@ -20,10 +20,14 @@
 //! disappears outright in one round with constant probability.
 
 use crate::config::Configuration;
-use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use crate::dynamics::sealed::SealedDynamics;
+use crate::dynamics::{
+    DynSampler, Dynamics, DynamicsCore, NodeScratch, SampleSource, StateSampler,
+};
 use plurality_sampling::binomial::sample_binomial;
 use plurality_sampling::multinomial::sample_multinomial;
 use rand::RngCore;
+use std::any::Any;
 
 /// The undecided-state dynamics over a fixed color count.
 #[derive(Debug, Clone, Copy)]
@@ -79,18 +83,10 @@ impl Dynamics for UndecidedState {
         &self,
         own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let undecided = self.undecided_index();
-        let pulled = sampler.sample_state(rng);
-        if own == undecided {
-            pulled
-        } else if pulled == undecided || pulled == own {
-            own
-        } else {
-            undecided
-        }
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -142,6 +138,33 @@ impl Dynamics for UndecidedState {
         }
         let k = states.len() - 1;
         states[..k].iter().position(|&c| c == total)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl SealedDynamics for UndecidedState {}
+
+impl DynamicsCore for UndecidedState {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let undecided = self.undecided_index();
+        let pulled = source.draw(rng);
+        if own == undecided {
+            pulled
+        } else if pulled == undecided || pulled == own {
+            own
+        } else {
+            undecided
+        }
     }
 }
 

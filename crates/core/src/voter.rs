@@ -9,10 +9,14 @@
 //! Hassin–Peleg).  We implement all three rules so that claim — and the
 //! contrast with 3-majority — is measurable (experiment E12).
 
-use crate::dynamics::{Dynamics, NodeScratch, StateSampler};
+use crate::dynamics::sealed::SealedDynamics;
+use crate::dynamics::{
+    DynSampler, Dynamics, DynamicsCore, NodeScratch, SampleSource, StateSampler,
+};
 use plurality_sampling::binomial::sample_binomial;
 use plurality_sampling::multinomial::sample_multinomial;
 use rand::{Rng, RngCore};
+use std::any::Any;
 
 /// Voter (polling / 1-majority) dynamics: copy one random node's color.
 ///
@@ -28,12 +32,12 @@ impl Dynamics for Voter {
 
     fn node_update(
         &self,
-        _own: u32,
+        own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        sampler.sample_state(rng)
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -45,6 +49,25 @@ impl Dynamics for Voter {
 
     fn has_fast_kernel(&self) -> bool {
         true
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl SealedDynamics for Voter {}
+
+impl DynamicsCore for Voter {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        _own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        source.draw(rng)
     }
 }
 
@@ -62,18 +85,12 @@ impl Dynamics for TwoSample {
 
     fn node_update(
         &self,
-        _own: u32,
+        own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let a = sampler.sample_state(rng);
-        let b = sampler.sample_state(rng);
-        if a == b || rng.gen::<bool>() {
-            a
-        } else {
-            b
-        }
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -83,6 +100,27 @@ impl Dynamics for TwoSample {
 
     fn has_fast_kernel(&self) -> bool {
         true
+    }
+}
+
+impl SealedDynamics for TwoSample {}
+
+impl DynamicsCore for TwoSample {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        _own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let a = source.draw(rng);
+        let b = source.draw(rng);
+        if a == b || rng.gen::<bool>() {
+            a
+        } else {
+            b
+        }
     }
 }
 
@@ -104,16 +142,10 @@ impl Dynamics for TwoChoices {
         &self,
         own: u32,
         sampler: &mut dyn StateSampler,
-        _scratch: &mut NodeScratch,
+        scratch: &mut NodeScratch,
         rng: &mut dyn RngCore,
     ) -> u32 {
-        let a = sampler.sample_state(rng);
-        let b = sampler.sample_state(rng);
-        if a == b {
-            a
-        } else {
-            own
-        }
+        self.node_update_core(own, &mut DynSampler(sampler), scratch, rng)
     }
 
     fn step_mean_field(&self, cur: &[u64], next: &mut [u64], rng: &mut dyn RngCore) {
@@ -155,6 +187,27 @@ impl Dynamics for TwoChoices {
 
     fn has_fast_kernel(&self) -> bool {
         true
+    }
+}
+
+impl SealedDynamics for TwoChoices {}
+
+impl DynamicsCore for TwoChoices {
+    #[inline]
+    fn node_update_core<S: SampleSource + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        own: u32,
+        source: &mut S,
+        _scratch: &mut NodeScratch,
+        rng: &mut R,
+    ) -> u32 {
+        let a = source.draw(rng);
+        let b = source.draw(rng);
+        if a == b {
+            a
+        } else {
+            own
+        }
     }
 }
 

@@ -13,14 +13,32 @@
 //! seed, regardless of how chunks are assigned to threads.  A run is
 //! therefore bit-for-bit identical for any `threads` setting — the
 //! property the determinism tests pin down.
+//!
+//! # Devirtualization
+//!
+//! The public constructors still take `&dyn Topology` / `&dyn Dynamics`
+//! so the CLI, experiments, and adversary hooks compose unchanged, but
+//! [`AgentEngine::run`] resolves both to concrete types up front
+//! (`downcast_topology` / `downcast_dynamics`) and runs a round loop
+//! monomorphized over `(Topology, Dynamics, Xoshiro256PlusPlus)` — the
+//! three layers of per-sample virtual dispatch inline away.  Types
+//! outside the dispatch tables fall back to [`DynTopology`] /
+//! [`DynDynamics`] wrappers, which cost exactly what the pre-refactor
+//! engine cost.  Both paths consume the PRNG identically; golden-trace
+//! tests (`tests/agent_golden.rs`) pin them bit-for-bit.
 
 use crate::run::{
     evaluate_stop, unique_initial_plurality, RunOptions, StopReason, TraceLevel, TrialResult,
 };
 use crate::trace::Trace;
-use plurality_core::{Configuration, Dynamics, NodeScratch, StateSampler};
+use plurality_core::{
+    downcast_dynamics, Configuration, DynDynamics, Dynamics, DynamicsCore, HPlurality, NodeScratch,
+    SampleSource, ThreeMajority, UndecidedState, Voter,
+};
 use plurality_sampling::stream_rng;
-use plurality_topology::Topology;
+use plurality_topology::{
+    downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
+};
 use rand::{Rng, RngCore};
 
 /// How initial colors are laid onto nodes.
@@ -66,17 +84,18 @@ pub struct AgentEngine<'t> {
     chunk_size: usize,
 }
 
-/// Draws the state of a random neighbor of one node.
-struct NeighborSampler<'a> {
-    topology: &'a dyn Topology,
+/// Draws the state of a random neighbor of one node; monomorphic over
+/// the topology so the whole sampling chain inlines.
+struct NeighborSource<'a, T> {
+    topology: &'a T,
     states: &'a [u32],
     node: usize,
 }
 
-impl StateSampler for NeighborSampler<'_> {
+impl<T: TopologyCore> SampleSource for NeighborSource<'_, T> {
     #[inline]
-    fn sample_state(&mut self, rng: &mut dyn RngCore) -> u32 {
-        self.states[self.topology.sample_neighbor(self.node, rng)]
+    fn draw<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        self.states[self.topology.sample_neighbor_core(self.node, rng)]
     }
 }
 
@@ -116,6 +135,10 @@ impl<'t> AgentEngine<'t> {
 
     /// Run one trial.  `seed` fully determines the trajectory.
     ///
+    /// Dispatches to a round loop monomorphized over the concrete
+    /// topology and dynamics (see the module docs); unknown types run
+    /// through dyn fallback wrappers with identical results.
+    ///
     /// # Panics
     /// Panics if the configuration population differs from the topology
     /// size.
@@ -127,7 +150,63 @@ impl<'t> AgentEngine<'t> {
         opts: &RunOptions,
         seed: u64,
     ) -> TrialResult {
-        let n = self.topology.n();
+        if let Some(t) = downcast_topology::<Clique>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+        } else if let Some(t) = downcast_topology::<CsrGraph>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+        } else {
+            self.run_with_topology(
+                &DynTopology(self.topology),
+                dynamics,
+                initial,
+                placement,
+                opts,
+                seed,
+            )
+        }
+    }
+
+    /// Second dispatch level: resolve the dynamics to a concrete type.
+    fn run_with_topology<T: TopologyCore>(
+        &self,
+        topology: &T,
+        dynamics: &dyn Dynamics,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+    ) -> TrialResult {
+        if let Some(d) = downcast_dynamics::<ThreeMajority>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else if let Some(d) = downcast_dynamics::<HPlurality>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else if let Some(d) = downcast_dynamics::<UndecidedState>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else if let Some(d) = downcast_dynamics::<Voter>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else {
+            self.run_core(
+                topology,
+                &DynDynamics(dynamics),
+                initial,
+                placement,
+                opts,
+                seed,
+            )
+        }
+    }
+
+    /// The monomorphized trial loop.
+    fn run_core<T: TopologyCore, D: DynamicsCore>(
+        &self,
+        topology: &T,
+        dynamics: &D,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+    ) -> TrialResult {
+        let n = topology.n();
         assert_eq!(
             initial.n() as usize,
             n,
@@ -166,6 +245,7 @@ impl<'t> AgentEngine<'t> {
         let mut rounds = 0u64;
         loop {
             self.step(
+                topology,
                 dynamics,
                 &states,
                 &mut next_states,
@@ -206,9 +286,10 @@ impl<'t> AgentEngine<'t> {
     /// One synchronous round: read `states`, write `next`, refresh
     /// `counts`.
     #[allow(clippy::too_many_arguments)]
-    fn step(
+    fn step<T: TopologyCore, D: DynamicsCore>(
         &self,
-        dynamics: &dyn Dynamics,
+        topology: &T,
+        dynamics: &D,
         states: &[u32],
         next: &mut [u32],
         counts: &mut [u64],
@@ -228,13 +309,17 @@ impl<'t> AgentEngine<'t> {
                 let base_node = chunk_index * chunk;
                 for (offset, out) in chunk_slice.iter_mut().enumerate() {
                     let node = base_node + offset;
-                    let mut sampler = NeighborSampler {
-                        topology: self.topology,
+                    let mut source = NeighborSource {
+                        topology,
                         states,
                         node,
                     };
-                    let new =
-                        dynamics.node_update(states[node], &mut sampler, &mut scratch, &mut rng);
+                    let new = dynamics.node_update_core(
+                        states[node],
+                        &mut source,
+                        &mut scratch,
+                        &mut rng,
+                    );
                     *out = new;
                     local_counts[new as usize] += 1;
                 }

@@ -6,6 +6,12 @@
 //! work-stealing via an atomic cursor) while keeping the result
 //! order and every trial's PRNG stream independent of scheduling: trial
 //! `i` always runs with `stream_rng(master_seed, i)`.
+//!
+//! Results land in **per-trial slots** (one `Mutex<Option<T>>` each, so
+//! every lock is touched exactly once and never contended) rather than
+//! one global `Mutex<Vec<_>>` — with thousands of near-instant trials
+//! the global lock serialized the hand-off (see the
+//! `montecarlo-short-trials` bench group).
 
 use plurality_sampling::{stream_rng, Xoshiro256PlusPlus};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -73,9 +79,11 @@ impl MonteCarlo {
                 .collect();
         }
 
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(self.trials);
-        slots.resize_with(self.trials, || None);
-        let slots = Mutex::new(slots);
+        // Disjoint per-trial slots: worker `w` writing trial `i` touches
+        // only `slots[i]`, so the (uncontended) lock is one atomic op and
+        // short-trial workloads scale instead of queueing on one mutex.
+        let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(self.trials);
+        slots.resize_with(self.trials, || Mutex::new(None));
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(self.trials);
 
@@ -88,16 +96,18 @@ impl MonteCarlo {
                     }
                     let mut rng = stream_rng(self.master_seed, i as u64);
                     let result = job(i, &mut rng);
-                    slots.lock().expect("worker panicked")[i] = Some(result);
+                    *slots[i].lock().expect("worker panicked") = Some(result);
                 });
             }
         });
 
         slots
-            .into_inner()
-            .expect("worker panicked")
             .into_iter()
-            .map(|s| s.expect("every trial slot filled"))
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panicked")
+                    .expect("every trial slot filled")
+            })
             .collect()
     }
 

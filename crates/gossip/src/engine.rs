@@ -43,14 +43,19 @@
 
 use crate::modes::{ExchangeMode, Inbox};
 use crate::network::{ExchangeFate, LegFate, MessageFate, MessageStreams, NetworkConfig};
-use crate::scheduler::{ActivationClock, EventKind, EventQueue, Scheduler};
-use plurality_core::{Configuration, Dynamics, NodeScratch, StateSampler};
+use crate::scheduler::{ActivationClock, EventKind, EventQueue, RatedActivation, Scheduler};
+use plurality_core::{
+    downcast_dynamics, Configuration, DynDynamics, Dynamics, DynamicsCore, HPlurality, NodeScratch,
+    SampleSource, ThreeMajority, UndecidedState, Voter,
+};
 use plurality_engine::{
     evaluate_stop, layout_initial_states, unique_initial_plurality, Placement, RunOptions,
     StopReason, Trace, TraceLevel, TrialResult,
 };
 use plurality_sampling::{derive_stream, stream_rng};
-use plurality_topology::Topology;
+use plurality_topology::{
+    downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
+};
 use rand::RngCore;
 
 // Stream 0 is the placement shuffle, consumed inside
@@ -70,6 +75,10 @@ pub struct GossipEngine<'t> {
     scheduler: Scheduler,
     network: NetworkConfig,
     rates: Option<Vec<f64>>,
+    /// Prebuilt alias sampler over `rates` — constructed once in
+    /// [`GossipEngine::with_node_rates`] and shared by every trial.
+    rated: Option<RatedActivation>,
+    rate_weighted_time: bool,
 }
 
 /// Side statistics of one gossip trial (beyond the shared
@@ -107,11 +116,12 @@ pub struct GossipStats {
 
 /// Draws one node's PULL samples, routing every request through the
 /// network-condition model.  The engine's `update_rng` (passed to
-/// `node_update` for rule-internal randomness such as tie-breaks) is
-/// deliberately *not* used here: message randomness lives in per-message
-/// streams.
-struct GossipSampler<'a> {
-    topology: &'a dyn Topology,
+/// `node_update_core` for rule-internal randomness such as tie-breaks)
+/// is deliberately *not* used here: message randomness lives in
+/// per-message streams.  Monomorphic over the topology so the peer draw
+/// inlines into the activation loop.
+struct GossipSampler<'a, T> {
+    topology: &'a T,
     states: &'a [u32],
     node: usize,
     own: u32,
@@ -122,13 +132,13 @@ struct GossipSampler<'a> {
     delayed: u64,
 }
 
-impl StateSampler for GossipSampler<'_> {
-    fn sample_state(&mut self, _rng: &mut dyn RngCore) -> u32 {
+impl<T: TopologyCore> SampleSource for GossipSampler<'_, T> {
+    fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         let topology = self.topology;
         let node = self.node;
-        let fate = self
-            .streams
-            .next_fate(&self.network, |mrng| topology.sample_neighbor(node, mrng));
+        let fate = self.streams.next_fate(&self.network, |mrng| {
+            topology.sample_neighbor_core(node, mrng)
+        });
         match fate {
             MessageFate::Lost => {
                 self.lost += 1;
@@ -157,8 +167,8 @@ struct InboxSampler<'a> {
     starved: bool,
 }
 
-impl StateSampler for InboxSampler<'_> {
-    fn sample_state(&mut self, _rng: &mut dyn RngCore) -> u32 {
+impl SampleSource for InboxSampler<'_> {
+    fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         match self.inbox.peek(self.cursor) {
             Some(color) => {
                 self.cursor += 1;
@@ -176,8 +186,8 @@ impl StateSampler for InboxSampler<'_> {
 /// Instant push-leg deliveries and delayed legs are buffered (the
 /// engine applies them after the update returns — same timestamp, no
 /// aliasing of the inbox table mid-update).
-struct PushPullSampler<'a> {
-    topology: &'a dyn Topology,
+struct PushPullSampler<'a, T> {
+    topology: &'a T,
     states: &'a [u32],
     node: usize,
     own: u32,
@@ -193,8 +203,8 @@ struct PushPullSampler<'a> {
     inbox_served: u64,
 }
 
-impl StateSampler for PushPullSampler<'_> {
-    fn sample_state(&mut self, _rng: &mut dyn RngCore) -> u32 {
+impl<T: TopologyCore> SampleSource for PushPullSampler<'_, T> {
+    fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         if let Some(color) = self.inbox.peek(self.cursor) {
             self.cursor += 1;
             self.inbox_served += 1;
@@ -202,9 +212,9 @@ impl StateSampler for PushPullSampler<'_> {
         }
         let topology = self.topology;
         let node = self.node;
-        let ExchangeFate { peer, pull, push } = self
-            .streams
-            .next_exchange(&self.network, |mrng| topology.sample_neighbor(node, mrng));
+        let ExchangeFate { peer, pull, push } = self.streams.next_exchange(&self.network, |mrng| {
+            topology.sample_neighbor_core(node, mrng)
+        });
         match push {
             LegFate::Lost => self.lost += 1,
             LegFate::Instant => self.instant_pushes.push((peer, self.own)),
@@ -241,6 +251,8 @@ impl<'t> GossipEngine<'t> {
             scheduler: Scheduler::Sequential,
             network: NetworkConfig::default(),
             rates: None,
+            rated: None,
+            rate_weighted_time: false,
         }
     }
 
@@ -270,9 +282,13 @@ impl<'t> GossipEngine<'t> {
     /// the sequential scheduler they weight the per-step node choice
     /// (the Poisson jump chain), leaving step times at `i/n`.
     ///
+    /// The rate-proportional alias sampler is built here, once, and
+    /// shared by every trial.
+    ///
     /// # Panics
     /// Panics unless `rates` holds one strictly positive finite entry
-    /// per topology node.
+    /// per topology node (per-entry validation lives in
+    /// [`RatedActivation::new`]).
     #[must_use]
     pub fn with_node_rates(mut self, rates: Vec<f64>) -> Self {
         assert_eq!(
@@ -280,10 +296,7 @@ impl<'t> GossipEngine<'t> {
             self.topology.n(),
             "need one activation rate per node"
         );
-        assert!(
-            rates.iter().all(|r| r.is_finite() && *r > 0.0),
-            "activation rates must be finite and > 0"
-        );
+        self.rated = Some(RatedActivation::new(&rates));
         self.rates = Some(rates);
         self
     }
@@ -310,6 +323,22 @@ impl<'t> GossipEngine<'t> {
     #[must_use]
     pub fn node_rates(&self) -> Option<&[f64]> {
         self.rates.as_deref()
+    }
+
+    /// Stamp *sequential* activations at rate-weighted parallel time
+    /// `i / Σ r_v` (expectation-matched to the Poisson clock) instead of
+    /// the uniform `i / n`.  Only observable with heterogeneous rates
+    /// under the sequential scheduler; see the scheduler module docs.
+    #[must_use]
+    pub fn with_rate_weighted_time(mut self, on: bool) -> Self {
+        self.rate_weighted_time = on;
+        self
+    }
+
+    /// Whether sequential activations use rate-weighted timestamps.
+    #[must_use]
+    pub fn rate_weighted_time(&self) -> bool {
+        self.rate_weighted_time
     }
 
     /// Run one trial; see [`Self::run_detailed`].
@@ -346,7 +375,67 @@ impl<'t> GossipEngine<'t> {
         opts: &RunOptions,
         seed: u64,
     ) -> (TrialResult, GossipStats) {
-        let n = self.topology.n();
+        // Devirtualize (same scheme as `AgentEngine::run`): resolve the
+        // topology, then the dynamics, to concrete types and run a mode
+        // step monomorphized over both; unknown types take the dyn
+        // fallback wrappers with identical draw sequences.
+        if let Some(t) = downcast_topology::<Clique>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+        } else if let Some(t) = downcast_topology::<CsrGraph>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+        } else {
+            self.run_with_topology(
+                &DynTopology(self.topology),
+                dynamics,
+                initial,
+                placement,
+                opts,
+                seed,
+            )
+        }
+    }
+
+    /// Second dispatch level: resolve the dynamics to a concrete type.
+    fn run_with_topology<T: TopologyCore>(
+        &self,
+        topology: &T,
+        dynamics: &dyn Dynamics,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+    ) -> (TrialResult, GossipStats) {
+        if let Some(d) = downcast_dynamics::<ThreeMajority>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else if let Some(d) = downcast_dynamics::<HPlurality>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else if let Some(d) = downcast_dynamics::<UndecidedState>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else if let Some(d) = downcast_dynamics::<Voter>(dynamics) {
+            self.run_core(topology, d, initial, placement, opts, seed)
+        } else {
+            self.run_core(
+                topology,
+                &DynDynamics(dynamics),
+                initial,
+                placement,
+                opts,
+                seed,
+            )
+        }
+    }
+
+    /// The monomorphized event loop.
+    fn run_core<T: TopologyCore, D: DynamicsCore>(
+        &self,
+        topology: &T,
+        dynamics: &D,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+    ) -> (TrialResult, GossipStats) {
+        let n = topology.n();
         assert_eq!(
             initial.n() as usize,
             n,
@@ -388,7 +477,11 @@ impl<'t> GossipEngine<'t> {
         let mut streams = MessageStreams::new(derive_stream(seed, STREAM_MESSAGES));
         let mut scratch = NodeScratch::with_states(state_count);
         let mut queue = EventQueue::new(n);
-        let mut clock = ActivationClock::new(self.scheduler, n, self.rates.as_deref());
+        let mut clock = match &self.rated {
+            Some(rated) => ActivationClock::with_rated(self.scheduler, n, rated),
+            None => ActivationClock::new(self.scheduler, n, None),
+        }
+        .with_rate_weighted_time(self.rate_weighted_time);
         let mut inboxes: Vec<Inbox> = match self.mode {
             ExchangeMode::Pull => Vec::new(),
             ExchangeMode::Push | ExchangeMode::PushPull => vec![Inbox::default(); n],
@@ -454,7 +547,7 @@ impl<'t> GossipEngine<'t> {
                 let (outcome, max_extra) = match self.mode {
                     ExchangeMode::Pull => {
                         let mut sampler = GossipSampler {
-                            topology: self.topology,
+                            topology,
                             states: &states,
                             node: v,
                             own,
@@ -464,15 +557,19 @@ impl<'t> GossipEngine<'t> {
                             lost: 0,
                             delayed: 0,
                         };
-                        let new =
-                            dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
+                        let new = dynamics.node_update_core(
+                            own,
+                            &mut sampler,
+                            &mut scratch,
+                            &mut update_rng,
+                        );
                         stats.lost_messages += sampler.lost;
                         stats.delayed_messages += sampler.delayed;
                         (Some(new), sampler.max_extra_ticks)
                     }
                     ExchangeMode::Push => {
                         // The activation's one call: push own color out.
-                        let fate = self.next_push_fate(v, &mut streams);
+                        let fate = next_push_fate(topology, &self.network, v, &mut streams);
                         match fate {
                             MessageFate::Lost => stats.lost_messages += 1,
                             MessageFate::Delivered { peer } => {
@@ -497,8 +594,12 @@ impl<'t> GossipEngine<'t> {
                             own,
                             starved: false,
                         };
-                        let new =
-                            dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
+                        let new = dynamics.node_update_core(
+                            own,
+                            &mut sampler,
+                            &mut scratch,
+                            &mut update_rng,
+                        );
                         let (starved, consumed) = (sampler.starved, sampler.cursor);
                         if starved {
                             // A starved update with a *full* inbox can
@@ -525,7 +626,7 @@ impl<'t> GossipEngine<'t> {
                         instant_pushes.clear();
                         delayed_pushes.clear();
                         let mut sampler = PushPullSampler {
-                            topology: self.topology,
+                            topology,
                             states: &states,
                             node: v,
                             own,
@@ -540,8 +641,12 @@ impl<'t> GossipEngine<'t> {
                             delayed: 0,
                             inbox_served: 0,
                         };
-                        let new =
-                            dynamics.node_update(own, &mut sampler, &mut scratch, &mut update_rng);
+                        let new = dynamics.node_update_core(
+                            own,
+                            &mut sampler,
+                            &mut scratch,
+                            &mut update_rng,
+                        );
                         let max_extra = sampler.max_extra_ticks;
                         let consumed = sampler.cursor;
                         stats.lost_messages += sampler.lost;
@@ -616,13 +721,17 @@ impl<'t> GossipEngine<'t> {
         };
         (result, stats)
     }
+}
 
-    /// Draw the fate of a PUSH-mode send from node `v` (loss, peer,
-    /// delay — the same per-message stream layout as a PULL request).
-    fn next_push_fate(&self, v: usize, streams: &mut MessageStreams) -> MessageFate {
-        let topology = self.topology;
-        streams.next_fate(&self.network, |mrng| topology.sample_neighbor(v, mrng))
-    }
+/// Draw the fate of a PUSH-mode send from node `v` (loss, peer,
+/// delay — the same per-message stream layout as a PULL request).
+fn next_push_fate<T: TopologyCore>(
+    topology: &T,
+    network: &NetworkConfig,
+    v: usize,
+    streams: &mut MessageStreams,
+) -> MessageFate {
+    streams.next_fate(network, |mrng| topology.sample_neighbor_core(v, mrng))
 }
 
 /// Parallel time consumed by `activations` activations, in whole ticks

@@ -113,4 +113,4 @@ pub mod scheduler;
 pub use engine::{GossipEngine, GossipStats};
 pub use modes::{ExchangeMode, Inbox, INBOX_CAP};
 pub use network::{ExchangeFate, LegFate, NetworkConfig};
-pub use scheduler::{ActivationClock, EventKind, EventQueue, Scheduler};
+pub use scheduler::{ActivationClock, EventKind, EventQueue, RatedActivation, Scheduler};

@@ -13,11 +13,17 @@
 //!   of `n` independent Poisson clocks with rates `r_v` is one Poisson
 //!   process of rate `R = Σ r_v` whose events land on node `v` with
 //!   probability `r_v / R`.  Each activation therefore costs one `Exp(R)`
-//!   waiting-time draw plus one node draw — `O(1)` for uniform rates, one
-//!   binary search over the cumulative rate table for heterogeneous
-//!   rates — instead of `O(log n)` heap traffic on a size-`n` heap.  The
-//!   law is *exactly* the same; only the PRNG consumption pattern (and
-//!   hence individual Poisson trajectories) differs from PR 1.
+//!   waiting-time draw plus one node draw — `O(1)` for uniform rates and
+//!   `O(1)` for heterogeneous rates via a Walker–Vose
+//!   [`AliasTable`] over the rate vector (PR 3; previously a binary
+//!   search over a cumulative table, whose `O(log n)` per activation was
+//!   the rated-population bottleneck at `n ≥ 10^6`) — instead of
+//!   `O(log n)` heap traffic on a size-`n` heap.  The law is *exactly*
+//!   the same; only the PRNG consumption pattern (and hence individual
+//!   rated trajectories) differs from the cumulative-table draw, the
+//!   same caveat PR 2 carried for Poisson trajectories vs PR 1.
+//!   Unit-rate runs draw nodes with a single `gen_range` as before and
+//!   remain bit-identical across all three generations.
 //! * **Network events** (delayed recolor commits, in-flight pushed
 //!   colors) go through the [`EventQueue`], a binary heap with **lazy
 //!   deletion**: each node carries a generation counter, cancelable
@@ -26,6 +32,19 @@
 //!   skipped (and discarded) when they surface on [`EventQueue::pop`].
 //!   The queue only ever holds in-flight network events, so it stays far
 //!   smaller than `n` in every regime.
+//!
+//! # Rate-weighted parallel time (sequential scheduler)
+//!
+//! Under unit rates the sequential scheduler stamps activation `i` at
+//! `i/n` — one tick per `n` activations, matching the Poisson clock in
+//! expectation (`E[t_i] = i/R`, `R = n`).  Under heterogeneous rates the
+//! plain `i/n` stamp keeps that reading only if one insists a "tick" is
+//! `n` activations regardless of how fast the population runs; the
+//! Poisson clock instead compresses real time by the total rate
+//! `R = Σ r_v`.  [`ActivationClock::with_rate_weighted_time`] opts the
+//! sequential scheduler into the expectation-matched stamps `i/R`, so
+//! sequential and Poisson rated runs report comparable parallel times
+//! (`tests` pin `t_i = i/R` exactly and against the Poisson mean).
 //!
 //! # Tie-breaking (deterministic FIFO)
 //!
@@ -37,8 +56,9 @@
 //! tests (`tests/event_queue.rs`), so the processing order of a trial is
 //! a pure function of the seed on every platform.
 
-use plurality_sampling::Xoshiro256PlusPlus;
+use plurality_sampling::{AliasTable, Xoshiro256PlusPlus};
 use rand::Rng;
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -82,10 +102,63 @@ impl Scheduler {
     }
 }
 
+/// Prebuilt rate-proportional activation sampler: the Walker–Vose alias
+/// table over a rate vector plus the total rate `R = Σ r_v`.
+///
+/// Construction is `O(n)`; build it **once per rate vector** (the
+/// [`crate::GossipEngine`] does so in `with_node_rates`) and share it
+/// across trials via [`ActivationClock::with_rated`] — rebuilding per
+/// trial would put the table build back on the per-run path the alias
+/// method just removed from the per-activation one.
+#[derive(Debug, Clone)]
+pub struct RatedActivation {
+    alias: AliasTable,
+    total_rate: f64,
+}
+
+impl RatedActivation {
+    /// Sampler over one strictly positive finite rate per node.
+    ///
+    /// # Panics
+    /// Panics if `rates` is empty or any rate is non-finite or `<= 0`.
+    #[must_use]
+    pub fn new(rates: &[f64]) -> Self {
+        assert!(!rates.is_empty(), "need at least one activation rate");
+        for (v, &r) in rates.iter().enumerate() {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "node {v} has invalid activation rate {r}"
+            );
+        }
+        Self {
+            alias: AliasTable::new(rates),
+            total_rate: rates.iter().sum(),
+        }
+    }
+
+    /// Total activation rate `R = Σ r_v`.
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.total_rate
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.alias.len()
+    }
+
+    /// Never empty once constructed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.alias.is_empty()
+    }
+}
+
 /// Draws the activation sequence `(time, node)` directly, without heap
 /// traffic (see the module docs for the superposition argument).
 #[derive(Debug)]
-pub struct ActivationClock {
+pub struct ActivationClock<'r> {
     scheduler: Scheduler,
     n: usize,
     nf: f64,
@@ -93,15 +166,21 @@ pub struct ActivationClock {
     count: u64,
     /// Current simulated time (Poisson only).
     now: f64,
-    /// Cumulative rate table (heterogeneous rates only).
-    cum_rates: Vec<f64>,
+    /// Rate-proportional node sampler (heterogeneous rates only):
+    /// `O(1)` draws at any `n`, borrowed when prebuilt by the engine.
+    rated: Option<Cow<'r, RatedActivation>>,
     /// Total activation rate `R = Σ r_v` (`n` for uniform unit rates).
     total_rate: f64,
+    /// Sequential scheduler: stamp activation `i` at `i/R` instead of
+    /// `i/n` (see the module docs).
+    rate_weighted_time: bool,
 }
 
-impl ActivationClock {
+impl<'r> ActivationClock<'r> {
     /// Clock over `n` nodes.  `rates`, when given, must hold one strictly
-    /// positive finite rate per node; `None` means unit rates for all.
+    /// positive finite rate per node (the alias table is built here —
+    /// prefer [`Self::with_rated`] when reusing rates across trials);
+    /// `None` means unit rates for all.
     ///
     /// # Panics
     /// Panics if `n == 0`, a rates slice has the wrong length, or any
@@ -109,32 +188,49 @@ impl ActivationClock {
     #[must_use]
     pub fn new(scheduler: Scheduler, n: usize, rates: Option<&[f64]>) -> Self {
         assert!(n > 0, "activation clock over an empty population");
-        let (cum_rates, total_rate) = match rates {
-            None => (Vec::new(), n as f64),
-            Some(rs) => {
-                assert_eq!(rs.len(), n, "need one activation rate per node");
-                let mut cum = Vec::with_capacity(n);
-                let mut acc = 0.0f64;
-                for (v, &r) in rs.iter().enumerate() {
-                    assert!(
-                        r.is_finite() && r > 0.0,
-                        "node {v} has invalid activation rate {r}"
-                    );
-                    acc += r;
-                    cum.push(acc);
-                }
-                (cum, acc)
-            }
-        };
+        let rated = rates.map(|rs| {
+            assert_eq!(rs.len(), n, "need one activation rate per node");
+            Cow::Owned(RatedActivation::new(rs))
+        });
+        Self::assemble(scheduler, n, rated)
+    }
+
+    /// Clock over `n` nodes drawing rate-proportionally from a prebuilt
+    /// [`RatedActivation`] (no per-trial table construction).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the sampler covers a different node count.
+    #[must_use]
+    pub fn with_rated(scheduler: Scheduler, n: usize, rated: &'r RatedActivation) -> Self {
+        assert!(n > 0, "activation clock over an empty population");
+        assert_eq!(rated.len(), n, "need one activation rate per node");
+        Self::assemble(scheduler, n, Some(Cow::Borrowed(rated)))
+    }
+
+    fn assemble(scheduler: Scheduler, n: usize, rated: Option<Cow<'r, RatedActivation>>) -> Self {
+        let total_rate = rated
+            .as_deref()
+            .map_or(n as f64, RatedActivation::total_rate);
         Self {
             scheduler,
             n,
             nf: n as f64,
             count: 0,
             now: 0.0,
-            cum_rates,
+            rated,
             total_rate,
+            rate_weighted_time: false,
         }
+    }
+
+    /// Stamp *sequential* activations at `i / Σ r_v` (expectation-matched
+    /// to the Poisson clock) instead of the uniform `i / n`.  No-op for
+    /// unit rates (`Σ r_v = n`) and for the Poisson scheduler, whose
+    /// waiting times already carry the total rate.
+    #[must_use]
+    pub fn with_rate_weighted_time(mut self, on: bool) -> Self {
+        self.rate_weighted_time = on;
+        self
     }
 
     /// Number of activations drawn so far.
@@ -143,35 +239,42 @@ impl ActivationClock {
         self.count
     }
 
+    /// Total activation rate `R = Σ r_v` (`n` for unit rates).
+    #[must_use]
+    pub fn total_rate(&self) -> f64 {
+        self.total_rate
+    }
+
     /// Draw the next activation as `(absolute time in ticks, node)`.
     ///
-    /// Sequential: activation `i` (1-based) fires at time `i/n`; the node
-    /// is drawn uniformly (or rate-proportionally).  Poisson: the waiting
-    /// time is `Exp(R)` and the node is drawn with probability `r_v / R`
+    /// Sequential: activation `i` (1-based) fires at time `i/n` (or `i/R`
+    /// under [`Self::with_rate_weighted_time`]); the node is drawn
+    /// uniformly (or rate-proportionally).  Poisson: the waiting time is
+    /// `Exp(R)` and the node is drawn with probability `r_v / R`
     /// (uniformly for unit rates).
     pub fn next(&mut self, rng: &mut Xoshiro256PlusPlus) -> (f64, u32) {
         self.count += 1;
         let time = match self.scheduler {
-            Scheduler::Sequential => self.count as f64 / self.nf,
+            Scheduler::Sequential => {
+                let divisor = if self.rate_weighted_time {
+                    self.total_rate
+                } else {
+                    self.nf
+                };
+                self.count as f64 / divisor
+            }
             Scheduler::Poisson => {
                 self.now += exp1(rng) / self.total_rate;
                 self.now
             }
         };
-        let node = if self.cum_rates.is_empty() {
-            rng.gen_range(0..self.n) as u32
-        } else {
-            self.sample_rated(rng)
+        let node = match &self.rated {
+            None => rng.gen_range(0..self.n) as u32,
+            // O(1) rate-proportional draw (alias method); consumes one
+            // `gen_range` + one `gen::<f64>` per activation.
+            Some(rated) => rated.alias.sample(rng) as u32,
         };
         (time, node)
-    }
-
-    /// Rate-proportional node draw via binary search on the cumulative
-    /// rate table.
-    fn sample_rated(&self, rng: &mut Xoshiro256PlusPlus) -> u32 {
-        let u: f64 = rng.gen::<f64>() * self.total_rate;
-        let idx = self.cum_rates.partition_point(|&c| c <= u);
-        idx.min(self.n - 1) as u32
     }
 }
 
@@ -525,6 +628,79 @@ mod tests {
             let (tb, vb) = b.next(&mut rng_b);
             assert_eq!(va, vb, "jump chains must coincide");
             assert!((ta - 4.0 * tb).abs() < 1e-9 * ta.max(1.0));
+        }
+    }
+
+    #[test]
+    fn rate_weighted_sequential_time_is_i_over_total_rate() {
+        let n = 100usize;
+        let mut rates = vec![1.0; n];
+        for r in rates.iter_mut().take(n / 2) {
+            *r = 3.0;
+        }
+        let total: f64 = rates.iter().sum(); // 200
+        let mut clock = ActivationClock::new(Scheduler::Sequential, n, Some(&rates))
+            .with_rate_weighted_time(true);
+        assert_eq!(clock.total_rate(), total);
+        let mut rng = stream_rng(21, 0);
+        for i in 1..=500u64 {
+            let (t, _) = clock.next(&mut rng);
+            assert!(
+                (t - i as f64 / total).abs() < 1e-12,
+                "activation {i}: t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_weighted_time_matches_poisson_clock_mean() {
+        // The m-th Poisson activation of a rate-R superposition has mean
+        // time m/R — exactly the flagged sequential stamp.  Estimate the
+        // Poisson mean over independent clocks and compare.
+        let n = 50usize;
+        let mut rates = vec![1.0; n];
+        for r in rates.iter_mut().take(n / 2) {
+            *r = 4.0;
+        }
+        let total: f64 = rates.iter().sum(); // 125
+        let m = 2_000u64;
+        let mut seq = ActivationClock::new(Scheduler::Sequential, n, Some(&rates))
+            .with_rate_weighted_time(true);
+        let mut rng = stream_rng(22, 0);
+        let mut seq_t = 0.0;
+        for _ in 0..m {
+            seq_t = seq.next(&mut rng).0;
+        }
+        assert!((seq_t - m as f64 / total).abs() < 1e-9);
+
+        let trials = 200;
+        let mut acc = 0.0;
+        for trial in 0..trials {
+            let mut clock = ActivationClock::new(Scheduler::Poisson, n, Some(&rates));
+            let mut rng = stream_rng(23, trial);
+            let mut t = 0.0;
+            for _ in 0..m {
+                t = clock.next(&mut rng).0;
+            }
+            acc += t;
+        }
+        let poisson_mean = acc / trials as f64;
+        // sd of the mean ≈ sqrt(m)/R/sqrt(trials) ≈ 0.025.
+        assert!(
+            (poisson_mean - seq_t).abs() < 0.15,
+            "sequential {seq_t} vs poisson mean {poisson_mean}"
+        );
+    }
+
+    #[test]
+    fn unit_rates_make_rate_weighting_a_noop() {
+        let n = 10usize;
+        let mut clock =
+            ActivationClock::new(Scheduler::Sequential, n, None).with_rate_weighted_time(true);
+        let mut rng = stream_rng(24, 0);
+        for i in 1..=50u64 {
+            let (t, _) = clock.next(&mut rng);
+            assert!((t - i as f64 / n as f64).abs() < 1e-12);
         }
     }
 

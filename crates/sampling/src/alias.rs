@@ -12,13 +12,20 @@
 
 use rand::Rng;
 
+/// One slot of the table: acceptance threshold plus alias category,
+/// interleaved so a draw touches a single cache line.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Acceptance threshold, scaled to [0,1].
+    prob: f64,
+    /// Alias category when the threshold rejects.
+    alias: u32,
+}
+
 /// Precomputed alias table over `k` categories.
 #[derive(Debug, Clone)]
 pub struct AliasTable {
-    /// Acceptance threshold for each slot, scaled to [0,1].
-    prob: Vec<f64>,
-    /// Alias category for each slot.
-    alias: Vec<u32>,
+    slots: Vec<Slot>,
 }
 
 impl AliasTable {
@@ -77,32 +84,71 @@ impl AliasTable {
             prob[i as usize] = 1.0;
         }
 
-        Self { prob, alias }
+        Self {
+            slots: prob
+                .into_iter()
+                .zip(alias)
+                .map(|(prob, alias)| Slot { prob, alias })
+                .collect(),
+        }
+    }
+
+    /// Build the table from non-negative *integer* weights (counts or
+    /// integer rates).
+    ///
+    /// Every weight up to `2^53` is exactly representable in `f64`, so
+    /// the slot thresholds are computed from the true integer ratios —
+    /// the table's law matches a cumulative-table draw
+    /// ([`crate::CountSampler`]) over the same counts exactly (up to the
+    /// final `f64` division both perform), which the chi-square proptest
+    /// in `tests/proptests.rs` pins.  Use this over [`Self::new`]
+    /// whenever the weights are integer counts.  (The rated gossip
+    /// scheduler draws from user-supplied `f64` rates and therefore goes
+    /// through [`Self::new`].)
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, all zero, or any entry exceeds
+    /// `2^53` (no longer exactly representable).
+    #[must_use]
+    pub fn from_counts(weights: &[u64]) -> Self {
+        const EXACT_MAX: u64 = 1 << 53;
+        let as_f64: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(
+                    w <= EXACT_MAX,
+                    "weight {w} exceeds 2^53 and is not exactly representable"
+                );
+                w as f64
+            })
+            .collect();
+        Self::new(&as_f64)
     }
 
     /// Number of categories.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.prob.len()
+        self.slots.len()
     }
 
     /// Whether the table is empty (never true for a constructed table).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.prob.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Draw one category index in O(1).
+    /// Draw one category index in O(1) — one uniform for the slot, one
+    /// for accept/alias, one cache line touched.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let k = self.prob.len();
-        // One uniform for the slot, one for accept/alias.
+        let k = self.slots.len();
         let slot = rng.gen_range(0..k);
         let u: f64 = rng.gen::<f64>();
-        if u < self.prob[slot] {
+        let s = self.slots[slot];
+        if u < s.prob {
             slot
         } else {
-            self.alias[slot] as usize
+            s.alias as usize
         }
     }
 }

@@ -8,7 +8,67 @@ use plurality_sampling::{derive_stream, AliasTable, CountSampler, SplitMix64, Xo
 use proptest::prelude::*;
 use rand::{RngCore, SeedableRng};
 
+/// Pearson chi-square statistic of `observed` draws against expected
+/// proportions `weights[i] / Σ weights`.
+fn chi_square(observed: &[u64], weights: &[u64]) -> f64 {
+    let total_w: u64 = weights.iter().sum();
+    let draws: u64 = observed.iter().sum();
+    observed
+        .iter()
+        .zip(weights)
+        .filter(|&(_, &w)| w > 0)
+        .map(|(&o, &w)| {
+            let expect = draws as f64 * w as f64 / total_w as f64;
+            let d = o as f64 - expect;
+            d * d / expect
+        })
+        .sum()
+}
+
 proptest! {
+    /// The alias table over integer rates draws the same distribution as
+    /// the exact cumulative-table sampler ([`CountSampler`]) over the
+    /// same counts: chi-square of each against the true proportions stays
+    /// below a generous quantile, for arbitrary weight vectors.
+    ///
+    /// This is the law-level guarantee backing the rated gossip
+    /// scheduler's switch from the cumulative binary search to
+    /// [`AliasTable`] (the PRNG consumption differs by design; the
+    /// distribution must not).
+    #[test]
+    fn alias_from_counts_matches_cumulative_law(
+        weights in proptest::collection::vec(0u64..50, 2..12),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<u64>() > 0);
+        let k = weights.len();
+        let alias = AliasTable::from_counts(&weights);
+        let cumulative = CountSampler::new(&weights);
+        let draws = 40_000usize;
+        let mut alias_counts = vec![0u64; k];
+        let mut cum_counts = vec![0u64; k];
+        let mut rng_a = Xoshiro256PlusPlus::seed_from_u64(derive_stream(seed, 1));
+        let mut rng_c = Xoshiro256PlusPlus::seed_from_u64(derive_stream(seed, 2));
+        for _ in 0..draws {
+            alias_counts[alias.sample(&mut rng_a)] += 1;
+            cum_counts[cumulative.sample(&mut rng_c)] += 1;
+        }
+        // Zero-weight categories must never fire on either path.
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0 {
+                prop_assert_eq!(alias_counts[i], 0);
+                prop_assert_eq!(cum_counts[i], 0);
+            }
+        }
+        // dof ≤ 11; χ²(dof=11) has mean 11, sd ≈ 4.7.  50 is far beyond
+        // any plausible quantile for a correct sampler while still tight
+        // enough to catch a mis-built table.
+        let chi_alias = chi_square(&alias_counts, &weights);
+        let chi_cum = chi_square(&cum_counts, &weights);
+        prop_assert!(chi_alias < 50.0, "alias chi-square {} (counts {:?})", chi_alias, weights);
+        prop_assert!(chi_cum < 50.0, "cumulative chi-square {}", chi_cum);
+    }
+
     /// Binomial samples never exceed n, for any (n, p, seed).
     #[test]
     fn binomial_within_bounds(n in 0u64..1_000_000, p in -0.5f64..1.5, seed in any::<u64>()) {

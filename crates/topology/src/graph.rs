@@ -7,6 +7,7 @@
 //! and allocation-free during simulation.
 
 use rand::{Rng, RngCore};
+use std::any::Any;
 
 /// A communication topology: who can a node sample in one round?
 ///
@@ -26,6 +27,78 @@ pub trait Topology: Send + Sync {
 
     /// Size of the node's sampling set.
     fn degree(&self, node: usize) -> usize;
+
+    /// Concrete-type hook for the devirtualized engine cores: topologies
+    /// that participate in downcast dispatch (see [`downcast_topology`])
+    /// return `Some(self)`; the default `None` routes sampling through
+    /// the dyn fallback.
+    fn as_any(&self) -> Option<&dyn Any> {
+        None
+    }
+}
+
+/// Recover a concrete topology type from a `&dyn Topology` (via
+/// [`Topology::as_any`]); the engines use this to select a fully
+/// monomorphized neighbor-sampling path.
+#[must_use]
+pub fn downcast_topology<T: Topology + 'static>(topology: &dyn Topology) -> Option<&T> {
+    topology.as_any().and_then(<dyn Any>::downcast_ref)
+}
+
+pub(crate) mod sealed {
+    /// Seals [`super::TopologyCore`]: the monomorphic sampling contract
+    /// (same RNG consumption as `sample_neighbor`, bit for bit) is only
+    /// enforceable for the samplers maintained in this crate.
+    pub trait SealedTopology {}
+}
+
+/// The sealed monomorphic extension of [`Topology`]: neighbor sampling
+/// generic over the RNG, so a concrete topology + concrete RNG pair
+/// inlines to straight-line code in the engines' per-node loops.
+///
+/// Contract: `sample_neighbor_core` must consume the RNG identically to
+/// [`Topology::sample_neighbor`] (every implementation here *is* the
+/// implementation behind the object-safe method).
+pub trait TopologyCore: Topology + sealed::SealedTopology {
+    /// Monomorphic form of [`Topology::sample_neighbor`].
+    fn sample_neighbor_core<R: RngCore + ?Sized>(&self, node: usize, rng: &mut R) -> usize;
+}
+
+/// Fallback adapter: any `&dyn Topology` viewed as a [`TopologyCore`]
+/// (one virtual call per sample — the pre-devirtualization cost).
+pub struct DynTopology<'a>(pub &'a dyn Topology);
+
+impl Topology for DynTopology<'_> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        self.0.sample_neighbor(node, rng)
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        self.0.degree(node)
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        self.0.as_any()
+    }
+}
+
+impl sealed::SealedTopology for DynTopology<'_> {}
+
+impl TopologyCore for DynTopology<'_> {
+    #[inline]
+    fn sample_neighbor_core<R: RngCore + ?Sized>(&self, node: usize, rng: &mut R) -> usize {
+        // `&mut &mut R` is Sized, so it coerces to `&mut dyn RngCore`.
+        let mut rng = &mut *rng;
+        self.0.sample_neighbor(node, &mut rng)
+    }
 }
 
 /// An undirected graph in CSR form.
@@ -36,6 +109,10 @@ pub trait Topology: Send + Sync {
 pub struct CsrGraph {
     offsets: Vec<usize>,
     edges: Vec<u32>,
+    /// `Some(d)` iff every node has degree `d > 0` — detected at
+    /// construction so neighbor sampling can skip the offsets lookup
+    /// (rings, tori, random-regular graphs).
+    regular_degree: Option<usize>,
     name: String,
 }
 
@@ -83,11 +160,23 @@ impl CsrGraph {
             edges[cursor[v as usize]] = u;
             cursor[v as usize] += 1;
         }
+        let regular_degree = match degrees.first() {
+            Some(&d) if d > 0 && degrees.iter().all(|&x| x == d) => Some(d),
+            _ => None,
+        };
         Self {
             offsets,
             edges,
+            regular_degree,
             name: name.into(),
         }
+    }
+
+    /// `Some(d)` when every node has the same positive degree `d` (the
+    /// neighbor-sampling fast path applies).
+    #[must_use]
+    pub fn regular_degree(&self) -> Option<usize> {
+        self.regular_degree
     }
 
     /// The adjacency list of a node.
@@ -143,16 +232,34 @@ impl Topology for CsrGraph {
     }
 
     fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        self.sample_neighbor_core(node, rng)
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        self.offsets[node + 1] - self.offsets[node]
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl sealed::SealedTopology for CsrGraph {}
+
+impl TopologyCore for CsrGraph {
+    #[inline]
+    fn sample_neighbor_core<R: RngCore + ?Sized>(&self, node: usize, rng: &mut R) -> usize {
+        if let Some(d) = self.regular_degree {
+            // Regular graph: row `node` starts at `node·d`; no offsets
+            // load.  Same `gen_range(0..d)` draw as the general path.
+            return self.edges[node * d + rng.gen_range(0..d)] as usize;
+        }
         let nbrs = self.neighbors(node);
         assert!(
             !nbrs.is_empty(),
             "node {node} is isolated; cannot sample a neighbor"
         );
         nbrs[rng.gen_range(0..nbrs.len())] as usize
-    }
-
-    fn degree(&self, node: usize) -> usize {
-        self.offsets[node + 1] - self.offsets[node]
     }
 }
 

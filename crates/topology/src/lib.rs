@@ -16,6 +16,6 @@ pub mod graph;
 pub mod models;
 pub mod social;
 
-pub use graph::{CsrGraph, Topology};
+pub use graph::{downcast_topology, CsrGraph, DynTopology, Topology, TopologyCore};
 pub use models::{complete_bipartite, erdos_renyi, random_regular, ring, star, torus, Clique};
 pub use social::{barabasi_albert, watts_strogatz};

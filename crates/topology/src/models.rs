@@ -1,9 +1,10 @@
 //! Standard topology generators: the paper's clique plus the explicit
 //! graph families used by the extension experiments.
 
-use crate::graph::{CsrGraph, Topology};
+use crate::graph::{sealed::SealedTopology, CsrGraph, Topology, TopologyCore};
 use plurality_sampling::stream_rng;
 use rand::{Rng, RngCore};
+use std::any::Any;
 
 /// The paper's communication model: every node may sample every node,
 /// *including itself*, with repetition.
@@ -55,6 +56,28 @@ impl Topology for Clique {
     }
 
     fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        self.sample_neighbor_core(node, rng)
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        let _ = node;
+        if self.include_self {
+            self.n
+        } else {
+            self.n - 1
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl SealedTopology for Clique {}
+
+impl TopologyCore for Clique {
+    #[inline]
+    fn sample_neighbor_core<R: RngCore + ?Sized>(&self, node: usize, rng: &mut R) -> usize {
         if self.include_self {
             rng.gen_range(0..self.n)
         } else {
@@ -65,15 +88,6 @@ impl Topology for Clique {
             } else {
                 r
             }
-        }
-    }
-
-    fn degree(&self, node: usize) -> usize {
-        let _ = node;
-        if self.include_self {
-            self.n
-        } else {
-            self.n - 1
         }
     }
 }
