@@ -14,8 +14,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{Placement, RunOptions};
-use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
-use plurality_topology::Clique;
+use plurality_gossip::{ExchangeMode, FailureModel, GossipEngine, NetworkConfig, Scheduler};
+use plurality_topology::{random_regular, Clique};
 
 fn bench_gossip_tick(c: &mut Criterion) {
     let mut g = c.benchmark_group("gossip-tick");
@@ -129,6 +129,57 @@ fn bench_network_conditions(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_failure_models(c: &mut Criterion) {
+    // Cost of one tick under each structured failure layer, vs the
+    // uniform i.i.d. baseline at the same average loss — the overhead of
+    // per-edge parameter lookup (dense CSR table), per-message window
+    // checks, and lazily advanced Gilbert–Elliott / outage chains.
+    let mut g = c.benchmark_group("gossip-failure-tick");
+    g.sample_size(10);
+    let d = ThreeMajority::new();
+    let n = 50_000usize;
+    let graph = random_regular(n, 8, 0xBE);
+    let cfg = builders::biased(n as u64, 8, n as u64 / 10);
+    let ideal = NetworkConfig::default();
+    for (label, model) in [
+        (
+            "uniform-loss0.4",
+            FailureModel::uniform(NetworkConfig::new(0.0, 0.4)),
+        ),
+        (
+            "per-edge",
+            FailureModel::parse("edge:loss=0..0.8", ideal).unwrap(),
+        ),
+        (
+            "window",
+            FailureModel::parse("window:0..1000,loss=0.4", ideal).unwrap(),
+        ),
+        (
+            "gilbert-elliott",
+            FailureModel::parse("ge:up=6,down=6,loss=0.8", ideal).unwrap(),
+        ),
+        (
+            "outage",
+            FailureModel::parse("outage:frac=0.5,up=6,down=6", ideal).unwrap(),
+        ),
+        (
+            "partition",
+            FailureModel::parse("partition:parts=2,0..1000", ideal).unwrap(),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            let engine = GossipEngine::new(&graph).with_failure_model(model.clone());
+            let opts = RunOptions::with_max_rounds(1);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(engine.run(&d, &cfg, Placement::Blocks, &opts, seed).rounds)
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_full_async_convergence(c: &mut Criterion) {
     let mut g = c.benchmark_group("gossip-convergence");
     g.sample_size(10);
@@ -188,6 +239,7 @@ criterion_group!(
     bench_exchange_modes,
     bench_heterogeneous_rates,
     bench_network_conditions,
+    bench_failure_models,
     bench_full_async_convergence
 );
 criterion_main!(benches);

@@ -1,160 +1,81 @@
-//! Regenerate the golden-trace fingerprint tables used by
-//! `tests/agent_golden.rs` (and, historically, `tests/gossip_modes.rs`).
-//!
-//! Prints one Rust tuple per pinned configuration.  The fingerprints pin
-//! the engines' PRNG stream layout bit-for-bit: any refactor that claims
-//! to preserve trajectories (such as the devirtualized engine cores) must
-//! reproduce these values exactly.  Run with:
+//! Golden-trace fingerprint tool: regenerate or **check** the pinned
+//! tables in `plurality_bench::golden` (consumed by
+//! `tests/agent_golden.rs`).
 //!
 //! ```text
+//! # Re-run every pinned case; exit 1 on any drift (the CI gate):
+//! cargo run --release -p plurality-bench --bin golden_fingerprints -- --check
+//!
+//! # Print regenerated rows to paste into crates/bench/src/golden.rs
+//! # after an *intentional* trajectory change:
 //! cargo run --release -p plurality-bench --bin golden_fingerprints
 //! ```
+//!
+//! The fingerprints pin the engines' PRNG stream layout bit for bit:
+//! any refactor that claims to preserve trajectories (devirtualized
+//! cores, the failure-model degenerate path) must reproduce these
+//! values exactly.
 
-use plurality_core::{Dynamics, HPlurality, ThreeMajority, UndecidedState};
-use plurality_engine::{AgentEngine, Placement, RunOptions, Trace};
-use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
-use plurality_topology::{erdos_renyi, random_regular, Clique, Topology};
+use plurality_bench::golden::{
+    check_all, run_agent_case, run_gossip_case, AGENT_CASES, GOSSIP_CASES,
+};
 
-/// FNV-1a fold of a trace's `(round, plurality, second, minority, extra)`
-/// tuples — the same fingerprint `tests/gossip_modes.rs` uses.
-fn trace_fingerprint(trace: &Trace) -> u64 {
-    let fnv = |acc: u64, x: u64| (acc ^ x).wrapping_mul(0x0100_0000_01b3);
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for s in &trace.rounds {
-        h = fnv(h, s.round);
-        h = fnv(h, s.plurality_count);
-        h = fnv(h, s.second_count);
-        h = fnv(h, s.minority_mass);
-        h = fnv(h, s.extra_state_mass);
+fn regenerate() {
+    println!("// AgentEngine goldens (paste the changed fields into golden.rs):");
+    for case in AGENT_CASES {
+        let o = run_agent_case(case);
+        println!(
+            "    // {}\n    seed: {}, rounds: {}, winner: {:?}, fingerprint: {:#018x},",
+            case.label, case.seed, o.rounds, o.winner, o.fingerprint,
+        );
     }
-    h
-}
-
-fn agent_row(label: &str, topo: &dyn Topology, d: &dyn Dynamics, threads: usize, seed: u64) {
-    let n = topo.n() as u64;
-    let cfg = plurality_core::builders::biased(n, 4, n / 5);
-    let engine = AgentEngine::new(topo)
-        .with_threads(threads)
-        .with_chunk_size(512);
-    let opts = RunOptions::with_max_rounds(50_000).traced();
-    let r = engine.run(d, &cfg, Placement::Shuffled, &opts, seed);
-    println!(
-        "    // {label}\n    ({seed}, {}, {:?}, {:#018x}),",
-        r.rounds,
-        r.winner,
-        trace_fingerprint(&r.trace.unwrap()),
-    );
-}
-
-fn gossip_row(
-    label: &str,
-    mode: ExchangeMode,
-    scheduler: Scheduler,
-    network: NetworkConfig,
-    seed: u64,
-) {
-    let clique = Clique::new(800);
-    let cfg = plurality_core::builders::biased(800, 3, 160);
-    let engine = GossipEngine::new(&clique)
-        .with_mode(mode)
-        .with_scheduler(scheduler)
-        .with_network(network);
-    let opts = RunOptions::with_max_rounds(100_000).traced();
-    let (r, s) = engine.run_detailed(
-        &ThreeMajority::new(),
-        &cfg,
-        Placement::Shuffled,
-        &opts,
-        seed,
-    );
-    println!(
-        "    // {label}\n    ({seed}, {}, {:?}, {}, {}, {:#018x}),",
-        r.rounds,
-        r.winner,
-        s.activations,
-        s.messages,
-        trace_fingerprint(&r.trace.unwrap()),
-    );
+    println!();
+    println!("// Gossip goldens:");
+    for case in GOSSIP_CASES {
+        let o = run_gossip_case(case);
+        println!(
+            "    // {}\n    seed: {}, rounds: {}, winner: {:?}, activations: {}, \
+             messages: {}, fingerprint: {:#018x},",
+            case.label, case.seed, o.rounds, o.winner, o.activations, o.messages, o.fingerprint,
+        );
+    }
 }
 
 fn main() {
-    println!("// AgentEngine goldens: (seed, rounds, winner, fingerprint)");
-    let c3000 = Clique::new(3_000);
-    agent_row(
-        "clique(3000) 3-majority 1 thread",
-        &c3000,
-        &ThreeMajority::new(),
-        1,
-        11,
-    );
-    agent_row(
-        "clique(3000) 3-majority 3 threads",
-        &c3000,
-        &ThreeMajority::new(),
-        3,
-        12,
-    );
-    let c2000 = Clique::new(2_000);
-    agent_row(
-        "clique(2000) 7-plurality",
-        &c2000,
-        &HPlurality::new(7),
-        1,
-        21,
-    );
-    agent_row(
-        "clique(2000) undecided",
-        &c2000,
-        &UndecidedState::new(4),
-        2,
-        31,
-    );
-    let er = erdos_renyi(1_500, 0.01, 7);
-    assert!(er.min_degree() > 0, "ER graph has an isolated node");
-    agent_row(
-        "er(1500,0.01) 3-majority",
-        &er,
-        &ThreeMajority::new(),
-        1,
-        41,
-    );
-    let reg = random_regular(1_200, 8, 3);
-    agent_row(
-        "regular(1200,8) 5-plurality",
-        &reg,
-        &HPlurality::new(5),
-        2,
-        51,
-    );
-
-    println!();
-    println!("// Gossip goldens: (seed, rounds, winner, activations, messages, fingerprint)");
-    gossip_row(
-        "poisson pull ideal",
-        ExchangeMode::Pull,
-        Scheduler::Poisson,
-        NetworkConfig::default(),
-        71,
-    );
-    gossip_row(
-        "poisson pull delay/loss",
-        ExchangeMode::Pull,
-        Scheduler::Poisson,
-        NetworkConfig::new(0.4, 0.05),
-        72,
-    );
-    gossip_row(
-        "sequential push ideal",
-        ExchangeMode::Push,
-        Scheduler::Sequential,
-        NetworkConfig::default(),
-        81,
-    );
-    gossip_row(
-        "poisson push-pull delay/loss",
-        ExchangeMode::PushPull,
-        Scheduler::Poisson,
-        NetworkConfig::new(0.4, 0.05),
-        91,
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => match check_all() {
+            Ok(()) => {
+                println!(
+                    "golden fingerprints OK: {} agent + {} gossip cases bit-identical",
+                    AGENT_CASES.len(),
+                    GOSSIP_CASES.len()
+                );
+            }
+            Err(drifts) => {
+                eprintln!(
+                    "golden fingerprint DRIFT in {} case(s) — the engines are no longer \
+                     bit-identical to the pinned traces:",
+                    drifts.len()
+                );
+                for d in &drifts {
+                    eprintln!("  {d}");
+                }
+                eprintln!(
+                    "\nIf the change is intentional, regenerate with\n  cargo run --release \
+                     -p plurality-bench --bin golden_fingerprints\nand update \
+                     crates/bench/src/golden.rs."
+                );
+                std::process::exit(1);
+            }
+        },
+        Some("--help" | "-h") => {
+            eprintln!("usage: golden_fingerprints [--check]");
+        }
+        Some(other) => {
+            eprintln!("unknown argument '{other}' (expected --check)");
+            std::process::exit(2);
+        }
+        None => regenerate(),
+    }
 }

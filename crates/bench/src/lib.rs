@@ -1,0 +1,8 @@
+//! Benchmark support library: the golden-trace fingerprint tables
+//! shared by `tests/agent_golden.rs` (the drift test) and the
+//! `golden_fingerprints` binary (regeneration + the CI `--check` gate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod golden;

@@ -37,6 +37,8 @@ const VALUE_OPTS: &[&str] = &[
     "bins",
     "loss",
     "delay",
+    "failure",
+    "inbox-policy",
     "scheduler",
     "mode",
     "fast-frac",
@@ -102,6 +104,12 @@ fn usage() {
          \x20 --bins B          histogram bins for 'hist' (default 30)\n\
          \x20 --loss Q          gossip: per-message (per-leg) loss probability (default 0)\n\
          \x20 --delay P         gossip: per-message (per-leg) delay probability (default 0)\n\
+         \x20 --failure SPEC    gossip: structured failure scenario layered on --loss/--delay;\n\
+         \x20                   ';'-separated clauses: edge:loss=DIST[,delay=DIST] with DIST =\n\
+         \x20                   X | LO..HI | flaky(F,G,B) - window:T0..T1[,loss=F][,delay=F] -\n\
+         \x20                   ge:up=U,down=D,loss=F[,delay=F] - outage:frac=F,up=U,down=D -\n\
+         \x20                   partition:parts=K,T0..T1 - salt:N\n\
+         \x20 --inbox-policy P  gossip: full-inbox policy 'drop-oldest' (default) or 'drop-newest'\n\
          \x20 --scheduler S     gossip: 'sequential' (default) or 'poisson'\n\
          \x20 --mode M          gossip: 'pull' (default), 'push', or 'push-pull'\n\
          \x20 --fast-frac F     gossip: fraction of nodes activating at --fast-rate (default 0)\n\
@@ -423,7 +431,9 @@ fn cmd_hist(parsed: &Args) -> Result<(), String> {
 }
 
 fn cmd_gossip(parsed: &Args) -> Result<(), String> {
-    use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
+    use plurality_gossip::{
+        ExchangeMode, FailureModel, GossipEngine, InboxPolicy, NetworkConfig, Scheduler,
+    };
     use plurality_topology::Clique;
 
     let c = common(parsed)?;
@@ -439,6 +449,14 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     if !(0.0..=1.0).contains(&loss) {
         return Err(format!("--loss {loss} out of [0, 1]"));
     }
+    let failure = match parsed.get("failure") {
+        Some(spec) => Some(
+            FailureModel::parse(spec, NetworkConfig::new(delay, loss))
+                .map_err(|e| format!("--failure: {e}"))?,
+        ),
+        None => None,
+    };
+    let inbox_policy = InboxPolicy::from_name(parsed.get("inbox-policy").unwrap_or("drop-oldest"))?;
     let scheduler = Scheduler::from_name(parsed.get("scheduler").unwrap_or("sequential"))?;
     let mode = ExchangeMode::from_name(parsed.get("mode").unwrap_or("pull"))?;
     let fast_frac: f64 = parsed
@@ -465,7 +483,11 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     let mut engine = GossipEngine::new(&clique)
         .with_mode(mode)
         .with_scheduler(scheduler)
-        .with_network(NetworkConfig::new(delay, loss));
+        .with_inbox_policy(inbox_policy);
+    engine = match &failure {
+        Some(model) => engine.with_failure_model(model.clone()),
+        None => engine.with_network(NetworkConfig::new(delay, loss)),
+    };
     let fast_nodes = (fast_frac * n as f64).round() as usize;
     if fast_nodes > 0 && fast_rate != 1.0 {
         let rates: Vec<f64> = (0..n)
@@ -496,13 +518,17 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     let mut t = Table::new(
         format!(
             "{} async gossip on clique: n = {}, k = {}, bias = {}, mode = {}, scheduler = {}, \
-             delay = {delay}, loss = {loss}{} ({trials} trials, {:.2}s)",
+             delay = {delay}, loss = {loss}{}{} ({trials} trials, {:.2}s)",
             c.dynamics.name(),
             c.cfg.n(),
             c.cfg.k(),
             c.cfg.bias(),
             mode.name(),
             scheduler.name(),
+            match &failure {
+                Some(model) => format!(", failure = {}", model.label()),
+                None => String::new(),
+            },
             if fast_nodes > 0 && fast_rate != 1.0 {
                 format!(", {fast_nodes} nodes at rate {fast_rate}")
             } else {

@@ -1,0 +1,339 @@
+//! **E16 — extension: robustness grid under structured link failures**
+//! (direction of Becchetti et al. 2014, *Plurality Consensus in the
+//! Gossip Model*, and d'Amore et al. 2025, arXiv:2506.20218, which
+//! probes majority-style dynamics under adversarial perturbation).
+//!
+//! E14/E15 stressed the gossip engine with i.i.d. per-message loss and
+//! delay.  This experiment runs the same 3-majority dynamics through the
+//! **structured** failure models of `plurality_gossip::failure` — per-edge
+//! parameter landscapes, Gilbert–Elliott bursty channels, node-scoped
+//! outages, and a timed 2-way partition — on a sparse random-regular
+//! topology, where a node owns only a handful of links and correlated
+//! link state actually bites (on a clique every sample rides a fresh
+//! edge, so per-edge correlation washes out).
+//!
+//! The grid is failure model × exchange mode × scheduler.  Every
+//! structured row is calibrated to the **same time-average loss** as the
+//! i.i.d. reference row, so the table isolates the cost of *correlation*
+//! at fixed loss mass.  Reported per cell: convergence rate within the
+//! tick budget (the failure-to-converge complement), plurality win rate,
+//! mean ticks, and the dilation versus (a) the ideal cell and (b) the
+//! equal-average i.i.d. cell.
+//!
+//! Expected picture (and what the measured table shows):
+//!
+//! * **per-edge** loss of the same mean is mildly worse than i.i.d. —
+//!   a static landscape starves a few unlucky nodes;
+//! * **Gilbert–Elliott** bursts dilate consensus measurably at equal
+//!   average loss — a node whose links sit in a bad burst loses most of
+//!   its samples for whole ticks at a time (the `tests` pin this
+//!   dilation > 1);
+//! * **outages** behave like bursts concentrated on nodes;
+//! * **partition** freezes cross-cut progress for its window, adding
+//!   roughly the window length to the consensus time and occasionally
+//!   exhausting tight tick budgets (visible failure-to-converge).
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Summary, Table};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{MonteCarlo, Placement, RunOptions, StopReason};
+use plurality_gossip::{ExchangeMode, FailureModel, GossipEngine, NetworkConfig, Scheduler};
+use plurality_sampling::derive_stream;
+use plurality_topology::random_regular;
+
+/// See module docs.
+pub struct E16FailureModels;
+
+/// Mean durations (ticks) of the Gilbert–Elliott good/bad regimes.
+const GE_UP: f64 = 6.0;
+const GE_DOWN: f64 = 6.0;
+/// Loss fraction while an edge is in the bad regime.
+const GE_BAD_LOSS: f64 = 0.8;
+/// The equal-average i.i.d. loss: π_bad · bad_loss = 0.5 · 0.8.
+const AVG_LOSS: f64 = 0.4;
+
+fn failure_rows(max_rounds: u64) -> Vec<(&'static str, FailureModel)> {
+    let ideal = NetworkConfig::default();
+    vec![
+        ("ideal", FailureModel::uniform(ideal)),
+        (
+            "iid-avg",
+            FailureModel::uniform(NetworkConfig::new(0.0, AVG_LOSS)),
+        ),
+        (
+            "per-edge",
+            FailureModel::parse(&format!("edge:loss=0..{}", 2.0 * AVG_LOSS), ideal).unwrap(),
+        ),
+        (
+            "gilbert-elliott",
+            FailureModel::parse(
+                &format!("ge:up={GE_UP},down={GE_DOWN},loss={GE_BAD_LOSS}"),
+                ideal,
+            )
+            .unwrap(),
+        ),
+        (
+            "outage",
+            // Nodes rather than edges carry the bursts; same stationary
+            // down mass on member nodes as the GE row's edge mass.
+            FailureModel::parse("outage:frac=0.5,up=6,down=6", ideal).unwrap(),
+        ),
+        (
+            "partition",
+            // A 2-way split for ~a third of the ideal consensus time.
+            FailureModel::parse(
+                &format!("partition:parts=2,2..{}", max_rounds.min(8)),
+                ideal,
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+impl Experiment for E16FailureModels {
+    fn id(&self) -> &'static str {
+        "e16"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: robustness grid — per-edge, bursty (Gilbert–Elliott), outage, and \
+         partition failures vs equal-average i.i.d. loss"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: usize = ctx.pick(1_000, 10_000);
+        let degree: usize = 8;
+        let k: usize = 3;
+        let bias = (n / 4) as u64;
+        let trials = ctx.pick(6, 24);
+        let max_rounds: u64 = ctx.pick(2_000, 10_000);
+        let modes: &[ExchangeMode] = ctx.pick(
+            &[ExchangeMode::Pull, ExchangeMode::PushPull][..],
+            &[
+                ExchangeMode::Pull,
+                ExchangeMode::Push,
+                ExchangeMode::PushPull,
+            ][..],
+        );
+        let schedulers: &[Scheduler] = ctx.pick(
+            &[Scheduler::Sequential][..],
+            &[Scheduler::Sequential, Scheduler::Poisson][..],
+        );
+
+        let graph = random_regular(n, degree, ctx.seed ^ 0xE16);
+        let cfg = builders::biased(n as u64, k, bias);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(max_rounds);
+        let mc = MonteCarlo {
+            trials,
+            threads: ctx.threads,
+            master_seed: ctx.seed ^ 0xE16,
+        };
+
+        let ge = failure_rows(max_rounds)
+            .iter()
+            .find(|(name, _)| *name == "gilbert-elliott")
+            .map(|(_, m)| m.gilbert_elliott().unwrap())
+            .unwrap();
+        let mut table = Table::new(
+            format!(
+                "E16 · failure model × mode × scheduler on random-regular(n = {n}, d = {degree}): \
+                 k = {k}, bias = {bias}, {trials} trials, cap {max_rounds} ticks (3-majority; \
+                 structured rows calibrated to average loss {AVG_LOSS} = the iid-avg row; \
+                 GE stationary bad = {}, bad loss = {GE_BAD_LOSS})",
+                ge.stationary_bad(),
+            ),
+            &[
+                "failure",
+                "mode",
+                "scheduler",
+                "converged",
+                "fail rate",
+                "win rate",
+                "mean ticks",
+                "sd",
+                "dilation/ideal",
+                "dilation/iid",
+                "lost/call",
+            ],
+        );
+
+        let mut cell_seed = 0u64;
+        for &mode in modes {
+            for &scheduler in schedulers {
+                // Collect the whole (mode, scheduler) column first: the
+                // ideal and equal-average i.i.d. cells anchor the two
+                // dilation columns of every row.
+                struct Cell {
+                    name: &'static str,
+                    converged: usize,
+                    wins: usize,
+                    ticks: Summary,
+                    lost_per_call: f64,
+                }
+                let mut cells: Vec<Cell> = Vec::new();
+                for (name, model) in failure_rows(max_rounds) {
+                    cell_seed += 1;
+                    let seed = ctx.seed ^ (0xE160 + cell_seed);
+                    // One engine per cell: the per-edge row's dense CSR
+                    // parameter table is built here, once, and shared
+                    // read-only by every trial.
+                    let engine = GossipEngine::new(&graph)
+                        .with_mode(mode)
+                        .with_scheduler(scheduler)
+                        .with_failure_model(model);
+                    let results = mc.run(|i, _| {
+                        engine.run_detailed(
+                            &d,
+                            &cfg,
+                            Placement::Shuffled,
+                            &opts,
+                            derive_stream(seed, i as u64),
+                        )
+                    });
+
+                    let mut ticks = Summary::new();
+                    let mut wins = 0usize;
+                    let mut converged = 0usize;
+                    let mut messages: u64 = 0;
+                    let mut lost: u64 = 0;
+                    for (r, s) in &results {
+                        if r.reason == StopReason::Stopped {
+                            converged += 1;
+                            ticks.push(r.rounds as f64);
+                        }
+                        if r.success {
+                            wins += 1;
+                        }
+                        messages += s.messages;
+                        lost += s.lost_messages;
+                    }
+                    cells.push(Cell {
+                        name,
+                        converged,
+                        wins,
+                        ticks,
+                        // PUSH-PULL counts lost *legs* (up to two per
+                        // bidirectional call), so this ratio can exceed
+                        // the per-leg loss fraction.
+                        lost_per_call: lost as f64 / messages.max(1) as f64,
+                    });
+                }
+                let mean_of = |label: &str| {
+                    cells
+                        .iter()
+                        .find(|c| c.name == label)
+                        .map_or(f64::NAN, |c| c.ticks.mean())
+                };
+                let ideal_mean = mean_of("ideal");
+                let iid_mean = mean_of("iid-avg");
+                for c in cells {
+                    table.push_row(vec![
+                        c.name.to_string(),
+                        mode.name().to_string(),
+                        scheduler.name().to_string(),
+                        format!("{}/{trials}", c.converged),
+                        fmt_f64(1.0 - c.converged as f64 / trials as f64),
+                        fmt_f64(c.wins as f64 / trials as f64),
+                        fmt_f64(c.ticks.mean()),
+                        fmt_f64(c.ticks.std_dev()),
+                        fmt_f64(c.ticks.mean() / ideal_mean),
+                        fmt_f64(c.ticks.mean() / iid_mean),
+                        fmt_f64(c.lost_per_call),
+                    ]);
+                }
+            }
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run one (mode, scheduler) column of the grid at smoke scale and
+    /// return the mean ticks per failure row.
+    fn smoke_column() -> std::collections::HashMap<&'static str, f64> {
+        let ctx = Context::smoke();
+        let n = 800usize;
+        let trials = 6usize;
+        let graph = random_regular(n, 8, 0xE16);
+        let cfg = builders::biased(n as u64, 3, (n / 4) as u64);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(3_000);
+        let mc = MonteCarlo {
+            trials,
+            threads: ctx.threads,
+            master_seed: 0xE16,
+        };
+        let mut means = std::collections::HashMap::new();
+        for (name, model) in failure_rows(3_000) {
+            let engine = GossipEngine::new(&graph).with_failure_model(model);
+            let results = mc.run(|i, _| {
+                engine.run(
+                    &d,
+                    &cfg,
+                    Placement::Shuffled,
+                    &opts,
+                    derive_stream(31, i as u64),
+                )
+            });
+            let mut ticks = Summary::new();
+            for r in &results {
+                assert_eq!(
+                    r.reason,
+                    StopReason::Stopped,
+                    "{name}: trial failed to converge in the smoke budget"
+                );
+                ticks.push(r.rounds as f64);
+            }
+            means.insert(name, ticks.mean());
+        }
+        means
+    }
+
+    #[test]
+    fn smoke_grid_structure() {
+        let tables = E16FailureModels.run(&Context::smoke());
+        assert_eq!(tables.len(), 1);
+        // Smoke: 6 failure rows × 2 modes × 1 scheduler.
+        assert_eq!(tables[0].len(), 12);
+        let md = tables[0].markdown();
+        for name in [
+            "ideal",
+            "iid-avg",
+            "per-edge",
+            "gilbert-elliott",
+            "outage",
+            "partition",
+        ] {
+            assert!(md.contains(name), "row {name} missing:\n{md}");
+        }
+    }
+
+    #[test]
+    fn bursty_losses_dilate_consensus_vs_equal_average_iid() {
+        // The acceptance claim: Gilbert–Elliott with bad-state loss
+        // ≥ 0.5 measurably dilates consensus time against the i.i.d.
+        // model at equal average loss, and every structured row costs
+        // more than the ideal network.
+        let means = smoke_column();
+        let ideal = means["ideal"];
+        let iid = means["iid-avg"];
+        let ge = means["gilbert-elliott"];
+        assert!(
+            iid > ideal,
+            "equal-average iid loss must slow the ideal network (iid {iid} vs ideal {ideal})"
+        );
+        assert!(
+            ge > 1.1 * iid,
+            "Gilbert–Elliott bursts must measurably dilate consensus at equal \
+             average loss: ge {ge} vs iid {iid}"
+        );
+        assert!(
+            means["partition"] > ideal,
+            "a partition window cannot be free"
+        );
+    }
+}

@@ -29,6 +29,7 @@ pub mod e12_baselines_topologies;
 pub mod e13_noise_transition;
 pub mod e14_gossip_async;
 pub mod e15_gossip_modes;
+pub mod e16_failure_models;
 pub mod registry;
 
 use plurality_analysis::Table;

@@ -41,7 +41,8 @@
 //!   (pre-update) color into the contacted peer's inbox, with loss and
 //!   delay striking each leg independently.
 
-use crate::modes::{ExchangeMode, Inbox};
+use crate::failure::{FailureModel, FailureState};
+use crate::modes::{ExchangeMode, Inbox, InboxPolicy};
 use crate::network::{ExchangeFate, LegFate, MessageFate, MessageStreams, NetworkConfig};
 use crate::scheduler::{ActivationClock, EventKind, EventQueue, RatedActivation, Scheduler};
 use plurality_core::{
@@ -63,6 +64,10 @@ use rand::RngCore;
 const STREAM_SCHEDULER: u64 = 1;
 const STREAM_UPDATE: u64 = 2;
 const STREAM_MESSAGES: u64 = 3;
+/// Failure-model chain randomness (Gilbert–Elliott / outage holding
+/// times).  Never consumed by the degenerate uniform model, so plain
+/// `NetworkConfig` runs stay bit-identical to PR 2/3.
+const STREAM_FAILURE: u64 = 4;
 
 /// Event-driven asynchronous simulator over a [`Topology`].
 ///
@@ -73,7 +78,13 @@ pub struct GossipEngine<'t> {
     topology: &'t dyn Topology,
     mode: ExchangeMode,
     scheduler: Scheduler,
-    network: NetworkConfig,
+    failure: FailureModel,
+    /// Dense `(loss, delay)` per directed CSR edge slot — precomputed
+    /// once in [`GossipEngine::with_failure_model`] when the model has
+    /// genuinely per-edge parameters and the topology is a [`CsrGraph`],
+    /// shared read-only by every trial.
+    edge_table: Option<Vec<(f64, f64)>>,
+    inbox_policy: InboxPolicy,
     rates: Option<Vec<f64>>,
     /// Prebuilt alias sampler over `rates` — constructed once in
     /// [`GossipEngine::with_node_rates`] and shared by every trial.
@@ -120,25 +131,28 @@ pub struct GossipStats {
 /// is deliberately *not* used here: message randomness lives in
 /// per-message streams.  Monomorphic over the topology so the peer draw
 /// inlines into the activation loop.
-struct GossipSampler<'a, T> {
+struct GossipSampler<'a, 'm, T> {
     topology: &'a T,
     states: &'a [u32],
     node: usize,
     own: u32,
-    network: NetworkConfig,
+    now: f64,
+    fstate: &'a mut FailureState<'m>,
     streams: &'a mut MessageStreams,
     max_extra_ticks: f64,
     lost: u64,
     delayed: u64,
 }
 
-impl<T: TopologyCore> SampleSource for GossipSampler<'_, T> {
+impl<T: TopologyCore> SampleSource for GossipSampler<'_, '_, T> {
     fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         let topology = self.topology;
         let node = self.node;
-        let fate = self.streams.next_fate(&self.network, |mrng| {
-            topology.sample_neighbor_core(node, mrng)
-        });
+        let fate = self
+            .streams
+            .next_fate_in(self.fstate, self.now, node, |mrng| {
+                topology.sample_neighbor_edge_core(node, mrng)
+            });
         match fate {
             MessageFate::Lost => {
                 self.lost += 1;
@@ -186,12 +200,13 @@ impl SampleSource for InboxSampler<'_> {
 /// Instant push-leg deliveries and delayed legs are buffered (the
 /// engine applies them after the update returns — same timestamp, no
 /// aliasing of the inbox table mid-update).
-struct PushPullSampler<'a, T> {
+struct PushPullSampler<'a, 'm, T> {
     topology: &'a T,
     states: &'a [u32],
     node: usize,
     own: u32,
-    network: NetworkConfig,
+    now: f64,
+    fstate: &'a mut FailureState<'m>,
     streams: &'a mut MessageStreams,
     inbox: &'a Inbox,
     cursor: usize,
@@ -203,7 +218,7 @@ struct PushPullSampler<'a, T> {
     inbox_served: u64,
 }
 
-impl<T: TopologyCore> SampleSource for PushPullSampler<'_, T> {
+impl<T: TopologyCore> SampleSource for PushPullSampler<'_, '_, T> {
     fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         if let Some(color) = self.inbox.peek(self.cursor) {
             self.cursor += 1;
@@ -212,9 +227,11 @@ impl<T: TopologyCore> SampleSource for PushPullSampler<'_, T> {
         }
         let topology = self.topology;
         let node = self.node;
-        let ExchangeFate { peer, pull, push } = self.streams.next_exchange(&self.network, |mrng| {
-            topology.sample_neighbor_core(node, mrng)
-        });
+        let ExchangeFate { peer, pull, push } =
+            self.streams
+                .next_exchange_in(self.fstate, self.now, node, |mrng| {
+                    topology.sample_neighbor_edge_core(node, mrng)
+                });
         match push {
             LegFate::Lost => self.lost += 1,
             LegFate::Instant => self.instant_pushes.push((peer, self.own)),
@@ -249,7 +266,9 @@ impl<'t> GossipEngine<'t> {
             topology,
             mode: ExchangeMode::Pull,
             scheduler: Scheduler::Sequential,
-            network: NetworkConfig::default(),
+            failure: FailureModel::default(),
+            edge_table: None,
+            inbox_policy: InboxPolicy::default(),
             rates: None,
             rated: None,
             rate_weighted_time: false,
@@ -270,10 +289,48 @@ impl<'t> GossipEngine<'t> {
         self
     }
 
-    /// Apply network conditions.
+    /// Apply uniform i.i.d. network conditions (shorthand for
+    /// [`Self::with_failure_model`] on [`FailureModel::uniform`]).
     #[must_use]
     pub fn with_network(mut self, network: NetworkConfig) -> Self {
-        self.network = network;
+        self.failure = FailureModel::uniform(network);
+        self.edge_table = None;
+        self
+    }
+
+    /// Apply a structured [`FailureModel`] (per-edge, time-varying,
+    /// correlated failures — see [`crate::failure`]).  When the model
+    /// has genuinely per-edge parameters and the topology is a
+    /// [`CsrGraph`], the per-edge `(loss, delay)` table is precomputed
+    /// here, once, over the dense directed edge slots and shared by
+    /// every trial (the values are identical to the on-the-fly per-edge
+    /// stream draws used for implicit topologies, so trajectories do
+    /// not depend on the cache).
+    #[must_use]
+    pub fn with_failure_model(mut self, model: FailureModel) -> Self {
+        self.edge_table = if model.needs_edge_params() {
+            downcast_topology::<CsrGraph>(self.topology).map(|g| {
+                let n = g.n();
+                let mut table = Vec::with_capacity(g.directed_edge_count());
+                for v in 0..n {
+                    for &w in g.neighbors(v) {
+                        table.push(model.edge_params(n, v, w as usize));
+                    }
+                }
+                table
+            })
+        } else {
+            None
+        };
+        self.failure = model;
+        self
+    }
+
+    /// Choose what a full PUSH/PUSH-PULL inbox does with the next
+    /// incoming color (default: [`InboxPolicy::DropOldest`]).
+    #[must_use]
+    pub fn with_inbox_policy(mut self, policy: InboxPolicy) -> Self {
+        self.inbox_policy = policy;
         self
     }
 
@@ -313,10 +370,22 @@ impl<'t> GossipEngine<'t> {
         self.scheduler
     }
 
-    /// The configured network conditions.
+    /// The configured uniform baseline network conditions.
     #[must_use]
     pub fn network(&self) -> NetworkConfig {
-        self.network
+        self.failure.base()
+    }
+
+    /// The configured failure model.
+    #[must_use]
+    pub fn failure_model(&self) -> &FailureModel {
+        &self.failure
+    }
+
+    /// The configured inbox overflow policy.
+    #[must_use]
+    pub fn inbox_policy(&self) -> InboxPolicy {
+        self.inbox_policy
     }
 
     /// The configured per-node activation rates, if heterogeneous.
@@ -475,6 +544,12 @@ impl<'t> GossipEngine<'t> {
         let mut sched_rng = stream_rng(seed, STREAM_SCHEDULER);
         let mut update_rng = stream_rng(seed, STREAM_UPDATE);
         let mut streams = MessageStreams::new(derive_stream(seed, STREAM_MESSAGES));
+        let mut fstate = FailureState::new(
+            &self.failure,
+            n,
+            self.edge_table.as_deref(),
+            derive_stream(seed, STREAM_FAILURE),
+        );
         let mut scratch = NodeScratch::with_states(state_count);
         let mut queue = EventQueue::new(n);
         let mut clock = match &self.rated {
@@ -484,7 +559,9 @@ impl<'t> GossipEngine<'t> {
         .with_rate_weighted_time(self.rate_weighted_time);
         let mut inboxes: Vec<Inbox> = match self.mode {
             ExchangeMode::Pull => Vec::new(),
-            ExchangeMode::Push | ExchangeMode::PushPull => vec![Inbox::default(); n],
+            ExchangeMode::Push | ExchangeMode::PushPull => {
+                vec![Inbox::with_policy(self.inbox_policy); n]
+            }
         };
         let mut instant_pushes: Vec<(usize, u32)> = Vec::new();
         let mut delayed_pushes: Vec<(usize, u32, f64)> = Vec::new();
@@ -551,7 +628,8 @@ impl<'t> GossipEngine<'t> {
                             states: &states,
                             node: v,
                             own,
-                            network: self.network,
+                            now,
+                            fstate: &mut fstate,
                             streams: &mut streams,
                             max_extra_ticks: 0.0,
                             lost: 0,
@@ -569,7 +647,7 @@ impl<'t> GossipEngine<'t> {
                     }
                     ExchangeMode::Push => {
                         // The activation's one call: push own color out.
-                        let fate = next_push_fate(topology, &self.network, v, &mut streams);
+                        let fate = next_push_fate(topology, &mut fstate, now, v, &mut streams);
                         match fate {
                             MessageFate::Lost => stats.lost_messages += 1,
                             MessageFate::Delivered { peer } => {
@@ -630,7 +708,8 @@ impl<'t> GossipEngine<'t> {
                             states: &states,
                             node: v,
                             own,
-                            network: self.network,
+                            now,
+                            fstate: &mut fstate,
                             streams: &mut streams,
                             inbox: &inboxes[v],
                             cursor: 0,
@@ -727,11 +806,14 @@ impl<'t> GossipEngine<'t> {
 /// delay — the same per-message stream layout as a PULL request).
 fn next_push_fate<T: TopologyCore>(
     topology: &T,
-    network: &NetworkConfig,
+    fstate: &mut FailureState<'_>,
+    now: f64,
     v: usize,
     streams: &mut MessageStreams,
 ) -> MessageFate {
-    streams.next_fate(network, |mrng| topology.sample_neighbor_core(v, mrng))
+    streams.next_fate_in(fstate, now, v, |mrng| {
+        topology.sample_neighbor_edge_core(v, mrng)
+    })
 }
 
 /// Parallel time consumed by `activations` activations, in whole ticks
@@ -1243,6 +1325,189 @@ mod tests {
             &RunOptions::with_max_rounds(1_000),
             5,
         );
+    }
+
+    #[test]
+    fn per_edge_fixed_model_is_bit_identical_to_uniform_network() {
+        // The degenerate-case contract at engine level: a per-edge model
+        // whose distributions are Fixed reduces to the plain uniform
+        // NetworkConfig, event for event.
+        use crate::failure::{EdgeDists, FailureModel, ParamDist};
+        let (clique, cfg) = clique_engine(700);
+        let net = NetworkConfig::new(0.4, 0.1);
+        let model = FailureModel::uniform(NetworkConfig::default()).with_per_edge(EdgeDists {
+            loss: ParamDist::Fixed(0.1),
+            delay: ParamDist::Fixed(0.4),
+        });
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(10_000).traced();
+        for mode in ALL_MODES {
+            let uniform = GossipEngine::new(&clique).with_mode(mode).with_network(net);
+            let modeled = GossipEngine::new(&clique)
+                .with_mode(mode)
+                .with_failure_model(model.clone());
+            let (ra, sa) = uniform.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 77);
+            let (rb, sb) = modeled.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 77);
+            assert_eq!(ra.rounds, rb.rounds, "{}", mode.name());
+            assert_eq!(ra.winner, rb.winner, "{}", mode.name());
+            assert_eq!(sa, sb, "{}: stats diverged", mode.name());
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_model_converges_with_bursty_losses() {
+        use crate::failure::FailureModel;
+        let (clique, cfg) = clique_engine(1_000);
+        let model =
+            FailureModel::parse("ge:up=2,down=2,loss=0.8", NetworkConfig::default()).unwrap();
+        for mode in ALL_MODES {
+            let engine = GossipEngine::new(&clique)
+                .with_mode(mode)
+                .with_failure_model(model.clone());
+            let (r, stats) = engine.run_detailed(
+                &ThreeMajority::new(),
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(100_000),
+                61,
+            );
+            assert_eq!(r.reason, StopReason::Stopped, "{}", mode.name());
+            assert!(stats.lost_messages > 0, "{}: no bursty losses", mode.name());
+        }
+    }
+
+    #[test]
+    fn partition_window_freezes_cross_traffic_then_recovers() {
+        use crate::failure::FailureModel;
+        let (clique, cfg) = clique_engine(800);
+        // Total cross-cut silence for the first 3 ticks; the baseline is
+        // otherwise ideal, so after the partition heals the run must
+        // still converge and win.
+        let model =
+            FailureModel::parse("partition:parts=2,0..3", NetworkConfig::default()).unwrap();
+        let engine = GossipEngine::new(&clique).with_failure_model(model);
+        let (r, stats) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(50_000),
+            62,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(r.success);
+        assert!(
+            stats.lost_messages > 0,
+            "cross-cut traffic should have been silenced"
+        );
+        assert!(r.rounds >= 3, "cannot finish inside the partition window");
+    }
+
+    #[test]
+    fn total_loss_window_stalls_exactly_until_it_ends() {
+        use crate::failure::FailureModel;
+        let clique = Clique::new(300);
+        let cfg = builders::biased(300, 3, 100);
+        let model =
+            FailureModel::parse("window:0..2,loss=1,delay=0", NetworkConfig::default()).unwrap();
+        let engine = GossipEngine::new(&clique).with_failure_model(model);
+        let r = engine.run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(20_000).traced(),
+            63,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        let trace = r.trace.unwrap();
+        // While every message is lost, 3-majority samples only its own
+        // color and never recolors: ticks 0..2 are frozen.
+        for s in trace.rounds.iter().take_while(|s| s.round < 2) {
+            assert_eq!(
+                s.plurality_count,
+                cfg.counts()[0],
+                "state drifted inside the total-loss window (tick {})",
+                s.round
+            );
+        }
+        assert!(r.rounds > 2, "convergence cannot predate the window end");
+    }
+
+    #[test]
+    fn outage_model_runs_and_counts_losses() {
+        use crate::failure::FailureModel;
+        let (clique, cfg) = clique_engine(800);
+        let model =
+            FailureModel::parse("outage:frac=0.3,up=2,down=2", NetworkConfig::default()).unwrap();
+        let engine = GossipEngine::new(&clique).with_failure_model(model);
+        let (r, stats) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(50_000),
+            64,
+        );
+        assert_eq!(r.reason, StopReason::Stopped);
+        assert!(stats.lost_messages > 0, "down nodes must lose traffic");
+    }
+
+    #[test]
+    fn failure_model_trials_are_deterministic() {
+        use crate::failure::FailureModel;
+        let (clique, cfg) = clique_engine(600);
+        let model = FailureModel::parse(
+            "edge:loss=0..0.3;ge:up=3,down=1,loss=0.9;outage:frac=0.2,up=4,down=1",
+            NetworkConfig::new(0.2, 0.02),
+        )
+        .unwrap();
+        for scheduler in [Scheduler::Sequential, Scheduler::Poisson] {
+            let engine = GossipEngine::new(&clique)
+                .with_scheduler(scheduler)
+                .with_failure_model(model.clone());
+            let opts = RunOptions::with_max_rounds(50_000);
+            let d = ThreeMajority::new();
+            let (ra, sa) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 65);
+            let (rb, sb) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 65);
+            assert_eq!(ra.rounds, rb.rounds, "{}", scheduler.name());
+            assert_eq!(sa, sb, "{}", scheduler.name());
+            let (_, sc) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 66);
+            assert_ne!(sa, sc, "distinct seeds must differ");
+        }
+    }
+
+    #[test]
+    fn drop_newest_inbox_policy_changes_push_trajectories() {
+        // Half the nodes push 8× as often: slow receivers overflow their
+        // caps, so the overflow policy is actually exercised.
+        let (clique, cfg) = clique_engine(600);
+        let rates: Vec<f64> = (0..600)
+            .map(|v| if v % 2 == 0 { 8.0 } else { 1.0 })
+            .collect();
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(400_000);
+        let engine = |policy| {
+            GossipEngine::new(&clique)
+                .with_mode(ExchangeMode::Push)
+                .with_node_rates(rates.clone())
+                .with_inbox_policy(policy)
+        };
+        let oldest = engine(InboxPolicy::DropOldest);
+        assert_eq!(
+            GossipEngine::new(&clique).inbox_policy(),
+            InboxPolicy::DropOldest,
+            "drop-oldest must stay the default"
+        );
+        let newest = engine(InboxPolicy::DropNewest);
+        let (ra, sa) = oldest.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 67);
+        let (rb, sb) = newest.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 67);
+        assert_eq!(ra.reason, StopReason::Stopped);
+        assert_eq!(
+            rb.reason,
+            StopReason::Stopped,
+            "drop-newest must still converge"
+        );
+        assert!(sa.inbox_dropped > 0, "cap never engaged for drop-oldest");
+        assert!(sb.inbox_dropped > 0, "cap never engaged for drop-newest");
+        assert_ne!(sa, sb, "policies must produce different processes");
     }
 
     #[test]

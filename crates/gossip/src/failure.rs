@@ -1,0 +1,1316 @@
+//! Structured link-failure models: **per-edge** parameters, **time-varying**
+//! schedules, and **correlated** (bursty) failures.
+//!
+//! [`crate::NetworkConfig`] models an unreliable network as i.i.d.
+//! per-message loss/delay — every message flips the same coins.  Real
+//! degradation is structured: *flaky links* (some edges are persistently
+//! worse than others), *degraded windows* (the whole network is bad for a
+//! while), *bursty channels* (a link alternates between good and bad
+//! regimes), *node outages* (one machine drops off for seconds at a
+//! time), and *partitions* (a cut silences all traffic between two node
+//! groups).  [`FailureModel`] composes all five on top of a uniform
+//! baseline:
+//!
+//! | layer | knob | scope |
+//! |---|---|---|
+//! | baseline | [`NetworkConfig`] | every message |
+//! | per-edge | [`EdgeDists`] ([`ParamDist`] per parameter) | drawn **once per unordered edge** |
+//! | schedule | [`Window`] list | absolute override during `[start, end)` |
+//! | Gilbert–Elliott | [`GilbertElliott`] | two-state good/bad chain **per edge** |
+//! | outages | [`NodeOutages`] | two-state up/down chain per *node* |
+//! | partition | [`Partition`] | cross-cut edges silenced during `[start, end)` |
+//!
+//! # Resolution order
+//!
+//! For one message from `src` to `peer` at simulated time `t`, the
+//! effective `(loss, delay)` pair is resolved in a fixed, documented
+//! order (later layers override earlier ones):
+//!
+//! 1. start from the **baseline** fractions, or the edge's **per-edge**
+//!    draw when [`EdgeDists`] is configured;
+//! 2. if `t` falls inside a schedule [`Window`], that window's values
+//!    replace both fractions (the *last* matching window wins);
+//! 3. if the edge's **Gilbert–Elliott** chain is in the bad state at
+//!    `t`, the bad-state values replace both fractions;
+//! 4. if either endpoint is **down** (node outage) the message is lost
+//!    (`loss = 1`);
+//! 5. if a **partition** is active at `t` and the endpoints sit in
+//!    different parts, the message is lost (`loss = 1`).
+//!
+//! # Determinism
+//!
+//! Model-scoped randomness (per-edge parameter draws, partition part
+//! assignment, outage membership) derives from the model's
+//! [`FailureModel::with_salt`] — **not** the trial seed — so the same
+//! edges stay flaky across every trial of an experiment, the way a
+//! persistent infrastructure defect would.  Chain randomness
+//! (Gilbert–Elliott holding times, outage up/down times) derives from
+//! the trial's failure stream (stream 4 of the trial seed), one
+//! independent substream per edge/node, so trials are independent yet
+//! each is a pure function of `(seed, model)`.  Chains are advanced
+//! lazily and **monotonically in `t`** (the engine issues messages in
+//! event order), so only touched edges ever materialize state.
+//!
+//! # The degenerate case
+//!
+//! A model with no schedule, no chains, no partition, and uniform (or
+//! per-edge `Fixed`) parameters reduces to the plain [`NetworkConfig`]
+//! — [`FailureModel::effective_uniform`] detects this and the message
+//! layer then reproduces the i.i.d. draws **bit for bit** (pinned by
+//! the golden fingerprints and the property tests in
+//! `tests/determinism.rs` / `tests/event_queue.rs`).
+
+use crate::network::NetworkConfig;
+use crate::scheduler::exp1;
+use plurality_sampling::{derive_stream, stream_rng, Xoshiro256PlusPlus};
+use rand::Rng;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Default model salt (see [`FailureModel::with_salt`]).
+pub const DEFAULT_SALT: u64 = 0x0FA1_1FA1;
+
+// Sub-stream tags hung off the model salt / trial failure stream.
+const EDGE_PARAM_STREAM: u64 = 1;
+const PARTITION_STREAM: u64 = 2;
+const OUTAGE_MEMBER_STREAM: u64 = 3;
+const GE_CHAIN_STREAM: u64 = 4;
+const OUTAGE_CHAIN_STREAM: u64 = 5;
+
+/// Distribution a per-edge parameter is drawn from (values are
+/// probabilities in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamDist {
+    /// Every edge gets the same value.
+    Fixed(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Flaky links: a fraction `frac` of edges gets `bad`, the rest
+    /// `good`.
+    Flaky {
+        /// Fraction of bad edges.
+        frac: f64,
+        /// Value on a good edge.
+        good: f64,
+        /// Value on a bad edge.
+        bad: f64,
+    },
+}
+
+impl ParamDist {
+    /// Draw one value from the distribution.
+    fn draw(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        match *self {
+            Self::Fixed(v) => v,
+            Self::Uniform { lo, hi } => lo + (hi - lo) * rng.gen::<f64>(),
+            Self::Flaky { frac, good, bad } => {
+                if rng.gen::<f64>() < frac {
+                    bad
+                } else {
+                    good
+                }
+            }
+        }
+    }
+
+    /// Mean of the distribution (used for equal-average comparisons).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Fixed(v) => v,
+            Self::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Self::Flaky { frac, good, bad } => frac * bad + (1.0 - frac) * good,
+        }
+    }
+
+    /// Is every value the distribution can produce inside `[0, 1]`?
+    fn is_valid(&self) -> bool {
+        let in_unit = |x: f64| x.is_finite() && (0.0..=1.0).contains(&x);
+        match *self {
+            Self::Fixed(v) => in_unit(v),
+            Self::Uniform { lo, hi } => in_unit(lo) && in_unit(hi) && lo <= hi,
+            Self::Flaky { frac, good, bad } => in_unit(frac) && in_unit(good) && in_unit(bad),
+        }
+    }
+
+    fn label(&self) -> String {
+        match *self {
+            Self::Fixed(v) => format!("{v}"),
+            Self::Uniform { lo, hi } => format!("{lo}..{hi}"),
+            Self::Flaky { frac, good, bad } => format!("flaky({frac},{good},{bad})"),
+        }
+    }
+}
+
+/// Per-edge loss/delay distributions; each unordered edge draws one
+/// `(loss, delay)` pair, once, from its own deterministic stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeDists {
+    /// Distribution of the per-edge loss fraction.
+    pub loss: ParamDist,
+    /// Distribution of the per-edge delay fraction.
+    pub delay: ParamDist,
+}
+
+/// A degraded window: during `[start, end)` (in ticks) every message
+/// uses these loss/delay fractions instead of the baseline/per-edge
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Window start (inclusive), in ticks.
+    pub start: f64,
+    /// Window end (exclusive), in ticks.
+    pub end: f64,
+    /// Loss fraction inside the window.
+    pub loss: f64,
+    /// Delay fraction inside the window.
+    pub delay: f64,
+}
+
+impl Window {
+    fn contains(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Two-state Gilbert–Elliott channel, continuous-time: each edge
+/// alternates between a *good* regime (baseline/per-edge parameters
+/// apply) and a *bad* regime (`bad_loss`/`bad_delay` apply), with
+/// independent exponential holding times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Mean time (ticks) an edge stays good before turning bad.
+    pub mean_good: f64,
+    /// Mean time (ticks) an edge stays bad before recovering.
+    pub mean_bad: f64,
+    /// Loss fraction while bad.
+    pub bad_loss: f64,
+    /// Delay fraction while bad.
+    pub bad_delay: f64,
+}
+
+impl GilbertElliott {
+    /// Stationary probability of the bad state, `D / (U + D)`.
+    #[must_use]
+    pub fn stationary_bad(&self) -> f64 {
+        self.mean_bad / (self.mean_good + self.mean_bad)
+    }
+
+    /// Time-average loss fraction when the good state carries
+    /// `good_loss` — the i.i.d. loss to compare against at equal
+    /// average.
+    #[must_use]
+    pub fn average_loss(&self, good_loss: f64) -> f64 {
+        let pi = self.stationary_bad();
+        pi * self.bad_loss + (1.0 - pi) * good_loss
+    }
+}
+
+/// Node-scoped burst outages: a fraction `frac` of nodes (membership
+/// drawn from the model salt, stable across trials) runs an up/down
+/// chain with exponential holding times; every message touching a down
+/// node is lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeOutages {
+    /// Fraction of nodes subject to outages.
+    pub frac: f64,
+    /// Mean up time (ticks).
+    pub mean_up: f64,
+    /// Mean down time (ticks).
+    pub mean_down: f64,
+}
+
+/// A `k`-way partition active during `[start, end)`: nodes are assigned
+/// to `parts` groups (salted hash, stable across trials) and every
+/// message crossing the cut is lost while the partition is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partition {
+    /// Number of parts (≥ 2).
+    pub parts: usize,
+    /// Partition start (inclusive), in ticks.
+    pub start: f64,
+    /// Partition end (exclusive), in ticks.
+    pub end: f64,
+}
+
+impl Partition {
+    fn active(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// The composed failure model — see the module docs for the layer
+/// taxonomy and resolution order.  Build with [`FailureModel::uniform`]
+/// plus the `with_*` layers, or parse the CLI scenario DSL with
+/// [`FailureModel::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureModel {
+    base: NetworkConfig,
+    edge: Option<EdgeDists>,
+    windows: Vec<Window>,
+    ge: Option<GilbertElliott>,
+    outages: Option<NodeOutages>,
+    partition: Option<Partition>,
+    salt: u64,
+}
+
+impl Default for FailureModel {
+    fn default() -> Self {
+        Self::uniform(NetworkConfig::default())
+    }
+}
+
+impl FailureModel {
+    /// The degenerate model: plain i.i.d. per-message loss/delay,
+    /// equivalent to [`NetworkConfig`] bit for bit.
+    #[must_use]
+    pub fn uniform(base: NetworkConfig) -> Self {
+        Self {
+            base,
+            edge: None,
+            windows: Vec::new(),
+            ge: None,
+            outages: None,
+            partition: None,
+            salt: DEFAULT_SALT,
+        }
+    }
+
+    /// Draw loss/delay once per unordered edge from `dists`.
+    ///
+    /// # Panics
+    /// Panics if a distribution can produce a value outside `[0, 1]`.
+    #[must_use]
+    pub fn with_per_edge(mut self, dists: EdgeDists) -> Self {
+        assert!(
+            dists.loss.is_valid() && dists.delay.is_valid(),
+            "per-edge distributions must stay within [0, 1]: {dists:?}"
+        );
+        self.edge = Some(dists);
+        self
+    }
+
+    /// Add a degraded window (may be called repeatedly; the last window
+    /// containing a given time wins).
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ start < end` (finite) and both fractions are
+    /// in `[0, 1]`.
+    #[must_use]
+    pub fn with_window(mut self, window: Window) -> Self {
+        assert!(
+            window.start.is_finite() && window.end.is_finite() && 0.0 <= window.start,
+            "window bounds must be finite and non-negative: {window:?}"
+        );
+        assert!(window.start < window.end, "empty window: {window:?}");
+        assert!(
+            (0.0..=1.0).contains(&window.loss) && (0.0..=1.0).contains(&window.delay),
+            "window fractions out of [0, 1]: {window:?}"
+        );
+        self.windows.push(window);
+        self
+    }
+
+    /// Attach a per-edge Gilbert–Elliott good/bad chain.
+    ///
+    /// # Panics
+    /// Panics unless both mean durations are finite and positive and
+    /// both bad-state fractions are in `[0, 1]`.
+    #[must_use]
+    pub fn with_gilbert_elliott(mut self, ge: GilbertElliott) -> Self {
+        assert!(
+            ge.mean_good.is_finite() && ge.mean_good > 0.0,
+            "mean good duration must be positive: {ge:?}"
+        );
+        assert!(
+            ge.mean_bad.is_finite() && ge.mean_bad > 0.0,
+            "mean bad duration must be positive: {ge:?}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&ge.bad_loss) && (0.0..=1.0).contains(&ge.bad_delay),
+            "bad-state fractions out of [0, 1]: {ge:?}"
+        );
+        self.ge = Some(ge);
+        self
+    }
+
+    /// Attach node-scoped burst outages.
+    ///
+    /// # Panics
+    /// Panics unless `frac ∈ [0, 1]` and both mean durations are finite
+    /// and positive.
+    #[must_use]
+    pub fn with_outages(mut self, outages: NodeOutages) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&outages.frac),
+            "outage fraction out of [0, 1]: {outages:?}"
+        );
+        assert!(
+            outages.mean_up.is_finite()
+                && outages.mean_up > 0.0
+                && outages.mean_down.is_finite()
+                && outages.mean_down > 0.0,
+            "outage durations must be positive: {outages:?}"
+        );
+        self.outages = Some(outages);
+        self
+    }
+
+    /// Attach a timed `k`-way partition.
+    ///
+    /// # Panics
+    /// Panics unless `parts ≥ 2` and `0 ≤ start < end` (finite).
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        assert!(partition.parts >= 2, "partition needs ≥ 2 parts");
+        assert!(
+            partition.start.is_finite()
+                && partition.end.is_finite()
+                && 0.0 <= partition.start
+                && partition.start < partition.end,
+            "partition window must satisfy 0 ≤ start < end: {partition:?}"
+        );
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Change the model salt — the seed of all *model-scoped*
+    /// randomness (per-edge parameter draws, partition assignment,
+    /// outage membership), which stays fixed across trials.
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The uniform baseline parameters.
+    #[must_use]
+    pub fn base(&self) -> NetworkConfig {
+        self.base
+    }
+
+    /// The per-edge distributions, if configured.
+    #[must_use]
+    pub fn edge_dists(&self) -> Option<EdgeDists> {
+        self.edge
+    }
+
+    /// The Gilbert–Elliott layer, if configured.
+    #[must_use]
+    pub fn gilbert_elliott(&self) -> Option<GilbertElliott> {
+        self.ge
+    }
+
+    /// The model salt.
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// `Some(cfg)` iff the model reduces to plain i.i.d. per-message
+    /// conditions: no schedule, no chains, no partition, and parameters
+    /// that are either uniform or per-edge `Fixed` (every edge alike).
+    /// The message layer uses this to reproduce [`NetworkConfig`] draws
+    /// bit for bit in the degenerate case.
+    #[must_use]
+    pub fn effective_uniform(&self) -> Option<NetworkConfig> {
+        if !self.windows.is_empty()
+            || self.ge.is_some()
+            || self.outages.is_some()
+            || self.partition.is_some()
+        {
+            return None;
+        }
+        match self.edge {
+            None => Some(self.base),
+            Some(EdgeDists {
+                loss: ParamDist::Fixed(loss),
+                delay: ParamDist::Fixed(delay),
+            }) => Some(NetworkConfig::new(delay, loss)),
+            Some(_) => None,
+        }
+    }
+
+    /// Does resolving this model need genuinely per-edge static
+    /// parameters (i.e. would a dense CSR edge-parameter table help)?
+    #[must_use]
+    pub fn needs_edge_params(&self) -> bool {
+        self.edge.is_some() && self.effective_uniform().is_none()
+    }
+
+    /// The `(loss, delay)` pair of the unordered edge `{u, v}` in a
+    /// population of `n` nodes — a pure function of `(salt, edge)`,
+    /// identical whichever direction asks and whether or not a dense
+    /// table caches it.
+    #[must_use]
+    pub fn edge_params(&self, n: usize, u: usize, v: usize) -> (f64, f64) {
+        match self.edge {
+            None => (self.base.loss_fraction, self.base.delay_fraction),
+            Some(dists) => {
+                let master = derive_stream(self.salt, EDGE_PARAM_STREAM);
+                let mut rng = stream_rng(master, edge_key(n, u, v));
+                let loss = dists.loss.draw(&mut rng);
+                let delay = dists.delay.draw(&mut rng);
+                (loss, delay)
+            }
+        }
+    }
+
+    /// Compact label for experiment tables and CLI output.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !self.base.is_ideal() {
+            parts.push(format!(
+                "iid(loss={},delay={})",
+                self.base.loss_fraction, self.base.delay_fraction
+            ));
+        }
+        if let Some(e) = &self.edge {
+            parts.push(format!(
+                "edge(loss={},delay={})",
+                e.loss.label(),
+                e.delay.label()
+            ));
+        }
+        for w in &self.windows {
+            parts.push(format!(
+                "window({}..{},loss={},delay={})",
+                w.start, w.end, w.loss, w.delay
+            ));
+        }
+        if let Some(g) = &self.ge {
+            let mut s = format!(
+                "ge(up={},down={},loss={}",
+                g.mean_good, g.mean_bad, g.bad_loss
+            );
+            if g.bad_delay > 0.0 {
+                let _ = write!(s, ",delay={}", g.bad_delay);
+            }
+            s.push(')');
+            parts.push(s);
+        }
+        if let Some(o) = &self.outages {
+            parts.push(format!(
+                "outage(frac={},up={},down={})",
+                o.frac, o.mean_up, o.mean_down
+            ));
+        }
+        if let Some(p) = &self.partition {
+            parts.push(format!("partition({},{}..{})", p.parts, p.start, p.end));
+        }
+        if parts.is_empty() {
+            "ideal".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Parse the scenario DSL: semicolon-separated clauses layered on
+    /// top of `base`.
+    ///
+    /// ```text
+    /// edge:loss=0..0.4[,delay=DIST]        per-edge draws (DIST = X | LO..HI | flaky(F,GOOD,BAD))
+    /// window:T0..T1[,loss=F][,delay=F]     degraded window (defaults: base values)
+    /// ge:up=U,down=D,loss=F[,delay=F]      Gilbert–Elliott bad state
+    /// outage:frac=F,up=U,down=D            node-scoped bursts
+    /// partition:parts=K,T0..T1             k-way partition window
+    /// salt:N                               model salt (default fixed)
+    /// ```
+    ///
+    /// Example: `"edge:loss=flaky(0.1,0,0.8);window:10..20,loss=0.5"`.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed clause.
+    pub fn parse(spec: &str, base: NetworkConfig) -> Result<Self, String> {
+        let mut model = Self::uniform(base);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("clause '{clause}' is missing ':'"))?;
+            match kind.trim() {
+                "edge" => {
+                    let mut loss = ParamDist::Fixed(base.loss_fraction);
+                    let mut delay = ParamDist::Fixed(base.delay_fraction);
+                    for item in split_args(rest) {
+                        match item.split_once('=') {
+                            Some(("loss", d)) => loss = parse_dist(d)?,
+                            Some(("delay", d)) => delay = parse_dist(d)?,
+                            _ => return Err(format!("edge: unknown item '{item}'")),
+                        }
+                    }
+                    let dists = EdgeDists { loss, delay };
+                    if !(dists.loss.is_valid() && dists.delay.is_valid()) {
+                        return Err(format!("edge: distribution out of [0, 1] in '{rest}'"));
+                    }
+                    model.edge = Some(dists);
+                }
+                "window" => {
+                    let mut range = None;
+                    let mut loss = base.loss_fraction;
+                    let mut delay = base.delay_fraction;
+                    for item in split_args(rest) {
+                        match item.split_once('=') {
+                            Some(("loss", v)) => loss = parse_unit(v, "window loss")?,
+                            Some(("delay", v)) => delay = parse_unit(v, "window delay")?,
+                            None => range = Some(parse_range(item)?),
+                            _ => return Err(format!("window: unknown item '{item}'")),
+                        }
+                    }
+                    let (start, end) =
+                        range.ok_or_else(|| format!("window: missing T0..T1 in '{rest}'"))?;
+                    model = model.with_window(Window {
+                        start,
+                        end,
+                        loss,
+                        delay,
+                    });
+                }
+                "ge" => {
+                    let mut up = None;
+                    let mut down = None;
+                    let mut loss = None;
+                    let mut delay = base.delay_fraction;
+                    for item in split_args(rest) {
+                        match item.split_once('=') {
+                            Some(("up", v)) => up = Some(parse_pos(v, "ge up")?),
+                            Some(("down", v)) => down = Some(parse_pos(v, "ge down")?),
+                            Some(("loss", v)) => loss = Some(parse_unit(v, "ge loss")?),
+                            Some(("delay", v)) => delay = parse_unit(v, "ge delay")?,
+                            _ => return Err(format!("ge: unknown item '{item}'")),
+                        }
+                    }
+                    model = model.with_gilbert_elliott(GilbertElliott {
+                        mean_good: up.ok_or("ge: missing up=")?,
+                        mean_bad: down.ok_or("ge: missing down=")?,
+                        bad_loss: loss.ok_or("ge: missing loss=")?,
+                        bad_delay: delay,
+                    });
+                }
+                "outage" => {
+                    let mut frac = None;
+                    let mut up = None;
+                    let mut down = None;
+                    for item in split_args(rest) {
+                        match item.split_once('=') {
+                            Some(("frac", v)) => frac = Some(parse_unit(v, "outage frac")?),
+                            Some(("up", v)) => up = Some(parse_pos(v, "outage up")?),
+                            Some(("down", v)) => down = Some(parse_pos(v, "outage down")?),
+                            _ => return Err(format!("outage: unknown item '{item}'")),
+                        }
+                    }
+                    model = model.with_outages(NodeOutages {
+                        frac: frac.ok_or("outage: missing frac=")?,
+                        mean_up: up.ok_or("outage: missing up=")?,
+                        mean_down: down.ok_or("outage: missing down=")?,
+                    });
+                }
+                "partition" => {
+                    let mut parts = None;
+                    let mut range = None;
+                    for item in split_args(rest) {
+                        match item.split_once('=') {
+                            Some(("parts", v)) => {
+                                parts = Some(v.trim().parse::<usize>().map_err(|_| {
+                                    format!("partition: parts must be an integer, got '{v}'")
+                                })?);
+                            }
+                            None => range = Some(parse_range(item)?),
+                            _ => return Err(format!("partition: unknown item '{item}'")),
+                        }
+                    }
+                    let parts = parts.ok_or("partition: missing parts=")?;
+                    if parts < 2 {
+                        return Err("partition: parts must be ≥ 2".into());
+                    }
+                    let (start, end) =
+                        range.ok_or_else(|| format!("partition: missing T0..T1 in '{rest}'"))?;
+                    model = model.with_partition(Partition { parts, start, end });
+                }
+                "salt" => {
+                    model.salt = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("salt: expects a u64, got '{rest}'"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown failure clause '{other}' \
+                         (expected edge, window, ge, outage, partition, or salt)"
+                    ))
+                }
+            }
+        }
+        Ok(model)
+    }
+}
+
+/// Split a clause body on commas, respecting one level of parentheses
+/// (so `flaky(0.1,0,0.8)` survives as a single item).
+fn split_args(rest: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                items.push(rest[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(rest[start..].trim());
+    items.retain(|s| !s.is_empty());
+    items
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
+    s.trim()
+        .parse::<f64>()
+        .map_err(|_| format!("{what}: expected a number, got '{s}'"))
+}
+
+fn parse_unit(s: &str, what: &str) -> Result<f64, String> {
+    let v = parse_f64(s, what)?;
+    if (0.0..=1.0).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("{what}: {v} out of [0, 1]"))
+    }
+}
+
+fn parse_pos(s: &str, what: &str) -> Result<f64, String> {
+    let v = parse_f64(s, what)?;
+    if v.is_finite() && v > 0.0 {
+        Ok(v)
+    } else {
+        Err(format!("{what}: {v} must be positive"))
+    }
+}
+
+fn parse_range(s: &str) -> Result<(f64, f64), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("expected T0..T1, got '{s}'"))?;
+    let start = parse_f64(a, "range start")?;
+    let end = parse_f64(b, "range end")?;
+    if start.is_finite() && end.is_finite() && 0.0 <= start && start < end {
+        Ok((start, end))
+    } else {
+        Err(format!("range must satisfy 0 ≤ start < end, got '{s}'"))
+    }
+}
+
+fn parse_dist(s: &str) -> Result<ParamDist, String> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix("flaky(").and_then(|r| r.strip_suffix(')')) {
+        let parts: Vec<&str> = inner.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!("flaky expects (frac,good,bad), got '{s}'"));
+        }
+        return Ok(ParamDist::Flaky {
+            frac: parse_unit(parts[0], "flaky frac")?,
+            good: parse_unit(parts[1], "flaky good")?,
+            bad: parse_unit(parts[2], "flaky bad")?,
+        });
+    }
+    if let Some((lo, hi)) = s.split_once("..") {
+        return Ok(ParamDist::Uniform {
+            lo: parse_unit(lo, "dist lo")?,
+            hi: parse_unit(hi, "dist hi")?,
+        });
+    }
+    Ok(ParamDist::Fixed(parse_unit(s, "dist value")?))
+}
+
+/// Canonical key of the unordered edge `{u, v}` in a population of `n`
+/// nodes: `min·n + max` (fits u64 up to `n ≈ 4·10⁹`; self-edges — a
+/// clique node sampling itself — key like any other edge).
+#[inline]
+fn edge_key(n: usize, u: usize, v: usize) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    (a as u64) * (n as u64) + b as u64
+}
+
+/// Project a derived 64-bit stream value onto `[0, 1)`.
+#[inline]
+fn unit_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One lazily advanced two-state chain (Gilbert–Elliott edge regime or
+/// node up/down): initial state from the stationary law, exponential
+/// holding times, advanced monotonically in time.
+#[derive(Debug)]
+struct TwoStateChain {
+    bad: bool,
+    until: f64,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl TwoStateChain {
+    fn new(mut rng: Xoshiro256PlusPlus, mean_good: f64, mean_bad: f64) -> Self {
+        let stationary_bad = mean_bad / (mean_good + mean_bad);
+        let bad = rng.gen::<f64>() < stationary_bad;
+        let mean = if bad { mean_bad } else { mean_good };
+        let until = mean * exp1(&mut rng);
+        Self { bad, until, rng }
+    }
+
+    /// Is the chain in the bad state at time `t`?  `t` must be
+    /// non-decreasing across calls (the engine guarantees event order).
+    fn bad_at(&mut self, t: f64, mean_good: f64, mean_bad: f64) -> bool {
+        while self.until <= t {
+            self.bad = !self.bad;
+            let mean = if self.bad { mean_bad } else { mean_good };
+            self.until += mean * exp1(&mut self.rng);
+        }
+        self.bad
+    }
+}
+
+/// Resolved conditions of one message: the effective loss/delay
+/// fractions after every layer of the model has spoken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConditions {
+    /// Effective loss fraction.
+    pub loss: f64,
+    /// Effective delay fraction.
+    pub delay: f64,
+}
+
+/// Per-trial mutable state of a [`FailureModel`]: the lazily built
+/// Gilbert–Elliott and outage chains, the cached degenerate-case
+/// reduction, and (when the engine precomputed one over a CSR topology)
+/// the dense per-edge parameter table.
+///
+/// Created once per trial by the engine; chain randomness derives from
+/// the trial's failure stream so trials stay independent and exactly
+/// reproducible.
+#[derive(Debug)]
+pub struct FailureState<'m> {
+    model: &'m FailureModel,
+    n: usize,
+    /// Dense `(loss, delay)` per directed CSR edge slot, if precomputed.
+    edge_table: Option<&'m [(f64, f64)]>,
+    /// Cached [`FailureModel::effective_uniform`].
+    uniform: Option<NetworkConfig>,
+    ge_master: u64,
+    outage_master: u64,
+    partition_master: u64,
+    outage_member_master: u64,
+    edge_param_master: u64,
+    ge_chains: HashMap<u64, TwoStateChain>,
+    /// `None` marks a node that is not subject to outages.
+    outage_chains: HashMap<u32, Option<TwoStateChain>>,
+}
+
+impl<'m> FailureState<'m> {
+    /// State for one trial.  `trial_master` is the trial's failure
+    /// stream (the engine derives stream 4 of the trial seed);
+    /// `edge_table`, when given, must hold one `(loss, delay)` pair per
+    /// dense directed CSR edge slot, exactly as
+    /// [`FailureModel::edge_params`] would produce.
+    #[must_use]
+    pub fn new(
+        model: &'m FailureModel,
+        n: usize,
+        edge_table: Option<&'m [(f64, f64)]>,
+        trial_master: u64,
+    ) -> Self {
+        Self {
+            model,
+            n,
+            edge_table,
+            uniform: model.effective_uniform(),
+            ge_master: derive_stream(trial_master, GE_CHAIN_STREAM),
+            outage_master: derive_stream(trial_master, OUTAGE_CHAIN_STREAM),
+            partition_master: derive_stream(model.salt, PARTITION_STREAM),
+            outage_member_master: derive_stream(model.salt, OUTAGE_MEMBER_STREAM),
+            edge_param_master: derive_stream(model.salt, EDGE_PARAM_STREAM),
+            ge_chains: HashMap::new(),
+            outage_chains: HashMap::new(),
+        }
+    }
+
+    /// The degenerate-case reduction, when the model has one
+    /// (see [`FailureModel::effective_uniform`]).
+    #[must_use]
+    pub fn uniform(&self) -> Option<NetworkConfig> {
+        self.uniform
+    }
+
+    /// The model this state animates.
+    #[must_use]
+    pub fn model(&self) -> &'m FailureModel {
+        self.model
+    }
+
+    /// Partition part of node `v` (stable across trials).
+    #[must_use]
+    pub fn part_of(&self, v: usize) -> usize {
+        match self.model.partition {
+            Some(p) => (derive_stream(self.partition_master, v as u64) % p.parts as u64) as usize,
+            None => 0,
+        }
+    }
+
+    /// Is `v` subject to outages (membership is model-scoped, stable
+    /// across trials)?
+    #[must_use]
+    pub fn outage_member(&self, v: usize) -> bool {
+        match self.model.outages {
+            Some(o) => unit_from_bits(derive_stream(self.outage_member_master, v as u64)) < o.frac,
+            None => false,
+        }
+    }
+
+    /// Is node `v` down at time `t`?  Advances the node's chain; `t`
+    /// must be non-decreasing across calls.
+    pub fn node_down(&mut self, t: f64, v: usize) -> bool {
+        let Some(o) = self.model.outages else {
+            return false;
+        };
+        let member = self.outage_member(v);
+        let chain = match self.outage_chains.entry(v as u32) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(member.then(|| {
+                TwoStateChain::new(
+                    stream_rng(self.outage_master, v as u64),
+                    o.mean_up,
+                    o.mean_down,
+                )
+            })),
+        };
+        match chain {
+            Some(c) => c.bad_at(t, o.mean_up, o.mean_down),
+            None => false,
+        }
+    }
+
+    /// Is the Gilbert–Elliott chain of edge `{u, v}` bad at time `t`?
+    /// Advances the edge's chain; `t` must be non-decreasing.
+    pub fn edge_bad(&mut self, t: f64, u: usize, v: usize) -> bool {
+        let Some(ge) = self.model.ge else {
+            return false;
+        };
+        let key = edge_key(self.n, u, v);
+        let chain = self.ge_chains.entry(key).or_insert_with(|| {
+            TwoStateChain::new(stream_rng(self.ge_master, key), ge.mean_good, ge.mean_bad)
+        });
+        chain.bad_at(t, ge.mean_good, ge.mean_bad)
+    }
+
+    /// Resolve the effective conditions of one message from `src` to
+    /// `peer` at time `now` (see the module docs for the layer order).
+    /// `slot`, when the topology reported a dense directed CSR edge
+    /// slot, selects the precomputed per-edge parameters; otherwise the
+    /// per-edge draw is recomputed from the edge's stream.
+    pub fn conditions(
+        &mut self,
+        now: f64,
+        src: usize,
+        peer: usize,
+        slot: Option<usize>,
+    ) -> LinkConditions {
+        let model = self.model;
+        // 1. Baseline or per-edge static parameters.
+        let (mut loss, mut delay) = match model.edge {
+            None => (model.base.loss_fraction, model.base.delay_fraction),
+            Some(dists) => match (self.edge_table, slot) {
+                (Some(table), Some(slot)) => table[slot],
+                _ => {
+                    let mut rng = stream_rng(self.edge_param_master, edge_key(self.n, src, peer));
+                    (dists.loss.draw(&mut rng), dists.delay.draw(&mut rng))
+                }
+            },
+        };
+        // 2. Degraded windows (last matching window wins).
+        for w in &model.windows {
+            if w.contains(now) {
+                loss = w.loss;
+                delay = w.delay;
+            }
+        }
+        // 3. Gilbert–Elliott bad state.
+        if let Some(ge) = model.ge {
+            if self.edge_bad(now, src, peer) {
+                loss = ge.bad_loss;
+                delay = ge.bad_delay;
+            }
+        }
+        // 4. Node outages: a down endpoint loses the message.
+        if model.outages.is_some() && (self.node_down(now, src) || self.node_down(now, peer)) {
+            loss = 1.0;
+        }
+        // 5. Partition: cross-cut messages are lost while active.
+        if let Some(p) = model.partition {
+            if p.active(now) && self.part_of(src) != self.part_of(peer) {
+                loss = 1.0;
+            }
+        }
+        LinkConditions { loss, delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(model: &FailureModel, n: usize) -> FailureState<'_> {
+        FailureState::new(model, n, None, 99)
+    }
+
+    #[test]
+    fn uniform_model_reduces_to_network_config() {
+        let cfg = NetworkConfig::new(0.3, 0.1);
+        let m = FailureModel::uniform(cfg);
+        assert_eq!(m.effective_uniform(), Some(cfg));
+        assert!(!m.needs_edge_params());
+        let mut s = state(&m, 10);
+        assert_eq!(s.uniform(), Some(cfg));
+        assert_eq!(
+            s.conditions(0.5, 1, 2, None),
+            LinkConditions {
+                loss: 0.1,
+                delay: 0.3
+            }
+        );
+    }
+
+    #[test]
+    fn fixed_per_edge_also_reduces() {
+        let m = FailureModel::uniform(NetworkConfig::default()).with_per_edge(EdgeDists {
+            loss: ParamDist::Fixed(0.2),
+            delay: ParamDist::Fixed(0.4),
+        });
+        assert_eq!(m.effective_uniform(), Some(NetworkConfig::new(0.4, 0.2)));
+        assert!(!m.needs_edge_params());
+    }
+
+    #[test]
+    fn structured_layers_defeat_the_reduction() {
+        let base = NetworkConfig::default();
+        let per_edge = FailureModel::uniform(base).with_per_edge(EdgeDists {
+            loss: ParamDist::Uniform { lo: 0.0, hi: 0.4 },
+            delay: ParamDist::Fixed(0.0),
+        });
+        assert_eq!(per_edge.effective_uniform(), None);
+        assert!(per_edge.needs_edge_params());
+        let windowed = FailureModel::uniform(base).with_window(Window {
+            start: 1.0,
+            end: 2.0,
+            loss: 0.9,
+            delay: 0.0,
+        });
+        assert_eq!(windowed.effective_uniform(), None);
+    }
+
+    #[test]
+    fn edge_params_symmetric_and_deterministic() {
+        let m = FailureModel::uniform(NetworkConfig::default()).with_per_edge(EdgeDists {
+            loss: ParamDist::Uniform { lo: 0.1, hi: 0.5 },
+            delay: ParamDist::Uniform { lo: 0.0, hi: 1.0 },
+        });
+        for (u, v) in [(0usize, 1usize), (3, 7), (9, 2)] {
+            let a = m.edge_params(10, u, v);
+            let b = m.edge_params(10, v, u);
+            assert_eq!(a, b, "edge ({u},{v}) params not direction-invariant");
+            assert_eq!(a, m.edge_params(10, u, v), "not deterministic");
+            assert!((0.1..=0.5).contains(&a.0));
+            assert!((0.0..=1.0).contains(&a.1));
+        }
+        // Different edges draw different parameters (w.h.p.).
+        assert_ne!(m.edge_params(10, 0, 1), m.edge_params(10, 0, 2));
+        // A different salt redraws the landscape.
+        let other = m.clone().with_salt(77);
+        assert_ne!(m.edge_params(10, 0, 1), other.edge_params(10, 0, 1));
+    }
+
+    #[test]
+    fn flaky_dist_hits_requested_fraction() {
+        let m = FailureModel::uniform(NetworkConfig::default()).with_per_edge(EdgeDists {
+            loss: ParamDist::Flaky {
+                frac: 0.2,
+                good: 0.0,
+                bad: 0.8,
+            },
+            delay: ParamDist::Fixed(0.0),
+        });
+        let n = 400usize;
+        let mut bad = 0usize;
+        let mut total = 0usize;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                total += 1;
+                if m.edge_params(n, u, v).0 > 0.0 {
+                    bad += 1;
+                }
+            }
+        }
+        let frac = bad as f64 / total as f64;
+        assert!((frac - 0.2).abs() < 0.01, "flaky fraction {frac}");
+    }
+
+    #[test]
+    fn window_overrides_only_inside() {
+        let m = FailureModel::uniform(NetworkConfig::new(0.0, 0.05)).with_window(Window {
+            start: 2.0,
+            end: 4.0,
+            loss: 0.9,
+            delay: 0.5,
+        });
+        let mut s = state(&m, 10);
+        assert_eq!(s.conditions(1.99, 0, 1, None).loss, 0.05);
+        assert_eq!(
+            s.conditions(2.0, 0, 1, None),
+            LinkConditions {
+                loss: 0.9,
+                delay: 0.5
+            }
+        );
+        assert_eq!(s.conditions(3.99, 0, 1, None).loss, 0.9);
+        assert_eq!(s.conditions(4.0, 0, 1, None).loss, 0.05, "end is exclusive");
+    }
+
+    #[test]
+    fn later_window_wins_overlap() {
+        let m = FailureModel::uniform(NetworkConfig::default())
+            .with_window(Window {
+                start: 0.0,
+                end: 10.0,
+                loss: 0.3,
+                delay: 0.0,
+            })
+            .with_window(Window {
+                start: 5.0,
+                end: 6.0,
+                loss: 0.7,
+                delay: 0.0,
+            });
+        let mut s = state(&m, 4);
+        assert_eq!(s.conditions(5.5, 0, 1, None).loss, 0.7);
+        assert_eq!(s.conditions(6.5, 0, 1, None).loss, 0.3);
+    }
+
+    #[test]
+    fn gilbert_elliott_occupancy_matches_stationary_law() {
+        let ge = GilbertElliott {
+            mean_good: 3.0,
+            mean_bad: 1.0,
+            bad_loss: 1.0,
+            bad_delay: 0.0,
+        };
+        assert!((ge.stationary_bad() - 0.25).abs() < 1e-12);
+        assert!((ge.average_loss(0.0) - 0.25).abs() < 1e-12);
+        let m = FailureModel::uniform(NetworkConfig::default()).with_gilbert_elliott(ge);
+        let mut s = state(&m, 2_000);
+        // Sample many edges at one instant: the fraction bad should sit
+        // at the stationary occupancy.
+        let mut bad = 0usize;
+        let edges = 4_000usize;
+        for e in 0..edges {
+            if s.conditions(10.0, 0, e % 1_999 + 1, None).loss == 1.0 {
+                bad += 1;
+            }
+        }
+        let frac = bad as f64 / edges as f64;
+        assert!((frac - 0.25).abs() < 0.03, "bad fraction {frac}");
+    }
+
+    #[test]
+    fn gilbert_elliott_state_persists_within_a_burst() {
+        let ge = GilbertElliott {
+            mean_good: 1_000.0,
+            mean_bad: 1_000.0,
+            bad_loss: 0.8,
+            bad_delay: 0.0,
+        };
+        let m = FailureModel::uniform(NetworkConfig::default()).with_gilbert_elliott(ge);
+        let mut s = state(&m, 50);
+        // With mean holding times of 1000 ticks, the state observed over
+        // the first few ticks is constant per edge.
+        for (u, v) in [(0usize, 1usize), (2, 3), (4, 5), (6, 7)] {
+            let first = s.conditions(0.1, u, v, None);
+            for i in 1..20 {
+                let again = s.conditions(0.1 + i as f64 * 0.1, u, v, None);
+                assert_eq!(first, again, "edge ({u},{v}) flapped inside a burst");
+            }
+        }
+    }
+
+    #[test]
+    fn outage_downs_all_traffic_of_a_down_node() {
+        let m = FailureModel::uniform(NetworkConfig::default()).with_outages(NodeOutages {
+            frac: 1.0,
+            mean_up: 1.0,
+            mean_down: 1_000.0,
+        });
+        let mut s = state(&m, 10);
+        // With mean_down ≫ mean_up, essentially every node is down.
+        assert!(s.outage_member(3));
+        let c = s.conditions(5.0, 3, 4, None);
+        assert_eq!(c.loss, 1.0);
+    }
+
+    #[test]
+    fn outage_membership_is_stable_and_fractional() {
+        let m = FailureModel::uniform(NetworkConfig::default()).with_outages(NodeOutages {
+            frac: 0.3,
+            mean_up: 1.0,
+            mean_down: 1.0,
+        });
+        let s = state(&m, 10_000);
+        let members = (0..10_000).filter(|&v| s.outage_member(v)).count();
+        let frac = members as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "member fraction {frac}");
+        // Stable across states (model-scoped, not trial-scoped).
+        let s2 = FailureState::new(&m, 10_000, None, 12345);
+        for v in 0..100 {
+            assert_eq!(s.outage_member(v), s2.outage_member(v));
+        }
+    }
+
+    #[test]
+    fn partition_silences_cross_cut_edges_only_during_window() {
+        let m = FailureModel::uniform(NetworkConfig::default()).with_partition(Partition {
+            parts: 2,
+            start: 3.0,
+            end: 8.0,
+        });
+        let mut s = state(&m, 100);
+        // Find one cross pair and one same-part pair.
+        let p0 = s.part_of(0);
+        let cross = (1..100).find(|&v| s.part_of(v) != p0).unwrap();
+        let same = (1..100).find(|&v| s.part_of(v) == p0).unwrap();
+        assert_eq!(s.conditions(2.9, 0, cross, None).loss, 0.0);
+        assert_eq!(s.conditions(3.0, 0, cross, None).loss, 1.0);
+        assert_eq!(s.conditions(5.0, 0, same, None).loss, 0.0);
+        assert_eq!(s.conditions(8.0, 0, cross, None).loss, 0.0);
+    }
+
+    #[test]
+    fn partition_parts_are_roughly_balanced() {
+        let m = FailureModel::uniform(NetworkConfig::default()).with_partition(Partition {
+            parts: 4,
+            start: 0.0,
+            end: 1.0,
+        });
+        let s = state(&m, 8_000);
+        let mut counts = [0usize; 4];
+        for v in 0..8_000 {
+            counts[s.part_of(v)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / 8_000.0;
+            assert!((frac - 0.25).abs() < 0.03, "part {i} holds {frac}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_the_kitchen_sink() {
+        let base = NetworkConfig::new(0.1, 0.02);
+        let m = FailureModel::parse(
+            "edge:loss=flaky(0.1,0,0.8),delay=0..0.5; window:10..20,loss=0.5,delay=0.3; \
+             ge:up=4,down=2,loss=0.9; outage:frac=0.2,up=8,down=2; \
+             partition:parts=3,5..15; salt:42",
+            base,
+        )
+        .unwrap();
+        assert_eq!(m.base(), base);
+        assert_eq!(
+            m.edge_dists(),
+            Some(EdgeDists {
+                loss: ParamDist::Flaky {
+                    frac: 0.1,
+                    good: 0.0,
+                    bad: 0.8
+                },
+                delay: ParamDist::Uniform { lo: 0.0, hi: 0.5 },
+            })
+        );
+        assert_eq!(
+            m.gilbert_elliott(),
+            Some(GilbertElliott {
+                mean_good: 4.0,
+                mean_bad: 2.0,
+                bad_loss: 0.9,
+                bad_delay: 0.1, // defaults to the base delay fraction
+            })
+        );
+        assert_eq!(m.salt(), 42);
+        assert!(m.label().contains("ge(up=4,down=2,loss=0.9"));
+        assert!(m.label().contains("partition(3,5..15)"));
+    }
+
+    #[test]
+    fn parse_empty_spec_is_the_uniform_model() {
+        let base = NetworkConfig::new(0.5, 0.2);
+        let m = FailureModel::parse("", base).unwrap();
+        assert_eq!(m, FailureModel::uniform(base));
+        assert_eq!(m.effective_uniform(), Some(base));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        let base = NetworkConfig::default();
+        for bad in [
+            "bogus:1",
+            "ge:up=4,down=2",         // missing loss=
+            "ge:up=-1,down=2,loss=1", // negative duration
+            "partition:parts=1,0..5", // parts < 2
+            "partition:parts=2",      // missing range
+            "window:20..10",          // inverted range
+            "edge:loss=1.5",          // out of [0, 1]
+            "edge",                   // missing ':'
+        ] {
+            assert!(
+                FailureModel::parse(bad, base).is_err(),
+                "'{bad}' should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_compact_and_distinct() {
+        let base = NetworkConfig::default();
+        assert_eq!(FailureModel::uniform(base).label(), "ideal");
+        assert_eq!(
+            FailureModel::uniform(NetworkConfig::new(0.0, 0.3)).label(),
+            "iid(loss=0.3,delay=0)"
+        );
+        let ge = FailureModel::parse("ge:up=4,down=4,loss=0.9", base).unwrap();
+        assert_eq!(ge.label(), "ge(up=4,down=4,loss=0.9)");
+    }
+
+    #[test]
+    fn chain_is_reproducible_per_trial_master() {
+        let m = FailureModel::parse("ge:up=2,down=2,loss=1", NetworkConfig::default()).unwrap();
+        let mut a = FailureState::new(&m, 100, None, 7);
+        let mut b = FailureState::new(&m, 100, None, 7);
+        let mut c = FailureState::new(&m, 100, None, 8);
+        let mut diverged = false;
+        for i in 0..200 {
+            let t = i as f64 * 0.1;
+            let (u, v) = (i % 10, 10 + i % 7);
+            assert_eq!(a.conditions(t, u, v, None), b.conditions(t, u, v, None));
+            if a.conditions(t, u, v, None) != c.conditions(t, u, v, None) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "distinct trial masters must decorrelate chains");
+    }
+}

@@ -64,10 +64,48 @@
 //!   activates again first — last activation wins); a delayed push leg
 //!   parks in the event queue and joins the peer's inbox late.
 //!
+//! PUSH and PUSH-PULL buffer received colors in bounded per-node
+//! inboxes ([`INBOX_CAP`]); what a *full* inbox does with the next
+//! receipt is the [`InboxPolicy`] (drop-oldest by default, drop-newest
+//! as the maximally stale alternative).
+//!
+//! # Failure models
+//!
+//! [`NetworkConfig`] is the i.i.d. baseline: every message flips the
+//! same coins.  The [`crate::failure`] module generalizes it to
+//! **structured** failures via [`FailureModel`], which layers on top of
+//! the baseline (resolution order is documented there):
+//!
+//! * **per-edge** parameters ([`EdgeDists`]) — loss/delay drawn *once
+//!   per unordered edge* from configurable distributions
+//!   ([`ParamDist`]: fixed, uniform range, or flaky-fraction), backed
+//!   by deterministic per-edge streams; on CSR topologies the engine
+//!   precomputes a dense per-directed-slot table (a pure cache —
+//!   trajectories are identical without it);
+//! * **time-varying** schedules ([`Window`]) — absolute loss/delay
+//!   overrides during `[t0, t1)` windows (degraded periods);
+//! * **correlated** failures — a per-edge two-state Gilbert–Elliott
+//!   good/bad channel ([`GilbertElliott`]), node-scoped burst outages
+//!   ([`NodeOutages`]), and a timed `k`-way [`Partition`] that silences
+//!   cross-cut edges.
+//!
+//! Loss and delay still strike *per message* — and per **leg** in
+//! PUSH-PULL — whatever layer produced the effective fractions.  A
+//! model that reduces to the uniform baseline (no schedule/chains, all
+//! edges alike) reproduces plain [`NetworkConfig`] trials **bit for
+//! bit**; the golden fingerprints and the degenerate-equivalence
+//! property suites pin this.  Configure with
+//! [`GossipEngine::with_failure_model`], the CLI's `--failure` scenario
+//! DSL ([`FailureModel::parse`]), or experiment e16 (the robustness
+//! grid).
+//!
 //! Every message draws its loss/delay/peer randomness from its own
 //! deterministic RNG stream (`stream_rng(message_master, message_index)`),
-//! so a trial is a pure function of `(seed, mode, scheduler, rates,
-//! network)` and the condition grid of an experiment cannot perturb the
+//! chain randomness (burst holding times) from the trial's dedicated
+//! failure stream, and model-scoped randomness (per-edge parameters,
+//! partition assignment, outage membership) from the model's salt — so a
+//! trial is a pure function of `(seed, mode, scheduler, rates, failure
+//! model)` and the condition grid of an experiment cannot perturb the
 //! scheduler's randomness.
 //!
 //! With the default PULL mode, `delay_fraction = 0` and `loss_fraction =
@@ -106,11 +144,16 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod failure;
 pub mod modes;
 pub mod network;
 pub mod scheduler;
 
 pub use engine::{GossipEngine, GossipStats};
-pub use modes::{ExchangeMode, Inbox, INBOX_CAP};
+pub use failure::{
+    EdgeDists, FailureModel, FailureState, GilbertElliott, LinkConditions, NodeOutages, ParamDist,
+    Partition, Window,
+};
+pub use modes::{ExchangeMode, Inbox, InboxPolicy, INBOX_CAP};
 pub use network::{ExchangeFate, LegFate, NetworkConfig};
 pub use scheduler::{ActivationClock, EventKind, EventQueue, RatedActivation, Scheduler};

@@ -78,20 +78,81 @@ impl ExchangeMode {
     }
 }
 
+/// What a full inbox does with the next incoming color.
+///
+/// The trade-off is a *staleness* one: the inbox is a FIFO whose entries
+/// age one activation per buffered predecessor, so the policy decides
+/// whether the node's future samples skew fresh or old.
+/// Random-replacement and TTL policies are listed as follow-ups in
+/// ROADMAP.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InboxPolicy {
+    /// Evict the **oldest** buffered color to admit the incoming one
+    /// (freshest information wins — the PR 2 behavior and the default).
+    #[default]
+    DropOldest,
+    /// Discard the **incoming** color and keep the buffer as is (oldest
+    /// information wins; samples skew maximally stale).
+    DropNewest,
+}
+
+impl InboxPolicy {
+    /// Parse a CLI name.
+    ///
+    /// # Errors
+    /// Returns the unknown name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "drop-oldest" => Ok(Self::DropOldest),
+            "drop-newest" => Ok(Self::DropNewest),
+            other => Err(format!(
+                "unknown inbox policy '{other}' (expected 'drop-oldest' or 'drop-newest')"
+            )),
+        }
+    }
+
+    /// Policy name for labels.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::DropOldest => "drop-oldest",
+            Self::DropNewest => "drop-newest",
+        }
+    }
+}
+
 /// Bounded FIFO of pushed colors awaiting consumption by a node's update
-/// rule (see [`INBOX_CAP`]).
+/// rule (see [`INBOX_CAP`] and [`InboxPolicy`]).
 #[derive(Debug, Default, Clone)]
 pub struct Inbox {
     colors: VecDeque<u32>,
+    policy: InboxPolicy,
 }
 
 impl Inbox {
-    /// Buffer a received color; returns `true` when the oldest entry had
-    /// to be evicted to make room.
+    /// An empty inbox applying `policy` at the cap
+    /// (`Inbox::default()` is drop-oldest).
+    #[must_use]
+    pub fn with_policy(policy: InboxPolicy) -> Self {
+        Self {
+            colors: VecDeque::new(),
+            policy,
+        }
+    }
+
+    /// Buffer a received color; returns `true` when the cap forced a
+    /// drop — of the oldest buffered entry under
+    /// [`InboxPolicy::DropOldest`], of the incoming color under
+    /// [`InboxPolicy::DropNewest`].
     pub fn receive(&mut self, color: u32) -> bool {
         let dropped = self.colors.len() == INBOX_CAP;
         if dropped {
-            self.colors.pop_front();
+            match self.policy {
+                InboxPolicy::DropOldest => {
+                    self.colors.pop_front();
+                }
+                InboxPolicy::DropNewest => return true,
+            }
         }
         self.colors.push_back(color);
         dropped
@@ -166,5 +227,51 @@ mod tests {
         assert_eq!(inbox.len(), INBOX_CAP);
         assert_eq!(inbox.peek(0), Some(1), "oldest entry evicted");
         assert_eq!(inbox.peek(INBOX_CAP - 1), Some(999));
+    }
+
+    #[test]
+    fn inbox_policy_names_roundtrip() {
+        for p in [InboxPolicy::DropOldest, InboxPolicy::DropNewest] {
+            assert_eq!(InboxPolicy::from_name(p.name()).unwrap(), p);
+        }
+        assert!(InboxPolicy::from_name("ttl").is_err());
+        assert_eq!(InboxPolicy::default(), InboxPolicy::DropOldest);
+    }
+
+    #[test]
+    fn drop_newest_preserves_staleness_ordering() {
+        // Under drop-newest the buffer keeps the *first* INBOX_CAP
+        // receipts, in arrival order, and overflow discards the
+        // incoming color without touching the buffer.
+        let mut inbox = Inbox::with_policy(InboxPolicy::DropNewest);
+        for c in 0..INBOX_CAP as u32 {
+            assert!(!inbox.receive(c));
+        }
+        assert!(inbox.receive(999), "cap reached: incoming color dropped");
+        assert_eq!(inbox.len(), INBOX_CAP);
+        for idx in 0..INBOX_CAP {
+            assert_eq!(
+                inbox.peek(idx),
+                Some(idx as u32),
+                "buffered order disturbed at {idx}"
+            );
+        }
+        // Consumption frees capacity: the next receipt is admitted and
+        // queues behind the survivors (FIFO staleness order intact).
+        inbox.consume(2);
+        assert!(!inbox.receive(777));
+        assert_eq!(inbox.peek(0), Some(2), "oldest survivor still first");
+        assert_eq!(inbox.peek(inbox.len() - 1), Some(777));
+    }
+
+    #[test]
+    fn policies_agree_below_the_cap() {
+        let mut oldest = Inbox::with_policy(InboxPolicy::DropOldest);
+        let mut newest = Inbox::with_policy(InboxPolicy::DropNewest);
+        for c in 0..INBOX_CAP as u32 {
+            assert!(!oldest.receive(c));
+            assert!(!newest.receive(c));
+            assert_eq!(oldest.peek(c as usize), newest.peek(c as usize));
+        }
     }
 }

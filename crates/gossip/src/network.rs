@@ -1,6 +1,14 @@
 //! Network-condition model: per-message loss and delay with
 //! deterministic per-message RNG streams.
+//!
+//! [`NetworkConfig`] is the i.i.d. baseline; structured failure models
+//! (per-edge, time-varying, correlated — see [`crate::failure`]) route
+//! through the same per-message streams via [`MessageStreams::next_fate_in`]
+//! and [`MessageStreams::next_exchange_in`], which reproduce the plain
+//! [`NetworkConfig`] draws **bit for bit** when the model reduces to the
+//! degenerate uniform case.
 
+use crate::failure::{FailureState, LinkConditions};
 use plurality_sampling::{stream_rng, Xoshiro256PlusPlus};
 use rand::Rng;
 
@@ -169,6 +177,106 @@ impl MessageStreams {
         let push = leg_fate(network, &mut rng);
         ExchangeFate { peer, pull, push }
     }
+
+    /// Decide the fate of the next message under a structured
+    /// [`crate::FailureModel`] (animated by `state`), for a message sent
+    /// by `src` at simulated time `now`.
+    ///
+    /// `sample_peer` returns the drawn peer plus its dense directed CSR
+    /// edge slot when the topology has one (used to look per-edge
+    /// parameters up in a precomputed table).
+    ///
+    /// Draw order within the message's stream:
+    ///
+    /// * **degenerate model** (reduces to a uniform [`NetworkConfig`]) —
+    ///   exactly the [`Self::next_fate`] order: conditional loss coin,
+    ///   peer, conditional delay coin, duration.  Bit-identical.
+    /// * **structured model** — the peer must be known before the edge's
+    ///   conditions can be resolved, so the order becomes: peer, loss
+    ///   coin (always consumed, even at loss 0), then — only when the
+    ///   message survives loss — the delay coin, and a duration if
+    ///   delayed.
+    pub fn next_fate_in(
+        &mut self,
+        state: &mut FailureState<'_>,
+        now: f64,
+        src: usize,
+        sample_peer: impl FnOnce(&mut Xoshiro256PlusPlus) -> (usize, Option<usize>),
+    ) -> MessageFate {
+        let mut rng = stream_rng(self.master, self.next_index);
+        self.next_index += 1;
+
+        if let Some(network) = state.uniform() {
+            // Degenerate case: replicate the legacy draws bit for bit.
+            if network.loss_fraction > 0.0 && rng.gen::<f64>() < network.loss_fraction {
+                return MessageFate::Lost;
+            }
+            let (peer, _) = sample_peer(&mut rng);
+            if network.delay_fraction > 0.0 && rng.gen::<f64>() < network.delay_fraction {
+                let extra_ticks = crate::scheduler::exp1(&mut rng);
+                return MessageFate::Delayed { peer, extra_ticks };
+            }
+            return MessageFate::Delivered { peer };
+        }
+
+        let (peer, slot) = sample_peer(&mut rng);
+        let link = state.conditions(now, src, peer, slot);
+        if rng.gen::<f64>() < link.loss {
+            return MessageFate::Lost;
+        }
+        if rng.gen::<f64>() < link.delay {
+            let extra_ticks = crate::scheduler::exp1(&mut rng);
+            return MessageFate::Delayed { peer, extra_ticks };
+        }
+        MessageFate::Delivered { peer }
+    }
+
+    /// [`Self::next_exchange`] under a structured failure model: one
+    /// peer draw, one condition resolution (both legs ride the same
+    /// edge at the same instant), then per-leg loss/delay draws — pull
+    /// leg first, then push leg, as in the uniform path.
+    pub fn next_exchange_in(
+        &mut self,
+        state: &mut FailureState<'_>,
+        now: f64,
+        src: usize,
+        sample_peer: impl FnOnce(&mut Xoshiro256PlusPlus) -> (usize, Option<usize>),
+    ) -> ExchangeFate {
+        let mut rng = stream_rng(self.master, self.next_index);
+        self.next_index += 1;
+
+        if let Some(network) = state.uniform() {
+            let (peer, _) = sample_peer(&mut rng);
+            let pull = leg_fate(&network, &mut rng);
+            let push = leg_fate(&network, &mut rng);
+            return ExchangeFate { peer, pull, push };
+        }
+
+        let (peer, slot) = sample_peer(&mut rng);
+        let link = state.conditions(now, src, peer, slot);
+        let pull = leg_fate_under(link, &mut rng);
+        let push = leg_fate_under(link, &mut rng);
+        ExchangeFate { peer, pull, push }
+    }
+}
+
+/// Draw one leg's fate under resolved structured conditions.  Unlike
+/// [`leg_fate`], the coins are consumed unconditionally on the resolved
+/// *values* (a zero fraction still costs its draw) — but a leg lost to
+/// the loss coin returns before the delay coin, so later draws in the
+/// same message stream do shift with earlier outcomes.  That is fine:
+/// every message owns its stream, so determinism never depends on a
+/// fixed within-message draw count.
+fn leg_fate_under(link: LinkConditions, rng: &mut Xoshiro256PlusPlus) -> LegFate {
+    if rng.gen::<f64>() < link.loss {
+        return LegFate::Lost;
+    }
+    if rng.gen::<f64>() < link.delay {
+        return LegFate::Delayed {
+            extra_ticks: crate::scheduler::exp1(rng),
+        };
+    }
+    LegFate::Instant
 }
 
 /// Draw one leg's fate: loss check, then delay check (plus duration).

@@ -5,12 +5,23 @@
 //! thread scheduling when fanned out through `MonteCarlo`.  Every
 //! `ExchangeMode` × `Scheduler` combination is pinned, under delay/loss
 //! and (for a second pass) heterogeneous activation rates.
+//!
+//! The structured [`FailureModel`] layer adds two contracts, both pinned
+//! here: the **degenerate case** (uniform / per-edge `Fixed` parameters,
+//! no schedule) reproduces plain `NetworkConfig` trials event for event,
+//! and the dense CSR per-edge table is a pure cache (bit-identical to
+//! the on-the-fly per-edge streams the dyn fallback uses).
 
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{MonteCarlo, Placement, RunOptions};
-use plurality_gossip::{ExchangeMode, GossipEngine, GossipStats, NetworkConfig, Scheduler};
+use plurality_gossip::{
+    EdgeDists, ExchangeMode, FailureModel, GossipEngine, GossipStats, NetworkConfig, ParamDist,
+    Scheduler,
+};
 use plurality_sampling::derive_stream;
-use plurality_topology::Clique;
+use plurality_topology::{random_regular, Clique, Topology};
+use proptest::prelude::*;
+use rand::RngCore;
 
 const MODES: [ExchangeMode; 3] = [
     ExchangeMode::Pull,
@@ -113,6 +124,145 @@ fn modes_produce_genuinely_different_processes() {
     assert_ne!(pull, push);
     assert_ne!(pull, push_pull);
     assert_ne!(push, push_pull);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The degenerate-case contract: a `FailureModel` with uniform (or
+    /// per-edge `Fixed`) parameters and no schedule reproduces plain
+    /// `NetworkConfig` trials **event for event** — same rounds, same
+    /// winner, identical message accounting — for every exchange mode,
+    /// scheduler, and network parameter pair.
+    #[test]
+    fn uniform_failure_model_reproduces_network_config_event_for_event(
+        delay in 0.0f64..1.0,
+        loss in 0.0f64..1.0,
+        mode_ix in 0usize..3,
+        poisson in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mode = MODES[mode_ix];
+        let scheduler = if poisson { Scheduler::Poisson } else { Scheduler::Sequential };
+        let n = 250;
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 3, (n / 3) as u64);
+        let net = NetworkConfig::new(delay, loss);
+        let engine = |model: Option<FailureModel>| {
+            let e = GossipEngine::new(&clique).with_mode(mode).with_scheduler(scheduler);
+            match model {
+                None => e.with_network(net),
+                Some(m) => e.with_failure_model(m),
+            }
+        };
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(2_000);
+        let run = |e: GossipEngine| e.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
+
+        let (r0, s0) = run(engine(None));
+        let (r1, s1) = run(engine(Some(FailureModel::uniform(net))));
+        let fixed = FailureModel::uniform(NetworkConfig::default()).with_per_edge(EdgeDists {
+            loss: ParamDist::Fixed(loss),
+            delay: ParamDist::Fixed(delay),
+        });
+        let (r2, s2) = run(engine(Some(fixed)));
+
+        prop_assert_eq!((r0.rounds, r0.winner, r0.reason), (r1.rounds, r1.winner, r1.reason));
+        prop_assert_eq!(s0, s1, "uniform model diverged from NetworkConfig");
+        prop_assert_eq!((r0.rounds, r0.winner, r0.reason), (r2.rounds, r2.winner, r2.reason));
+        prop_assert_eq!(s0, s2, "per-edge Fixed model diverged from NetworkConfig");
+    }
+}
+
+/// A CSR topology the engine's downcast dispatch cannot see: forces the
+/// dyn fallback, whose edge-slot sampler reports `None` — so per-edge
+/// parameters are recomputed from the edge streams instead of the dense
+/// table.  Both paths must produce identical trajectories.
+struct OpaqueGraph<T: Topology>(T);
+
+impl<T: Topology> Topology for OpaqueGraph<T> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        self.0.sample_neighbor(node, rng)
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        self.0.degree(node)
+    }
+}
+
+#[test]
+fn dense_edge_table_matches_on_the_fly_edge_streams() {
+    let g = random_regular(400, 6, 11);
+    let opaque = OpaqueGraph(g.clone());
+    let cfg = builders::biased(400, 3, 120);
+    let d = ThreeMajority::new();
+    let model = FailureModel::uniform(NetworkConfig::new(0.2, 0.02)).with_per_edge(EdgeDists {
+        loss: ParamDist::Uniform { lo: 0.0, hi: 0.5 },
+        delay: ParamDist::Flaky {
+            frac: 0.25,
+            good: 0.0,
+            bad: 0.9,
+        },
+    });
+    let opts = RunOptions::with_max_rounds(100_000).traced();
+    for mode in MODES {
+        let table_path = GossipEngine::new(&g)
+            .with_mode(mode)
+            .with_failure_model(model.clone());
+        let hash_path = GossipEngine::new(&opaque)
+            .with_mode(mode)
+            .with_failure_model(model.clone());
+        for seed in [1u64, 2, 3] {
+            let (ra, sa) = table_path.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
+            let (rb, sb) = hash_path.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
+            assert_eq!(
+                (ra.rounds, ra.winner),
+                (rb.rounds, rb.winner),
+                "{} seed {seed}: dense table and hashed edge params diverged",
+                mode.name()
+            );
+            assert_eq!(sa, sb, "{} seed {seed}: stats diverged", mode.name());
+        }
+    }
+}
+
+#[test]
+fn structured_failure_fleet_is_thread_invariant() {
+    // The correlated layers (chains, partition) keep per-trial state;
+    // it must never leak across MonteCarlo threads.
+    let n = 500;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 3, 150);
+    let d = ThreeMajority::new();
+    let model = FailureModel::parse(
+        "edge:loss=0..0.2;ge:up=3,down=1,loss=0.8;outage:frac=0.1,up=5,down=1;\
+         partition:parts=2,1..2",
+        NetworkConfig::new(0.1, 0.0),
+    )
+    .unwrap();
+    let run = |threads: usize| {
+        let mc = MonteCarlo::new(8).with_threads(threads).with_seed(7);
+        mc.run(|i, _| {
+            let engine = GossipEngine::new(&clique).with_failure_model(model.clone());
+            let (r, s) = engine.run_detailed(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(50_000),
+                derive_stream(7, i as u64),
+            );
+            (r.rounds, r.winner, s)
+        })
+    };
+    assert_eq!(run(1), run(8), "thread count changed structured outcomes");
 }
 
 #[test]

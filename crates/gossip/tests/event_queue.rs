@@ -1,11 +1,21 @@
-//! Property tests for the lazy-deletion indexed [`EventQueue`]: it must
-//! agree event-for-event with a naive reference model (a flat vector
-//! scanned for the minimum) under arbitrary interleavings of pushes,
-//! cancels, and pops — including heavy timestamp ties, which exercise
-//! the documented deterministic FIFO tie-breaking.
+//! Property tests for the event plumbing below the gossip engine:
+//!
+//! * the lazy-deletion indexed [`EventQueue`] must agree event-for-event
+//!   with a naive reference model (a flat vector scanned for the
+//!   minimum) under arbitrary interleavings of pushes, cancels, and
+//!   pops — including heavy timestamp ties, which exercise the
+//!   documented deterministic FIFO tie-breaking;
+//! * the per-message streams under a **degenerate** [`FailureModel`]
+//!   (uniform or per-edge `Fixed` parameters, no schedule) must
+//!   reproduce the plain [`NetworkConfig`] draws event for event — the
+//!   contract that keeps the golden gossip fingerprints valid.
 
-use plurality_gossip::{EventKind, EventQueue};
+use plurality_gossip::network::MessageStreams;
+use plurality_gossip::{
+    EdgeDists, EventKind, EventQueue, FailureModel, FailureState, NetworkConfig, ParamDist,
+};
 use proptest::prelude::*;
+use rand::Rng;
 
 /// One step of a random queue workload.
 #[derive(Debug, Clone)]
@@ -157,6 +167,64 @@ proptest! {
                 w[0].time, w[0].seq, w[1].time, w[1].seq
             );
         }
+    }
+
+    /// Degenerate-case contract at the message-stream level: for any
+    /// `(loss, delay)` pair and any message sequence, the fates drawn
+    /// through a uniform `FailureModel` — and through a per-edge model
+    /// whose distributions are `Fixed` — equal the plain `NetworkConfig`
+    /// fates **event for event**, for both PULL requests and PUSH-PULL
+    /// exchanges.
+    #[test]
+    fn degenerate_failure_model_reproduces_network_config_draws(
+        delay in 0.0f64..1.0,
+        loss in 0.0f64..1.0,
+        master in any::<u64>(),
+        messages in 1usize..120,
+    ) {
+        let net = NetworkConfig::new(delay, loss);
+        let uniform = FailureModel::uniform(net);
+        let fixed = FailureModel::uniform(NetworkConfig::default()).with_per_edge(EdgeDists {
+            loss: ParamDist::Fixed(loss),
+            delay: ParamDist::Fixed(delay),
+        });
+        prop_assert_eq!(uniform.effective_uniform(), Some(net));
+        prop_assert_eq!(fixed.effective_uniform(), Some(net));
+
+        let n = 64usize;
+        let mut legacy = MessageStreams::new(master);
+        let mut via_uniform = MessageStreams::new(master);
+        let mut via_fixed = MessageStreams::new(master);
+        let mut s_uniform = FailureState::new(&uniform, n, None, 5);
+        let mut s_fixed = FailureState::new(&fixed, n, None, 5);
+
+        for m in 0..messages {
+            let now = m as f64 * 0.25;
+            let src = m % n;
+            if m % 2 == 0 {
+                let a = legacy.next_fate(&net, |rng| rng.gen_range(0..n));
+                let b = via_uniform.next_fate_in(&mut s_uniform, now, src, |rng| {
+                    (rng.gen_range(0..n), None)
+                });
+                let c = via_fixed.next_fate_in(&mut s_fixed, now, src, |rng| {
+                    (rng.gen_range(0..n), None)
+                });
+                prop_assert_eq!(a, b, "uniform fate diverged at message {}", m);
+                prop_assert_eq!(a, c, "per-edge Fixed fate diverged at message {}", m);
+            } else {
+                let a = legacy.next_exchange(&net, |rng| rng.gen_range(0..n));
+                let b = via_uniform.next_exchange_in(&mut s_uniform, now, src, |rng| {
+                    (rng.gen_range(0..n), None)
+                });
+                let c = via_fixed.next_exchange_in(&mut s_fixed, now, src, |rng| {
+                    (rng.gen_range(0..n), None)
+                });
+                prop_assert_eq!(a, b, "uniform exchange diverged at message {}", m);
+                prop_assert_eq!(a, c, "per-edge Fixed exchange diverged at message {}", m);
+            }
+        }
+        prop_assert_eq!(legacy.issued(), via_uniform.issued());
+        prop_assert_eq!(legacy.issued(), via_fixed.issued());
     }
 
     /// A canceled commit never fires, no matter what else happens, and

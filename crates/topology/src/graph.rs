@@ -62,6 +62,23 @@ pub(crate) mod sealed {
 pub trait TopologyCore: Topology + sealed::SealedTopology {
     /// Monomorphic form of [`Topology::sample_neighbor`].
     fn sample_neighbor_core<R: RngCore + ?Sized>(&self, node: usize, rng: &mut R) -> usize;
+
+    /// Like [`Self::sample_neighbor_core`], additionally reporting the
+    /// **dense directed edge slot** of the sampled edge when the
+    /// topology stores explicit edges in CSR form (see
+    /// [`CsrGraph::directed_edge_count`]); `None` for implicit
+    /// topologies (clique) and fallback adapters.
+    ///
+    /// Contract: must consume the RNG *identically* to
+    /// `sample_neighbor_core` — callers switch between the two freely
+    /// without perturbing trajectories.
+    fn sample_neighbor_edge_core<R: RngCore + ?Sized>(
+        &self,
+        node: usize,
+        rng: &mut R,
+    ) -> (usize, Option<usize>) {
+        (self.sample_neighbor_core(node, rng), None)
+    }
 }
 
 /// Fallback adapter: any `&dyn Topology` viewed as a [`TopologyCore`]
@@ -191,6 +208,22 @@ impl CsrGraph {
         self.edges.len() / 2
     }
 
+    /// Number of *directed* edge slots (`2 × edge_count`): the index
+    /// space of [`TopologyCore::sample_neighbor_edge_core`] and of dense
+    /// per-edge annotation tables.  Slot `offsets[v] + i` holds node
+    /// `v`'s `i`-th neighbor.
+    #[must_use]
+    pub fn directed_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The dense directed slot range of `node`'s adjacency row (slot `s`
+    /// in this range corresponds to `neighbors(node)[s - range.start]`).
+    #[must_use]
+    pub fn slot_range(&self, node: usize) -> std::ops::Range<usize> {
+        self.offsets[node]..self.offsets[node + 1]
+    }
+
     /// BFS connectivity check.
     #[must_use]
     pub fn is_connected(&self) -> bool {
@@ -261,6 +294,27 @@ impl TopologyCore for CsrGraph {
         );
         nbrs[rng.gen_range(0..nbrs.len())] as usize
     }
+
+    #[inline]
+    fn sample_neighbor_edge_core<R: RngCore + ?Sized>(
+        &self,
+        node: usize,
+        rng: &mut R,
+    ) -> (usize, Option<usize>) {
+        // Same draws as `sample_neighbor_core`, slot made explicit.
+        if let Some(d) = self.regular_degree {
+            let slot = node * d + rng.gen_range(0..d);
+            return (self.edges[slot] as usize, Some(slot));
+        }
+        let start = self.offsets[node];
+        let degree = self.offsets[node + 1] - start;
+        assert!(
+            degree > 0,
+            "node {node} is isolated; cannot sample a neighbor"
+        );
+        let slot = start + rng.gen_range(0..degree);
+        (self.edges[slot] as usize, Some(slot))
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +381,37 @@ mod tests {
                 "counts {counts:?}"
             );
         }
+    }
+
+    #[test]
+    fn edge_slot_sampling_consumes_rng_identically() {
+        // Irregular and regular graphs: the slot-reporting sampler must
+        // draw the same neighbor sequence as the plain one, and the slot
+        // must point back at that neighbor.
+        let irregular = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)], "irr");
+        let regular = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], "ring4");
+        assert_eq!(regular.regular_degree(), Some(2));
+        for g in [&irregular, &regular] {
+            let mut a = Xoshiro256PlusPlus::seed_from_u64(5);
+            let mut b = Xoshiro256PlusPlus::seed_from_u64(5);
+            for _ in 0..500 {
+                for node in 0..g.n() {
+                    if g.degree(node) == 0 {
+                        continue;
+                    }
+                    let plain = g.sample_neighbor_core(node, &mut a);
+                    let (peer, slot) = g.sample_neighbor_edge_core(node, &mut b);
+                    assert_eq!(plain, peer, "draw diverged at node {node}");
+                    let slot = slot.expect("CSR graphs report slots");
+                    assert!(g.slot_range(node).contains(&slot));
+                    assert_eq!(
+                        g.neighbors(node)[slot - g.slot_range(node).start] as usize,
+                        peer
+                    );
+                }
+            }
+        }
+        assert_eq!(irregular.directed_edge_count(), 8);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use plurality::core::{builders, ThreeMajority};
 use plurality::engine::{AgentEngine, MonteCarlo, Placement, RunOptions, StopReason};
-use plurality::gossip::{GossipEngine, NetworkConfig, Scheduler};
+use plurality::gossip::{FailureModel, GossipEngine, NetworkConfig, Scheduler};
 use plurality::sampling::derive_stream;
 use plurality::topology::Clique;
 
@@ -124,10 +124,66 @@ fn main() {
         );
     }
 
+    // (d) Structured failures: the same average loss mass, delivered as
+    // i.i.d. coins vs bursty Gilbert–Elliott channels vs a transient
+    // 2-way partition (see `plurality::gossip::failure`).
+    println!();
+    for (label, spec) in [
+        ("iid loss 0.40 (reference)", ""),
+        (
+            "gilbert-elliott up=6 down=6 badloss=0.8",
+            "ge:up=6,down=6,loss=0.8",
+        ),
+        (
+            "2-way partition during ticks 2..8",
+            "partition:parts=2,2..8",
+        ),
+        (
+            "node outages frac=0.3 up=6 down=6",
+            "outage:frac=0.3,up=6,down=6",
+        ),
+    ] {
+        let base = if spec.is_empty() {
+            NetworkConfig::new(0.0, 0.40)
+        } else {
+            NetworkConfig::default()
+        };
+        let model = FailureModel::parse(spec, base).expect("example specs parse");
+        let engine = GossipEngine::new(&clique)
+            .with_scheduler(Scheduler::Poisson)
+            .with_failure_model(model);
+        let results: Vec<_> = mc.run(|i, _| {
+            engine.run_detailed(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &opts,
+                derive_stream(SEED ^ spec.len() as u64, i as u64),
+            )
+        });
+        let converged: Vec<f64> = results
+            .iter()
+            .filter(|(r, _)| r.reason == StopReason::Stopped)
+            .map(|(r, _)| r.rounds as f64)
+            .collect();
+        let wins = results.iter().filter(|(r, _)| r.success).count();
+        let messages: u64 = results.iter().map(|(_, s)| s.messages).sum();
+        let lost: u64 = results.iter().map(|(_, s)| s.lost_messages).sum();
+        summarize(
+            label,
+            &converged,
+            wins,
+            &format!("lost {:.1}%", 100.0 * lost as f64 / messages as f64),
+        );
+    }
+
     println!(
         "\nTakeaway: asynchrony costs a constant-factor dilation (stragglers must\n\
          activate), loss rescales the effective sample rate, and delay adds stale\n\
          commits — but with bias above the paper's threshold the plurality color\n\
-         keeps winning in every regime."
+         keeps winning in every regime.  Structured failures shift the cost from\n\
+         uniform slowdown to correlated stalls: bursts and outages starve whole\n\
+         neighborhoods at a time, and a partition freezes cross-cut progress for\n\
+         its entire window — yet at equal average loss the plurality still wins."
     );
 }

@@ -1,220 +1,72 @@
 //! Golden-trace fingerprints pinning the devirtualized engine cores
 //! bit-for-bit against the pre-refactor (`&dyn`-dispatched) engines.
 //!
-//! The constants below were captured at PR 2's HEAD (commit ca39456,
-//! virtual `Dynamics::node_update` → `StateSampler` →
-//! `Topology::sample_neighbor` dispatch on every sample) with
-//! `cargo run --release -p plurality-bench --bin golden_fingerprints`.
-//! The monomorphized cores must reproduce every value exactly: same
-//! placement shuffle, same chunk→stream layout, same per-sample RNG
-//! consumption.  The `opaque_*` tests additionally pin the *dyn
+//! The pinned tables live in `plurality_bench::golden` — one source of
+//! truth shared with the `golden_fingerprints` binary, whose `--check`
+//! mode gates CI on exactly the same values (captured at PR 2's HEAD,
+//! commit ca39456).  The monomorphized cores and the failure-model
+//! degenerate path must reproduce every value exactly: same placement
+//! shuffle, same chunk→stream layout, same per-sample and per-message
+//! RNG consumption.  The `opaque_*` tests additionally pin the *dyn
 //! fallback* path (types outside the downcast dispatch tables) against
 //! the monomorphized path for the same seeds — the two must agree on
 //! every trajectory, not just the golden ones.
 
-use plurality::core::{
-    Configuration, Dynamics, HPlurality, NodeScratch, StateSampler, ThreeMajority, UndecidedState,
-};
-use plurality::engine::{AgentEngine, Placement, RunOptions, Trace};
+use plurality::core::{Configuration, Dynamics, NodeScratch, StateSampler, ThreeMajority};
+use plurality::engine::{AgentEngine, Placement, RunOptions};
 use plurality::gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
-use plurality::topology::{erdos_renyi, random_regular, Clique, Topology};
+use plurality::topology::{Clique, Topology};
+use plurality_bench::golden::{
+    run_agent_case, run_gossip_case, trace_fingerprint, AGENT_CASES, GOSSIP_CASES,
+};
 use rand::RngCore;
-
-/// FNV-1a fold of a trace's `(round, plurality, second, minority, extra)`
-/// tuples — the same fingerprint `tests/gossip_modes.rs` uses.
-fn trace_fingerprint(trace: &Trace) -> u64 {
-    let fnv = |acc: u64, x: u64| (acc ^ x).wrapping_mul(0x0100_0000_01b3);
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for s in &trace.rounds {
-        h = fnv(h, s.round);
-        h = fnv(h, s.plurality_count);
-        h = fnv(h, s.second_count);
-        h = fnv(h, s.minority_mass);
-        h = fnv(h, s.extra_state_mass);
-    }
-    h
-}
-
-#[allow(clippy::too_many_arguments)]
-fn agent_case(
-    label: &str,
-    topo: &dyn Topology,
-    d: &dyn Dynamics,
-    threads: usize,
-    seed: u64,
-    rounds: u64,
-    winner: Option<usize>,
-    fingerprint: u64,
-) {
-    let n = topo.n() as u64;
-    let cfg = plurality::core::builders::biased(n, 4, n / 5);
-    let engine = AgentEngine::new(topo)
-        .with_threads(threads)
-        .with_chunk_size(512);
-    let opts = RunOptions::with_max_rounds(50_000).traced();
-    let r = engine.run(d, &cfg, Placement::Shuffled, &opts, seed);
-    assert_eq!(r.rounds, rounds, "{label}: rounds drifted");
-    assert_eq!(r.winner, winner, "{label}: winner drifted");
-    assert_eq!(
-        trace_fingerprint(&r.trace.unwrap()),
-        fingerprint,
-        "{label}: trace fingerprint drifted — the devirtualized AgentEngine \
-         is no longer bit-identical to the PR 2 engine"
-    );
-}
 
 #[test]
 fn agent_traces_bit_identical_to_pr2_engine() {
-    let c3000 = Clique::new(3_000);
-    agent_case(
-        "clique(3000) 3-majority 1 thread",
-        &c3000,
-        &ThreeMajority::new(),
-        1,
-        11,
-        8,
-        Some(0),
-        0x52c7_3a4f_ac48_b1e4,
-    );
-    agent_case(
-        "clique(3000) 3-majority 3 threads",
-        &c3000,
-        &ThreeMajority::new(),
-        3,
-        12,
-        10,
-        Some(0),
-        0x97f9_5b66_918f_9ada,
-    );
-    let c2000 = Clique::new(2_000);
-    agent_case(
-        "clique(2000) 7-plurality",
-        &c2000,
-        &HPlurality::new(7),
-        1,
-        21,
-        4,
-        Some(0),
-        0x093a_5f16_d786_273d,
-    );
-    agent_case(
-        "clique(2000) undecided",
-        &c2000,
-        &UndecidedState::new(4),
-        2,
-        31,
-        12,
-        Some(0),
-        0xf4bc_e390_12f9_c77f,
-    );
-    let er = erdos_renyi(1_500, 0.01, 7);
-    agent_case(
-        "er(1500,0.01) 3-majority",
-        &er,
-        &ThreeMajority::new(),
-        1,
-        41,
-        11,
-        Some(0),
-        0x8034_9ad9_b072_ba0a,
-    );
-    // Random-regular graphs take the uniform-degree fast path (implicit
-    // offsets); it must draw exactly like the general CSR path did.
-    let reg = random_regular(1_200, 8, 3);
-    agent_case(
-        "regular(1200,8) 5-plurality",
-        &reg,
-        &HPlurality::new(5),
-        2,
-        51,
-        10,
-        Some(0),
-        0x0cad_b321_d4cb_5fb2,
-    );
+    for case in AGENT_CASES {
+        let o = run_agent_case(case);
+        assert_eq!(o.rounds, case.rounds, "{}: rounds drifted", case.label);
+        assert_eq!(o.winner, case.winner, "{}: winner drifted", case.label);
+        assert_eq!(
+            o.fingerprint, case.fingerprint,
+            "{}: trace fingerprint drifted — the devirtualized AgentEngine \
+             is no longer bit-identical to the PR 2 engine",
+            case.label
+        );
+    }
 }
 
 #[test]
 fn gossip_traces_bit_identical_to_pr2_engine() {
-    // (mode, scheduler, network, seed, rounds, winner, activations,
-    // messages, fingerprint) on clique(800), k = 3, bias 160.
-    #[allow(clippy::type_complexity)]
-    let cases: &[(
-        ExchangeMode,
-        Scheduler,
-        NetworkConfig,
-        u64,
-        u64,
-        u64,
-        u64,
-        u64,
-    )] = &[
-        (
-            ExchangeMode::Pull,
-            Scheduler::Poisson,
-            NetworkConfig::default(),
-            71,
-            12,
-            9_065,
-            27_195,
-            0x6f93_002c_a927_7acd,
-        ),
-        (
-            ExchangeMode::Pull,
-            Scheduler::Poisson,
-            NetworkConfig::new(0.4, 0.05),
-            72,
-            15,
-            11_570,
-            34_710,
-            0x7a40_8de9_e106_22fd,
-        ),
-        (
-            ExchangeMode::Push,
-            Scheduler::Sequential,
-            NetworkConfig::default(),
-            81,
-            30,
-            23_351,
-            23_351,
-            0xa74d_cbca_959d_c569,
-        ),
-        (
-            ExchangeMode::PushPull,
-            Scheduler::Poisson,
-            NetworkConfig::new(0.4, 0.05),
-            91,
-            15,
-            11_262,
-            18_600,
-            0x73cf_9691_afc5_b98e,
-        ),
-    ];
-    let clique = Clique::new(800);
-    let cfg = plurality::core::builders::biased(800, 3, 160);
-    for &(mode, scheduler, network, seed, rounds, activations, messages, fingerprint) in cases {
-        let engine = GossipEngine::new(&clique)
-            .with_mode(mode)
-            .with_scheduler(scheduler)
-            .with_network(network);
-        let opts = RunOptions::with_max_rounds(100_000).traced();
-        let (r, s) = engine.run_detailed(
-            &ThreeMajority::new(),
-            &cfg,
-            Placement::Shuffled,
-            &opts,
-            seed,
-        );
-        let label = format!("{}/{} seed={seed}", mode.name(), scheduler.name());
-        assert_eq!(r.rounds, rounds, "{label}: rounds drifted");
-        assert_eq!(r.winner, Some(0), "{label}: winner drifted");
-        assert_eq!(s.activations, activations, "{label}: activations drifted");
-        assert_eq!(s.messages, messages, "{label}: messages drifted");
+    for case in GOSSIP_CASES {
+        let o = run_gossip_case(case);
+        assert_eq!(o.rounds, case.rounds, "{}: rounds drifted", case.label);
+        assert_eq!(o.winner, case.winner, "{}: winner drifted", case.label);
         assert_eq!(
-            trace_fingerprint(&r.trace.unwrap()),
-            fingerprint,
-            "{label}: trace fingerprint drifted — the devirtualized \
-             GossipEngine is no longer bit-identical to the PR 2 engine"
+            o.activations, case.activations,
+            "{}: activations drifted",
+            case.label
         );
+        assert_eq!(
+            o.messages, case.messages,
+            "{}: messages drifted",
+            case.label
+        );
+        assert_eq!(
+            o.fingerprint, case.fingerprint,
+            "{}: trace fingerprint drifted — the devirtualized GossipEngine \
+             is no longer bit-identical to the PR 2 engine",
+            case.label
+        );
+    }
+}
+
+#[test]
+fn check_all_agrees_with_the_tables() {
+    // The CI gate (`golden_fingerprints --check`) runs this exact
+    // function; it must pass whenever the two tests above do.
+    if let Err(drifts) = plurality_bench::golden::check_all() {
+        panic!("golden drift: {drifts:?}");
     }
 }
 
