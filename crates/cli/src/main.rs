@@ -22,6 +22,7 @@ use plurality_core::{
 };
 use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason, TraceLevel};
 use plurality_sampling::stream_rng;
+use plurality_telemetry::{MetricsRecorder, MetricsReport};
 
 const VALUE_OPTS: &[&str] = &[
     "dynamics",
@@ -43,8 +44,12 @@ const VALUE_OPTS: &[&str] = &[
     "mode",
     "fast-frac",
     "fast-rate",
+    "topology",
+    "degree",
+    "metrics",
+    "metrics-out",
 ];
-const FLAG_OPTS: &[&str] = &["help", "quiet", "rate-time"];
+const FLAG_OPTS: &[&str] = &["help", "quiet", "rate-time", "smoke"];
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +69,7 @@ fn main() {
         "hist" => cmd_hist(&parsed),
         "exact" => cmd_exact(&parsed),
         "gossip" => cmd_gossip(&parsed),
+        "experiment" => cmd_experiment(&parsed),
         "list" => {
             list_dynamics();
             Ok(())
@@ -92,6 +98,7 @@ fn usage() {
          \x20 hist   ASCII histogram of rounds-to-consensus over --trials runs\n\
          \x20 exact  exact absorption analysis at small n (ground truth)\n\
          \x20 gossip asynchronous gossip simulation with message --delay / --loss\n\
+         \x20 experiment  run registry experiments by id (e01..e17); --smoke for test scale\n\
          \x20 list   list available --dynamics names\n\
          \n\
          options:\n\
@@ -115,6 +122,12 @@ fn usage() {
          \x20 --fast-frac F     gossip: fraction of nodes activating at --fast-rate (default 0)\n\
          \x20 --fast-rate R     gossip: activation rate of the fast nodes (default 1)\n\
          \x20 --rate-time       gossip: stamp sequential activations at i/Σr (rate-weighted)\n\
+         \x20 --topology T      gossip: clique (default), ring, torus, or random-regular\n\
+         \x20 --degree D        gossip: degree for --topology random-regular (default 8)\n\
+         \x20 --metrics LEVEL   record telemetry and print it: 'summary' or 'full'\n\
+         \x20 --metrics-out F   write the merged telemetry report to F as one JSONL line\n\
+         \x20                   (schema plurality-metrics/v1; implies recording)\n\
+         \x20 --smoke           experiment: run at smoke scale (seconds, test grids)\n\
          \x20 --trials T        independent trials for 'run'/'zoo' (default 50)\n\
          \x20 --max-rounds R    round cap (default 1000000)\n\
          \x20 --seed S          master seed (default 1)\n\
@@ -223,8 +236,66 @@ fn common(parsed: &Args) -> Result<Common, String> {
     })
 }
 
+/// What `--metrics` / `--metrics-out` asked for.  `--metrics-out` alone
+/// still records (the report goes to the file), it just prints nothing.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsPrint {
+    Off,
+    Summary,
+    Full,
+}
+
+struct MetricsOpt {
+    print: MetricsPrint,
+    out: Option<String>,
+}
+
+impl MetricsOpt {
+    fn from_args(parsed: &Args) -> Result<Self, String> {
+        let print = match parsed.get("metrics") {
+            None => MetricsPrint::Off,
+            Some("summary") => MetricsPrint::Summary,
+            Some("full") => MetricsPrint::Full,
+            Some(other) => {
+                return Err(format!(
+                    "--metrics expects 'summary' or 'full', got '{other}'"
+                ))
+            }
+        };
+        Ok(Self {
+            print,
+            out: parsed.get("metrics-out").map(str::to_string),
+        })
+    }
+
+    /// Telemetry must be recorded at all (print, file, or both).
+    fn enabled(&self) -> bool {
+        self.print != MetricsPrint::Off || self.out.is_some()
+    }
+
+    /// Print and/or persist the merged report.
+    fn emit(&self, report: &MetricsReport) -> Result<(), String> {
+        match self.print {
+            MetricsPrint::Off => {}
+            MetricsPrint::Summary => print!("{}", report.summary_table().markdown()),
+            MetricsPrint::Full => {
+                for t in report.full_tables() {
+                    print!("{}", t.markdown());
+                }
+            }
+        }
+        if let Some(path) = &self.out {
+            let mut line = report.to_json();
+            line.push('\n');
+            std::fs::write(path, line).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 fn cmd_run(parsed: &Args) -> Result<(), String> {
     let c = common(parsed)?;
+    let metrics = MetricsOpt::from_args(parsed)?;
     let engine = MeanFieldEngine::new(c.dynamics.as_ref());
     let mc = MonteCarlo {
         trials: c.trials,
@@ -232,7 +303,32 @@ fn cmd_run(parsed: &Args) -> Result<(), String> {
         master_seed: c.seed,
     };
     let start = std::time::Instant::now();
-    let results = mc.run(|_, rng| engine.run(&c.cfg, &c.opts, rng));
+    let mut fleet = MetricsReport::new(format!(
+        "run {} n={} k={} bias={} trials={}",
+        c.dynamics.name(),
+        c.cfg.n(),
+        c.cfg.k(),
+        c.cfg.bias(),
+        c.trials
+    ));
+    let results = if metrics.enabled() {
+        // Per-trial recorders merged as each trial lands; the trajectory
+        // is bit-identical to the unrecorded path (recording draws no
+        // randomness), so the stats table below is unaffected.
+        mc.run_streaming(
+            |_, rng| {
+                let mut rec = MetricsRecorder::new();
+                let r = engine.run_recorded(&c.cfg, &c.opts, None, rng, &mut rec);
+                (r, rec.report())
+            },
+            |_, (_, rep)| fleet.merge(rep),
+        )
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+    } else {
+        mc.run(|_, rng| engine.run(&c.cfg, &c.opts, rng))
+    };
     let elapsed = start.elapsed();
 
     let mut rounds = Summary::new();
@@ -292,6 +388,7 @@ fn cmd_run(parsed: &Args) -> Result<(), String> {
         ]);
     }
     print!("{}", t.markdown());
+    metrics.emit(&fleet)?;
     Ok(())
 }
 
@@ -430,13 +527,67 @@ fn cmd_hist(parsed: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The largest divisor pair `(w, h)` of `n` with both sides ≥ 3 and `w`
+/// closest to `√n` — the torus shape for `--topology torus`.
+fn near_square_factors(n: usize) -> Option<(usize, usize)> {
+    let mut w = (n as f64).sqrt().floor() as usize;
+    while w >= 3 {
+        if n.is_multiple_of(w) && n / w >= 3 {
+            return Some((w, n / w));
+        }
+        w -= 1;
+    }
+    None
+}
+
+/// Build the gossip topology selected by `--topology` / `--degree`.
+fn build_gossip_topology(
+    parsed: &Args,
+    n: usize,
+    seed: u64,
+) -> Result<Box<dyn plurality_topology::Topology>, String> {
+    use plurality_topology::{random_regular, ring, torus, Clique};
+    let degree: usize = parsed
+        .get_parsed("degree", 8usize)
+        .map_err(|e| e.to_string())?;
+    Ok(match parsed.get("topology").unwrap_or("clique") {
+        "clique" => Box::new(Clique::new(n)),
+        "ring" => {
+            if n < 3 {
+                return Err(format!("--topology ring needs n >= 3, got {n}"));
+            }
+            Box::new(ring(n))
+        }
+        "torus" => {
+            let (w, h) = near_square_factors(n).ok_or(format!(
+                "--topology torus needs n = w*h with both sides >= 3, got n = {n}"
+            ))?;
+            Box::new(torus(w, h))
+        }
+        "random-regular" => {
+            if degree >= n || !(n * degree).is_multiple_of(2) {
+                return Err(format!(
+                    "--topology random-regular needs --degree < n and n*degree even \
+                     (n = {n}, degree = {degree})"
+                ));
+            }
+            Box::new(random_regular(n, degree, seed ^ 0x70B0))
+        }
+        other => {
+            return Err(format!(
+                "--topology expects clique|ring|torus|random-regular, got '{other}'"
+            ))
+        }
+    })
+}
+
 fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     use plurality_gossip::{
         ExchangeMode, FailureModel, GossipEngine, InboxPolicy, NetworkConfig, Scheduler,
     };
-    use plurality_topology::Clique;
 
     let c = common(parsed)?;
+    let metrics = MetricsOpt::from_args(parsed)?;
     let delay: f64 = parsed
         .get_parsed("delay", 0.0f64)
         .map_err(|e| e.to_string())?;
@@ -479,8 +630,8 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     };
 
     let n = c.cfg.n() as usize;
-    let clique = Clique::new(n);
-    let mut engine = GossipEngine::new(&clique)
+    let topology = build_gossip_topology(parsed, n, c.seed)?;
+    let mut engine = GossipEngine::new(topology.as_ref())
         .with_mode(mode)
         .with_scheduler(scheduler)
         .with_inbox_policy(inbox_policy);
@@ -504,22 +655,51 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
         master_seed: c.seed,
     };
     let start = std::time::Instant::now();
-    let results = mc.run(|i, _| {
-        engine.run_detailed(
-            c.dynamics.as_ref(),
-            &c.cfg,
-            plurality_engine::Placement::Shuffled,
-            &c.opts,
-            plurality_sampling::derive_stream(c.seed, i as u64),
+    let mut fleet = MetricsReport::new(format!(
+        "gossip {} {} n={} mode={} trials={trials}",
+        c.dynamics.name(),
+        topology.name(),
+        c.cfg.n(),
+        mode.name()
+    ));
+    let results = if metrics.enabled() {
+        mc.run_streaming(
+            |i, _| {
+                let mut rec = MetricsRecorder::new();
+                let (r, s) = engine.run_recorded(
+                    c.dynamics.as_ref(),
+                    &c.cfg,
+                    plurality_engine::Placement::Shuffled,
+                    &c.opts,
+                    plurality_sampling::derive_stream(c.seed, i as u64),
+                    &mut rec,
+                );
+                (r, s, rec.report())
+            },
+            |_, (_, _, rep)| fleet.merge(rep),
         )
-    });
+        .into_iter()
+        .map(|(r, s, _)| (r, s))
+        .collect()
+    } else {
+        mc.run(|i, _| {
+            engine.run_detailed(
+                c.dynamics.as_ref(),
+                &c.cfg,
+                plurality_engine::Placement::Shuffled,
+                &c.opts,
+                plurality_sampling::derive_stream(c.seed, i as u64),
+            )
+        })
+    };
     let elapsed = start.elapsed();
 
     let mut t = Table::new(
         format!(
-            "{} async gossip on clique: n = {}, k = {}, bias = {}, mode = {}, scheduler = {}, \
+            "{} async gossip on {}: n = {}, k = {}, bias = {}, mode = {}, scheduler = {}, \
              delay = {delay}, loss = {loss}{}{} ({trials} trials, {:.2}s)",
             c.dynamics.name(),
+            topology.name(),
             c.cfg.n(),
             c.cfg.k(),
             c.cfg.bias(),
@@ -602,6 +782,63 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
         ]);
     }
     print!("{}", summary.markdown());
+    metrics.emit(&fleet)?;
+    Ok(())
+}
+
+fn cmd_experiment(parsed: &Args) -> Result<(), String> {
+    use plurality_experiments::{registry, Context};
+
+    let ids: Vec<&str> = parsed.positional()[1..]
+        .iter()
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        return Err(
+            "experiment: give at least one id, e.g. 'plurality experiment e17 --smoke' \
+                    (ids e01..e17)"
+                .into(),
+        );
+    }
+    let metrics = MetricsOpt::from_args(parsed)?;
+    let mut ctx = if parsed.flag("smoke") {
+        Context::smoke()
+    } else {
+        Context::paper()
+    };
+    ctx.seed = parsed
+        .get_parsed("seed", ctx.seed)
+        .map_err(|e| e.to_string())?;
+    ctx.threads = parsed
+        .get_parsed("threads", ctx.threads)
+        .map_err(|e| e.to_string())?;
+
+    let mut fleet = MetricsReport::new(format!("experiment {}", ids.join(",")));
+    let mut recorded = false;
+    for id in &ids {
+        let exp = registry::by_id(id)
+            .ok_or_else(|| format!("unknown experiment id '{id}' (valid: e01..e17)"))?;
+        println!("## {} — {}\n", exp.id(), exp.title());
+        let (tables, report) = if metrics.enabled() {
+            exp.run_with_metrics(&ctx)
+        } else {
+            (exp.run(&ctx), None)
+        };
+        for t in &tables {
+            print!("{}", t.markdown());
+        }
+        if let Some(rep) = report {
+            fleet.merge(&rep);
+            recorded = true;
+        }
+    }
+    if metrics.enabled() && !recorded {
+        eprintln!(
+            "note: none of the selected experiments record telemetry \
+             (instrumented: e17); --metrics had nothing to report"
+        );
+    }
+    metrics.emit(&fleet)?;
     Ok(())
 }
 

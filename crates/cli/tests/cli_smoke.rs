@@ -1,0 +1,175 @@
+//! End-to-end smokes for the CLI binary: every surface the observability
+//! layer added — `--metrics`, `--metrics-out`, `gossip --topology`, and
+//! the `experiment` subcommand — runs through the real executable, and
+//! the JSONL artifact round-trips through the schema validator.
+
+use std::process::{Command, Output};
+
+use plurality_telemetry::{Counter, MetricsReport};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_plurality-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn run_with_metrics_summary_prints_counters() {
+    let out = run(&[
+        "run",
+        "--n",
+        "20000",
+        "--k",
+        "3",
+        "--trials",
+        "4",
+        "--seed",
+        "7",
+        "--metrics",
+        "summary",
+    ]);
+    let text = stdout(&out);
+    // The stats table and the telemetry table both render.
+    assert!(text.contains("win rate"), "stats table missing:\n{text}");
+    assert!(text.contains("rounds"), "counter rows missing:\n{text}");
+    assert!(
+        text.contains("completed_ticks"),
+        "gauge rows missing:\n{text}"
+    );
+}
+
+#[test]
+fn metrics_out_writes_schema_valid_jsonl() {
+    let dir = std::env::temp_dir().join(format!("plurality-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.jsonl");
+    let path_s = path.to_str().unwrap();
+
+    // --metrics-out alone must record (no --metrics needed).
+    let out = run(&[
+        "gossip",
+        "--n",
+        "400",
+        "--k",
+        "2",
+        "--trials",
+        "3",
+        "--seed",
+        "9",
+        "--mode",
+        "push-pull",
+        "--loss",
+        "0.2",
+        "--metrics-out",
+        path_s,
+    ]);
+    stdout(&out);
+
+    let line = std::fs::read_to_string(&path).expect("metrics file written");
+    assert_eq!(line.lines().count(), 1, "one JSONL line");
+    let report = MetricsReport::from_json(line.lines().next().unwrap())
+        .expect("line validates against plurality-metrics/v1");
+    // The merged fleet report reconciles: every sent leg was delivered
+    // or attributed to a failure layer.
+    assert!(report.counter(Counter::PullSent) > 0);
+    assert_eq!(
+        report.counter(Counter::PullSent),
+        report.counter(Counter::PullDelivered) + report.counter(Counter::PullLost)
+    );
+    assert!(
+        report.counter(Counter::PullLost) > 0,
+        "20% loss over 3 trials must drop something"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gossip_topology_flag_selects_the_graph() {
+    for (topo, expect) in [
+        ("ring", "ring(n=300)"),
+        ("torus", "torus(15x20)"),
+        ("random-regular", "regular(n=300,d=8)"),
+    ] {
+        let out = run(&[
+            "gossip",
+            "--n",
+            "300",
+            "--k",
+            "2",
+            "--trials",
+            "2",
+            "--seed",
+            "5",
+            "--topology",
+            topo,
+        ]);
+        let text = stdout(&out);
+        assert!(
+            text.contains(expect),
+            "--topology {topo}: expected '{expect}' in title:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn gossip_topology_rejects_bad_input() {
+    let out = run(&["gossip", "--n", "300", "--topology", "hypercube"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--topology"), "unhelpful error:\n{err}");
+
+    // 251 is prime: no torus factorization with both sides >= 3.
+    let out = run(&["gossip", "--n", "251", "--topology", "torus"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("torus"), "unhelpful error:\n{err}");
+}
+
+#[test]
+fn experiment_subcommand_runs_and_reports_metrics() {
+    let dir = std::env::temp_dir().join(format!("plurality-cli-e17-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e17.jsonl");
+    let path_s = path.to_str().unwrap();
+
+    let out = run(&[
+        "experiment",
+        "e17",
+        "--smoke",
+        "--metrics",
+        "summary",
+        "--metrics-out",
+        path_s,
+    ]);
+    let text = stdout(&out);
+    assert!(text.contains("e17"), "experiment header missing:\n{text}");
+    assert!(text.contains("msg tax"), "grid table missing:\n{text}");
+    assert!(
+        text.contains("lost_ge_chain"),
+        "per-layer attribution missing from telemetry summary:\n{text}"
+    );
+
+    let line = std::fs::read_to_string(&path).expect("metrics file written");
+    let report = MetricsReport::from_json(line.trim()).expect("schema-valid");
+    assert!(report.counter(Counter::PullSent) > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiment_rejects_unknown_id() {
+    let out = run(&["experiment", "e99", "--smoke"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("e99"), "unhelpful error:\n{err}");
+}

@@ -26,6 +26,16 @@
 //! [`DynDynamics`] wrappers, which cost exactly what the pre-refactor
 //! engine cost.  Both paths consume the PRNG identically; golden-trace
 //! tests (`tests/agent_golden.rs`) pin them bit-for-bit.
+//!
+//! # Telemetry
+//!
+//! [`AgentEngine::run_recorded`] threads a
+//! [`plurality_telemetry::Recorder`] through the round loop: samples
+//! drawn, per-round wall-clock, leading-color occupancy, and phase
+//! timers.  Recording consumes no randomness and never branches the
+//! simulation, so the trajectory is independent of the recorder; the
+//! disabled ([`NoopRecorder`]) instantiation — what [`AgentEngine::run`]
+//! uses — compiles the instrumentation away.
 
 use crate::run::{
     evaluate_stop, unique_initial_plurality, RunOptions, StopReason, TraceLevel, TrialResult,
@@ -36,10 +46,12 @@ use plurality_core::{
     SampleSource, ThreeMajority, UndecidedState, Voter,
 };
 use plurality_sampling::stream_rng;
+use plurality_telemetry::{ticks_to_fp, Counter, Gauge, Hist, NoopRecorder, Phase, Recorder};
 use plurality_topology::{
     downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
 };
 use rand::{Rng, RngCore};
+use std::time::Instant;
 
 /// How initial colors are laid onto nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +111,21 @@ impl<T: TopologyCore> SampleSource for NeighborSource<'_, T> {
     }
 }
 
+/// Counts draws on the way through to an inner source.  Used only on the
+/// recorder-enabled path, so the disabled engine keeps the bare source.
+struct CountingSource<S> {
+    inner: S,
+    drawn: u64,
+}
+
+impl<S: SampleSource> SampleSource for CountingSource<S> {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u32 {
+        self.drawn += 1;
+        self.inner.draw(rng)
+    }
+}
+
 impl<'t> AgentEngine<'t> {
     /// Default chunk granularity (nodes per RNG stream).
     pub const DEFAULT_CHUNK: usize = 4096;
@@ -150,10 +177,34 @@ impl<'t> AgentEngine<'t> {
         opts: &RunOptions,
         seed: u64,
     ) -> TrialResult {
+        self.run_recorded(dynamics, initial, placement, opts, seed, &mut NoopRecorder)
+    }
+
+    /// [`AgentEngine::run`] with a telemetry [`Recorder`].
+    ///
+    /// Records [`Counter::Rounds`], [`Counter::SamplesDrawn`],
+    /// [`Hist::RoundWallNanos`], [`Hist::LeaderOccupancy`], the
+    /// completed-ticks gauge, and setup/run/finalize phase timers.
+    /// Recording consumes no randomness and never branches the
+    /// simulation: the trajectory is identical for every recorder, and
+    /// the [`NoopRecorder`] instantiation is the uninstrumented engine.
+    ///
+    /// # Panics
+    /// Panics if the configuration population differs from the topology
+    /// size.
+    pub fn run_recorded<Rec: Recorder>(
+        &self,
+        dynamics: &dyn Dynamics,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+        rec: &mut Rec,
+    ) -> TrialResult {
         if let Some(t) = downcast_topology::<Clique>(self.topology) {
-            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else if let Some(t) = downcast_topology::<CsrGraph>(self.topology) {
-            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else {
             self.run_with_topology(
                 &DynTopology(self.topology),
@@ -162,12 +213,14 @@ impl<'t> AgentEngine<'t> {
                 placement,
                 opts,
                 seed,
+                rec,
             )
         }
     }
 
     /// Second dispatch level: resolve the dynamics to a concrete type.
-    fn run_with_topology<T: TopologyCore>(
+    #[allow(clippy::too_many_arguments)]
+    fn run_with_topology<T: TopologyCore, Rec: Recorder>(
         &self,
         topology: &T,
         dynamics: &dyn Dynamics,
@@ -175,15 +228,16 @@ impl<'t> AgentEngine<'t> {
         placement: Placement,
         opts: &RunOptions,
         seed: u64,
+        rec: &mut Rec,
     ) -> TrialResult {
         if let Some(d) = downcast_dynamics::<ThreeMajority>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else if let Some(d) = downcast_dynamics::<HPlurality>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else if let Some(d) = downcast_dynamics::<UndecidedState>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else if let Some(d) = downcast_dynamics::<Voter>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else {
             self.run_core(
                 topology,
@@ -192,12 +246,14 @@ impl<'t> AgentEngine<'t> {
                 placement,
                 opts,
                 seed,
+                rec,
             )
         }
     }
 
     /// The monomorphized trial loop.
-    fn run_core<T: TopologyCore, D: DynamicsCore>(
+    #[allow(clippy::too_many_arguments)]
+    fn run_core<T: TopologyCore, D: DynamicsCore, Rec: Recorder>(
         &self,
         topology: &T,
         dynamics: &D,
@@ -205,7 +261,9 @@ impl<'t> AgentEngine<'t> {
         placement: Placement,
         opts: &RunOptions,
         seed: u64,
+        rec: &mut Rec,
     ) -> TrialResult {
+        rec.phase_start(Phase::Setup);
         let n = topology.n();
         assert_eq!(
             initial.n() as usize,
@@ -229,9 +287,11 @@ impl<'t> AgentEngine<'t> {
         if let Some(t) = trace.as_mut() {
             t.record(0, &counts, k_colors, full);
         }
+        rec.phase_end(Phase::Setup);
 
         if let Some(winner) = evaluate_stop(opts.stop, dynamics, &counts, initial_plurality) {
-            return TrialResult {
+            record_stop(rec, 0);
+            let out = TrialResult {
                 rounds: 0,
                 reason: StopReason::Stopped,
                 winner: Some(winner),
@@ -239,12 +299,20 @@ impl<'t> AgentEngine<'t> {
                 success: winner == initial_plurality,
                 trace,
             };
+            rec.phase_end(Phase::Finalize);
+            return out;
         }
 
         let num_chunks = n.div_ceil(self.chunk_size);
         let mut rounds = 0u64;
+        rec.phase_start(Phase::Run);
         loop {
-            self.step(
+            let round_t0 = if Rec::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            let drawn = self.step::<T, D, Rec>(
                 topology,
                 dynamics,
                 &states,
@@ -257,11 +325,23 @@ impl<'t> AgentEngine<'t> {
             );
             std::mem::swap(&mut states, &mut next_states);
             rounds += 1;
+            if Rec::ENABLED {
+                if let Some(t0) = round_t0 {
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    rec.observe(Hist::RoundWallNanos, ns);
+                }
+                rec.incr(Counter::Rounds);
+                rec.add(Counter::SamplesDrawn, drawn);
+                let leader = counts[..k_colors].iter().copied().max().unwrap_or(0);
+                rec.observe(Hist::LeaderOccupancy, leader);
+            }
             if let Some(t) = trace.as_mut() {
                 t.record(rounds, &counts, k_colors, full);
             }
             if let Some(winner) = evaluate_stop(opts.stop, dynamics, &counts, initial_plurality) {
-                return TrialResult {
+                rec.phase_end(Phase::Run);
+                record_stop(rec, rounds);
+                let out = TrialResult {
                     rounds,
                     reason: StopReason::Stopped,
                     winner: Some(winner),
@@ -269,9 +349,13 @@ impl<'t> AgentEngine<'t> {
                     success: winner == initial_plurality,
                     trace,
                 };
+                rec.phase_end(Phase::Finalize);
+                return out;
             }
             if rounds >= opts.max_rounds {
-                return TrialResult {
+                rec.phase_end(Phase::Run);
+                record_stop(rec, rounds);
+                let out = TrialResult {
                     rounds,
                     reason: StopReason::MaxRounds,
                     winner: None,
@@ -279,14 +363,18 @@ impl<'t> AgentEngine<'t> {
                     success: false,
                     trace,
                 };
+                rec.phase_end(Phase::Finalize);
+                return out;
             }
         }
     }
 
     /// One synchronous round: read `states`, write `next`, refresh
-    /// `counts`.
+    /// `counts`.  Returns the number of neighbor samples drawn (always 0
+    /// when `Rec` is disabled — counting rides the recorder-enabled
+    /// instantiation only, so the disabled hot loop stays untouched).
     #[allow(clippy::too_many_arguments)]
-    fn step<T: TopologyCore, D: DynamicsCore>(
+    fn step<T: TopologyCore, D: DynamicsCore, Rec: Recorder>(
         &self,
         topology: &T,
         dynamics: &D,
@@ -297,39 +385,56 @@ impl<'t> AgentEngine<'t> {
         round: u64,
         num_chunks: usize,
         seed: u64,
-    ) {
+    ) -> u64 {
         let chunk = self.chunk_size;
         let stream_base = 1 + round * num_chunks as u64;
 
-        let process_span = |span_start_chunk: usize, span: &mut [u32], local_counts: &mut [u64]| {
+        let process_span = |span_start_chunk: usize,
+                            span: &mut [u32],
+                            local_counts: &mut [u64]|
+         -> u64 {
             let mut scratch = NodeScratch::with_states(state_count);
+            let mut local_drawn = 0u64;
             for (ci, chunk_slice) in span.chunks_mut(chunk).enumerate() {
                 let chunk_index = span_start_chunk + ci;
                 let mut rng = stream_rng(seed, stream_base + chunk_index as u64);
                 let base_node = chunk_index * chunk;
                 for (offset, out) in chunk_slice.iter_mut().enumerate() {
                     let node = base_node + offset;
-                    let mut source = NeighborSource {
+                    let source = NeighborSource {
                         topology,
                         states,
                         node,
                     };
-                    let new = dynamics.node_update_core(
-                        states[node],
-                        &mut source,
-                        &mut scratch,
-                        &mut rng,
-                    );
+                    // `Rec::ENABLED` is a monomorphization-time constant:
+                    // the disabled arm compiles to the bare source chain.
+                    let new = if Rec::ENABLED {
+                        let mut counting = CountingSource {
+                            inner: source,
+                            drawn: 0,
+                        };
+                        let new = dynamics.node_update_core(
+                            states[node],
+                            &mut counting,
+                            &mut scratch,
+                            &mut rng,
+                        );
+                        local_drawn += counting.drawn;
+                        new
+                    } else {
+                        let mut source = source;
+                        dynamics.node_update_core(states[node], &mut source, &mut scratch, &mut rng)
+                    };
                     *out = new;
                     local_counts[new as usize] += 1;
                 }
             }
+            local_drawn
         };
 
         counts.fill(0);
         if self.threads <= 1 || num_chunks <= 1 {
-            process_span(0, next, counts);
-            return;
+            return process_span(0, next, counts);
         }
 
         // Static contiguous partition: worker w gets a span of whole
@@ -354,8 +459,8 @@ impl<'t> AgentEngine<'t> {
                 .map(|(start_chunk, span)| {
                     scope.spawn(move || {
                         let mut local = vec![0u64; state_count];
-                        process_span(start_chunk, span, &mut local);
-                        local
+                        let drawn = process_span(start_chunk, span, &mut local);
+                        (local, drawn)
                     })
                 })
                 .collect();
@@ -365,12 +470,25 @@ impl<'t> AgentEngine<'t> {
                 .collect::<Vec<_>>()
         });
 
-        for local in all_counts {
+        let mut drawn = 0u64;
+        for (local, local_drawn) in all_counts {
             for (slot, x) in counts.iter_mut().zip(local) {
                 *slot += x;
             }
+            drawn += local_drawn;
         }
+        drawn
     }
+}
+
+/// Close the books at stop: completed-round gauges, then open the
+/// finalize phase (the caller closes it once the result is assembled).
+fn record_stop<Rec: Recorder>(rec: &mut Rec, rounds: u64) {
+    if Rec::ENABLED {
+        rec.gauge_set(Gauge::CompletedTicks, rounds);
+        rec.gauge_set(Gauge::FinalTimeFp, ticks_to_fp(rounds as f64));
+    }
+    rec.phase_start(Phase::Finalize);
 }
 
 #[cfg(test)]
@@ -523,6 +641,84 @@ mod tests {
             &RunOptions::default(),
             1,
         );
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_trajectory() {
+        use plurality_telemetry::MetricsRecorder;
+        let clique = Clique::new(1_500);
+        let cfg = builders::biased(1_500, 3, 450);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(2_000).traced();
+        let engine = AgentEngine::new(&clique);
+        let plain = engine.run(&d, &cfg, Placement::Shuffled, &opts, 31);
+        let mut rec = MetricsRecorder::new();
+        let recorded = engine.run_recorded(&d, &cfg, Placement::Shuffled, &opts, 31, &mut rec);
+        assert_eq!(plain.rounds, recorded.rounds);
+        assert_eq!(plain.winner, recorded.winner);
+        assert_eq!(
+            plain.trace.unwrap().rounds,
+            recorded.trace.unwrap().rounds,
+            "recording must not perturb the trajectory"
+        );
+    }
+
+    #[test]
+    fn counters_reconcile_with_known_sample_budgets() {
+        use plurality_telemetry::{Counter, Gauge, Hist, MetricsRecorder, Phase};
+        let clique = Clique::new(600);
+        let cfg = builders::biased(600, 3, 220);
+        let opts = RunOptions::with_max_rounds(40);
+        // Three-majority draws exactly 3 samples per node per round;
+        // voter exactly 1 — samples_drawn is an identity, not an estimate.
+        let mut rec = MetricsRecorder::new();
+        let r = AgentEngine::new(&clique).run_recorded(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &opts,
+            37,
+            &mut rec,
+        );
+        assert_eq!(rec.counter(Counter::Rounds), r.rounds);
+        assert_eq!(rec.counter(Counter::SamplesDrawn), 3 * 600 * r.rounds);
+        assert_eq!(rec.gauge(Gauge::CompletedTicks), r.rounds);
+        assert_eq!(rec.hist(Hist::RoundWallNanos).count(), r.rounds);
+        assert_eq!(rec.hist(Hist::LeaderOccupancy).count(), r.rounds);
+        assert!(rec.hist(Hist::LeaderOccupancy).max() <= 600);
+        assert!(rec.phase_nanos(Phase::Run) > 0, "run phase must be timed");
+
+        let mut vrec = MetricsRecorder::new();
+        let vr = AgentEngine::new(&clique).run_recorded(
+            &Voter,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(25),
+            41,
+            &mut vrec,
+        );
+        assert_eq!(vrec.counter(Counter::SamplesDrawn), 600 * vr.rounds);
+    }
+
+    #[test]
+    fn counters_identical_across_thread_counts() {
+        use plurality_telemetry::{Counter, MetricsRecorder};
+        let clique = Clique::new(9_000);
+        let cfg = builders::biased(9_000, 4, 2_600);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(400);
+        let mut r1 = MetricsRecorder::new();
+        let mut r4 = MetricsRecorder::new();
+        AgentEngine::new(&clique)
+            .with_chunk_size(1024)
+            .run_recorded(&d, &cfg, Placement::Shuffled, &opts, 43, &mut r1);
+        AgentEngine::new(&clique)
+            .with_chunk_size(1024)
+            .with_threads(4)
+            .run_recorded(&d, &cfg, Placement::Shuffled, &opts, 43, &mut r4);
+        for c in [Counter::Rounds, Counter::SamplesDrawn] {
+            assert_eq!(r1.counter(c), r4.counter(c), "{}", c.name());
+        }
     }
 
     #[test]

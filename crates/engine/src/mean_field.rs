@@ -15,7 +15,9 @@ use crate::run::{
 };
 use crate::trace::Trace;
 use plurality_core::{Configuration, Dynamics};
+use plurality_telemetry::{ticks_to_fp, Counter, Gauge, Hist, NoopRecorder, Phase, Recorder};
 use rand::RngCore;
+use std::time::Instant;
 
 /// Exact clique simulator driven by mean-field kernels.
 pub struct MeanFieldEngine<'d> {
@@ -50,9 +52,27 @@ impl<'d> MeanFieldEngine<'d> {
         &self,
         initial: &Configuration,
         opts: &RunOptions,
-        mut hook: Option<&mut dyn RoundHook>,
+        hook: Option<&mut dyn RoundHook>,
         rng: &mut dyn RngCore,
     ) -> TrialResult {
+        self.run_recorded(initial, opts, hook, rng, &mut NoopRecorder)
+    }
+
+    /// [`MeanFieldEngine::run`] with a telemetry [`Recorder`] (and an
+    /// optional hook).  Records rounds, per-round wall-clock, the
+    /// leading-color occupancy, and setup/run/finalize phase timers.
+    /// Recording consumes no randomness and never branches the
+    /// simulation; the [`NoopRecorder`] instantiation is the
+    /// uninstrumented engine.
+    pub fn run_recorded<Rec: Recorder>(
+        &self,
+        initial: &Configuration,
+        opts: &RunOptions,
+        mut hook: Option<&mut dyn RoundHook>,
+        rng: &mut dyn RngCore,
+        rec: &mut Rec,
+    ) -> TrialResult {
+        rec.phase_start(Phase::Setup);
         let initial_plurality = unique_initial_plurality(initial);
         let k_colors = initial.k();
         let lifted = self.dynamics.lift(initial);
@@ -68,10 +88,22 @@ impl<'d> MeanFieldEngine<'d> {
         if let Some(t) = trace.as_mut() {
             t.record(0, &cur, k_colors, full);
         }
+        rec.phase_end(Phase::Setup);
+
+        let finish = |rec: &mut Rec, rounds: u64, out: TrialResult| -> TrialResult {
+            rec.phase_end(Phase::Run);
+            if Rec::ENABLED {
+                rec.gauge_set(Gauge::CompletedTicks, rounds);
+                rec.gauge_set(Gauge::FinalTimeFp, ticks_to_fp(rounds as f64));
+            }
+            rec.phase_start(Phase::Finalize);
+            rec.phase_end(Phase::Finalize);
+            out
+        };
 
         // The initial configuration may already satisfy the stop rule.
         if let Some(winner) = evaluate_stop(opts.stop, self.dynamics, &cur, initial_plurality) {
-            return TrialResult {
+            let out = TrialResult {
                 rounds: 0,
                 reason: StopReason::Stopped,
                 winner: Some(winner),
@@ -79,10 +111,17 @@ impl<'d> MeanFieldEngine<'d> {
                 success: winner == initial_plurality,
                 trace,
             };
+            return finish(rec, 0, out);
         }
 
         let mut rounds = 0u64;
+        rec.phase_start(Phase::Run);
         loop {
+            let round_t0 = if Rec::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             self.dynamics.step_mean_field(&cur, &mut next, rng);
             std::mem::swap(&mut cur, &mut next);
             rounds += 1;
@@ -90,11 +129,20 @@ impl<'d> MeanFieldEngine<'d> {
                 h.after_step(rounds, &mut cur, rng);
                 debug_assert_eq!(cur.iter().sum::<u64>(), n, "hook changed the population");
             }
+            if Rec::ENABLED {
+                if let Some(t0) = round_t0 {
+                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    rec.observe(Hist::RoundWallNanos, ns);
+                }
+                rec.incr(Counter::Rounds);
+                let leader = cur[..k_colors].iter().copied().max().unwrap_or(0);
+                rec.observe(Hist::LeaderOccupancy, leader);
+            }
             if let Some(t) = trace.as_mut() {
                 t.record(rounds, &cur, k_colors, full);
             }
             if let Some(winner) = evaluate_stop(opts.stop, self.dynamics, &cur, initial_plurality) {
-                return TrialResult {
+                let out = TrialResult {
                     rounds,
                     reason: StopReason::Stopped,
                     winner: Some(winner),
@@ -102,9 +150,10 @@ impl<'d> MeanFieldEngine<'d> {
                     success: winner == initial_plurality,
                     trace,
                 };
+                return finish(rec, rounds, out);
             }
             if rounds >= opts.max_rounds {
-                return TrialResult {
+                let out = TrialResult {
                     rounds,
                     reason: StopReason::MaxRounds,
                     winner: None,
@@ -112,6 +161,7 @@ impl<'d> MeanFieldEngine<'d> {
                     success: false,
                     trace,
                 };
+                return finish(rec, rounds, out);
             }
         }
     }
@@ -255,6 +305,31 @@ mod tests {
         let mut rng = stream_rng(8, 0);
         let r = engine.run_hooked(&cfg, &RunOptions::default(), Some(&mut hook), &mut rng);
         assert_eq!(hook.0, r.rounds);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_and_counts_rounds() {
+        use plurality_telemetry::MetricsRecorder;
+        let cfg = builders::biased(50_000, 4, 15_000);
+        let d = ThreeMajority::new();
+        let engine = MeanFieldEngine::new(&d);
+        let opts = RunOptions::default().traced();
+        let mut a = stream_rng(10, 0);
+        let mut b = stream_rng(10, 0);
+        let plain = engine.run(&cfg, &opts, &mut a);
+        let mut rec = MetricsRecorder::new();
+        let recorded = engine.run_recorded(&cfg, &opts, None, &mut b, &mut rec);
+        assert_eq!(plain.rounds, recorded.rounds);
+        assert_eq!(
+            plain.trace.unwrap().rounds,
+            recorded.trace.unwrap().rounds,
+            "recording must not perturb the trajectory"
+        );
+        assert_eq!(rec.counter(Counter::Rounds), recorded.rounds);
+        assert_eq!(rec.gauge(Gauge::CompletedTicks), recorded.rounds);
+        assert_eq!(rec.hist(Hist::LeaderOccupancy).count(), recorded.rounds);
+        // The last leader observation is the full population (absorbed).
+        assert_eq!(rec.hist(Hist::LeaderOccupancy).max(), 50_000);
     }
 
     #[test]

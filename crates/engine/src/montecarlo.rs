@@ -67,6 +67,25 @@ impl MonteCarlo {
         T: Send,
         F: Fn(usize, &mut Xoshiro256PlusPlus) -> T + Sync,
     {
+        self.run_streaming(job, |_, _| ())
+    }
+
+    /// [`MonteCarlo::run`] with a per-trial streaming hook.
+    ///
+    /// `hook(trial_index, &result)` fires exactly once per trial, as
+    /// soon as that trial completes — in **completion order**, which
+    /// under parallelism is not trial order (the returned `Vec` still
+    /// is).  The hook runs under a mutex, so it may accumulate into
+    /// captured state without further locking; keep it cheap — workers
+    /// serialize on it.  This is how per-trial metrics reports stream
+    /// into a merged fleet report without buffering every trial's
+    /// telemetry until the end.
+    pub fn run_streaming<T, F, H>(&self, job: F, mut hook: H) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut Xoshiro256PlusPlus) -> T + Sync,
+        H: FnMut(usize, &T) + Send,
+    {
         if self.trials == 0 {
             return Vec::new();
         }
@@ -74,7 +93,9 @@ impl MonteCarlo {
             return (0..self.trials)
                 .map(|i| {
                     let mut rng = stream_rng(self.master_seed, i as u64);
-                    job(i, &mut rng)
+                    let result = job(i, &mut rng);
+                    hook(i, &result);
+                    result
                 })
                 .collect();
         }
@@ -86,6 +107,7 @@ impl MonteCarlo {
         slots.resize_with(self.trials, || Mutex::new(None));
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(self.trials);
+        let hook = Mutex::new(hook);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -96,6 +118,7 @@ impl MonteCarlo {
                     }
                     let mut rng = stream_rng(self.master_seed, i as u64);
                     let result = job(i, &mut rng);
+                    (hook.lock().expect("hook panicked"))(i, &result);
                     *slots[i].lock().expect("worker panicked") = Some(result);
                 });
             }
@@ -166,6 +189,32 @@ mod tests {
         let mc = MonteCarlo::new(100).with_threads(4).with_seed(2);
         let n = mc.count_successes(|i, _| i % 4 == 0);
         assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn streaming_hook_sees_every_trial_exactly_once() {
+        let mc = MonteCarlo::new(48).with_threads(8).with_seed(11);
+        let mut seen: Vec<(usize, u64)> = Vec::new();
+        let out = mc.run_streaming(
+            |i, rng| (i as u64) ^ rng.next_u64(),
+            |i, &v| seen.push((i, v)),
+        );
+        assert_eq!(seen.len(), 48, "hook must fire once per trial");
+        // Completion order is arbitrary; sorted, the stream matches the
+        // trial-ordered results exactly.
+        seen.sort_unstable_by_key(|&(i, _)| i);
+        for (slot, (i, v)) in seen.into_iter().enumerate() {
+            assert_eq!(slot, i);
+            assert_eq!(out[i], v, "streamed value must be the stored result");
+        }
+    }
+
+    #[test]
+    fn streaming_hook_serial_is_in_trial_order() {
+        let mc = MonteCarlo::new(10).with_threads(1).with_seed(12);
+        let mut order = Vec::new();
+        mc.run_streaming(|i, _| i, |i, _| order.push(i));
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -50,9 +50,10 @@ const GE_DOWN: f64 = 6.0;
 /// Loss fraction while an edge is in the bad regime.
 const GE_BAD_LOSS: f64 = 0.8;
 /// The equal-average i.i.d. loss: π_bad · bad_loss = 0.5 · 0.8.
-const AVG_LOSS: f64 = 0.4;
+/// E17 reuses the same calibration so its message tax is comparable.
+pub(crate) const AVG_LOSS: f64 = 0.4;
 
-fn failure_rows(max_rounds: u64) -> Vec<(&'static str, FailureModel)> {
+pub(crate) fn failure_rows(max_rounds: u64) -> Vec<(&'static str, FailureModel)> {
     let ideal = NetworkConfig::default();
     vec![
         ("ideal", FailureModel::uniform(ideal)),

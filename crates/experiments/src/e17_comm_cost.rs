@@ -1,0 +1,274 @@
+//! **E17 — extension: communication-cost grid under structured failures**
+//! (the explicit resource of Becchetti et al. 2014, *Plurality Consensus
+//! in the Gossip Model*, arXiv:1407.2565, where guarantees are stated in
+//! messages, not rounds).
+//!
+//! E16 measured what structured link failures cost in *time*.  This
+//! experiment prices the same grid in *messages*: every trial runs under
+//! the telemetry recorder, so each cell reports exactly how many
+//! messages consensus consumed, what fraction the network dropped, and —
+//! the part only the attribution counters can answer — **which failure
+//! layer ate them**.  The headline column is the *message tax*: total
+//! messages-to-consensus relative to the ideal-network cell of the same
+//! mode.  Loss mass taxes communication twice — dropped payloads are
+//! wasted sends, and the surviving samples carry less information per
+//! tick, so consensus needs more activations, each of which sends again.
+//! Burstiness raises the time cost (E16) but, at equal average loss,
+//! barely moves the *per-message* waste — the tax columns make that
+//! decomposition visible.
+//!
+//! Failure rows reuse E16's calibration (every structured row at the
+//! same time-average loss as the `iid-avg` row), so the two tables read
+//! side by side: E16 = the time bill, E17 = the message bill.
+
+use crate::e16_failure_models::failure_rows;
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Summary, Table};
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{MonteCarlo, Placement, RunOptions, StopReason};
+use plurality_gossip::{ExchangeMode, GossipEngine};
+use plurality_sampling::derive_stream;
+use plurality_telemetry::{Counter, MetricsRecorder, MetricsReport};
+use plurality_topology::random_regular;
+
+/// See module docs.
+pub struct E17CommCost;
+
+/// One (failure, mode) cell's aggregates — kept structured so the tests
+/// can assert on attribution without re-parsing the rendered table.
+pub(crate) struct Cell {
+    pub(crate) name: &'static str,
+    pub(crate) mode: ExchangeMode,
+    pub(crate) converged: usize,
+    pub(crate) ticks: Summary,
+    /// Merged telemetry across the cell's trials.
+    pub(crate) report: MetricsReport,
+}
+
+impl Cell {
+    /// Total messages sent (PUSH-PULL counts both legs, matching the
+    /// engine's per-leg accounting).
+    pub(crate) fn messages(&self) -> u64 {
+        self.report.counter(Counter::PullSent) + self.report.counter(Counter::PushSent)
+    }
+
+    /// Fraction of sent messages the network dropped.
+    pub(crate) fn lost_frac(&self) -> f64 {
+        let lost = self.report.counter(Counter::PullLost) + self.report.counter(Counter::PushLost);
+        lost as f64 / self.messages().max(1) as f64
+    }
+
+    /// The failure layer that ate the most messages, as `layer:share`.
+    pub(crate) fn top_layer(&self) -> String {
+        let layers = [
+            Counter::LostBaseline,
+            Counter::LostPerEdge,
+            Counter::LostWindow,
+            Counter::LostGeChain,
+            Counter::LostOutage,
+            Counter::LostPartition,
+        ];
+        let total: u64 = layers.iter().map(|&c| self.report.counter(c)).sum();
+        if total == 0 {
+            return "-".into();
+        }
+        let (top, count) = layers
+            .iter()
+            .map(|&c| (c, self.report.counter(c)))
+            .max_by_key(|&(_, v)| v)
+            .unwrap();
+        format!("{} {}", top.name(), fmt_f64(count as f64 / total as f64))
+    }
+}
+
+pub(crate) fn run_grid(ctx: &Context) -> (Table, Vec<Cell>, MetricsReport) {
+    let n: usize = ctx.pick(800, 10_000);
+    let degree: usize = 8;
+    let k: usize = 3;
+    let bias = (n / 4) as u64;
+    let trials = ctx.pick(5, 24);
+    let max_rounds: u64 = ctx.pick(3_000, 10_000);
+    let modes: &[ExchangeMode] = ctx.pick(
+        &[ExchangeMode::Pull, ExchangeMode::PushPull][..],
+        &[
+            ExchangeMode::Pull,
+            ExchangeMode::Push,
+            ExchangeMode::PushPull,
+        ][..],
+    );
+
+    let graph = random_regular(n, degree, ctx.seed ^ 0xE17);
+    let cfg = builders::biased(n as u64, k, bias);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(max_rounds);
+    let mc = MonteCarlo {
+        trials,
+        threads: ctx.threads,
+        master_seed: ctx.seed ^ 0xE17,
+    };
+
+    let mut fleet = MetricsReport::new("e17 communication-cost grid");
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut cell_seed = 0u64;
+    for &mode in modes {
+        for (name, model) in failure_rows(max_rounds) {
+            cell_seed += 1;
+            let seed = ctx.seed ^ (0xE170 + cell_seed);
+            let engine = GossipEngine::new(&graph)
+                .with_mode(mode)
+                .with_failure_model(model);
+            let mut report = MetricsReport::new(format!("e17 {name} {}", mode.name()));
+            // Per-trial telemetry streams into the cell report as each
+            // trial lands (the MonteCarlo hook), so nothing per-trial is
+            // buffered beyond the TrialResult itself.
+            let results = mc.run_streaming(
+                |i, _| {
+                    let mut rec = MetricsRecorder::new();
+                    let (r, _) = engine.run_recorded(
+                        &d,
+                        &cfg,
+                        Placement::Shuffled,
+                        &opts,
+                        derive_stream(seed, i as u64),
+                        &mut rec,
+                    );
+                    (r, rec.report())
+                },
+                |_, (_, trial_report)| report.merge(trial_report),
+            );
+            let mut ticks = Summary::new();
+            let mut converged = 0usize;
+            for (r, _) in &results {
+                if r.reason == StopReason::Stopped {
+                    converged += 1;
+                    ticks.push(r.rounds as f64);
+                }
+            }
+            fleet.merge(&report);
+            cells.push(Cell {
+                name,
+                mode,
+                converged,
+                ticks,
+                report,
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        format!(
+            "E17 · messages-to-consensus × mode × failure on random-regular(n = {n}, \
+             d = {degree}): k = {k}, bias = {bias}, {trials} trials, cap {max_rounds} ticks \
+             (3-majority; failure rows share E16's equal-average-loss calibration; \
+             'msg tax' = cell messages / same-mode ideal messages)"
+        ),
+        &[
+            "failure",
+            "mode",
+            "converged",
+            "mean ticks",
+            "msgs/trial",
+            "msgs/node/tick",
+            "lost frac",
+            "top layer",
+            "msg tax",
+            "time tax",
+        ],
+    );
+    for c in &cells {
+        let ideal = cells
+            .iter()
+            .find(|o| o.mode == c.mode && o.name == "ideal")
+            .expect("ideal row present per mode");
+        let msgs_per_trial = c.messages() as f64 / trials as f64;
+        let per_node_tick = msgs_per_trial / (n as f64 * c.ticks.mean());
+        table.push_row(vec![
+            c.name.to_string(),
+            c.mode.name().to_string(),
+            format!("{}/{trials}", c.converged),
+            fmt_f64(c.ticks.mean()),
+            fmt_f64(msgs_per_trial),
+            fmt_f64(per_node_tick),
+            fmt_f64(c.lost_frac()),
+            c.top_layer(),
+            fmt_f64(c.messages() as f64 / ideal.messages().max(1) as f64),
+            fmt_f64(c.ticks.mean() / ideal.ticks.mean()),
+        ]);
+    }
+    (table, cells, fleet)
+}
+
+impl Experiment for E17CommCost {
+    fn id(&self) -> &'static str {
+        "e17"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: communication-cost grid — messages-to-consensus × mode × failure \
+         scenario, with per-layer drop attribution (the message bill behind E16's time bill)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        vec![run_grid(ctx).0]
+    }
+
+    fn run_with_metrics(&self, ctx: &Context) -> (Vec<Table>, Option<MetricsReport>) {
+        let (table, _, fleet) = run_grid(ctx);
+        (vec![table], Some(fleet))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_telemetry::Gauge;
+
+    #[test]
+    fn smoke_grid_structure_and_loss_tax() {
+        let (table, cells, fleet) = run_grid(&Context::smoke());
+        // Smoke: 6 failure rows × 2 modes.
+        assert_eq!(table.len(), 12);
+        assert_eq!(cells.len(), 12);
+
+        for mode in [ExchangeMode::Pull, ExchangeMode::PushPull] {
+            let get = |name: &str| {
+                cells
+                    .iter()
+                    .find(|c| c.mode == mode && c.name == name)
+                    .unwrap()
+            };
+            let ideal = get("ideal");
+            assert_eq!(ideal.lost_frac(), 0.0, "ideal network drops nothing");
+            // The headline claim: loss mass taxes total communication.
+            for lossy in ["iid-avg", "per-edge", "gilbert-elliott"] {
+                assert!(
+                    get(lossy).messages() > ideal.messages(),
+                    "{lossy}/{}: loss must cost extra messages-to-consensus",
+                    mode.name()
+                );
+            }
+            // Attribution: each structured row's drops land on its layer.
+            assert!(get("iid-avg").top_layer().starts_with("lost_baseline"));
+            assert!(get("per-edge").top_layer().starts_with("lost_per_edge"));
+            assert!(get("gilbert-elliott")
+                .top_layer()
+                .starts_with("lost_ge_chain"));
+            assert!(get("outage").top_layer().starts_with("lost_outage"));
+        }
+
+        // The merged fleet report still reconciles exactly.
+        let c = |x| fleet.counter(x);
+        assert_eq!(
+            c(Counter::PullSent),
+            c(Counter::PullDelivered) + c(Counter::PullLost)
+        );
+        assert_eq!(
+            c(Counter::PushSent),
+            c(Counter::PushDelivered) + c(Counter::PushLost)
+        );
+        assert_eq!(
+            c(Counter::PushDelivered),
+            c(Counter::InboxOffered) + fleet.gauge(Gauge::PushInFlightAtStop)
+        );
+    }
+}

@@ -30,12 +30,14 @@ pub mod e13_noise_transition;
 pub mod e14_gossip_async;
 pub mod e15_gossip_modes;
 pub mod e16_failure_models;
+pub mod e17_comm_cost;
 pub mod registry;
 
 use plurality_analysis::Table;
 use plurality_analysis::{wilson, Summary};
 use plurality_core::{Configuration, Dynamics};
 use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason};
+use plurality_telemetry::MetricsReport;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +99,12 @@ pub trait Experiment: Send + Sync {
     fn title(&self) -> &'static str;
     /// Run and return result tables.
     fn run(&self, ctx: &Context) -> Vec<Table>;
+    /// Run and also return a merged telemetry report, for experiments
+    /// instrumented with the metrics recorder (`None` by default — the
+    /// CLI's `--metrics` surfaces it where available, e.g. e17).
+    fn run_with_metrics(&self, ctx: &Context) -> (Vec<Table>, Option<MetricsReport>) {
+        (self.run(ctx), None)
+    }
 }
 
 /// Aggregate convergence statistics from repeated engine runs.

@@ -11,6 +11,19 @@
 //! | 1 | the activation clock (node choices / exponential waiting times) |
 //! | 2 | rule-internal randomness passed to `Dynamics::node_update` |
 //! | 3 | master for per-message streams (see [`crate::network`]) |
+//! | 4 | failure-model chains (Gilbert–Elliott / outage holding times) |
+//! | 5 | inbox overflow draws (only [`InboxPolicy::RandomReplace`]) |
+//!
+//! # Telemetry
+//!
+//! [`GossipEngine::run_recorded`] threads a
+//! [`plurality_telemetry::Recorder`] through the monomorphized core.
+//! Recording **consumes no randomness** and never branches the
+//! simulation, so a trial's trajectory is independent of the recorder;
+//! with [`NoopRecorder`] the instrumentation compiles away entirely
+//! (that is what `run` / `run_detailed` use).  Message counters are
+//! attributed per failure layer ([`DropLayer`]) and obey the exact
+//! conservation laws documented on [`Counter`].
 //!
 //! # Event processing order
 //!
@@ -41,8 +54,8 @@
 //!   (pre-update) color into the contacted peer's inbox, with loss and
 //!   delay striking each leg independently.
 
-use crate::failure::{FailureModel, FailureState};
-use crate::modes::{ExchangeMode, Inbox, InboxPolicy};
+use crate::failure::{DropLayer, FailureModel, FailureState};
+use crate::modes::{ExchangeMode, Inbox, InboxAdmit, InboxPolicy};
 use crate::network::{ExchangeFate, LegFate, MessageFate, MessageStreams, NetworkConfig};
 use crate::scheduler::{ActivationClock, EventKind, EventQueue, RatedActivation, Scheduler};
 use plurality_core::{
@@ -53,7 +66,8 @@ use plurality_engine::{
     evaluate_stop, layout_initial_states, unique_initial_plurality, Placement, RunOptions,
     StopReason, Trace, TraceLevel, TrialResult,
 };
-use plurality_sampling::{derive_stream, stream_rng};
+use plurality_sampling::{derive_stream, stream_rng, Xoshiro256PlusPlus};
+use plurality_telemetry::{ticks_to_fp, Counter, Gauge, Hist, NoopRecorder, Phase, Recorder};
 use plurality_topology::{
     downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
 };
@@ -68,6 +82,10 @@ const STREAM_MESSAGES: u64 = 3;
 /// times).  Never consumed by the degenerate uniform model, so plain
 /// `NetworkConfig` runs stay bit-identical to PR 2/3.
 const STREAM_FAILURE: u64 = 4;
+/// Inbox overflow randomness.  Consumed only by
+/// [`InboxPolicy::RandomReplace`] (one draw per overflow), so runs under
+/// every other inbox policy stay bit-identical to PR 2/3.
+const STREAM_INBOX: u64 = 5;
 
 /// Event-driven asynchronous simulator over a [`Topology`].
 ///
@@ -84,6 +102,12 @@ pub struct GossipEngine<'t> {
     /// genuinely per-edge parameters and the topology is a [`CsrGraph`],
     /// shared read-only by every trial.
     edge_table: Option<Vec<(f64, f64)>>,
+    /// Directed-slot count for the flat Gilbert–Elliott chain table —
+    /// `Some` when the model has a GE component and the topology is a
+    /// [`CsrGraph`], so per-edge chains live in a dense `Vec` indexed by
+    /// CSR slot instead of a `HashMap` (bit-identical fates: a chain's
+    /// trajectory is a pure function of its unordered-edge seed).
+    ge_slots: Option<usize>,
     inbox_policy: InboxPolicy,
     rates: Option<Vec<f64>>,
     /// Prebuilt alias sampler over `rates` — constructed once in
@@ -131,7 +155,7 @@ pub struct GossipStats {
 /// is deliberately *not* used here: message randomness lives in
 /// per-message streams.  Monomorphic over the topology so the peer draw
 /// inlines into the activation loop.
-struct GossipSampler<'a, 'm, T> {
+struct GossipSampler<'a, 'm, T, Rec> {
     topology: &'a T,
     states: &'a [u32],
     node: usize,
@@ -139,12 +163,19 @@ struct GossipSampler<'a, 'm, T> {
     now: f64,
     fstate: &'a mut FailureState<'m>,
     streams: &'a mut MessageStreams,
+    rec: &'a mut Rec,
     max_extra_ticks: f64,
+    // Per-activation tallies, flushed into the recorder (and
+    // `GossipStats`) once the update returns: register increments in
+    // the draw loop instead of per-message recorder traffic.  Only the
+    // cold branches (loss attribution, delay histogram) touch `rec`
+    // directly.  `sent - lost` = delivered, so nothing else is needed.
+    sent: u64,
     lost: u64,
     delayed: u64,
 }
 
-impl<T: TopologyCore> SampleSource for GossipSampler<'_, '_, T> {
+impl<T: TopologyCore, Rec: Recorder> SampleSource for GossipSampler<'_, '_, T, Rec> {
     fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         let topology = self.topology;
         let node = self.node;
@@ -153,13 +184,19 @@ impl<T: TopologyCore> SampleSource for GossipSampler<'_, '_, T> {
             .next_fate_in(self.fstate, self.now, node, |mrng| {
                 topology.sample_neighbor_edge_core(node, mrng)
             });
+        self.sent += 1;
         match fate {
-            MessageFate::Lost => {
+            MessageFate::Lost { layer } => {
+                self.rec.incr(lost_counter(layer));
                 self.lost += 1;
                 self.own
             }
             MessageFate::Delivered { peer } => self.states[peer],
             MessageFate::Delayed { peer, extra_ticks } => {
+                if Rec::ENABLED {
+                    self.rec
+                        .observe(Hist::DelayExtraFp, ticks_to_fp(extra_ticks));
+                }
                 self.delayed += 1;
                 if extra_ticks > self.max_extra_ticks {
                     self.max_extra_ticks = extra_ticks;
@@ -200,7 +237,7 @@ impl SampleSource for InboxSampler<'_> {
 /// Instant push-leg deliveries and delayed legs are buffered (the
 /// engine applies them after the update returns — same timestamp, no
 /// aliasing of the inbox table mid-update).
-struct PushPullSampler<'a, 'm, T> {
+struct PushPullSampler<'a, 'm, T, Rec> {
     topology: &'a T,
     states: &'a [u32],
     node: usize,
@@ -208,17 +245,24 @@ struct PushPullSampler<'a, 'm, T> {
     now: f64,
     fstate: &'a mut FailureState<'m>,
     streams: &'a mut MessageStreams,
+    rec: &'a mut Rec,
     inbox: &'a Inbox,
     cursor: usize,
     instant_pushes: &'a mut Vec<(usize, u32)>,
     delayed_pushes: &'a mut Vec<(usize, u32, f64)>,
     max_extra_ticks: f64,
-    lost: u64,
-    delayed: u64,
+    // Per-activation tallies flushed once the update returns (see
+    // [`GossipSampler`]); legs tally separately so the flush can split
+    // pull/push counters exactly.  Per-leg delivered = `sent - *_lost`.
+    sent: u64,
+    pull_lost: u64,
+    push_lost: u64,
+    pull_delayed: u64,
+    push_delayed: u64,
     inbox_served: u64,
 }
 
-impl<T: TopologyCore> SampleSource for PushPullSampler<'_, '_, T> {
+impl<T: TopologyCore, Rec: Recorder> SampleSource for PushPullSampler<'_, '_, T, Rec> {
     fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         if let Some(color) = self.inbox.peek(self.cursor) {
             self.cursor += 1;
@@ -232,22 +276,37 @@ impl<T: TopologyCore> SampleSource for PushPullSampler<'_, '_, T> {
                 .next_exchange_in(self.fstate, self.now, node, |mrng| {
                     topology.sample_neighbor_edge_core(node, mrng)
                 });
+        self.sent += 1;
         match push {
-            LegFate::Lost => self.lost += 1,
-            LegFate::Instant => self.instant_pushes.push((peer, self.own)),
+            LegFate::Lost { layer } => {
+                self.rec.incr(lost_counter(layer));
+                self.push_lost += 1;
+            }
+            LegFate::Instant => {
+                self.instant_pushes.push((peer, self.own));
+            }
             LegFate::Delayed { extra_ticks } => {
-                self.delayed += 1;
+                if Rec::ENABLED {
+                    self.rec
+                        .observe(Hist::DelayExtraFp, ticks_to_fp(extra_ticks));
+                }
+                self.push_delayed += 1;
                 self.delayed_pushes.push((peer, self.own, extra_ticks));
             }
         }
         match pull {
-            LegFate::Lost => {
-                self.lost += 1;
+            LegFate::Lost { layer } => {
+                self.rec.incr(lost_counter(layer));
+                self.pull_lost += 1;
                 self.own
             }
             LegFate::Instant => self.states[peer],
             LegFate::Delayed { extra_ticks } => {
-                self.delayed += 1;
+                if Rec::ENABLED {
+                    self.rec
+                        .observe(Hist::DelayExtraFp, ticks_to_fp(extra_ticks));
+                }
+                self.pull_delayed += 1;
                 if extra_ticks > self.max_extra_ticks {
                     self.max_extra_ticks = extra_ticks;
                 }
@@ -268,6 +327,7 @@ impl<'t> GossipEngine<'t> {
             scheduler: Scheduler::Sequential,
             failure: FailureModel::default(),
             edge_table: None,
+            ge_slots: None,
             inbox_policy: InboxPolicy::default(),
             rates: None,
             rated: None,
@@ -295,6 +355,7 @@ impl<'t> GossipEngine<'t> {
     pub fn with_network(mut self, network: NetworkConfig) -> Self {
         self.failure = FailureModel::uniform(network);
         self.edge_table = None;
+        self.ge_slots = None;
         self
     }
 
@@ -319,6 +380,11 @@ impl<'t> GossipEngine<'t> {
                 }
                 table
             })
+        } else {
+            None
+        };
+        self.ge_slots = if model.gilbert_elliott().is_some() {
+            downcast_topology::<CsrGraph>(self.topology).map(CsrGraph::directed_edge_count)
         } else {
             None
         };
@@ -444,14 +510,32 @@ impl<'t> GossipEngine<'t> {
         opts: &RunOptions,
         seed: u64,
     ) -> (TrialResult, GossipStats) {
+        self.run_recorded(dynamics, initial, placement, opts, seed, &mut NoopRecorder)
+    }
+
+    /// Run one trial with a telemetry [`Recorder`] threaded through the
+    /// monomorphized core.  Recording consumes no randomness and never
+    /// branches the simulation, so for any recorder the trajectory is
+    /// bit-identical to [`Self::run_detailed`] (which is exactly this
+    /// call with [`NoopRecorder`]).  Counters accumulate — reuse one
+    /// `MetricsRecorder` across trials to aggregate.
+    pub fn run_recorded<Rec: Recorder>(
+        &self,
+        dynamics: &dyn Dynamics,
+        initial: &Configuration,
+        placement: Placement,
+        opts: &RunOptions,
+        seed: u64,
+        rec: &mut Rec,
+    ) -> (TrialResult, GossipStats) {
         // Devirtualize (same scheme as `AgentEngine::run`): resolve the
         // topology, then the dynamics, to concrete types and run a mode
         // step monomorphized over both; unknown types take the dyn
         // fallback wrappers with identical draw sequences.
         if let Some(t) = downcast_topology::<Clique>(self.topology) {
-            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else if let Some(t) = downcast_topology::<CsrGraph>(self.topology) {
-            self.run_with_topology(t, dynamics, initial, placement, opts, seed)
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else {
             self.run_with_topology(
                 &DynTopology(self.topology),
@@ -460,12 +544,14 @@ impl<'t> GossipEngine<'t> {
                 placement,
                 opts,
                 seed,
+                rec,
             )
         }
     }
 
     /// Second dispatch level: resolve the dynamics to a concrete type.
-    fn run_with_topology<T: TopologyCore>(
+    #[allow(clippy::too_many_arguments)]
+    fn run_with_topology<T: TopologyCore, Rec: Recorder>(
         &self,
         topology: &T,
         dynamics: &dyn Dynamics,
@@ -473,15 +559,16 @@ impl<'t> GossipEngine<'t> {
         placement: Placement,
         opts: &RunOptions,
         seed: u64,
+        rec: &mut Rec,
     ) -> (TrialResult, GossipStats) {
         if let Some(d) = downcast_dynamics::<ThreeMajority>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else if let Some(d) = downcast_dynamics::<HPlurality>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else if let Some(d) = downcast_dynamics::<UndecidedState>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else if let Some(d) = downcast_dynamics::<Voter>(dynamics) {
-            self.run_core(topology, d, initial, placement, opts, seed)
+            self.run_core(topology, d, initial, placement, opts, seed, rec)
         } else {
             self.run_core(
                 topology,
@@ -490,12 +577,14 @@ impl<'t> GossipEngine<'t> {
                 placement,
                 opts,
                 seed,
+                rec,
             )
         }
     }
 
     /// The monomorphized event loop.
-    fn run_core<T: TopologyCore, D: DynamicsCore>(
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn run_core<T: TopologyCore, D: DynamicsCore, Rec: Recorder>(
         &self,
         topology: &T,
         dynamics: &D,
@@ -503,7 +592,9 @@ impl<'t> GossipEngine<'t> {
         placement: Placement,
         opts: &RunOptions,
         seed: u64,
+        rec: &mut Rec,
     ) -> (TrialResult, GossipStats) {
+        rec.phase_start(Phase::Setup);
         let n = topology.n();
         assert_eq!(
             initial.n() as usize,
@@ -538,6 +629,7 @@ impl<'t> GossipEngine<'t> {
                 success: winner == initial_plurality,
                 trace,
             };
+            rec.phase_end(Phase::Setup);
             return (result, stats);
         }
 
@@ -550,6 +642,10 @@ impl<'t> GossipEngine<'t> {
             self.edge_table.as_deref(),
             derive_stream(seed, STREAM_FAILURE),
         );
+        if let Some(slots) = self.ge_slots {
+            fstate = fstate.with_dense_ge_slots(slots);
+        }
+        let mut inbox_rng = stream_rng(seed, STREAM_INBOX);
         let mut scratch = NodeScratch::with_states(state_count);
         let mut queue = EventQueue::new(n);
         let mut clock = match &self.rated {
@@ -569,7 +665,11 @@ impl<'t> GossipEngine<'t> {
         let max_events = opts.max_events.unwrap_or(u64::MAX);
         let mut events: u64 = 0;
         let mut ticks: u64 = 0;
+        // Delayed pushes scheduled but not yet arrived (telemetry only).
+        let mut pushes_in_flight: u64 = 0;
         let mut next_act = clock.next(&mut sched_rng);
+        rec.phase_end(Phase::Setup);
+        rec.phase_start(Phase::Run);
 
         loop {
             // Queued network events fire before an activation sharing
@@ -581,12 +681,23 @@ impl<'t> GossipEngine<'t> {
                 stats.final_time = ev.time;
                 match ev.kind {
                     EventKind::Commit { state } => {
+                        rec.incr(Counter::CommitsApplied);
                         if apply(&mut states, &mut counts, ev.node as usize, state) {
                             if let Some(winner) =
                                 evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
                             {
                                 stats.messages = streams.issued();
-                                return finish(
+                                rec.phase_end(Phase::Run);
+                                record_stop(
+                                    rec,
+                                    &queue,
+                                    &inboxes,
+                                    pushes_in_flight,
+                                    completed_ticks(stats.activations, n),
+                                    stats.final_time,
+                                );
+                                rec.phase_start(Phase::Finalize);
+                                let out = finish(
                                     winner,
                                     initial_plurality,
                                     stats.activations,
@@ -597,14 +708,24 @@ impl<'t> GossipEngine<'t> {
                                     full,
                                     stats,
                                 );
+                                rec.phase_end(Phase::Finalize);
+                                return out;
                             }
                         }
                     }
                     EventKind::PushArrival { color } => {
                         stats.pushes_delivered += 1;
-                        if inboxes[ev.node as usize].receive(color) {
-                            stats.inbox_dropped += 1;
+                        if Rec::ENABLED {
+                            pushes_in_flight -= 1;
                         }
+                        deliver_to_inbox(
+                            &mut inboxes[ev.node as usize],
+                            color,
+                            ev.time,
+                            &mut inbox_rng,
+                            rec,
+                            &mut stats,
+                        );
                     }
                 }
             } else {
@@ -613,8 +734,13 @@ impl<'t> GossipEngine<'t> {
                 events += 1;
                 stats.final_time = now;
                 stats.activations += 1;
+                rec.incr(Counter::Activations);
+                if Rec::ENABLED {
+                    rec.observe(Hist::QueueDepth, queue.len() as u64);
+                }
                 if queue.cancel(node) {
                     stats.superseded_commits += 1;
+                    rec.incr(Counter::SupersededCommits);
                 }
                 let own = states[v];
 
@@ -631,7 +757,9 @@ impl<'t> GossipEngine<'t> {
                             now,
                             fstate: &mut fstate,
                             streams: &mut streams,
+                            rec: &mut *rec,
                             max_extra_ticks: 0.0,
+                            sent: 0,
                             lost: 0,
                             delayed: 0,
                         };
@@ -641,22 +769,47 @@ impl<'t> GossipEngine<'t> {
                             &mut scratch,
                             &mut update_rng,
                         );
-                        stats.lost_messages += sampler.lost;
-                        stats.delayed_messages += sampler.delayed;
-                        (Some(new), sampler.max_extra_ticks)
+                        let (sent, lost, delayed) = (sampler.sent, sampler.lost, sampler.delayed);
+                        let max_extra = sampler.max_extra_ticks;
+                        stats.lost_messages += lost;
+                        stats.delayed_messages += delayed;
+                        if Rec::ENABLED {
+                            rec.add(Counter::PullSent, sent);
+                            rec.add(Counter::PullDelivered, sent - lost);
+                            rec.add(Counter::PullLost, lost);
+                            rec.add(Counter::PullDelayed, delayed);
+                        }
+                        (Some(new), max_extra)
                     }
                     ExchangeMode::Push => {
                         // The activation's one call: push own color out.
                         let fate = next_push_fate(topology, &mut fstate, now, v, &mut streams);
+                        rec.incr(Counter::PushSent);
                         match fate {
-                            MessageFate::Lost => stats.lost_messages += 1,
+                            MessageFate::Lost { layer } => {
+                                rec.incr(Counter::PushLost);
+                                rec.incr(lost_counter(layer));
+                                stats.lost_messages += 1;
+                            }
                             MessageFate::Delivered { peer } => {
+                                rec.incr(Counter::PushDelivered);
                                 stats.pushes_delivered += 1;
-                                if inboxes[peer].receive(own) {
-                                    stats.inbox_dropped += 1;
-                                }
+                                deliver_to_inbox(
+                                    &mut inboxes[peer],
+                                    own,
+                                    now,
+                                    &mut inbox_rng,
+                                    rec,
+                                    &mut stats,
+                                );
                             }
                             MessageFate::Delayed { peer, extra_ticks } => {
+                                rec.incr(Counter::PushDelivered);
+                                rec.incr(Counter::PushDelayed);
+                                if Rec::ENABLED {
+                                    rec.observe(Hist::DelayExtraFp, ticks_to_fp(extra_ticks));
+                                    pushes_in_flight += 1;
+                                }
                                 stats.delayed_messages += 1;
                                 queue.push(
                                     now + extra_ticks,
@@ -664,6 +817,12 @@ impl<'t> GossipEngine<'t> {
                                     EventKind::PushArrival { color: own },
                                 );
                             }
+                        }
+                        // Expire overstayed colors before the update can
+                        // serve them (no-op under non-TTL policies).
+                        let expired = inboxes[v].purge_expired(now);
+                        if expired > 0 {
+                            rec.add(Counter::InboxExpiredTtl, expired as u64);
                         }
                         // Then try to update from the inbox.
                         let mut sampler = InboxSampler {
@@ -693,9 +852,21 @@ impl<'t> GossipEngine<'t> {
                                 crate::modes::INBOX_CAP
                             );
                             stats.starved_updates += 1;
+                            rec.incr(Counter::StarvedActivations);
                             (None, 0.0)
                         } else {
                             stats.inbox_served += consumed as u64;
+                            rec.add(Counter::InboxServed, consumed as u64);
+                            if Rec::ENABLED {
+                                for i in 0..consumed {
+                                    if let Some((_, arrival)) = inboxes[v].peek_entry(i) {
+                                        rec.observe(
+                                            Hist::InboxStalenessFp,
+                                            ticks_to_fp(now - arrival),
+                                        );
+                                    }
+                                }
+                            }
                             inboxes[v].consume(consumed);
                             (Some(new), 0.0)
                         }
@@ -703,6 +874,12 @@ impl<'t> GossipEngine<'t> {
                     ExchangeMode::PushPull => {
                         instant_pushes.clear();
                         delayed_pushes.clear();
+                        // Expire overstayed colors before the update can
+                        // serve them (no-op under non-TTL policies).
+                        let expired = inboxes[v].purge_expired(now);
+                        if expired > 0 {
+                            rec.add(Counter::InboxExpiredTtl, expired as u64);
+                        }
                         let mut sampler = PushPullSampler {
                             topology,
                             states: &states,
@@ -711,13 +888,17 @@ impl<'t> GossipEngine<'t> {
                             now,
                             fstate: &mut fstate,
                             streams: &mut streams,
+                            rec: &mut *rec,
                             inbox: &inboxes[v],
                             cursor: 0,
                             instant_pushes: &mut instant_pushes,
                             delayed_pushes: &mut delayed_pushes,
                             max_extra_ticks: 0.0,
-                            lost: 0,
-                            delayed: 0,
+                            sent: 0,
+                            pull_lost: 0,
+                            push_lost: 0,
+                            pull_delayed: 0,
+                            push_delayed: 0,
                             inbox_served: 0,
                         };
                         let new = dynamics.node_update_core(
@@ -728,17 +909,48 @@ impl<'t> GossipEngine<'t> {
                         );
                         let max_extra = sampler.max_extra_ticks;
                         let consumed = sampler.cursor;
-                        stats.lost_messages += sampler.lost;
-                        stats.delayed_messages += sampler.delayed;
-                        stats.inbox_served += sampler.inbox_served;
+                        let served = sampler.inbox_served;
+                        let sent = sampler.sent;
+                        let (pull_lost, push_lost) = (sampler.pull_lost, sampler.push_lost);
+                        let (pull_delayed, push_delayed) =
+                            (sampler.pull_delayed, sampler.push_delayed);
+                        stats.lost_messages += pull_lost + push_lost;
+                        stats.delayed_messages += pull_delayed + push_delayed;
+                        if Rec::ENABLED {
+                            rec.add(Counter::PullSent, sent);
+                            rec.add(Counter::PushSent, sent);
+                            rec.add(Counter::PullDelivered, sent - pull_lost);
+                            rec.add(Counter::PushDelivered, sent - push_lost);
+                            rec.add(Counter::PullLost, pull_lost);
+                            rec.add(Counter::PushLost, push_lost);
+                            rec.add(Counter::PullDelayed, pull_delayed);
+                            rec.add(Counter::PushDelayed, push_delayed);
+                        }
+                        stats.inbox_served += served;
+                        rec.add(Counter::InboxServed, served);
+                        if Rec::ENABLED {
+                            for i in 0..consumed {
+                                if let Some((_, arrival)) = inboxes[v].peek_entry(i) {
+                                    rec.observe(Hist::InboxStalenessFp, ticks_to_fp(now - arrival));
+                                }
+                            }
+                        }
                         inboxes[v].consume(consumed);
                         for &(peer, color) in instant_pushes.iter() {
                             stats.pushes_delivered += 1;
-                            if inboxes[peer].receive(color) {
-                                stats.inbox_dropped += 1;
-                            }
+                            deliver_to_inbox(
+                                &mut inboxes[peer],
+                                color,
+                                now,
+                                &mut inbox_rng,
+                                rec,
+                                &mut stats,
+                            );
                         }
                         for &(peer, color, extra) in delayed_pushes.iter() {
+                            if Rec::ENABLED {
+                                pushes_in_flight += 1;
+                            }
                             queue.push(now + extra, peer as u32, EventKind::PushArrival { color });
                         }
                         (Some(new), max_extra)
@@ -747,12 +959,23 @@ impl<'t> GossipEngine<'t> {
 
                 if let Some(new) = outcome {
                     if max_extra == 0.0 {
+                        rec.incr(Counter::CommitsApplied);
                         if apply(&mut states, &mut counts, v, new) {
                             if let Some(winner) =
                                 evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
                             {
                                 stats.messages = streams.issued();
-                                return finish(
+                                rec.phase_end(Phase::Run);
+                                record_stop(
+                                    rec,
+                                    &queue,
+                                    &inboxes,
+                                    pushes_in_flight,
+                                    completed_ticks(stats.activations, n),
+                                    stats.final_time,
+                                );
+                                rec.phase_start(Phase::Finalize);
+                                let out = finish(
                                     winner,
                                     initial_plurality,
                                     stats.activations,
@@ -763,6 +986,8 @@ impl<'t> GossipEngine<'t> {
                                     full,
                                     stats,
                                 );
+                                rec.phase_end(Phase::Finalize);
+                                return out;
                             }
                         }
                     } else {
@@ -790,6 +1015,15 @@ impl<'t> GossipEngine<'t> {
         }
 
         stats.messages = streams.issued();
+        rec.phase_end(Phase::Run);
+        record_stop(
+            rec,
+            &queue,
+            &inboxes,
+            pushes_in_flight,
+            completed_ticks(stats.activations, n),
+            stats.final_time,
+        );
         let result = TrialResult {
             rounds: completed_ticks(stats.activations, n),
             reason: StopReason::MaxRounds,
@@ -800,6 +1034,83 @@ impl<'t> GossipEngine<'t> {
         };
         (result, stats)
     }
+}
+
+/// The per-layer loss-attribution counter for a dropped message or leg.
+fn lost_counter(layer: DropLayer) -> Counter {
+    match layer {
+        DropLayer::Baseline => Counter::LostBaseline,
+        DropLayer::PerEdge => Counter::LostPerEdge,
+        DropLayer::Window => Counter::LostWindow,
+        DropLayer::GeChain => Counter::LostGeChain,
+        DropLayer::Outage => Counter::LostOutage,
+        DropLayer::Partition => Counter::LostPartition,
+    }
+}
+
+/// Offer a pushed color to `inbox` at time `now`, with full admission
+/// accounting.  `rng` is the dedicated inbox stream — consumed only by
+/// the random-replace policy, so the default policies stay bit-identical
+/// to earlier PRs.
+fn deliver_to_inbox<Rec: Recorder>(
+    inbox: &mut Inbox,
+    color: u32,
+    now: f64,
+    rng: &mut Xoshiro256PlusPlus,
+    rec: &mut Rec,
+    stats: &mut GossipStats,
+) {
+    // Expired colors leave before the offer so they neither inflate the
+    // occupancy observation nor absorb the eviction.
+    let expired = inbox.purge_expired(now);
+    if expired > 0 {
+        rec.add(Counter::InboxExpiredTtl, expired as u64);
+    }
+    rec.incr(Counter::InboxOffered);
+    if Rec::ENABLED {
+        rec.observe(Hist::InboxOccupancy, inbox.len() as u64);
+    }
+    let admit = inbox.receive(color, now, rng);
+    match admit {
+        InboxAdmit::Accepted => rec.incr(Counter::InboxAccepted),
+        InboxAdmit::EvictedOldest => {
+            rec.incr(Counter::InboxAccepted);
+            rec.incr(Counter::InboxEvictedOldest);
+        }
+        InboxAdmit::RejectedNewest => rec.incr(Counter::InboxEvictedNewest),
+        InboxAdmit::EvictedRandom => {
+            rec.incr(Counter::InboxAccepted);
+            rec.incr(Counter::InboxEvictedRandom);
+        }
+    }
+    if admit.dropped() {
+        stats.inbox_dropped += 1;
+    }
+}
+
+/// Stop-time telemetry: lifetime queue accounting, unresolved residuals
+/// (live events, buffered colors, in-flight pushes) and the final clock.
+fn record_stop<Rec: Recorder>(
+    rec: &mut Rec,
+    queue: &EventQueue,
+    inboxes: &[Inbox],
+    pushes_in_flight: u64,
+    rounds: u64,
+    final_time: f64,
+) {
+    if !Rec::ENABLED {
+        return;
+    }
+    rec.add(Counter::QueuePushed, queue.pushed());
+    rec.add(Counter::QueueSkippedStale, queue.skipped_stale());
+    rec.gauge_set(Gauge::QueueLenAtStop, queue.len() as u64);
+    rec.gauge_set(
+        Gauge::InboxResidentAtStop,
+        inboxes.iter().map(|b| b.len() as u64).sum(),
+    );
+    rec.gauge_set(Gauge::PushInFlightAtStop, pushes_in_flight);
+    rec.gauge_set(Gauge::CompletedTicks, rounds);
+    rec.gauge_set(Gauge::FinalTimeFp, ticks_to_fp(final_time));
 }
 
 /// Draw the fate of a PUSH-mode send from node `v` (loss, peer,
@@ -1508,6 +1819,200 @@ mod tests {
         assert!(sa.inbox_dropped > 0, "cap never engaged for drop-oldest");
         assert!(sb.inbox_dropped > 0, "cap never engaged for drop-newest");
         assert_ne!(sa, sb, "policies must produce different processes");
+    }
+
+    #[test]
+    fn random_replace_and_ttl_policies_run_and_differ() {
+        // Same rate-skewed overload as the drop-newest test: the cap
+        // engages, so every policy actually exercises its branch.
+        let (clique, cfg) = clique_engine(600);
+        let rates: Vec<f64> = (0..600)
+            .map(|v| if v % 2 == 0 { 8.0 } else { 1.0 })
+            .collect();
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(400_000).traced();
+        let run = |policy| {
+            GossipEngine::new(&clique)
+                .with_mode(ExchangeMode::Push)
+                .with_node_rates(rates.clone())
+                .with_inbox_policy(policy)
+                .run_detailed(&d, &cfg, Placement::Shuffled, &opts, 67)
+        };
+        let (ro, so) = run(InboxPolicy::DropOldest);
+        let (rr, sr) = run(InboxPolicy::RandomReplace);
+        let (rt, st) = run(InboxPolicy::Ttl { ticks: 0.75 });
+        for (r, s, name) in [(&ro, &so, "drop-oldest"), (&rr, &sr, "random-replace")] {
+            assert_eq!(r.reason, StopReason::Stopped, "{name}");
+            assert!(s.inbox_dropped > 0, "{name}: cap never engaged");
+        }
+        assert_eq!(rt.reason, StopReason::Stopped, "ttl must still converge");
+        // Eviction policy changes inbox *contents*, never lengths, and in
+        // PUSH mode the aggregate stats are schedule/length functionals —
+        // so the distinguishing observable is the color trajectory.
+        let (to, tr) = (ro.trace.unwrap(), rr.trace.unwrap());
+        assert_ne!(
+            to.rounds, tr.rounds,
+            "random-replace must change the color trajectory"
+        );
+        // TTL purging changes inbox lengths too, so its stats diverge.
+        assert_ne!(so, st, "ttl must change the process");
+        assert_ne!(sr, st, "random-replace and ttl must differ");
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_trajectory() {
+        // run_recorded with a live MetricsRecorder must reproduce the
+        // NoopRecorder trial bit for bit: recording consumes no
+        // randomness and never branches the simulation.
+        use crate::failure::FailureModel;
+        use plurality_telemetry::MetricsRecorder;
+        let (clique, cfg) = clique_engine(500);
+        let model = FailureModel::parse(
+            "edge:loss=0..0.3;ge:up=3,down=1,loss=0.9",
+            NetworkConfig::new(0.2, 0.1),
+        )
+        .unwrap();
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(50_000).traced();
+        for mode in ALL_MODES {
+            let engine = GossipEngine::new(&clique)
+                .with_mode(mode)
+                .with_failure_model(model.clone());
+            let (ra, sa) = engine.run_detailed(&d, &cfg, Placement::Shuffled, &opts, 91);
+            let mut rec = MetricsRecorder::new();
+            let (rb, sb) = engine.run_recorded(&d, &cfg, Placement::Shuffled, &opts, 91, &mut rec);
+            assert_eq!(sa, sb, "{}: stats diverged under recording", mode.name());
+            assert_eq!(ra.rounds, rb.rounds, "{}", mode.name());
+            assert_eq!(ra.winner, rb.winner, "{}", mode.name());
+            let (ta, tb) = (ra.trace.unwrap(), rb.trace.unwrap());
+            assert_eq!(ta.rounds, tb.rounds, "{}: traces diverged", mode.name());
+            assert!(rec.counter(Counter::Activations) > 0);
+        }
+    }
+
+    /// The exact conservation laws documented on [`Counter`], checked
+    /// against both the recorder's own books and the engine's legacy
+    /// [`GossipStats`] ground truth.
+    fn assert_reconciles(
+        rec: &plurality_telemetry::MetricsRecorder,
+        stats: &GossipStats,
+        label: &str,
+    ) {
+        let c = |x| rec.counter(x);
+        assert_eq!(
+            c(Counter::PullSent),
+            c(Counter::PullDelivered) + c(Counter::PullLost),
+            "{label}: pull flow"
+        );
+        assert_eq!(
+            c(Counter::PushSent),
+            c(Counter::PushDelivered) + c(Counter::PushLost),
+            "{label}: push flow"
+        );
+        let layered: u64 = DropLayer::ALL.iter().map(|&l| c(lost_counter(l))).sum();
+        assert_eq!(
+            c(Counter::PullLost) + c(Counter::PushLost),
+            layered,
+            "{label}: loss attribution"
+        );
+        assert_eq!(
+            c(Counter::PullLost) + c(Counter::PushLost),
+            stats.lost_messages,
+            "{label}: lost vs stats"
+        );
+        assert_eq!(
+            c(Counter::PullDelayed) + c(Counter::PushDelayed),
+            stats.delayed_messages,
+            "{label}: delayed vs stats"
+        );
+        assert_eq!(
+            c(Counter::InboxOffered),
+            c(Counter::InboxAccepted) + c(Counter::InboxEvictedNewest),
+            "{label}: inbox admission"
+        );
+        assert_eq!(
+            c(Counter::InboxAccepted),
+            c(Counter::InboxServed)
+                + c(Counter::InboxExpiredTtl)
+                + c(Counter::InboxEvictedOldest)
+                + c(Counter::InboxEvictedRandom)
+                + rec.gauge(Gauge::InboxResidentAtStop),
+            "{label}: inbox exit"
+        );
+        assert_eq!(
+            c(Counter::PushDelivered),
+            c(Counter::InboxOffered) + rec.gauge(Gauge::PushInFlightAtStop),
+            "{label}: push delivery"
+        );
+        assert_eq!(
+            c(Counter::InboxOffered),
+            stats.pushes_delivered,
+            "{label}: offers vs stats"
+        );
+        assert_eq!(
+            c(Counter::InboxEvictedOldest)
+                + c(Counter::InboxEvictedNewest)
+                + c(Counter::InboxEvictedRandom),
+            stats.inbox_dropped,
+            "{label}: evictions vs stats"
+        );
+        assert_eq!(c(Counter::Activations), stats.activations, "{label}");
+        assert_eq!(c(Counter::InboxServed), stats.inbox_served, "{label}");
+        assert_eq!(
+            c(Counter::StarvedActivations),
+            stats.starved_updates,
+            "{label}"
+        );
+        assert_eq!(
+            c(Counter::SupersededCommits),
+            stats.superseded_commits,
+            "{label}"
+        );
+    }
+
+    #[test]
+    fn counters_reconcile_across_modes_and_failure_layers() {
+        use crate::failure::FailureModel;
+        use plurality_telemetry::MetricsRecorder;
+        let (clique, cfg) = clique_engine(500);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(50_000);
+        let models = [
+            FailureModel::uniform(NetworkConfig::new(0.3, 0.25)),
+            FailureModel::parse(
+                "edge:loss=0..0.4;window:0..2,loss=0.9,delay=0.1;ge:up=2,down=2,loss=0.8;\
+                 outage:frac=0.2,up=3,down=1;partition:parts=2,1..3",
+                NetworkConfig::new(0.2, 0.05),
+            )
+            .unwrap(),
+        ];
+        for model in &models {
+            for mode in ALL_MODES {
+                let engine = GossipEngine::new(&clique)
+                    .with_mode(mode)
+                    .with_failure_model(model.clone());
+                let mut rec = MetricsRecorder::new();
+                let (_, stats) =
+                    engine.run_recorded(&d, &cfg, Placement::Shuffled, &opts, 93, &mut rec);
+                let label = format!("{}/{}", mode.name(), model.label());
+                assert_reconciles(&rec, &stats, &label);
+                // Per-mode message-accounting identities.
+                match mode {
+                    ExchangeMode::Pull => {
+                        assert_eq!(rec.counter(Counter::PullSent), stats.messages, "{label}");
+                        assert_eq!(rec.counter(Counter::PushSent), 0, "{label}");
+                    }
+                    ExchangeMode::Push => {
+                        assert_eq!(rec.counter(Counter::PushSent), stats.messages, "{label}");
+                        assert_eq!(rec.counter(Counter::PullSent), 0, "{label}");
+                    }
+                    ExchangeMode::PushPull => {
+                        assert_eq!(rec.counter(Counter::PullSent), stats.messages, "{label}");
+                        assert_eq!(rec.counter(Counter::PushSent), stats.messages, "{label}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

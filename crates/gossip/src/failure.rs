@@ -782,14 +782,62 @@ impl TwoStateChain {
     }
 }
 
+/// Which failure layer last determined a message's loss fraction — the
+/// attribution telemetry charges a drop against.  Exactly one layer
+/// owns each resolved [`LinkConditions`], following the module-level
+/// resolution order: the *last* layer that overrode `loss` wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropLayer {
+    /// The uniform baseline coin ([`NetworkConfig`]).
+    Baseline,
+    /// The edge's static per-edge parameter draw ([`EdgeDists`]).
+    PerEdge,
+    /// A degraded schedule [`Window`].
+    Window,
+    /// The edge's [`GilbertElliott`] chain in its bad state.
+    GeChain,
+    /// A down endpoint ([`NodeOutages`]), `loss = 1`.
+    Outage,
+    /// An active cross-cut [`Partition`], `loss = 1`.
+    Partition,
+}
+
+impl DropLayer {
+    /// All layers, in resolution order.
+    pub const ALL: [Self; 6] = [
+        Self::Baseline,
+        Self::PerEdge,
+        Self::Window,
+        Self::GeChain,
+        Self::Outage,
+        Self::Partition,
+    ];
+
+    /// Stable snake-case label (matches the telemetry counter names).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Baseline => "baseline",
+            Self::PerEdge => "per_edge",
+            Self::Window => "window",
+            Self::GeChain => "ge_chain",
+            Self::Outage => "outage",
+            Self::Partition => "partition",
+        }
+    }
+}
+
 /// Resolved conditions of one message: the effective loss/delay
-/// fractions after every layer of the model has spoken.
+/// fractions after every layer of the model has spoken, plus the layer
+/// that owns the loss fraction (for failure attribution).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConditions {
     /// Effective loss fraction.
     pub loss: f64,
     /// Effective delay fraction.
     pub delay: f64,
+    /// The layer that last set `loss` (charged on a drop).
+    pub layer: DropLayer,
 }
 
 /// Per-trial mutable state of a [`FailureModel`]: the lazily built
@@ -814,6 +862,15 @@ pub struct FailureState<'m> {
     outage_member_master: u64,
     edge_param_master: u64,
     ge_chains: HashMap<u64, TwoStateChain>,
+    /// Dense slot-indexed Gilbert–Elliott chains (one per directed CSR
+    /// edge slot), replacing the keyed `ge_chains` map when the engine
+    /// opts in via [`Self::with_dense_ge_slots`].  Each directed slot
+    /// seeds its chain from the *unordered* edge key, and a chain's
+    /// trajectory is a pure function of its seed queried monotonically —
+    /// so the two directed copies of an edge evolve identically and the
+    /// fates match the shared `HashMap` chain bit for bit (pinned by a
+    /// property test in `tests/determinism.rs`).
+    ge_slots: Option<Vec<Option<TwoStateChain>>>,
     /// `None` marks a node that is not subject to outages.
     outage_chains: HashMap<u32, Option<TwoStateChain>>,
 }
@@ -842,8 +899,22 @@ impl<'m> FailureState<'m> {
             outage_member_master: derive_stream(model.salt, OUTAGE_MEMBER_STREAM),
             edge_param_master: derive_stream(model.salt, EDGE_PARAM_STREAM),
             ge_chains: HashMap::new(),
+            ge_slots: None,
             outage_chains: HashMap::new(),
         }
+    }
+
+    /// Keep Gilbert–Elliott chains in a flat slot-indexed table over
+    /// `slot_count` directed CSR edge slots instead of the keyed
+    /// `HashMap` — one lazy `Option<chain>` per slot, no hashing on the
+    /// per-message path.  No-op when the model has no GE layer.  Fates
+    /// are bit-identical to the map (see the field docs).
+    #[must_use]
+    pub fn with_dense_ge_slots(mut self, slot_count: usize) -> Self {
+        if self.model.ge.is_some() {
+            self.ge_slots = Some(std::iter::repeat_with(|| None).take(slot_count).collect());
+        }
+        self
     }
 
     /// The degenerate-case reduction, when the model has one
@@ -902,15 +973,28 @@ impl<'m> FailureState<'m> {
     }
 
     /// Is the Gilbert–Elliott chain of edge `{u, v}` bad at time `t`?
-    /// Advances the edge's chain; `t` must be non-decreasing.
-    pub fn edge_bad(&mut self, t: f64, u: usize, v: usize) -> bool {
+    /// Advances the edge's chain; `t` must be non-decreasing.  `slot`,
+    /// when given and the state was built
+    /// [with dense slots](Self::with_dense_ge_slots), selects the flat
+    /// table entry; otherwise the keyed map is used.
+    pub fn edge_bad(&mut self, t: f64, u: usize, v: usize, slot: Option<usize>) -> bool {
         let Some(ge) = self.model.ge else {
             return false;
         };
-        let key = edge_key(self.n, u, v);
-        let chain = self.ge_chains.entry(key).or_insert_with(|| {
-            TwoStateChain::new(stream_rng(self.ge_master, key), ge.mean_good, ge.mean_bad)
-        });
+        let n = self.n;
+        let master = self.ge_master;
+        let chain = match (self.ge_slots.as_mut(), slot) {
+            (Some(slots), Some(slot)) => slots[slot].get_or_insert_with(|| {
+                let key = edge_key(n, u, v);
+                TwoStateChain::new(stream_rng(master, key), ge.mean_good, ge.mean_bad)
+            }),
+            _ => {
+                let key = edge_key(n, u, v);
+                self.ge_chains.entry(key).or_insert_with(|| {
+                    TwoStateChain::new(stream_rng(master, key), ge.mean_good, ge.mean_bad)
+                })
+            }
+        };
         chain.bad_at(t, ge.mean_good, ge.mean_bad)
     }
 
@@ -928,41 +1012,50 @@ impl<'m> FailureState<'m> {
     ) -> LinkConditions {
         let model = self.model;
         // 1. Baseline or per-edge static parameters.
+        let mut layer = DropLayer::Baseline;
         let (mut loss, mut delay) = match model.edge {
             None => (model.base.loss_fraction, model.base.delay_fraction),
-            Some(dists) => match (self.edge_table, slot) {
-                (Some(table), Some(slot)) => table[slot],
-                _ => {
-                    let mut rng = stream_rng(self.edge_param_master, edge_key(self.n, src, peer));
-                    (dists.loss.draw(&mut rng), dists.delay.draw(&mut rng))
+            Some(dists) => {
+                layer = DropLayer::PerEdge;
+                match (self.edge_table, slot) {
+                    (Some(table), Some(slot)) => table[slot],
+                    _ => {
+                        let mut rng =
+                            stream_rng(self.edge_param_master, edge_key(self.n, src, peer));
+                        (dists.loss.draw(&mut rng), dists.delay.draw(&mut rng))
+                    }
                 }
-            },
+            }
         };
         // 2. Degraded windows (last matching window wins).
         for w in &model.windows {
             if w.contains(now) {
                 loss = w.loss;
                 delay = w.delay;
+                layer = DropLayer::Window;
             }
         }
         // 3. Gilbert–Elliott bad state.
         if let Some(ge) = model.ge {
-            if self.edge_bad(now, src, peer) {
+            if self.edge_bad(now, src, peer, slot) {
                 loss = ge.bad_loss;
                 delay = ge.bad_delay;
+                layer = DropLayer::GeChain;
             }
         }
         // 4. Node outages: a down endpoint loses the message.
         if model.outages.is_some() && (self.node_down(now, src) || self.node_down(now, peer)) {
             loss = 1.0;
+            layer = DropLayer::Outage;
         }
         // 5. Partition: cross-cut messages are lost while active.
         if let Some(p) = model.partition {
             if p.active(now) && self.part_of(src) != self.part_of(peer) {
                 loss = 1.0;
+                layer = DropLayer::Partition;
             }
         }
-        LinkConditions { loss, delay }
+        LinkConditions { loss, delay, layer }
     }
 }
 
@@ -986,7 +1079,8 @@ mod tests {
             s.conditions(0.5, 1, 2, None),
             LinkConditions {
                 loss: 0.1,
-                delay: 0.3
+                delay: 0.3,
+                layer: DropLayer::Baseline
             }
         );
     }
@@ -1079,7 +1173,8 @@ mod tests {
             s.conditions(2.0, 0, 1, None),
             LinkConditions {
                 loss: 0.9,
-                delay: 0.5
+                delay: 0.5,
+                layer: DropLayer::Window
             }
         );
         assert_eq!(s.conditions(3.99, 0, 1, None).loss, 0.9);
@@ -1294,6 +1389,87 @@ mod tests {
         );
         let ge = FailureModel::parse("ge:up=4,down=4,loss=0.9", base).unwrap();
         assert_eq!(ge.label(), "ge(up=4,down=4,loss=0.9)");
+    }
+
+    #[test]
+    fn layers_attribute_their_losses() {
+        // Each layer, when it is the one that set the loss fraction,
+        // owns the attribution.
+        let base = NetworkConfig::new(0.0, 0.05);
+        let uniform = FailureModel::uniform(base);
+        let mut s_base = state(&uniform, 10);
+        assert_eq!(
+            s_base.conditions(0.0, 0, 1, None).layer,
+            DropLayer::Baseline
+        );
+
+        let edge = FailureModel::uniform(base).with_per_edge(EdgeDists {
+            loss: ParamDist::Uniform { lo: 0.1, hi: 0.5 },
+            delay: ParamDist::Fixed(0.0),
+        });
+        let mut s_edge = state(&edge, 10);
+        assert_eq!(s_edge.conditions(0.0, 0, 1, None).layer, DropLayer::PerEdge);
+
+        let outage = FailureModel::uniform(base).with_outages(NodeOutages {
+            frac: 1.0,
+            mean_up: 1.0,
+            mean_down: 1_000.0,
+        });
+        let mut s_out = state(&outage, 10);
+        let c = s_out.conditions(5.0, 3, 4, None);
+        assert_eq!((c.loss, c.layer), (1.0, DropLayer::Outage));
+
+        let part = FailureModel::uniform(base).with_partition(Partition {
+            parts: 2,
+            start: 0.0,
+            end: 10.0,
+        });
+        let mut s_part = state(&part, 100);
+        let p0 = s_part.part_of(0);
+        let cross = (1..100).find(|&v| s_part.part_of(v) != p0).unwrap();
+        let c = s_part.conditions(5.0, 0, cross, None);
+        assert_eq!((c.loss, c.layer), (1.0, DropLayer::Partition));
+        let same = (1..100).find(|&v| s_part.part_of(v) == p0).unwrap();
+        assert_eq!(
+            s_part.conditions(5.0, 0, same, None).layer,
+            DropLayer::Baseline,
+            "a non-overriding layer must not claim the loss"
+        );
+
+        let ge = FailureModel::uniform(base).with_gilbert_elliott(GilbertElliott {
+            mean_good: 1.0,
+            mean_bad: 1_000.0,
+            bad_loss: 0.7,
+            bad_delay: 0.0,
+        });
+        let mut s_ge = state(&ge, 200);
+        let bad = (0..200)
+            .map(|v| s_ge.conditions(50.0, 0, v + 1, None))
+            .find(|c| c.loss == 0.7)
+            .expect("some edge is in the bad regime");
+        assert_eq!(bad.layer, DropLayer::GeChain);
+    }
+
+    #[test]
+    fn dense_ge_slots_match_keyed_chains() {
+        // A slot-indexed chain copy and the shared keyed chain have the
+        // same trajectory: both are pure functions of the unordered edge
+        // seed, queried monotonically.
+        let m = FailureModel::parse("ge:up=2,down=2,loss=1", NetworkConfig::default()).unwrap();
+        let n = 40usize;
+        // Directed slots: (u, v) → u * n + v, both directions present.
+        let mut keyed = FailureState::new(&m, n, None, 13);
+        let mut dense = FailureState::new(&m, n, None, 13).with_dense_ge_slots(n * n);
+        for i in 0..400 {
+            let t = i as f64 * 0.07;
+            let (u, v) = (i % n, (i * 7 + 1) % n);
+            let slot = u * n + v;
+            assert_eq!(
+                keyed.conditions(t, u, v, None),
+                dense.conditions(t, u, v, Some(slot)),
+                "slot chain diverged at t={t} edge ({u},{v})"
+            );
+        }
     }
 
     #[test]

@@ -66,8 +66,25 @@
 //!
 //! PUSH and PUSH-PULL buffer received colors in bounded per-node
 //! inboxes ([`INBOX_CAP`]); what a *full* inbox does with the next
-//! receipt is the [`InboxPolicy`] (drop-oldest by default, drop-newest
-//! as the maximally stale alternative).
+//! receipt is the [`InboxPolicy`]: drop-oldest by default, drop-newest
+//! as the maximally stale alternative, random-replace for geometric
+//! staleness, or a TTL that expires colors by age (`ttl=T` in the CLI).
+//!
+//! # Telemetry
+//!
+//! [`GossipEngine::run_recorded`] threads a
+//! [`plurality_telemetry::Recorder`] through the monomorphized event
+//! loop: message counters attributed per failure layer ([`DropLayer`]),
+//! inbox admission/eviction/staleness accounting, scheduler queue depth
+//! and lazy-deletion waste, delay distributions, and phase timers.
+//! Recording consumes no randomness, and the disabled
+//! (`NoopRecorder`) instantiation — what `run`/`run_detailed` use —
+//! compiles to the uninstrumented engine, so golden traces stay
+//! bit-identical and the hot path stays at parity
+//! (`BENCH_metrics_overhead.json`).  The counters obey exact
+//! conservation laws (documented on `plurality_telemetry::Counter`)
+//! that `tests/metrics_reconcile.rs` pins across mode × scheduler ×
+//! failure-scenario grids.
 //!
 //! # Failure models
 //!
@@ -151,9 +168,9 @@ pub mod scheduler;
 
 pub use engine::{GossipEngine, GossipStats};
 pub use failure::{
-    EdgeDists, FailureModel, FailureState, GilbertElliott, LinkConditions, NodeOutages, ParamDist,
-    Partition, Window,
+    DropLayer, EdgeDists, FailureModel, FailureState, GilbertElliott, LinkConditions, NodeOutages,
+    ParamDist, Partition, Window,
 };
-pub use modes::{ExchangeMode, Inbox, InboxPolicy, INBOX_CAP};
-pub use network::{ExchangeFate, LegFate, NetworkConfig};
+pub use modes::{ExchangeMode, Inbox, InboxAdmit, InboxPolicy, INBOX_CAP};
+pub use network::{ExchangeFate, LegFate, MessageFate, NetworkConfig};
 pub use scheduler::{ActivationClock, EventKind, EventQueue, RatedActivation, Scheduler};

@@ -26,6 +26,8 @@
 //!   for the remainder, so in steady state one call funds two reads.
 //!   Network loss and delay apply independently per leg.
 
+use plurality_sampling::Xoshiro256PlusPlus;
+use rand::Rng;
 use std::collections::VecDeque;
 
 /// Maximum buffered pushed colors per node; when full the **oldest**
@@ -83,9 +85,7 @@ impl ExchangeMode {
 /// The trade-off is a *staleness* one: the inbox is a FIFO whose entries
 /// age one activation per buffered predecessor, so the policy decides
 /// whether the node's future samples skew fresh or old.
-/// Random-replacement and TTL policies are listed as follow-ups in
-/// ROADMAP.md.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum InboxPolicy {
     /// Evict the **oldest** buffered color to admit the incoming one
     /// (freshest information wins — the PR 2 behavior and the default).
@@ -94,38 +94,103 @@ pub enum InboxPolicy {
     /// Discard the **incoming** color and keep the buffer as is (oldest
     /// information wins; samples skew maximally stale).
     DropNewest,
+    /// Evict a **uniformly random** buffered color to admit the incoming
+    /// one (staleness skews geometrically rather than cutting off).
+    /// The only policy that consumes randomness — one draw per overflow,
+    /// from the engine's dedicated inbox stream, so runs under the other
+    /// policies stay bit-identical to earlier PRs.
+    RandomReplace,
+    /// Entries expire `ticks` simulated ticks after arrival (purged
+    /// lazily before peeks and admissions); at the cap the policy falls
+    /// back to evicting the oldest entry.
+    Ttl {
+        /// Residence bound, in ticks (an entry of age ≥ `ticks` is
+        /// expired).  Must be positive and finite.
+        ticks: f64,
+    },
 }
 
 impl InboxPolicy {
-    /// Parse a CLI name.
+    /// Parse a CLI name: `drop-oldest`, `drop-newest`, `random-replace`,
+    /// or `ttl=T` (T in ticks).
     ///
     /// # Errors
-    /// Returns the unknown name.
+    /// Returns the unknown name (a bare `ttl` without `=T` included).
     pub fn from_name(name: &str) -> Result<Self, String> {
+        if let Some(t) = name.strip_prefix("ttl=") {
+            let ticks: f64 = t
+                .parse()
+                .map_err(|_| format!("ttl: expected a number of ticks, got '{t}'"))?;
+            if !(ticks.is_finite() && ticks > 0.0) {
+                return Err(format!("ttl: {ticks} must be positive and finite"));
+            }
+            return Ok(Self::Ttl { ticks });
+        }
         match name {
             "drop-oldest" => Ok(Self::DropOldest),
             "drop-newest" => Ok(Self::DropNewest),
+            "random-replace" => Ok(Self::RandomReplace),
             other => Err(format!(
-                "unknown inbox policy '{other}' (expected 'drop-oldest' or 'drop-newest')"
+                "unknown inbox policy '{other}' (expected 'drop-oldest', 'drop-newest', \
+                 'random-replace', or 'ttl=T')"
             )),
         }
     }
 
-    /// Policy name for labels.
+    /// Policy kind name for labels (the TTL value is carried by
+    /// [`Self::label`]).
     #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             Self::DropOldest => "drop-oldest",
             Self::DropNewest => "drop-newest",
+            Self::RandomReplace => "random-replace",
+            Self::Ttl { .. } => "ttl",
+        }
+    }
+
+    /// Full label, round-trippable through [`Self::from_name`].
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Ttl { ticks } => format!("ttl={ticks}"),
+            other => other.name().to_string(),
         }
     }
 }
 
+/// What [`Inbox::receive`] did with an incoming color — the per-policy
+/// drop accounting telemetry reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InboxAdmit {
+    /// Buffered without evicting anything.
+    Accepted,
+    /// Buffered; the oldest entry was evicted
+    /// ([`InboxPolicy::DropOldest`], or [`InboxPolicy::Ttl`] at the cap).
+    EvictedOldest,
+    /// The incoming color was discarded ([`InboxPolicy::DropNewest`]).
+    RejectedNewest,
+    /// Buffered; a uniformly random entry was evicted
+    /// ([`InboxPolicy::RandomReplace`]).
+    EvictedRandom,
+}
+
+impl InboxAdmit {
+    /// Did the cap force a drop (of anything)?
+    #[must_use]
+    pub fn dropped(&self) -> bool {
+        !matches!(self, Self::Accepted)
+    }
+}
+
 /// Bounded FIFO of pushed colors awaiting consumption by a node's update
-/// rule (see [`INBOX_CAP`] and [`InboxPolicy`]).
+/// rule (see [`INBOX_CAP`] and [`InboxPolicy`]).  Entries carry their
+/// arrival time, kept in non-decreasing order, which is what makes TTL
+/// expiry a prefix purge and staleness (`now − arrival`) observable when
+/// an entry is served.
 #[derive(Debug, Default, Clone)]
 pub struct Inbox {
-    colors: VecDeque<u32>,
+    entries: VecDeque<(u32, f64)>,
     policy: InboxPolicy,
 }
 
@@ -135,57 +200,98 @@ impl Inbox {
     #[must_use]
     pub fn with_policy(policy: InboxPolicy) -> Self {
         Self {
-            colors: VecDeque::new(),
+            entries: VecDeque::new(),
             policy,
         }
     }
 
-    /// Buffer a received color; returns `true` when the cap forced a
-    /// drop — of the oldest buffered entry under
-    /// [`InboxPolicy::DropOldest`], of the incoming color under
-    /// [`InboxPolicy::DropNewest`].
-    pub fn receive(&mut self, color: u32) -> bool {
-        let dropped = self.colors.len() == INBOX_CAP;
-        if dropped {
-            match self.policy {
-                InboxPolicy::DropOldest => {
-                    self.colors.pop_front();
-                }
-                InboxPolicy::DropNewest => return true,
+    /// Buffer a color received at time `now`.  `rng` is consumed only by
+    /// [`InboxPolicy::RandomReplace`] at the cap (one `gen_range` per
+    /// overflow) — every other policy leaves it untouched.
+    pub fn receive(&mut self, color: u32, now: f64, rng: &mut Xoshiro256PlusPlus) -> InboxAdmit {
+        if self.entries.len() < INBOX_CAP {
+            self.entries.push_back((color, now));
+            return InboxAdmit::Accepted;
+        }
+        match self.policy {
+            InboxPolicy::DropOldest | InboxPolicy::Ttl { .. } => {
+                self.entries.pop_front();
+                self.entries.push_back((color, now));
+                InboxAdmit::EvictedOldest
+            }
+            InboxPolicy::DropNewest => InboxAdmit::RejectedNewest,
+            InboxPolicy::RandomReplace => {
+                let idx = rng.gen_range(0..self.entries.len());
+                self.entries.remove(idx);
+                self.entries.push_back((color, now));
+                InboxAdmit::EvictedRandom
             }
         }
-        self.colors.push_back(color);
-        dropped
+    }
+
+    /// Drop every entry whose age at `now` is ≥ the TTL; returns how
+    /// many expired.  No-op (0) under the non-TTL policies.  Expired
+    /// entries form a prefix (arrival order is non-decreasing), so this
+    /// is a front purge.
+    pub fn purge_expired(&mut self, now: f64) -> usize {
+        let InboxPolicy::Ttl { ticks } = self.policy else {
+            return 0;
+        };
+        let mut expired = 0usize;
+        while let Some(&(_, arrival)) = self.entries.front() {
+            if now - arrival >= ticks {
+                self.entries.pop_front();
+                expired += 1;
+            } else {
+                break;
+            }
+        }
+        expired
     }
 
     /// Buffered color at `idx` (0 = oldest) without consuming it.
     #[must_use]
     pub fn peek(&self, idx: usize) -> Option<u32> {
-        self.colors.get(idx).copied()
+        self.entries.get(idx).map(|&(c, _)| c)
+    }
+
+    /// Buffered `(color, arrival time)` at `idx` (0 = oldest) without
+    /// consuming it.
+    #[must_use]
+    pub fn peek_entry(&self, idx: usize) -> Option<(u32, f64)> {
+        self.entries.get(idx).copied()
     }
 
     /// Consume the `count` oldest entries (after a successful update).
     pub fn consume(&mut self, count: usize) {
-        debug_assert!(count <= self.colors.len());
-        self.colors.drain(..count.min(self.colors.len()));
+        debug_assert!(count <= self.entries.len());
+        self.entries.drain(..count.min(self.entries.len()));
     }
 
     /// Buffered entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.colors.len()
+        self.entries.len()
     }
 
     /// No entries buffered?
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.colors.is_empty()
+        self.entries.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plurality_sampling::stream_rng;
+
+    /// Shorthand: receive with a throwaway clock/rng (fine for the
+    /// policies that consume neither).
+    fn recv(inbox: &mut Inbox, color: u32, now: f64) -> InboxAdmit {
+        let mut rng = stream_rng(0xDEAD, 0);
+        inbox.receive(color, now, &mut rng)
+    }
 
     #[test]
     fn mode_names_roundtrip() {
@@ -206,12 +312,13 @@ mod tests {
     #[test]
     fn inbox_is_fifo() {
         let mut inbox = Inbox::default();
-        for c in [3u32, 1, 4] {
-            assert!(!inbox.receive(c));
+        for (t, c) in [3u32, 1, 4].into_iter().enumerate() {
+            assert_eq!(recv(&mut inbox, c, t as f64), InboxAdmit::Accepted);
         }
         assert_eq!(inbox.peek(0), Some(3));
         assert_eq!(inbox.peek(2), Some(4));
         assert_eq!(inbox.peek(3), None);
+        assert_eq!(inbox.peek_entry(1), Some((1, 1.0)));
         inbox.consume(2);
         assert_eq!(inbox.len(), 1);
         assert_eq!(inbox.peek(0), Some(4));
@@ -221,9 +328,13 @@ mod tests {
     fn inbox_evicts_oldest_at_cap() {
         let mut inbox = Inbox::default();
         for c in 0..INBOX_CAP as u32 {
-            assert!(!inbox.receive(c));
+            assert_eq!(recv(&mut inbox, c, 0.0), InboxAdmit::Accepted);
         }
-        assert!(inbox.receive(999), "cap reached: eviction expected");
+        assert_eq!(
+            recv(&mut inbox, 999, 1.0),
+            InboxAdmit::EvictedOldest,
+            "cap reached: eviction expected"
+        );
         assert_eq!(inbox.len(), INBOX_CAP);
         assert_eq!(inbox.peek(0), Some(1), "oldest entry evicted");
         assert_eq!(inbox.peek(INBOX_CAP - 1), Some(999));
@@ -231,10 +342,23 @@ mod tests {
 
     #[test]
     fn inbox_policy_names_roundtrip() {
-        for p in [InboxPolicy::DropOldest, InboxPolicy::DropNewest] {
+        for p in [
+            InboxPolicy::DropOldest,
+            InboxPolicy::DropNewest,
+            InboxPolicy::RandomReplace,
+        ] {
             assert_eq!(InboxPolicy::from_name(p.name()).unwrap(), p);
+            assert_eq!(InboxPolicy::from_name(&p.label()).unwrap(), p);
         }
-        assert!(InboxPolicy::from_name("ttl").is_err());
+        let ttl = InboxPolicy::Ttl { ticks: 2.5 };
+        assert_eq!(InboxPolicy::from_name("ttl=2.5").unwrap(), ttl);
+        assert_eq!(InboxPolicy::from_name(&ttl.label()).unwrap(), ttl);
+        assert_eq!(ttl.name(), "ttl");
+        assert!(InboxPolicy::from_name("ttl").is_err(), "bare ttl needs =T");
+        assert!(InboxPolicy::from_name("ttl=0").is_err());
+        assert!(InboxPolicy::from_name("ttl=-1").is_err());
+        assert!(InboxPolicy::from_name("ttl=inf").is_err());
+        assert!(InboxPolicy::from_name("ttl=nope").is_err());
         assert_eq!(InboxPolicy::default(), InboxPolicy::DropOldest);
     }
 
@@ -245,9 +369,13 @@ mod tests {
         // incoming color without touching the buffer.
         let mut inbox = Inbox::with_policy(InboxPolicy::DropNewest);
         for c in 0..INBOX_CAP as u32 {
-            assert!(!inbox.receive(c));
+            assert_eq!(recv(&mut inbox, c, f64::from(c)), InboxAdmit::Accepted);
         }
-        assert!(inbox.receive(999), "cap reached: incoming color dropped");
+        assert_eq!(
+            recv(&mut inbox, 999, 99.0),
+            InboxAdmit::RejectedNewest,
+            "cap reached: incoming color dropped"
+        );
         assert_eq!(inbox.len(), INBOX_CAP);
         for idx in 0..INBOX_CAP {
             assert_eq!(
@@ -259,19 +387,83 @@ mod tests {
         // Consumption frees capacity: the next receipt is admitted and
         // queues behind the survivors (FIFO staleness order intact).
         inbox.consume(2);
-        assert!(!inbox.receive(777));
+        assert_eq!(recv(&mut inbox, 777, 100.0), InboxAdmit::Accepted);
         assert_eq!(inbox.peek(0), Some(2), "oldest survivor still first");
         assert_eq!(inbox.peek(inbox.len() - 1), Some(777));
     }
 
     #[test]
-    fn policies_agree_below_the_cap() {
-        let mut oldest = Inbox::with_policy(InboxPolicy::DropOldest);
-        let mut newest = Inbox::with_policy(InboxPolicy::DropNewest);
+    fn random_replace_preserves_arrival_order_of_survivors() {
+        let mut inbox = Inbox::with_policy(InboxPolicy::RandomReplace);
+        let mut rng = stream_rng(42, 5);
         for c in 0..INBOX_CAP as u32 {
-            assert!(!oldest.receive(c));
-            assert!(!newest.receive(c));
-            assert_eq!(oldest.peek(c as usize), newest.peek(c as usize));
+            assert_eq!(
+                inbox.receive(c, f64::from(c), &mut rng),
+                InboxAdmit::Accepted
+            );
+        }
+        for over in 0..20u32 {
+            let now = f64::from(INBOX_CAP as u32 + over);
+            assert_eq!(
+                inbox.receive(1000 + over, now, &mut rng),
+                InboxAdmit::EvictedRandom
+            );
+            assert_eq!(inbox.len(), INBOX_CAP);
+            // Survivors stay sorted by arrival time: staleness ordering
+            // (and hence TTL prefix purging) is a structural invariant.
+            let arrivals: Vec<f64> = (0..inbox.len())
+                .map(|i| inbox.peek_entry(i).unwrap().1)
+                .collect();
+            assert!(
+                arrivals.windows(2).all(|w| w[0] <= w[1]),
+                "arrival order disturbed: {arrivals:?}"
+            );
+            assert_eq!(inbox.peek(INBOX_CAP - 1), Some(1000 + over));
+        }
+    }
+
+    #[test]
+    fn ttl_expires_a_prefix_and_falls_back_to_drop_oldest_at_cap() {
+        let mut inbox = Inbox::with_policy(InboxPolicy::Ttl { ticks: 2.0 });
+        for c in 0..4u32 {
+            assert_eq!(recv(&mut inbox, c, f64::from(c)), InboxAdmit::Accepted);
+        }
+        // At t=4.5 the entries aged {4.5, 3.5, 2.5, 1.5}: the first three
+        // are ≥ 2.0 ticks old and expire, the youngest survives.
+        assert_eq!(inbox.purge_expired(4.5), 3);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox.peek_entry(0), Some((3, 3.0)));
+        // Purge is lazy and idempotent.
+        assert_eq!(inbox.purge_expired(4.5), 0);
+        // At the cap the TTL policy evicts the oldest entry.
+        for c in 10..10 + INBOX_CAP as u32 {
+            let _ = recv(&mut inbox, c, 4.5);
+        }
+        assert_eq!(inbox.len(), INBOX_CAP);
+        assert_eq!(recv(&mut inbox, 99, 4.6), InboxAdmit::EvictedOldest);
+        // Non-TTL policies never expire anything.
+        let mut plain = Inbox::default();
+        let _ = recv(&mut plain, 7, 0.0);
+        assert_eq!(plain.purge_expired(1e9), 0);
+        assert_eq!(plain.len(), 1);
+    }
+
+    #[test]
+    fn policies_agree_below_the_cap() {
+        let mut rng = stream_rng(7, 7);
+        let mut boxes = [
+            Inbox::with_policy(InboxPolicy::DropOldest),
+            Inbox::with_policy(InboxPolicy::DropNewest),
+            Inbox::with_policy(InboxPolicy::RandomReplace),
+            Inbox::with_policy(InboxPolicy::Ttl { ticks: 1e6 }),
+        ];
+        for c in 0..INBOX_CAP as u32 {
+            for inbox in &mut boxes {
+                assert_eq!(inbox.receive(c, 0.0, &mut rng), InboxAdmit::Accepted);
+            }
+            for inbox in &boxes {
+                assert_eq!(inbox.peek(c as usize), boxes[0].peek(c as usize));
+            }
         }
     }
 }

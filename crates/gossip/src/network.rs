@@ -8,7 +8,7 @@
 //! [`NetworkConfig`] draws **bit for bit** when the model reduces to the
 //! degenerate uniform case.
 
-use crate::failure::{FailureState, LinkConditions};
+use crate::failure::{DropLayer, FailureState, LinkConditions};
 use plurality_sampling::{stream_rng, Xoshiro256PlusPlus};
 use rand::Rng;
 
@@ -68,7 +68,11 @@ impl NetworkConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MessageFate {
     /// The request was dropped; no response will arrive.
-    Lost,
+    Lost {
+        /// The failure layer charged with the drop (always
+        /// [`DropLayer::Baseline`] on the uniform i.i.d. paths).
+        layer: DropLayer,
+    },
     /// The response arrives instantly.
     Delivered {
         /// Index of the peer that answered.
@@ -88,7 +92,10 @@ pub enum MessageFate {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LegFate {
     /// This leg's payload is dropped.
-    Lost,
+    Lost {
+        /// The failure layer charged with the drop.
+        layer: DropLayer,
+    },
     /// This leg's payload arrives instantly.
     Instant,
     /// This leg's payload arrives `extra_ticks` later.
@@ -150,7 +157,9 @@ impl MessageStreams {
         self.next_index += 1;
 
         if network.loss_fraction > 0.0 && rng.gen::<f64>() < network.loss_fraction {
-            return MessageFate::Lost;
+            return MessageFate::Lost {
+                layer: DropLayer::Baseline,
+            };
         }
         let peer = sample_peer(&mut rng);
         if network.delay_fraction > 0.0 && rng.gen::<f64>() < network.delay_fraction {
@@ -209,7 +218,9 @@ impl MessageStreams {
         if let Some(network) = state.uniform() {
             // Degenerate case: replicate the legacy draws bit for bit.
             if network.loss_fraction > 0.0 && rng.gen::<f64>() < network.loss_fraction {
-                return MessageFate::Lost;
+                return MessageFate::Lost {
+                    layer: DropLayer::Baseline,
+                };
             }
             let (peer, _) = sample_peer(&mut rng);
             if network.delay_fraction > 0.0 && rng.gen::<f64>() < network.delay_fraction {
@@ -222,7 +233,7 @@ impl MessageStreams {
         let (peer, slot) = sample_peer(&mut rng);
         let link = state.conditions(now, src, peer, slot);
         if rng.gen::<f64>() < link.loss {
-            return MessageFate::Lost;
+            return MessageFate::Lost { layer: link.layer };
         }
         if rng.gen::<f64>() < link.delay {
             let extra_ticks = crate::scheduler::exp1(&mut rng);
@@ -269,7 +280,7 @@ impl MessageStreams {
 /// fixed within-message draw count.
 fn leg_fate_under(link: LinkConditions, rng: &mut Xoshiro256PlusPlus) -> LegFate {
     if rng.gen::<f64>() < link.loss {
-        return LegFate::Lost;
+        return LegFate::Lost { layer: link.layer };
     }
     if rng.gen::<f64>() < link.delay {
         return LegFate::Delayed {
@@ -282,7 +293,9 @@ fn leg_fate_under(link: LinkConditions, rng: &mut Xoshiro256PlusPlus) -> LegFate
 /// Draw one leg's fate: loss check, then delay check (plus duration).
 fn leg_fate(network: &NetworkConfig, rng: &mut Xoshiro256PlusPlus) -> LegFate {
     if network.loss_fraction > 0.0 && rng.gen::<f64>() < network.loss_fraction {
-        return LegFate::Lost;
+        return LegFate::Lost {
+            layer: DropLayer::Baseline,
+        };
     }
     if network.delay_fraction > 0.0 && rng.gen::<f64>() < network.delay_fraction {
         return LegFate::Delayed {
@@ -317,7 +330,12 @@ mod tests {
         let net = NetworkConfig::new(0.0, 1.0);
         let mut ms = MessageStreams::new(2);
         for _ in 0..100 {
-            assert_eq!(fate_of(&mut ms, &net), MessageFate::Lost);
+            assert_eq!(
+                fate_of(&mut ms, &net),
+                MessageFate::Lost {
+                    layer: DropLayer::Baseline
+                }
+            );
         }
     }
 
@@ -327,7 +345,7 @@ mod tests {
         let mut ms = MessageStreams::new(3);
         let trials = 50_000;
         let lost = (0..trials)
-            .filter(|_| fate_of(&mut ms, &net) == MessageFate::Lost)
+            .filter(|_| matches!(fate_of(&mut ms, &net), MessageFate::Lost { .. }))
             .count();
         let expect = trials as f64 * 0.3;
         let sigma = (trials as f64 * 0.3 * 0.7).sqrt();
@@ -398,7 +416,10 @@ mod tests {
         let mut neither = 0usize;
         for _ in 0..trials {
             let x = ms.next_exchange(&net, |rng| rng.gen_range(0..10usize));
-            match (x.pull == LegFate::Lost, x.push == LegFate::Lost) {
+            match (
+                matches!(x.pull, LegFate::Lost { .. }),
+                matches!(x.push, LegFate::Lost { .. }),
+            ) {
                 (true, true) => both += 1,
                 (true, false) => pull_only += 1,
                 (false, true) => push_only += 1,

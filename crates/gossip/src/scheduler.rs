@@ -464,6 +464,14 @@ impl EventQueue {
     pub fn skipped_stale(&self) -> u64 {
         self.skipped_stale
     }
+
+    /// Total entries pushed over the queue's lifetime (the insertion
+    /// sequence counter — telemetry reconciles this against pops plus
+    /// lazy-deletion waste).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
 }
 
 /// Draw an `Exp(1)` waiting time.

@@ -1,0 +1,220 @@
+//! Telemetry reconciliation: the counters of `run_recorded` obey the
+//! exact conservation laws documented on `plurality_telemetry::Counter`,
+//! and agree with the engine's own `GossipStats` ground truth, across
+//! randomized mode × scheduler × inbox-policy × failure-scenario grids.
+//!
+//! These are *identities*, not statistical checks: one lost increment —
+//! a drop not attributed to a layer, an inbox entry that leaves the
+//! buffer without being counted — fails the suite deterministically.
+
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{Placement, RunOptions};
+use plurality_gossip::{
+    DropLayer, ExchangeMode, FailureModel, GossipEngine, GossipStats, InboxPolicy, NetworkConfig,
+    Scheduler,
+};
+use plurality_telemetry::{Counter, Gauge, MetricsRecorder};
+use proptest::prelude::*;
+
+fn lost_counter(layer: DropLayer) -> Counter {
+    match layer {
+        DropLayer::Baseline => Counter::LostBaseline,
+        DropLayer::PerEdge => Counter::LostPerEdge,
+        DropLayer::Window => Counter::LostWindow,
+        DropLayer::GeChain => Counter::LostGeChain,
+        DropLayer::Outage => Counter::LostOutage,
+        DropLayer::Partition => Counter::LostPartition,
+    }
+}
+
+/// Every conservation law, cross-checked against `GossipStats`.
+fn check_laws(rec: &MetricsRecorder, stats: &GossipStats, label: &str) {
+    let c = |x| rec.counter(x);
+    let g = |x| rec.gauge(x);
+    // Message flow.
+    assert_eq!(
+        c(Counter::PullSent),
+        c(Counter::PullDelivered) + c(Counter::PullLost),
+        "{label}: pull flow"
+    );
+    assert_eq!(
+        c(Counter::PushSent),
+        c(Counter::PushDelivered) + c(Counter::PushLost),
+        "{label}: push flow"
+    );
+    // Attribution: every drop belongs to exactly one failure layer.
+    let attributed: u64 = DropLayer::ALL.iter().map(|&l| c(lost_counter(l))).sum();
+    assert_eq!(
+        c(Counter::PullLost) + c(Counter::PushLost),
+        attributed,
+        "{label}: loss attribution"
+    );
+    // Inbox entry flow.
+    assert_eq!(
+        c(Counter::InboxOffered),
+        c(Counter::InboxAccepted) + c(Counter::InboxEvictedNewest),
+        "{label}: inbox admission"
+    );
+    assert_eq!(
+        c(Counter::InboxAccepted),
+        c(Counter::InboxServed)
+            + c(Counter::InboxExpiredTtl)
+            + c(Counter::InboxEvictedOldest)
+            + c(Counter::InboxEvictedRandom)
+            + g(Gauge::InboxResidentAtStop),
+        "{label}: inbox exit"
+    );
+    assert_eq!(
+        c(Counter::PushDelivered),
+        c(Counter::InboxOffered) + g(Gauge::PushInFlightAtStop),
+        "{label}: push delivery"
+    );
+    // Scheduler queue: everything pushed was either consumed (popped
+    // live or skipped stale) or is still live at stop.  Commits and
+    // push arrivals are the only event kinds, so pops = fired events;
+    // we can't observe pops directly, but the inequality pushed ≥
+    // skipped + live always holds and the difference is the fired pops.
+    assert!(
+        c(Counter::QueuePushed) >= c(Counter::QueueSkippedStale) + g(Gauge::QueueLenAtStop),
+        "{label}: queue books"
+    );
+    // Ground truth: the legacy stats, computed independently.
+    assert_eq!(c(Counter::Activations), stats.activations, "{label}");
+    assert_eq!(
+        c(Counter::PullLost) + c(Counter::PushLost),
+        stats.lost_messages,
+        "{label}: lost vs stats"
+    );
+    assert_eq!(
+        c(Counter::PullDelayed) + c(Counter::PushDelayed),
+        stats.delayed_messages,
+        "{label}: delayed vs stats"
+    );
+    assert_eq!(
+        c(Counter::InboxOffered),
+        stats.pushes_delivered,
+        "{label}: offers vs stats"
+    );
+    assert_eq!(c(Counter::InboxServed), stats.inbox_served, "{label}");
+    assert_eq!(
+        c(Counter::InboxEvictedOldest)
+            + c(Counter::InboxEvictedNewest)
+            + c(Counter::InboxEvictedRandom),
+        stats.inbox_dropped,
+        "{label}: evictions vs stats"
+    );
+    assert_eq!(
+        c(Counter::StarvedActivations),
+        stats.starved_updates,
+        "{label}"
+    );
+    assert_eq!(
+        c(Counter::SupersededCommits),
+        stats.superseded_commits,
+        "{label}"
+    );
+    // Per-mode message identities (messages == per-message RNG streams).
+    let (pull, push) = (c(Counter::PullSent), c(Counter::PushSent));
+    match (pull, push) {
+        _ if push == 0 => assert_eq!(pull, stats.messages, "{label}: pull messages"),
+        _ if pull == 0 => assert_eq!(push, stats.messages, "{label}: push messages"),
+        _ => {
+            assert_eq!(pull, stats.messages, "{label}: exchange pull legs");
+            assert_eq!(push, stats.messages, "{label}: exchange push legs");
+        }
+    }
+}
+
+const SCENARIOS: [&str; 6] = [
+    "",
+    "edge:loss=0..0.4,delay=0..0.3",
+    "window:0..2,loss=0.9,delay=0.2",
+    "ge:up=2,down=2,loss=0.85",
+    "outage:frac=0.3,up=2,down=2;partition:parts=2,1..2",
+    "edge:loss=flaky(0.3,0,0.8);ge:up=3,down=1,loss=0.9;outage:frac=0.2,up=3,down=1",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn counters_reconcile_exactly(
+        seed in 0u64..1_000_000,
+        mode_ix in 0usize..3,
+        sched_ix in 0usize..2,
+        policy_ix in 0usize..4,
+        scenario_ix in 0usize..SCENARIOS.len(),
+        loss in 0.0f64..0.4,
+        delay in 0.0f64..0.4,
+    ) {
+        let mode = [ExchangeMode::Pull, ExchangeMode::Push, ExchangeMode::PushPull][mode_ix];
+        let scheduler = [Scheduler::Sequential, Scheduler::Poisson][sched_ix];
+        let policy = [
+            InboxPolicy::DropOldest,
+            InboxPolicy::DropNewest,
+            InboxPolicy::RandomReplace,
+            InboxPolicy::Ttl { ticks: 0.5 },
+        ][policy_ix];
+        let base = NetworkConfig::new(delay, loss);
+        let model = if SCENARIOS[scenario_ix].is_empty() {
+            FailureModel::uniform(base)
+        } else {
+            FailureModel::parse(SCENARIOS[scenario_ix], base).unwrap()
+        };
+        let topology = plurality_topology::random_regular(240, 8, seed ^ 0x5EED);
+        let cfg = builders::biased(240, 3, 80);
+        let engine = GossipEngine::new(&topology)
+            .with_mode(mode)
+            .with_scheduler(scheduler)
+            .with_inbox_policy(policy)
+            .with_failure_model(model.clone());
+        let mut rec = MetricsRecorder::new();
+        // Cap rounds low: MaxRounds stops leave residuals (live queue
+        // events, resident inbox colors, in-flight pushes), which is
+        // exactly when the at-stop gauges earn their keep.
+        let opts = RunOptions::with_max_rounds(30);
+        let (_, stats) = engine.run_recorded(
+            &ThreeMajority::new(), &cfg, Placement::Shuffled, &opts, seed, &mut rec,
+        );
+        let label = format!(
+            "seed={seed} mode={} sched={} policy={} scenario={:?}",
+            mode.name(), scheduler.name(), policy.label(), SCENARIOS[scenario_ix],
+        );
+        check_laws(&rec, &stats, &label);
+    }
+}
+
+/// Runs that stop by absorption (not MaxRounds) must reconcile too —
+/// the stop fires mid-loop through a different return path.
+#[test]
+fn absorbing_runs_reconcile() {
+    let clique = plurality_topology::Clique::new(400);
+    let cfg = builders::biased(400, 4, 140);
+    for mode in [
+        ExchangeMode::Pull,
+        ExchangeMode::Push,
+        ExchangeMode::PushPull,
+    ] {
+        for policy in [
+            InboxPolicy::DropOldest,
+            InboxPolicy::RandomReplace,
+            InboxPolicy::Ttl { ticks: 1.5 },
+        ] {
+            let engine = GossipEngine::new(&clique)
+                .with_mode(mode)
+                .with_inbox_policy(policy)
+                .with_network(NetworkConfig::new(0.3, 0.2));
+            let mut rec = MetricsRecorder::new();
+            let (r, stats) = engine.run_recorded(
+                &ThreeMajority::new(),
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(100_000),
+                5,
+                &mut rec,
+            );
+            assert_eq!(r.reason, plurality_engine::StopReason::Stopped);
+            check_laws(&rec, &stats, &format!("{}/{}", mode.name(), policy.label()));
+        }
+    }
+}

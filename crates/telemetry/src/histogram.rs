@@ -1,0 +1,329 @@
+//! Log-bucketed (HDR-style) histogram with exact merge.
+//!
+//! Values are `u64`.  The first [`SUB`] buckets are exact (width 1);
+//! above that, each power-of-two range is split into [`SUB`] sub-buckets,
+//! so the relative quantization error is bounded by `1/SUB` everywhere.
+//! Bucket boundaries are pure functions of the index — two histograms
+//! always share the same bucket grid, which makes merging an exact
+//! element-wise add (no re-sampling, no precision loss beyond the
+//! original bucketing).
+//!
+//! Recording is a handful of integer ops (leading-zeros, shift, mask,
+//! add) — cheap enough for per-message hot paths when metrics are on,
+//! and compiled out entirely under the
+//! [`NoopRecorder`](crate::NoopRecorder).
+
+/// Sub-bucket resolution: each power-of-two range splits into `2^SUB_BITS`
+/// buckets (relative error ≤ 1/16).
+pub const SUB_BITS: u32 = 4;
+/// Number of sub-buckets per power-of-two range (`2^SUB_BITS`).
+pub const SUB: usize = 1 << SUB_BITS;
+
+/// Fixed-point scale for recording fractional tick values (delays,
+/// staleness) into integer histograms: ticks are multiplied by this and
+/// rounded.
+pub const TICK_FP: f64 = 1024.0;
+
+/// Convert a non-negative tick quantity to its fixed-point histogram
+/// representation (×[`TICK_FP`], rounded).
+#[must_use]
+pub fn ticks_to_fp(ticks: f64) -> u64 {
+    if ticks <= 0.0 {
+        return 0;
+    }
+    (ticks * TICK_FP).round() as u64
+}
+
+/// Convert a fixed-point histogram value back to ticks.
+#[must_use]
+pub fn fp_to_ticks(v: u64) -> f64 {
+    v as f64 / TICK_FP
+}
+
+/// Bucket index for a value (log-linear scheme, see module docs).
+#[must_use]
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) as usize & (SUB - 1);
+    SUB * (shift as usize + 1) + sub
+}
+
+/// Inclusive lower bound of a bucket.
+#[must_use]
+pub fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let shift = idx / SUB - 1;
+    ((SUB + idx % SUB) as u64) << shift
+}
+
+/// Inclusive upper bound of a bucket.
+#[must_use]
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB - 1 {
+        return idx as u64;
+    }
+    bucket_low(idx + 1) - 1
+}
+
+/// A log-bucketed histogram of `u64` values.
+///
+/// Tracks exact `count`, `sum`, `min`, and `max` alongside the bucket
+/// counts, so means are exact and only quantiles are subject to the
+/// bounded bucketing error.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// New empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_of(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact minimum (0 if empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean (NaN if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// containing the `ceil(q·count)`-th value (exact for values below
+    /// [`SUB`], within `1/SUB` relative error above).  Returns 0 if
+    /// empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_low(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Exact merge: add `other`'s bucket counts into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Sparse `(bucket index, count)` pairs for non-empty buckets, in
+    /// index order.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuild a histogram from sparse `(bucket index, count)` pairs plus
+    /// the exact scalars (the inverse of [`Self::nonzero_buckets`] — used
+    /// by the JSONL reader).
+    #[must_use]
+    pub fn from_parts(buckets: &[(usize, u64)], count: u64, sum: u128, min: u64, max: u64) -> Self {
+        let cap = buckets.iter().map(|&(i, _)| i + 1).max().unwrap_or(0);
+        let mut v = vec![0u64; cap];
+        for &(i, c) in buckets {
+            v[i] += c;
+        }
+        Self {
+            buckets: v,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's low is contained in it, highs chain to the next
+        // low, and bucket_of(low..=high) stays put.
+        for idx in 0..SUB * 40 {
+            let lo = bucket_low(idx);
+            let hi = bucket_high(idx);
+            assert!(lo <= hi, "bucket {idx}: {lo} > {hi}");
+            assert_eq!(bucket_of(lo), idx, "low of bucket {idx}");
+            assert_eq!(bucket_of(hi), idx, "high of bucket {idx}");
+            assert_eq!(bucket_low(idx + 1), hi + 1, "bucket {idx} chain");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[17u64, 100, 1_000, 65_537, 1 << 40, u64::MAX / 3] {
+            let idx = bucket_of(v);
+            let lo = bucket_low(idx);
+            assert!(lo <= v);
+            let err = (v - lo) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB as f64 + 1e-12, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 5, 100, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10_111);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 10_111.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 0);
+        // Median rank 3 lands on the second 5.
+        assert_eq!(h.quantile(0.5), 5);
+        // p100 is the max bucket's low, clamped into [min, max].
+        assert!(h.quantile(1.0) <= 10_000);
+        assert!(h.quantile(1.0) >= 10_000 * (SUB as u64 - 1) / SUB as u64);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [3u64, 70, 900, 1 << 30] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 70, 12_345] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn roundtrip_through_parts() {
+        let mut h = LogHistogram::new();
+        for v in [9u64, 10, 4_000, 4_001, 1 << 50] {
+            h.record(v);
+        }
+        let back =
+            LogHistogram::from_parts(&h.nonzero_buckets(), h.count(), h.sum(), h.min(), h.max());
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn tick_fixed_point_roundtrip() {
+        assert_eq!(ticks_to_fp(0.0), 0);
+        let v = ticks_to_fp(1.5);
+        assert!((fp_to_ticks(v) - 1.5).abs() < 1e-9);
+        assert!((fp_to_ticks(ticks_to_fp(0.37)) - 0.37).abs() < 1.0 / TICK_FP);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.mean().is_nan());
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,470 @@
+//! [`MetricsReport`]: a mergeable, serializable snapshot of a
+//! [`MetricsRecorder`](crate::MetricsRecorder).
+//!
+//! # JSONL schema (`plurality-metrics/v1`)
+//!
+//! One report per line, one JSON object per report, integer-only values,
+//! keys in fixed order:
+//!
+//! ```json
+//! {"schema":"plurality-metrics/v1",
+//!  "label":"gossip n=1000 mode=pull",
+//!  "counters":{"activations":12000,"pull_sent":36000},
+//!  "gauges":{"completed_ticks":12},
+//!  "phases_ns":{"run":81234567},
+//!  "histograms":{"delay_extra_fp":{"count":3,"sum":4096,"min":512,
+//!                                  "max":2048,"buckets":[[144,2],[160,1]]}}
+//! }
+//! ```
+//!
+//! * All six top-level keys are always present; metric maps list only
+//!   non-zero counters/gauges/phases and non-empty histograms.
+//! * Metric keys are the stable labels of [`Counter`], [`Gauge`],
+//!   [`Phase`], and [`Hist`]; unknown keys are a validation error.
+//! * Histogram `buckets` are sparse `[bucket_index, count]` pairs on the
+//!   fixed log-linear grid of [`crate::histogram`]; `count`/`sum`/`min`/
+//!   `max` are exact scalars, and `sum(counts) == count` is enforced.
+//! * `*_fp` metrics hold ticks in ×1024 fixed point
+//!   ([`crate::histogram::TICK_FP`]).
+//!
+//! [`MetricsReport::from_json`] is a full validator for this contract
+//! (CI round-trips a live report through it), and reports merge exactly:
+//! counters/phases add, gauges sum, histograms bucket-add.
+
+use crate::histogram::{fp_to_ticks, LogHistogram};
+use crate::json::{escape, parse, Json};
+use crate::recorder::{Counter, Gauge, Hist, MetricsRecorder, Phase};
+use plurality_analysis::{fmt_f64, Table};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The JSONL schema identifier emitted and required by this version.
+pub const SCHEMA: &str = "plurality-metrics/v1";
+
+/// A snapshot of recorded metrics: mergeable across trials and engines,
+/// serializable to one JSONL line, renderable as tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    label: String,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    phases_ns: BTreeMap<String, u64>,
+    hists: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsReport {
+    /// New empty report with a context label.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Snapshot a recorder (only non-zero metrics are kept).
+    #[must_use]
+    pub fn from_recorder(rec: &MetricsRecorder) -> Self {
+        let mut r = Self::default();
+        for c in Counter::ALL {
+            if rec.counter(c) > 0 {
+                r.counters.insert(c.name().to_string(), rec.counter(c));
+            }
+        }
+        for g in Gauge::ALL {
+            if rec.gauge(g) > 0 {
+                r.gauges.insert(g.name().to_string(), rec.gauge(g));
+            }
+        }
+        for p in Phase::ALL {
+            if rec.phase_nanos(p) > 0 {
+                r.phases_ns.insert(p.name().to_string(), rec.phase_nanos(p));
+            }
+        }
+        for h in Hist::ALL {
+            if !rec.hist(h).is_empty() {
+                r.hists.insert(h.name().to_string(), rec.hist(h).clone());
+            }
+        }
+        r
+    }
+
+    /// The context label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Replace the context label.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// Counter value (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c.name()).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 if never set).
+    #[must_use]
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges.get(g.name()).copied().unwrap_or(0)
+    }
+
+    /// Accumulated phase nanoseconds (0 if never timed).
+    #[must_use]
+    pub fn phase_nanos(&self, p: Phase) -> u64 {
+        self.phases_ns.get(p.name()).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot, if anything was recorded.
+    #[must_use]
+    pub fn hist(&self, h: Hist) -> Option<&LogHistogram> {
+        self.hists.get(h.name())
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.phases_ns.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// Exact merge: counters and phases add, gauges sum (per-trial
+    /// residuals aggregate into fleet residuals), histograms bucket-add.
+    /// `self`'s label is kept.
+    pub fn merge(&mut self, other: &Self) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.phases_ns {
+            *self.phases_ns.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(out, "{{\"schema\":{}", escape(SCHEMA));
+        let _ = write!(out, ",\"label\":{}", escape(&self.label));
+        let scalar_map = |out: &mut String, key: &str, map: &BTreeMap<String, u64>| {
+            let _ = write!(out, ",{}:{{", escape(key));
+            for (i, (k, v)) in map.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}{}:{v}", escape(k));
+            }
+            out.push('}');
+        };
+        scalar_map(&mut out, "counters", &self.counters);
+        scalar_map(&mut out, "gauges", &self.gauges);
+        scalar_map(&mut out, "phases_ns", &self.phases_ns);
+        let _ = write!(out, ",\"histograms\":{{");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                escape(k),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            );
+            for (j, (idx, c)) in h.nonzero_buckets().iter().enumerate() {
+                let sep = if j == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}[{idx},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse and validate one JSONL line against the
+    /// `plurality-metrics/v1` contract (see the module docs for the
+    /// rules enforced).
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let doc = parse(line)?;
+        let fields = doc.as_obj().ok_or("top level must be an object")?;
+        let expected = [
+            "schema",
+            "label",
+            "counters",
+            "gauges",
+            "phases_ns",
+            "histograms",
+        ];
+        if fields.len() != expected.len() || fields.iter().zip(expected).any(|((k, _), e)| k != e) {
+            return Err(format!(
+                "top-level keys must be exactly {expected:?} in order, got {:?}",
+                fields.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>()
+            ));
+        }
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("schema {schema:?} != {SCHEMA:?}"));
+        }
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("label must be a string")?
+            .to_string();
+
+        let scalar_map = |key: &str, known: &[&str]| -> Result<BTreeMap<String, u64>, String> {
+            let obj = doc
+                .get(key)
+                .and_then(Json::as_obj)
+                .ok_or(format!("{key} must be an object"))?;
+            let mut map = BTreeMap::new();
+            for (k, v) in obj {
+                if !known.contains(&k.as_str()) {
+                    return Err(format!("unknown {key} metric {k:?}"));
+                }
+                let n = v.as_num().ok_or(format!("{key}.{k} must be an integer"))?;
+                let n = u64::try_from(n).map_err(|_| format!("{key}.{k} overflows u64"))?;
+                map.insert(k.clone(), n);
+            }
+            Ok(map)
+        };
+        let counters = scalar_map("counters", &Counter::ALL.map(Counter::name))?;
+        let gauges = scalar_map("gauges", &Gauge::ALL.map(Gauge::name))?;
+        let phases_ns = scalar_map("phases_ns", &Phase::ALL.map(Phase::name))?;
+
+        let hist_names = Hist::ALL.map(Hist::name);
+        let mut hists = BTreeMap::new();
+        let hobj = doc
+            .get("histograms")
+            .and_then(Json::as_obj)
+            .ok_or("histograms must be an object")?;
+        for (k, v) in hobj {
+            if !hist_names.contains(&k.as_str()) {
+                return Err(format!("unknown histogram {k:?}"));
+            }
+            let num = |field: &str| -> Result<u64, String> {
+                let n = v
+                    .get(field)
+                    .and_then(Json::as_num)
+                    .ok_or(format!("histogram {k}.{field} must be an integer"))?;
+                u64::try_from(n).map_err(|_| format!("histogram {k}.{field} overflows u64"))
+            };
+            let count = num("count")?;
+            let sum = v
+                .get("sum")
+                .and_then(Json::as_num)
+                .ok_or(format!("histogram {k}.sum must be an integer"))?;
+            let (min, max) = (num("min")?, num("max")?);
+            if count > 0 && min > max {
+                return Err(format!("histogram {k}: min {min} > max {max}"));
+            }
+            let buckets_json = v
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or(format!("histogram {k}.buckets must be an array"))?;
+            let mut buckets = Vec::with_capacity(buckets_json.len());
+            let mut total = 0u64;
+            for pair in buckets_json {
+                let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or(format!(
+                    "histogram {k}.buckets entries must be [index, count] pairs"
+                ))?;
+                let idx = pair[0]
+                    .as_num()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or(format!("histogram {k}: bad bucket index"))?;
+                let c = pair[1]
+                    .as_num()
+                    .and_then(|n| u64::try_from(n).ok())
+                    .filter(|&c| c > 0)
+                    .ok_or(format!("histogram {k}: bucket counts must be positive"))?;
+                buckets.push((idx, c));
+                total += c;
+            }
+            if total != count {
+                return Err(format!(
+                    "histogram {k}: bucket counts sum to {total}, count says {count}"
+                ));
+            }
+            hists.insert(
+                k.clone(),
+                LogHistogram::from_parts(&buckets, count, sum, min, max),
+            );
+        }
+        Ok(Self {
+            label,
+            counters,
+            gauges,
+            phases_ns,
+            hists,
+        })
+    }
+
+    /// Summary table: every non-zero counter, gauge, and phase.
+    #[must_use]
+    pub fn summary_table(&self) -> Table {
+        let title = if self.label.is_empty() {
+            "metrics summary".to_string()
+        } else {
+            format!("metrics summary · {}", self.label)
+        };
+        let mut t = Table::new(title, &["kind", "metric", "value"]);
+        for (k, v) in &self.counters {
+            t.push_row(vec!["counter".into(), k.clone(), v.to_string()]);
+        }
+        for (k, v) in &self.gauges {
+            t.push_row(vec!["gauge".into(), k.clone(), v.to_string()]);
+        }
+        for (k, v) in &self.phases_ns {
+            t.push_row(vec![
+                "phase".into(),
+                k.clone(),
+                format!("{} ms", fmt_f64(*v as f64 / 1e6)),
+            ]);
+        }
+        t
+    }
+
+    /// Full tables: the summary plus a histogram digest (count, mean,
+    /// p50/p90/p99, max).  `*_fp` histograms are shown in ticks.
+    #[must_use]
+    pub fn full_tables(&self) -> Vec<Table> {
+        let mut out = vec![self.summary_table()];
+        if self.hists.is_empty() {
+            return out;
+        }
+        let mut t = Table::new(
+            "metrics histograms (·_fp shown in ticks)",
+            &["histogram", "count", "mean", "p50", "p90", "p99", "max"],
+        );
+        for (k, h) in &self.hists {
+            let fp = k.ends_with("_fp");
+            let show = |v: u64| {
+                if fp {
+                    fmt_f64(fp_to_ticks(v))
+                } else {
+                    v.to_string()
+                }
+            };
+            let mean = if fp {
+                fp_to_ticks(h.mean().round() as u64)
+            } else {
+                h.mean()
+            };
+            t.push_row(vec![
+                k.clone(),
+                h.count().to_string(),
+                fmt_f64(mean),
+                show(h.quantile(0.5)),
+                show(h.quantile(0.9)),
+                show(h.quantile(0.99)),
+                show(h.max()),
+            ]);
+        }
+        out.push(t);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_report() -> MetricsReport {
+        let mut rec = MetricsRecorder::new();
+        rec.add(Counter::Activations, 100);
+        rec.add(Counter::PullSent, 300);
+        rec.add(Counter::PullDelivered, 280);
+        rec.add(Counter::PullLost, 20);
+        rec.gauge_set(Gauge::CompletedTicks, 7);
+        rec.observe(Hist::DelayExtraFp, 512);
+        rec.observe(Hist::DelayExtraFp, 2048);
+        rec.observe(Hist::QueueDepth, 3);
+        rec.phase_start(Phase::Run);
+        rec.phase_end(Phase::Run);
+        let mut r = rec.report();
+        r.set_label("unit test");
+        r
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = sample_report();
+        let line = r.to_json();
+        assert!(!line.contains('\n'), "JSONL must be one line");
+        let back = MetricsReport::from_json(&line).unwrap();
+        assert_eq!(r, back);
+        // And serialization is stable.
+        assert_eq!(back.to_json(), line);
+    }
+
+    #[test]
+    fn validator_rejects_contract_violations() {
+        let good = sample_report().to_json();
+        // Unknown counter name.
+        let bad = good.replace("\"activations\"", "\"activationz\"");
+        assert!(MetricsReport::from_json(&bad).is_err());
+        // Wrong schema version.
+        let bad = good.replace("metrics/v1", "metrics/v9");
+        assert!(MetricsReport::from_json(&bad).is_err());
+        // Histogram count vs bucket-sum mismatch.
+        let bad = good.replace("\"count\":2", "\"count\":3");
+        assert!(MetricsReport::from_json(&bad).is_err());
+        // Truncated document.
+        assert!(MetricsReport::from_json(&good[..good.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = sample_report();
+        let b = sample_report();
+        a.merge(&b);
+        assert_eq!(a.counter(Counter::Activations), 200);
+        assert_eq!(a.gauge(Gauge::CompletedTicks), 14, "gauges sum on merge");
+        assert_eq!(a.hist(Hist::DelayExtraFp).unwrap().count(), 4);
+        assert_eq!(a.label(), "unit test");
+        // Merge round-trips through JSON too.
+        let back = MetricsReport::from_json(&a.to_json()).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn zero_metrics_are_omitted() {
+        let rec = MetricsRecorder::new();
+        let r = rec.report();
+        assert!(r.is_empty());
+        let line = r.to_json();
+        assert!(!line.contains("activations"));
+        assert_eq!(MetricsReport::from_json(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = sample_report();
+        let summary = r.summary_table();
+        assert!(summary.markdown().contains("pull_sent"));
+        assert!(summary.markdown().contains("unit test"));
+        let full = r.full_tables();
+        assert_eq!(full.len(), 2);
+        assert!(full[1].markdown().contains("delay_extra_fp"));
+        // Fixed-point histograms render in ticks: 512 fp = 0.5 ticks.
+        assert!(full[1].markdown().contains("0.5"));
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let r = MetricsReport::new("x");
+        assert_eq!(r.counter(Counter::PushLost), 0);
+        assert_eq!(r.gauge(Gauge::QueueLenAtStop), 0);
+        assert_eq!(r.phase_nanos(Phase::Setup), 0);
+        assert!(r.hist(Hist::QueueDepth).is_none());
+    }
+}
