@@ -16,10 +16,7 @@ mod args;
 
 use args::Args;
 use plurality_analysis::{fmt_f64, wilson, Summary, Table};
-use plurality_core::{
-    builders, Configuration, Dynamics, HPlurality, Median3, MedianOwn, TableD3, ThreeMajority,
-    TwoChoices, TwoSample, UndecidedState, Voter,
-};
+use plurality_core::{builders, Configuration, Dynamics};
 use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason, TraceLevel};
 use plurality_sampling::stream_rng;
 use plurality_telemetry::{MetricsRecorder, MetricsReport};
@@ -48,8 +45,15 @@ const VALUE_OPTS: &[&str] = &[
     "degree",
     "metrics",
     "metrics-out",
+    "addr",
+    "workers",
+    "engine",
+    "freq",
+    "secs",
+    "probe",
+    "bench-out",
 ];
-const FLAG_OPTS: &[&str] = &["help", "quiet", "rate-time", "smoke"];
+const FLAG_OPTS: &[&str] = &["help", "quiet", "rate-time", "smoke", "shutdown"];
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +73,8 @@ fn main() {
         "hist" => cmd_hist(&parsed),
         "exact" => cmd_exact(&parsed),
         "gossip" => cmd_gossip(&parsed),
+        "serve" => cmd_serve(&parsed),
+        "bench-client" => cmd_bench_client(&parsed),
         "experiment" => cmd_experiment(&parsed),
         "list" => {
             list_dynamics();
@@ -98,6 +104,8 @@ fn usage() {
          \x20 hist   ASCII histogram of rounds-to-consensus over --trials runs\n\
          \x20 exact  exact absorption analysis at small n (ground truth)\n\
          \x20 gossip asynchronous gossip simulation with message --delay / --loss\n\
+         \x20 serve  long-running job server: NDJSON job specs over TCP, streamed results\n\
+         \x20 bench-client  open-loop load driver for 'serve' (--freq jobs/s for --secs)\n\
          \x20 experiment  run registry experiments by id (e01..e17); --smoke for test scale\n\
          \x20 list   list available --dynamics names\n\
          \n\
@@ -116,7 +124,8 @@ fn usage() {
          \x20                   X | LO..HI | flaky(F,G,B) - window:T0..T1[,loss=F][,delay=F] -\n\
          \x20                   ge:up=U,down=D,loss=F[,delay=F] - outage:frac=F,up=U,down=D -\n\
          \x20                   partition:parts=K,T0..T1 - salt:N\n\
-         \x20 --inbox-policy P  gossip: full-inbox policy 'drop-oldest' (default) or 'drop-newest'\n\
+         \x20 --inbox-policy P  gossip: full-inbox policy 'drop-oldest' (default), 'drop-newest',\n\
+         \x20                   'random-replace', or 'ttl=T' (entries expire after T time units)\n\
          \x20 --scheduler S     gossip: 'sequential' (default) or 'poisson'\n\
          \x20 --mode M          gossip: 'pull' (default), 'push', or 'push-pull'\n\
          \x20 --fast-frac F     gossip: fraction of nodes activating at --fast-rate (default 0)\n\
@@ -127,6 +136,14 @@ fn usage() {
          \x20 --metrics LEVEL   record telemetry and print it: 'summary' or 'full'\n\
          \x20 --metrics-out F   write the merged telemetry report to F as one JSONL line\n\
          \x20                   (schema plurality-metrics/v1; implies recording)\n\
+         \x20 --addr A          serve/bench-client: TCP address (default 127.0.0.1:7117)\n\
+         \x20 --workers W       serve: job worker threads (default: all cores)\n\
+         \x20 --engine E        bench-client: 'gossip' (default), 'agent', or 'mean-field'\n\
+         \x20 --freq F          bench-client: target job submissions per second (default 50)\n\
+         \x20 --secs S          bench-client: open-loop phase length in seconds (default 5)\n\
+         \x20 --probe N         bench-client: cold/warm cache-probe jobs per phase (default 8)\n\
+         \x20 --bench-out F     bench-client: write the bench report JSON to F\n\
+         \x20 --shutdown        bench-client: ask the server to drain and exit afterwards\n\
          \x20 --smoke           experiment: run at smoke scale (seconds, test grids)\n\
          \x20 --trials T        independent trials for 'run'/'zoo' (default 50)\n\
          \x20 --max-rounds R    round cap (default 1000000)\n\
@@ -137,23 +154,10 @@ fn usage() {
 }
 
 fn build_dynamics(name: &str, k: usize, h: usize, noise: f64) -> Result<Box<dyn Dynamics>, String> {
-    Ok(match name {
-        "noisy" => Box::new(plurality_core::NoisyThreeMajority::new(k, noise)),
-        "3-majority" => Box::new(ThreeMajority::new()),
-        "3-majority-uar" => Box::new(ThreeMajority::with_uniform_ties()),
-        "h-plurality" => Box::new(HPlurality::new(h)),
-        "voter" => Box::new(Voter),
-        "2-sample" => Box::new(TwoSample),
-        "2-choices" => Box::new(TwoChoices),
-        "median" => Box::new(MedianOwn),
-        "median3" => Box::new(Median3),
-        "undecided" => Box::new(UndecidedState::new(k)),
-        "d3-132" => Box::new(TableD3::lemma8_132()),
-        "d3-141" => Box::new(TableD3::lemma8_141()),
-        "d3-min" => Box::new(TableD3::min3()),
-        "d3-anti" => Box::new(TableD3::anti_majority()),
-        other => return Err(format!("unknown dynamics '{other}' (try 'plurality list')")),
-    })
+    // Shared with the job server so `plurality serve` resolves specs to
+    // bit-identical dynamics.
+    plurality_server::build_dynamics(name, k, h, noise)
+        .map_err(|e| format!("{e} (try 'plurality list')"))
 }
 
 fn list_dynamics() {
@@ -207,11 +211,7 @@ fn common(parsed: &Args) -> Result<Common, String> {
         .map_err(|e| e.to_string())?;
 
     let bias = match parsed.get("bias") {
-        None | Some("auto") => {
-            let ln_n = (n as f64).ln();
-            let lambda = (2.0 * k as f64).min((n as f64 / ln_n).cbrt());
-            (1.5 * (lambda * n as f64 * ln_n).sqrt()).ceil() as u64
-        }
+        None | Some("auto") => plurality_server::auto_bias(n, k),
         Some(v) => v
             .parse()
             .map_err(|_| format!("--bias expects a number or 'auto', got '{v}'"))?,
@@ -527,58 +527,19 @@ fn cmd_hist(parsed: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// The largest divisor pair `(w, h)` of `n` with both sides ≥ 3 and `w`
-/// closest to `√n` — the torus shape for `--topology torus`.
-fn near_square_factors(n: usize) -> Option<(usize, usize)> {
-    let mut w = (n as f64).sqrt().floor() as usize;
-    while w >= 3 {
-        if n.is_multiple_of(w) && n / w >= 3 {
-            return Some((w, n / w));
-        }
-        w -= 1;
-    }
-    None
-}
-
 /// Build the gossip topology selected by `--topology` / `--degree`.
+/// Delegates to the job server's builder so `plurality serve` resolves
+/// the same spec to a bit-identical wiring (including the seed salt).
 fn build_gossip_topology(
     parsed: &Args,
     n: usize,
     seed: u64,
 ) -> Result<Box<dyn plurality_topology::Topology>, String> {
-    use plurality_topology::{random_regular, ring, torus, Clique};
     let degree: usize = parsed
         .get_parsed("degree", 8usize)
         .map_err(|e| e.to_string())?;
-    Ok(match parsed.get("topology").unwrap_or("clique") {
-        "clique" => Box::new(Clique::new(n)),
-        "ring" => {
-            if n < 3 {
-                return Err(format!("--topology ring needs n >= 3, got {n}"));
-            }
-            Box::new(ring(n))
-        }
-        "torus" => {
-            let (w, h) = near_square_factors(n).ok_or(format!(
-                "--topology torus needs n = w*h with both sides >= 3, got n = {n}"
-            ))?;
-            Box::new(torus(w, h))
-        }
-        "random-regular" => {
-            if degree >= n || !(n * degree).is_multiple_of(2) {
-                return Err(format!(
-                    "--topology random-regular needs --degree < n and n*degree even \
-                     (n = {n}, degree = {degree})"
-                ));
-            }
-            Box::new(random_regular(n, degree, seed ^ 0x70B0))
-        }
-        other => {
-            return Err(format!(
-                "--topology expects clique|ring|torus|random-regular, got '{other}'"
-            ))
-        }
-    })
+    plurality_server::build_topology(parsed.get("topology").unwrap_or("clique"), n, degree, seed)
+        .map_err(|e| format!("--topology: {e}"))
 }
 
 fn cmd_gossip(parsed: &Args) -> Result<(), String> {
@@ -783,6 +744,127 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     }
     print!("{}", summary.markdown());
     metrics.emit(&fleet)?;
+    Ok(())
+}
+
+/// Build a server [`plurality_server::JobSpec`] from the shared CLI
+/// flags — the same names `gossip` takes, plus `--engine`.
+fn spec_from_args(parsed: &Args) -> Result<plurality_server::JobSpec, String> {
+    use plurality_gossip::{ExchangeMode, InboxPolicy, Scheduler};
+    let mut spec = plurality_server::JobSpec {
+        engine: plurality_server::EngineKind::from_name(parsed.get("engine").unwrap_or("gossip"))?,
+        ..plurality_server::JobSpec::default()
+    };
+    if let Some(name) = parsed.get("dynamics") {
+        spec.dynamics = name.to_string();
+    }
+    spec.n = parsed.get_parsed("n", spec.n).map_err(|e| e.to_string())?;
+    spec.k = parsed.get_parsed("k", spec.k).map_err(|e| e.to_string())?;
+    spec.h = parsed.get_parsed("h", spec.h).map_err(|e| e.to_string())?;
+    spec.noise = parsed
+        .get_parsed("noise", spec.noise)
+        .map_err(|e| e.to_string())?;
+    spec.bias = match parsed.get("bias") {
+        None | Some("auto") => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--bias expects a number or 'auto', got '{v}'"))?,
+        ),
+    };
+    if let Some(name) = parsed.get("topology") {
+        spec.topology = name.to_string();
+    }
+    spec.degree = parsed
+        .get_parsed("degree", spec.degree)
+        .map_err(|e| e.to_string())?;
+    spec.mode = ExchangeMode::from_name(parsed.get("mode").unwrap_or(spec.mode.name()))?;
+    spec.scheduler =
+        Scheduler::from_name(parsed.get("scheduler").unwrap_or(spec.scheduler.name()))?;
+    spec.loss = parsed
+        .get_parsed("loss", spec.loss)
+        .map_err(|e| e.to_string())?;
+    spec.delay = parsed
+        .get_parsed("delay", spec.delay)
+        .map_err(|e| e.to_string())?;
+    spec.failure = parsed.get("failure").map(str::to_string);
+    if let Some(p) = parsed.get("inbox-policy") {
+        spec.inbox_policy = InboxPolicy::from_name(p)?;
+    }
+    spec.fast_frac = parsed
+        .get_parsed("fast-frac", spec.fast_frac)
+        .map_err(|e| e.to_string())?;
+    spec.fast_rate = parsed
+        .get_parsed("fast-rate", spec.fast_rate)
+        .map_err(|e| e.to_string())?;
+    spec.rate_time = parsed.flag("rate-time");
+    spec.trials = parsed
+        .get_parsed("trials", spec.trials)
+        .map_err(|e| e.to_string())?;
+    spec.seed = parsed
+        .get_parsed("seed", spec.seed)
+        .map_err(|e| e.to_string())?;
+    spec.max_rounds = parsed
+        .get_parsed("max-rounds", spec.max_rounds)
+        .map_err(|e| e.to_string())?;
+    spec.validate()?;
+    Ok(spec)
+}
+
+fn cmd_serve(parsed: &Args) -> Result<(), String> {
+    let addr = parsed.get("addr").unwrap_or("127.0.0.1:7117");
+    let workers: usize = parsed
+        .get_parsed(
+            "workers",
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+        .map_err(|e| e.to_string())?;
+    if workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
+    let server =
+        plurality_server::Server::bind(addr, workers).map_err(|e| format!("bind {addr}: {e}"))?;
+    // Scripts (CI smoke, bench drivers) parse this line for the bound
+    // port, so flush it before blocking in the accept loop.
+    println!(
+        "plurality serve: listening on {} ({workers} workers); send {{\"op\":\"shutdown\"}} to stop",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    println!("plurality serve: drained, bye");
+    Ok(())
+}
+
+fn cmd_bench_client(parsed: &Args) -> Result<(), String> {
+    let spec = spec_from_args(parsed)?;
+    let cfg = plurality_server::BenchConfig {
+        addr: parsed.get("addr").unwrap_or("127.0.0.1:7117").to_string(),
+        freq: parsed
+            .get_parsed("freq", 50.0f64)
+            .map_err(|e| e.to_string())?,
+        secs: parsed
+            .get_parsed("secs", 5.0f64)
+            .map_err(|e| e.to_string())?,
+        probe: parsed
+            .get_parsed("probe", 8usize)
+            .map_err(|e| e.to_string())?,
+        progress: !parsed.flag("quiet"),
+        spec,
+    };
+    let report = plurality_server::run_bench(&cfg)?;
+    print!("{}", report.render());
+    if let Some(path) = parsed.get("bench-out") {
+        std::fs::write(path, report.to_json(&cfg) + "\n")
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if parsed.flag("shutdown") {
+        plurality_server::send_shutdown(&cfg.addr)?;
+        println!("server shut down");
+    }
     Ok(())
 }
 

@@ -167,6 +167,128 @@ fn experiment_subcommand_runs_and_reports_metrics() {
 }
 
 #[test]
+fn inbox_policies_random_replace_and_ttl_run_end_to_end() {
+    // `from_name` accepts four policies; the two beyond drop-oldest /
+    // drop-newest must work through the real binary, not just the API.
+    for policy in ["random-replace", "ttl=3"] {
+        let out = run(&[
+            "gossip",
+            "--n",
+            "300",
+            "--k",
+            "2",
+            "--trials",
+            "2",
+            "--seed",
+            "5",
+            "--mode",
+            "push",
+            "--delay",
+            "0.3",
+            "--inbox-policy",
+            policy,
+        ]);
+        let text = stdout(&out);
+        assert!(
+            text.contains("win rate"),
+            "--inbox-policy {policy} failed:\n{text}"
+        );
+    }
+
+    // And the help text documents every accepted name.
+    let out = run(&["--help"]);
+    let help = String::from_utf8_lossy(&out.stderr);
+    for name in ["drop-oldest", "drop-newest", "random-replace", "ttl=T"] {
+        assert!(
+            help.contains(name),
+            "help text missing inbox policy '{name}':\n{help}"
+        );
+    }
+}
+
+#[test]
+fn serve_and_bench_client_round_trip() {
+    use std::io::{BufRead, BufReader};
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_plurality-cli"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    // Keep the pipe's read end open until serve exits — dropping it
+    // early makes the server's final println panic on a broken pipe.
+    let mut serve_out = BufReader::new(serve.stdout.take().unwrap());
+    let mut first = String::new();
+    serve_out.read_line(&mut first).expect("listening line");
+    let addr = first
+        .split("listening on ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable listening line: {first:?}"))
+        .to_string();
+
+    let dir = std::env::temp_dir().join(format!("plurality-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.json");
+    let out = run(&[
+        "bench-client",
+        "--addr",
+        &addr,
+        "--freq",
+        "40",
+        "--secs",
+        "2",
+        "--probe",
+        "2",
+        "--n",
+        "300",
+        "--k",
+        "2",
+        "--trials",
+        "2",
+        "--bench-out",
+        path.to_str().unwrap(),
+        "--shutdown",
+    ]);
+    let text = stdout(&out);
+    assert!(
+        text.contains("open-loop:"),
+        "latency report missing:\n{text}"
+    );
+    assert!(text.contains("p50"), "percentiles missing:\n{text}");
+    assert!(text.contains("cache probe"), "probe line missing:\n{text}");
+    // The per-second progress line must fire (and not deadlock: it once
+    // self-locked the client state mutex twice in one statement).
+    assert!(
+        text.contains("submitted="),
+        "progress line missing:\n{text}"
+    );
+
+    let json = std::fs::read_to_string(&path).expect("bench-out written");
+    assert!(json.contains("\"schema\":\"plurality-bench-server/v1\""));
+    assert!(json.contains("\"cache_probe\""));
+    assert!(json.contains("\"throughput_per_sec\""));
+
+    // --shutdown drains the server: the serve process must exit cleanly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        match serve.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "serve exited with {status:?}");
+                break;
+            }
+            None if std::time::Instant::now() > deadline => {
+                serve.kill().ok();
+                panic!("serve did not exit within 60s of shutdown");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+    drop(serve_out);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn experiment_rejects_unknown_id() {
     let out = run(&["experiment", "e99", "--smoke"]);
     assert!(!out.status.success());

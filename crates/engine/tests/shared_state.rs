@@ -1,0 +1,83 @@
+//! The job server shares prebuilt state across its worker pool: one
+//! `Arc<dyn Topology>` (and the alias/edge tables derived from it)
+//! serves every concurrently-running job.  These tests pin the two
+//! properties that sharing relies on:
+//!
+//! 1. the shared handles are `Send + Sync`, so they may cross worker
+//!    threads at all;
+//! 2. an engine borrowing a shared topology is bit-identical to one
+//!    that built its own copy — the cache changes *when* state is
+//!    built, never *what* a trial computes.
+
+use std::sync::Arc;
+
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{AgentEngine, Placement, RunOptions};
+use plurality_sampling::derive_stream;
+use plurality_topology::{random_regular, Topology};
+
+fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+
+#[test]
+fn shared_engine_state_is_send_and_sync() {
+    // `Arc<dyn Topology>` is the cache's currency; the rest is the
+    // per-job state a worker thread carries alongside it.
+    assert_send_sync::<Arc<dyn Topology>>();
+    assert_send_sync::<dyn Topology>();
+    assert_send_sync::<plurality_core::Configuration>();
+    assert_send_sync::<RunOptions>();
+}
+
+#[test]
+fn engines_on_a_shared_arc_topology_match_owned_construction() {
+    const N: usize = 400;
+    const DEGREE: usize = 6;
+    const WIRING_SEED: u64 = 0xABCD;
+    const TRIALS: u64 = 4;
+
+    let cfg = builders::biased(N as u64, 3, 60);
+    let opts = RunOptions::with_max_rounds(50_000);
+
+    // Reference: every trial builds its own topology, as the one-shot
+    // CLI path does.
+    let mut owned = Vec::new();
+    for trial in 0..TRIALS {
+        let topology = random_regular(N, DEGREE, WIRING_SEED);
+        let r = AgentEngine::new(&topology).run(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &opts,
+            derive_stream(9, trial),
+        );
+        owned.push((r.rounds, r.winner, r.success));
+    }
+
+    // Shared: one Arc'd topology, each trial on its own thread.
+    let shared: Arc<dyn Topology> = Arc::new(random_regular(N, DEGREE, WIRING_SEED));
+    let handles: Vec<_> = (0..TRIALS)
+        .map(|trial| {
+            let topology = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let r = AgentEngine::new(&*topology).run(
+                    &ThreeMajority::new(),
+                    &cfg,
+                    Placement::Shuffled,
+                    &opts,
+                    derive_stream(9, trial),
+                );
+                (r.rounds, r.winner, r.success)
+            })
+        })
+        .collect();
+    let from_shared: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("trial thread"))
+        .collect();
+
+    assert_eq!(
+        owned, from_shared,
+        "sharing a topology across threads must not change any trial"
+    );
+}

@@ -72,6 +72,7 @@ use plurality_topology::{
     downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
 };
 use rand::RngCore;
+use std::sync::Arc;
 
 // Stream 0 is the placement shuffle, consumed inside
 // `plurality_engine::layout_initial_states`.
@@ -100,8 +101,10 @@ pub struct GossipEngine<'t> {
     /// Dense `(loss, delay)` per directed CSR edge slot — precomputed
     /// once in [`GossipEngine::with_failure_model`] when the model has
     /// genuinely per-edge parameters and the topology is a [`CsrGraph`],
-    /// shared read-only by every trial.
-    edge_table: Option<Vec<(f64, f64)>>,
+    /// shared read-only by every trial.  Held behind an `Arc` so a
+    /// spec-keyed cache (the job server) can build the table once and
+    /// share it across engines on different worker threads.
+    edge_table: Option<Arc<[(f64, f64)]>>,
     /// Directed-slot count for the flat Gilbert–Elliott chain table —
     /// `Some` when the model has a GE component and the topology is a
     /// [`CsrGraph`], so per-edge chains live in a dense `Vec` indexed by
@@ -109,10 +112,11 @@ pub struct GossipEngine<'t> {
     /// trajectory is a pure function of its unordered-edge seed).
     ge_slots: Option<usize>,
     inbox_policy: InboxPolicy,
-    rates: Option<Vec<f64>>,
+    rates: Option<Arc<[f64]>>,
     /// Prebuilt alias sampler over `rates` — constructed once in
-    /// [`GossipEngine::with_node_rates`] and shared by every trial.
-    rated: Option<RatedActivation>,
+    /// [`GossipEngine::with_node_rates`] and shared by every trial (and,
+    /// behind the `Arc`, across engines on different worker threads).
+    rated: Option<Arc<RatedActivation>>,
     rate_weighted_time: bool,
 }
 
@@ -368,26 +372,75 @@ impl<'t> GossipEngine<'t> {
     /// stream draws used for implicit topologies, so trajectories do
     /// not depend on the cache).
     #[must_use]
-    pub fn with_failure_model(mut self, model: FailureModel) -> Self {
-        self.edge_table = if model.needs_edge_params() {
-            downcast_topology::<CsrGraph>(self.topology).map(|g| {
-                let n = g.n();
-                let mut table = Vec::with_capacity(g.directed_edge_count());
-                for v in 0..n {
-                    for &w in g.neighbors(v) {
-                        table.push(model.edge_params(n, v, w as usize));
-                    }
+    pub fn with_failure_model(self, model: FailureModel) -> Self {
+        let edge_table = Self::build_edge_table(&model, self.topology).map(Arc::from);
+        let ge_slots = Self::ge_slot_count(&model, self.topology);
+        self.with_prebuilt_failure_model(model, edge_table, ge_slots)
+    }
+
+    /// The dense per-directed-CSR-slot `(loss, delay)` table
+    /// [`Self::with_failure_model`] would precompute for `model` on
+    /// `topology` — `None` unless the model has genuinely per-edge
+    /// parameters and the topology is a [`CsrGraph`].  Exposed so a
+    /// spec-keyed cache can build the table once and hand it to many
+    /// engines through [`Self::with_prebuilt_failure_model`].
+    #[must_use]
+    pub fn build_edge_table(
+        model: &FailureModel,
+        topology: &dyn Topology,
+    ) -> Option<Vec<(f64, f64)>> {
+        if !model.needs_edge_params() {
+            return None;
+        }
+        downcast_topology::<CsrGraph>(topology).map(|g| {
+            let n = g.n();
+            let mut table = Vec::with_capacity(g.directed_edge_count());
+            for v in 0..n {
+                for &w in g.neighbors(v) {
+                    table.push(model.edge_params(n, v, w as usize));
                 }
-                table
-            })
-        } else {
-            None
-        };
-        self.ge_slots = if model.gilbert_elliott().is_some() {
-            downcast_topology::<CsrGraph>(self.topology).map(CsrGraph::directed_edge_count)
-        } else {
-            None
-        };
+            }
+            table
+        })
+    }
+
+    /// The directed-slot count [`Self::with_failure_model`] would use for
+    /// the flat Gilbert–Elliott chain table — `None` unless the model has
+    /// a GE component and the topology is a [`CsrGraph`].
+    #[must_use]
+    pub fn ge_slot_count(model: &FailureModel, topology: &dyn Topology) -> Option<usize> {
+        model.gilbert_elliott()?;
+        downcast_topology::<CsrGraph>(topology).map(CsrGraph::directed_edge_count)
+    }
+
+    /// [`Self::with_failure_model`] with externally prebuilt per-edge
+    /// state, so one [`Self::build_edge_table`] /
+    /// [`Self::ge_slot_count`] result can be shared (`Arc`) by engines
+    /// on many worker threads.  Trajectories are identical to the
+    /// self-building path as long as the prebuilt state matches what
+    /// those helpers return for this model and topology.
+    ///
+    /// # Panics
+    /// Panics if an edge table is supplied whose length differs from the
+    /// topology's directed CSR slot count.
+    #[must_use]
+    pub fn with_prebuilt_failure_model(
+        mut self,
+        model: FailureModel,
+        edge_table: Option<Arc<[(f64, f64)]>>,
+        ge_slots: Option<usize>,
+    ) -> Self {
+        if let Some(table) = &edge_table {
+            let slots = downcast_topology::<CsrGraph>(self.topology)
+                .map_or(0, CsrGraph::directed_edge_count);
+            assert_eq!(
+                table.len(),
+                slots,
+                "edge table length must match the directed CSR slot count"
+            );
+        }
+        self.edge_table = edge_table;
+        self.ge_slots = ge_slots;
         self.failure = model;
         self
     }
@@ -413,13 +466,42 @@ impl<'t> GossipEngine<'t> {
     /// per topology node (per-entry validation lives in
     /// [`RatedActivation::new`]).
     #[must_use]
-    pub fn with_node_rates(mut self, rates: Vec<f64>) -> Self {
+    pub fn with_node_rates(self, rates: Vec<f64>) -> Self {
         assert_eq!(
             rates.len(),
             self.topology.n(),
             "need one activation rate per node"
         );
-        self.rated = Some(RatedActivation::new(&rates));
+        let rated = Arc::new(RatedActivation::new(&rates));
+        self.with_prebuilt_node_rates(Arc::from(rates), rated)
+    }
+
+    /// [`Self::with_node_rates`] with an externally prebuilt alias
+    /// sampler, so one rate vector and its [`RatedActivation`] can be
+    /// shared (`Arc`) by engines on many worker threads.  Trajectories
+    /// are identical to the self-building path as long as `rated` was
+    /// built over exactly `rates`.
+    ///
+    /// # Panics
+    /// Panics unless `rates` holds one entry per topology node and
+    /// `rated` covers the same number of nodes.
+    #[must_use]
+    pub fn with_prebuilt_node_rates(
+        mut self,
+        rates: Arc<[f64]>,
+        rated: Arc<RatedActivation>,
+    ) -> Self {
+        assert_eq!(
+            rates.len(),
+            self.topology.n(),
+            "need one activation rate per node"
+        );
+        assert_eq!(
+            rated.len(),
+            rates.len(),
+            "alias sampler must cover the same nodes as the rate vector"
+        );
+        self.rated = Some(rated);
         self.rates = Some(rates);
         self
     }

@@ -1,0 +1,230 @@
+//! Job execution: resolve a [`JobSpec`] against the [`StateCache`] and
+//! run its trials, streaming one row per trial.
+//!
+//! Seed derivation replicates the CLI paths exactly so identical specs
+//! give bit-identical results on either path (pinned by
+//! `tests/server_roundtrip.rs`):
+//!
+//! * gossip / agent — trial `i` runs with `derive_stream(seed, i)`,
+//!   matching `plurality gossip`'s `MonteCarlo` closure;
+//! * mean-field — trial `i` draws from `stream_rng(seed, i)`, matching
+//!   `MonteCarlo`'s per-trial stream in `plurality run`.
+//!
+//! Cached topologies are passed as `&dyn Topology` borrowed from the
+//! `Arc`, which preserves `as_any` downcasting and therefore the
+//! monomorphized engine fast paths.
+
+use crate::cache::{Lookup, StateCache};
+use crate::spec::{build_dynamics, EngineKind, JobSpec};
+use plurality_engine::{AgentEngine, MeanFieldEngine, Placement, StopReason, TrialResult};
+use plurality_gossip::{GossipEngine, GossipStats, NetworkConfig};
+use plurality_sampling::{derive_stream, stream_rng};
+use std::time::Instant;
+
+/// One finished trial, as streamed back to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRow {
+    /// Trial index (`0..trials`).
+    pub trial: usize,
+    /// Rounds (synchronous engines) or completed ticks (gossip).
+    pub rounds: u64,
+    /// `true` when the trial stopped by rule rather than at the cap.
+    pub converged: bool,
+    /// Winning color, if the trial stopped with one.
+    pub winner: Option<usize>,
+    /// Whether the initial plurality color won.
+    pub success: bool,
+    /// Gossip side statistics (absent for the synchronous engines).
+    pub gossip: Option<GossipStats>,
+}
+
+impl TrialRow {
+    fn from_result(trial: usize, r: &TrialResult, gossip: Option<GossipStats>) -> Self {
+        Self {
+            trial,
+            rounds: r.rounds,
+            converged: r.reason == StopReason::Stopped,
+            winner: r.winner,
+            success: r.success,
+            gossip,
+        }
+    }
+}
+
+/// How each cached artifact resolved for one job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCacheReport {
+    /// Topology lookup (always performed).
+    pub topology: Option<Lookup>,
+    /// Node-rate lookup (specs with heterogeneous rates only).
+    pub rates: Option<Lookup>,
+    /// Failure edge-table lookup (per-edge models on CSR only).
+    pub edge_table: Option<Lookup>,
+}
+
+impl JobCacheReport {
+    /// Total nanoseconds spent building state for this job.
+    #[must_use]
+    pub fn build_ns(&self) -> u64 {
+        [self.topology, self.rates, self.edge_table]
+            .iter()
+            .flatten()
+            .map(|l| l.build_ns)
+            .sum()
+    }
+
+    /// Whether every lookup the job performed was a hit.
+    #[must_use]
+    pub fn all_hits(&self) -> bool {
+        [self.topology, self.rates, self.edge_table]
+            .iter()
+            .flatten()
+            .all(|l| l.hit)
+    }
+}
+
+/// Summary of one completed job (the `done` line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Trials executed.
+    pub trials: usize,
+    /// Trials that stopped by rule.
+    pub converged: usize,
+    /// Trials the initial plurality won.
+    pub wins: usize,
+    /// Cache resolution for this job.
+    pub cache: JobCacheReport,
+    /// Nanoseconds from spec to first trial start (setup).
+    pub setup_ns: u64,
+    /// Nanoseconds running trials.
+    pub run_ns: u64,
+}
+
+/// Run one job, calling `on_trial` with each finished trial in order.
+pub fn run_job(
+    spec: &JobSpec,
+    cache: &StateCache,
+    mut on_trial: impl FnMut(&TrialRow),
+) -> Result<JobOutcome, String> {
+    let setup_start = Instant::now();
+    let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise)?;
+    let cfg = spec.configuration();
+    let opts = spec.run_options();
+    let mut cache_report = JobCacheReport::default();
+
+    let mut converged = 0usize;
+    let mut wins = 0usize;
+    let mut note = |row: &TrialRow| {
+        if row.converged {
+            converged += 1;
+        }
+        if row.success {
+            wins += 1;
+        }
+    };
+
+    let run_ns;
+    match spec.engine {
+        EngineKind::Gossip => {
+            let (topology, topo_lookup) = cache.topology(spec)?;
+            cache_report.topology = Some(topo_lookup);
+            let mut engine = GossipEngine::new(&*topology)
+                .with_mode(spec.mode)
+                .with_scheduler(spec.scheduler)
+                .with_inbox_policy(spec.inbox_policy);
+            engine = match spec.failure_model()? {
+                Some(model) => {
+                    let table =
+                        cache
+                            .edge_table(spec, &model, &*topology)
+                            .map(|(table, lookup)| {
+                                cache_report.edge_table = Some(lookup);
+                                table
+                            });
+                    let slots = GossipEngine::ge_slot_count(&model, &*topology);
+                    engine.with_prebuilt_failure_model(model, table, slots)
+                }
+                None => engine.with_network(NetworkConfig::new(spec.delay, spec.loss)),
+            };
+            if let Some((entry, lookup)) = cache.node_rates(spec) {
+                cache_report.rates = Some(lookup);
+                engine = engine.with_prebuilt_node_rates(entry.rates.clone(), entry.rated.clone());
+            }
+            if spec.rate_time {
+                engine = engine.with_rate_weighted_time(true);
+            }
+            let setup_ns = setup_start.elapsed().as_nanos() as u64;
+            let run_start = Instant::now();
+            for i in 0..spec.trials {
+                let (r, stats) = engine.run_detailed(
+                    dynamics.as_ref(),
+                    &cfg,
+                    Placement::Shuffled,
+                    &opts,
+                    derive_stream(spec.seed, i as u64),
+                );
+                let row = TrialRow::from_result(i, &r, Some(stats));
+                note(&row);
+                on_trial(&row);
+            }
+            run_ns = run_start.elapsed().as_nanos() as u64;
+            Ok(JobOutcome {
+                trials: spec.trials,
+                converged,
+                wins,
+                cache: cache_report,
+                setup_ns,
+                run_ns,
+            })
+        }
+        EngineKind::Agent => {
+            let (topology, topo_lookup) = cache.topology(spec)?;
+            cache_report.topology = Some(topo_lookup);
+            let engine = AgentEngine::new(&*topology);
+            let setup_ns = setup_start.elapsed().as_nanos() as u64;
+            let run_start = Instant::now();
+            for i in 0..spec.trials {
+                let r = engine.run(
+                    dynamics.as_ref(),
+                    &cfg,
+                    Placement::Shuffled,
+                    &opts,
+                    derive_stream(spec.seed, i as u64),
+                );
+                let row = TrialRow::from_result(i, &r, None);
+                note(&row);
+                on_trial(&row);
+            }
+            run_ns = run_start.elapsed().as_nanos() as u64;
+            Ok(JobOutcome {
+                trials: spec.trials,
+                converged,
+                wins,
+                cache: cache_report,
+                setup_ns,
+                run_ns,
+            })
+        }
+        EngineKind::MeanField => {
+            let engine = MeanFieldEngine::new(dynamics.as_ref());
+            let setup_ns = setup_start.elapsed().as_nanos() as u64;
+            let run_start = Instant::now();
+            for i in 0..spec.trials {
+                let mut rng = stream_rng(spec.seed, i as u64);
+                let r = engine.run(&cfg, &opts, &mut rng);
+                let row = TrialRow::from_result(i, &r, None);
+                note(&row);
+                on_trial(&row);
+            }
+            run_ns = run_start.elapsed().as_nanos() as u64;
+            Ok(JobOutcome {
+                trials: spec.trials,
+                converged,
+                wins,
+                cache: cache_report,
+                setup_ns,
+                run_ns,
+            })
+        }
+    }
+}

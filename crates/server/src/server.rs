@@ -1,0 +1,286 @@
+//! The job server: NDJSON requests over TCP, a worker pool, streamed
+//! responses.
+//!
+//! # Protocol (one JSON document per line)
+//!
+//! | request | responses |
+//! |---|---|
+//! | `{"op":"run","id":I,"spec":{…}}` | one `trial` line per trial, then one `done` line (or an `error` line) |
+//! | `{"op":"ping"}` | `{"event":"pong"}` |
+//! | `{"op":"stats"}` | cache counters + the merged `plurality-metrics/v1` report |
+//! | `{"op":"shutdown"}` | `{"event":"bye"}`, then the server stops accepting |
+//!
+//! Multiple jobs may be in flight on one connection; every job-scoped
+//! line carries the client's `id`, so responses demultiplex by id (lines
+//! of concurrent jobs interleave, but each job's `trial` lines arrive in
+//! trial order with its `done` line last).
+//!
+//! # Shutdown
+//!
+//! `shutdown` stops the accept loop immediately; queued jobs still
+//! drain.  [`Server::run`] returns once every client connection has
+//! closed (each open connection holds a handle that keeps the worker
+//! pool's queue alive).
+
+use crate::cache::StateCache;
+use crate::exec::run_job;
+use crate::spec::JobSpec;
+use crate::wire::{done_line, error_line, trial_line, JobId};
+use plurality_telemetry::json::{self, Json};
+use plurality_telemetry::{Counter, Hist, MetricsRecorder, MetricsReport, Recorder};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One queued job: the parsed spec plus the connection to stream to.
+struct Job {
+    id: JobId,
+    spec: JobSpec,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Shared {
+    cache: StateCache,
+    metrics: Mutex<MetricsReport>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Write one protocol line (appends the newline) under the writer lock.
+fn send(writer: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut guard = writer.lock().expect("connection writer poisoned");
+    // A client that hung up mid-stream is not a server error: drop the
+    // rest of its lines.
+    let _ = guard
+        .write_all(line.as_bytes())
+        .and_then(|()| guard.write_all(b"\n"));
+}
+
+/// The job server.  Bind, then [`Server::run`] (blocking) — or drive it
+/// from a thread via [`Server::spawn`] for in-process use.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with a
+    /// pool of `workers` job threads.
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Self> {
+        assert!(workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            workers,
+            shared: Arc::new(Shared {
+                cache: StateCache::new(),
+                metrics: Mutex::new(MetricsReport::new(format!("plurality-server {addr}"))),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Bind and serve from a background thread; returns the bound
+    /// address and the join handle.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> std::io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+        let server = Self::bind(addr, workers)?;
+        let bound = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        Ok((bound, handle))
+    }
+
+    /// Serve until a `shutdown` op arrives, then drain and return.
+    pub fn run(self) {
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let mut workers = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let rx = Arc::clone(&jobs_rx);
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || worker_loop(&rx, &shared)));
+        }
+
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Result lines are small; Nagle + delayed ACK would add tens
+            // of ms to every job on an otherwise idle connection.
+            let _ = stream.set_nodelay(true);
+            let shared = Arc::clone(&self.shared);
+            let tx = jobs_tx.clone();
+            std::thread::spawn(move || handle_connection(stream, &shared, &tx));
+        }
+
+        // Close our queue handle; workers exit once the last connection
+        // (each holds a Sender clone) goes away and the queue drains.
+        drop(jobs_tx);
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
+    loop {
+        let job = match rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // every sender gone: drained
+        };
+        let start = Instant::now();
+        let mut rec = MetricsRecorder::new();
+        let result = run_job(&job.spec, &shared.cache, |row| {
+            send(&job.writer, &trial_line(&job.id, row));
+        });
+        let terminal = match &result {
+            Ok(outcome) => {
+                rec.incr(Counter::JobsCompleted);
+                rec.add(Counter::TrialsRun, outcome.trials as u64);
+                for lookup in [
+                    outcome.cache.topology,
+                    outcome.cache.rates,
+                    outcome.cache.edge_table,
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    rec.incr(if lookup.hit {
+                        Counter::CacheHits
+                    } else {
+                        Counter::CacheMisses
+                    });
+                }
+                rec.observe(Hist::StateBuildNanos, outcome.cache.build_ns());
+                done_line(&job.id, outcome)
+            }
+            Err(e) => {
+                rec.incr(Counter::JobsFailed);
+                error_line(Some(&job.id), e)
+            }
+        };
+        rec.observe(Hist::JobWallNanos, start.elapsed().as_nanos() as u64);
+        {
+            let mut fleet = shared.metrics.lock().expect("metrics poisoned");
+            fleet.merge(&rec.report());
+        }
+        // Merge happened before the terminal line goes out: a client that
+        // reads `done` and immediately asks for `stats` must see this job
+        // in the report.
+        send(&job.writer, &terminal);
+    }
+}
+
+/// The `stats` event line: cache counters plus the merged metrics
+/// report (a `plurality-metrics/v1` object embedded under `"report"`).
+fn stats_line(shared: &Shared) -> String {
+    let c = shared.cache.stats();
+    let report = shared.metrics.lock().expect("metrics poisoned").to_json();
+    format!(
+        "{{\"event\":\"stats\",\"cache\":{{\"hits\":{},\"misses\":{},\"build_ns\":{},\
+         \"entries\":{}}},\"report\":{report}}}",
+        c.hits, c.misses, c.build_ns, c.entries
+    )
+}
+
+fn handle_request(line: &str, shared: &Shared, writer: &Arc<Mutex<TcpStream>>, tx: &Sender<Job>) {
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => {
+            send(writer, &error_line(None, &format!("bad request: {e}")));
+            return;
+        }
+    };
+    let id = doc.get("id").map(JobId::from_json).transpose();
+    let id = match id {
+        Ok(id) => id,
+        Err(e) => {
+            send(writer, &error_line(None, &e));
+            return;
+        }
+    };
+    match doc.get("op").and_then(Json::as_str) {
+        Some("run") => {
+            let Some(id) = id else {
+                send(writer, &error_line(None, "run: missing id"));
+                return;
+            };
+            let spec = doc
+                .get("spec")
+                .ok_or_else(|| "run: missing spec".to_string())
+                .and_then(JobSpec::from_json);
+            match spec {
+                Ok(spec) => {
+                    {
+                        let mut rec = MetricsRecorder::new();
+                        rec.incr(Counter::JobsAccepted);
+                        let mut fleet = shared.metrics.lock().expect("metrics poisoned");
+                        fleet.merge(&rec.report());
+                    }
+                    let job = Job {
+                        id,
+                        spec,
+                        writer: Arc::clone(writer),
+                    };
+                    if tx.send(job).is_err() {
+                        // Shutting down; the accept loop is gone.
+                    }
+                }
+                Err(e) => {
+                    let mut rec = MetricsRecorder::new();
+                    rec.incr(Counter::JobsFailed);
+                    let mut fleet = shared.metrics.lock().expect("metrics poisoned");
+                    fleet.merge(&rec.report());
+                    drop(fleet);
+                    send(writer, &error_line(Some(&id), &e));
+                }
+            }
+        }
+        Some("ping") => send(writer, "{\"event\":\"pong\"}"),
+        Some("stats") => send(writer, &stats_line(shared)),
+        Some("shutdown") => {
+            send(writer, "{\"event\":\"bye\"}");
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+        }
+        Some(other) => send(
+            writer,
+            &error_line(id.as_ref(), &format!("unknown op '{other}'")),
+        ),
+        None => send(writer, &error_line(id.as_ref(), "missing op")),
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, tx: &Sender<Job>) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_request(&line, shared, &writer, tx);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! End-to-end protocol tests against an in-process server, including
+//! the acceptance pin: identical job specs return bit-identical trial
+//! results via the server and via the existing CLI path.
+//!
+//! "CLI path" here means the exact construction `plurality gossip` /
+//! `plurality run` performs: the same builders (`spec::build_topology`,
+//! `spec::build_dynamics` — the CLI delegates to them) and the same
+//! per-trial seed derivation (`derive_stream(seed, i)` for gossip and
+//! the agent engine, `stream_rng(seed, i)` for mean-field trials).
+
+use plurality_engine::{AgentEngine, MeanFieldEngine, MonteCarlo, Placement, StopReason};
+use plurality_gossip::{ExchangeMode, FailureModel, GossipEngine, NetworkConfig};
+use plurality_sampling::{derive_stream, stream_rng};
+use plurality_server::spec::{build_dynamics, build_topology};
+use plurality_server::{JobSpec, Server};
+use plurality_telemetry::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect to test server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("set read timeout");
+    stream
+}
+
+/// Submit one job and collect its trial lines and done/error line.
+fn submit(stream: &mut TcpStream, id: u64, spec: &JobSpec) -> (Vec<Json>, Json) {
+    let line = format!(
+        "{{\"op\":\"run\",\"id\":{id},\"spec\":{}}}\n",
+        spec.to_json()
+    );
+    stream.write_all(line.as_bytes()).expect("submit job");
+    collect(stream, id)
+}
+
+/// Read lines until this id's done/error event arrives.
+fn collect(stream: &mut TcpStream, id: u64) -> (Vec<Json>, Json) {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut trials = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read response line");
+        assert!(n > 0, "server closed the stream mid-job");
+        let doc = json::parse(line.trim()).expect("response line must parse");
+        if doc.get("id").and_then(Json::as_num) != Some(u128::from(id)) {
+            continue;
+        }
+        match doc.get("event").and_then(Json::as_str) {
+            Some("trial") => trials.push(doc),
+            Some("done") | Some("error") => return (trials, doc),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}
+
+fn num(doc: &Json, key: &str) -> u64 {
+    doc.get(key)
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| panic!("missing numeric {key} in {doc:?}")) as u64
+}
+
+#[test]
+fn gossip_jobs_are_bit_identical_to_the_cli_path() {
+    let spec = JobSpec {
+        dynamics: "3-majority".into(),
+        n: 600,
+        k: 3,
+        bias: Some(120),
+        topology: "random-regular".into(),
+        degree: 6,
+        mode: ExchangeMode::PushPull,
+        loss: 0.1,
+        delay: 0.05,
+        failure: Some("edge:loss=0.0..0.3".into()),
+        trials: 3,
+        seed: 5,
+        max_rounds: 20_000,
+        ..JobSpec::default()
+    };
+
+    // The CLI path, in-process: same builders, same seed derivation.
+    let topology = build_topology(&spec.topology, spec.n as usize, spec.degree, spec.seed).unwrap();
+    let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise).unwrap();
+    let model = FailureModel::parse(
+        spec.failure.as_deref().unwrap(),
+        NetworkConfig::new(0.05, 0.1),
+    )
+    .unwrap();
+    let engine = GossipEngine::new(topology.as_ref())
+        .with_mode(spec.mode)
+        .with_failure_model(model);
+    let cfg = spec.configuration();
+    let opts = spec.run_options();
+    let expected: Vec<_> = (0..spec.trials)
+        .map(|i| {
+            engine.run_detailed(
+                dynamics.as_ref(),
+                &cfg,
+                Placement::Shuffled,
+                &opts,
+                derive_stream(spec.seed, i as u64),
+            )
+        })
+        .collect();
+
+    let (addr, handle) = Server::spawn("127.0.0.1:0", 2).expect("spawn server");
+    let mut stream = connect(addr);
+    let (trials, done) = submit(&mut stream, 1, &spec);
+
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    assert_eq!(trials.len(), spec.trials);
+    for (i, ((r, s), doc)) in expected.iter().zip(&trials).enumerate() {
+        assert_eq!(num(doc, "trial"), i as u64);
+        assert_eq!(num(doc, "rounds"), r.rounds, "trial {i} rounds");
+        assert_eq!(
+            num(doc, "converged") == 1,
+            r.reason == StopReason::Stopped,
+            "trial {i} reason"
+        );
+        assert_eq!(
+            doc.get("winner").and_then(Json::as_num).map(|w| w as usize),
+            r.winner,
+            "trial {i} winner"
+        );
+        assert_eq!(num(doc, "success") == 1, r.success, "trial {i} success");
+        assert_eq!(num(doc, "activations"), s.activations, "trial {i}");
+        assert_eq!(num(doc, "messages"), s.messages, "trial {i}");
+        assert_eq!(num(doc, "lost"), s.lost_messages, "trial {i}");
+        assert_eq!(num(doc, "delayed"), s.delayed_messages, "trial {i}");
+        let final_time: f64 = doc
+            .get("final_time")
+            .and_then(Json::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(final_time, s.final_time, "trial {i} final_time");
+    }
+
+    // Warm resubmission: identical results, all cache lookups hit.
+    let first_cache = done.get("cache").expect("cache field");
+    assert_eq!(num(first_cache, "warm"), 0, "first job must build");
+    let (trials2, done2) = submit(&mut stream, 2, &spec);
+    let cache2 = done2.get("cache").expect("cache field");
+    assert_eq!(num(cache2, "warm"), 1, "second job must be fully cached");
+    assert_eq!(cache2.get("topology").and_then(Json::as_str), Some("hit"));
+    assert_eq!(cache2.get("edge_table").and_then(Json::as_str), Some("hit"));
+    assert_eq!(num(&done2, "build_ns"), 0, "warm jobs build nothing");
+    let strip_id = |doc: &Json| match doc {
+        Json::Obj(fields) => Json::Obj(fields.iter().filter(|(k, _)| k != "id").cloned().collect()),
+        other => other.clone(),
+    };
+    assert_eq!(
+        trials.iter().map(strip_id).collect::<Vec<_>>(),
+        trials2.iter().map(strip_id).collect::<Vec<_>>(),
+        "warm results must be bit-identical"
+    );
+
+    plurality_server::send_shutdown(&addr.to_string()).expect("shutdown");
+    drop(stream);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn agent_jobs_are_bit_identical_to_the_library_path() {
+    let spec = JobSpec {
+        engine: plurality_server::EngineKind::Agent,
+        dynamics: "undecided".into(),
+        n: 500,
+        k: 4,
+        bias: Some(80),
+        topology: "torus".into(),
+        trials: 3,
+        seed: 11,
+        max_rounds: 5_000,
+        ..JobSpec::default()
+    };
+    let topology = build_topology(&spec.topology, spec.n as usize, spec.degree, spec.seed).unwrap();
+    let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise).unwrap();
+    let engine = AgentEngine::new(topology.as_ref());
+    let cfg = spec.configuration();
+    let opts = spec.run_options();
+
+    let (addr, handle) = Server::spawn("127.0.0.1:0", 2).expect("spawn server");
+    let mut stream = connect(addr);
+    let (trials, done) = submit(&mut stream, 7, &spec);
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    for (i, doc) in trials.iter().enumerate() {
+        let r = engine.run(
+            dynamics.as_ref(),
+            &cfg,
+            Placement::Shuffled,
+            &opts,
+            derive_stream(spec.seed, i as u64),
+        );
+        assert_eq!(num(doc, "rounds"), r.rounds, "trial {i} rounds");
+        assert_eq!(
+            doc.get("winner").and_then(Json::as_num).map(|w| w as usize),
+            r.winner,
+            "trial {i} winner"
+        );
+        assert_eq!(num(doc, "success") == 1, r.success, "trial {i} success");
+        assert!(doc.get("activations").is_none(), "no gossip stats expected");
+    }
+    plurality_server::send_shutdown(&addr.to_string()).expect("shutdown");
+    drop(stream);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn mean_field_jobs_match_the_monte_carlo_path() {
+    let spec = JobSpec {
+        engine: plurality_server::EngineKind::MeanField,
+        dynamics: "3-majority".into(),
+        n: 2_000,
+        k: 3,
+        bias: Some(300),
+        trials: 4,
+        seed: 3,
+        max_rounds: 10_000,
+        ..JobSpec::default()
+    };
+    // The CLI 'run' path: MonteCarlo gives trial i the stream-i RNG.
+    let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise).unwrap();
+    let engine = MeanFieldEngine::new(dynamics.as_ref());
+    let cfg = spec.configuration();
+    let opts = spec.run_options();
+    let mc = MonteCarlo {
+        trials: spec.trials,
+        threads: 2,
+        master_seed: spec.seed,
+    };
+    let expected = mc.run(|_, rng| engine.run(&cfg, &opts, rng));
+    // Sanity: that equals the sequential stream_rng loop the server runs.
+    let seq: Vec<_> = (0..spec.trials)
+        .map(|i| engine.run(&cfg, &opts, &mut stream_rng(spec.seed, i as u64)))
+        .collect();
+    assert_eq!(expected.len(), seq.len());
+
+    let (addr, handle) = Server::spawn("127.0.0.1:0", 1).expect("spawn server");
+    let mut stream = connect(addr);
+    let (trials, done) = submit(&mut stream, 9, &spec);
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    for (i, (r, doc)) in expected.iter().zip(&trials).enumerate() {
+        assert_eq!(num(doc, "rounds"), r.rounds, "trial {i} rounds");
+        assert_eq!(num(doc, "success") == 1, r.success, "trial {i} success");
+        assert_eq!(
+            doc.get("winner").and_then(Json::as_num).map(|w| w as usize),
+            r.winner,
+            "trial {i} winner"
+        );
+    }
+    let wins = expected.iter().filter(|r| r.success).count();
+    assert_eq!(num(&done, "wins"), wins as u64);
+    plurality_server::send_shutdown(&addr.to_string()).expect("shutdown");
+    drop(stream);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn protocol_ops_and_error_replies() {
+    let (addr, handle) = Server::spawn("127.0.0.1:0", 1).expect("spawn server");
+    let mut stream = connect(addr);
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+
+    stream.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "{\"event\":\"pong\"}");
+
+    // Malformed JSON → connection-scoped error.
+    line.clear();
+    stream.write_all(b"{\"op\":\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let doc = json::parse(line.trim()).unwrap();
+    assert_eq!(doc.get("event").and_then(Json::as_str), Some("error"));
+
+    // Bad spec → job-scoped error echoing the id.
+    line.clear();
+    stream
+        .write_all(b"{\"op\":\"run\",\"id\":42,\"spec\":{\"engine\":\"quantum\"}}\n")
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    let doc = json::parse(line.trim()).unwrap();
+    assert_eq!(doc.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(doc.get("id").and_then(Json::as_num), Some(42));
+
+    // Unknown op.
+    line.clear();
+    stream.write_all(b"{\"op\":\"teleport\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let doc = json::parse(line.trim()).unwrap();
+    assert_eq!(doc.get("event").and_then(Json::as_str), Some("error"));
+
+    // Run one real job, then check stats reflect it.
+    let spec = JobSpec {
+        n: 400,
+        k: 2,
+        bias: Some(80),
+        trials: 2,
+        max_rounds: 5_000,
+        ..JobSpec::default()
+    };
+    let (_, done) = submit(&mut stream, 1, &spec);
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+
+    line.clear();
+    stream.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let doc = json::parse(line.trim()).unwrap();
+    assert_eq!(doc.get("event").and_then(Json::as_str), Some("stats"));
+    let cache = doc.get("cache").expect("cache stats");
+    assert!(num(cache, "misses") >= 1);
+    let report = doc.get("report").expect("metrics report");
+    assert_eq!(
+        report.get("schema").and_then(Json::as_str),
+        Some("plurality-metrics/v1")
+    );
+    let counters = report.get("counters").expect("counters");
+    assert_eq!(num(counters, "jobs_completed"), 1);
+    assert_eq!(num(counters, "trials_run"), 2);
+
+    plurality_server::send_shutdown(&addr.to_string()).expect("shutdown");
+    // Both halves of the socket must close for the server's connection
+    // handler to see EOF and release its queue handle.
+    drop(reader);
+    drop(stream);
+    handle.join().expect("server thread");
+}

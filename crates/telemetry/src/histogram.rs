@@ -68,7 +68,13 @@ pub fn bucket_high(idx: usize) -> u64 {
     if idx < SUB - 1 {
         return idx as u64;
     }
-    bucket_low(idx + 1) - 1
+    // The bucket holding u64::MAX has no successor: its bucket_low(idx+1)
+    // is 2^64, which wraps to 0.  Saturate to u64::MAX instead of
+    // underflowing on the -1.
+    match bucket_low(idx + 1) {
+        0 => u64::MAX,
+        next => next - 1,
+    }
 }
 
 /// A log-bucketed histogram of `u64` values.

@@ -127,6 +127,18 @@ metric_enum! {
         SamplesDrawn => "samples_drawn",
         /// Synchronous rounds executed by the agent engine.
         Rounds => "rounds",
+        /// Jobs accepted by the simulation job server.
+        JobsAccepted => "jobs_accepted",
+        /// Jobs the server ran to completion.
+        JobsCompleted => "jobs_completed",
+        /// Jobs rejected or failed by the server (bad spec, engine error).
+        JobsFailed => "jobs_failed",
+        /// Server prebuilt-state cache lookups that found an entry.
+        CacheHits => "cache_hits",
+        /// Server prebuilt-state cache lookups that had to build.
+        CacheMisses => "cache_misses",
+        /// Trials executed across all server jobs.
+        TrialsRun => "trials_run",
     }
 }
 
@@ -164,6 +176,10 @@ metric_enum! {
         RoundWallNanos => "round_wall_ns",
         /// Leading-color occupancy per agent-engine round.
         LeaderOccupancy => "leader_occupancy",
+        /// Wall-clock per server job (spec parse to done line), ns.
+        JobWallNanos => "job_wall_ns",
+        /// Wall-clock building prebuilt state on a cache miss, ns.
+        StateBuildNanos => "state_build_ns",
     }
 }
 
@@ -390,8 +406,8 @@ mod tests {
     #[test]
     fn noop_recorder_is_zero_sized_and_disabled() {
         assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
-        assert!(!NoopRecorder::ENABLED);
-        assert!(MetricsRecorder::ENABLED);
+        const { assert!(!NoopRecorder::ENABLED) };
+        const { assert!(MetricsRecorder::ENABLED) };
         let mut n = NoopRecorder;
         n.incr(Counter::Activations);
         n.observe(Hist::QueueDepth, 1);

@@ -1,0 +1,132 @@
+//! Edge-case coverage for [`LogHistogram`]: empty and single-value
+//! distributions, the quantile endpoints, merges between histograms
+//! whose bucket vectors have different lengths, and a property test
+//! that `quantile` is monotone in `q`.
+
+use plurality_telemetry::histogram::{bucket_high, bucket_low, bucket_of, LogHistogram, SUB};
+use proptest::prelude::*;
+
+#[test]
+fn empty_histogram_quantiles_and_stats_are_zero() {
+    let h = LogHistogram::new();
+    assert!(h.is_empty());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0, "empty quantile({q})");
+    }
+    assert!(h.mean().is_nan());
+}
+
+#[test]
+fn quantile_endpoints_bracket_the_distribution() {
+    let mut h = LogHistogram::new();
+    for v in [7u64, 19, 19, 250, 4_096, 1 << 33] {
+        h.record(v);
+    }
+    // q = 0 clamps to rank 1 — the smallest value's bucket — and the
+    // [min, max] clamp makes it exactly min here.
+    assert_eq!(h.quantile(0.0), h.min());
+    // q = 1 lands in the largest value's bucket: at most max, and no
+    // more than one sub-bucket below it.
+    let top = h.quantile(1.0);
+    assert!(top <= h.max());
+    assert!(top >= bucket_low(bucket_of(h.max())));
+    // Out-of-range q is clamped, not propagated.
+    assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+    assert_eq!(h.quantile(17.0), h.quantile(1.0));
+}
+
+#[test]
+fn single_value_distribution_is_that_value_at_every_quantile() {
+    for v in [0u64, 1, SUB as u64 - 1, SUB as u64, 12_345, u64::MAX / 7] {
+        let mut h = LogHistogram::new();
+        h.record(v);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), v);
+        assert_eq!(h.max(), v);
+        assert!((h.mean() - v as f64).abs() < 1e-6 * (v as f64).max(1.0));
+        for q in [0.0, 0.5, 1.0] {
+            // One value: every quantile's bucket-low clamps into
+            // [min, max] = [v, v].
+            assert_eq!(h.quantile(q), v, "v={v} quantile({q})");
+        }
+    }
+}
+
+#[test]
+fn merge_with_differing_bucket_vector_lengths() {
+    // `small` only touches the exact (width-1) buckets; `large` reaches
+    // a high power-of-two bucket, so its bucket vector is much longer.
+    let build = |values: &[u64]| {
+        let mut h = LogHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    };
+    let small_vals = [1u64, 2, 3];
+    let large_vals = [5u64, 1 << 40];
+    let mut reference = build(&[1, 2, 3, 5, 1 << 40]);
+
+    // Short ← long: the short vector must grow.
+    let mut a = build(&small_vals);
+    a.merge(&build(&large_vals));
+    assert_eq!(a, reference);
+
+    // Long ← short: no truncation of the tail.
+    let mut b = build(&large_vals);
+    b.merge(&build(&small_vals));
+    assert_eq!(b.count(), reference.count());
+    assert_eq!(b.sum(), reference.sum());
+    assert_eq!(b.min(), reference.min());
+    assert_eq!(b.max(), reference.max());
+    assert_eq!(b.nonzero_buckets(), reference.nonzero_buckets());
+
+    // Merging an empty histogram in either direction is the identity.
+    reference.merge(&LogHistogram::new());
+    assert_eq!(reference, b);
+    let mut empty = LogHistogram::new();
+    empty.merge(&reference);
+    assert_eq!(empty, reference);
+}
+
+#[test]
+fn bucket_bounds_stay_consistent_at_the_top_of_the_range() {
+    // The largest representable values must still land in a bucket whose
+    // bounds contain them.
+    for v in [u64::MAX, u64::MAX - 1, u64::MAX / 2 + 1] {
+        let idx = bucket_of(v);
+        assert!(bucket_low(idx) <= v);
+        assert!(v <= bucket_high(idx));
+    }
+}
+
+proptest! {
+    /// `quantile` is monotone non-decreasing in `q` for any recorded set.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        values in proptest::collection::vec(0u64..1 << 48, 1..200),
+        qs in proptest::collection::vec(0.0f64..=1.0, 2..20),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted_q = qs.clone();
+        sorted_q.sort_by(f64::total_cmp);
+        let mut prev = None;
+        for &q in &sorted_q {
+            let cur = h.quantile(q);
+            if let Some(p) = prev {
+                prop_assert!(cur >= p, "quantile({q}) = {cur} < previous {p}");
+            }
+            prev = Some(cur);
+        }
+        // And every quantile stays inside [min, max].
+        prop_assert!(h.quantile(0.0) >= h.min());
+        prop_assert!(h.quantile(1.0) <= h.max());
+    }
+}
