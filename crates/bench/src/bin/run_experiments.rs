@@ -97,7 +97,7 @@ fn usage(err: &str) -> ! {
         "usage: run_experiments [--smoke] [--seed N] [--csv DIR] [e01 e02 ...]\n\
          \n\
          Regenerates the experiment tables of DESIGN.md §4 / EXPERIMENTS.md.\n\
-         With no ids, runs all twelve experiments."
+         With no ids, runs every registry experiment (e01..e18)."
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

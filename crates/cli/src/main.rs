@@ -36,6 +36,8 @@ const VALUE_OPTS: &[&str] = &[
     "loss",
     "delay",
     "failure",
+    "churn",
+    "timeout-ms",
     "inbox-policy",
     "scheduler",
     "mode",
@@ -51,6 +53,7 @@ const VALUE_OPTS: &[&str] = &[
     "freq",
     "secs",
     "probe",
+    "attempts",
     "bench-out",
 ];
 const FLAG_OPTS: &[&str] = &["help", "quiet", "rate-time", "smoke", "shutdown"];
@@ -106,7 +109,7 @@ fn usage() {
          \x20 gossip asynchronous gossip simulation with message --delay / --loss\n\
          \x20 serve  long-running job server: NDJSON job specs over TCP, streamed results\n\
          \x20 bench-client  open-loop load driver for 'serve' (--freq jobs/s for --secs)\n\
-         \x20 experiment  run registry experiments by id (e01..e17); --smoke for test scale\n\
+         \x20 experiment  run registry experiments by id (e01..e18); --smoke for test scale\n\
          \x20 list   list available --dynamics names\n\
          \n\
          options:\n\
@@ -124,6 +127,10 @@ fn usage() {
          \x20                   X | LO..HI | flaky(F,G,B) - window:T0..T1[,loss=F][,delay=F] -\n\
          \x20                   ge:up=U,down=D,loss=F[,delay=F] - outage:frac=F,up=U,down=D -\n\
          \x20                   partition:parts=K,T0..T1 - salt:N\n\
+         \x20 --churn SPEC      gossip: dynamic membership; ';'-separated clauses:\n\
+         \x20                   crash:RATE - leave:RATE - rejoin:RATE[,state=stale|fresh] -\n\
+         \x20                   join:RATE[,spare=N][,attach=D][,init=uniform|copy|undecided]\n\
+         \x20                   (rates are per-node per-tick Poisson intensities)\n\
          \x20 --inbox-policy P  gossip: full-inbox policy 'drop-oldest' (default), 'drop-newest',\n\
          \x20                   'random-replace', or 'ttl=T' (entries expire after T time units)\n\
          \x20 --scheduler S     gossip: 'sequential' (default) or 'poisson'\n\
@@ -142,6 +149,9 @@ fn usage() {
          \x20 --freq F          bench-client: target job submissions per second (default 50)\n\
          \x20 --secs S          bench-client: open-loop phase length in seconds (default 5)\n\
          \x20 --probe N         bench-client: cold/warm cache-probe jobs per phase (default 8)\n\
+         \x20 --attempts A      bench-client: connect/submit attempt budget with jittered\n\
+         \x20                   exponential backoff between failures (default 4)\n\
+         \x20 --timeout-ms T    bench-client: per-job wall-clock budget forwarded in the spec\n\
          \x20 --bench-out F     bench-client: write the bench report JSON to F\n\
          \x20 --shutdown        bench-client: ask the server to drain and exit afterwards\n\
          \x20 --smoke           experiment: run at smoke scale (seconds, test grids)\n\
@@ -568,6 +578,12 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
         ),
         None => None,
     };
+    let churn = match parsed.get("churn") {
+        Some(spec) => {
+            Some(plurality_gossip::ChurnModel::parse(spec).map_err(|e| format!("--churn: {e}"))?)
+        }
+        None => None,
+    };
     let inbox_policy = InboxPolicy::from_name(parsed.get("inbox-policy").unwrap_or("drop-oldest"))?;
     let scheduler = Scheduler::from_name(parsed.get("scheduler").unwrap_or("sequential"))?;
     let mode = ExchangeMode::from_name(parsed.get("mode").unwrap_or("pull"))?;
@@ -601,6 +617,9 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
         None => engine.with_network(NetworkConfig::new(delay, loss)),
     };
     let fast_nodes = (fast_frac * n as f64).round() as usize;
+    if churn.is_some() && fast_nodes > 0 && fast_rate != 1.0 {
+        return Err("--churn cannot be combined with heterogeneous rates (--fast-frac)".into());
+    }
     if fast_nodes > 0 && fast_rate != 1.0 {
         let rates: Vec<f64> = (0..n)
             .map(|v| if v < fast_nodes { fast_rate } else { 1.0 })
@@ -609,6 +628,9 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     }
     if parsed.flag("rate-time") {
         engine = engine.with_rate_weighted_time(true);
+    }
+    if let Some(model) = &churn {
+        engine = engine.with_churn_model(model.clone());
     }
     let mc = MonteCarlo {
         trials,
@@ -658,7 +680,7 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
     let mut t = Table::new(
         format!(
             "{} async gossip on {}: n = {}, k = {}, bias = {}, mode = {}, scheduler = {}, \
-             delay = {delay}, loss = {loss}{}{} ({trials} trials, {:.2}s)",
+             delay = {delay}, loss = {loss}{}{}{} ({trials} trials, {:.2}s)",
             c.dynamics.name(),
             topology.name(),
             c.cfg.n(),
@@ -668,6 +690,10 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
             scheduler.name(),
             match &failure {
                 Some(model) => format!(", failure = {}", model.label()),
+                None => String::new(),
+            },
+            match &churn {
+                Some(model) => format!(", churn = {}", model.label()),
                 None => String::new(),
             },
             if fast_nodes > 0 && fast_rate != 1.0 {
@@ -742,6 +768,25 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
             format!("{} / {}", fmt_f64(ticks.min()), fmt_f64(ticks.max())),
         ]);
     }
+    if churn.is_some() {
+        let (mut joins, mut crashes, mut leaves, mut rejoins, mut alive) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for (_, s) in &results {
+            joins += s.churn_joins;
+            crashes += s.churn_crashes;
+            leaves += s.churn_leaves;
+            rejoins += s.churn_rejoins;
+            alive += s.final_alive;
+        }
+        summary.push_row(vec![
+            "churn events (join/crash/leave/rejoin)".into(),
+            format!("{joins} / {crashes} / {leaves} / {rejoins}"),
+        ]);
+        summary.push_row(vec![
+            "mean final alive".into(),
+            fmt_f64(alive as f64 / trials as f64),
+        ]);
+    }
     print!("{}", summary.markdown());
     metrics.emit(&fleet)?;
     Ok(())
@@ -787,6 +832,14 @@ fn spec_from_args(parsed: &Args) -> Result<plurality_server::JobSpec, String> {
         .get_parsed("delay", spec.delay)
         .map_err(|e| e.to_string())?;
     spec.failure = parsed.get("failure").map(str::to_string);
+    spec.churn = parsed.get("churn").map(str::to_string);
+    spec.timeout_ms = match parsed.get("timeout-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--timeout-ms expects milliseconds, got '{v}'"))?,
+        ),
+    };
     if let Some(p) = parsed.get("inbox-policy") {
         spec.inbox_policy = InboxPolicy::from_name(p)?;
     }
@@ -851,6 +904,9 @@ fn cmd_bench_client(parsed: &Args) -> Result<(), String> {
         probe: parsed
             .get_parsed("probe", 8usize)
             .map_err(|e| e.to_string())?,
+        attempts: parsed
+            .get_parsed("attempts", 4usize)
+            .map_err(|e| e.to_string())?,
         progress: !parsed.flag("quiet"),
         spec,
     };
@@ -877,8 +933,8 @@ fn cmd_experiment(parsed: &Args) -> Result<(), String> {
         .collect();
     if ids.is_empty() {
         return Err(
-            "experiment: give at least one id, e.g. 'plurality experiment e17 --smoke' \
-                    (ids e01..e17)"
+            "experiment: give at least one id, e.g. 'plurality experiment e18 --smoke' \
+                    (ids e01..e18)"
                 .into(),
         );
     }
@@ -899,7 +955,7 @@ fn cmd_experiment(parsed: &Args) -> Result<(), String> {
     let mut recorded = false;
     for id in &ids {
         let exp = registry::by_id(id)
-            .ok_or_else(|| format!("unknown experiment id '{id}' (valid: e01..e17)"))?;
+            .ok_or_else(|| format!("unknown experiment id '{id}' (valid: e01..e18)"))?;
         println!("## {} — {}\n", exp.id(), exp.title());
         let (tables, report) = if metrics.enabled() {
             exp.run_with_metrics(&ctx)

@@ -207,6 +207,60 @@ fn inbox_policies_random_replace_and_ttl_run_end_to_end() {
 }
 
 #[test]
+fn gossip_churn_flag_runs_and_reports_membership() {
+    let out = run(&[
+        "gossip",
+        "--n",
+        "400",
+        "--k",
+        "3",
+        "--trials",
+        "2",
+        "--seed",
+        "11",
+        "--churn",
+        "crash:0.05;rejoin:0.3,state=fresh;join:0.2,spare=20,attach=4,init=copy",
+    ]);
+    let text = stdout(&out);
+    assert!(
+        text.contains("churn = crash:0.05"),
+        "churn label missing from title:\n{text}"
+    );
+    assert!(
+        text.contains("churn events"),
+        "membership summary row missing:\n{text}"
+    );
+    assert!(
+        text.contains("mean final alive"),
+        "final-alive row missing:\n{text}"
+    );
+
+    // Bad DSL and illegal combinations fail with a pointed message.
+    let out = run(&["gossip", "--n", "300", "--churn", "crash:-1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--churn"), "unhelpful error:\n{err}");
+
+    let out = run(&[
+        "gossip",
+        "--n",
+        "300",
+        "--churn",
+        "crash:0.01",
+        "--fast-frac",
+        "0.25",
+        "--fast-rate",
+        "4",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("heterogeneous"),
+        "churn × rates guard missing:\n{err}"
+    );
+}
+
+#[test]
 fn serve_and_bench_client_round_trip() {
     use std::io::{BufRead, BufReader};
 

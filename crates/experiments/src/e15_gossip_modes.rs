@@ -28,7 +28,7 @@ use crate::{Context, Experiment};
 use plurality_analysis::{fmt_f64, Summary, Table};
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{MonteCarlo, Placement, RunOptions, StopReason};
-use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig};
+use plurality_gossip::{ExchangeMode, GossipEngine, InboxPolicy, NetworkConfig};
 use plurality_sampling::derive_stream;
 use plurality_topology::Clique;
 
@@ -167,7 +167,93 @@ impl Experiment for E15GossipModes {
                 ]);
             }
         }
-        vec![table]
+        // Second table: the staleness tax.  The inbox policy decides
+        // which buffered color a push-side receipt keeps once the inbox
+        // overflows, so it shapes how *stale* the samples an update
+        // consumes are.  Fix one moderately lossy, delayed cell and
+        // sweep the policies for the two modes that consume inboxes;
+        // the tax column is consensus-time dilation vs the ideal PULL
+        // baseline measured above (PULL never buffers, so it is the
+        // staleness-free reference).
+        let tax_delay = 0.5;
+        let tax_loss = 0.1;
+        let policies: [InboxPolicy; 4] = [
+            InboxPolicy::DropOldest,
+            InboxPolicy::DropNewest,
+            InboxPolicy::RandomReplace,
+            InboxPolicy::Ttl { ticks: 4.0 },
+        ];
+        let mut tax_table = Table::new(
+            format!(
+                "E15 · staleness tax of the inbox policy: push-side modes at delay = {tax_delay}, \
+                 loss = {tax_loss} (n = {n}, k = {k}, bias = {bias}, {trials} trials; tax is \
+                 mean ticks vs the ideal PULL cell = {})",
+                fmt_f64(pull_ideal.mean()),
+            ),
+            &[
+                "mode",
+                "policy",
+                "converged",
+                "win rate",
+                "mean ticks",
+                "sd",
+                "tax",
+                "inbox frac",
+                "superseded/act",
+            ],
+        );
+        for &mode in &[ExchangeMode::Push, ExchangeMode::PushPull] {
+            for policy in policies {
+                cell_seed += 1;
+                let seed = ctx.seed ^ (0xE150 + cell_seed);
+                let results = mc.run(|i, _| {
+                    GossipEngine::new(&clique)
+                        .with_mode(mode)
+                        .with_network(NetworkConfig::new(tax_delay, tax_loss))
+                        .with_inbox_policy(policy)
+                        .run_detailed(
+                            &d,
+                            &cfg,
+                            Placement::Shuffled,
+                            &opts,
+                            derive_stream(seed, i as u64),
+                        )
+                });
+                let mut ticks = Summary::new();
+                let mut wins = 0usize;
+                let mut converged = 0usize;
+                let mut activations: u64 = 0;
+                let mut messages: u64 = 0;
+                let mut inbox_served: u64 = 0;
+                let mut superseded: u64 = 0;
+                for (r, s) in &results {
+                    if r.reason == StopReason::Stopped {
+                        converged += 1;
+                        ticks.push(r.rounds as f64);
+                    }
+                    if r.success {
+                        wins += 1;
+                    }
+                    activations += s.activations;
+                    messages += s.messages;
+                    inbox_served += s.inbox_served;
+                    superseded += s.superseded_commits;
+                }
+                let samples_seen = (messages + inbox_served).max(1);
+                tax_table.push_row(vec![
+                    mode.name().to_string(),
+                    policy.label(),
+                    format!("{converged}/{trials}"),
+                    fmt_f64(wins as f64 / trials as f64),
+                    fmt_f64(ticks.mean()),
+                    fmt_f64(ticks.std_dev()),
+                    fmt_f64(ticks.mean() / pull_ideal.mean()),
+                    fmt_f64(inbox_served as f64 / samples_seen as f64),
+                    fmt_f64(superseded as f64 / activations.max(1) as f64),
+                ]);
+            }
+        }
+        vec![table, tax_table]
     }
 }
 
@@ -178,7 +264,7 @@ mod tests {
     #[test]
     fn smoke_grid_covers_all_modes_and_converges() {
         let tables = E15GossipModes.run(&Context::smoke());
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         // Smoke grid: 3 modes × (2 delays × 2 losses + 1 rated row).
         assert_eq!(tables[0].len(), 15);
         let md = tables[0].markdown();
@@ -187,5 +273,15 @@ mod tests {
         }
         // Every cell of a heavily biased start should convert all trials.
         assert!(!md.contains("0/4"), "some cell never converged:\n{md}");
+        // Staleness-tax table: 2 push-side modes × 4 inbox policies.
+        assert_eq!(tables[1].len(), 8);
+        let tax = tables[1].markdown();
+        for policy in ["drop-oldest", "drop-newest", "random-replace", "ttl=4"] {
+            assert!(tax.contains(policy), "policy {policy} missing:\n{tax}");
+        }
+        assert!(
+            !tax.contains("0/4"),
+            "some tax cell never converged:\n{tax}"
+        );
     }
 }

@@ -1,0 +1,268 @@
+//! **E18 — extension: phase boundary under dynamic membership (churn)**
+//! (direction of Becchetti et al. 2014, whose §3.1 dynamic adversary
+//! corrupts up to `O(√n)` nodes per round and makes *m-plurality*
+//! consensus — all but `m` nodes on the initial plurality — the right
+//! stop notion, since full consensus is impossible under renewal noise).
+//!
+//! E16/E17 kept the population fixed and perturbed the *links*.  Here
+//! the population itself churns: alive nodes crash at per-node rate `c`
+//! and dead nodes rejoin at rate `10c` with a **fresh uniform color**
+//! (`rejoin:…,state=fresh`), so in steady state a ~1/11 fraction of the
+//! population is down and the rejoin flux re-injects `≈ c·n` uniformly
+//! colored nodes per tick.  Sweeping `c = mult/√n` crosses the paper's
+//! corruption-tolerance scale: at `mult` well below 1 the plurality
+//! absorbs rejoiners faster than churn re-randomizes them and the run
+//! reaches m-plurality (m = 3√n) quickly; at large `mult` the standing
+//! minority mass stays above `m` forever and the trial exhausts its
+//! tick budget.  The grid is churn multiplier × dynamics × exchange
+//! mode on the paper's complete graph.
+//!
+//! Expected picture (asserted at smoke scale by the `tests` module):
+//! every zero-churn cell converges in every trial with the plurality
+//! winning, while at the top multiplier no cell reaches m-plurality
+//! within the budget — the phase boundary sits between.
+
+use crate::{Context, Experiment};
+use plurality_analysis::{fmt_f64, Summary, Table};
+use plurality_core::{builders, Dynamics, ThreeMajority, UndecidedState};
+use plurality_engine::{MonteCarlo, Placement, RunOptions, StopReason, StopRule};
+use plurality_gossip::{ChurnModel, ExchangeMode, GossipEngine};
+use plurality_sampling::derive_stream;
+use plurality_topology::Clique;
+
+/// See module docs.
+pub struct E18Churn;
+
+/// The churn scenario at multiplier `mult`: per-alive crash rate
+/// `mult/√n`, per-dead fresh-uniform rejoin at ten times that (steady
+/// state ≈ 1/11 of the population down).  `None` at `mult = 0`.
+pub(crate) fn churn_scenario(mult: f64, n: usize) -> Option<ChurnModel> {
+    if mult <= 0.0 {
+        return None;
+    }
+    let c = mult / (n as f64).sqrt();
+    Some(
+        ChurnModel::parse(&format!("crash:{c};rejoin:{r},state=fresh", r = 10.0 * c))
+            .expect("scenario spec must parse"),
+    )
+}
+
+/// The m-plurality slack: 3√n, the scale of the paper's per-round
+/// corruption tolerance.
+pub(crate) fn m_slack(n: usize) -> u64 {
+    (3.0 * (n as f64).sqrt()).ceil() as u64
+}
+
+impl Experiment for E18Churn {
+    fn id(&self) -> &'static str {
+        "e18"
+    }
+
+    fn title(&self) -> &'static str {
+        "Extension: churn phase boundary — crash + fresh-uniform rejoin at rate mult/√n \
+         vs m-plurality consensus (m = 3√n)"
+    }
+
+    fn run(&self, ctx: &Context) -> Vec<Table> {
+        let n: usize = ctx.pick(900, 4_900);
+        let k: usize = 3;
+        let bias = (n / 5) as u64;
+        let trials = ctx.pick(4, 16);
+        let max_rounds: u64 = ctx.pick(400, 1_500);
+        let mults: &[f64] = ctx.pick(&[0.0, 0.5, 8.0][..], &[0.0, 0.5, 2.0, 8.0, 32.0][..]);
+        let modes: &[ExchangeMode] = &[ExchangeMode::Pull, ExchangeMode::PushPull];
+        let m = m_slack(n);
+
+        let graph = Clique::new(n);
+        let cfg = builders::biased(n as u64, k, bias);
+        let dynamics: Vec<(&'static str, Box<dyn Dynamics>)> = vec![
+            ("3-majority", Box::new(ThreeMajority::new())),
+            ("undecided", Box::new(UndecidedState::new(k))),
+        ];
+        let opts = RunOptions {
+            max_rounds,
+            stop: StopRule::MPlurality(m),
+            ..RunOptions::default()
+        };
+        let mc = MonteCarlo {
+            trials,
+            threads: ctx.threads,
+            master_seed: ctx.seed ^ 0xE18,
+        };
+
+        let mut table = Table::new(
+            format!(
+                "E18 · churn multiplier × dynamics × mode on the clique (n = {n}): k = {k}, \
+                 bias = {bias}, {trials} trials, cap {max_rounds} ticks, stop at m-plurality \
+                 m = {m}; scenario crash:mult/√n + rejoin:10·mult/√n,state=fresh"
+            ),
+            &[
+                "dynamics",
+                "mode",
+                "mult",
+                "crash rate",
+                "converged",
+                "win rate",
+                "mean ticks",
+                "sd",
+                "mean final alive",
+                "churn/trial (crash+rejoin)",
+            ],
+        );
+
+        let mut cell_seed = 0u64;
+        for (dname, d) in &dynamics {
+            for &mode in modes {
+                for &mult in mults {
+                    cell_seed += 1;
+                    let seed = ctx.seed ^ (0xE180 + cell_seed);
+                    let model = churn_scenario(mult, n);
+                    let mut engine = GossipEngine::new(&graph).with_mode(mode);
+                    if let Some(model) = &model {
+                        engine = engine.with_churn_model(model.clone());
+                    }
+                    let results = mc.run(|i, _| {
+                        engine.run_detailed(
+                            d.as_ref(),
+                            &cfg,
+                            Placement::Shuffled,
+                            &opts,
+                            derive_stream(seed, i as u64),
+                        )
+                    });
+
+                    let mut ticks = Summary::new();
+                    let mut wins = 0usize;
+                    let mut converged = 0usize;
+                    let mut alive: u64 = 0;
+                    let mut churned: u64 = 0;
+                    for (r, s) in &results {
+                        if r.reason == StopReason::Stopped {
+                            converged += 1;
+                            ticks.push(r.rounds as f64);
+                        }
+                        if r.success {
+                            wins += 1;
+                        }
+                        alive += s.final_alive;
+                        churned += s.churn_crashes + s.churn_rejoins;
+                    }
+                    table.push_row(vec![
+                        (*dname).to_string(),
+                        mode.name().to_string(),
+                        fmt_f64(mult),
+                        model
+                            .as_ref()
+                            .map_or_else(|| "0".into(), |m| fmt_f64(m.crash)),
+                        format!("{converged}/{trials}"),
+                        fmt_f64(wins as f64 / trials as f64),
+                        fmt_f64(ticks.mean()),
+                        fmt_f64(ticks.std_dev()),
+                        fmt_f64(alive as f64 / trials as f64),
+                        fmt_f64(churned as f64 / trials as f64),
+                    ]);
+                }
+            }
+        }
+        vec![table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run one (dynamics, mode) column at smoke scale; returns
+    /// `(converged, trials, wins)` per multiplier.
+    fn smoke_column(mults: &[f64]) -> Vec<(f64, usize, usize, usize)> {
+        let ctx = Context::smoke();
+        let n = 900usize;
+        let trials = 4usize;
+        let graph = Clique::new(n);
+        let cfg = builders::biased(n as u64, 3, (n / 5) as u64);
+        let d = ThreeMajority::new();
+        let opts = RunOptions {
+            max_rounds: 400,
+            stop: StopRule::MPlurality(m_slack(n)),
+            ..RunOptions::default()
+        };
+        let mc = MonteCarlo {
+            trials,
+            threads: ctx.threads,
+            master_seed: 0xE18,
+        };
+        mults
+            .iter()
+            .map(|&mult| {
+                let mut engine = GossipEngine::new(&graph);
+                if let Some(model) = churn_scenario(mult, n) {
+                    engine = engine.with_churn_model(model);
+                }
+                let results = mc.run(|i, _| {
+                    engine.run(
+                        &d,
+                        &cfg,
+                        Placement::Shuffled,
+                        &opts,
+                        derive_stream(47, i as u64),
+                    )
+                });
+                let converged = results
+                    .iter()
+                    .filter(|r| r.reason == StopReason::Stopped)
+                    .count();
+                let wins = results.iter().filter(|r| r.success).count();
+                (mult, converged, trials, wins)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn smoke_grid_structure() {
+        let tables = E18Churn.run(&Context::smoke());
+        assert_eq!(tables.len(), 1);
+        // Smoke: 3 multipliers × 2 dynamics × 2 modes.
+        assert_eq!(tables[0].len(), 12);
+        let md = tables[0].markdown();
+        for name in ["3-majority", "undecided", "pull", "push-pull"] {
+            assert!(md.contains(name), "row {name} missing:\n{md}");
+        }
+    }
+
+    #[test]
+    fn phase_band_separates_low_and_high_churn() {
+        // The acceptance claim: the zero-churn cell reaches m-plurality
+        // in every trial with the initial plurality winning, while at a
+        // multiplier far above the √n tolerance scale the standing
+        // fresh-rejoin noise keeps minority mass above m forever.
+        let column = smoke_column(&[0.0, 0.5, 8.0]);
+        let (_, c0, t0, w0) = column[0];
+        assert_eq!(c0, t0, "zero-churn trials must all reach m-plurality");
+        assert_eq!(w0, t0, "zero-churn trials must preserve the plurality");
+        let (_, c_low, t_low, w_low) = column[1];
+        assert_eq!(
+            c_low, t_low,
+            "sub-critical churn (mult = 0.5) must still reach m-plurality"
+        );
+        assert_eq!(
+            w_low, t_low,
+            "sub-critical churn must preserve the plurality"
+        );
+        let (_, c_hi, _, _) = column[2];
+        assert_eq!(
+            c_hi, 0,
+            "far-super-critical churn (mult = 8) must never reach m-plurality \
+             within the tick budget"
+        );
+    }
+
+    #[test]
+    fn scenario_scales_with_population() {
+        let small = churn_scenario(2.0, 900).unwrap();
+        let large = churn_scenario(2.0, 8_100).unwrap();
+        assert!(small.crash > large.crash, "per-node rate shrinks with n");
+        assert!((small.rejoin / small.crash - 10.0).abs() < 1e-9);
+        assert!(small.rejoin_fresh);
+        assert!(churn_scenario(0.0, 900).is_none());
+    }
+}

@@ -31,6 +31,7 @@ pub mod e14_gossip_async;
 pub mod e15_gossip_modes;
 pub mod e16_failure_models;
 pub mod e17_comm_cost;
+pub mod e18_churn;
 pub mod registry;
 
 use plurality_analysis::Table;

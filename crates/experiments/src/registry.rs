@@ -24,6 +24,7 @@ pub fn all() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::e15_gossip_modes::E15GossipModes),
         Box::new(crate::e16_failure_models::E16FailureModels),
         Box::new(crate::e17_comm_cost::E17CommCost),
+        Box::new(crate::e18_churn::E18Churn),
     ]
 }
 
@@ -56,7 +57,7 @@ mod tests {
             ids,
             vec![
                 "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11", "e12",
-                "e13", "e14", "e15", "e16", "e17"
+                "e13", "e14", "e15", "e16", "e17", "e18"
             ]
         );
     }

@@ -13,6 +13,7 @@
 //! | 3 | master for per-message streams (see [`crate::network`]) |
 //! | 4 | failure-model chains (Gilbert–Elliott / outage holding times) |
 //! | 5 | inbox overflow draws (only [`InboxPolicy::RandomReplace`]) |
+//! | 6 | churn processes (event times, victims, anchors, init colors) |
 //!
 //! # Telemetry
 //!
@@ -54,6 +55,7 @@
 //!   (pre-update) color into the contacted peer's inbox, with loss and
 //!   delay striking each leg independently.
 
+use crate::churn::{ChurnEvent, ChurnModel, ChurnState, InitPolicy};
 use crate::failure::{DropLayer, FailureModel, FailureState};
 use crate::modes::{ExchangeMode, Inbox, InboxAdmit, InboxPolicy};
 use crate::network::{ExchangeFate, LegFate, MessageFate, MessageStreams, NetworkConfig};
@@ -69,9 +71,10 @@ use plurality_engine::{
 use plurality_sampling::{derive_stream, stream_rng, Xoshiro256PlusPlus};
 use plurality_telemetry::{ticks_to_fp, Counter, Gauge, Hist, NoopRecorder, Phase, Recorder};
 use plurality_topology::{
-    downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
+    downcast_topology, Clique, CsrGraph, DynTopology, Membership, Topology, TopologyCore,
+    MAX_DEAD_REDRAWS,
 };
-use rand::RngCore;
+use rand::{Rng, RngCore};
 use std::sync::Arc;
 
 // Stream 0 is the placement shuffle, consumed inside
@@ -87,6 +90,11 @@ const STREAM_FAILURE: u64 = 4;
 /// [`InboxPolicy::RandomReplace`] (one draw per overflow), so runs under
 /// every other inbox policy stay bit-identical to PR 2/3.
 const STREAM_INBOX: u64 = 5;
+/// Churn-process randomness (event times, victim/anchor choices, arrival
+/// init colors).  Consumed only when a [`ChurnModel`] is configured, so
+/// churn-free runs stay bit-identical to earlier PRs — and a configured
+/// model whose rates are all zero never draws from it either.
+const STREAM_CHURN: u64 = 6;
 
 /// Event-driven asynchronous simulator over a [`Topology`].
 ///
@@ -118,6 +126,7 @@ pub struct GossipEngine<'t> {
     /// behind the `Arc`, across engines on different worker threads).
     rated: Option<Arc<RatedActivation>>,
     rate_weighted_time: bool,
+    churn: Option<ChurnModel>,
 }
 
 /// Side statistics of one gossip trial (beyond the shared
@@ -149,6 +158,23 @@ pub struct GossipStats {
     pub starved_updates: u64,
     /// Buffered colors evicted because an inbox hit [`crate::INBOX_CAP`].
     pub inbox_dropped: u64,
+    /// Spares that joined the population (churn only).
+    pub churn_joins: u64,
+    /// Alive nodes that crashed (churn only).
+    pub churn_crashes: u64,
+    /// Alive nodes that left gracefully (churn only).
+    pub churn_leaves: u64,
+    /// Dead members that rejoined (churn only).
+    pub churn_rejoins: u64,
+    /// In-flight events voided by a departure: queued recolor commits
+    /// cancelled at crash/leave time plus delayed pushes that arrived at
+    /// a dead node (churn only).
+    pub orphaned_events: u64,
+    /// Dead peers hit (and redrawn around) by neighbor sampling (churn
+    /// only).
+    pub dead_peer_samples: u64,
+    /// Alive nodes when the trial stopped (= `n` without churn).
+    pub final_alive: u64,
     /// Simulated clock at stop time, in ticks.
     pub final_time: f64,
 }
@@ -168,6 +194,9 @@ struct GossipSampler<'a, 'm, T, Rec> {
     fstate: &'a mut FailureState<'m>,
     streams: &'a mut MessageStreams,
     rec: &'a mut Rec,
+    /// Churn membership overlay; `None` runs the static-topology draw
+    /// unchanged (bit-identical to earlier PRs).
+    membership: Option<&'a Membership>,
     max_extra_ticks: f64,
     // Per-activation tallies, flushed into the recorder (and
     // `GossipStats`) once the update returns: register increments in
@@ -177,17 +206,39 @@ struct GossipSampler<'a, 'm, T, Rec> {
     sent: u64,
     lost: u64,
     delayed: u64,
+    dead_hits: u64,
 }
 
 impl<T: TopologyCore, Rec: Recorder> SampleSource for GossipSampler<'_, '_, T, Rec> {
     fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
         let topology = self.topology;
         let node = self.node;
-        let fate = self
-            .streams
-            .next_fate_in(self.fstate, self.now, node, |mrng| {
-                topology.sample_neighbor_edge_core(node, mrng)
-            });
+        let fate = match self.membership {
+            None => self
+                .streams
+                .next_fate_in(self.fstate, self.now, node, |mrng| {
+                    topology.sample_neighbor_edge_core(node, mrng)
+                }),
+            Some(m) => {
+                let mut hits = 0u64;
+                let fate = self
+                    .streams
+                    .next_fate_in(self.fstate, self.now, node, |mrng| {
+                        m.sample_alive_neighbor_edge(topology, node, &mut hits, mrng)
+                    });
+                self.dead_hits += hits;
+                if hits >= MAX_DEAD_REDRAWS {
+                    // The redraw budget ran dry on dead peers: the
+                    // sample is lost to the churn layer (whatever the
+                    // network would have done with it).
+                    MessageFate::Lost {
+                        layer: DropLayer::DeadPeer,
+                    }
+                } else {
+                    fate
+                }
+            }
+        };
         self.sent += 1;
         match fate {
             MessageFate::Lost { layer } => {
@@ -250,6 +301,9 @@ struct PushPullSampler<'a, 'm, T, Rec> {
     fstate: &'a mut FailureState<'m>,
     streams: &'a mut MessageStreams,
     rec: &'a mut Rec,
+    /// Churn membership overlay; `None` runs the static-topology draw
+    /// unchanged (bit-identical to earlier PRs).
+    membership: Option<&'a Membership>,
     inbox: &'a Inbox,
     cursor: usize,
     instant_pushes: &'a mut Vec<(usize, u32)>,
@@ -264,6 +318,7 @@ struct PushPullSampler<'a, 'm, T, Rec> {
     pull_delayed: u64,
     push_delayed: u64,
     inbox_served: u64,
+    dead_hits: u64,
 }
 
 impl<T: TopologyCore, Rec: Recorder> SampleSource for PushPullSampler<'_, '_, T, Rec> {
@@ -275,11 +330,38 @@ impl<T: TopologyCore, Rec: Recorder> SampleSource for PushPullSampler<'_, '_, T,
         }
         let topology = self.topology;
         let node = self.node;
-        let ExchangeFate { peer, pull, push } =
-            self.streams
+        let ExchangeFate { peer, pull, push } = match self.membership {
+            None => self
+                .streams
                 .next_exchange_in(self.fstate, self.now, node, |mrng| {
                     topology.sample_neighbor_edge_core(node, mrng)
-                });
+                }),
+            Some(m) => {
+                let mut hits = 0u64;
+                let fate = self
+                    .streams
+                    .next_exchange_in(self.fstate, self.now, node, |mrng| {
+                        m.sample_alive_neighbor_edge(topology, node, &mut hits, mrng)
+                    });
+                self.dead_hits += hits;
+                if hits >= MAX_DEAD_REDRAWS {
+                    // Redraw budget exhausted on dead peers: the whole
+                    // exchange is void — both legs lost to the churn
+                    // layer.
+                    ExchangeFate {
+                        peer: fate.peer,
+                        pull: LegFate::Lost {
+                            layer: DropLayer::DeadPeer,
+                        },
+                        push: LegFate::Lost {
+                            layer: DropLayer::DeadPeer,
+                        },
+                    }
+                } else {
+                    fate
+                }
+            }
+        };
         self.sent += 1;
         match push {
             LegFate::Lost { layer } => {
@@ -336,6 +418,7 @@ impl<'t> GossipEngine<'t> {
             rates: None,
             rated: None,
             rate_weighted_time: false,
+            churn: None,
         }
     }
 
@@ -504,6 +587,33 @@ impl<'t> GossipEngine<'t> {
         self.rated = Some(rated);
         self.rates = Some(rates);
         self
+    }
+
+    /// Make the population dynamic: Poisson crash / graceful-leave /
+    /// rejoin / join processes mutate a membership overlay on the base
+    /// topology while the trial runs (see [`crate::churn`]).  All churn
+    /// randomness lives on its own per-trial stream, so a model whose
+    /// rates are all zero is bit-identical to no churn at all.
+    ///
+    /// Not composable with [`Self::with_node_rates`] (heterogeneous
+    /// activation rates assume a fixed population); the run entry point
+    /// panics on the combination.
+    ///
+    /// # Panics
+    /// Panics if the model fails [`ChurnModel::validate`].
+    #[must_use]
+    pub fn with_churn_model(mut self, model: ChurnModel) -> Self {
+        if let Err(e) = model.validate() {
+            panic!("invalid churn model: {e}");
+        }
+        self.churn = Some(model);
+        self
+    }
+
+    /// The configured churn model, if any.
+    #[must_use]
+    pub fn churn_model(&self) -> Option<&ChurnModel> {
+        self.churn.as_ref()
     }
 
     /// The configured exchange mode.
@@ -683,12 +793,34 @@ impl<'t> GossipEngine<'t> {
             n,
             "configuration population must match topology size"
         );
+        assert!(
+            self.churn.is_none() || self.rated.is_none(),
+            "churn is not supported with heterogeneous node rates \
+             (the alias sampler assumes a fixed population)"
+        );
         let initial_plurality = unique_initial_plurality(initial);
         let k_colors = initial.k();
         let lifted = dynamics.lift(initial);
         let state_count = lifted.k();
+        if let Some(model) = &self.churn {
+            let uses_init = model.join > 0.0 || (model.rejoin > 0.0 && model.rejoin_fresh);
+            if uses_init && model.init == InitPolicy::Undecided {
+                assert!(
+                    state_count > k_colors,
+                    "churn init=undecided requires a dynamics with an undecided state \
+                     (dynamics '{}' has none)",
+                    dynamics.name()
+                );
+            }
+        }
+        // Spares occupy node ids `n..total`, dead until they join; every
+        // per-node structure (states, clock, queue, inboxes, failure
+        // chains) is sized over `total` so a join never reallocates.
+        let spare = self.churn.as_ref().map_or(0, |m| m.spare);
+        let total = n + spare;
 
         let mut states = layout_initial_states(&lifted, placement, seed);
+        states.resize(total, 0);
         let mut counts: Vec<u64> = lifted.counts().to_vec();
 
         let mut trace = match opts.trace {
@@ -700,7 +832,10 @@ impl<'t> GossipEngine<'t> {
             t.record(0, &counts, k_colors, full);
         }
 
-        let mut stats = GossipStats::default();
+        let mut stats = GossipStats {
+            final_alive: n as u64,
+            ..GossipStats::default()
+        };
 
         if let Some(winner) = evaluate_stop(opts.stop, dynamics, &counts, initial_plurality) {
             let result = TrialResult {
@@ -720,7 +855,7 @@ impl<'t> GossipEngine<'t> {
         let mut streams = MessageStreams::new(derive_stream(seed, STREAM_MESSAGES));
         let mut fstate = FailureState::new(
             &self.failure,
-            n,
+            total,
             self.edge_table.as_deref(),
             derive_stream(seed, STREAM_FAILURE),
         );
@@ -729,24 +864,37 @@ impl<'t> GossipEngine<'t> {
         }
         let mut inbox_rng = stream_rng(seed, STREAM_INBOX);
         let mut scratch = NodeScratch::with_states(state_count);
-        let mut queue = EventQueue::new(n);
+        let mut queue = EventQueue::new(total);
         let mut clock = match &self.rated {
-            Some(rated) => ActivationClock::with_rated(self.scheduler, n, rated),
-            None => ActivationClock::new(self.scheduler, n, None),
+            Some(rated) => ActivationClock::with_rated(self.scheduler, total, rated),
+            None => ActivationClock::new(self.scheduler, total, None),
         }
         .with_rate_weighted_time(self.rate_weighted_time);
         let mut inboxes: Vec<Inbox> = match self.mode {
             ExchangeMode::Pull => Vec::new(),
             ExchangeMode::Push | ExchangeMode::PushPull => {
-                vec![Inbox::with_policy(self.inbox_policy); n]
+                vec![Inbox::with_policy(self.inbox_policy); total]
             }
         };
         let mut instant_pushes: Vec<(usize, u32)> = Vec::new();
         let mut delayed_pushes: Vec<(usize, u32, f64)> = Vec::new();
+        let mut membership = self.churn.as_ref().map(|_| Membership::new(n, spare));
+        let mut churn_state = self.churn.as_ref().map(|model| {
+            let mut cs = ChurnState::new(model.clone(), stream_rng(seed, STREAM_CHURN));
+            cs.schedule(
+                0.0,
+                membership.as_ref().expect("membership built with churn"),
+            );
+            cs
+        });
 
         let max_events = opts.max_events.unwrap_or(u64::MAX);
         let mut events: u64 = 0;
         let mut ticks: u64 = 0;
+        // Clock draws, dead-node no-ops included: `total` draws = one
+        // tick of parallel time (equal to `stats.activations` without
+        // churn).
+        let mut draws: u64 = 0;
         // Delayed pushes scheduled but not yet arrived (telemetry only).
         let mut pushes_in_flight: u64 = 0;
         let mut next_act = clock.next(&mut sched_rng);
@@ -754,10 +902,123 @@ impl<'t> GossipEngine<'t> {
         rec.phase_start(Phase::Run);
 
         loop {
-            // Queued network events fire before an activation sharing
-            // their timestamp (see the module docs on tie-breaking).
-            let fire_queue = matches!(queue.peek_time(), Some(t) if t <= next_act.0);
-            if fire_queue {
+            // Event-source merge.  Queued network events fire before an
+            // activation sharing their timestamp (see the module docs on
+            // tie-breaking); churn events fire before both — a churn
+            // event is a population change, and anything resolving at
+            // the same instant already sees the new membership.
+            let churn_next = churn_state
+                .as_ref()
+                .map_or(f64::INFINITY, ChurnState::next_time);
+            let queue_t = queue.peek_time();
+            let fire_churn = churn_next <= next_act.0 && queue_t.is_none_or(|t| churn_next <= t);
+            let fire_queue = !fire_churn && matches!(queue_t, Some(t) if t <= next_act.0);
+            if fire_churn {
+                let cs = churn_state.as_mut().expect("churn fired without state");
+                let m = membership.as_mut().expect("churn fired without membership");
+                let model = self.churn.as_ref().expect("churn fired without model");
+                let now = churn_next;
+                events += 1;
+                stats.final_time = now;
+                match cs.pick(m) {
+                    Some(ev @ (ChurnEvent::Crash | ChurnEvent::Leave)) => {
+                        let v = if ev == ChurnEvent::Crash {
+                            stats.churn_crashes += 1;
+                            rec.incr(Counter::ChurnCrashes);
+                            m.crash_random(cs.rng_mut())
+                        } else {
+                            stats.churn_leaves += 1;
+                            rec.incr(Counter::ChurnLeaves);
+                            m.leave_random(cs.rng_mut())
+                        };
+                        // The node's color mass leaves the tally; its
+                        // stale state stays in `states[v]` for a
+                        // possible `state=stale` rejoin.
+                        counts[states[v] as usize] -= 1;
+                        if queue.cancel(v as u32) {
+                            stats.orphaned_events += 1;
+                            rec.incr(Counter::OrphanedCommits);
+                        }
+                        if let Some(inbox) = inboxes.get_mut(v) {
+                            let cleared = inbox.clear();
+                            if cleared > 0 {
+                                rec.add(Counter::InboxClearedChurn, cleared as u64);
+                            }
+                        }
+                    }
+                    Some(ChurnEvent::Rejoin) => {
+                        // Fresh color drawn before the member re-enters
+                        // the alive set, so copy-random-alive cannot
+                        // copy the rejoiner's own stale color.
+                        let fresh = if model.rejoin_fresh {
+                            Some(draw_init_color(
+                                model.init,
+                                k_colors,
+                                m,
+                                &states,
+                                cs.rng_mut(),
+                            ))
+                        } else {
+                            None
+                        };
+                        let v = m.rejoin_random(cs.rng_mut());
+                        if let Some(color) = fresh {
+                            states[v] = color;
+                        }
+                        counts[states[v] as usize] += 1;
+                        stats.churn_rejoins += 1;
+                        rec.incr(Counter::ChurnRejoins);
+                    }
+                    Some(ChurnEvent::Join) => {
+                        // Color drawn before the spare enters the alive
+                        // set, so copy-random-alive cannot copy the
+                        // arrival itself.
+                        let color = draw_init_color(model.init, k_colors, m, &states, cs.rng_mut());
+                        let v = m.join_spare(model.attach, cs.rng_mut());
+                        states[v] = color;
+                        counts[color as usize] += 1;
+                        stats.churn_joins += 1;
+                        rec.incr(Counter::ChurnJoins);
+                    }
+                    None => {}
+                }
+                // A departure can remove the last dissenter (and an
+                // arrival can complete a fraction-based stop), so the
+                // stop rule is evaluated after every membership change —
+                // but never over an empty population.
+                if m.alive_count() > 0 {
+                    if let Some(winner) =
+                        evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
+                    {
+                        stats.messages = streams.issued();
+                        stats.final_alive = m.alive_count() as u64;
+                        rec.phase_end(Phase::Run);
+                        record_stop(
+                            rec,
+                            &queue,
+                            &inboxes,
+                            pushes_in_flight,
+                            completed_ticks(draws, total),
+                            stats.final_time,
+                        );
+                        rec.phase_start(Phase::Finalize);
+                        let out = finish(
+                            winner,
+                            initial_plurality,
+                            draws,
+                            total,
+                            trace,
+                            &counts,
+                            k_colors,
+                            full,
+                            stats,
+                        );
+                        rec.phase_end(Phase::Finalize);
+                        return out;
+                    }
+                }
+                cs.schedule(now, m);
+            } else if fire_queue {
                 let ev = queue.pop().expect("peeked event vanished");
                 events += 1;
                 stats.final_time = ev.time;
@@ -769,21 +1030,23 @@ impl<'t> GossipEngine<'t> {
                                 evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
                             {
                                 stats.messages = streams.issued();
+                                stats.final_alive =
+                                    membership.as_ref().map_or(n, Membership::alive_count) as u64;
                                 rec.phase_end(Phase::Run);
                                 record_stop(
                                     rec,
                                     &queue,
                                     &inboxes,
                                     pushes_in_flight,
-                                    completed_ticks(stats.activations, n),
+                                    completed_ticks(draws, total),
                                     stats.final_time,
                                 );
                                 rec.phase_start(Phase::Finalize);
                                 let out = finish(
                                     winner,
                                     initial_plurality,
-                                    stats.activations,
-                                    n,
+                                    draws,
+                                    total,
                                     trace,
                                     &counts,
                                     k_colors,
@@ -796,18 +1059,28 @@ impl<'t> GossipEngine<'t> {
                         }
                     }
                     EventKind::PushArrival { color } => {
-                        stats.pushes_delivered += 1;
                         if Rec::ENABLED {
                             pushes_in_flight -= 1;
                         }
-                        deliver_to_inbox(
-                            &mut inboxes[ev.node as usize],
-                            color,
-                            ev.time,
-                            &mut inbox_rng,
-                            rec,
-                            &mut stats,
-                        );
+                        if membership
+                            .as_ref()
+                            .is_some_and(|m| !m.is_alive(ev.node as usize))
+                        {
+                            // The target departed while the push was in
+                            // flight: orphaned, never delivered.
+                            stats.orphaned_events += 1;
+                            rec.incr(Counter::OrphanedPushes);
+                        } else {
+                            stats.pushes_delivered += 1;
+                            deliver_to_inbox(
+                                &mut inboxes[ev.node as usize],
+                                color,
+                                ev.time,
+                                &mut inbox_rng,
+                                rec,
+                                &mut stats,
+                            );
+                        }
                     }
                 }
             } else {
@@ -815,130 +1088,238 @@ impl<'t> GossipEngine<'t> {
                 let v = node as usize;
                 events += 1;
                 stats.final_time = now;
-                stats.activations += 1;
-                rec.incr(Counter::Activations);
-                if Rec::ENABLED {
-                    rec.observe(Hist::QueueDepth, queue.len() as u64);
-                }
-                if queue.cancel(node) {
-                    stats.superseded_commits += 1;
-                    rec.incr(Counter::SupersededCommits);
-                }
-                let own = states[v];
-
-                // Run the mode-specific exchange + update; `outcome` is
-                // the new state (None = starved push update) plus the
-                // slowest pull-leg delay gating the recolor commit.
-                let (outcome, max_extra) = match self.mode {
-                    ExchangeMode::Pull => {
-                        let mut sampler = GossipSampler {
-                            topology,
-                            states: &states,
-                            node: v,
-                            own,
-                            now,
-                            fstate: &mut fstate,
-                            streams: &mut streams,
-                            rec: &mut *rec,
-                            max_extra_ticks: 0.0,
-                            sent: 0,
-                            lost: 0,
-                            delayed: 0,
-                        };
-                        let new = dynamics.node_update_core(
-                            own,
-                            &mut sampler,
-                            &mut scratch,
-                            &mut update_rng,
-                        );
-                        let (sent, lost, delayed) = (sampler.sent, sampler.lost, sampler.delayed);
-                        let max_extra = sampler.max_extra_ticks;
-                        stats.lost_messages += lost;
-                        stats.delayed_messages += delayed;
-                        if Rec::ENABLED {
-                            rec.add(Counter::PullSent, sent);
-                            rec.add(Counter::PullDelivered, sent - lost);
-                            rec.add(Counter::PullLost, lost);
-                            rec.add(Counter::PullDelayed, delayed);
-                        }
-                        (Some(new), max_extra)
+                // Clock draws — not applied activations — advance
+                // parallel time: a dead node keeps its slot in the
+                // superposed clock (Poisson thinning), so time flows at
+                // the same rate however much of the population is down.
+                draws += 1;
+                if membership.as_ref().is_some_and(|m| !m.is_alive(v)) {
+                    // A dead node's activation is a no-op.
+                    rec.incr(Counter::DeadActivationsSkipped);
+                } else {
+                    stats.activations += 1;
+                    rec.incr(Counter::Activations);
+                    if Rec::ENABLED {
+                        rec.observe(Hist::QueueDepth, queue.len() as u64);
                     }
-                    ExchangeMode::Push => {
-                        // The activation's one call: push own color out.
-                        let fate = next_push_fate(topology, &mut fstate, now, v, &mut streams);
-                        rec.incr(Counter::PushSent);
-                        match fate {
-                            MessageFate::Lost { layer } => {
-                                rec.incr(Counter::PushLost);
-                                rec.incr(lost_counter(layer));
-                                stats.lost_messages += 1;
-                            }
-                            MessageFate::Delivered { peer } => {
-                                rec.incr(Counter::PushDelivered);
-                                stats.pushes_delivered += 1;
-                                deliver_to_inbox(
-                                    &mut inboxes[peer],
-                                    own,
-                                    now,
-                                    &mut inbox_rng,
-                                    rec,
-                                    &mut stats,
-                                );
-                            }
-                            MessageFate::Delayed { peer, extra_ticks } => {
-                                rec.incr(Counter::PushDelivered);
-                                rec.incr(Counter::PushDelayed);
-                                if Rec::ENABLED {
-                                    rec.observe(Hist::DelayExtraFp, ticks_to_fp(extra_ticks));
-                                    pushes_in_flight += 1;
-                                }
-                                stats.delayed_messages += 1;
-                                queue.push(
-                                    now + extra_ticks,
-                                    peer as u32,
-                                    EventKind::PushArrival { color: own },
-                                );
-                            }
-                        }
-                        // Expire overstayed colors before the update can
-                        // serve them (no-op under non-TTL policies).
-                        let expired = inboxes[v].purge_expired(now);
-                        if expired > 0 {
-                            rec.add(Counter::InboxExpiredTtl, expired as u64);
-                        }
-                        // Then try to update from the inbox.
-                        let mut sampler = InboxSampler {
-                            inbox: &inboxes[v],
-                            cursor: 0,
-                            own,
-                            starved: false,
-                        };
-                        let new = dynamics.node_update_core(
-                            own,
-                            &mut sampler,
-                            &mut scratch,
-                            &mut update_rng,
-                        );
-                        let (starved, consumed) = (sampler.starved, sampler.cursor);
-                        if starved {
-                            // A starved update with a *full* inbox can
-                            // never be satisfied: the rule draws more
-                            // samples than the inbox can ever hold, and
-                            // the trial would silently livelock until
-                            // max_rounds.  Fail loudly instead.
-                            assert!(
-                                inboxes[v].len() < crate::modes::INBOX_CAP,
-                                "dynamics '{}' draws more than INBOX_CAP = {} samples per \
-                                 update; PUSH mode cannot serve it (use PULL or PUSH-PULL)",
-                                dynamics.name(),
-                                crate::modes::INBOX_CAP
+                    if queue.cancel(node) {
+                        stats.superseded_commits += 1;
+                        rec.incr(Counter::SupersededCommits);
+                    }
+                    let own = states[v];
+
+                    // Run the mode-specific exchange + update; `outcome` is
+                    // the new state (None = starved push update) plus the
+                    // slowest pull-leg delay gating the recolor commit.
+                    let (outcome, max_extra) = match self.mode {
+                        ExchangeMode::Pull => {
+                            let mut sampler = GossipSampler {
+                                topology,
+                                states: &states,
+                                node: v,
+                                own,
+                                now,
+                                fstate: &mut fstate,
+                                streams: &mut streams,
+                                rec: &mut *rec,
+                                membership: membership.as_ref(),
+                                max_extra_ticks: 0.0,
+                                sent: 0,
+                                lost: 0,
+                                delayed: 0,
+                                dead_hits: 0,
+                            };
+                            let new = dynamics.node_update_core(
+                                own,
+                                &mut sampler,
+                                &mut scratch,
+                                &mut update_rng,
                             );
-                            stats.starved_updates += 1;
-                            rec.incr(Counter::StarvedActivations);
-                            (None, 0.0)
-                        } else {
-                            stats.inbox_served += consumed as u64;
-                            rec.add(Counter::InboxServed, consumed as u64);
+                            let (sent, lost, delayed) =
+                                (sampler.sent, sampler.lost, sampler.delayed);
+                            let max_extra = sampler.max_extra_ticks;
+                            let dead_hits = sampler.dead_hits;
+                            stats.lost_messages += lost;
+                            stats.delayed_messages += delayed;
+                            if dead_hits > 0 {
+                                stats.dead_peer_samples += dead_hits;
+                                rec.add(Counter::DeadPeerSamples, dead_hits);
+                            }
+                            if Rec::ENABLED {
+                                rec.add(Counter::PullSent, sent);
+                                rec.add(Counter::PullDelivered, sent - lost);
+                                rec.add(Counter::PullLost, lost);
+                                rec.add(Counter::PullDelayed, delayed);
+                            }
+                            (Some(new), max_extra)
+                        }
+                        ExchangeMode::Push => {
+                            // The activation's one call: push own color out.
+                            let mut dead_hits = 0u64;
+                            let fate = next_push_fate(
+                                topology,
+                                membership.as_ref(),
+                                &mut fstate,
+                                now,
+                                v,
+                                &mut streams,
+                                &mut dead_hits,
+                            );
+                            if dead_hits > 0 {
+                                stats.dead_peer_samples += dead_hits;
+                                rec.add(Counter::DeadPeerSamples, dead_hits);
+                            }
+                            rec.incr(Counter::PushSent);
+                            match fate {
+                                MessageFate::Lost { layer } => {
+                                    rec.incr(Counter::PushLost);
+                                    rec.incr(lost_counter(layer));
+                                    stats.lost_messages += 1;
+                                }
+                                MessageFate::Delivered { peer } => {
+                                    rec.incr(Counter::PushDelivered);
+                                    stats.pushes_delivered += 1;
+                                    deliver_to_inbox(
+                                        &mut inboxes[peer],
+                                        own,
+                                        now,
+                                        &mut inbox_rng,
+                                        rec,
+                                        &mut stats,
+                                    );
+                                }
+                                MessageFate::Delayed { peer, extra_ticks } => {
+                                    rec.incr(Counter::PushDelivered);
+                                    rec.incr(Counter::PushDelayed);
+                                    if Rec::ENABLED {
+                                        rec.observe(Hist::DelayExtraFp, ticks_to_fp(extra_ticks));
+                                        pushes_in_flight += 1;
+                                    }
+                                    stats.delayed_messages += 1;
+                                    queue.push(
+                                        now + extra_ticks,
+                                        peer as u32,
+                                        EventKind::PushArrival { color: own },
+                                    );
+                                }
+                            }
+                            // Expire overstayed colors before the update can
+                            // serve them (no-op under non-TTL policies).
+                            let expired = inboxes[v].purge_expired(now);
+                            if expired > 0 {
+                                rec.add(Counter::InboxExpiredTtl, expired as u64);
+                            }
+                            // Then try to update from the inbox.
+                            let mut sampler = InboxSampler {
+                                inbox: &inboxes[v],
+                                cursor: 0,
+                                own,
+                                starved: false,
+                            };
+                            let new = dynamics.node_update_core(
+                                own,
+                                &mut sampler,
+                                &mut scratch,
+                                &mut update_rng,
+                            );
+                            let (starved, consumed) = (sampler.starved, sampler.cursor);
+                            if starved {
+                                // A starved update with a *full* inbox can
+                                // never be satisfied: the rule draws more
+                                // samples than the inbox can ever hold, and
+                                // the trial would silently livelock until
+                                // max_rounds.  Fail loudly instead.
+                                assert!(
+                                    inboxes[v].len() < crate::modes::INBOX_CAP,
+                                    "dynamics '{}' draws more than INBOX_CAP = {} samples per \
+                                 update; PUSH mode cannot serve it (use PULL or PUSH-PULL)",
+                                    dynamics.name(),
+                                    crate::modes::INBOX_CAP
+                                );
+                                stats.starved_updates += 1;
+                                rec.incr(Counter::StarvedActivations);
+                                (None, 0.0)
+                            } else {
+                                stats.inbox_served += consumed as u64;
+                                rec.add(Counter::InboxServed, consumed as u64);
+                                if Rec::ENABLED {
+                                    for i in 0..consumed {
+                                        if let Some((_, arrival)) = inboxes[v].peek_entry(i) {
+                                            rec.observe(
+                                                Hist::InboxStalenessFp,
+                                                ticks_to_fp(now - arrival),
+                                            );
+                                        }
+                                    }
+                                }
+                                inboxes[v].consume(consumed);
+                                (Some(new), 0.0)
+                            }
+                        }
+                        ExchangeMode::PushPull => {
+                            instant_pushes.clear();
+                            delayed_pushes.clear();
+                            // Expire overstayed colors before the update can
+                            // serve them (no-op under non-TTL policies).
+                            let expired = inboxes[v].purge_expired(now);
+                            if expired > 0 {
+                                rec.add(Counter::InboxExpiredTtl, expired as u64);
+                            }
+                            let mut sampler = PushPullSampler {
+                                topology,
+                                states: &states,
+                                node: v,
+                                own,
+                                now,
+                                fstate: &mut fstate,
+                                streams: &mut streams,
+                                rec: &mut *rec,
+                                membership: membership.as_ref(),
+                                inbox: &inboxes[v],
+                                cursor: 0,
+                                instant_pushes: &mut instant_pushes,
+                                delayed_pushes: &mut delayed_pushes,
+                                max_extra_ticks: 0.0,
+                                sent: 0,
+                                pull_lost: 0,
+                                push_lost: 0,
+                                pull_delayed: 0,
+                                push_delayed: 0,
+                                inbox_served: 0,
+                                dead_hits: 0,
+                            };
+                            let new = dynamics.node_update_core(
+                                own,
+                                &mut sampler,
+                                &mut scratch,
+                                &mut update_rng,
+                            );
+                            let max_extra = sampler.max_extra_ticks;
+                            let consumed = sampler.cursor;
+                            let served = sampler.inbox_served;
+                            let sent = sampler.sent;
+                            let (pull_lost, push_lost) = (sampler.pull_lost, sampler.push_lost);
+                            let (pull_delayed, push_delayed) =
+                                (sampler.pull_delayed, sampler.push_delayed);
+                            let dead_hits = sampler.dead_hits;
+                            stats.lost_messages += pull_lost + push_lost;
+                            stats.delayed_messages += pull_delayed + push_delayed;
+                            if dead_hits > 0 {
+                                stats.dead_peer_samples += dead_hits;
+                                rec.add(Counter::DeadPeerSamples, dead_hits);
+                            }
+                            if Rec::ENABLED {
+                                rec.add(Counter::PullSent, sent);
+                                rec.add(Counter::PushSent, sent);
+                                rec.add(Counter::PullDelivered, sent - pull_lost);
+                                rec.add(Counter::PushDelivered, sent - push_lost);
+                                rec.add(Counter::PullLost, pull_lost);
+                                rec.add(Counter::PushLost, push_lost);
+                                rec.add(Counter::PullDelayed, pull_delayed);
+                                rec.add(Counter::PushDelayed, push_delayed);
+                            }
+                            stats.inbox_served += served;
+                            rec.add(Counter::InboxServed, served);
                             if Rec::ENABLED {
                                 for i in 0..consumed {
                                     if let Some((_, arrival)) = inboxes[v].peek_entry(i) {
@@ -950,138 +1331,78 @@ impl<'t> GossipEngine<'t> {
                                 }
                             }
                             inboxes[v].consume(consumed);
-                            (Some(new), 0.0)
+                            for &(peer, color) in instant_pushes.iter() {
+                                stats.pushes_delivered += 1;
+                                deliver_to_inbox(
+                                    &mut inboxes[peer],
+                                    color,
+                                    now,
+                                    &mut inbox_rng,
+                                    rec,
+                                    &mut stats,
+                                );
+                            }
+                            for &(peer, color, extra) in delayed_pushes.iter() {
+                                if Rec::ENABLED {
+                                    pushes_in_flight += 1;
+                                }
+                                queue.push(
+                                    now + extra,
+                                    peer as u32,
+                                    EventKind::PushArrival { color },
+                                );
+                            }
+                            (Some(new), max_extra)
                         }
-                    }
-                    ExchangeMode::PushPull => {
-                        instant_pushes.clear();
-                        delayed_pushes.clear();
-                        // Expire overstayed colors before the update can
-                        // serve them (no-op under non-TTL policies).
-                        let expired = inboxes[v].purge_expired(now);
-                        if expired > 0 {
-                            rec.add(Counter::InboxExpiredTtl, expired as u64);
-                        }
-                        let mut sampler = PushPullSampler {
-                            topology,
-                            states: &states,
-                            node: v,
-                            own,
-                            now,
-                            fstate: &mut fstate,
-                            streams: &mut streams,
-                            rec: &mut *rec,
-                            inbox: &inboxes[v],
-                            cursor: 0,
-                            instant_pushes: &mut instant_pushes,
-                            delayed_pushes: &mut delayed_pushes,
-                            max_extra_ticks: 0.0,
-                            sent: 0,
-                            pull_lost: 0,
-                            push_lost: 0,
-                            pull_delayed: 0,
-                            push_delayed: 0,
-                            inbox_served: 0,
-                        };
-                        let new = dynamics.node_update_core(
-                            own,
-                            &mut sampler,
-                            &mut scratch,
-                            &mut update_rng,
-                        );
-                        let max_extra = sampler.max_extra_ticks;
-                        let consumed = sampler.cursor;
-                        let served = sampler.inbox_served;
-                        let sent = sampler.sent;
-                        let (pull_lost, push_lost) = (sampler.pull_lost, sampler.push_lost);
-                        let (pull_delayed, push_delayed) =
-                            (sampler.pull_delayed, sampler.push_delayed);
-                        stats.lost_messages += pull_lost + push_lost;
-                        stats.delayed_messages += pull_delayed + push_delayed;
-                        if Rec::ENABLED {
-                            rec.add(Counter::PullSent, sent);
-                            rec.add(Counter::PushSent, sent);
-                            rec.add(Counter::PullDelivered, sent - pull_lost);
-                            rec.add(Counter::PushDelivered, sent - push_lost);
-                            rec.add(Counter::PullLost, pull_lost);
-                            rec.add(Counter::PushLost, push_lost);
-                            rec.add(Counter::PullDelayed, pull_delayed);
-                            rec.add(Counter::PushDelayed, push_delayed);
-                        }
-                        stats.inbox_served += served;
-                        rec.add(Counter::InboxServed, served);
-                        if Rec::ENABLED {
-                            for i in 0..consumed {
-                                if let Some((_, arrival)) = inboxes[v].peek_entry(i) {
-                                    rec.observe(Hist::InboxStalenessFp, ticks_to_fp(now - arrival));
+                    };
+
+                    if let Some(new) = outcome {
+                        if max_extra == 0.0 {
+                            rec.incr(Counter::CommitsApplied);
+                            if apply(&mut states, &mut counts, v, new) {
+                                if let Some(winner) =
+                                    evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
+                                {
+                                    stats.messages = streams.issued();
+                                    stats.final_alive =
+                                        membership.as_ref().map_or(n, Membership::alive_count)
+                                            as u64;
+                                    rec.phase_end(Phase::Run);
+                                    record_stop(
+                                        rec,
+                                        &queue,
+                                        &inboxes,
+                                        pushes_in_flight,
+                                        completed_ticks(draws, total),
+                                        stats.final_time,
+                                    );
+                                    rec.phase_start(Phase::Finalize);
+                                    let out = finish(
+                                        winner,
+                                        initial_plurality,
+                                        draws,
+                                        total,
+                                        trace,
+                                        &counts,
+                                        k_colors,
+                                        full,
+                                        stats,
+                                    );
+                                    rec.phase_end(Phase::Finalize);
+                                    return out;
                                 }
                             }
+                        } else {
+                            queue.push(now + max_extra, node, EventKind::Commit { state: new });
                         }
-                        inboxes[v].consume(consumed);
-                        for &(peer, color) in instant_pushes.iter() {
-                            stats.pushes_delivered += 1;
-                            deliver_to_inbox(
-                                &mut inboxes[peer],
-                                color,
-                                now,
-                                &mut inbox_rng,
-                                rec,
-                                &mut stats,
-                            );
-                        }
-                        for &(peer, color, extra) in delayed_pushes.iter() {
-                            if Rec::ENABLED {
-                                pushes_in_flight += 1;
-                            }
-                            queue.push(now + extra, peer as u32, EventKind::PushArrival { color });
-                        }
-                        (Some(new), max_extra)
-                    }
-                };
-
-                if let Some(new) = outcome {
-                    if max_extra == 0.0 {
-                        rec.incr(Counter::CommitsApplied);
-                        if apply(&mut states, &mut counts, v, new) {
-                            if let Some(winner) =
-                                evaluate_stop(opts.stop, dynamics, &counts, initial_plurality)
-                            {
-                                stats.messages = streams.issued();
-                                rec.phase_end(Phase::Run);
-                                record_stop(
-                                    rec,
-                                    &queue,
-                                    &inboxes,
-                                    pushes_in_flight,
-                                    completed_ticks(stats.activations, n),
-                                    stats.final_time,
-                                );
-                                rec.phase_start(Phase::Finalize);
-                                let out = finish(
-                                    winner,
-                                    initial_plurality,
-                                    stats.activations,
-                                    n,
-                                    trace,
-                                    &counts,
-                                    k_colors,
-                                    full,
-                                    stats,
-                                );
-                                rec.phase_end(Phase::Finalize);
-                                return out;
-                            }
-                        }
-                    } else {
-                        queue.push(now + max_extra, node, EventKind::Commit { state: new });
                     }
                 }
 
                 next_act = clock.next(&mut sched_rng);
 
-                // Tick boundary: n activations = one unit of parallel
-                // time.
-                if stats.activations % n as u64 == 0 {
+                // Tick boundary: `total` clock draws (dead-node no-ops
+                // included) = one unit of parallel time.
+                if draws.is_multiple_of(total as u64) {
                     ticks += 1;
                     if let Some(t) = trace.as_mut() {
                         t.record(ticks, &counts, k_colors, full);
@@ -1097,17 +1418,18 @@ impl<'t> GossipEngine<'t> {
         }
 
         stats.messages = streams.issued();
+        stats.final_alive = membership.as_ref().map_or(n, Membership::alive_count) as u64;
         rec.phase_end(Phase::Run);
         record_stop(
             rec,
             &queue,
             &inboxes,
             pushes_in_flight,
-            completed_ticks(stats.activations, n),
+            completed_ticks(draws, total),
             stats.final_time,
         );
         let result = TrialResult {
-            rounds: completed_ticks(stats.activations, n),
+            rounds: completed_ticks(draws, total),
             reason: StopReason::MaxRounds,
             winner: None,
             initial_plurality,
@@ -1127,6 +1449,7 @@ fn lost_counter(layer: DropLayer) -> Counter {
         DropLayer::GeChain => Counter::LostGeChain,
         DropLayer::Outage => Counter::LostOutage,
         DropLayer::Partition => Counter::LostPartition,
+        DropLayer::DeadPeer => Counter::LostDeadPeer,
     }
 }
 
@@ -1197,22 +1520,70 @@ fn record_stop<Rec: Recorder>(
 
 /// Draw the fate of a PUSH-mode send from node `v` (loss, peer,
 /// delay — the same per-message stream layout as a PULL request).
+/// With a churn `membership`, the peer draw rejects dead peers within
+/// the redraw budget; an exhausted budget loses the send to the
+/// `dead_peer` layer.
 fn next_push_fate<T: TopologyCore>(
     topology: &T,
+    membership: Option<&Membership>,
     fstate: &mut FailureState<'_>,
     now: f64,
     v: usize,
     streams: &mut MessageStreams,
+    dead_hits: &mut u64,
 ) -> MessageFate {
-    streams.next_fate_in(fstate, now, v, |mrng| {
-        topology.sample_neighbor_edge_core(v, mrng)
-    })
+    match membership {
+        None => streams.next_fate_in(fstate, now, v, |mrng| {
+            topology.sample_neighbor_edge_core(v, mrng)
+        }),
+        Some(m) => {
+            let mut hits = 0u64;
+            let fate = streams.next_fate_in(fstate, now, v, |mrng| {
+                m.sample_alive_neighbor_edge(topology, v, &mut hits, mrng)
+            });
+            *dead_hits += hits;
+            if hits >= MAX_DEAD_REDRAWS {
+                MessageFate::Lost {
+                    layer: DropLayer::DeadPeer,
+                }
+            } else {
+                fate
+            }
+        }
+    }
 }
 
-/// Parallel time consumed by `activations` activations, in whole ticks
-/// (a partial tick counts as one).
-fn completed_ticks(activations: u64, n: usize) -> u64 {
-    activations.div_ceil(n as u64)
+/// Initial color for an arriving node (a fresh join, or a rejoin with
+/// `state=fresh`), drawn from the churn stream.  Copy-random-alive falls
+/// back to a fresh uniform draw when nobody is alive to copy from.
+fn draw_init_color(
+    init: InitPolicy,
+    k_colors: usize,
+    membership: &Membership,
+    states: &[u32],
+    rng: &mut Xoshiro256PlusPlus,
+) -> u32 {
+    match init {
+        InitPolicy::FreshUniform => rng.gen_range(0..k_colors as u32),
+        InitPolicy::CopyRandomAlive => {
+            if membership.alive_count() == 0 {
+                rng.gen_range(0..k_colors as u32)
+            } else {
+                states[membership.random_alive(rng)]
+            }
+        }
+        // Lifted undecided state = index `k_colors` (checked against the
+        // dynamics at setup).
+        InitPolicy::Undecided => k_colors as u32,
+    }
+}
+
+/// Parallel time consumed by `draws` activation-clock draws over a
+/// population of `total` clock slots, in whole ticks (a partial tick
+/// counts as one).  Without churn `draws` = applied activations and
+/// `total` = `n`.
+fn completed_ticks(draws: u64, total: usize) -> u64 {
+    draws.div_ceil(total as u64)
 }
 
 /// Recolor node `v`; returns whether the configuration changed.
@@ -1232,15 +1603,15 @@ fn apply(states: &mut [u32], counts: &mut [u64], v: usize, new: u32) -> bool {
 fn finish(
     winner: usize,
     initial_plurality: usize,
-    activations: u64,
-    n: usize,
+    draws: u64,
+    total: usize,
     mut trace: Option<Trace>,
     counts: &[u64],
     k_colors: usize,
     full: bool,
     stats: GossipStats,
 ) -> (TrialResult, GossipStats) {
-    let ticks = completed_ticks(activations, n);
+    let ticks = completed_ticks(draws, total);
     if let Some(t) = trace.as_mut() {
         // The trace must end with the stopping configuration at index
         // `ticks` (the same contract as the synchronous engines).  If a

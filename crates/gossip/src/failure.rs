@@ -800,17 +800,23 @@ pub enum DropLayer {
     Outage,
     /// An active cross-cut [`Partition`], `loss = 1`.
     Partition,
+    /// Churn: the dead-peer redraw budget ran out — every candidate
+    /// peer the sample drew had departed (`loss = 1`; attributed by
+    /// the engine, not by [`LinkConditions`] resolution).
+    DeadPeer,
 }
 
 impl DropLayer {
-    /// All layers, in resolution order.
-    pub const ALL: [Self; 6] = [
+    /// All layers, in resolution order (the engine-attributed
+    /// [`Self::DeadPeer`] last).
+    pub const ALL: [Self; 7] = [
         Self::Baseline,
         Self::PerEdge,
         Self::Window,
         Self::GeChain,
         Self::Outage,
         Self::Partition,
+        Self::DeadPeer,
     ];
 
     /// Stable snake-case label (matches the telemetry counter names).
@@ -823,6 +829,7 @@ impl DropLayer {
             Self::GeChain => "ge_chain",
             Self::Outage => "outage",
             Self::Partition => "partition",
+            Self::DeadPeer => "dead_peer",
         }
     }
 }

@@ -133,6 +133,23 @@
 //! `tests/gossip_vs_sync.rs` and `tests/gossip_modes.rs` at the
 //! workspace root).
 //!
+//! # Churn (dynamic membership)
+//!
+//! [`ChurnModel`] ([`crate::churn`]) makes the population itself
+//! dynamic: Poisson **crash** / graceful-**leave** / **rejoin** / fresh
+//! **join** processes mutate a membership overlay on the base topology
+//! (`plurality_topology::Membership`) while the run is in flight.  Dead
+//! nodes stop activating, their inboxes are flushed and in-flight
+//! traffic to them is orphaned; samplers redraw around dead peers (a
+//! bounded redraw budget, then the sample is lost to the `dead_peer`
+//! layer); rejoining nodes return with their stale color or a fresh one,
+//! and joining spares attach via overlay edges and color themselves by a
+//! configurable [`InitPolicy`].  All churn randomness lives on its own
+//! per-trial stream, so a zero-rate model is bit-identical to no churn
+//! at all.  Configure with [`GossipEngine::with_churn_model`], the CLI's
+//! `--churn` DSL ([`ChurnModel::parse`]), or experiment e18 (the churn
+//! phase-boundary grid).
+//!
 //! # Quick start
 //!
 //! ```
@@ -160,12 +177,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod engine;
 pub mod failure;
 pub mod modes;
 pub mod network;
 pub mod scheduler;
 
+pub use churn::{ChurnModel, InitPolicy, DEFAULT_ATTACH};
 pub use engine::{GossipEngine, GossipStats};
 pub use failure::{
     DropLayer, EdgeDists, FailureModel, FailureState, GilbertElliott, LinkConditions, NodeOutages,

@@ -268,6 +268,15 @@ impl Inbox {
         self.entries.drain(..count.min(self.entries.len()));
     }
 
+    /// Drop every buffered entry (a churn crash or graceful leave wipes
+    /// the node's volatile state); returns how many were discarded so the
+    /// engine can attribute them to `inbox_cleared_churn`.
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
     /// Buffered entries.
     #[must_use]
     pub fn len(&self) -> usize {

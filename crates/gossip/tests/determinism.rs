@@ -15,8 +15,8 @@
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{MonteCarlo, Placement, RunOptions};
 use plurality_gossip::{
-    EdgeDists, ExchangeMode, FailureModel, GossipEngine, GossipStats, NetworkConfig, ParamDist,
-    Scheduler,
+    ChurnModel, EdgeDists, ExchangeMode, FailureModel, GossipEngine, GossipStats, NetworkConfig,
+    ParamDist, Scheduler,
 };
 use plurality_sampling::derive_stream;
 use plurality_topology::{random_regular, Clique, Topology};
@@ -263,6 +263,106 @@ fn structured_failure_fleet_is_thread_invariant() {
         })
     };
     assert_eq!(run(1), run(8), "thread count changed structured outcomes");
+}
+
+/// Zero-rate churn must be **bit-identical** to no churn at all: the
+/// membership overlay is installed (alive-mask sampler, total-sized
+/// buffers), but every overlay draw consumes exactly one `gen_range`
+/// over the same range the base sampler used, and the churn stream is
+/// never touched when no event can fire.
+#[test]
+fn zero_rate_churn_is_bit_identical_to_no_churn() {
+    let n = 400;
+    let clique = Clique::new(n);
+    let g = random_regular(n, 8, 13);
+    let cfg = builders::biased(n as u64, 3, 110);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(20_000).traced();
+    let topologies: [&dyn Topology; 2] = [&clique, &g];
+    for topology in topologies {
+        for mode in MODES {
+            for scheduler in SCHEDULERS {
+                let plain = GossipEngine::new(topology)
+                    .with_mode(mode)
+                    .with_scheduler(scheduler)
+                    .with_network(NetworkConfig::new(0.3, 0.05));
+                let churned = GossipEngine::new(topology)
+                    .with_mode(mode)
+                    .with_scheduler(scheduler)
+                    .with_network(NetworkConfig::new(0.3, 0.05))
+                    .with_churn_model(ChurnModel::none());
+                for seed in [3u64, 17, 91] {
+                    let (ra, sa) = plain.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
+                    let (rb, sb) = churned.run_detailed(&d, &cfg, Placement::Shuffled, &opts, seed);
+                    assert_eq!(
+                        (ra.rounds, ra.winner, ra.reason),
+                        (rb.rounds, rb.winner, rb.reason),
+                        "{} {} {} seed {seed}: zero-rate churn perturbed the trajectory",
+                        topology.name(),
+                        mode.name(),
+                        scheduler.name()
+                    );
+                    let fp = |t: &plurality_engine::Trace| {
+                        t.rounds
+                            .iter()
+                            .map(|s| (s.round, s.plurality_count, s.second_count, s.minority_mass))
+                            .collect::<Vec<_>>()
+                    };
+                    assert_eq!(
+                        fp(ra.trace.as_ref().unwrap()),
+                        fp(rb.trace.as_ref().unwrap()),
+                        "trace diverged under zero-rate churn"
+                    );
+                    assert_eq!(sa, sb, "stats diverged under zero-rate churn");
+                }
+            }
+        }
+    }
+}
+
+fn run_churn_fleet(threads: usize, seed: u64) -> Vec<(u64, Option<usize>, GossipStats)> {
+    let n = 500;
+    let g = random_regular(n, 8, 5);
+    let cfg = builders::biased(n as u64, 3, 140);
+    let d = ThreeMajority::new();
+    let model = ChurnModel::parse(
+        "crash:0.05;leave:0.02;rejoin:0.3,state=fresh;join:0.4,spare=50,attach=6,init=copy",
+    )
+    .unwrap();
+    let mc = MonteCarlo::new(8).with_threads(threads).with_seed(seed);
+    mc.run(|i, _| {
+        let engine = GossipEngine::new(&g)
+            .with_mode(ExchangeMode::PushPull)
+            .with_scheduler(Scheduler::Poisson)
+            .with_network(NetworkConfig::new(0.2, 0.05))
+            .with_churn_model(model.clone());
+        let (r, s) = engine.run_detailed(
+            &d,
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(400),
+            derive_stream(seed, i as u64),
+        );
+        (r.rounds, r.winner, s)
+    })
+}
+
+#[test]
+fn churn_fleets_are_deterministic_and_thread_invariant() {
+    let a = run_churn_fleet(1, 23);
+    let b = run_churn_fleet(8, 23);
+    assert_eq!(a, b, "thread count changed churned outcomes");
+    let c = run_churn_fleet(4, 23);
+    assert_eq!(a, c, "repeat churned fleet diverged");
+    // Churn actually happened — the model is not silently inert.
+    assert!(
+        a.iter()
+            .any(|(_, _, s)| s.churn_crashes + s.churn_leaves > 0),
+        "no churn events fired across the fleet"
+    );
+    // A different seed steers the churn stream somewhere else.
+    let d = run_churn_fleet(4, 24);
+    assert_ne!(a, d, "churn stream ignored the trial seed");
 }
 
 #[test]

@@ -10,8 +10,8 @@
 use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{Placement, RunOptions};
 use plurality_gossip::{
-    DropLayer, ExchangeMode, FailureModel, GossipEngine, GossipStats, InboxPolicy, NetworkConfig,
-    Scheduler,
+    ChurnModel, DropLayer, ExchangeMode, FailureModel, GossipEngine, GossipStats, InboxPolicy,
+    NetworkConfig, Scheduler,
 };
 use plurality_telemetry::{Counter, Gauge, MetricsRecorder};
 use proptest::prelude::*;
@@ -24,6 +24,7 @@ fn lost_counter(layer: DropLayer) -> Counter {
         DropLayer::GeChain => Counter::LostGeChain,
         DropLayer::Outage => Counter::LostOutage,
         DropLayer::Partition => Counter::LostPartition,
+        DropLayer::DeadPeer => Counter::LostDeadPeer,
     }
 }
 
@@ -61,12 +62,13 @@ fn check_laws(rec: &MetricsRecorder, stats: &GossipStats, label: &str) {
             + c(Counter::InboxExpiredTtl)
             + c(Counter::InboxEvictedOldest)
             + c(Counter::InboxEvictedRandom)
+            + c(Counter::InboxClearedChurn)
             + g(Gauge::InboxResidentAtStop),
         "{label}: inbox exit"
     );
     assert_eq!(
         c(Counter::PushDelivered),
-        c(Counter::InboxOffered) + g(Gauge::PushInFlightAtStop),
+        c(Counter::InboxOffered) + c(Counter::OrphanedPushes) + g(Gauge::PushInFlightAtStop),
         "{label}: push delivery"
     );
     // Scheduler queue: everything pushed was either consumed (popped
@@ -113,6 +115,21 @@ fn check_laws(rec: &MetricsRecorder, stats: &GossipStats, label: &str) {
         stats.superseded_commits,
         "{label}"
     );
+    // Churn ground truth and orphan attribution.
+    assert_eq!(c(Counter::ChurnJoins), stats.churn_joins, "{label}");
+    assert_eq!(c(Counter::ChurnCrashes), stats.churn_crashes, "{label}");
+    assert_eq!(c(Counter::ChurnLeaves), stats.churn_leaves, "{label}");
+    assert_eq!(c(Counter::ChurnRejoins), stats.churn_rejoins, "{label}");
+    assert_eq!(
+        c(Counter::OrphanedCommits) + c(Counter::OrphanedPushes),
+        stats.orphaned_events,
+        "{label}: orphans vs stats"
+    );
+    assert_eq!(
+        c(Counter::DeadPeerSamples),
+        stats.dead_peer_samples,
+        "{label}"
+    );
     // Per-mode message identities (messages == per-message RNG streams).
     let (pull, push) = (c(Counter::PullSent), c(Counter::PushSent));
     match (pull, push) {
@@ -134,6 +151,13 @@ const SCENARIOS: [&str; 6] = [
     "edge:loss=flaky(0.3,0,0.8);ge:up=3,down=1,loss=0.9;outage:frac=0.2,up=3,down=1",
 ];
 
+const CHURNS: [&str; 4] = [
+    "",
+    "crash:0.02;rejoin:0.2",
+    "crash:0.05;rejoin:0.3,state=fresh;join:0.5,spare=24,attach=4,init=copy",
+    "leave:0.03;rejoin:0.1,state=fresh;join:0.2,spare=16,init=uniform",
+];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -144,6 +168,7 @@ proptest! {
         sched_ix in 0usize..2,
         policy_ix in 0usize..4,
         scenario_ix in 0usize..SCENARIOS.len(),
+        churn_ix in 0usize..CHURNS.len(),
         loss in 0.0f64..0.4,
         delay in 0.0f64..0.4,
     ) {
@@ -163,11 +188,14 @@ proptest! {
         };
         let topology = plurality_topology::random_regular(240, 8, seed ^ 0x5EED);
         let cfg = builders::biased(240, 3, 80);
-        let engine = GossipEngine::new(&topology)
+        let mut engine = GossipEngine::new(&topology)
             .with_mode(mode)
             .with_scheduler(scheduler)
             .with_inbox_policy(policy)
             .with_failure_model(model.clone());
+        if !CHURNS[churn_ix].is_empty() {
+            engine = engine.with_churn_model(ChurnModel::parse(CHURNS[churn_ix]).unwrap());
+        }
         let mut rec = MetricsRecorder::new();
         // Cap rounds low: MaxRounds stops leave residuals (live queue
         // events, resident inbox colors, in-flight pushes), which is
@@ -177,10 +205,17 @@ proptest! {
             &ThreeMajority::new(), &cfg, Placement::Shuffled, &opts, seed, &mut rec,
         );
         let label = format!(
-            "seed={seed} mode={} sched={} policy={} scenario={:?}",
+            "seed={seed} mode={} sched={} policy={} scenario={:?} churn={:?}",
             mode.name(), scheduler.name(), policy.label(), SCENARIOS[scenario_ix],
+            CHURNS[churn_ix],
         );
         check_laws(&rec, &stats, &label);
+        // Alive-mass conservation: every membership change is accounted.
+        prop_assert_eq!(
+            240 + stats.churn_joins + stats.churn_rejoins,
+            stats.final_alive + stats.churn_crashes + stats.churn_leaves,
+            "{}: alive mass", label
+        );
     }
 }
 

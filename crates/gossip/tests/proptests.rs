@@ -1,9 +1,11 @@
 //! Property-based tests: gossip-engine invariants that must hold for
 //! arbitrary populations, network conditions, schedulers, and seeds.
 
-use plurality_core::{builders, ThreeMajority, Voter};
+use plurality_core::{builders, ThreeMajority, UndecidedState, Voter};
 use plurality_engine::{Placement, RunOptions, StopReason};
-use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
+use plurality_gossip::{
+    ChurnModel, ExchangeMode, GossipEngine, InitPolicy, NetworkConfig, Scheduler,
+};
 use plurality_topology::Clique;
 use proptest::prelude::*;
 
@@ -214,6 +216,74 @@ proptest! {
         prop_assert_eq!(s.superseded_commits, 0);
     }
 
+    /// Alive color mass is conserved under arbitrary churn: every
+    /// join/rejoin adds exactly one alive node, every crash/leave
+    /// removes exactly one, the ledger closes
+    /// (`n + joins + rejoins == final_alive + crashes + leaves`), and
+    /// the traced per-tick configuration never exceeds the node budget
+    /// `n + spare`.
+    #[test]
+    fn alive_color_mass_conserved_under_churn(
+        n in 60usize..250,
+        crash in 0.0f64..0.2,
+        leave in 0.0f64..0.1,
+        rejoin in 0.0f64..0.5,
+        join in 0.0f64..0.5,
+        spare in 1usize..40,
+        fresh in any::<bool>(),
+        copy_init in any::<bool>(),
+        mode in mode_strategy(),
+        scheduler in scheduler_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let clique = Clique::new(n);
+        let cfg = builders::biased(n as u64, 3, (n / 3) as u64);
+        let init = if copy_init { InitPolicy::CopyRandomAlive } else { InitPolicy::FreshUniform };
+        let model = ChurnModel::none()
+            .with_crash(crash)
+            .with_leave(leave)
+            .with_rejoin(rejoin, fresh)
+            .with_join(join, spare)
+            .with_init(init);
+        let engine = GossipEngine::new(&clique)
+            .with_mode(mode)
+            .with_scheduler(scheduler)
+            .with_network(NetworkConfig::new(0.2, 0.1))
+            .with_churn_model(model);
+        let (r, s) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &RunOptions::with_max_rounds(80).traced(),
+            seed,
+        );
+        prop_assert_eq!(
+            n as u64 + s.churn_joins + s.churn_rejoins,
+            s.final_alive + s.churn_crashes + s.churn_leaves,
+            "alive-mass ledger does not close"
+        );
+        prop_assert!(s.final_alive <= (n + spare) as u64);
+        let trace = r.trace.expect("trace requested");
+        for snap in &trace.rounds {
+            let mass = snap.plurality_count + snap.minority_mass + snap.extra_state_mass;
+            prop_assert!(
+                mass <= (n + spare) as u64,
+                "tick {}: color mass {} exceeds node budget {}",
+                snap.round, mass, n + spare
+            );
+        }
+        // A Stopped run ends with the stopping configuration: its color
+        // mass is exactly the alive population at stop.
+        if r.reason == StopReason::Stopped {
+            let last = trace.rounds.last().unwrap();
+            prop_assert_eq!(
+                last.plurality_count + last.minority_mass + last.extra_state_mass,
+                s.final_alive,
+                "stopping configuration disagrees with final_alive"
+            );
+        }
+    }
+
     /// Total loss freezes 3-majority (every sample falls back to the
     /// node's own color, so no node ever recolors).
     #[test]
@@ -239,4 +309,40 @@ proptest! {
             prop_assert_eq!(s.plurality_count, cfg.counts()[0], "state drifted under total loss");
         }
     }
+}
+
+/// Arrivals under `init=undecided` enter in the extra state, which the
+/// undecided-state dynamics then resolves — the run must stay
+/// well-formed (ledger closes, mass bounded) with a genuinely populated
+/// extra state.
+#[test]
+fn undecided_init_churn_is_well_formed() {
+    let n = 300;
+    let clique = Clique::new(n);
+    let cfg = builders::biased(n as u64, 3, 100);
+    let model = ChurnModel::none()
+        .with_crash(0.05)
+        .with_rejoin(0.4, true)
+        .with_join(0.5, 40)
+        .with_init(InitPolicy::Undecided);
+    let engine = GossipEngine::new(&clique)
+        .with_mode(ExchangeMode::Pull)
+        .with_scheduler(Scheduler::Poisson)
+        .with_churn_model(model);
+    let (_, s) = engine.run_detailed(
+        &UndecidedState::new(3),
+        &cfg,
+        Placement::Shuffled,
+        &RunOptions::with_max_rounds(200),
+        9,
+    );
+    assert_eq!(
+        n as u64 + s.churn_joins + s.churn_rejoins,
+        s.final_alive + s.churn_crashes + s.churn_leaves,
+        "alive-mass ledger does not close under undecided init"
+    );
+    assert!(
+        s.churn_joins + s.churn_rejoins > 0,
+        "churn never fired — the test exercises nothing"
+    );
 }

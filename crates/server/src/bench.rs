@@ -36,6 +36,9 @@ pub struct BenchConfig {
     pub probe: usize,
     /// Print periodic stats lines while driving.
     pub progress: bool,
+    /// Total attempt budget per connect/submit (≥ 1).  Failed attempts
+    /// back off exponentially with jitter before retrying.
+    pub attempts: usize,
 }
 
 impl Default for BenchConfig {
@@ -47,8 +50,26 @@ impl Default for BenchConfig {
             spec: JobSpec::default(),
             probe: 8,
             progress: true,
+            attempts: 4,
         }
     }
+}
+
+/// Backoff ceiling — a retry never sleeps longer than this.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Jittered exponential backoff for 0-based `attempt`: `25ms · 2^a`
+/// plus up to +50% jitter from the system clock's subsecond nanos (the
+/// bench driver measures wall time anyway, so clock jitter is free and
+/// keeps synchronized clients from hammering a recovering server in
+/// lockstep), capped at [`BACKOFF_CAP`].
+fn backoff(attempt: u32) -> Duration {
+    let base_ms = 25u64.saturating_mul(1 << attempt.min(10));
+    let jitter_ns = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::from(d.subsec_nanos()));
+    let jitter_ms = jitter_ns % (base_ms / 2).max(1);
+    Duration::from_millis(base_ms + jitter_ms).min(BACKOFF_CAP)
 }
 
 /// Median build/latency over one probe phase.
@@ -183,6 +204,16 @@ struct Client {
     next_id: u64,
 }
 
+impl Drop for Client {
+    fn drop(&mut self) {
+        // The reader thread holds a cloned fd; shutting the socket down
+        // (rather than just dropping our half) delivers EOF to both that
+        // thread and the server's connection handler, so an in-process
+        // server can drain and join.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
 impl Client {
     fn connect(addr: &str) -> Result<Self, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
@@ -215,10 +246,32 @@ impl Client {
             let mut st = lock.lock().expect("bench state poisoned");
             st.pending.insert(id, Instant::now());
         }
-        self.stream
-            .write_all(line.as_bytes())
-            .map_err(|e| format!("submit: {e}"))?;
+        if let Err(e) = self.stream.write_all(line.as_bytes()) {
+            // The job never reached the server: un-track it so a retry
+            // (or the drain barrier) doesn't wait on a ghost.
+            let (lock, _) = &*self.state;
+            let mut st = lock.lock().expect("bench state poisoned");
+            st.pending.remove(&id);
+            return Err(format!("submit: {e}"));
+        }
         Ok(id)
+    }
+
+    /// [`Self::submit`] with a bounded attempt budget and jittered
+    /// exponential backoff between failures.
+    fn submit_retrying(&mut self, spec: &JobSpec, attempts: usize) -> Result<u64, String> {
+        let attempts = attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match self.submit(spec) {
+                Ok(id) => return Ok(id),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(backoff(attempt as u32));
+            }
+        }
+        Err(format!("submit failed after {attempts} attempts: {last}"))
     }
 
     fn counts(&self) -> (u64, u64, bool) {
@@ -247,6 +300,24 @@ impl Client {
             st = next;
         }
     }
+}
+
+/// [`Client::connect`] with a bounded attempt budget and jittered
+/// exponential backoff — a bench launched alongside the server should
+/// not lose the race by a few milliseconds.
+fn connect_retrying(addr: &str, attempts: usize) -> Result<Client, String> {
+    let attempts = attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => last = e,
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(backoff(attempt as u32));
+        }
+    }
+    Err(format!("connect failed after {attempts} attempts: {last}"))
 }
 
 fn reader_loop(stream: TcpStream, state: &Arc<(Mutex<ClientState>, Condvar)>) {
@@ -298,6 +369,7 @@ fn probe_phase(
     client: &mut Client,
     spec: &JobSpec,
     probe: usize,
+    attempts: usize,
     seed_of: impl Fn(usize) -> u64,
 ) -> Result<ProbeStats, String> {
     {
@@ -313,7 +385,7 @@ fn probe_phase(
     for i in 0..probe {
         let mut job = spec.clone();
         job.seed = seed_of(i);
-        client.submit(&job)?;
+        client.submit_retrying(&job, attempts)?;
         // One at a time: probe latency should not include queueing.
         client.wait_for(
             already + i as u64 + 1,
@@ -351,15 +423,15 @@ pub fn send_shutdown(addr: &str) -> Result<(), String> {
 
 /// Drive the server open-loop and return the measured report.
 pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
-    let mut client = Client::connect(&cfg.addr)?;
+    let mut client = connect_retrying(&cfg.addr, cfg.attempts)?;
 
     // Cold/warm cache probe, sequential jobs.
     let (cold, warm) = if cfg.probe > 0 {
         let base = cfg.spec.seed;
-        let cold = probe_phase(&mut client, &cfg.spec, cfg.probe, |i| {
+        let cold = probe_phase(&mut client, &cfg.spec, cfg.probe, cfg.attempts, |i| {
             base + 10_000 + i as u64
         })?;
-        let warm = probe_phase(&mut client, &cfg.spec, cfg.probe, |i| {
+        let warm = probe_phase(&mut client, &cfg.spec, cfg.probe, cfg.attempts, |i| {
             base + 10_000 + i as u64
         })?;
         if cfg.progress {
@@ -399,7 +471,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         // Open loop: issue every send whose scheduled time has passed,
         // regardless of how many responses are outstanding.
         while next_send <= now {
-            client.submit(&cfg.spec)?;
+            client.submit_retrying(&cfg.spec, cfg.attempts)?;
             submitted += 1;
             next_send += period;
         }
@@ -460,4 +532,32 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         print!("{}", report.render());
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let base = |a| Duration::from_millis(25u64 << a);
+        for attempt in 0..4u32 {
+            let d = backoff(attempt);
+            assert!(d >= base(attempt), "attempt {attempt}: {d:?} below base");
+            // Base + 50% jitter, never past the ceiling.
+            assert!(d <= (base(attempt) * 3 / 2).min(BACKOFF_CAP));
+        }
+        assert_eq!(backoff(20), BACKOFF_CAP, "large attempts must cap");
+    }
+
+    #[test]
+    fn connect_retries_are_bounded() {
+        // Nothing listens on the discard port; every attempt must fail
+        // fast and the budget must be respected.
+        let err = match connect_retrying("127.0.0.1:9", 2) {
+            Ok(_) => panic!("connected to the discard port"),
+            Err(e) => e,
+        };
+        assert!(err.contains("after 2 attempts"), "got: {err}");
+    }
 }

@@ -19,7 +19,44 @@ use crate::spec::{build_dynamics, EngineKind, JobSpec};
 use plurality_engine::{AgentEngine, MeanFieldEngine, Placement, StopReason, TrialResult};
 use plurality_gossip::{GossipEngine, GossipStats, NetworkConfig};
 use plurality_sampling::{derive_stream, stream_rng};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Why a job did not run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Spec resolution or execution failed outright.
+    Failed(String),
+    /// The job exceeded its wall-clock budget (`timeout-ms`) mid-run.
+    /// Rows for the `completed` trials were already streamed; the
+    /// remaining trials never ran.
+    Timeout {
+        /// The budget from the spec, in milliseconds.
+        limit_ms: u64,
+        /// Trials that finished (and were streamed) before the cutoff.
+        completed: usize,
+    },
+}
+
+impl From<String> for JobError {
+    fn from(msg: String) -> Self {
+        Self::Failed(msg)
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Failed(msg) => f.write_str(msg),
+            Self::Timeout {
+                limit_ms,
+                completed,
+            } => write!(
+                f,
+                "timed out after {limit_ms} ms ({completed} trials completed)"
+            ),
+        }
+    }
+}
 
 /// One finished trial, as streamed back to the client.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,12 +138,31 @@ pub struct JobOutcome {
 }
 
 /// Run one job, calling `on_trial` with each finished trial in order.
+///
+/// With `timeout_ms` set, the wall clock is checked **between** trials
+/// (a trial is never interrupted mid-flight, and at least one always
+/// completes); on expiry the job stops with [`JobError::Timeout`] — the
+/// rows streamed so far stand.
 pub fn run_job(
     spec: &JobSpec,
     cache: &StateCache,
     mut on_trial: impl FnMut(&TrialRow),
-) -> Result<JobOutcome, String> {
+) -> Result<JobOutcome, JobError> {
     let setup_start = Instant::now();
+    let deadline = spec
+        .timeout_ms
+        .map(|ms| (setup_start + Duration::from_millis(ms), ms));
+    let over_budget = |trial: usize| -> Result<(), JobError> {
+        match deadline {
+            Some((at, limit_ms)) if trial + 1 < spec.trials && Instant::now() >= at => {
+                Err(JobError::Timeout {
+                    limit_ms,
+                    completed: trial + 1,
+                })
+            }
+            _ => Ok(()),
+        }
+    };
     let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise)?;
     let cfg = spec.configuration();
     let opts = spec.run_options();
@@ -153,6 +209,9 @@ pub fn run_job(
             if spec.rate_time {
                 engine = engine.with_rate_weighted_time(true);
             }
+            if let Some(model) = spec.churn_model()? {
+                engine = engine.with_churn_model(model);
+            }
             let setup_ns = setup_start.elapsed().as_nanos() as u64;
             let run_start = Instant::now();
             for i in 0..spec.trials {
@@ -166,6 +225,7 @@ pub fn run_job(
                 let row = TrialRow::from_result(i, &r, Some(stats));
                 note(&row);
                 on_trial(&row);
+                over_budget(i)?;
             }
             run_ns = run_start.elapsed().as_nanos() as u64;
             Ok(JobOutcome {
@@ -194,6 +254,7 @@ pub fn run_job(
                 let row = TrialRow::from_result(i, &r, None);
                 note(&row);
                 on_trial(&row);
+                over_budget(i)?;
             }
             run_ns = run_start.elapsed().as_nanos() as u64;
             Ok(JobOutcome {
@@ -215,6 +276,7 @@ pub fn run_job(
                 let row = TrialRow::from_result(i, &r, None);
                 note(&row);
                 on_trial(&row);
+                over_budget(i)?;
             }
             run_ns = run_start.elapsed().as_nanos() as u64;
             Ok(JobOutcome {

@@ -23,9 +23,9 @@
 //! pool's queue alive).
 
 use crate::cache::StateCache;
-use crate::exec::run_job;
+use crate::exec::{run_job, JobError};
 use crate::spec::JobSpec;
-use crate::wire::{done_line, error_line, trial_line, JobId};
+use crate::wire::{done_line, error_line, job_error_line, trial_line, JobId};
 use plurality_telemetry::json::{self, Json};
 use plurality_telemetry::{Counter, Hist, MetricsRecorder, MetricsReport, Recorder};
 use std::io::{BufRead, BufReader, Write};
@@ -171,7 +171,11 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
             }
             Err(e) => {
                 rec.incr(Counter::JobsFailed);
-                error_line(Some(&job.id), e)
+                if let JobError::Timeout { completed, .. } = e {
+                    rec.incr(Counter::JobsTimedOut);
+                    rec.add(Counter::TrialsRun, *completed as u64);
+                }
+                job_error_line(&job.id, e)
             }
         };
         rec.observe(Hist::JobWallNanos, start.elapsed().as_nanos() as u64);

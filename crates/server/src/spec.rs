@@ -23,7 +23,9 @@ use plurality_core::{
     TwoChoices, TwoSample, UndecidedState, Voter,
 };
 use plurality_engine::{RunOptions, StopRule};
-use plurality_gossip::{ExchangeMode, FailureModel, InboxPolicy, NetworkConfig, Scheduler};
+use plurality_gossip::{
+    ChurnModel, ExchangeMode, FailureModel, InboxPolicy, NetworkConfig, Scheduler,
+};
 use plurality_telemetry::json::{escape, Json};
 use plurality_topology::{random_regular, ring, torus, Clique, Topology};
 
@@ -101,6 +103,8 @@ pub struct JobSpec {
     pub delay: f64,
     /// Structured failure scenario (the `--failure` DSL), if any.
     pub failure: Option<String>,
+    /// Churn scenario (the `--churn` DSL; gossip engine only), if any.
+    pub churn: Option<String>,
     /// Full-inbox policy for PUSH/PUSH-PULL.
     pub inbox_policy: InboxPolicy,
     /// Fraction of nodes activating at `fast_rate`.
@@ -117,6 +121,10 @@ pub struct JobSpec {
     pub max_rounds: u64,
     /// Stop rule: consensus, or m-plurality with margin `m`.
     pub stop: StopRule,
+    /// Wall-clock budget for the whole job in milliseconds; `None`
+    /// (the default) means no limit.  A job that exceeds it reports a
+    /// structured `timeout` error carrying how many trials completed.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for JobSpec {
@@ -136,6 +144,7 @@ impl Default for JobSpec {
             loss: 0.0,
             delay: 0.0,
             failure: None,
+            churn: None,
             inbox_policy: InboxPolicy::default(),
             fast_frac: 0.0,
             fast_rate: 1.0,
@@ -144,6 +153,7 @@ impl Default for JobSpec {
             seed: 1,
             max_rounds: 1_000_000,
             stop: StopRule::Consensus,
+            timeout_ms: None,
         }
     }
 }
@@ -207,6 +217,8 @@ impl JobSpec {
                 "loss" => spec.loss = json_f64(key, val)?,
                 "delay" => spec.delay = json_f64(key, val)?,
                 "failure" => spec.failure = Some(json_str(key, val)?.to_string()),
+                "churn" => spec.churn = Some(json_str(key, val)?.to_string()),
+                "timeout-ms" => spec.timeout_ms = Some(json_u64(key, val)?),
                 "inbox-policy" => spec.inbox_policy = InboxPolicy::from_name(json_str(key, val)?)?,
                 "fast-frac" => spec.fast_frac = json_f64(key, val)?,
                 "fast-rate" => spec.fast_rate = json_f64(key, val)?,
@@ -261,6 +273,18 @@ impl JobSpec {
         if self.trials == 0 {
             return Err("trials must be positive".into());
         }
+        if let Some(dsl) = &self.churn {
+            if self.engine != EngineKind::Gossip {
+                return Err(format!(
+                    "churn requires the gossip engine, got '{}'",
+                    self.engine.name()
+                ));
+            }
+            ChurnModel::parse(dsl).map_err(|e| format!("churn: {e}"))?;
+        }
+        if self.timeout_ms == Some(0) {
+            return Err("timeout-ms must be positive (omit it for no limit)".into());
+        }
         Ok(())
     }
 
@@ -296,6 +320,12 @@ impl JobSpec {
         ));
         if let Some(f) = &self.failure {
             s.push_str(&format!(",\"failure\":{}", escape(f)));
+        }
+        if let Some(c) = &self.churn {
+            s.push_str(&format!(",\"churn\":{}", escape(c)));
+        }
+        if let Some(t) = self.timeout_ms {
+            s.push_str(&format!(",\"timeout-ms\":{t}"));
         }
         s.push_str(&format!(
             ",\"inbox-policy\":{},\"fast-frac\":\"{}\",\"fast-rate\":\"{}\"",
@@ -347,6 +377,17 @@ impl JobSpec {
             Some(dsl) => FailureModel::parse(dsl, NetworkConfig::new(self.delay, self.loss))
                 .map(Some)
                 .map_err(|e| format!("failure: {e}")),
+            None => Ok(None),
+        }
+    }
+
+    /// The churn model this spec resolves to (`None` when the
+    /// population is static).
+    pub fn churn_model(&self) -> Result<Option<ChurnModel>, String> {
+        match &self.churn {
+            Some(dsl) => ChurnModel::parse(dsl)
+                .map(Some)
+                .map_err(|e| format!("churn: {e}")),
             None => Ok(None),
         }
     }
@@ -508,7 +549,7 @@ mod tests {
     #[test]
     fn round_trips_through_wire_form() {
         let mut spec = JobSpec {
-            engine: EngineKind::Agent,
+            engine: EngineKind::Gossip,
             dynamics: "undecided".into(),
             n: 4242,
             k: 3,
@@ -521,6 +562,7 @@ mod tests {
             loss: 0.125,
             delay: 0.5,
             failure: Some("ge:up=4,down=1,loss=0.9".into()),
+            churn: Some("crash:0.02;rejoin:0.2,state=fresh;join:0.1,spare=8".into()),
             inbox_policy: InboxPolicy::from_name("ttl=2").unwrap(),
             fast_frac: 0.25,
             fast_rate: 4.0,
@@ -529,12 +571,15 @@ mod tests {
             seed: 99,
             max_rounds: 5000,
             stop: StopRule::MPlurality(3),
+            timeout_ms: Some(120_000),
             ..JobSpec::default()
         };
         let parsed = JobSpec::from_json(&json::parse(&spec.to_json()).unwrap()).unwrap();
         assert_eq!(parsed, spec);
         spec.bias = None;
         spec.failure = None;
+        spec.churn = None;
+        spec.timeout_ms = None;
         spec.rate_time = false;
         let parsed = JobSpec::from_json(&json::parse(&spec.to_json()).unwrap()).unwrap();
         assert_eq!(parsed, spec);
@@ -552,6 +597,10 @@ mod tests {
             r#"{"n":10,"bias":11}"#,
             r#"{"stop":"sometimes"}"#,
             r#"{"engine":"quantum"}"#,
+            r#"{"churn":"crash:-1"}"#,
+            r#"{"churn":"join:1"}"#,
+            r#"{"engine":"agent","churn":"crash:0.1"}"#,
+            r#"{"timeout-ms":0}"#,
         ] {
             assert!(
                 JobSpec::from_json(&json::parse(bad).unwrap()).is_err(),

@@ -6,7 +6,7 @@
 //! and fractional values as decimal strings — see the README "Serving"
 //! section for the full schema.
 
-use crate::exec::{JobOutcome, TrialRow};
+use crate::exec::{JobError, JobOutcome, TrialRow};
 use plurality_telemetry::json::{escape, Json};
 
 /// A client-chosen job id, echoed verbatim on every response line for
@@ -100,6 +100,27 @@ pub fn done_line(id: &JobId, outcome: &JobOutcome) -> String {
     )
 }
 
+/// The terminal `error` line for a job that did not complete.  A
+/// timeout is structured — `"kind":"timeout"` plus `limit-ms` and
+/// `completed` fields — so clients can distinguish a budget cutoff
+/// (partial rows are valid) from a hard failure; the human-readable
+/// `error` field is carried in both cases.
+#[must_use]
+pub fn job_error_line(id: &JobId, err: &JobError) -> String {
+    match err {
+        JobError::Failed(msg) => error_line(Some(id), msg),
+        JobError::Timeout {
+            limit_ms,
+            completed,
+        } => format!(
+            "{{\"event\":\"error\",\"id\":{},\"kind\":\"timeout\",\"limit-ms\":{limit_ms},\
+             \"completed\":{completed},\"error\":{}}}",
+            id.render(),
+            escape(&err.to_string()),
+        ),
+    }
+}
+
 /// The `error` event line (job-scoped when `id` is known).
 #[must_use]
 pub fn error_line(id: Option<&JobId>, msg: &str) -> String {
@@ -140,5 +161,28 @@ mod tests {
         assert_eq!(v.get("final_time").and_then(Json::as_str), Some("12.375"));
         let err = error_line(None, "bad \"spec\"");
         assert!(json::parse(&err).is_ok(), "error line must parse: {err}");
+    }
+
+    #[test]
+    fn timeout_error_line_is_structured() {
+        let id = JobId::Num(9);
+        let line = job_error_line(
+            &id,
+            &JobError::Timeout {
+                limit_ms: 250,
+                completed: 3,
+            },
+        );
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("error"));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("timeout"));
+        assert_eq!(v.get("limit-ms").and_then(Json::as_num), Some(250));
+        assert_eq!(v.get("completed").and_then(Json::as_num), Some(3));
+        assert!(v.get("error").and_then(Json::as_str).is_some());
+        // A plain failure keeps the legacy shape (no "kind").
+        let plain = job_error_line(&id, &JobError::Failed("boom".into()));
+        let v = json::parse(&plain).unwrap();
+        assert!(v.get("kind").is_none());
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("boom"));
     }
 }

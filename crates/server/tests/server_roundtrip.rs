@@ -260,6 +260,194 @@ fn mean_field_jobs_match_the_monte_carlo_path() {
 }
 
 #[test]
+fn churn_jobs_are_bit_identical_to_the_cli_path() {
+    let spec = JobSpec {
+        dynamics: "3-majority".into(),
+        n: 500,
+        k: 3,
+        bias: Some(100),
+        topology: "random-regular".into(),
+        degree: 6,
+        mode: ExchangeMode::PushPull,
+        churn: Some(
+            "crash:0.02;rejoin:0.2,state=fresh;join:0.1,spare=12,attach=3,init=copy".into(),
+        ),
+        trials: 3,
+        seed: 13,
+        max_rounds: 20_000,
+        ..JobSpec::default()
+    };
+
+    // The CLI path, in-process: same builders, same churn model, same
+    // per-trial seed derivation.
+    let topology = build_topology(&spec.topology, spec.n as usize, spec.degree, spec.seed).unwrap();
+    let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise).unwrap();
+    let model = spec.churn_model().unwrap().expect("spec carries churn");
+    let engine = GossipEngine::new(topology.as_ref())
+        .with_mode(spec.mode)
+        .with_churn_model(model);
+    let cfg = spec.configuration();
+    let opts = spec.run_options();
+    let expected: Vec<_> = (0..spec.trials)
+        .map(|i| {
+            engine.run_detailed(
+                dynamics.as_ref(),
+                &cfg,
+                Placement::Shuffled,
+                &opts,
+                derive_stream(spec.seed, i as u64),
+            )
+        })
+        .collect();
+    assert!(
+        expected
+            .iter()
+            .any(|(_, s)| s.churn_crashes + s.churn_joins > 0),
+        "churn must actually fire in this scenario"
+    );
+
+    let (addr, handle) = Server::spawn("127.0.0.1:0", 2).expect("spawn server");
+    let mut stream = connect(addr);
+    let (trials, done) = submit(&mut stream, 3, &spec);
+    assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+    assert_eq!(trials.len(), spec.trials);
+    for (i, ((r, s), doc)) in expected.iter().zip(&trials).enumerate() {
+        assert_eq!(num(doc, "rounds"), r.rounds, "trial {i} rounds");
+        assert_eq!(
+            doc.get("winner").and_then(Json::as_num).map(|w| w as usize),
+            r.winner,
+            "trial {i} winner"
+        );
+        assert_eq!(num(doc, "activations"), s.activations, "trial {i}");
+        assert_eq!(num(doc, "messages"), s.messages, "trial {i}");
+        let final_time: f64 = doc
+            .get("final_time")
+            .and_then(Json::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(final_time, s.final_time, "trial {i} final_time");
+    }
+
+    plurality_server::send_shutdown(&addr.to_string()).expect("shutdown");
+    drop(stream);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn timeout_jobs_emit_structured_error_with_partial_rows() {
+    // A 1 ms budget expires during the first trial of any non-trivial
+    // job, but the contract guarantees at least one completed trial —
+    // the deadline is only checked between trials.
+    let spec = JobSpec {
+        dynamics: "3-majority".into(),
+        n: 3_000,
+        k: 3,
+        bias: Some(600),
+        trials: 40,
+        seed: 2,
+        max_rounds: 20_000,
+        timeout_ms: Some(1),
+        ..JobSpec::default()
+    };
+    let (addr, handle) = Server::spawn("127.0.0.1:0", 1).expect("spawn server");
+    let mut stream = connect(addr);
+    let (trials, terminal) = submit(&mut stream, 5, &spec);
+
+    assert_eq!(terminal.get("event").and_then(Json::as_str), Some("error"));
+    assert_eq!(terminal.get("kind").and_then(Json::as_str), Some("timeout"));
+    assert_eq!(num(&terminal, "limit-ms"), 1);
+    let completed = num(&terminal, "completed");
+    assert!(
+        completed >= 1 && completed < spec.trials as u64,
+        "a timeout must land mid-job (completed = {completed})"
+    );
+    assert_eq!(
+        trials.len() as u64,
+        completed,
+        "every completed trial streams its row before the cutoff"
+    );
+    let msg = terminal.get("error").and_then(Json::as_str).unwrap();
+    assert!(msg.contains("timed out"), "human-readable message: {msg}");
+
+    // The fleet report attributes the job to the timeout counters and
+    // still credits the partial trials.
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    stream.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    let doc = json::parse(line.trim()).unwrap();
+    let counters = doc
+        .get("report")
+        .and_then(|r| r.get("counters"))
+        .expect("counters");
+    assert_eq!(num(counters, "jobs_failed"), 1);
+    assert_eq!(num(counters, "jobs_timed_out"), 1);
+    assert_eq!(num(counters, "trials_run"), completed);
+    assert!(counters.get("jobs_completed").is_none() || num(counters, "jobs_completed") == 0);
+
+    plurality_server::send_shutdown(&addr.to_string()).expect("shutdown");
+    drop(reader);
+    drop(stream);
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn bench_retry_reports_bounded_attempts() {
+    // Nothing listens on the discard port: the client must give up
+    // after exactly the configured attempt budget.
+    let cfg = plurality_server::BenchConfig {
+        addr: "127.0.0.1:9".into(),
+        attempts: 2,
+        progress: false,
+        ..plurality_server::BenchConfig::default()
+    };
+    let err = plurality_server::run_bench(&cfg).expect_err("no server must fail");
+    assert!(
+        err.contains("after 2 attempts"),
+        "error must report the attempt budget: {err}"
+    );
+}
+
+#[test]
+fn bench_retry_survives_a_late_starting_server() {
+    // Reserve an ephemeral port, release it, and bring the server up
+    // only after the bench has already started connecting: the backoff
+    // loop must absorb the race a co-launched server loses.
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        probe.local_addr().expect("reserved addr")
+    };
+    let server = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(120));
+        let (_, handle) = Server::spawn(addr, 2).expect("spawn server late");
+        handle
+    });
+    let cfg = plurality_server::BenchConfig {
+        addr: addr.to_string(),
+        freq: 100.0,
+        secs: 0.2,
+        probe: 1,
+        progress: false,
+        attempts: 6,
+        spec: JobSpec {
+            n: 300,
+            k: 2,
+            bias: Some(60),
+            trials: 2,
+            max_rounds: 5_000,
+            ..JobSpec::default()
+        },
+    };
+    let report = plurality_server::run_bench(&cfg).expect("bench must connect via retry");
+    assert!(report.completed > 0, "jobs must flow once the server is up");
+    assert_eq!(report.errors, 0);
+    let handle = server.join().expect("server spawner");
+    plurality_server::send_shutdown(&addr.to_string()).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn protocol_ops_and_error_replies() {
     let (addr, handle) = Server::spawn("127.0.0.1:0", 1).expect("spawn server");
     let mut stream = connect(addr);

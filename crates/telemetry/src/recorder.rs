@@ -58,14 +58,18 @@ metric_enum! {
     ///
     /// * `pull_sent == pull_delivered + pull_lost` (delayed ⊆ delivered);
     /// * `push_sent == push_delivered + push_lost`;
-    /// * `pull_lost + push_lost == Σ lost_*` over the six failure layers;
+    /// * `pull_lost + push_lost == Σ lost_*` over the seven failure
+    ///   layers (including `lost_dead_peer` under churn);
     /// * `inbox_offered == inbox_accepted + inbox_evicted_newest` (a
     ///   drop-newest rejection is the only way an offer is not accepted);
     /// * `inbox_accepted == inbox_served + inbox_expired_ttl +
     ///   inbox_evicted_oldest + inbox_evicted_random +
-    ///   inbox_resident_at_stop` (every accepted entry leaves the buffer
-    ///   exactly once, or is resident at stop — the gauge);
-    /// * `push_delivered == inbox_offered + push_in_flight_at_stop`.
+    ///   inbox_cleared_churn + inbox_resident_at_stop` (every accepted
+    ///   entry leaves the buffer exactly once, or is resident at stop —
+    ///   the gauge);
+    /// * `push_delivered == inbox_offered + orphaned_pushes +
+    ///   push_in_flight_at_stop` (a delayed push scheduled for a node
+    ///   that departs before it lands is orphaned, never offered).
     Counter {
         /// Node activations processed by the gossip event loop.
         Activations => "activations",
@@ -98,6 +102,9 @@ metric_enum! {
         LostOutage => "lost_outage",
         /// Drops attributed to a partition cut.
         LostPartition => "lost_partition",
+        /// Drops attributed to the dead-peer redraw budget running out
+        /// (churn): every redraw hit a departed node.
+        LostDeadPeer => "lost_dead_peer",
         /// Push payloads that reached a peer inbox (accepted or evicting).
         InboxOffered => "inbox_offered",
         /// Push payloads accepted into an inbox.
@@ -119,6 +126,27 @@ metric_enum! {
         SupersededCommits => "superseded_commits",
         /// Recolor commits applied to the state vector.
         CommitsApplied => "commits_applied",
+        /// Churn: spares joined into the alive set.
+        ChurnJoins => "churn_joins",
+        /// Churn: alive nodes crashed.
+        ChurnCrashes => "churn_crashes",
+        /// Churn: alive nodes that departed gracefully.
+        ChurnLeaves => "churn_leaves",
+        /// Churn: dead members that rejoined.
+        ChurnRejoins => "churn_rejoins",
+        /// Pending recolor commits cancelled because their node
+        /// departed before they fired.
+        OrphanedCommits => "orphaned_commits",
+        /// In-flight pushed colors discarded because their target
+        /// departed before they landed.
+        OrphanedPushes => "orphaned_pushes",
+        /// Neighbor draws that hit a dead peer and were redrawn.
+        DeadPeerSamples => "dead_peer_samples",
+        /// Activation-clock draws skipped because the node was dead
+        /// (Poisson thinning under churn).
+        DeadActivationsSkipped => "dead_activations_skipped",
+        /// Buffered inbox colors discarded when their node departed.
+        InboxClearedChurn => "inbox_cleared_churn",
         /// Events pushed onto the scheduler queue.
         QueuePushed => "queue_pushed",
         /// Stale (lazily cancelled) events skipped at pop time.
@@ -131,8 +159,12 @@ metric_enum! {
         JobsAccepted => "jobs_accepted",
         /// Jobs the server ran to completion.
         JobsCompleted => "jobs_completed",
-        /// Jobs rejected or failed by the server (bad spec, engine error).
+        /// Jobs rejected or failed by the server (bad spec, engine
+        /// error, or timeout).
         JobsFailed => "jobs_failed",
+        /// Jobs aborted by their per-job wall-clock timeout (also
+        /// counted in `jobs_failed`).
+        JobsTimedOut => "jobs_timed_out",
         /// Server prebuilt-state cache lookups that found an entry.
         CacheHits => "cache_hits",
         /// Server prebuilt-state cache lookups that had to build.

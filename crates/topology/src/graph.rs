@@ -79,6 +79,30 @@ pub trait TopologyCore: Topology + sealed::SealedTopology {
     ) -> (usize, Option<usize>) {
         (self.sample_neighbor_core(node, rng), None)
     }
+
+    /// The `idx`-th member of `node`'s sampling set (`0 ≤ idx <
+    /// degree(node)`), with its dense directed CSR slot when the
+    /// topology stores explicit edges.  The churn membership overlay
+    /// ([`crate::Membership`]) samples through this so it can reject
+    /// dead peers and redraw without rebuilding the CSR.
+    ///
+    /// Contract: drawing `idx = gen_range(0..degree(node))` and
+    /// indexing here must reproduce the distribution — and, for the
+    /// same `gen_range` draw, the exact peer and slot — of
+    /// [`Self::sample_neighbor_edge_core`].
+    ///
+    /// # Panics
+    /// The default implementation panics: indexed access is only
+    /// provided by the concrete topologies maintained in this crate
+    /// (dyn fallback adapters cannot enforce the contract).
+    fn neighbor_at_core(&self, node: usize, idx: usize) -> (usize, Option<usize>) {
+        let _ = (node, idx);
+        panic!(
+            "topology '{}' does not support indexed neighbor access \
+             (required by churn membership overlays)",
+            self.name()
+        )
+    }
 }
 
 /// Fallback adapter: any `&dyn Topology` viewed as a [`TopologyCore`]
@@ -313,6 +337,16 @@ impl TopologyCore for CsrGraph {
             "node {node} is isolated; cannot sample a neighbor"
         );
         let slot = start + rng.gen_range(0..degree);
+        (self.edges[slot] as usize, Some(slot))
+    }
+
+    #[inline]
+    fn neighbor_at_core(&self, node: usize, idx: usize) -> (usize, Option<usize>) {
+        let slot = self.offsets[node] + idx;
+        debug_assert!(
+            slot < self.offsets[node + 1],
+            "neighbor index {idx} out of range for node {node}"
+        );
         (self.edges[slot] as usize, Some(slot))
     }
 }

@@ -13,9 +13,11 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod membership;
 pub mod models;
 pub mod social;
 
 pub use graph::{downcast_topology, CsrGraph, DynTopology, Topology, TopologyCore};
+pub use membership::{Membership, MAX_DEAD_REDRAWS};
 pub use models::{complete_bipartite, erdos_renyi, random_regular, ring, star, torus, Clique};
 pub use social::{barabasi_albert, watts_strogatz};

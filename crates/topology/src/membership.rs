@@ -1,0 +1,439 @@
+//! Dynamic-membership overlay for churn-tolerant gossip.
+//!
+//! A [`Membership`] sits **on top of** a frozen base topology: it never
+//! rebuilds the CSR.  Instead it tracks
+//!
+//! * an **alive mask** over `base_n + spare` nodes (the base members
+//!   plus a pool of not-yet-joined spares),
+//! * **overlay-delta edges**: bidirectional adjacency added when a
+//!   spare joins (it attaches to a few random alive anchors) — delta
+//!   edges persist after an endpoint dies, exactly like base edges, and
+//! * the alive / dead-member / spare index sets needed to draw uniform
+//!   random churn victims in `O(1)`.
+//!
+//! Neighbor sampling goes through
+//! [`Membership::sample_alive_neighbor_edge`]: a uniform draw over the
+//! node's base-plus-delta neighbor set (via
+//! [`TopologyCore::neighbor_at_core`]) with **rejection of dead peers**
+//! — up to [`MAX_DEAD_REDRAWS`] redraws, after which the caller treats
+//! the message as lost to a dead peer.  With every node alive and no
+//! delta edges the draw consumes the RNG identically to
+//! [`TopologyCore::sample_neighbor_edge_core`] (one `gen_range` over
+//! the same range), which is what keeps zero-churn runs bit-identical
+//! to churn-free engines.
+
+use crate::graph::TopologyCore;
+use rand::{Rng, RngCore};
+
+/// Redraw budget when a sampled peer is dead: after this many dead
+/// hits in one draw the sample is abandoned (the caller records a
+/// dead-peer loss).  Small enough to bound per-sample work when almost
+/// everyone is dead, large enough that redraws almost always succeed
+/// under realistic churn.
+pub const MAX_DEAD_REDRAWS: u64 = 8;
+
+/// Alive mask + overlay-delta edges + churn index sets over a frozen
+/// base topology (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Membership {
+    base_n: usize,
+    /// Alive flag per node (`base_n + spare` entries).
+    alive: Vec<bool>,
+    /// Overlay adjacency added by joins (bidirectional, persistent).
+    delta: Vec<Vec<u32>>,
+    /// Alive nodes, unordered (swap-remove set for uniform draws).
+    alive_set: Vec<u32>,
+    /// Position of each node in `alive_set` (`usize::MAX` if absent).
+    alive_pos: Vec<usize>,
+    /// Members that crashed or left, available for rejoin (unordered).
+    dead_members: Vec<u32>,
+    /// Spares not yet joined (popped in index order).
+    spare_pool: Vec<u32>,
+    /// Lifetime event tallies.
+    joins: u64,
+    crashes: u64,
+    leaves: u64,
+    rejoins: u64,
+}
+
+impl Membership {
+    /// Overlay over `base_n` initially alive members plus `spare`
+    /// initially dead spare nodes (indices `base_n..base_n + spare`).
+    ///
+    /// # Panics
+    /// Panics if `base_n == 0`.
+    #[must_use]
+    pub fn new(base_n: usize, spare: usize) -> Self {
+        assert!(base_n > 0, "membership over an empty base population");
+        let total = base_n + spare;
+        let mut alive = vec![true; total];
+        for a in alive.iter_mut().skip(base_n) {
+            *a = false;
+        }
+        let mut alive_pos = vec![usize::MAX; total];
+        for (i, p) in alive_pos.iter_mut().enumerate().take(base_n) {
+            *p = i;
+        }
+        Self {
+            base_n,
+            alive,
+            delta: vec![Vec::new(); total],
+            alive_set: (0..base_n as u32).collect(),
+            alive_pos,
+            // Reversed so `pop()` joins spares in index order.
+            spare_pool: (base_n as u32..total as u32).rev().collect(),
+            dead_members: Vec::new(),
+            joins: 0,
+            crashes: 0,
+            leaves: 0,
+            rejoins: 0,
+        }
+    }
+
+    /// Total node count (`base_n + spare`).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Base population size.
+    #[must_use]
+    pub fn base_n(&self) -> usize {
+        self.base_n
+    }
+
+    /// Is `node` currently alive?
+    #[must_use]
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.alive[node]
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive_set.len()
+    }
+
+    /// Number of dead members available for rejoin.
+    #[must_use]
+    pub fn dead_count(&self) -> usize {
+        self.dead_members.len()
+    }
+
+    /// Number of spares not yet joined.
+    #[must_use]
+    pub fn spares_left(&self) -> usize {
+        self.spare_pool.len()
+    }
+
+    /// Lifetime `(joins, crashes, leaves, rejoins)` tallies.
+    #[must_use]
+    pub fn event_counts(&self) -> (u64, u64, u64, u64) {
+        (self.joins, self.crashes, self.leaves, self.rejoins)
+    }
+
+    /// A uniformly random alive node.
+    ///
+    /// # Panics
+    /// Panics if no node is alive.
+    pub fn random_alive<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(!self.alive_set.is_empty(), "no alive node to draw");
+        self.alive_set[rng.gen_range(0..self.alive_set.len())] as usize
+    }
+
+    fn remove_alive(&mut self, node: usize) {
+        let pos = self.alive_pos[node];
+        debug_assert!(pos != usize::MAX, "node {node} is not alive");
+        let last = self.alive_set.len() - 1;
+        self.alive_set.swap(pos, last);
+        self.alive_pos[self.alive_set[pos] as usize] = pos;
+        self.alive_set.pop();
+        self.alive_pos[node] = usize::MAX;
+        self.alive[node] = false;
+        self.dead_members.push(node as u32);
+    }
+
+    fn insert_alive(&mut self, node: usize) {
+        debug_assert!(!self.alive[node], "node {node} already alive");
+        self.alive[node] = true;
+        self.alive_pos[node] = self.alive_set.len();
+        self.alive_set.push(node as u32);
+    }
+
+    /// Crash a uniformly random alive node; returns it.
+    ///
+    /// # Panics
+    /// Panics if no node is alive.
+    pub fn crash_random<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let v = self.random_alive(rng);
+        self.remove_alive(v);
+        self.crashes += 1;
+        v
+    }
+
+    /// Gracefully depart a uniformly random alive node; returns it.
+    /// State-wise identical to a crash (the node stops participating
+    /// and becomes rejoin-eligible); tallied separately for
+    /// attribution.
+    ///
+    /// # Panics
+    /// Panics if no node is alive.
+    pub fn leave_random<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let v = self.random_alive(rng);
+        self.remove_alive(v);
+        self.leaves += 1;
+        v
+    }
+
+    /// Rejoin a uniformly random dead member; returns it.
+    ///
+    /// # Panics
+    /// Panics if no dead member is available.
+    pub fn rejoin_random<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> usize {
+        assert!(!self.dead_members.is_empty(), "no dead member to rejoin");
+        let i = rng.gen_range(0..self.dead_members.len());
+        let v = self.dead_members.swap_remove(i) as usize;
+        self.insert_alive(v);
+        self.rejoins += 1;
+        v
+    }
+
+    /// Join the next spare, attaching it to up to `attach` distinct
+    /// uniformly random alive anchors via bidirectional overlay-delta
+    /// edges; returns the joined node.  Exactly `attach` anchor draws
+    /// are consumed (duplicates are skipped, not redrawn).
+    ///
+    /// # Panics
+    /// Panics if no spare is left, no node is alive (nothing to anchor
+    /// to), or `attach == 0`.
+    pub fn join_spare<R: RngCore + ?Sized>(&mut self, attach: usize, rng: &mut R) -> usize {
+        assert!(attach > 0, "join needs at least one anchor");
+        let s = self.spare_pool.pop().expect("no spare left to join") as usize;
+        assert!(
+            !self.alive_set.is_empty(),
+            "cannot join a spare into an empty alive set"
+        );
+        for _ in 0..attach {
+            let a = self.random_alive(rng);
+            if self.delta[s].contains(&(a as u32)) {
+                continue;
+            }
+            self.delta[s].push(a as u32);
+            self.delta[a].push(s as u32);
+        }
+        self.insert_alive(s);
+        self.joins += 1;
+        s
+    }
+
+    /// Size of `node`'s sampling set: base degree (members only) plus
+    /// overlay-delta edges.
+    #[must_use]
+    pub fn degree_of<T: TopologyCore>(&self, base: &T, node: usize) -> usize {
+        let base_deg = if node < self.base_n {
+            base.degree(node)
+        } else {
+            0
+        };
+        base_deg + self.delta[node].len()
+    }
+
+    /// The `idx`-th member of `node`'s base-plus-delta sampling set.
+    /// Base neighbors come first (with their CSR slot, when the base
+    /// reports one); delta neighbors follow with no slot.
+    #[must_use]
+    pub fn neighbor_at<T: TopologyCore>(
+        &self,
+        base: &T,
+        node: usize,
+        idx: usize,
+    ) -> (usize, Option<usize>) {
+        let base_deg = if node < self.base_n {
+            base.degree(node)
+        } else {
+            0
+        };
+        if idx < base_deg {
+            base.neighbor_at_core(node, idx)
+        } else {
+            (self.delta[node][idx - base_deg] as usize, None)
+        }
+    }
+
+    /// Draw a uniform neighbor of `node`, rejecting dead peers with up
+    /// to [`MAX_DEAD_REDRAWS`] redraws.  Each dead hit increments
+    /// `dead_hits`; when the budget is exhausted (`*dead_hits` grew by
+    /// exactly [`MAX_DEAD_REDRAWS`]) the **last dead draw** is returned
+    /// and the caller must treat the message as lost to a dead peer.
+    ///
+    /// With every node alive this consumes exactly one `gen_range`
+    /// over the same range as
+    /// [`TopologyCore::sample_neighbor_edge_core`] and returns the
+    /// same peer/slot — the zero-churn bit-identity invariant.
+    ///
+    /// # Panics
+    /// Panics if `node`'s sampling set is empty.
+    pub fn sample_alive_neighbor_edge<T: TopologyCore, R: RngCore + ?Sized>(
+        &self,
+        base: &T,
+        node: usize,
+        dead_hits: &mut u64,
+        rng: &mut R,
+    ) -> (usize, Option<usize>) {
+        let deg = self.degree_of(base, node);
+        assert!(
+            deg > 0,
+            "node {node} has no neighbors; cannot sample under churn"
+        );
+        let mut last = (node, None);
+        for _ in 0..MAX_DEAD_REDRAWS {
+            let (peer, slot) = self.neighbor_at(base, node, rng.gen_range(0..deg));
+            if self.alive[peer] {
+                return (peer, slot);
+            }
+            *dead_hits += 1;
+            last = (peer, slot);
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{random_regular, Clique};
+    use plurality_sampling::stream_rng;
+
+    #[test]
+    fn initial_state_and_counts() {
+        let m = Membership::new(10, 4);
+        assert_eq!(m.total(), 14);
+        assert_eq!(m.base_n(), 10);
+        assert_eq!(m.alive_count(), 10);
+        assert_eq!(m.dead_count(), 0);
+        assert_eq!(m.spares_left(), 4);
+        assert!(m.is_alive(0) && m.is_alive(9));
+        assert!(!m.is_alive(10) && !m.is_alive(13));
+    }
+
+    #[test]
+    fn crash_rejoin_roundtrip_preserves_sets() {
+        let mut m = Membership::new(50, 0);
+        let mut rng = stream_rng(7, 0);
+        let mut crashed = Vec::new();
+        for _ in 0..20 {
+            crashed.push(m.crash_random(&mut rng));
+        }
+        assert_eq!(m.alive_count(), 30);
+        assert_eq!(m.dead_count(), 20);
+        for &v in &crashed {
+            assert!(!m.is_alive(v));
+        }
+        for _ in 0..20 {
+            let v = m.rejoin_random(&mut rng);
+            assert!(m.is_alive(v));
+            assert!(crashed.contains(&v));
+        }
+        assert_eq!(m.alive_count(), 50);
+        assert_eq!(m.dead_count(), 0);
+        assert_eq!(m.event_counts(), (0, 20, 0, 20));
+    }
+
+    #[test]
+    fn joins_attach_bidirectional_delta_edges() {
+        let clique = Clique::new(10);
+        let mut m = Membership::new(10, 2);
+        let mut rng = stream_rng(3, 0);
+        let s = m.join_spare(4, &mut rng);
+        assert_eq!(s, 10, "spares join in index order");
+        assert!(m.is_alive(s));
+        let d = m.degree_of(&clique, s);
+        assert!((1..=4).contains(&d), "got {d} anchors");
+        // Every anchor sees the spare back.
+        for i in 0..d {
+            let (a, slot) = m.neighbor_at(&clique, s, i);
+            assert!(slot.is_none(), "delta edges have no CSR slot");
+            let a_deg = m.degree_of(&clique, a);
+            let mut found = false;
+            for j in 0..a_deg {
+                if m.neighbor_at(&clique, a, j).0 == s {
+                    found = true;
+                }
+            }
+            assert!(found, "anchor {a} lost its back edge");
+        }
+        let s2 = m.join_spare(4, &mut rng);
+        assert_eq!(s2, 11);
+        assert_eq!(m.spares_left(), 0);
+        assert_eq!(m.alive_count(), 12);
+    }
+
+    fn assert_matches_base<T: TopologyCore>(base: &T, n: usize, salt: u64) {
+        // The zero-churn invariant: with everyone alive and no delta
+        // edges, the overlay draw must consume the RNG identically to
+        // the base edge sampler.
+        let m = Membership::new(n, 0);
+        for round in 0..200u64 {
+            for node in 0..n {
+                let mut a = stream_rng(salt, round * n as u64 + node as u64);
+                let mut b = a.clone();
+                let mut hits = 0u64;
+                let plain = base.sample_neighbor_edge_core(node, &mut a);
+                let overlay = m.sample_alive_neighbor_edge(base, node, &mut hits, &mut b);
+                assert_eq!(overlay, plain, "draw diverged at node {node}");
+                assert_eq!(hits, 0);
+                assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "rng positions diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn all_alive_sampling_matches_base_sampler_bit_for_bit() {
+        assert_matches_base(&Clique::new(17), 17, 5);
+        assert_matches_base(&Clique::without_self(17), 17, 6);
+        assert_matches_base(&random_regular(16, 4, 99), 16, 7);
+    }
+
+    #[test]
+    fn dead_peers_are_rejected_or_reported() {
+        // Star-ish setup on a clique: kill everyone but two nodes; all
+        // samples from node 0 must land on 0 or 1 (alive), or exhaust.
+        let clique = Clique::new(30);
+        let mut m = Membership::new(30, 0);
+        let mut rng = stream_rng(11, 0);
+        while m.alive_count() > 2 {
+            let _ = m.crash_random(&mut rng);
+        }
+        let alive: Vec<usize> = (0..30).filter(|&v| m.is_alive(v)).collect();
+        let src = alive[0];
+        let mut exhausted = 0u32;
+        let mut ok = 0u32;
+        for _ in 0..500 {
+            let mut hits = 0u64;
+            let (peer, _) = m.sample_alive_neighbor_edge(&clique, src, &mut hits, &mut rng);
+            if hits >= MAX_DEAD_REDRAWS {
+                exhausted += 1;
+            } else {
+                assert!(m.is_alive(peer), "accepted a dead peer");
+                ok += 1;
+            }
+        }
+        // 2/30 alive: a draw succeeds with p = 1 - (28/30)^9 ≈ 0.46.
+        assert!(ok > 100, "ok = {ok}");
+        assert!(exhausted > 50, "exhausted = {exhausted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty base population")]
+    fn empty_base_rejected() {
+        let _ = Membership::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no spare left")]
+    fn join_without_spares_panics() {
+        let mut m = Membership::new(4, 0);
+        let mut rng = stream_rng(1, 0);
+        let _ = m.join_spare(2, &mut rng);
+    }
+}

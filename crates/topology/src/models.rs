@@ -90,6 +90,19 @@ impl TopologyCore for Clique {
             }
         }
     }
+
+    #[inline]
+    fn neighbor_at_core(&self, node: usize, idx: usize) -> (usize, Option<usize>) {
+        // Index the same sampling set `sample_neighbor_core` draws from,
+        // so `gen_range(0..degree)` + this lookup reproduces its draw.
+        if self.include_self {
+            (idx, None)
+        } else if idx >= node {
+            (idx + 1, None)
+        } else {
+            (idx, None)
+        }
+    }
 }
 
 /// Erdős–Rényi `G(n, p)`: every pair independently an edge with

@@ -61,6 +61,46 @@ fn gossip_traces_bit_identical_to_pr2_engine() {
     }
 }
 
+/// A zero-rate churn model must not move a single golden fingerprint:
+/// the membership overlay sits on the hot path (alive-mask sampler,
+/// total-sized buffers), but with no spares and no event rates every
+/// case reproduces the PR 5 pins bit for bit.
+#[test]
+fn gossip_goldens_survive_zero_rate_churn() {
+    use plurality::gossip::ChurnModel;
+    let clique = Clique::new(800);
+    let cfg = plurality::core::builders::biased(800, 3, 160);
+    for case in GOSSIP_CASES {
+        let engine = GossipEngine::new(&clique)
+            .with_mode(case.mode)
+            .with_scheduler(case.scheduler)
+            .with_network(case.network)
+            .with_churn_model(ChurnModel::none());
+        let opts = RunOptions::with_max_rounds(100_000).traced();
+        let (r, s) = engine.run_detailed(
+            &ThreeMajority::new(),
+            &cfg,
+            Placement::Shuffled,
+            &opts,
+            case.seed,
+        );
+        assert_eq!(r.rounds, case.rounds, "{}: rounds drifted", case.label);
+        assert_eq!(r.winner, case.winner, "{}: winner drifted", case.label);
+        assert_eq!(
+            s.activations, case.activations,
+            "{}: activations",
+            case.label
+        );
+        assert_eq!(s.messages, case.messages, "{}: messages", case.label);
+        assert_eq!(
+            trace_fingerprint(r.trace.as_ref().unwrap()),
+            case.fingerprint,
+            "{}: zero-rate churn broke bit-identity with the PR 5 goldens",
+            case.label
+        );
+    }
+}
+
 #[test]
 fn check_all_agrees_with_the_tables() {
     // The CI gate (`golden_fingerprints --check`) runs this exact

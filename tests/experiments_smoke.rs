@@ -9,8 +9,8 @@ fn registry_covers_design_md_index() {
     let ids: Vec<&str> = registry::all().iter().map(|e| e.id()).collect();
     assert_eq!(
         ids.len(),
-        17,
-        "DESIGN.md §4 experiments + the E13–E17 extensions"
+        18,
+        "DESIGN.md §4 experiments + the E13–E18 extensions"
     );
     for (i, id) in ids.iter().enumerate() {
         assert_eq!(*id, format!("e{:02}", i + 1));
