@@ -1,0 +1,160 @@
+//! Within-trial sharding scaling bench: the sharded [`AgentEngine`]
+//! at large `n` on the clique under 3-majority, across thread counts.
+//!
+//! ```text
+//! # Full acceptance run (n = 10^7, threads 1/2/4, 3 reps) writing the
+//! # repo-root baseline file:
+//! cargo run --release -p plurality-bench --bin parallel_engine_bench -- \
+//!     --out BENCH_parallel_engine.json
+//!
+//! # Quick look at a smaller n, stdout only:
+//! cargo run --release -p plurality-bench --bin parallel_engine_bench -- --n 1000000
+//! ```
+//!
+//! Every thread count replays the **same trial** (same seed, same
+//! trajectory — the determinism contract in `docs/DETERMINISM.md`), so
+//! the run doubles as an end-to-end thread-invariance check: the bench
+//! aborts if rounds or winner drift across `T`.  Timings are
+//! wall-clock per executed round, best of `--reps` runs; the JSON
+//! records the host's core count because scaling numbers from an
+//! oversubscribed pool (threads > cores) measure scheduling overhead,
+//! not the shard fan-out.
+
+use std::time::Instant;
+
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{AgentEngine, Placement, RunOptions};
+use plurality_topology::Clique;
+
+/// One measured cell: a thread count with its best-of-reps timing.
+struct Cell {
+    threads: usize,
+    rounds: u64,
+    winner: Option<usize>,
+    best_ms_per_round: f64,
+    median_ms_per_round: f64,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let m = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[m]
+    } else {
+        (sorted[m - 1] + sorted[m]) / 2.0
+    }
+}
+
+fn measure(n: usize, threads: usize, reps: usize, seed: u64) -> Cell {
+    let clique = Clique::new(n);
+    let d = ThreeMajority::new();
+    let cfg = builders::biased(n as u64, 3, (n / 10) as u64);
+    let opts = RunOptions::with_max_rounds(1_000);
+    let engine = AgentEngine::new(&clique).with_threads(threads);
+
+    let mut per_round = Vec::with_capacity(reps);
+    let mut rounds = 0u64;
+    let mut winner = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = engine.run(&d, &cfg, Placement::Shuffled, &opts, seed);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(r.rounds > 0, "trial converged in zero rounds");
+        per_round.push(elapsed_ms / r.rounds as f64);
+        rounds = r.rounds;
+        winner = r.winner;
+    }
+    per_round.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Cell {
+        threads,
+        rounds,
+        winner,
+        best_ms_per_round: per_round[0],
+        median_ms_per_round: median(&per_round),
+    }
+}
+
+fn usage_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .clone()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = usage_value(&args, "--n")
+        .map(|v| v.parse().expect("--n: not a number"))
+        .unwrap_or(10_000_000);
+    let reps: usize = usage_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps: not a number"))
+        .unwrap_or(3);
+    let seed: u64 = usage_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed: not a number"))
+        .unwrap_or(7);
+    let out = usage_value(&args, "--out");
+
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    eprintln!(
+        "parallel_engine_bench: n = {n}, 3-majority on the clique, \
+         threads 1/2/4, {reps} reps, seed {seed} ({cores} host cores)"
+    );
+
+    let cells: Vec<Cell> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            let c = measure(n, t, reps, seed);
+            eprintln!(
+                "  threads = {}: {:.1} ms/round best ({:.1} median), {} rounds, winner {:?}",
+                c.threads, c.best_ms_per_round, c.median_ms_per_round, c.rounds, c.winner
+            );
+            c
+        })
+        .collect();
+
+    // The same seed must replay the same trajectory at every T.
+    for c in &cells[1..] {
+        assert_eq!(
+            (c.rounds, c.winner),
+            (cells[0].rounds, cells[0].winner),
+            "thread-invariance violated at threads = {}",
+            c.threads
+        );
+    }
+
+    let base = cells[0].best_ms_per_round;
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"threads\":{},\"best_ms_per_round\":{:.3},\"median_ms_per_round\":{:.3},\
+             \"speedup_vs_1\":{:.3},\"rounds\":{}}}",
+            c.threads,
+            c.best_ms_per_round,
+            c.median_ms_per_round,
+            base / c.best_ms_per_round,
+            c.rounds,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"plurality-bench-parallel-engine/v1\",\n  \
+         \"bench\": \"AgentEngine sharded rounds, 3-majority, clique, bias n/10\",\n  \
+         \"n\": {n},\n  \"reps\": {reps},\n  \"seed\": {seed},\n  \
+         \"host\": {{\"cpus\": {cores}, \"os\": \"{}\"}},\n  \
+         \"note\": \"ms per executed round, best of {reps} full trials per thread count; \
+         every thread count replays the identical trajectory (asserted on rounds+winner). \
+         Speedups are only meaningful when threads <= host cpus: on an oversubscribed pool \
+         the barrier per round serializes the shards and the curve flattens to ~1x.\",\n  \
+         \"cells\": [\n{rows}\n  ]\n}}\n",
+        std::env::consts::OS,
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

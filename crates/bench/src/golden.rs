@@ -103,6 +103,29 @@ pub const AGENT_CASES: &[AgentCase] = &[
         winner: Some(0),
         fingerprint: 0x52c7_3a4f_ac48_b1e4,
     },
+    // The next two cases rerun the same trial (same seed, topology,
+    // dynamics) at threads 2 and 4: the determinism contract says the
+    // fingerprint must equal the 1-thread pin above, bit for bit.
+    AgentCase {
+        label: "clique(3000) 3-majority 2 threads (same trial as 1 thread)",
+        topology: clique3000,
+        dynamics: three_majority,
+        threads: 2,
+        seed: 11,
+        rounds: 8,
+        winner: Some(0),
+        fingerprint: 0x52c7_3a4f_ac48_b1e4,
+    },
+    AgentCase {
+        label: "clique(3000) 3-majority 4 threads (same trial as 1 thread)",
+        topology: clique3000,
+        dynamics: three_majority,
+        threads: 4,
+        seed: 11,
+        rounds: 8,
+        winner: Some(0),
+        fingerprint: 0x52c7_3a4f_ac48_b1e4,
+    },
     AgentCase {
         label: "clique(3000) 3-majority 3 threads",
         topology: clique3000,
@@ -369,7 +392,7 @@ mod tests {
 
     #[test]
     fn tables_are_well_formed() {
-        assert_eq!(AGENT_CASES.len(), 6);
+        assert_eq!(AGENT_CASES.len(), 8);
         assert_eq!(GOSSIP_CASES.len(), 4);
         for c in AGENT_CASES {
             assert!(!c.label.is_empty());

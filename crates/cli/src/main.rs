@@ -17,8 +17,11 @@ mod args;
 use args::Args;
 use plurality_analysis::{fmt_f64, wilson, Summary, Table};
 use plurality_core::{builders, Configuration, Dynamics};
-use plurality_engine::{MeanFieldEngine, MonteCarlo, RunOptions, StopReason, TraceLevel};
-use plurality_sampling::stream_rng;
+use plurality_engine::{
+    AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions, StopReason, TraceLevel,
+    TrialResult,
+};
+use plurality_sampling::{derive_stream, stream_rng};
 use plurality_telemetry::{MetricsRecorder, MetricsReport};
 
 const VALUE_OPTS: &[&str] = &[
@@ -145,7 +148,8 @@ fn usage() {
          \x20                   (schema plurality-metrics/v1; implies recording)\n\
          \x20 --addr A          serve/bench-client: TCP address (default 127.0.0.1:7117)\n\
          \x20 --workers W       serve: job worker threads (default: all cores)\n\
-         \x20 --engine E        bench-client: 'gossip' (default), 'agent', or 'mean-field'\n\
+         \x20 --engine E        run: 'mean-field' (default) or 'agent' (per-node, sharded);\n\
+         \x20                   bench-client: 'gossip' (default), 'agent', or 'mean-field'\n\
          \x20 --freq F          bench-client: target job submissions per second (default 50)\n\
          \x20 --secs S          bench-client: open-loop phase length in seconds (default 5)\n\
          \x20 --probe N         bench-client: cold/warm cache-probe jobs per phase (default 8)\n\
@@ -158,7 +162,9 @@ fn usage() {
          \x20 --trials T        independent trials for 'run'/'zoo' (default 50)\n\
          \x20 --max-rounds R    round cap (default 1000000)\n\
          \x20 --seed S          master seed (default 1)\n\
-         \x20 --threads T       worker threads (default: all cores)\n\
+         \x20 --threads T       worker threads: trial-level parallelism, except with\n\
+         \x20                   'run --engine agent' where each trial's rounds are sharded\n\
+         \x20                   across T threads, bit-identically (default: all cores)\n\
          \x20 --quiet           suppress per-round output in 'trace'"
     );
 }
@@ -219,6 +225,9 @@ fn common(parsed: &Args) -> Result<Common, String> {
                 .unwrap_or(1),
         )
         .map_err(|e| e.to_string())?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
 
     let bias = match parsed.get("bias") {
         None | Some("auto") => plurality_server::auto_bias(n, k),
@@ -304,6 +313,60 @@ impl MetricsOpt {
 }
 
 fn cmd_run(parsed: &Args) -> Result<(), String> {
+    match parsed.get("engine").unwrap_or("mean-field") {
+        "mean-field" => cmd_run_mean_field(parsed),
+        "agent" => cmd_run_agent(parsed),
+        other => Err(format!(
+            "run supports --engine mean-field|agent, got '{other}'"
+        )),
+    }
+}
+
+/// Convergence-statistics table shared by the `run` engine paths.
+fn print_run_table(title: String, trials: usize, results: &[TrialResult]) {
+    let mut rounds = Summary::new();
+    let mut wins = 0usize;
+    let mut converged = 0usize;
+    for r in results {
+        if r.reason == StopReason::Stopped {
+            converged += 1;
+            rounds.push(r.rounds_f64());
+        }
+        if r.success {
+            wins += 1;
+        }
+    }
+    let iv = wilson(wins, trials, 0.05);
+
+    let mut t = Table::new(title, &["metric", "value"]);
+    t.push_row(vec!["converged".into(), format!("{converged}/{trials}")]);
+    t.push_row(vec!["plurality wins".into(), format!("{wins}/{trials}")]);
+    t.push_row(vec![
+        "win rate (95% CI)".into(),
+        format!(
+            "{} [{}, {}]",
+            fmt_f64(wins as f64 / trials as f64),
+            fmt_f64(iv.lo),
+            fmt_f64(iv.hi)
+        ),
+    ]);
+    if rounds.count() > 0 {
+        t.push_row(vec!["mean rounds".into(), fmt_f64(rounds.mean())]);
+        t.push_row(vec!["sd rounds".into(), fmt_f64(rounds.std_dev())]);
+        t.push_row(vec![
+            "min/max rounds".into(),
+            format!("{} / {}", fmt_f64(rounds.min()), fmt_f64(rounds.max())),
+        ]);
+    } else {
+        t.push_row(vec![
+            "rounds".into(),
+            "n/a (no trial converged; note that noisy dynamics never absorb)".into(),
+        ]);
+    }
+    print!("{}", t.markdown());
+}
+
+fn cmd_run_mean_field(parsed: &Args) -> Result<(), String> {
     let c = common(parsed)?;
     let metrics = MetricsOpt::from_args(parsed)?;
     let engine = MeanFieldEngine::new(c.dynamics.as_ref());
@@ -341,21 +404,7 @@ fn cmd_run(parsed: &Args) -> Result<(), String> {
     };
     let elapsed = start.elapsed();
 
-    let mut rounds = Summary::new();
-    let mut wins = 0usize;
-    let mut converged = 0usize;
-    for r in &results {
-        if r.reason == StopReason::Stopped {
-            converged += 1;
-            rounds.push(r.rounds_f64());
-        }
-        if r.success {
-            wins += 1;
-        }
-    }
-    let iv = wilson(wins, c.trials, 0.05);
-
-    let mut t = Table::new(
+    print_run_table(
         format!(
             "{} on clique: n = {}, k = {}, bias = {} ({} trials, {:.2}s)",
             c.dynamics.name(),
@@ -365,39 +414,80 @@ fn cmd_run(parsed: &Args) -> Result<(), String> {
             c.trials,
             elapsed.as_secs_f64()
         ),
-        &["metric", "value"],
+        c.trials,
+        &results,
     );
-    t.push_row(vec![
-        "converged".into(),
-        format!("{converged}/{}", c.trials),
-    ]);
-    t.push_row(vec![
-        "plurality wins".into(),
-        format!("{wins}/{}", c.trials),
-    ]);
-    t.push_row(vec![
-        "win rate (95% CI)".into(),
-        format!(
-            "{} [{}, {}]",
-            fmt_f64(wins as f64 / c.trials as f64),
-            fmt_f64(iv.lo),
-            fmt_f64(iv.hi)
-        ),
-    ]);
-    if rounds.count() > 0 {
-        t.push_row(vec!["mean rounds".into(), fmt_f64(rounds.mean())]);
-        t.push_row(vec!["sd rounds".into(), fmt_f64(rounds.std_dev())]);
-        t.push_row(vec![
-            "min/max rounds".into(),
-            format!("{} / {}", fmt_f64(rounds.min()), fmt_f64(rounds.max())),
-        ]);
-    } else {
-        t.push_row(vec![
-            "rounds".into(),
-            "n/a (no trial converged; note that noisy dynamics never absorb)".into(),
-        ]);
+    metrics.emit(&fleet)?;
+    Ok(())
+}
+
+/// `run --engine agent`: explicit per-node simulation on `--topology`.
+///
+/// `--threads` here parallelizes **within** each trial (the engine's
+/// sharded round loop); trials run serially, so the trajectory of trial
+/// `i` is bit-identical to the server's agent path (seed stream
+/// `derive_stream(seed, i)`) at every thread count — see
+/// `docs/DETERMINISM.md`.
+fn cmd_run_agent(parsed: &Args) -> Result<(), String> {
+    let c = common(parsed)?;
+    let metrics = MetricsOpt::from_args(parsed)?;
+    let n = c.cfg.n() as usize;
+    let topology = build_gossip_topology(parsed, n, c.seed)?;
+    let engine = AgentEngine::new(topology.as_ref()).with_threads(c.threads);
+    let start = std::time::Instant::now();
+    let mut fleet = MetricsReport::new(format!(
+        "run-agent {} {} n={} k={} bias={} trials={}",
+        c.dynamics.name(),
+        topology.name(),
+        c.cfg.n(),
+        c.cfg.k(),
+        c.cfg.bias(),
+        c.trials
+    ));
+    let mut results = Vec::with_capacity(c.trials);
+    for i in 0..c.trials {
+        let seed = derive_stream(c.seed, i as u64);
+        let r = if metrics.enabled() {
+            let mut rec = MetricsRecorder::new();
+            let r = engine.run_recorded(
+                c.dynamics.as_ref(),
+                &c.cfg,
+                Placement::Shuffled,
+                &c.opts,
+                seed,
+                &mut rec,
+            );
+            fleet.merge(&rec.report());
+            r
+        } else {
+            engine.run(
+                c.dynamics.as_ref(),
+                &c.cfg,
+                Placement::Shuffled,
+                &c.opts,
+                seed,
+            )
+        };
+        results.push(r);
     }
-    print!("{}", t.markdown());
+    let elapsed = start.elapsed();
+
+    print_run_table(
+        format!(
+            "{} agent engine on {}: n = {}, k = {}, bias = {}, threads = {} \
+             ({} trials, {:.2}s)",
+            c.dynamics.name(),
+            topology.name(),
+            c.cfg.n(),
+            c.cfg.k(),
+            c.cfg.bias(),
+            c.threads,
+            c.trials,
+            elapsed.as_secs_f64()
+        ),
+        c.trials,
+        &results,
+    );
     metrics.emit(&fleet)?;
     Ok(())
 }
@@ -859,6 +949,9 @@ fn spec_from_args(parsed: &Args) -> Result<plurality_server::JobSpec, String> {
     spec.max_rounds = parsed
         .get_parsed("max-rounds", spec.max_rounds)
         .map_err(|e| e.to_string())?;
+    spec.threads = parsed
+        .get_parsed("threads", spec.threads)
+        .map_err(|e| e.to_string())?;
     spec.validate()?;
     Ok(spec)
 }
@@ -950,6 +1043,9 @@ fn cmd_experiment(parsed: &Args) -> Result<(), String> {
     ctx.threads = parsed
         .get_parsed("threads", ctx.threads)
         .map_err(|e| e.to_string())?;
+    if ctx.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
 
     let mut fleet = MetricsReport::new(format!("experiment {}", ids.join(",")));
     let mut recorded = false;

@@ -242,6 +242,21 @@ pub trait Dynamics: Send + Sync {
     fn as_any(&self) -> Option<&dyn Any> {
         None
     }
+
+    /// `Some(s)` iff [`Self::node_update`] consumes **exactly `s` sampler
+    /// draws and no other randomness**, for every input.
+    ///
+    /// This is a strict promise about RNG consumption, not a hint: when
+    /// it holds, an engine may prefetch the `s` neighbor draws for a
+    /// whole batch of nodes (in node order) and then replay them through
+    /// the rule, without changing the PRNG sequence — the batched and
+    /// unbatched paths stay bit-identical (see `docs/DETERMINISM.md`).
+    /// Any rule that touches `rng` outside its sampler draws — uniform
+    /// tie-breaking, reservoir selection, a random draw count — must
+    /// return `None` (the default).
+    fn fixed_draws(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Recover a concrete dynamics type from a `&dyn Dynamics` (via
@@ -333,6 +348,10 @@ impl Dynamics for DynDynamics<'_> {
 
     fn as_any(&self) -> Option<&dyn Any> {
         self.0.as_any()
+    }
+
+    fn fixed_draws(&self) -> Option<usize> {
+        self.0.fixed_draws()
     }
 }
 

@@ -83,6 +83,16 @@ impl Dynamics for ThreeMajority {
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
     }
+
+    fn fixed_draws(&self) -> Option<usize> {
+        match self.tie_rule {
+            // Exactly three draws, tie resolved without randomness.
+            TieRule::FirstSample => Some(3),
+            // Three-way ties consume an extra `gen_range` — draw count is
+            // fixed but RNG consumption is not.
+            TieRule::UniformRandom => None,
+        }
+    }
 }
 
 impl SealedDynamics for ThreeMajority {}
@@ -201,6 +211,13 @@ impl Dynamics for HPlurality {
 
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
+    }
+
+    fn fixed_draws(&self) -> Option<usize> {
+        // The argmax tie-break is a reservoir pass that consumes
+        // `gen_range` even for a unique winner, so RNG consumption is
+        // never limited to the `h` sampler draws.
+        None
     }
 }
 

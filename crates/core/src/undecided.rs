@@ -143,6 +143,10 @@ impl Dynamics for UndecidedState {
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
     }
+
+    fn fixed_draws(&self) -> Option<usize> {
+        Some(1)
+    }
 }
 
 impl SealedDynamics for UndecidedState {}

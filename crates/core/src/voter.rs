@@ -54,6 +54,10 @@ impl Dynamics for Voter {
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
     }
+
+    fn fixed_draws(&self) -> Option<usize> {
+        Some(1)
+    }
 }
 
 impl SealedDynamics for Voter {}
@@ -100,6 +104,11 @@ impl Dynamics for TwoSample {
 
     fn has_fast_kernel(&self) -> bool {
         true
+    }
+
+    fn fixed_draws(&self) -> Option<usize> {
+        // Disagreement consumes a coin flip beyond the two draws.
+        None
     }
 }
 
@@ -187,6 +196,10 @@ impl Dynamics for TwoChoices {
 
     fn has_fast_kernel(&self) -> bool {
         true
+    }
+
+    fn fixed_draws(&self) -> Option<usize> {
+        Some(2)
     }
 }
 

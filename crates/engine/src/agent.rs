@@ -10,9 +10,38 @@
 //!
 //! Rounds are parallelized over *fixed-size node chunks*; chunk `c` of
 //! round `r` always draws from the PRNG stream `1 + r·C + c` of the trial
-//! seed, regardless of how chunks are assigned to threads.  A run is
-//! therefore bit-for-bit identical for any `threads` setting — the
-//! property the determinism tests pin down.
+//! seed (`C` = number of chunks), regardless of how chunks are assigned
+//! to threads.  A run is therefore bit-for-bit identical for any
+//! `threads` setting — the property the determinism tests pin down.  The
+//! full draw-order contract, including the batched-draw and state-width
+//! invariances below, is written down in `docs/DETERMINISM.md`.
+//!
+//! # Worker pool
+//!
+//! With `threads > 1` the round loop runs on a persistent pool: workers
+//! are spawned once per trial and synchronize on a [`Barrier`] twice per
+//! round (once after writing their span of the next-state array, once
+//! after the coordinator has merged counts and evaluated the stop rule).
+//! Node states live in two shared buffers of relaxed atomics — each node
+//! is written by exactly one worker and reads only the previous round's
+//! buffer, so the barrier provides all the ordering the round needs.
+//!
+//! # Narrow state words
+//!
+//! The per-node state arrays store `u8`/`u16`/`u32` words, picked by the
+//! dynamics' state count (`k ≤ 256` → `u8`, `k ≤ 65 536` → `u16`).  All
+//! randomness is consumed sampling *node indices*, never states, so the
+//! trajectory is independent of the word width; a pin test forces each
+//! width over the same seed and compares traces.
+//!
+//! # Batched neighbor draws
+//!
+//! Rules that declare [`Dynamics::fixed_draws`]`= Some(s)` (exactly `s`
+//! sampler draws, no other randomness) run a two-pass chunk loop: first a
+//! tight gather of `s` neighbor states per node for a batch of nodes in
+//! node order, then the branchy rule evaluation over the prefilled
+//! buffer.  The PRNG sequence is identical to the one-pass path — the
+//! draws happen in the same order — so golden fingerprints pin both.
 //!
 //! # Devirtualization
 //!
@@ -51,6 +80,8 @@ use plurality_topology::{
     downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
 };
 use rand::{Rng, RngCore};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 /// How initial colors are laid onto nodes.
@@ -64,6 +95,26 @@ pub enum Placement {
     /// Contiguous blocks of equal color (worst-case-ish for sparse
     /// topologies; useful for placement-sensitivity experiments).
     Blocks,
+}
+
+/// Storage width of the per-node state array.
+///
+/// [`StateWidth::Auto`] (the default) picks the narrowest word the
+/// dynamics' state count fits; the explicit widths exist for the
+/// width-equivalence pin tests and benchmarks.  The trajectory is
+/// independent of the width — randomness samples node indices, never
+/// state words — so forcing a wider word changes memory traffic only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StateWidth {
+    /// Narrowest word that fits the state count (`u8`, `u16`, or `u32`).
+    #[default]
+    Auto,
+    /// Force `u8` words (panics at run time if the state count exceeds 256).
+    U8,
+    /// Force `u16` words (panics at run time if the state count exceeds 65 536).
+    U16,
+    /// Force `u32` words (always fits).
+    U32,
 }
 
 /// Lay a (lifted) state configuration onto nodes: contiguous blocks per
@@ -94,20 +145,122 @@ pub struct AgentEngine<'t> {
     topology: &'t dyn Topology,
     threads: usize,
     chunk_size: usize,
+    width: StateWidth,
+}
+
+/// Nodes per prefill batch on the batched-draw path; bounds the gather
+/// buffer at `BATCH_NODES · s` words so it stays cache-resident.
+const BATCH_NODES: usize = 1024;
+
+/// A state word narrow enough for the dynamics' state count, with the
+/// atomic twin the shared (parallel) buffers use.  All loads/stores are
+/// `Relaxed`: each node is written by exactly one worker per round and
+/// the per-round [`Barrier`] orders rounds against each other.
+trait StateWord: Copy + Send + Sync + 'static {
+    /// The matching atomic cell type.
+    type Atomic: Send + Sync;
+    /// Largest representable state count.
+    const CAPACITY: usize;
+    fn from_u32(v: u32) -> Self;
+    fn to_u32(self) -> u32;
+    fn atomic_from(v: u32) -> Self::Atomic;
+    fn atomic_load(a: &Self::Atomic) -> u32;
+    fn atomic_store(a: &Self::Atomic, v: u32);
+}
+
+macro_rules! impl_state_word {
+    ($word:ty, $atomic:ty) => {
+        impl StateWord for $word {
+            type Atomic = $atomic;
+            const CAPACITY: usize = (<$word>::MAX as usize) + 1;
+
+            #[inline(always)]
+            fn from_u32(v: u32) -> Self {
+                v as $word
+            }
+
+            #[inline(always)]
+            fn to_u32(self) -> u32 {
+                self as u32
+            }
+
+            #[inline(always)]
+            fn atomic_from(v: u32) -> Self::Atomic {
+                <$atomic>::new(v as $word)
+            }
+
+            #[inline(always)]
+            fn atomic_load(a: &Self::Atomic) -> u32 {
+                a.load(Ordering::Relaxed) as u32
+            }
+
+            #[inline(always)]
+            fn atomic_store(a: &Self::Atomic, v: u32) {
+                a.store(v as $word, Ordering::Relaxed);
+            }
+        }
+    };
+}
+
+impl_state_word!(u8, AtomicU8);
+impl_state_word!(u16, AtomicU16);
+impl_state_word!(u32, AtomicU32);
+
+/// Read access to the current round's state array, abstracting over the
+/// plain (sequential) and atomic (shared) buffers so the chunk processor
+/// is written once.
+trait ReadStates: Sync {
+    fn read(&self, i: usize) -> u32;
+}
+
+struct PlainStates<'a, W>(&'a [W]);
+
+impl<W: StateWord> ReadStates for PlainStates<'_, W> {
+    #[inline(always)]
+    fn read(&self, i: usize) -> u32 {
+        self.0[i].to_u32()
+    }
+}
+
+struct SharedStates<'a, W: StateWord>(&'a [W::Atomic]);
+
+impl<W: StateWord> ReadStates for SharedStates<'_, W> {
+    #[inline(always)]
+    fn read(&self, i: usize) -> u32 {
+        W::atomic_load(&self.0[i])
+    }
 }
 
 /// Draws the state of a random neighbor of one node; monomorphic over
-/// the topology so the whole sampling chain inlines.
-struct NeighborSource<'a, T> {
+/// the topology and state buffer so the whole sampling chain inlines.
+struct NeighborSource<'a, T, S: ?Sized> {
     topology: &'a T,
-    states: &'a [u32],
+    states: &'a S,
     node: usize,
 }
 
-impl<T: TopologyCore> SampleSource for NeighborSource<'_, T> {
+impl<T: TopologyCore, S: ReadStates + ?Sized> SampleSource for NeighborSource<'_, T, S> {
     #[inline]
     fn draw<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u32 {
-        self.states[self.topology.sample_neighbor_core(self.node, rng)]
+        self.states
+            .read(self.topology.sample_neighbor_core(self.node, rng))
+    }
+}
+
+/// Replays prefilled neighbor states on the batched-draw path.  Consumes
+/// no randomness: the prefill pass already drew every sample, in node
+/// order, from the chunk's stream.
+struct SliceSource<'a> {
+    buf: &'a [u32],
+    pos: usize,
+}
+
+impl SampleSource for SliceSource<'_> {
+    #[inline(always)]
+    fn draw<R: RngCore + ?Sized>(&mut self, _rng: &mut R) -> u32 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
     }
 }
 
@@ -126,6 +279,206 @@ impl<S: SampleSource> SampleSource for CountingSource<S> {
     }
 }
 
+/// Per-worker reusable buffers: the dynamics scratch plus the
+/// batched-draw gather buffer.
+struct WorkerScratch {
+    scratch: NodeScratch,
+    batch: Vec<u32>,
+}
+
+impl WorkerScratch {
+    fn new(state_count: usize, fixed: Option<usize>) -> Self {
+        Self {
+            scratch: NodeScratch::with_states(state_count),
+            batch: Vec::with_capacity(fixed.map_or(0, |s| BATCH_NODES * s)),
+        }
+    }
+}
+
+/// Process a contiguous span of chunks `[first_chunk, last_chunk)` for
+/// one round: read states through `src`, write each node's next state
+/// through `write`, tally into `counts`.  Returns the number of neighbor
+/// samples drawn (always 0 when `Rec` is disabled — counting rides the
+/// recorder-enabled instantiation only, so the disabled hot loop stays
+/// untouched).
+///
+/// Chunk `c` always draws from stream `stream_base + c` of the trial
+/// seed, and, when `fixed = Some(s)`, the prefill pass draws the same
+/// samples in the same node order as the one-pass path — both halves of
+/// the determinism contract (see the module docs).
+#[allow(clippy::too_many_arguments)]
+fn process_span<T, D, S, Rec, Out>(
+    topology: &T,
+    dynamics: &D,
+    src: &S,
+    n: usize,
+    first_chunk: usize,
+    last_chunk: usize,
+    chunk: usize,
+    stream_base: u64,
+    seed: u64,
+    fixed: Option<usize>,
+    ws: &mut WorkerScratch,
+    counts: &mut [u64],
+    write: &mut Out,
+) -> u64
+where
+    T: TopologyCore,
+    D: DynamicsCore,
+    S: ReadStates,
+    Rec: Recorder,
+    Out: FnMut(usize, u32),
+{
+    let mut drawn = 0u64;
+    for chunk_index in first_chunk..last_chunk {
+        let start = chunk_index * chunk;
+        if start >= n {
+            break;
+        }
+        let end = ((chunk_index + 1) * chunk).min(n);
+        let mut rng = stream_rng(seed, stream_base + chunk_index as u64);
+        if let Some(s) = fixed {
+            // Two-pass batched path: gather, then evaluate.
+            let mut node = start;
+            while node < end {
+                let batch_end = (node + BATCH_NODES).min(end);
+                ws.batch.clear();
+                for node_i in node..batch_end {
+                    for _ in 0..s {
+                        let idx = topology.sample_neighbor_core(node_i, &mut rng);
+                        ws.batch.push(src.read(idx));
+                    }
+                }
+                let mut pos = 0usize;
+                for node_i in node..batch_end {
+                    let own = src.read(node_i);
+                    let slice = SliceSource {
+                        buf: &ws.batch,
+                        pos,
+                    };
+                    // `Rec::ENABLED` is a monomorphization-time constant:
+                    // the disabled arm compiles to the bare source chain.
+                    let new = if Rec::ENABLED {
+                        let mut counting = CountingSource {
+                            inner: slice,
+                            drawn: 0,
+                        };
+                        let new = dynamics.node_update_core(
+                            own,
+                            &mut counting,
+                            &mut ws.scratch,
+                            &mut rng,
+                        );
+                        drawn += counting.drawn;
+                        pos = counting.inner.pos;
+                        new
+                    } else {
+                        let mut slice = slice;
+                        let new =
+                            dynamics.node_update_core(own, &mut slice, &mut ws.scratch, &mut rng);
+                        pos = slice.pos;
+                        new
+                    };
+                    debug_assert_eq!(
+                        pos,
+                        (node_i - node + 1) * s,
+                        "fixed_draws promised exactly {s} draws per node"
+                    );
+                    write(node_i, new);
+                    counts[new as usize] += 1;
+                }
+                node = batch_end;
+            }
+        } else {
+            for node_i in start..end {
+                let own = src.read(node_i);
+                let source = NeighborSource {
+                    topology,
+                    states: src,
+                    node: node_i,
+                };
+                let new = if Rec::ENABLED {
+                    let mut counting = CountingSource {
+                        inner: source,
+                        drawn: 0,
+                    };
+                    let new =
+                        dynamics.node_update_core(own, &mut counting, &mut ws.scratch, &mut rng);
+                    drawn += counting.drawn;
+                    new
+                } else {
+                    let mut source = source;
+                    dynamics.node_update_core(own, &mut source, &mut ws.scratch, &mut rng)
+                };
+                write(node_i, new);
+                counts[new as usize] += 1;
+            }
+        }
+    }
+    drawn
+}
+
+/// Per-round bookkeeping shared by the sequential and pooled drivers:
+/// recorder updates, trace recording, stop evaluation.  Returns
+/// `Some(result)` when the trial ends this round.
+#[allow(clippy::too_many_arguments)]
+fn after_round<D: DynamicsCore, Rec: Recorder>(
+    dynamics: &D,
+    opts: &RunOptions,
+    rec: &mut Rec,
+    trace: &mut Option<Trace>,
+    full: bool,
+    k_colors: usize,
+    initial_plurality: usize,
+    counts: &[u64],
+    drawn: u64,
+    rounds: u64,
+    round_t0: Option<Instant>,
+) -> Option<TrialResult> {
+    if Rec::ENABLED {
+        if let Some(t0) = round_t0 {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            rec.observe(Hist::RoundWallNanos, ns);
+        }
+        rec.incr(Counter::Rounds);
+        rec.add(Counter::SamplesDrawn, drawn);
+        let leader = counts[..k_colors].iter().copied().max().unwrap_or(0);
+        rec.observe(Hist::LeaderOccupancy, leader);
+    }
+    if let Some(t) = trace.as_mut() {
+        t.record(rounds, counts, k_colors, full);
+    }
+    if let Some(winner) = evaluate_stop(opts.stop, dynamics, counts, initial_plurality) {
+        rec.phase_end(Phase::Run);
+        record_stop(rec, rounds);
+        let out = TrialResult {
+            rounds,
+            reason: StopReason::Stopped,
+            winner: Some(winner),
+            initial_plurality,
+            success: winner == initial_plurality,
+            trace: trace.take(),
+        };
+        rec.phase_end(Phase::Finalize);
+        return Some(out);
+    }
+    if rounds >= opts.max_rounds {
+        rec.phase_end(Phase::Run);
+        record_stop(rec, rounds);
+        let out = TrialResult {
+            rounds,
+            reason: StopReason::MaxRounds,
+            winner: None,
+            initial_plurality,
+            success: false,
+            trace: trace.take(),
+        };
+        rec.phase_end(Phase::Finalize);
+        return Some(out);
+    }
+    None
+}
+
 impl<'t> AgentEngine<'t> {
     /// Default chunk granularity (nodes per RNG stream).
     pub const DEFAULT_CHUNK: usize = 4096;
@@ -137,10 +490,14 @@ impl<'t> AgentEngine<'t> {
             topology,
             threads: 1,
             chunk_size: Self::DEFAULT_CHUNK,
+            width: StateWidth::Auto,
         }
     }
 
     /// Use up to `threads` worker threads per round.
+    ///
+    /// The trajectory is bit-identical for every value — see the module
+    /// docs and `docs/DETERMINISM.md`.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
@@ -157,6 +514,19 @@ impl<'t> AgentEngine<'t> {
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         assert!(chunk_size > 0, "chunk size must be positive");
         self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Override the state-array word width (testing/benchmarking only;
+    /// the trajectory is width-independent, unlike
+    /// [`AgentEngine::with_chunk_size`] which *does* move trajectories).
+    ///
+    /// # Panics
+    /// The subsequent run panics if the dynamics' state count does not
+    /// fit the forced width.
+    #[must_use]
+    pub fn with_state_width(mut self, width: StateWidth) -> Self {
+        self.width = width;
         self
     }
 
@@ -251,7 +621,8 @@ impl<'t> AgentEngine<'t> {
         }
     }
 
-    /// The monomorphized trial loop.
+    /// Third dispatch level: trial setup, then pick the state-word width
+    /// and enter the monomorphized round loop.
     #[allow(clippy::too_many_arguments)]
     fn run_core<T: TopologyCore, D: DynamicsCore, Rec: Recorder>(
         &self,
@@ -275,9 +646,8 @@ impl<'t> AgentEngine<'t> {
         let lifted = dynamics.lift(initial);
         let state_count = lifted.k();
 
-        let mut states = layout_initial_states(&lifted, placement, seed);
-        let mut next_states = vec![0u32; n];
-        let mut counts: Vec<u64> = lifted.counts().to_vec();
+        let layout = layout_initial_states(&lifted, placement, seed);
+        let counts: Vec<u64> = lifted.counts().to_vec();
 
         let mut trace = match opts.trace {
             TraceLevel::Off => None,
@@ -303,181 +673,319 @@ impl<'t> AgentEngine<'t> {
             return out;
         }
 
-        let num_chunks = n.div_ceil(self.chunk_size);
-        let mut rounds = 0u64;
-        rec.phase_start(Phase::Run);
-        loop {
-            let round_t0 = if Rec::ENABLED {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            let drawn = self.step::<T, D, Rec>(
+        let check_fit = |cap: usize, width: &str| {
+            assert!(
+                state_count <= cap,
+                "state count {state_count} does not fit forced StateWidth::{width}"
+            );
+        };
+        match self.width {
+            StateWidth::Auto => {
+                if state_count <= u8::CAPACITY {
+                    self.run_sized::<T, D, u8, Rec>(
+                        topology,
+                        dynamics,
+                        layout,
+                        counts,
+                        state_count,
+                        k_colors,
+                        initial_plurality,
+                        opts,
+                        seed,
+                        trace,
+                        full,
+                        rec,
+                    )
+                } else if state_count <= u16::CAPACITY {
+                    self.run_sized::<T, D, u16, Rec>(
+                        topology,
+                        dynamics,
+                        layout,
+                        counts,
+                        state_count,
+                        k_colors,
+                        initial_plurality,
+                        opts,
+                        seed,
+                        trace,
+                        full,
+                        rec,
+                    )
+                } else {
+                    self.run_sized::<T, D, u32, Rec>(
+                        topology,
+                        dynamics,
+                        layout,
+                        counts,
+                        state_count,
+                        k_colors,
+                        initial_plurality,
+                        opts,
+                        seed,
+                        trace,
+                        full,
+                        rec,
+                    )
+                }
+            }
+            StateWidth::U8 => {
+                check_fit(u8::CAPACITY, "U8");
+                self.run_sized::<T, D, u8, Rec>(
+                    topology,
+                    dynamics,
+                    layout,
+                    counts,
+                    state_count,
+                    k_colors,
+                    initial_plurality,
+                    opts,
+                    seed,
+                    trace,
+                    full,
+                    rec,
+                )
+            }
+            StateWidth::U16 => {
+                check_fit(u16::CAPACITY, "U16");
+                self.run_sized::<T, D, u16, Rec>(
+                    topology,
+                    dynamics,
+                    layout,
+                    counts,
+                    state_count,
+                    k_colors,
+                    initial_plurality,
+                    opts,
+                    seed,
+                    trace,
+                    full,
+                    rec,
+                )
+            }
+            StateWidth::U32 => self.run_sized::<T, D, u32, Rec>(
                 topology,
                 dynamics,
-                &states,
-                &mut next_states,
-                &mut counts,
+                layout,
+                counts,
                 state_count,
-                rounds,
-                num_chunks,
+                k_colors,
+                initial_plurality,
+                opts,
                 seed,
-            );
-            std::mem::swap(&mut states, &mut next_states);
-            rounds += 1;
-            if Rec::ENABLED {
-                if let Some(t0) = round_t0 {
-                    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    rec.observe(Hist::RoundWallNanos, ns);
-                }
-                rec.incr(Counter::Rounds);
-                rec.add(Counter::SamplesDrawn, drawn);
-                let leader = counts[..k_colors].iter().copied().max().unwrap_or(0);
-                rec.observe(Hist::LeaderOccupancy, leader);
-            }
-            if let Some(t) = trace.as_mut() {
-                t.record(rounds, &counts, k_colors, full);
-            }
-            if let Some(winner) = evaluate_stop(opts.stop, dynamics, &counts, initial_plurality) {
-                rec.phase_end(Phase::Run);
-                record_stop(rec, rounds);
-                let out = TrialResult {
-                    rounds,
-                    reason: StopReason::Stopped,
-                    winner: Some(winner),
-                    initial_plurality,
-                    success: winner == initial_plurality,
-                    trace,
-                };
-                rec.phase_end(Phase::Finalize);
-                return out;
-            }
-            if rounds >= opts.max_rounds {
-                rec.phase_end(Phase::Run);
-                record_stop(rec, rounds);
-                let out = TrialResult {
-                    rounds,
-                    reason: StopReason::MaxRounds,
-                    winner: None,
-                    initial_plurality,
-                    success: false,
-                    trace,
-                };
-                rec.phase_end(Phase::Finalize);
-                return out;
-            }
+                trace,
+                full,
+                rec,
+            ),
         }
     }
 
-    /// One synchronous round: read `states`, write `next`, refresh
-    /// `counts`.  Returns the number of neighbor samples drawn (always 0
-    /// when `Rec` is disabled — counting rides the recorder-enabled
-    /// instantiation only, so the disabled hot loop stays untouched).
+    /// The monomorphized round loop: sequential double-buffer when
+    /// `threads == 1` (or a single chunk), persistent barrier-synced
+    /// worker pool otherwise.
     #[allow(clippy::too_many_arguments)]
-    fn step<T: TopologyCore, D: DynamicsCore, Rec: Recorder>(
+    fn run_sized<T: TopologyCore, D: DynamicsCore, W: StateWord, Rec: Recorder>(
         &self,
         topology: &T,
         dynamics: &D,
-        states: &[u32],
-        next: &mut [u32],
-        counts: &mut [u64],
+        layout: Vec<u32>,
+        mut counts: Vec<u64>,
         state_count: usize,
-        round: u64,
-        num_chunks: usize,
+        k_colors: usize,
+        initial_plurality: usize,
+        opts: &RunOptions,
         seed: u64,
-    ) -> u64 {
+        mut trace: Option<Trace>,
+        full: bool,
+        rec: &mut Rec,
+    ) -> TrialResult {
+        let n = layout.len();
         let chunk = self.chunk_size;
-        let stream_base = 1 + round * num_chunks as u64;
+        let num_chunks = n.div_ceil(chunk);
+        let fixed = dynamics.fixed_draws().filter(|&s| s > 0);
+        rec.phase_start(Phase::Run);
 
-        let process_span = |span_start_chunk: usize,
-                            span: &mut [u32],
-                            local_counts: &mut [u64]|
-         -> u64 {
-            let mut scratch = NodeScratch::with_states(state_count);
-            let mut local_drawn = 0u64;
-            for (ci, chunk_slice) in span.chunks_mut(chunk).enumerate() {
-                let chunk_index = span_start_chunk + ci;
-                let mut rng = stream_rng(seed, stream_base + chunk_index as u64);
-                let base_node = chunk_index * chunk;
-                for (offset, out) in chunk_slice.iter_mut().enumerate() {
-                    let node = base_node + offset;
-                    let source = NeighborSource {
-                        topology,
-                        states,
-                        node,
-                    };
-                    // `Rec::ENABLED` is a monomorphization-time constant:
-                    // the disabled arm compiles to the bare source chain.
-                    let new = if Rec::ENABLED {
-                        let mut counting = CountingSource {
-                            inner: source,
-                            drawn: 0,
-                        };
-                        let new = dynamics.node_update_core(
-                            states[node],
-                            &mut counting,
-                            &mut scratch,
-                            &mut rng,
-                        );
-                        local_drawn += counting.drawn;
-                        new
-                    } else {
-                        let mut source = source;
-                        dynamics.node_update_core(states[node], &mut source, &mut scratch, &mut rng)
-                    };
-                    *out = new;
-                    local_counts[new as usize] += 1;
+        if self.threads <= 1 || num_chunks <= 1 {
+            let mut cur: Vec<W> = layout.iter().map(|&s| W::from_u32(s)).collect();
+            let mut nxt: Vec<W> = vec![W::from_u32(0); n];
+            let mut ws = WorkerScratch::new(state_count, fixed);
+            let mut rounds = 0u64;
+            loop {
+                let round_t0 = if Rec::ENABLED {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                counts.fill(0);
+                let stream_base = 1 + rounds * num_chunks as u64;
+                let drawn = process_span::<T, D, _, Rec, _>(
+                    topology,
+                    dynamics,
+                    &PlainStates::<W>(&cur),
+                    n,
+                    0,
+                    num_chunks,
+                    chunk,
+                    stream_base,
+                    seed,
+                    fixed,
+                    &mut ws,
+                    &mut counts,
+                    &mut |i, v| nxt[i] = W::from_u32(v),
+                );
+                std::mem::swap(&mut cur, &mut nxt);
+                rounds += 1;
+                if let Some(out) = after_round(
+                    dynamics,
+                    opts,
+                    rec,
+                    &mut trace,
+                    full,
+                    k_colors,
+                    initial_plurality,
+                    &counts,
+                    drawn,
+                    rounds,
+                    round_t0,
+                ) {
+                    return out;
                 }
             }
-            local_drawn
-        };
-
-        counts.fill(0);
-        if self.threads <= 1 || num_chunks <= 1 {
-            return process_span(0, next, counts);
         }
 
-        // Static contiguous partition: worker w gets a span of whole
-        // chunks; chunk→stream mapping is thread-count independent.
+        // Persistent worker pool.  Worker `w` owns the contiguous chunk
+        // range [w·chunks_per, (w+1)·chunks_per) — the same static
+        // partition as the sequential path walks, so the chunk→stream
+        // mapping (and hence the trajectory) is thread-count independent.
         let workers = self.threads.min(num_chunks);
         let chunks_per = num_chunks.div_ceil(workers);
-        let mut spans: Vec<(usize, &mut [u32])> = Vec::with_capacity(workers);
-        let mut rest = next;
-        let mut chunk_cursor = 0usize;
-        while !rest.is_empty() {
-            let take = (chunks_per * chunk).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            spans.push((chunk_cursor, head));
-            chunk_cursor += chunks_per;
-            rest = tail;
-        }
+        let bufs: [Vec<W::Atomic>; 2] = [
+            layout.iter().map(|&s| W::atomic_from(s)).collect(),
+            (0..n).map(|_| W::atomic_from(0)).collect(),
+        ];
+        let barrier = Barrier::new(workers);
+        let done = AtomicBool::new(false);
+        // One slot per helper worker: (state counts, samples drawn).
+        // Each lock is touched once per round by its owner and once by
+        // the coordinator after the barrier — never contended.
+        let slots: Vec<Mutex<(Vec<u64>, u64)>> = (1..workers)
+            .map(|_| Mutex::new((vec![0u64; state_count], 0u64)))
+            .collect();
 
-        let process_span = &process_span;
-        let all_counts = std::thread::scope(|scope| {
-            let handles: Vec<_> = spans
-                .into_iter()
-                .map(|(start_chunk, span)| {
-                    scope.spawn(move || {
-                        let mut local = vec![0u64; state_count];
-                        let drawn = process_span(start_chunk, span, &mut local);
-                        (local, drawn)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect::<Vec<_>>()
-        });
-
-        let mut drawn = 0u64;
-        for (local, local_drawn) in all_counts {
-            for (slot, x) in counts.iter_mut().zip(local) {
-                *slot += x;
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let slot = &slots[w - 1];
+                let bufs = &bufs;
+                let barrier = &barrier;
+                let done = &done;
+                scope.spawn(move || {
+                    let first_chunk = w * chunks_per;
+                    let last_chunk = ((w + 1) * chunks_per).min(num_chunks);
+                    let mut ws = WorkerScratch::new(state_count, fixed);
+                    let mut local = vec![0u64; state_count];
+                    let mut round = 0u64;
+                    loop {
+                        let (cur, nxt) = if round.is_multiple_of(2) {
+                            (&bufs[0], &bufs[1])
+                        } else {
+                            (&bufs[1], &bufs[0])
+                        };
+                        local.fill(0);
+                        let drawn = process_span::<T, D, _, Rec, _>(
+                            topology,
+                            dynamics,
+                            &SharedStates::<W>(cur),
+                            n,
+                            first_chunk,
+                            last_chunk,
+                            chunk,
+                            1 + round * num_chunks as u64,
+                            seed,
+                            fixed,
+                            &mut ws,
+                            &mut local,
+                            &mut |i, v| W::atomic_store(&nxt[i], v),
+                        );
+                        {
+                            let mut s = slot.lock().expect("coordinator panicked");
+                            s.0.copy_from_slice(&local);
+                            s.1 = drawn;
+                        }
+                        // Barrier 1: all next-state writes visible.
+                        barrier.wait();
+                        // Barrier 2: coordinator merged counts and
+                        // decided whether to stop.
+                        barrier.wait();
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        round += 1;
+                    }
+                });
             }
-            drawn += local_drawn;
-        }
-        drawn
+
+            // The coordinator is worker 0: it processes the first span,
+            // then merges counts and runs the bookkeeping between the
+            // two barriers.
+            let mut ws = WorkerScratch::new(state_count, fixed);
+            let mut rounds = 0u64;
+            loop {
+                let round_t0 = if Rec::ENABLED {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                let (cur, nxt) = if rounds.is_multiple_of(2) {
+                    (&bufs[0], &bufs[1])
+                } else {
+                    (&bufs[1], &bufs[0])
+                };
+                counts.fill(0);
+                let mut drawn = process_span::<T, D, _, Rec, _>(
+                    topology,
+                    dynamics,
+                    &SharedStates::<W>(cur),
+                    n,
+                    0,
+                    chunks_per,
+                    chunk,
+                    1 + rounds * num_chunks as u64,
+                    seed,
+                    fixed,
+                    &mut ws,
+                    &mut counts,
+                    &mut |i, v| W::atomic_store(&nxt[i], v),
+                );
+                barrier.wait();
+                for slot in &slots {
+                    let s = slot.lock().expect("worker panicked");
+                    for (dst, &x) in counts.iter_mut().zip(&s.0) {
+                        *dst += x;
+                    }
+                    drawn += s.1;
+                }
+                rounds += 1;
+                let outcome = after_round(
+                    dynamics,
+                    opts,
+                    rec,
+                    &mut trace,
+                    full,
+                    k_colors,
+                    initial_plurality,
+                    &counts,
+                    drawn,
+                    rounds,
+                    round_t0,
+                );
+                if outcome.is_some() {
+                    done.store(true, Ordering::Relaxed);
+                }
+                barrier.wait();
+                if let Some(out) = outcome {
+                    break out;
+                }
+            }
+        })
     }
 }
 
@@ -538,6 +1046,53 @@ mod tests {
         for (a, b) in t1.rounds.iter().zip(&t4.rounds) {
             assert_eq!(a, b, "trajectories must be identical");
         }
+    }
+
+    #[test]
+    fn deterministic_across_state_widths() {
+        // The width pin: u8, u16, and u32 state arrays must walk the
+        // same trajectory (randomness samples node indices, not words).
+        let clique = Clique::new(2_500);
+        let cfg = builders::biased(2_500, 3, 500);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(2_000).traced();
+        let narrow = AgentEngine::new(&clique)
+            .with_state_width(StateWidth::U8)
+            .run(&d, &cfg, Placement::Shuffled, &opts, 21);
+        for width in [StateWidth::U16, StateWidth::U32, StateWidth::Auto] {
+            let wide = AgentEngine::new(&clique).with_state_width(width).run(
+                &d,
+                &cfg,
+                Placement::Shuffled,
+                &opts,
+                21,
+            );
+            assert_eq!(narrow.rounds, wide.rounds, "{width:?}");
+            assert_eq!(narrow.winner, wide.winner, "{width:?}");
+            assert_eq!(
+                narrow.trace.as_ref().unwrap().rounds,
+                wide.trace.as_ref().unwrap().rounds,
+                "{width:?}: trajectory must be width-independent"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit forced StateWidth::U8")]
+    fn forced_narrow_width_rejects_large_state_counts() {
+        let clique = Clique::new(600);
+        let mut counts = vec![1u64; 300];
+        counts[0] = 301;
+        let cfg = Configuration::new(counts);
+        let _ = AgentEngine::new(&clique)
+            .with_state_width(StateWidth::U8)
+            .run(
+                &ThreeMajority::new(),
+                &cfg,
+                Placement::Shuffled,
+                &RunOptions::with_max_rounds(1),
+                1,
+            );
     }
 
     #[test]

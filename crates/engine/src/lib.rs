@@ -15,6 +15,10 @@
 //! independent trials, and the shared run options / trial results /
 //! trajectory tracing in [`run`] and [`trace`].
 //!
+//! Every engine draws from per-purpose PRNG streams of its trial seed;
+//! the full stream registry and the parallel draw-order contract live in
+//! `docs/DETERMINISM.md` at the repository root.
+//!
 //! ```
 //! use plurality_core::{builders, ThreeMajority};
 //! use plurality_engine::{MeanFieldEngine, RunOptions};
@@ -37,7 +41,7 @@ pub mod montecarlo;
 pub mod run;
 pub mod trace;
 
-pub use agent::{layout_initial_states, AgentEngine, Placement};
+pub use agent::{layout_initial_states, AgentEngine, Placement, StateWidth};
 pub use mean_field::MeanFieldEngine;
 pub use montecarlo::MonteCarlo;
 pub use run::{

@@ -3,15 +3,18 @@
 //! Experiments estimate "w.h.p." statements by running hundreds to
 //! thousands of independent trials.  Trials are embarrassingly parallel;
 //! this runner fans them out over worker threads (std scoped threads,
-//! work-stealing via an atomic cursor) while keeping the result
+//! work-stealing via a chunked atomic cursor) while keeping the result
 //! order and every trial's PRNG stream independent of scheduling: trial
 //! `i` always runs with `stream_rng(master_seed, i)`.
 //!
-//! Results land in **per-trial slots** (one `Mutex<Option<T>>` each, so
-//! every lock is touched exactly once and never contended) rather than
-//! one global `Mutex<Vec<_>>` — with thousands of near-instant trials
-//! the global lock serialized the hand-off (see the
-//! `montecarlo-short-trials` bench group).
+//! Workers grab trials in **chunks** (up to [`MonteCarlo::MAX_GRAB`] at a
+//! time) off one atomic cursor and buffer results **locally** — the
+//! hand-off back to trial order is one scatter on the coordinating
+//! thread after the scope joins, with no per-trial locks at all.  The
+//! earlier design (one `Mutex<Option<T>>` slot per trial) paid an
+//! uncontended-but-real lock plus a cache line per trial, which the
+//! `montecarlo-short-trials` bench group showed dominating
+//! sub-millisecond trials.
 
 use plurality_sampling::{stream_rng, Xoshiro256PlusPlus};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,6 +32,11 @@ pub struct MonteCarlo {
 }
 
 impl MonteCarlo {
+    /// Largest number of trials a worker grabs off the cursor at once.
+    /// Chunking amortizes the cursor contention for sub-millisecond
+    /// trials; the cap keeps the tail balanced when trials are slow.
+    pub const MAX_GRAB: usize = 16;
+
     /// Runner with all available parallelism and a fixed default seed.
     #[must_use]
     pub fn new(trials: usize) -> Self {
@@ -58,6 +66,13 @@ impl MonteCarlo {
         assert!(threads > 0, "need at least one thread");
         self.threads = threads;
         self
+    }
+
+    /// How many trials each cursor grab claims: aim for several grabs
+    /// per worker (so the tail stays balanced), capped at
+    /// [`Self::MAX_GRAB`] and floored at 1.
+    fn grab_size(&self, workers: usize) -> usize {
+        (self.trials / (workers * 4)).clamp(1, Self::MAX_GRAB)
     }
 
     /// Run `job(trial_index, trial_rng)` for every trial; results are
@@ -100,37 +115,50 @@ impl MonteCarlo {
                 .collect();
         }
 
-        // Disjoint per-trial slots: worker `w` writing trial `i` touches
-        // only `slots[i]`, so the (uncontended) lock is one atomic op and
-        // short-trial workloads scale instead of queueing on one mutex.
-        let mut slots: Vec<Mutex<Option<T>>> = Vec::with_capacity(self.trials);
-        slots.resize_with(self.trials, || Mutex::new(None));
-        let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(self.trials);
+        let grab = self.grab_size(workers);
+        let cursor = AtomicUsize::new(0);
         let hook = Mutex::new(hook);
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= self.trials {
-                        break;
-                    }
-                    let mut rng = stream_rng(self.master_seed, i as u64);
-                    let result = job(i, &mut rng);
-                    (hook.lock().expect("hook panicked"))(i, &result);
-                    *slots[i].lock().expect("worker panicked") = Some(result);
-                });
-            }
+        // Workers buffer `(index, result)` pairs locally — lock-free on
+        // the result path — and hand the buffers back through the scope
+        // join; one scatter restores trial order.
+        let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(grab, Ordering::Relaxed);
+                            if start >= self.trials {
+                                break;
+                            }
+                            let end = (start + grab).min(self.trials);
+                            for i in start..end {
+                                let mut rng = stream_rng(self.master_seed, i as u64);
+                                let result = job(i, &mut rng);
+                                (hook.lock().expect("hook panicked"))(i, &result);
+                                local.push((i, result));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
+        let mut slots: Vec<Option<T>> = (0..self.trials).map(|_| None).collect();
+        for (i, result) in buffers.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "trial {i} produced twice");
+            slots[i] = Some(result);
+        }
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker panicked")
-                    .expect("every trial slot filled")
-            })
+            .map(|slot| slot.expect("every trial slot filled"))
             .collect()
     }
 
@@ -222,5 +250,24 @@ mod tests {
         let mc = MonteCarlo::new(3).with_threads(16).with_seed(3);
         let out = mc.run(|i, _| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunked_grabs_cover_every_trial() {
+        // Trial count chosen to not divide the grab size: the last grab
+        // is partial and must still run every remaining trial.
+        for trials in [7usize, 129, 1000] {
+            let mc = MonteCarlo::new(trials).with_threads(4).with_seed(13);
+            let out = mc.run(|i, _| i);
+            assert_eq!(out, (0..trials).collect::<Vec<_>>(), "trials={trials}");
+        }
+    }
+
+    #[test]
+    fn grab_size_bounds() {
+        let mc = MonteCarlo::new(4096).with_threads(4);
+        assert_eq!(mc.grab_size(4), MonteCarlo::MAX_GRAB);
+        let small = MonteCarlo::new(8).with_threads(8);
+        assert_eq!(small.grab_size(8), 1);
     }
 }

@@ -2,13 +2,26 @@
 //! well-formed trials, monotone traces, and scheduling-independent
 //! Monte-Carlo output.
 
-use plurality_core::{builders, ThreeMajority, Voter};
+use plurality_core::{builders, Dynamics, HPlurality, ThreeMajority, UndecidedState, Voter};
 use plurality_engine::{
-    AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions, StopReason,
+    AgentEngine, MeanFieldEngine, MonteCarlo, Placement, RunOptions, StateWidth, StopReason,
 };
 use plurality_sampling::stream_rng;
-use plurality_topology::Clique;
+use plurality_topology::{random_regular, Clique, Topology};
 use proptest::prelude::*;
+
+/// The dispatch-table rules the determinism contract is pinned over:
+/// one batched fixed-draws rule (3-majority), one with data-dependent
+/// randomness (h-plurality's reservoir tie-break), one lifted-state rule
+/// (undecided), and the single-draw baseline (voter).
+fn zoo_dynamics(idx: usize, k: usize) -> Box<dyn Dynamics> {
+    match idx {
+        0 => Box::new(ThreeMajority::new()),
+        1 => Box::new(HPlurality::new(4)),
+        2 => Box::new(UndecidedState::new(k)),
+        _ => Box::new(Voter),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -56,30 +69,75 @@ proptest! {
         }
     }
 
-    /// The agent engine agrees with itself across thread counts for any
-    /// (small) configuration and seed.
+    /// The agent engine is bit-identical across thread counts — full
+    /// per-round traces, not just the outcome — for every dispatch-table
+    /// topology (clique, CSR) × dynamics (3-majority, h-plurality,
+    /// undecided, voter) pair, any seed, and any thread count.
     #[test]
     fn agent_threads_invariant(
-        n in 64usize..512,
+        n in 64usize..400,
         k in 2usize..5,
         seed in any::<u64>(),
         threads in 2usize..6,
+        use_csr in any::<bool>(),
+        dyn_idx in 0usize..4,
+    ) {
+        let n_u = n as u64;
+        let cfg = builders::biased(n_u, k, n_u / 4);
+        let topo: Box<dyn Topology> = if use_csr {
+            // degree 8 keeps n·d even for every n.
+            Box::new(random_regular(n, 8, seed ^ 0x70B0))
+        } else {
+            Box::new(Clique::new(n))
+        };
+        let d = zoo_dynamics(dyn_idx, k);
+        let opts = RunOptions::with_max_rounds(120).traced();
+        let small_chunk = 64; // force multiple chunks even at small n
+        let a = AgentEngine::new(&*topo)
+            .with_chunk_size(small_chunk)
+            .run(d.as_ref(), &cfg, Placement::Shuffled, &opts, seed);
+        let b = AgentEngine::new(&*topo)
+            .with_threads(threads)
+            .with_chunk_size(small_chunk)
+            .run(d.as_ref(), &cfg, Placement::Shuffled, &opts, seed);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.winner, b.winner);
+        prop_assert_eq!(
+            a.trace.expect("traced").rounds,
+            b.trace.expect("traced").rounds
+        );
+    }
+
+    /// Narrow state words are storage only: forcing `u8` produces the
+    /// same trajectory as the widest word, sequential or sharded.
+    #[test]
+    fn agent_state_width_invariant(
+        n in 64usize..300,
+        k in 2usize..5,
+        seed in any::<u64>(),
+        threads in 1usize..4,
+        dyn_idx in 0usize..4,
     ) {
         let n_u = n as u64;
         let cfg = builders::biased(n_u, k, n_u / 4);
         let clique = Clique::new(n);
-        let d = ThreeMajority::new();
-        let opts = RunOptions::with_max_rounds(200);
-        let small_chunk = 64; // force multiple chunks even at small n
-        let a = AgentEngine::new(&clique)
-            .with_chunk_size(small_chunk)
-            .run(&d, &cfg, Placement::Shuffled, &opts, seed);
-        let b = AgentEngine::new(&clique)
-            .with_threads(threads)
-            .with_chunk_size(small_chunk)
-            .run(&d, &cfg, Placement::Shuffled, &opts, seed);
-        prop_assert_eq!(a.rounds, b.rounds);
-        prop_assert_eq!(a.winner, b.winner);
+        let d = zoo_dynamics(dyn_idx, k);
+        let opts = RunOptions::with_max_rounds(120).traced();
+        let run_width = |w: StateWidth| {
+            AgentEngine::new(&clique)
+                .with_threads(threads)
+                .with_chunk_size(64)
+                .with_state_width(w)
+                .run(d.as_ref(), &cfg, Placement::Shuffled, &opts, seed)
+        };
+        let narrow = run_width(StateWidth::U8);
+        let wide = run_width(StateWidth::U32);
+        prop_assert_eq!(narrow.rounds, wide.rounds);
+        prop_assert_eq!(narrow.winner, wide.winner);
+        prop_assert_eq!(
+            narrow.trace.expect("traced").rounds,
+            wide.trace.expect("traced").rounds
+        );
     }
 
     /// Monte-Carlo output is a pure function of (seed, trials), not of

@@ -117,7 +117,9 @@ impl E12BaselinesTopologies {
             };
             let opts = RunOptions::with_max_rounds(ctx.pick(50_000, 200_000));
             let results = mc.run(|t, _rng| {
-                let engine = AgentEngine::new(*topo);
+                // Spare cores (beyond the trial fan-out) shard each
+                // trial's rounds; trajectories are threads-invariant.
+                let engine = AgentEngine::new(*topo).with_threads(ctx.agent_threads(trials));
                 engine.run(&d, &tcfg, Placement::Shuffled, &opts, ctx.seed ^ (t as u64))
             });
             let mut rounds = Summary::new();

@@ -62,7 +62,7 @@ impl Experiment for E14GossipAsync {
         };
         let sync_rounds: Vec<f64> = mc
             .run(|i, _| {
-                let engine = AgentEngine::new(&clique);
+                let engine = AgentEngine::new(&clique).with_threads(ctx.agent_threads(trials));
                 let r = engine.run(
                     &d,
                     &cfg,

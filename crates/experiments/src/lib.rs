@@ -90,6 +90,16 @@ impl Context {
             Scale::Paper => paper,
         }
     }
+
+    /// Worker threads for the agent engine's **within-trial** sharding
+    /// when `trials` run in parallel at trial level: the cores the
+    /// trial-level fan-out cannot fill.  Agent trajectories are
+    /// threads-invariant (`docs/DETERMINISM.md`), so this only moves
+    /// wall-clock time, never results.
+    #[must_use]
+    pub fn agent_threads(&self, trials: usize) -> usize {
+        (self.threads / trials.max(1)).max(1)
+    }
 }
 
 /// A runnable experiment.

@@ -31,7 +31,10 @@
 //! seed.  The convention, implemented by [`derive_stream`], is that stream
 //! `i` of master seed `s` is seeded by a double SplitMix64 finalization of
 //! `s + i·γ`; distinct `(seed, index)` pairs yield statistically
-//! independent generators.
+//! independent generators.  The workspace-wide registry of who draws from
+//! which stream — per-trial seeds, the gossip engine's seven streams, the
+//! sharded agent engine's per-chunk streams — is the normative contract in
+//! `docs/DETERMINISM.md` at the repository root.
 //!
 //! # Example
 //!

@@ -240,7 +240,7 @@ pub fn run_job(
         EngineKind::Agent => {
             let (topology, topo_lookup) = cache.topology(spec)?;
             cache_report.topology = Some(topo_lookup);
-            let engine = AgentEngine::new(&*topology);
+            let engine = AgentEngine::new(&*topology).with_threads(spec.threads);
             let setup_ns = setup_start.elapsed().as_nanos() as u64;
             let run_start = Instant::now();
             for i in 0..spec.trials {

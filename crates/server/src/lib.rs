@@ -4,14 +4,14 @@
 //! executions (Becchetti et al.'s gossip-model framing) over shared,
 //! prebuilt substrate.  This crate supplies the three pieces:
 //!
-//! * [`spec`] — the wire [`JobSpec`](spec::JobSpec) (dynamics ×
+//! * [`spec`] — the wire [`JobSpec`] (dynamics ×
 //!   topology × exchange mode × failure scenario × stop rule) and the
 //!   **shared builders** the CLI subcommands also call, so a spec
 //!   resolves to bit-identical trajectories on either path;
 //! * [`cache`] — the spec-keyed prebuilt-state cache (topologies,
 //!   alias tables, failure edge tables), shared via `Arc` across the
 //!   worker pool;
-//! * [`server`] / [`bench`] — `plurality serve` (NDJSON jobs over TCP,
+//! * [`server`] / [`mod@bench`] — `plurality serve` (NDJSON jobs over TCP,
 //!   streamed per-trial results) and `plurality bench-client` (open-loop
 //!   load at a target frequency, latency percentiles from the PR 6
 //!   telemetry histograms, cold-vs-warm cache probe).

@@ -125,6 +125,11 @@ pub struct JobSpec {
     /// (the default) means no limit.  A job that exceeds it reports a
     /// structured `timeout` error carrying how many trials completed.
     pub timeout_ms: Option<u64>,
+    /// Worker threads for the agent engine's within-trial sharding
+    /// (default 1).  Trajectories are **threads-invariant** (see
+    /// `docs/DETERMINISM.md`), so this knob never enters a cache key:
+    /// cached topologies resolve identically at any thread count.
+    pub threads: usize,
 }
 
 impl Default for JobSpec {
@@ -154,6 +159,7 @@ impl Default for JobSpec {
             max_rounds: 1_000_000,
             stop: StopRule::Consensus,
             timeout_ms: None,
+            threads: 1,
         }
     }
 }
@@ -219,6 +225,7 @@ impl JobSpec {
                 "failure" => spec.failure = Some(json_str(key, val)?.to_string()),
                 "churn" => spec.churn = Some(json_str(key, val)?.to_string()),
                 "timeout-ms" => spec.timeout_ms = Some(json_u64(key, val)?),
+                "threads" => spec.threads = json_usize(key, val)?,
                 "inbox-policy" => spec.inbox_policy = InboxPolicy::from_name(json_str(key, val)?)?,
                 "fast-frac" => spec.fast_frac = json_f64(key, val)?,
                 "fast-rate" => spec.fast_rate = json_f64(key, val)?,
@@ -285,6 +292,15 @@ impl JobSpec {
         if self.timeout_ms == Some(0) {
             return Err("timeout-ms must be positive (omit it for no limit)".into());
         }
+        if self.threads == 0 {
+            return Err("threads must be positive".into());
+        }
+        if self.threads > 1 && self.engine != EngineKind::Agent {
+            return Err(format!(
+                "threads > 1 requires the agent engine, got '{}'",
+                self.engine.name()
+            ));
+        }
         Ok(())
     }
 
@@ -326,6 +342,9 @@ impl JobSpec {
         }
         if let Some(t) = self.timeout_ms {
             s.push_str(&format!(",\"timeout-ms\":{t}"));
+        }
+        if self.threads != 1 {
+            s.push_str(&format!(",\"threads\":{}", self.threads));
         }
         s.push_str(&format!(
             ",\"inbox-policy\":{},\"fast-frac\":\"{}\",\"fast-rate\":\"{}\"",
@@ -583,6 +602,11 @@ mod tests {
         spec.rate_time = false;
         let parsed = JobSpec::from_json(&json::parse(&spec.to_json()).unwrap()).unwrap();
         assert_eq!(parsed, spec);
+        // The threads knob round-trips (agent engine only).
+        spec.engine = EngineKind::Agent;
+        spec.threads = 4;
+        let parsed = JobSpec::from_json(&json::parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
     }
 
     #[test]
@@ -601,6 +625,9 @@ mod tests {
             r#"{"churn":"join:1"}"#,
             r#"{"engine":"agent","churn":"crash:0.1"}"#,
             r#"{"timeout-ms":0}"#,
+            r#"{"threads":0}"#,
+            r#"{"engine":"gossip","threads":2}"#,
+            r#"{"engine":"mean-field","threads":2}"#,
         ] {
             assert!(
                 JobSpec::from_json(&json::parse(bad).unwrap()).is_err(),

@@ -1,5 +1,5 @@
 //! [`MetricsReport`]: a mergeable, serializable snapshot of a
-//! [`MetricsRecorder`](crate::MetricsRecorder).
+//! [`MetricsRecorder`].
 //!
 //! # JSONL schema (`plurality-metrics/v1`)
 //!

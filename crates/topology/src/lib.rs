@@ -8,9 +8,33 @@
 //! extension experiments (DESIGN.md E12) that probe how 3-majority behaves
 //! off the clique, and exist to exercise the agent-based engine on
 //! realistic sparse topologies.
+//!
+//! # Quick start
+//!
+//! ```
+//! use plurality_topology::{random_regular, Clique, Topology};
+//! use plurality_sampling::stream_rng;
+//!
+//! // The paper's model: self-inclusive uniform sampling over all n nodes.
+//! let clique = Clique::new(1_000);
+//! assert_eq!(clique.degree(0), 1_000);
+//!
+//! // An explicit sparse graph (CSR form), wired deterministically from
+//! // the seed — same seed, same graph.
+//! let graph = random_regular(1_000, 8, 42);
+//! assert_eq!(graph.n(), 1_000);
+//! assert_eq!(graph.degree(17), 8);
+//!
+//! // Both sample neighbors through the same dyn-safe interface.
+//! let mut rng = stream_rng(7, 0);
+//! for topo in [&clique as &dyn Topology, &graph] {
+//!     let peer = topo.sample_neighbor(3, &mut rng);
+//!     assert!(peer < topo.n());
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod graph;
 pub mod membership;
