@@ -1,0 +1,206 @@
+//! Implicit-vs-CSR topology footprint bench: peak memory (VmHWM) and
+//! per-round throughput for the agent engine under 3-majority.
+//!
+//! ```text
+//! # Full acceptance run (n = 10^6 and 10^7) writing the repo-root file:
+//! cargo run --release -p plurality-bench --bin topology_memory -- \
+//!     --out BENCH_topology_memory.json
+//!
+//! # Quick look at one size, stdout only:
+//! cargo run --release -p plurality-bench --bin topology_memory -- --n 1000000
+//! ```
+//!
+//! Peak RSS is per-process (`VmHWM` in `/proc/self/status`), so each
+//! (topology, n) cell **re-executes this binary** as a child with
+//! `--case`: the child builds the topology through the shared
+//! [`TopologySpec`] grammar, records the post-build high-water mark,
+//! runs a capped number of 3-majority rounds, and prints one `k=v`
+//! line.  That way the CSR cell's construction temporaries (stub
+//! shuffle, dedup set) are charged to the CSR cell and nothing leaks
+//! across cells.
+//!
+//! The acceptance gate from the topology API redesign: at expected
+//! degree ≥ 8, the implicit ring's peak must be ≤ 25% of the CSR
+//! (random-regular) peak at the same `n` and degree.  The bench exits
+//! nonzero if the ratio is violated at any measured size.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use plurality_core::{builders, ThreeMajority};
+use plurality_engine::{AgentEngine, Placement, RunOptions};
+use plurality_topology::TopologySpec;
+
+/// Both cells have expected degree 8: `span=4` gives the implicit ring
+/// degree `2·span = 8`, matching the materialized `d = 8` CSR graph.
+const IMPLICIT_SPEC: &str = "ring-gradient:alpha=2,span=4";
+const CSR_SPEC: &str = "random-regular:d=8";
+const SEED: u64 = 7;
+
+/// `VmHWM` (peak resident set) of this process, in KiB.
+fn vm_hwm_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .expect("VmHWM value");
+        }
+    }
+    panic!("VmHWM not found in /proc/self/status");
+}
+
+/// One measured (topology, n) cell, as reported by a child process.
+struct Cell {
+    spec: String,
+    n: usize,
+    build_peak_kb: u64,
+    run_peak_kb: u64,
+    rounds: u64,
+    ms_per_round: f64,
+}
+
+/// Child mode: build + run one cell, print one `k=v` line on stdout.
+fn run_case(spec: &str, n: usize, rounds_cap: u64) {
+    let parsed = TopologySpec::parse(spec).expect("valid spec");
+    let topology = parsed.build(n, SEED).expect("buildable at this n");
+    let build_peak_kb = vm_hwm_kb();
+
+    let cfg = builders::biased(n as u64, 4, (n / 5) as u64);
+    let d = ThreeMajority::new();
+    let opts = RunOptions::with_max_rounds(rounds_cap);
+    let engine = AgentEngine::new(&*topology).with_threads(1);
+    let t0 = Instant::now();
+    let r = engine.run(&d, &cfg, Placement::Shuffled, &opts, SEED);
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let run_peak_kb = vm_hwm_kb();
+
+    println!(
+        "spec={spec} n={n} build_peak_kb={build_peak_kb} run_peak_kb={run_peak_kb} \
+         rounds={} ms_per_round={:.3}",
+        r.rounds,
+        elapsed_ms / r.rounds.max(1) as f64
+    );
+}
+
+/// Re-exec this binary for one cell and parse its report line.
+fn spawn_case(spec: &str, n: usize, rounds_cap: u64) -> Cell {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--case",
+            spec,
+            "--n",
+            &n.to_string(),
+            "--rounds",
+            &rounds_cap.to_string(),
+        ])
+        .output()
+        .expect("spawn child");
+    assert!(
+        out.status.success(),
+        "child failed for {spec} n={n}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = String::from_utf8(out.stdout).expect("utf8");
+    let field = |key: &str| -> String {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+            .unwrap_or_else(|| panic!("missing {key} in child output: {line}"))
+            .to_string()
+    };
+    Cell {
+        spec: field("spec"),
+        n: field("n").parse().expect("n"),
+        build_peak_kb: field("build_peak_kb").parse().expect("build_peak_kb"),
+        run_peak_kb: field("run_peak_kb").parse().expect("run_peak_kb"),
+        rounds: field("rounds").parse().expect("rounds"),
+        ms_per_round: field("ms_per_round").parse().expect("ms_per_round"),
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "    {{\"spec\":\"{}\",\"n\":{},\"build_peak_kb\":{},\"run_peak_kb\":{},\
+         \"rounds\":{},\"ms_per_round\":{:.3}}}",
+        c.spec, c.n, c.build_peak_kb, c.run_peak_kb, c.rounds, c.ms_per_round
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+
+    if let Some(spec) = get("--case") {
+        let n: usize = get("--n").expect("--case needs --n").parse().expect("n");
+        let rounds: u64 = get("--rounds").unwrap_or("10").parse().expect("rounds");
+        run_case(spec, n, rounds);
+        return;
+    }
+
+    let sizes: Vec<usize> = match get("--n") {
+        Some(n) => vec![n.parse().expect("n")],
+        None => vec![1_000_000, 10_000_000],
+    };
+    let out_path = get("--out");
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    let mut ok = true;
+    for &n in &sizes {
+        // Enough executed rounds to average out allocator noise without
+        // waiting on ring convergence (O(n) rounds at this span).
+        let rounds_cap = if n >= 10_000_000 { 5 } else { 10 };
+        eprintln!("measuring {IMPLICIT_SPEC} at n = {n} ...");
+        let implicit = spawn_case(IMPLICIT_SPEC, n, rounds_cap);
+        eprintln!("measuring {CSR_SPEC} at n = {n} ...");
+        let csr = spawn_case(CSR_SPEC, n, rounds_cap);
+        let ratio = implicit.run_peak_kb as f64 / csr.run_peak_kb as f64;
+        let pass = ratio <= 0.25;
+        ok &= pass;
+        eprintln!(
+            "n = {n}: implicit peak {} MiB vs CSR peak {} MiB → ratio {:.3} ({})",
+            implicit.run_peak_kb / 1024,
+            csr.run_peak_kb / 1024,
+            ratio,
+            if pass { "PASS ≤ 0.25" } else { "FAIL > 0.25" }
+        );
+        ratios.push(format!(
+            "    {{\"n\":{n},\"implicit_over_csr_peak\":{ratio:.3},\"pass\":{pass}}}"
+        ));
+        rows.push(cell_json(&implicit));
+        rows.push(cell_json(&csr));
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"plurality-bench-topology-memory/v1\",\n  \
+         \"bench\": \"implicit ring vs materialized CSR at matched expected degree 8, \
+         3-majority, agent engine, 1 thread\",\n  \
+         \"seed\": {SEED},\n  \"host\": {{\"cpus\": {}, \"os\": \"linux\"}},\n  \
+         \"note\": \"peak = VmHWM of a fresh child process per cell (topology construction \
+         included), so CSR construction temporaries are charged to the CSR cell; ms_per_round \
+         is wall-clock over the executed rounds at the cap (ring convergence is O(n) rounds \
+         and is not awaited). Gate: implicit run peak <= 25% of CSR run peak at each n.\",\n  \
+         \"cells\": [\n{}\n  ],\n  \"ratios\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, usize::from),
+        rows.join(",\n"),
+        ratios.join(",\n")
+    );
+    match out_path {
+        Some(p) => {
+            let mut f = std::fs::File::create(p).expect("create out file");
+            f.write_all(json.as_bytes()).expect("write out file");
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+    assert!(ok, "implicit/CSR peak-memory ratio gate failed (see above)");
+}

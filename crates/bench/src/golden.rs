@@ -17,7 +17,7 @@
 use plurality_core::{Dynamics, HPlurality, ThreeMajority, UndecidedState};
 use plurality_engine::{AgentEngine, Placement, RunOptions, Trace};
 use plurality_gossip::{ExchangeMode, GossipEngine, NetworkConfig, Scheduler};
-use plurality_topology::{erdos_renyi, random_regular, Clique, Topology};
+use plurality_topology::{erdos_renyi, random_regular, ChungLu, Clique, ImplicitRing, Topology};
 
 /// FNV-1a fold of a trace's `(round, plurality, second, minority, extra)`
 /// tuples — the fingerprint every golden table uses.
@@ -73,6 +73,14 @@ fn er1500() -> Box<dyn Topology> {
 
 fn regular1200() -> Box<dyn Topology> {
     Box::new(random_regular(1_200, 8, 3))
+}
+
+fn ring_gradient1500() -> Box<dyn Topology> {
+    Box::new(ImplicitRing::gradient(1_500, 1.5, 16))
+}
+
+fn chung_lu1500() -> Box<dyn Topology> {
+    Box::new(ChungLu::power_law(1_500, 4.0, 100.0, 2.5))
 }
 
 fn three_majority() -> Box<dyn Dynamics> {
@@ -177,6 +185,51 @@ pub const AGENT_CASES: &[AgentCase] = &[
         rounds: 10,
         winner: Some(0),
         fingerprint: 0x0cad_b321_d4cb_5fb2,
+    },
+    // Implicit O(n)-memory families (PR 10).  These are *fresh* pins —
+    // the implicit samplers draw a different number of times per
+    // neighbor than the CSR path, so CSR-compatible fingerprints are
+    // impossible by design.  Each family is pinned at 1 and 2 threads
+    // with the same seed: the fingerprints must match bit for bit.
+    AgentCase {
+        label: "ring-gradient(1500,alpha=1.5,span=16) 3-majority 1 thread",
+        topology: ring_gradient1500,
+        dynamics: three_majority,
+        threads: 1,
+        seed: 61,
+        rounds: 2605,
+        winner: Some(0),
+        fingerprint: 0xa630_35e7_f2c4_26b3,
+    },
+    AgentCase {
+        label: "ring-gradient(1500,alpha=1.5,span=16) 3-majority 2 threads (same trial)",
+        topology: ring_gradient1500,
+        dynamics: three_majority,
+        threads: 2,
+        seed: 61,
+        rounds: 2605,
+        winner: Some(0),
+        fingerprint: 0xa630_35e7_f2c4_26b3,
+    },
+    AgentCase {
+        label: "chung-lu(1500,dmin=4,dmax=100,gamma=2.5) undecided 1 thread",
+        topology: chung_lu1500,
+        dynamics: undecided4,
+        threads: 1,
+        seed: 62,
+        rounds: 13,
+        winner: Some(0),
+        fingerprint: 0x7f7d_0634_91db_4b0c,
+    },
+    AgentCase {
+        label: "chung-lu(1500,dmin=4,dmax=100,gamma=2.5) undecided 2 threads (same trial)",
+        topology: chung_lu1500,
+        dynamics: undecided4,
+        threads: 2,
+        seed: 62,
+        rounds: 13,
+        winner: Some(0),
+        fingerprint: 0x7f7d_0634_91db_4b0c,
     },
 ];
 
@@ -392,7 +445,7 @@ mod tests {
 
     #[test]
     fn tables_are_well_formed() {
-        assert_eq!(AGENT_CASES.len(), 8);
+        assert_eq!(AGENT_CASES.len(), 12);
         assert_eq!(GOSSIP_CASES.len(), 4);
         for c in AGENT_CASES {
             assert!(!c.label.is_empty());

@@ -23,6 +23,7 @@ use plurality_engine::{
 };
 use plurality_sampling::{derive_stream, stream_rng};
 use plurality_telemetry::{MetricsRecorder, MetricsReport};
+use plurality_topology::TopologySpec;
 
 const VALUE_OPTS: &[&str] = &[
     "dynamics",
@@ -141,8 +142,12 @@ fn usage() {
          \x20 --fast-frac F     gossip: fraction of nodes activating at --fast-rate (default 0)\n\
          \x20 --fast-rate R     gossip: activation rate of the fast nodes (default 1)\n\
          \x20 --rate-time       gossip: stamp sequential activations at i/Σr (rate-weighted)\n\
-         \x20 --topology T      gossip: clique (default), ring, torus, or random-regular\n\
-         \x20 --degree D        gossip: degree for --topology random-regular (default 8)\n\
+         \x20 --topology T      run/gossip: clique (default), ring, torus,\n\
+         \x20                   random-regular[:d=D], or an implicit O(n)-memory family:\n\
+         \x20                   ring-gradient[:alpha=A,span=S] (peer prob ~ dist^-alpha),\n\
+         \x20                   ring-gaussian[:sigma=S] (Gaussian kernel, span 3*sigma),\n\
+         \x20                   chung-lu[:dmin=A,dmax=B,gamma=G] (power-law degrees)\n\
+         \x20 --degree D        gossip: degree for a bare --topology random-regular (default 8)\n\
          \x20 --metrics LEVEL   record telemetry and print it: 'summary' or 'full'\n\
          \x20 --metrics-out F   write the merged telemetry report to F as one JSONL line\n\
          \x20                   (schema plurality-metrics/v1; implies recording)\n\
@@ -314,7 +319,18 @@ impl MetricsOpt {
 
 fn cmd_run(parsed: &Args) -> Result<(), String> {
     match parsed.get("engine").unwrap_or("mean-field") {
-        "mean-field" => cmd_run_mean_field(parsed),
+        "mean-field" => {
+            // The mean-field engine is clique-only; anything else on
+            // --topology must be refused, not silently ignored.
+            if parse_topology_spec(parsed)? != TopologySpec::Clique {
+                return Err(format!(
+                    "--topology {} requires --engine agent (the mean-field \
+                     engine models the clique only)",
+                    parsed.get("topology").unwrap_or("clique")
+                ));
+            }
+            cmd_run_mean_field(parsed)
+        }
         "agent" => cmd_run_agent(parsed),
         other => Err(format!(
             "run supports --engine mean-field|agent, got '{other}'"
@@ -627,18 +643,26 @@ fn cmd_hist(parsed: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Build the gossip topology selected by `--topology` / `--degree`.
-/// Delegates to the job server's builder so `plurality serve` resolves
-/// the same spec to a bit-identical wiring (including the seed salt).
+/// Parse the `--topology` / `--degree` flags into the shared
+/// [`TopologySpec`] grammar — the same parser the job server's wire
+/// spec uses, so `plurality serve` resolves an identical spec to a
+/// bit-identical wiring (including the seed salt).
+fn parse_topology_spec(parsed: &Args) -> Result<TopologySpec, String> {
+    let degree: usize = parsed
+        .get_parsed("degree", plurality_topology::DEFAULT_REGULAR_DEGREE)
+        .map_err(|e| e.to_string())?;
+    TopologySpec::parse_with_degree(parsed.get("topology").unwrap_or("clique"), degree)
+        .map_err(|e| format!("--topology: {e}"))
+}
+
+/// Build the topology selected by `--topology` / `--degree`.
 fn build_gossip_topology(
     parsed: &Args,
     n: usize,
     seed: u64,
 ) -> Result<Box<dyn plurality_topology::Topology>, String> {
-    let degree: usize = parsed
-        .get_parsed("degree", 8usize)
-        .map_err(|e| e.to_string())?;
-    plurality_server::build_topology(parsed.get("topology").unwrap_or("clique"), n, degree, seed)
+    parse_topology_spec(parsed)?
+        .build(n, seed)
         .map_err(|e| format!("--topology: {e}"))
 }
 
@@ -720,6 +744,14 @@ fn cmd_gossip(parsed: &Args) -> Result<(), String> {
         engine = engine.with_rate_weighted_time(true);
     }
     if let Some(model) = &churn {
+        if !topology.supports_indexed_neighbors() {
+            return Err(format!(
+                "--churn is not supported on implicit topology '{}': the membership \
+                 overlay needs indexed neighbor access (pick clique, ring, torus, or \
+                 random-regular)",
+                topology.name()
+            ));
+        }
         engine = engine.with_churn_model(model.clone());
     }
     let mc = MonteCarlo {

@@ -77,7 +77,7 @@ use plurality_core::{
 use plurality_sampling::stream_rng;
 use plurality_telemetry::{ticks_to_fp, Counter, Gauge, Hist, NoopRecorder, Phase, Recorder};
 use plurality_topology::{
-    downcast_topology, Clique, CsrGraph, DynTopology, Topology, TopologyCore,
+    downcast_topology, ChungLu, Clique, CsrGraph, DynTopology, ImplicitRing, Topology, TopologyCore,
 };
 use rand::{Rng, RngCore};
 use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU8, Ordering};
@@ -574,6 +574,10 @@ impl<'t> AgentEngine<'t> {
         if let Some(t) = downcast_topology::<Clique>(self.topology) {
             self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else if let Some(t) = downcast_topology::<CsrGraph>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
+        } else if let Some(t) = downcast_topology::<ImplicitRing>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
+        } else if let Some(t) = downcast_topology::<ChungLu>(self.topology) {
             self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else {
             self.run_with_topology(

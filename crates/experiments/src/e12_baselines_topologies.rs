@@ -16,6 +16,7 @@ use plurality_core::{builders, Dynamics, ThreeMajority, TwoChoices, TwoSample, V
 use plurality_engine::{AgentEngine, MonteCarlo, Placement, RunOptions, StopReason};
 use plurality_topology::{
     barabasi_albert, erdos_renyi, random_regular, torus, watts_strogatz, Clique, Topology,
+    TopologySpec,
 };
 
 /// See module docs.
@@ -96,7 +97,17 @@ impl E12BaselinesTopologies {
         let grid = torus(side, side);
         let ba = barabasi_albert(n, 4, ctx.seed ^ 0xE12E);
         let ws = watts_strogatz(n, 4, 0.1, ctx.seed ^ 0xE12F);
-        let topologies: &[&dyn Topology] = &[&clique, &er, &regular, &grid, &ba, &ws];
+        // Implicit O(n)-memory families, built through the shared
+        // `--topology` grammar (construction is seed-free).
+        let grad = TopologySpec::parse("ring-gradient:alpha=1.5,span=16")
+            .expect("valid spec")
+            .build(n, ctx.seed)
+            .expect("valid size");
+        let cl = TopologySpec::parse("chung-lu:dmin=4,dmax=100,gamma=2.5")
+            .expect("valid spec")
+            .build(n, ctx.seed)
+            .expect("valid size");
+        let topologies: &[&dyn Topology] = &[&clique, &er, &regular, &grid, &ba, &ws, &*grad, &*cl];
 
         let mut table = Table::new(
             format!("E12b · 3-majority across topologies (n = {n}, k = {k}, bias = n/5, agent engine, {trials} trials)"),
@@ -159,6 +170,6 @@ mod tests {
         let tables = E12BaselinesTopologies.run(&Context::smoke());
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].len(), 4);
-        assert_eq!(tables[1].len(), 6);
+        assert_eq!(tables[1].len(), 8);
     }
 }

@@ -39,7 +39,7 @@ use plurality_core::{builders, ThreeMajority};
 use plurality_engine::{MonteCarlo, Placement, RunOptions, StopReason};
 use plurality_gossip::{ExchangeMode, FailureModel, GossipEngine, NetworkConfig, Scheduler};
 use plurality_sampling::derive_stream;
-use plurality_topology::random_regular;
+use plurality_topology::{random_regular, TopologySpec};
 
 /// See module docs.
 pub struct E16FailureModels;
@@ -245,7 +245,88 @@ impl Experiment for E16FailureModels {
                 }
             }
         }
-        vec![table]
+        vec![table, self.implicit_column(ctx)]
+    }
+}
+
+impl E16FailureModels {
+    /// The same calibrated failure rows on an **implicit** heavy-tailed
+    /// topology (Chung–Lu, sampled on the fly): no dense edge-slot
+    /// space exists, so the per-edge and Gilbert–Elliott rows exercise
+    /// the hash-keyed per-edge streams end to end instead of the CSR
+    /// precompute.  One (PULL, sequential) column keeps the cost of the
+    /// extra table modest.
+    fn implicit_column(&self, ctx: &Context) -> Table {
+        let n: usize = ctx.pick(1_000, 10_000);
+        let k: usize = 3;
+        let bias = (n / 4) as u64;
+        let trials = ctx.pick(6, 24);
+        let max_rounds: u64 = ctx.pick(2_000, 10_000);
+        let topology = TopologySpec::parse("chung-lu:dmin=4,dmax=100,gamma=2.5")
+            .expect("valid spec")
+            .build(n, ctx.seed)
+            .expect("valid size");
+        let cfg = builders::biased(n as u64, k, bias);
+        let d = ThreeMajority::new();
+        let opts = RunOptions::with_max_rounds(max_rounds);
+        let mc = MonteCarlo {
+            trials,
+            threads: ctx.threads,
+            master_seed: ctx.seed ^ 0xE16C,
+        };
+
+        let mut table = Table::new(
+            format!(
+                "E16 · failure rows on implicit {} (PULL, sequential): k = {k}, bias = {bias}, \
+                 {trials} trials, cap {max_rounds} ticks — per-edge state is hash-keyed \
+                 (no dense slots on an implicit topology)",
+                topology.name()
+            ),
+            &[
+                "failure",
+                "converged",
+                "win rate",
+                "mean ticks",
+                "lost/call",
+            ],
+        );
+        for (i, (name, model)) in failure_rows(max_rounds).into_iter().enumerate() {
+            let engine = GossipEngine::new(&*topology).with_failure_model(model);
+            let seed = ctx.seed ^ (0xE16C0 + i as u64);
+            let results = mc.run(|t, _| {
+                engine.run_detailed(
+                    &d,
+                    &cfg,
+                    Placement::Shuffled,
+                    &opts,
+                    derive_stream(seed, t as u64),
+                )
+            });
+            let mut ticks = Summary::new();
+            let mut wins = 0usize;
+            let mut converged = 0usize;
+            let mut messages: u64 = 0;
+            let mut lost: u64 = 0;
+            for (r, s) in &results {
+                if r.reason == StopReason::Stopped {
+                    converged += 1;
+                    ticks.push(r.rounds as f64);
+                }
+                if r.success {
+                    wins += 1;
+                }
+                messages += s.messages;
+                lost += s.lost_messages;
+            }
+            table.push_row(vec![
+                name.to_string(),
+                format!("{converged}/{trials}"),
+                fmt_f64(wins as f64 / trials as f64),
+                fmt_f64(ticks.mean()),
+                fmt_f64(lost as f64 / messages.max(1) as f64),
+            ]);
+        }
+        table
     }
 }
 
@@ -297,7 +378,7 @@ mod tests {
     #[test]
     fn smoke_grid_structure() {
         let tables = E16FailureModels.run(&Context::smoke());
-        assert_eq!(tables.len(), 1);
+        assert_eq!(tables.len(), 2);
         // Smoke: 6 failure rows × 2 modes × 1 scheduler.
         assert_eq!(tables[0].len(), 12);
         let md = tables[0].markdown();
@@ -311,6 +392,10 @@ mod tests {
         ] {
             assert!(md.contains(name), "row {name} missing:\n{md}");
         }
+        // The implicit (chung-lu) column runs every failure row on the
+        // slot-free keyed path and must converge at smoke scale.
+        assert_eq!(tables[1].len(), 6);
+        assert!(tables[1].title().contains("chung-lu"));
     }
 
     #[test]

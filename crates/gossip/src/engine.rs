@@ -71,8 +71,8 @@ use plurality_engine::{
 use plurality_sampling::{derive_stream, stream_rng, Xoshiro256PlusPlus};
 use plurality_telemetry::{ticks_to_fp, Counter, Gauge, Hist, NoopRecorder, Phase, Recorder};
 use plurality_topology::{
-    downcast_topology, Clique, CsrGraph, DynTopology, Membership, Topology, TopologyCore,
-    MAX_DEAD_REDRAWS,
+    downcast_topology, ChungLu, Clique, CsrGraph, DynTopology, ImplicitRing, Membership, Topology,
+    TopologyCore, MAX_DEAD_REDRAWS,
 };
 use rand::{Rng, RngCore};
 use std::sync::Arc;
@@ -464,9 +464,13 @@ impl<'t> GossipEngine<'t> {
     /// The dense per-directed-CSR-slot `(loss, delay)` table
     /// [`Self::with_failure_model`] would precompute for `model` on
     /// `topology` — `None` unless the model has genuinely per-edge
-    /// parameters and the topology is a [`CsrGraph`].  Exposed so a
-    /// spec-keyed cache can build the table once and hand it to many
-    /// engines through [`Self::with_prebuilt_failure_model`].
+    /// parameters and the topology advertises dense edge slots
+    /// ([`Topology::dense_edge_slots`]).  Implicit topologies (ring
+    /// kernels, Chung–Lu) report no slots and degrade gracefully: every
+    /// per-edge value is recomputed on the fly from the hashed per-edge
+    /// streams, which produce the same numbers.  Exposed so a spec-keyed
+    /// cache can build the table once and hand it to many engines
+    /// through [`Self::with_prebuilt_failure_model`].
     #[must_use]
     pub fn build_edge_table(
         model: &FailureModel,
@@ -475,6 +479,7 @@ impl<'t> GossipEngine<'t> {
         if !model.needs_edge_params() {
             return None;
         }
+        topology.dense_edge_slots()?;
         downcast_topology::<CsrGraph>(topology).map(|g| {
             let n = g.n();
             let mut table = Vec::with_capacity(g.directed_edge_count());
@@ -488,12 +493,14 @@ impl<'t> GossipEngine<'t> {
     }
 
     /// The directed-slot count [`Self::with_failure_model`] would use for
-    /// the flat Gilbert–Elliott chain table — `None` unless the model has
-    /// a GE component and the topology is a [`CsrGraph`].
+    /// the flat Gilbert–Elliott chain table — `None` unless the model
+    /// has a GE component and the topology advertises dense edge slots
+    /// ([`Topology::dense_edge_slots`]); without slots the per-edge GE
+    /// chains fall back to hash-keyed lazy state instead of panicking.
     #[must_use]
     pub fn ge_slot_count(model: &FailureModel, topology: &dyn Topology) -> Option<usize> {
         model.gilbert_elliott()?;
-        downcast_topology::<CsrGraph>(topology).map(CsrGraph::directed_edge_count)
+        topology.dense_edge_slots()
     }
 
     /// [`Self::with_failure_model`] with externally prebuilt per-edge
@@ -514,12 +521,11 @@ impl<'t> GossipEngine<'t> {
         ge_slots: Option<usize>,
     ) -> Self {
         if let Some(table) = &edge_table {
-            let slots = downcast_topology::<CsrGraph>(self.topology)
-                .map_or(0, CsrGraph::directed_edge_count);
+            let slots = self.topology.dense_edge_slots().unwrap_or(0);
             assert_eq!(
                 table.len(),
                 slots,
-                "edge table length must match the directed CSR slot count"
+                "edge table length must match the topology's dense edge slot count"
             );
         }
         self.edge_table = edge_table;
@@ -599,13 +605,28 @@ impl<'t> GossipEngine<'t> {
     /// activation rates assume a fixed population); the run entry point
     /// panics on the combination.
     ///
+    /// Requires a topology with indexed neighbor access
+    /// ([`Topology::supports_indexed_neighbors`]): the membership
+    /// overlay rejects dead peers by drawing a uniform neighbor index
+    /// and redrawing, which cannot reproduce the non-uniform neighbor
+    /// law of implicit topologies.  Surfaces that accept user specs
+    /// (CLI, server) check the capability first and return a structured
+    /// error; this builder is the last line of defense.
+    ///
     /// # Panics
-    /// Panics if the model fails [`ChurnModel::validate`].
+    /// Panics if the model fails [`ChurnModel::validate`], or if the
+    /// topology does not support indexed neighbor access.
     #[must_use]
     pub fn with_churn_model(mut self, model: ChurnModel) -> Self {
         if let Err(e) = model.validate() {
             panic!("invalid churn model: {e}");
         }
+        assert!(
+            self.topology.supports_indexed_neighbors(),
+            "churn is not supported on topology '{}': the membership overlay needs \
+             indexed neighbor access, which implicit topologies cannot provide",
+            self.topology.name()
+        );
         self.churn = Some(model);
         self
     }
@@ -727,6 +748,10 @@ impl<'t> GossipEngine<'t> {
         if let Some(t) = downcast_topology::<Clique>(self.topology) {
             self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else if let Some(t) = downcast_topology::<CsrGraph>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
+        } else if let Some(t) = downcast_topology::<ImplicitRing>(self.topology) {
+            self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
+        } else if let Some(t) = downcast_topology::<ChungLu>(self.topology) {
             self.run_with_topology(t, dynamics, initial, placement, opts, seed, rec)
         } else {
             self.run_with_topology(

@@ -11,7 +11,7 @@
 //! cached values are bit-identical to what a fresh engine would build
 //! (pinned by `tests/server_roundtrip.rs`).
 
-use crate::spec::{build_topology, JobSpec};
+use crate::spec::JobSpec;
 use plurality_gossip::{FailureModel, GossipEngine, RatedActivation};
 use plurality_topology::Topology;
 use std::collections::HashMap;
@@ -96,12 +96,8 @@ impl StateCache {
             ));
         }
         let start = Instant::now();
-        let built: Arc<dyn Topology> = Arc::from(build_topology(
-            &spec.topology,
-            spec.n as usize,
-            spec.degree,
-            spec.seed,
-        )?);
+        let built: Arc<dyn Topology> =
+            Arc::from(spec.topology_spec()?.build(spec.n as usize, spec.seed)?);
         let build_ns = start.elapsed().as_nanos() as u64;
         map.insert(key, Arc::clone(&built));
         Ok((

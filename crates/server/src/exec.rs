@@ -210,6 +210,16 @@ pub fn run_job(
                 engine = engine.with_rate_weighted_time(true);
             }
             if let Some(model) = spec.churn_model()? {
+                // Validated at spec decode too; re-checked here so
+                // hand-constructed specs fail with a structured error
+                // instead of the engine builder's panic.
+                if !topology.supports_indexed_neighbors() {
+                    return Err(JobError::Failed(format!(
+                        "churn is not supported on topology '{}': the membership \
+                         overlay needs indexed neighbor access",
+                        topology.name()
+                    )));
+                }
                 engine = engine.with_churn_model(model);
             }
             let setup_ns = setup_start.elapsed().as_nanos() as u64;

@@ -30,4 +30,4 @@ pub use bench::{run_bench, send_shutdown, BenchConfig, BenchReport};
 pub use cache::{CacheStats, Lookup, StateCache};
 pub use exec::{run_job, JobError, JobOutcome, TrialRow};
 pub use server::Server;
-pub use spec::{auto_bias, build_dynamics, build_topology, EngineKind, JobSpec};
+pub use spec::{auto_bias, build_dynamics, EngineKind, JobSpec};

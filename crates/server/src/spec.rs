@@ -2,11 +2,14 @@
 //!
 //! A [`JobSpec`] is the wire form of one experiment job: engine ×
 //! dynamics × topology × exchange mode × failure scenario × stop rule.
-//! The builders here ([`build_dynamics`], [`build_topology`],
-//! [`auto_bias`]) are the *single* construction path — the CLI
-//! subcommands call them too — so a spec resolves to identical engine
-//! state (and therefore bit-identical trajectories) whether it runs
-//! through `plurality gossip` or through the job server.
+//! The builders here ([`build_dynamics`], [`auto_bias`]) are the
+//! *single* construction path — the CLI subcommands call them too — so
+//! a spec resolves to identical engine state (and therefore
+//! bit-identical trajectories) whether it runs through `plurality
+//! gossip` or through the job server.  Topology construction lives in
+//! `plurality_topology` ([`TopologySpec`]): the spec's `"topology"`
+//! wire string is the shared `--topology` DSL, resolved through
+//! [`JobSpec::topology_spec`].
 //!
 //! # Wire encoding
 //!
@@ -27,12 +30,9 @@ use plurality_gossip::{
     ChurnModel, ExchangeMode, FailureModel, InboxPolicy, NetworkConfig, Scheduler,
 };
 use plurality_telemetry::json::{escape, Json};
-use plurality_topology::{random_regular, ring, torus, Clique, Topology};
+use plurality_topology::TopologySpec;
 
-/// Salt XORed into the master seed for the random-regular wiring draw,
-/// so topology randomness is decoupled from trial randomness (the CLI
-/// has used this constant since PR 5).
-pub const TOPOLOGY_SALT: u64 = 0x70B0;
+pub use plurality_topology::TOPOLOGY_SALT;
 
 /// Which simulator executes the job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,9 +89,11 @@ pub struct JobSpec {
     pub h: usize,
     /// Per-message noise for the noisy dynamics.
     pub noise: f64,
-    /// Topology name: clique, ring, torus, or random-regular.
+    /// Topology DSL string (the shared `--topology` grammar; see
+    /// [`TopologySpec`]).
     pub topology: String,
-    /// Degree for random-regular.
+    /// Default degree for a bare `random-regular` (an explicit
+    /// `random-regular:d=…` parameter wins).
     pub degree: usize,
     /// Gossip exchange mode.
     pub mode: ExchangeMode,
@@ -280,11 +282,19 @@ impl JobSpec {
         if self.trials == 0 {
             return Err("trials must be positive".into());
         }
+        let topology = self.topology_spec()?;
         if let Some(dsl) = &self.churn {
             if self.engine != EngineKind::Gossip {
                 return Err(format!(
                     "churn requires the gossip engine, got '{}'",
                     self.engine.name()
+                ));
+            }
+            if topology.is_implicit() {
+                return Err(format!(
+                    "churn is not supported on implicit topology '{topology}': the \
+                     membership overlay needs indexed neighbor access, which implicit \
+                     families cannot provide (pick clique, ring, torus, or random-regular)"
                 ));
             }
             ChurnModel::parse(dsl).map_err(|e| format!("churn: {e}"))?;
@@ -423,21 +433,30 @@ impl JobSpec {
         self.fast_nodes() > 0 && self.fast_rate != 1.0
     }
 
-    /// Cache key identifying the topology this spec builds.  The
-    /// random-regular wiring depends on the (salted) master seed, so the
-    /// seed is part of that key — two seeds give two graphs, exactly as
-    /// two CLI invocations would.
+    /// The parsed topology spec this job resolves to: the shared
+    /// `--topology` grammar, with the legacy `"degree"` wire field
+    /// feeding a bare `random-regular`'s default.
+    pub fn topology_spec(&self) -> Result<TopologySpec, String> {
+        TopologySpec::parse_with_degree(&self.topology, self.degree)
+            .map_err(|e| format!("topology: {e}"))
+    }
+
+    /// Cache key identifying the topology this spec builds, derived
+    /// from the canonical [`TopologySpec`] form (so spelling variants
+    /// of one topology share a cache slot).  The random-regular wiring
+    /// depends on the (salted) master seed, so the seed is part of that
+    /// key — two seeds give two graphs, exactly as two CLI invocations
+    /// would; construction-deterministic families get seed-free keys.
+    ///
+    /// # Panics
+    /// Panics if the topology string does not parse — [`Self::validate`]
+    /// (run on every wire decode) rejects such specs before any cache
+    /// sees them.
     #[must_use]
     pub fn topology_key(&self) -> String {
-        match self.topology.as_str() {
-            "random-regular" => format!(
-                "random-regular:n={}:d={}:wiring={}",
-                self.n,
-                self.degree,
-                self.seed ^ TOPOLOGY_SALT
-            ),
-            other => format!("{other}:n={}", self.n),
-        }
+        self.topology_spec()
+            .expect("validated spec")
+            .cache_key(self.n as usize, self.seed)
     }
 
     /// Cache key for the node-rate vector + alias sampler, when the spec
@@ -502,61 +521,6 @@ pub fn build_dynamics(
         "d3-min" => Box::new(TableD3::min3()),
         "d3-anti" => Box::new(TableD3::anti_majority()),
         other => return Err(format!("unknown dynamics '{other}' (try 'plurality list')")),
-    })
-}
-
-/// The largest divisor pair `(w, h)` of `n` with both sides ≥ 3 and `w`
-/// closest to `√n` — the torus shape used for `topology = torus`.
-#[must_use]
-pub fn near_square_factors(n: usize) -> Option<(usize, usize)> {
-    let mut w = (n as f64).sqrt().floor() as usize;
-    while w >= 3 {
-        if n.is_multiple_of(w) && n / w >= 3 {
-            return Some((w, n / w));
-        }
-        w -= 1;
-    }
-    None
-}
-
-/// Construct a topology by wire name.  This is the CLI's `--topology` /
-/// `--degree` builder — the CLI delegates here, so a spec resolves to
-/// the identical graph (including the salted random-regular wiring) on
-/// both paths.
-pub fn build_topology(
-    name: &str,
-    n: usize,
-    degree: usize,
-    seed: u64,
-) -> Result<Box<dyn Topology>, String> {
-    Ok(match name {
-        "clique" => Box::new(Clique::new(n)),
-        "ring" => {
-            if n < 3 {
-                return Err(format!("topology ring needs n >= 3, got {n}"));
-            }
-            Box::new(ring(n))
-        }
-        "torus" => {
-            let (w, h) = near_square_factors(n).ok_or(format!(
-                "topology torus needs n = w*h with both sides >= 3, got n = {n}"
-            ))?;
-            Box::new(torus(w, h))
-        }
-        "random-regular" => {
-            if degree >= n || !(n * degree).is_multiple_of(2) {
-                return Err(format!(
-                    "topology random-regular needs degree < n and n*degree even \
-                     (n = {n}, degree = {degree})"
-                ));
-            }
-            Box::new(random_regular(n, degree, seed ^ TOPOLOGY_SALT))
-        }
-        other => {
-            return Err(format!(
-                "topology expects clique|ring|torus|random-regular, got '{other}'"
-            ))
-        }
     })
 }
 

@@ -3,7 +3,7 @@
 //! results via the server and via the existing CLI path.
 //!
 //! "CLI path" here means the exact construction `plurality gossip` /
-//! `plurality run` performs: the same builders (`spec::build_topology`,
+//! `plurality run` performs: the same builders (`TopologySpec::build`,
 //! `spec::build_dynamics` — the CLI delegates to them) and the same
 //! per-trial seed derivation (`derive_stream(seed, i)` for gossip and
 //! the agent engine, `stream_rng(seed, i)` for mean-field trials).
@@ -11,7 +11,7 @@
 use plurality_engine::{AgentEngine, MeanFieldEngine, MonteCarlo, Placement, StopReason};
 use plurality_gossip::{ExchangeMode, FailureModel, GossipEngine, NetworkConfig};
 use plurality_sampling::{derive_stream, stream_rng};
-use plurality_server::spec::{build_dynamics, build_topology};
+use plurality_server::spec::build_dynamics;
 use plurality_server::{JobSpec, Server};
 use plurality_telemetry::json::{self, Json};
 use std::io::{BufRead, BufReader, Write};
@@ -82,7 +82,11 @@ fn gossip_jobs_are_bit_identical_to_the_cli_path() {
     };
 
     // The CLI path, in-process: same builders, same seed derivation.
-    let topology = build_topology(&spec.topology, spec.n as usize, spec.degree, spec.seed).unwrap();
+    let topology = spec
+        .topology_spec()
+        .unwrap()
+        .build(spec.n as usize, spec.seed)
+        .unwrap();
     let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise).unwrap();
     let model = FailureModel::parse(
         spec.failure.as_deref().unwrap(),
@@ -177,7 +181,11 @@ fn agent_jobs_are_bit_identical_to_the_library_path() {
         max_rounds: 5_000,
         ..JobSpec::default()
     };
-    let topology = build_topology(&spec.topology, spec.n as usize, spec.degree, spec.seed).unwrap();
+    let topology = spec
+        .topology_spec()
+        .unwrap()
+        .build(spec.n as usize, spec.seed)
+        .unwrap();
     let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise).unwrap();
     let engine = AgentEngine::new(topology.as_ref());
     let cfg = spec.configuration();
@@ -280,7 +288,11 @@ fn churn_jobs_are_bit_identical_to_the_cli_path() {
 
     // The CLI path, in-process: same builders, same churn model, same
     // per-trial seed derivation.
-    let topology = build_topology(&spec.topology, spec.n as usize, spec.degree, spec.seed).unwrap();
+    let topology = spec
+        .topology_spec()
+        .unwrap()
+        .build(spec.n as usize, spec.seed)
+        .unwrap();
     let dynamics = build_dynamics(&spec.dynamics, spec.k, spec.h, spec.noise).unwrap();
     let model = spec.churn_model().unwrap().expect("spec carries churn");
     let engine = GossipEngine::new(topology.as_ref())

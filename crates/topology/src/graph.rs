@@ -35,6 +35,39 @@ pub trait Topology: Send + Sync {
     fn as_any(&self) -> Option<&dyn Any> {
         None
     }
+
+    /// Capability query: the size of the **dense directed edge slot**
+    /// index space, when this topology materializes its edges and every
+    /// sampled edge carries a stable slot (see
+    /// [`CsrGraph::directed_edge_count`] and
+    /// [`TopologyCore::sample_neighbor_edge_core`]).
+    ///
+    /// `Some(slots)` licenses callers to precompute flat per-edge
+    /// annotation tables (loss/delay parameters, Gilbert–Elliott chains)
+    /// indexed by slot.  The default `None` — returned by the clique and
+    /// by implicit generative topologies that sample neighbors on the
+    /// fly — tells those callers to fall back to hash-keyed per-edge
+    /// state instead of panicking.  Consumers must treat `None` as "use
+    /// the keyed path", never as an error.
+    fn dense_edge_slots(&self) -> Option<usize> {
+        None
+    }
+
+    /// Capability query: does this topology support *indexed* neighbor
+    /// access ([`TopologyCore::neighbor_at_core`]) such that a uniform
+    /// `gen_range(0..degree(node))` draw followed by indexing reproduces
+    /// the neighbor law of `sample_neighbor`?
+    ///
+    /// The churn membership overlay ([`crate::Membership`]) requires
+    /// this to reject dead peers and redraw.  Implicit topologies with a
+    /// *non-uniform* neighbor law (ring kernels, Chung–Lu) return the
+    /// default `false`: their distribution cannot be reproduced by
+    /// uniform indexing, so churn must be refused with a structured
+    /// error — not a panic mid-run — by every surface that checks this
+    /// before handing the topology to a membership overlay.
+    fn supports_indexed_neighbors(&self) -> bool {
+        false
+    }
 }
 
 /// Recover a concrete topology type from a `&dyn Topology` (via
@@ -128,6 +161,14 @@ impl Topology for DynTopology<'_> {
 
     fn as_any(&self) -> Option<&dyn Any> {
         self.0.as_any()
+    }
+
+    fn dense_edge_slots(&self) -> Option<usize> {
+        self.0.dense_edge_slots()
+    }
+
+    fn supports_indexed_neighbors(&self) -> bool {
+        self.0.supports_indexed_neighbors()
     }
 }
 
@@ -298,6 +339,14 @@ impl Topology for CsrGraph {
 
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
+    }
+
+    fn dense_edge_slots(&self) -> Option<usize> {
+        Some(self.edges.len())
+    }
+
+    fn supports_indexed_neighbors(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,422 @@
+//! Implicit (non-materialized) topologies: neighbors are sampled on the
+//! fly from a generative model instead of a stored edge list.
+//!
+//! At 10⁷+ nodes a CSR edge list costs O(n·d) memory and dominates the
+//! simulation footprint; the families here cost O(n) ([`ChungLu`]) or
+//! O(span) ([`ImplicitRing`]) state regardless of expected degree.  The
+//! trade: edges are not *persistent objects* — two draws from the same
+//! node are independent samples from the neighbor law, so there is no
+//! dense edge-slot space ([`Topology::dense_edge_slots`] is `None`) and
+//! no uniform indexed access ([`Topology::supports_indexed_neighbors`]
+//! is `false`; the neighbor law is non-uniform, so churn membership
+//! overlays must refuse these families with a structured error).
+//!
+//! # Determinism
+//!
+//! Construction consumes no randomness (the alias tables are built
+//! deterministically from the parameters), so an implicit topology is
+//! fully determined by its parameters — the wiring seed that
+//! [`crate::random_regular`] needs does not apply.  Sampling draw
+//! accounting, normative for `docs/DETERMINISM.md`:
+//!
+//! - [`ImplicitRing`]: exactly one alias-table draw (= 2 RNG draws:
+//!   `gen_range` slot + `f64` accept) per neighbor sample.
+//! - [`ChungLu`]: one alias-table draw per *attempt*, retrying while the
+//!   drawn peer equals the sampler — the draw count is data-dependent
+//!   (geometric with success probability `1 − wᵤ/W`), which is why
+//!   implicit families get fresh golden fingerprints rather than
+//!   CSR-compatible ones.
+
+use crate::graph::{sealed::SealedTopology, Topology, TopologyCore};
+use plurality_sampling::AliasTable;
+use rand::RngCore;
+use std::any::Any;
+
+/// A ring of `n` nodes where node `v` samples a peer at signed ring
+/// distance `d ∈ {−span, …, −1, +1, …, +span}` with probability given by
+/// a distance kernel — polynomial decay ([`ImplicitRing::gradient`]) or
+/// Gaussian ([`ImplicitRing::gaussian`]).
+///
+/// The kernel is translation-invariant, so one alias table over the
+/// `2·span` signed distances serves every node: O(span) state total.
+/// Each neighbor sample consumes exactly one alias draw (2 RNG draws).
+#[derive(Debug, Clone)]
+pub struct ImplicitRing {
+    n: usize,
+    span: usize,
+    alias: AliasTable,
+    name: String,
+}
+
+impl ImplicitRing {
+    /// Polynomial-decay kernel: distance `d` has weight `d^(−alpha)`,
+    /// truncated at `span` (the ecRust simulator's "RingGradient").
+    /// `alpha = 0` degenerates to a uniform `2·span`-regular ring
+    /// neighborhood.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is negative or non-finite, or on the size
+    /// constraints of [`ImplicitRing::from_kernel`].
+    #[must_use]
+    pub fn gradient(n: usize, alpha: f64, span: usize) -> Self {
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "gradient exponent must be finite and non-negative, got {alpha}"
+        );
+        let weights: Vec<f64> = (1..=span).map(|d| (d as f64).powf(-alpha)).collect();
+        let name = format!("ring-gradient(n={n},alpha={alpha},span={span})");
+        Self::from_kernel(n, span, &weights, name)
+    }
+
+    /// Gaussian kernel: distance `d` has weight `exp(−d²/(2σ²))`,
+    /// truncated at `span = min(⌈3σ⌉, (n−1)/2)` — beyond 3σ the tail
+    /// mass is negligible (the ecRust simulator's "RingGaussian").
+    ///
+    /// # Panics
+    /// Panics if `sigma` is not strictly positive and finite, or on the
+    /// size constraints of [`ImplicitRing::from_kernel`].
+    #[must_use]
+    pub fn gaussian(n: usize, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma > 0.0,
+            "gaussian width must be finite and positive, got {sigma}"
+        );
+        let span = (((3.0 * sigma).ceil() as usize).max(1)).min(n.saturating_sub(1) / 2);
+        let weights: Vec<f64> = (1..=span)
+            .map(|d| (-((d * d) as f64) / (2.0 * sigma * sigma)).exp())
+            .collect();
+        let name = format!("ring-gaussian(n={n},sigma={sigma},span={span})");
+        Self::from_kernel(n, span, &weights, name)
+    }
+
+    /// Build from an explicit one-sided kernel: `weights[d−1]` is the
+    /// (unnormalized) probability of distance `d ∈ 1..=span`, mirrored
+    /// to both ring directions.
+    ///
+    /// # Panics
+    /// Panics if `span == 0`, if `weights.len() != span`, if
+    /// `2·span > n − 1` (distances must stay injective: no peer may be
+    /// reachable both clockwise and counter-clockwise, and never the
+    /// sampler itself), or if the weights are invalid for
+    /// [`AliasTable::new`] (negative / non-finite / all zero).
+    #[must_use]
+    pub fn from_kernel(n: usize, span: usize, weights: &[f64], name: impl Into<String>) -> Self {
+        assert!(span > 0, "ring kernel span must be positive");
+        assert_eq!(weights.len(), span, "kernel must cover distances 1..=span");
+        assert!(
+            2 * span <= n.saturating_sub(1),
+            "ring kernel span {span} too wide for n={n}: need 2·span ≤ n−1"
+        );
+        // Signed-distance table: entries 0..span are +1..+span, entries
+        // span..2·span are −1..−span, each direction carrying the same
+        // one-sided kernel weight.
+        let mut signed = Vec::with_capacity(2 * span);
+        signed.extend_from_slice(weights);
+        signed.extend_from_slice(weights);
+        Self {
+            n,
+            span,
+            alias: AliasTable::new(&signed),
+            name: name.into(),
+        }
+    }
+
+    /// The one-sided kernel truncation distance.
+    #[must_use]
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// The peer at alias-table entry `idx` for a given sampler: entries
+    /// `0..span` map to `node + (idx+1)`, entries `span..2·span` to
+    /// `node − (idx−span+1)`, both mod `n`.
+    #[inline]
+    fn peer_of(&self, node: usize, idx: usize) -> usize {
+        if idx < self.span {
+            (node + idx + 1) % self.n
+        } else {
+            (node + self.n - (idx - self.span + 1)) % self.n
+        }
+    }
+}
+
+impl Topology for ImplicitRing {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        self.sample_neighbor_core(node, rng)
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        let _ = node;
+        2 * self.span
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl SealedTopology for ImplicitRing {}
+
+impl TopologyCore for ImplicitRing {
+    #[inline]
+    fn sample_neighbor_core<R: RngCore + ?Sized>(&self, node: usize, rng: &mut R) -> usize {
+        self.peer_of(node, self.alias.sample(rng))
+    }
+}
+
+/// The Chung–Lu degree-sequence model, sampled implicitly: node `v` is
+/// drawn with probability proportional to its weight `w_v`, rejecting
+/// self-draws.  One global alias table over the `n` weights: O(n) state.
+///
+/// Weights follow a truncated power law chosen so that expected degrees
+/// have tail exponent `gamma`:
+/// `w_i = clamp(dmin · (n/(i+1))^(1/(γ−1)), dmin, dmax)`.
+///
+/// This is the *sampling* half of Chung–Lu — per-draw peer frequencies
+/// match the model's edge-endpoint law `P(v | u) = w_v / (W − w_u)` —
+/// not a materialized graph, so there are no persistent edges, no dense
+/// slots, and no uniform indexed access (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ChungLu {
+    n: usize,
+    dmin: f64,
+    dmax: f64,
+    gamma: f64,
+    total_weight: f64,
+    alias: AliasTable,
+}
+
+impl ChungLu {
+    /// Build the truncated-power-law instance.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`, `gamma ≤ 1`, `dmin ≤ 0`, or `dmax < dmin`, or
+    /// if any parameter is non-finite.
+    #[must_use]
+    pub fn power_law(n: usize, dmin: f64, dmax: f64, gamma: f64) -> Self {
+        assert!(n >= 2, "chung-lu needs at least two nodes");
+        assert!(
+            gamma.is_finite() && gamma > 1.0,
+            "degree exponent must be finite and > 1, got {gamma}"
+        );
+        assert!(
+            dmin.is_finite() && dmin > 0.0,
+            "dmin must be finite and positive, got {dmin}"
+        );
+        assert!(
+            dmax.is_finite() && dmax >= dmin,
+            "dmax must be finite and ≥ dmin, got {dmax}"
+        );
+        let inv = 1.0 / (gamma - 1.0);
+        let weights: Vec<f64> = (0..n)
+            .map(|i| (dmin * (n as f64 / (i + 1) as f64).powf(inv)).clamp(dmin, dmax))
+            .collect();
+        let total_weight = weights.iter().sum();
+        Self {
+            n,
+            dmin,
+            dmax,
+            gamma,
+            total_weight,
+            alias: AliasTable::new(&weights),
+        }
+    }
+
+    /// The (expected-degree) weight of node `i`, recomputed from the
+    /// closed form — the table itself only stores alias slots.
+    #[must_use]
+    pub fn weight(&self, i: usize) -> f64 {
+        assert!(i < self.n, "node {i} out of range");
+        let inv = 1.0 / (self.gamma - 1.0);
+        (self.dmin * (self.n as f64 / (i + 1) as f64).powf(inv)).clamp(self.dmin, self.dmax)
+    }
+
+    /// Sum of all node weights `W` (the edge-endpoint normalizer).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+}
+
+impl Topology for ChungLu {
+    fn name(&self) -> String {
+        format!(
+            "chung-lu(n={},dmin={},dmax={},gamma={})",
+            self.n, self.dmin, self.dmax, self.gamma
+        )
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn sample_neighbor(&self, node: usize, rng: &mut dyn RngCore) -> usize {
+        self.sample_neighbor_core(node, rng)
+    }
+
+    fn degree(&self, node: usize) -> usize {
+        // The sampling set: every node but the sampler has positive
+        // probability.
+        let _ = node;
+        self.n - 1
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        Some(self)
+    }
+}
+
+impl SealedTopology for ChungLu {}
+
+impl TopologyCore for ChungLu {
+    #[inline]
+    fn sample_neighbor_core<R: RngCore + ?Sized>(&self, node: usize, rng: &mut R) -> usize {
+        // Weighted draw with self-loop rejection: data-dependent RNG
+        // consumption (see module docs).
+        loop {
+            let v = self.alias.sample(rng);
+            if v != node {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_sampling::{stream_rng, Xoshiro256PlusPlus};
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_gradient_peers_are_in_kernel_support() {
+        let n = 101;
+        let span = 7;
+        let g = ImplicitRing::gradient(n, 2.0, span);
+        assert_eq!(g.n(), n);
+        assert_eq!(g.degree(0), 2 * span);
+        let mut rng = stream_rng(3, 1);
+        for node in [0usize, 1, 50, 100] {
+            for _ in 0..200 {
+                let w = g.sample_neighbor(node, &mut rng);
+                assert_ne!(w, node, "ring kernel sampled self");
+                let fwd = (w + n - node) % n;
+                let dist = fwd.min(n - fwd);
+                assert!(
+                    (1..=span).contains(&dist),
+                    "node {node} sampled {w} at ring distance {dist} > span"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_kernel_is_translation_invariant() {
+        // The same RNG stream must produce the same *distance sequence*
+        // from every base node.
+        let g = ImplicitRing::gaussian(64, 2.0);
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(9);
+        let n = g.n();
+        for _ in 0..500 {
+            let from0 = g.sample_neighbor(0, &mut a);
+            let from17 = g.sample_neighbor(17, &mut b);
+            assert_eq!((from17 + n - 17) % n, from0);
+        }
+    }
+
+    #[test]
+    fn ring_core_matches_dyn_sampling() {
+        let g = ImplicitRing::gradient(200, 1.5, 9);
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(4);
+        for node in 0..64 {
+            let dynamic = {
+                let rng: &mut dyn RngCore = &mut a;
+                g.sample_neighbor(node, rng)
+            };
+            assert_eq!(dynamic, g.sample_neighbor_core(node, &mut b));
+        }
+    }
+
+    #[test]
+    fn ring_gaussian_span_tracks_sigma() {
+        assert_eq!(ImplicitRing::gaussian(1000, 2.0).span(), 6);
+        assert_eq!(ImplicitRing::gaussian(1000, 0.1).span(), 1);
+        // Truncated by n: span can never exceed (n−1)/2.
+        assert_eq!(ImplicitRing::gaussian(11, 100.0).span(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too wide")]
+    fn ring_rejects_overwide_span() {
+        let _ = ImplicitRing::gradient(10, 1.0, 5);
+    }
+
+    #[test]
+    fn implicit_capabilities_are_absent() {
+        let ring = ImplicitRing::gradient(50, 2.0, 4);
+        let cl = ChungLu::power_law(50, 2.0, 10.0, 2.5);
+        for t in [&ring as &dyn Topology, &cl as &dyn Topology] {
+            assert_eq!(t.dense_edge_slots(), None);
+            assert!(!t.supports_indexed_neighbors());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support indexed neighbor access")]
+    fn ring_refuses_indexed_access() {
+        let g = ImplicitRing::gradient(50, 2.0, 4);
+        let _ = g.neighbor_at_core(0, 0);
+    }
+
+    #[test]
+    fn chung_lu_never_samples_self_and_stays_in_range() {
+        let g = ChungLu::power_law(40, 2.0, 12.0, 2.5);
+        let mut rng = stream_rng(7, 2);
+        for node in 0..g.n() {
+            for _ in 0..50 {
+                let w = g.sample_neighbor(node, &mut rng);
+                assert!(w < g.n());
+                assert_ne!(w, node);
+            }
+        }
+    }
+
+    #[test]
+    fn chung_lu_weights_follow_clamped_power_law() {
+        let g = ChungLu::power_law(1000, 2.0, 50.0, 2.5);
+        // Monotone non-increasing in i, clamped at both ends.
+        for i in 1..1000 {
+            assert!(g.weight(i) <= g.weight(i - 1) + 1e-12);
+        }
+        assert!((g.weight(0) - 50.0).abs() < 1e-9, "head clamps at dmax");
+        assert!((g.weight(999) - 2.0).abs() < 1e-9, "tail clamps at dmin");
+        let sum: f64 = (0..1000).map(|i| g.weight(i)).sum();
+        assert!((sum - g.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn construction_is_deterministic_without_a_seed() {
+        // Implicit topologies consume no randomness at construction:
+        // identical parameters → identical sampling behavior.
+        let a = ChungLu::power_law(64, 2.0, 16.0, 2.2);
+        let b = ChungLu::power_law(64, 2.0, 16.0, 2.2);
+        let mut ra = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut rb = Xoshiro256PlusPlus::seed_from_u64(5);
+        for node in 0..64 {
+            assert_eq!(
+                a.sample_neighbor_core(node, &mut ra),
+                b.sample_neighbor_core(node, &mut rb)
+            );
+        }
+    }
+}

@@ -9,6 +9,14 @@
 //! off the clique, and exist to exercise the agent-based engine on
 //! realistic sparse topologies.
 //!
+//! The **implicit** families ([`ImplicitRing`], [`ChungLu`]) sample
+//! neighbors on the fly from a generative model — O(n) state instead of
+//! the CSR's O(n·d) — so million-node structured-graph runs fit in
+//! memory; see [`implicit`] for the capability and determinism contract.
+//! All families are reachable through one shared grammar,
+//! [`TopologySpec`], which the CLI, server, and experiments parse and
+//! print identically.
+//!
 //! # Quick start
 //!
 //! ```
@@ -37,11 +45,15 @@
 #![deny(missing_docs)]
 
 pub mod graph;
+pub mod implicit;
 pub mod membership;
 pub mod models;
 pub mod social;
+pub mod spec;
 
 pub use graph::{downcast_topology, CsrGraph, DynTopology, Topology, TopologyCore};
+pub use implicit::{ChungLu, ImplicitRing};
 pub use membership::{Membership, MAX_DEAD_REDRAWS};
 pub use models::{complete_bipartite, erdos_renyi, random_regular, ring, star, torus, Clique};
 pub use social::{barabasi_albert, watts_strogatz};
+pub use spec::{near_square_factors, TopologySpec, DEFAULT_REGULAR_DEGREE, TOPOLOGY_SALT};

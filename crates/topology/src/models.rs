@@ -71,6 +71,10 @@ impl Topology for Clique {
     fn as_any(&self) -> Option<&dyn Any> {
         Some(self)
     }
+
+    fn supports_indexed_neighbors(&self) -> bool {
+        true
+    }
 }
 
 impl SealedTopology for Clique {}

@@ -1,0 +1,169 @@
+//! Statistical validation of the implicit samplers: each family's
+//! empirical neighbor frequencies are chi-square-tested against its
+//! analytic law, with a small materialized CSR reference pinning the
+//! support set, plus degree-tail checks for Chung–Lu.
+
+use plurality_sampling::stream_rng;
+use plurality_topology::{ChungLu, CsrGraph, ImplicitRing, Topology};
+
+/// Pearson chi-square statistic of observed counts vs expected
+/// (unnormalized) weights over the same support.
+fn chi_square(observed: &[u64], weights: &[f64]) -> f64 {
+    let total: u64 = observed.iter().sum();
+    let wsum: f64 = weights.iter().sum();
+    observed
+        .iter()
+        .zip(weights)
+        .map(|(&o, &w)| {
+            let e = total as f64 * w / wsum;
+            (o as f64 - e).powi(2) / e
+        })
+        .sum()
+}
+
+/// Materialize the truncated ring lattice (every |distance| ≤ span) as
+/// the CSR support reference.
+fn ring_lattice(n: usize, span: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for v in 0..n as u32 {
+        for d in 1..=span as u32 {
+            edges.push((v, (v + d) % n as u32));
+        }
+    }
+    CsrGraph::from_edges(n, &edges, format!("ring-lattice(n={n},span={span})"))
+}
+
+/// Draw `trials` samples from `node` and count them per peer id.
+fn sample_counts(t: &dyn Topology, node: usize, trials: u64, seed: u64) -> Vec<u64> {
+    let mut rng = stream_rng(seed, 0x1A);
+    let mut counts = vec![0u64; t.n()];
+    for _ in 0..trials {
+        counts[t.sample_neighbor(node, &mut rng)] += 1;
+    }
+    counts
+}
+
+#[test]
+fn ring_gradient_law_matches_kernel_on_materialized_support() {
+    let (n, span, alpha) = (64usize, 4usize, 1.5f64);
+    let g = ImplicitRing::gradient(n, alpha, span);
+    let reference = ring_lattice(n, span);
+    let node = 10usize;
+    let counts = sample_counts(&g, node, 200_000, 42);
+
+    // Support check: sampled peers are exactly the CSR reference row.
+    let sampled: Vec<u32> = (0..n)
+        .filter(|&v| counts[v] > 0)
+        .map(|v| v as u32)
+        .collect();
+    let mut expected_support = reference.neighbors(node).to_vec();
+    expected_support.sort_unstable();
+    assert_eq!(
+        sampled, expected_support,
+        "support must equal the lattice row"
+    );
+
+    // Law check: frequencies on the support follow d^(−alpha), both
+    // directions.  df = 2·span − 1 = 7; chi² < 26.0 ≈ p = 5e-4.
+    let support: Vec<usize> = expected_support.iter().map(|&v| v as usize).collect();
+    let observed: Vec<u64> = support.iter().map(|&v| counts[v]).collect();
+    let weights: Vec<f64> = support
+        .iter()
+        .map(|&v| {
+            let fwd = (v + n - node) % n;
+            let dist = fwd.min(n - fwd);
+            (dist as f64).powf(-alpha)
+        })
+        .collect();
+    let chi2 = chi_square(&observed, &weights);
+    assert!(chi2 < 26.0, "ring-gradient chi² = {chi2:.2} (df 7)");
+}
+
+#[test]
+fn ring_gaussian_law_matches_kernel_on_materialized_support() {
+    let (n, sigma) = (64usize, 1.5f64);
+    let g = ImplicitRing::gaussian(n, sigma);
+    let span = g.span();
+    assert_eq!(span, 5, "3σ truncation");
+    let reference = ring_lattice(n, span);
+    let node = 0usize;
+    let counts = sample_counts(&g, node, 200_000, 43);
+
+    let sampled: Vec<u32> = (0..n)
+        .filter(|&v| counts[v] > 0)
+        .map(|v| v as u32)
+        .collect();
+    let mut expected_support = reference.neighbors(node).to_vec();
+    expected_support.sort_unstable();
+    assert_eq!(sampled, expected_support);
+
+    // df = 2·span − 1 = 9; chi² < 29.7 ≈ p = 5e-4.
+    let support: Vec<usize> = expected_support.iter().map(|&v| v as usize).collect();
+    let observed: Vec<u64> = support.iter().map(|&v| counts[v]).collect();
+    let weights: Vec<f64> = support
+        .iter()
+        .map(|&v| {
+            let fwd = (v + n - node) % n;
+            let dist = fwd.min(n - fwd) as f64;
+            (-dist * dist / (2.0 * sigma * sigma)).exp()
+        })
+        .collect();
+    let chi2 = chi_square(&observed, &weights);
+    assert!(chi2 < 29.7, "ring-gaussian chi² = {chi2:.2} (df 9)");
+}
+
+#[test]
+fn chung_lu_law_matches_weighted_rejection_model() {
+    // P(v | u) = w_v / (W − w_u): the alias draw conditioned on v ≠ u.
+    let n = 32usize;
+    let g = ChungLu::power_law(n, 2.0, 20.0, 2.5);
+    let node = 0usize;
+    let counts = sample_counts(&g, node, 200_000, 44);
+
+    assert_eq!(counts[node], 0, "self-draws must be rejected");
+    let support: Vec<usize> = (0..n).filter(|&v| v != node).collect();
+    let observed: Vec<u64> = support.iter().map(|&v| counts[v]).collect();
+    let weights: Vec<f64> = support.iter().map(|&v| g.weight(v)).collect();
+    // df = 30; chi² < 59.7 ≈ p = 1e-3.
+    let chi2 = chi_square(&observed, &weights);
+    assert!(chi2 < 59.7, "chung-lu chi² = {chi2:.2} (df 30)");
+}
+
+#[test]
+fn chung_lu_degree_tail_follows_the_power_law() {
+    // The closed-form weight sequence w_i = clamp(dmin·(n/(i+1))^(1/(γ−1)))
+    // implies the ccdf #{i : w_i ≥ x} ≈ n·(dmin/x)^(γ−1) between the
+    // clamps — the defining property of a γ-exponent degree tail.
+    let (n, dmin, dmax, gamma) = (100_000usize, 2.0f64, 500.0f64, 2.5f64);
+    let g = ChungLu::power_law(n, dmin, dmax, gamma);
+    for x in [4.0, 8.0, 16.0, 64.0, 200.0] {
+        let observed = (0..n).filter(|&i| g.weight(i) >= x).count() as f64;
+        let predicted = n as f64 * (dmin / x).powf(gamma - 1.0);
+        let ratio = observed / predicted;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "ccdf at x={x}: observed {observed}, predicted {predicted:.1}"
+        );
+    }
+    // Clamps hold at both ends.
+    assert!((g.weight(0) - dmax).abs() < 1e-9);
+    assert!((g.weight(n - 1) - dmin).abs() < 1e-9);
+}
+
+#[test]
+fn heavy_nodes_dominate_chung_lu_traffic() {
+    // Sampled peer frequency is weight-proportional, so the top-decile
+    // nodes (by weight) must receive ≈ their weight share of draws.
+    let n = 1000usize;
+    let g = ChungLu::power_law(n, 2.0, 100.0, 2.5);
+    let counts = sample_counts(&g, n - 1, 100_000, 45);
+    let top: f64 = (0..n / 10).map(|v| counts[v] as f64).sum();
+    let total: f64 = counts.iter().map(|&c| c as f64).sum();
+    let weight_share: f64 =
+        (0..n / 10).map(|v| g.weight(v)).sum::<f64>() / (g.total_weight() - g.weight(n - 1));
+    let observed_share = top / total;
+    assert!(
+        (observed_share - weight_share).abs() < 0.01,
+        "top-decile share {observed_share:.3} vs weight share {weight_share:.3}"
+    );
+}

@@ -5,9 +5,29 @@
 use plurality_sampling::stream_rng;
 use plurality_topology::{
     barabasi_albert, complete_bipartite, erdos_renyi, random_regular, ring, star, torus,
-    watts_strogatz, Clique, CsrGraph, Topology,
+    watts_strogatz, Clique, CsrGraph, Topology, TopologySpec,
 };
 use proptest::prelude::*;
+
+/// Strategy over every `TopologySpec` variant with valid parameters.
+fn any_topology_spec() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        Just(TopologySpec::Clique),
+        Just(TopologySpec::Ring),
+        Just(TopologySpec::Torus),
+        (1usize..64).prop_map(|degree| TopologySpec::RandomRegular { degree }),
+        (0.0f64..8.0, 1usize..256)
+            .prop_map(|(alpha, span)| TopologySpec::RingGradient { alpha, span }),
+        (0.01f64..64.0).prop_map(|sigma| TopologySpec::RingGaussian { sigma }),
+        (0.1f64..16.0, 1.0f64..100.0, 1.01f64..8.0).prop_map(|(dmin, factor, gamma)| {
+            TopologySpec::ChungLu {
+                dmin,
+                dmax: dmin * factor,
+                gamma,
+            }
+        }),
+    ]
+}
 
 /// Every sampled neighbor is an actual adjacency-list member.
 fn check_sampling(g: &CsrGraph, seed: u64) -> Result<(), TestCaseError> {
@@ -113,6 +133,41 @@ proptest! {
         let kb = complete_bipartite(n.min(20), b);
         prop_assert_eq!(kb.edge_count(), n.min(20) * b);
         check_simple_undirected(&kb)?;
+    }
+
+    #[test]
+    fn topology_spec_parse_display_round_trips(spec in any_topology_spec()) {
+        // The canonical Display form must parse back to the identical
+        // spec (shortest-round-trip float formatting makes the f64
+        // parameters exact), and printing is idempotent — this is the
+        // contract that lets CLI, server, and experiments share one
+        // grammar and derive collision-free cache keys from it.
+        let canonical = spec.to_string();
+        let reparsed = TopologySpec::parse(&canonical);
+        prop_assert!(reparsed.is_ok(), "'{}' failed to parse: {:?}", canonical, reparsed);
+        let reparsed = reparsed.unwrap();
+        prop_assert_eq!(&reparsed, &spec);
+        prop_assert_eq!(reparsed.to_string(), canonical);
+    }
+
+    #[test]
+    fn implicit_ring_sampling_stays_in_kernel_support(
+        n in 16usize..512,
+        alpha in 0.0f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let span = 1 + seed as usize % ((n - 1) / 2);
+        let g = plurality_topology::ImplicitRing::gradient(n, alpha, span);
+        let mut rng = stream_rng(seed, 3);
+        for node in (0..n).step_by(1 + n / 8) {
+            for _ in 0..8 {
+                let w = g.sample_neighbor(node, &mut rng);
+                prop_assert_ne!(w, node);
+                let fwd = (w + n - node) % n;
+                let dist = fwd.min(n - fwd);
+                prop_assert!((1..=span).contains(&dist));
+            }
+        }
     }
 
     #[test]
